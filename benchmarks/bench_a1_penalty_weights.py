@@ -1,0 +1,20 @@
+"""A1 — penalty-weight ablation: the analytic rule sits in the
+sweet spot between broken encodings and wasted dynamic range."""
+
+from repro.experiments import run_experiment
+
+
+def test_a1_penalty_weights(benchmark, show_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("A1", scales=(0.01, 0.25, 1.0, 8.0),
+                               num_relations=5, instances=3, seed=0),
+        rounds=1, iterations=1,
+    )
+    show_table(result)
+    by_scale = {row["penalty_scale"]: row for row in result.rows}
+    # Shape: far-too-small weights break the one-hot encodings; the
+    # analytic weight (scale 1.0) yields fully valid reads and
+    # near-optimal cost.
+    assert by_scale[0.01]["valid_read_fraction"] < 0.5
+    assert by_scale[1.0]["valid_read_fraction"] == 1.0
+    assert by_scale[1.0]["cost_vs_optimal"] < 1.2

@@ -1,0 +1,18 @@
+"""A3 — SQA Trotter-slice ablation: more imaginary-time resolution,
+better tunnelling, then saturation."""
+
+from repro.experiments import run_experiment
+
+
+def test_a3_trotter_slices(benchmark, show_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("A3", slice_counts=(2, 10, 20),
+                               cluster_size=6, num_reads=20,
+                               num_sweeps=250, seed=0),
+        rounds=1, iterations=1,
+    )
+    show_table(result)
+    hits = result.column("hit_rate")
+    # Shape: hit rate rises substantially from P=2 to P=20.
+    assert hits[-1] > hits[0]
+    assert hits[-1] >= 0.7

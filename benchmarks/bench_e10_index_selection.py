@@ -1,0 +1,19 @@
+"""E10 — index selection: QUBO+SA recovers (near-)optimal benefit."""
+
+from repro.experiments import run_experiment
+
+
+def test_e10_index_selection(benchmark, show_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E10", candidate_counts=(10, 14),
+                               instances_per_cell=2, seed=0),
+        rounds=1, iterations=1,
+    )
+    show_table(result)
+    for row in result.rows:
+        # Shape: both methods recover most of the optimal benefit;
+        # the annealed route is at least competitive with greedy.
+        assert row["annealed_fraction_of_optimum"] >= 0.85
+        assert row["greedy_fraction_of_optimum"] >= 0.8
+        assert (row["annealed_fraction_of_optimum"]
+                >= row["greedy_fraction_of_optimum"] - 0.05)

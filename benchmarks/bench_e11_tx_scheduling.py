@@ -1,0 +1,25 @@
+"""E11 — transaction scheduling: annealed colouring needs no more
+batches than list-scheduling baselines."""
+
+from repro.experiments import run_experiment
+
+
+def test_e11_tx_scheduling(benchmark, show_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E11", transaction_counts=(8, 12),
+                               conflict_levels=(8, 16), seed=0),
+        rounds=1, iterations=1,
+    )
+    show_table(result)
+    for row in result.rows:
+        assert row["annealed_valid"]
+        assert row["annealed_slots"] <= row["greedy_slots"]
+        assert row["annealed_slots"] <= row["fcfs_slots"]
+    # Shape: denser conflicts (fewer objects) need at least as many
+    # slots at equal transaction count.
+    for count in (8, 12):
+        dense = next(r for r in result.rows
+                     if r["transactions"] == count and r["objects"] == 8)
+        sparse = next(r for r in result.rows
+                      if r["transactions"] == count and r["objects"] == 16)
+        assert dense["annealed_slots"] >= sparse["annealed_slots"] - 1

@@ -1,0 +1,18 @@
+"""E15 — learned (RL) join ordering matches the other families."""
+
+from repro.experiments import run_experiment
+
+
+def test_e15_rl_join_order(benchmark, show_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E15", topologies=("chain", "star"),
+                               num_relations=5, instances_per_cell=2,
+                               episodes=1200, seed=0),
+        rounds=1, iterations=1,
+    )
+    show_table(result)
+    for row in result.rows:
+        # Shape: the Q-learner converges into the same near-optimal
+        # band as greedy and annealing on small queries.
+        assert row["rl_vs_optimal"] < 1.5
+        assert row["annealed_vs_optimal"] < 1.5

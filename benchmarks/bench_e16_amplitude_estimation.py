@@ -1,0 +1,18 @@
+"""E16 — amplitude estimation beats Monte Carlo at equal oracle budget."""
+
+from repro.experiments import run_experiment
+
+
+def test_e16_amplitude_estimation(benchmark, show_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E16", eval_qubit_range=(2, 4, 6),
+                               mc_trials=100, seed=0),
+        rounds=1, iterations=1,
+    )
+    show_table(result)
+    rows = result.rows
+    # Shape: at the largest budget QAE's error is several times below
+    # the Monte Carlo RMS error, and QAE improves from the smallest
+    # budget to the largest.
+    assert rows[-1]["qae_error"] < 0.5 * rows[-1]["mc_rms_error"]
+    assert rows[-1]["qae_error"] < rows[0]["qae_error"]

@@ -1,0 +1,18 @@
+"""E17 — quantum-kernel accuracy recovers as the shot budget grows."""
+
+from repro.experiments import run_experiment
+
+
+def test_e17_kernel_shots(benchmark, show_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E17", shot_budgets=(8, 128, None),
+                               n_samples=48, seed=0),
+        rounds=1, iterations=1,
+    )
+    show_table(result)
+    rows = result.rows
+    # Shape: Gram error shrinks with shots and the exact kernel's
+    # accuracy is reached (or approached) by the largest shot budget.
+    assert rows[0]["gram_rms_error"] > rows[1]["gram_rms_error"]
+    assert rows[-1]["gram_rms_error"] == 0.0
+    assert rows[1]["test_accuracy"] >= rows[-1]["test_accuracy"] - 0.1

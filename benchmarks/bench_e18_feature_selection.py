@@ -1,0 +1,17 @@
+"""E18 — QUBO feature selection recovers (near-)optimal subsets."""
+
+from repro.experiments import run_experiment
+
+
+def test_e18_feature_selection(benchmark, show_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E18", feature_counts=(8, 12),
+                               instances_per_cell=2, seed=0),
+        rounds=1, iterations=1,
+    )
+    show_table(result)
+    for row in result.rows:
+        # Shape: both methods recover most of the exact mRMR objective;
+        # the annealed route stays in the same band as greedy.
+        assert row["annealed_fraction_of_optimum"] >= 0.9
+        assert row["greedy_fraction_of_optimum"] >= 0.85

@@ -1,0 +1,18 @@
+"""E19 — annealed balanced min-cut partitioning vs Kernighan-Lin."""
+
+from repro.experiments import run_experiment
+
+
+def test_e19_partitioning(benchmark, show_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E19", fragment_counts=(8, 12),
+                               instances_per_cell=2, seed=0),
+        rounds=1, iterations=1,
+    )
+    show_table(result)
+    for row in result.rows:
+        # Shape: the annealer matches the exact balanced optimum on
+        # both metrics, and keeps shards better size-balanced than KL.
+        assert row["annealed_cut"] <= row["exact_cut"] * 1.1 + 1e-9
+        assert (row["annealed_imbalance"]
+                <= row["kl_imbalance"] + 0.02)

@@ -1,0 +1,19 @@
+"""E1 — statevector simulation cost grows exponentially with qubits."""
+
+from repro.experiments import run_experiment
+
+
+def test_e1_simulator_scaling(benchmark, show_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E1", qubit_range=range(4, 15, 2),
+                               depth=10, repeats=2),
+        rounds=1, iterations=1,
+    )
+    show_table(result)
+    seconds = result.column("seconds_per_run")
+    # Shape: the largest circuit is far more expensive than the
+    # smallest. Below ~12 qubits Python per-gate overhead dominates;
+    # from 12 -> 14 the 2**n state takes over, so the final
+    # two-qubit step costs noticeably more than linear growth would.
+    assert seconds[-1] > 5 * seconds[0]
+    assert result.column("ratio_to_previous")[-1] > 1.5

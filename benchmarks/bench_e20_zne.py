@@ -1,0 +1,19 @@
+"""E20 — zero-noise extrapolation recovers noisy expectation values."""
+
+from repro.experiments import run_experiment
+
+
+def test_e20_zne(benchmark, show_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E20", error_rates=(0.005, 0.02, 0.04),
+                               seed=0),
+        rounds=1, iterations=1,
+    )
+    show_table(result)
+    rows = result.rows
+    # Shape: large gains at low noise, shrinking as extrapolation
+    # breaks down; mitigation never makes things meaningfully worse.
+    assert rows[0]["improvement_factor"] > 3.0
+    assert rows[0]["improvement_factor"] > rows[-1]["improvement_factor"]
+    for row in rows:
+        assert row["mitigated_error"] <= row["noisy_error"] * 1.1

@@ -1,0 +1,16 @@
+"""E4 — gradient variance decays exponentially with qubit count."""
+
+from repro.experiments import run_experiment
+
+
+def test_e4_barren_plateaus(benchmark, show_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E4", qubit_range=(2, 4, 6, 8),
+                               depth=4, num_samples=40, seed=0),
+        rounds=1, iterations=1,
+    )
+    show_table(result)
+    variances = result.column("gradient_variance")
+    # Shape: monotone-ish decay, large-to-small by a sizable factor.
+    assert variances[-1] < variances[0] / 2
+    assert "decay rate" in result.notes

@@ -1,0 +1,22 @@
+"""E5 — data encoding choice drives VQC accuracy at a fixed budget."""
+
+from repro.experiments import run_experiment
+
+
+def test_e5_encodings(benchmark, show_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E5", n_train=50, n_test=30, epochs=18,
+                               seed=0),
+        rounds=1, iterations=1,
+    )
+    show_table(result)
+    by_name = {row["encoding"]: row for row in result.rows}
+    richer = max(
+        by_name["angle+entangle"]["test_accuracy"],
+        by_name["reuploading"]["test_accuracy"],
+        by_name["amplitude"]["test_accuracy"],
+    )
+    # Shape: at a fixed budget, at least one richer encoding beats the
+    # plain product-state angle map.
+    assert richer >= by_name["angle"]["test_accuracy"]
+    assert richer >= 0.6

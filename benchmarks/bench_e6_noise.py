@@ -1,0 +1,19 @@
+"""E6 — gate noise degrades VQC accuracy gracefully, then to chance."""
+
+from repro.experiments import run_experiment
+
+
+def test_e6_noise(benchmark, show_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E6", error_rates=(0.0, 0.05, 0.2),
+                               n_samples=50, epochs=22, seed=0),
+        rounds=1, iterations=1,
+    )
+    show_table(result)
+    accuracies = result.column("accuracy")
+    # Shape: clean accuracy well above chance, high noise collapses to
+    # roughly coin-flip, and accuracy never increases with noise by a
+    # meaningful margin.
+    assert accuracies[0] >= 0.75
+    assert accuracies[-1] <= 0.65
+    assert accuracies[-1] <= accuracies[0]

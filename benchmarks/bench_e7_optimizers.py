@@ -1,0 +1,18 @@
+"""E7 — SPSA matches/beats gradient methods at equal circuit budget."""
+
+from repro.experiments import run_experiment
+
+
+def test_e7_optimizers(benchmark, show_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E7", shots=128, eval_budget=600, seed=0),
+        rounds=1, iterations=1,
+    )
+    show_table(result)
+    by_name = {row["optimizer"]: row for row in result.rows}
+    # Shape: every optimizer reaches the low-energy region, SPSA takes
+    # far more steps for the same budget and is not worse than plain GD.
+    assert by_name["spsa"]["steps"] > 5 * by_name["gd"]["steps"]
+    assert by_name["spsa"]["final_energy"] <= -0.8
+    assert (by_name["spsa"]["final_energy"]
+            <= by_name["gd"]["final_energy"] + 0.1)

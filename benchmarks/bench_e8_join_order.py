@@ -1,0 +1,24 @@
+"""E8 — join ordering: annealed QUBO tracks the DP optimum."""
+
+from repro.experiments import run_experiment
+
+
+def test_e8_join_order(benchmark, show_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment(
+            "E8", topologies=("chain", "star", "cycle"),
+            sizes=(4, 6, 8), instances_per_cell=2, seed=0,
+        ),
+        rounds=1, iterations=1,
+    )
+    show_table(result)
+    for row in result.rows:
+        # Shape: both heuristics stay within a small factor of the
+        # optimum; the annealer never degrades to random-order costs
+        # (which are orders of magnitude off on these instances).
+        assert row["annealed_vs_dp"] < 5.0
+        assert row["greedy_vs_dp"] < 5.0
+    # Shape: DP cost explodes with size while SA's budget is flat.
+    dp_small = [r["dp_seconds"] for r in result.rows if r["relations"] == 4]
+    dp_large = [r["dp_seconds"] for r in result.rows if r["relations"] == 8]
+    assert max(dp_large) > max(dp_small)

@@ -1,0 +1,21 @@
+"""E9 — multiple-query optimization: annealing tracks the optimum as
+the exhaustive plan space explodes."""
+
+from repro.experiments import run_experiment
+
+
+def test_e9_mqo(benchmark, show_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E9", query_counts=(3, 5, 7),
+                               instances_per_cell=2, seed=0),
+        rounds=1, iterations=1,
+    )
+    show_table(result)
+    for row in result.rows:
+        assert row["annealed_vs_exact"] < 1.2
+        assert row["greedy_vs_exact"] >= 1.0 - 1e-9
+    # Shape: exhaustive enumeration time grows with the plan space.
+    times = result.column("exhaustive_seconds")
+    assert times[-1] > times[0]
+    spaces = result.column("plan_space")
+    assert spaces[-1] / spaces[0] > 50

@@ -1,0 +1,25 @@
+"""Shared benchmark configuration.
+
+Each ``bench_e*.py`` regenerates one DESIGN.md experiment through
+``repro.experiments.run_experiment`` at a benchmark-friendly scale,
+prints the same table the full experiment produces (visible with
+``pytest benchmarks/ --benchmark-only -s``) and asserts the *shape* of
+the result — who wins, and roughly by how much — mirroring the
+tutorial's qualitative claims.
+"""
+
+import pytest
+
+from repro.experiments import format_table
+
+
+@pytest.fixture
+def show_table():
+    """Print an ExperimentResult table after the benchmark body."""
+
+    def render(result):
+        print()
+        print(format_table(result))
+        return result
+
+    return render

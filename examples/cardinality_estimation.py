@@ -1,0 +1,71 @@
+"""Learned cardinality estimation on correlated data.
+
+Builds a synthetic table whose columns are strongly correlated — the
+regime where the classical histogram estimator's independence
+assumption fails — then compares four estimators by q-error:
+
+* per-column histograms (the classical optimizer default),
+* linear regression on log-cardinality,
+* a small MLP,
+* a variational quantum regressor.
+
+Run with::
+
+    python examples/cardinality_estimation.py
+"""
+
+import numpy as np
+
+from repro.baselines import MLP, LinearRegression
+from repro.db import (
+    evaluate_q_errors,
+    histogram_estimates,
+    make_cardinality_dataset,
+)
+from repro.qml import AngleEncoding, VariationalRegressor
+
+
+def main() -> None:
+    dataset = make_cardinality_dataset(
+        num_rows=1500, num_queries=120, correlation=0.9, seed=5
+    )
+    print(f"table: {dataset.table.num_rows} rows, columns "
+          f"{dataset.column_order} (correlation 0.9)")
+    print(f"workload: {len(dataset.queries)} conjunctive range queries\n")
+
+    rng = np.random.default_rng(5)
+    order = rng.permutation(len(dataset.queries))
+    cut = int(0.7 * order.size)
+    train, test = order[:cut], order[cut:]
+    features = dataset.features
+    labels = dataset.log_cardinalities
+    truths = dataset.cardinalities[test]
+
+    def report(name, estimates):
+        summary = evaluate_q_errors(estimates, truths)
+        print(f"{name:<12} median q-error {summary['median']:6.2f}   "
+              f"p90 {summary['p90']:7.2f}   max {summary['max']:8.2f}")
+
+    report("histogram", histogram_estimates(dataset)[test])
+
+    linear = LinearRegression().fit(features[train], labels[train])
+    report("linear", np.expm1(np.clip(linear.predict(features[test]),
+                                      0, 30)))
+
+    mlp = MLP(hidden=(32, 16), task="regression", max_iter=400,
+              learning_rate=0.01, seed=5)
+    mlp.fit(features[train], labels[train])
+    report("mlp", np.expm1(np.clip(mlp.predict(features[test]), 0, 30)))
+
+    print("training the variational quantum regressor "
+          "(4 qubits, a minute or so)...")
+    vqc = VariationalRegressor(
+        AngleEncoding(features.shape[1], scaling=1.5),
+        num_layers=2, epochs=30, batch_size=24, seed=5,
+    )
+    vqc.fit(features[train], labels[train])
+    report("vqc", np.expm1(np.clip(vqc.predict(features[test]), 0, 30)))
+
+
+if __name__ == "__main__":
+    main()

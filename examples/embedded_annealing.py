@@ -1,0 +1,67 @@
+"""Minor embedding: running a dense problem on sparse hardware.
+
+Physical annealers expose a sparse Chimera lattice, so a dense logical
+problem (here: a fully connected 6-spin glass) must be minor-embedded:
+logical variables become chains of physical qubits. This example walks
+the whole hardware pipeline — embed, compile with a chain-strength
+coupling, anneal the physical model, majority-vote back — and compares
+against solving the logical model directly.
+
+Run with::
+
+    python examples/embedded_annealing.py
+"""
+
+from repro.annealing import (
+    EmbeddedSolver,
+    IsingModel,
+    SimulatedAnnealingSolver,
+    chimera_graph,
+    embed_ising,
+    find_embedding,
+    solve_ising_exact,
+)
+
+
+def main() -> None:
+    hardware = chimera_graph(2, 2, shore=4)
+    print(f"hardware: 2x2 Chimera, {hardware.number_of_nodes()} qubits, "
+          f"{hardware.number_of_edges()} couplers")
+
+    model = IsingModel.random(6, density=1.0, field_scale=0.4, seed=3)
+    print(f"logical problem: K6 spin glass, {len(model.j)} couplings "
+          f"(needs all-to-all connectivity)\n")
+
+    embedding = find_embedding(list(model.j), hardware, seed=0)
+    print("embedding chains (logical variable -> physical qubits):")
+    for variable in sorted(embedding.chains):
+        chain = embedding.chains[variable]
+        print(f"  {variable}: {chain}")
+    print(f"physical qubits used: {embedding.num_physical_qubits}, "
+          f"longest chain: {embedding.max_chain_length()}\n")
+
+    physical = embed_ising(model, embedding, hardware)
+    print(f"compiled physical model: {physical.num_spins} spins, "
+          f"{len(physical.j)} couplings (chains bound "
+          f"ferromagnetically)\n")
+
+    solver = EmbeddedSolver(
+        SimulatedAnnealingSolver(num_sweeps=500, num_reads=30, seed=1),
+        hardware, seed=0,
+    )
+    embedded_result = solver.solve(model)
+
+    direct_result = SimulatedAnnealingSolver(
+        num_sweeps=500, num_reads=30, seed=2
+    ).solve(model)
+    _, exact_energy = solve_ising_exact(model)
+
+    print(f"exact ground energy:        {exact_energy:.4f}")
+    print(f"direct (all-to-all) anneal: {direct_result.best_energy:.4f}")
+    print(f"embedded hardware anneal:   {embedded_result.best_energy:.4f}")
+    print(f"chain-break fraction:       "
+          f"{solver.last_chain_break_fraction:.3f}")
+
+
+if __name__ == "__main__":
+    main()

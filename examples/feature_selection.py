@@ -1,0 +1,68 @@
+"""QUBO feature selection for a learned database component.
+
+Builds a dataset whose features include informative signals, a
+redundant near-copy and pure noise — the situation a cardinality or
+cost model faces when fed overlapping statistics — then selects k
+features three ways: exact enumeration, greedy mRMR and the
+quantum-annealing QUBO route, and shows the selection's effect on a
+downstream classifier.
+
+Run with::
+
+    python examples/feature_selection.py
+"""
+
+import numpy as np
+
+from repro.baselines import LogisticRegression
+from repro.qml import (
+    FeatureSelectionProblem,
+    FeatureSelectionQUBO,
+    select_features_annealing,
+    select_features_exact,
+    select_features_greedy,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(9)
+    n = 800
+    informative = rng.normal(size=(n, 3))
+    labels = (informative.sum(axis=1) > 0).astype(int)
+    copies = informative[:, :2] + rng.normal(scale=0.15, size=(n, 2))
+    noise = rng.normal(size=(n, 7))
+    X = np.column_stack([informative, copies, noise])
+    names = ([f"signal{i}" for i in range(3)]
+             + [f"copy{i}" for i in range(2)]
+             + [f"noise{i}" for i in range(7)])
+    print(f"dataset: {n} rows, {X.shape[1]} features "
+          "(3 signals, 2 redundant copies, 7 noise)\n")
+
+    problem = FeatureSelectionProblem.from_data(X, labels, num_selected=3)
+    print("relevance I(f; y):")
+    for name, value in zip(names, problem.relevance):
+        print(f"  {name:<8} {value:.3f}")
+    print()
+
+    compiler = FeatureSelectionQUBO(problem)
+    print(f"QUBO: {compiler.build().num_variables} variables, "
+          f"cardinality penalty weight {compiler.penalty_weight():.2f}\n")
+
+    def show(label, selection, value):
+        chosen = ", ".join(names[i] for i in selection)
+        clf = LogisticRegression(max_iter=300).fit(X[:, selection], labels)
+        accuracy = clf.score(X[:, selection], labels)
+        print(f"{label:<10} {{{chosen}}}  objective {value:.3f}  "
+              f"downstream accuracy {accuracy:.3f}")
+
+    show("exact:", *select_features_exact(problem))
+    show("greedy:", *select_features_greedy(problem))
+    show("annealed:", *select_features_annealing(problem))
+
+    all_features = LogisticRegression(max_iter=300).fit(X, labels)
+    print(f"\nall 12 features baseline accuracy: "
+          f"{all_features.score(X, labels):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""The NISQ toolbox: noise, characterization, and error mitigation.
+
+Walks the near-term-hardware reality the tutorial warns about, on this
+library's own simulators:
+
+1. how gate noise corrupts an expectation value,
+2. state tomography — measuring what the device actually prepared,
+3. zero-noise extrapolation — recovering the ideal value by noise
+   amplification and extrapolation,
+4. readout-error correction via confusion-matrix inversion.
+
+Run with::
+
+    python examples/nisq_toolbox.py
+"""
+
+import numpy as np
+
+from repro.quantum import (
+    Circuit,
+    DensityMatrixSimulator,
+    NoiseModel,
+    PauliString,
+    ReadoutMitigator,
+    StatevectorSimulator,
+    state_tomography,
+    zero_noise_extrapolation,
+)
+
+
+def main() -> None:
+    circuit = Circuit(2)
+    for _ in range(3):
+        circuit.h(0).cx(0, 1).ry(0.3, 0).rz(0.2, 1)
+    observable = PauliString("ZZ")
+    ideal = StatevectorSimulator().expectation(circuit, observable)
+
+    print("=== 1. Noise corrupts the signal ===")
+    print(f"ideal <ZZ> = {ideal:+.4f}")
+    for rate in (0.005, 0.01, 0.02):
+        noise = NoiseModel.depolarizing(rate)
+        noisy = DensityMatrixSimulator(noise_model=noise).expectation(
+            circuit, observable
+        )
+        print(f"  depolarizing p={rate}: <ZZ> = {noisy:+.4f} "
+              f"(error {abs(noisy - ideal):.4f})")
+    print()
+
+    print("=== 2. State tomography ===")
+    bell = Circuit(2).h(0).cx(0, 1)
+    result = state_tomography(bell, shots_per_setting=500, seed=1)
+    fidelity = result.fidelity_with_state(
+        StatevectorSimulator().run(bell)
+    )
+    print(f"reconstructed the Bell state from "
+          f"{result.num_settings} Pauli settings x "
+          f"{result.shots_per_setting} shots: fidelity {fidelity:.4f}, "
+          f"purity {result.purity():.4f}\n")
+
+    print("=== 3. Zero-noise extrapolation ===")
+    noise = NoiseModel.depolarizing(0.01)
+    zne = zero_noise_extrapolation(
+        circuit, observable, noise,
+        scale_factors=(1.0, 3.0, 5.0), order=2,
+    )
+    print(f"measured at noise scales {zne.scale_factors}: "
+          f"{[f'{v:+.4f}' for v in zne.measured_values]}")
+    print(f"raw error {abs(zne.noisy_value - ideal):.4f} -> "
+          f"mitigated error {abs(zne.mitigated_value - ideal):.4f}\n")
+
+    print("=== 4. Readout-error correction ===")
+    readout_noise = NoiseModel(readout_error=0.08)
+    mitigator = ReadoutMitigator(2, readout_noise)
+    simulator = DensityMatrixSimulator(noise_model=readout_noise, seed=2)
+    counts = simulator.sample_counts(Circuit(2).x(0).i(1), shots=4000)
+    print(f"raw counts for prepared |10>: {dict(sorted(counts.items()))}")
+    corrected = mitigator.correct_counts(counts)
+    print(f"corrected P(10) = {corrected[0b10]:.3f} "
+          f"(raw was {counts.get('10', 0) / 4000:.3f})")
+
+
+if __name__ == "__main__":
+    main()

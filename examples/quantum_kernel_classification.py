@@ -1,0 +1,59 @@
+"""Quantum-kernel classification on data linear kernels cannot split.
+
+Builds a fidelity quantum kernel over an IQP feature map and compares
+it against linear and RBF kernel SVMs on two tasks:
+
+* concentric circles (nonlinear but RBF-friendly), and
+* the parity problem (the classic linear-kernel killer).
+
+Also reports kernel-target alignment, the cheap a-priori predictor of
+kernel usefulness the tutorial highlights.
+
+Run with::
+
+    python examples/quantum_kernel_classification.py
+"""
+
+import numpy as np
+
+from repro.baselines import SVM, median_heuristic_gamma
+from repro.datasets import make_circles, make_parity, minmax_scale, train_test_split
+from repro.qml import (
+    FidelityQuantumKernel,
+    IQPEncoding,
+    QuantumKernelClassifier,
+    kernel_target_alignment,
+)
+
+
+def evaluate(name, X, y, seed=0):
+    X_train, X_test, y_train, y_test = train_test_split(X, y, 0.3,
+                                                        seed=seed)
+    print(f"--- {name} ({X.shape[0]} points, {X.shape[1]} features) ---")
+
+    linear = SVM(kernel="linear", C=5.0, seed=seed).fit(X_train, y_train)
+    print(f"linear-kernel SVM:   {linear.score(X_test, y_test):.2f}")
+
+    rbf = SVM(kernel="rbf", gamma=median_heuristic_gamma(X_train),
+              C=5.0, seed=seed).fit(X_train, y_train)
+    print(f"RBF-kernel SVM:      {rbf.score(X_test, y_test):.2f}")
+
+    kernel = FidelityQuantumKernel(IQPEncoding(X.shape[1], depth=2))
+    clf = QuantumKernelClassifier(kernel=kernel, C=5.0, seed=seed)
+    clf.fit(X_train, y_train)
+    alignment = kernel_target_alignment(kernel(X_train), y_train)
+    print(f"quantum IQP kernel:  {clf.score(X_test, y_test):.2f} "
+          f"(train alignment {alignment:.3f})")
+    print()
+
+
+def main() -> None:
+    X, y = make_circles(90, noise=0.05, seed=3)
+    evaluate("concentric circles", minmax_scale(X, 0, np.pi), y)
+
+    X, y = make_parity(4, n_samples=96, seed=3)
+    evaluate("4-bit parity", X * np.pi, y)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+This environment has no network access and no ``wheel`` package, so the
+PEP 660 editable-install path (which needs ``bdist_wheel``) is
+unavailable. Keeping a ``setup.py`` lets ``pip install -e .`` fall back
+to the legacy ``setup.py develop`` code path. All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""repro — Quantum machine learning for database research.
+
+A from-scratch reproduction of the system surface of the SIGMOD 2023
+tutorial "Quantum Machine Learning: Foundation, New Techniques, and
+Opportunities for Database Research":
+
+* :mod:`repro.quantum` — circuit IR + statevector / density-matrix
+  simulators, noise channels, Pauli observables.
+* :mod:`repro.qml` — encodings, ansätze, parameter-shift gradients,
+  optimizers, variational models, quantum kernels, barren-plateau
+  diagnostics.
+* :mod:`repro.annealing` — QUBO/Ising modelling, simulated (quantum)
+  annealing, tabu, exact solvers, QAOA.
+* :mod:`repro.db` — relational substrate and the QUBO formulations of
+  join ordering, multiple-query optimization, index selection and
+  transaction scheduling, plus learned cardinality estimation.
+* :mod:`repro.baselines` — from-scratch classical ML baselines.
+* :mod:`repro.datasets` — synthetic dataset generators.
+* :mod:`repro.experiments` — runners regenerating every experiment in
+  DESIGN.md.
+"""
+
+__version__ = "1.0.0"
+
+from . import annealing, baselines, datasets, db, experiments, qml, quantum
+
+__all__ = [
+    "annealing",
+    "baselines",
+    "datasets",
+    "db",
+    "experiments",
+    "qml",
+    "quantum",
+    "__version__",
+]

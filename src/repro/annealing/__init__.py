@@ -1,0 +1,82 @@
+"""Quantum-annealing-style optimization substrate.
+
+QUBO/Ising modelling plus four solvers — exact enumeration, simulated
+annealing, simulated *quantum* annealing (path-integral Monte Carlo)
+and tabu search — and QAOA as the gate-model alternative. This package
+simulates the role D-Wave-style hardware plays in the tutorial's
+database-optimization applications.
+"""
+
+from .embedding import (
+    EmbeddedSolver,
+    Embedding,
+    chain_break_fraction,
+    chimera_clique_embedding,
+    chimera_graph,
+    embed_ising,
+    find_embedding,
+    unembed_sampleset,
+)
+from .exact import (
+    all_assignments,
+    ground_states,
+    qubo_spectrum,
+    solve_ising_exact,
+    solve_qubo_exact,
+)
+from .ising import IsingModel, bits_to_spins, spins_to_bits
+from .qaoa import (
+    QAOAResult,
+    QAOASolver,
+    approximation_ratio,
+    basis_energies,
+    qaoa_circuit,
+)
+from .qubo import QUBO
+from .results import Sample, SampleSet
+from .schedules import (
+    default_beta_schedule,
+    default_transverse_field_schedule,
+    geometric_schedule,
+    linear_schedule,
+)
+from .simulated_annealing import SimulatedAnnealingSolver, anneal_qubo
+from .sqa import SimulatedQuantumAnnealingSolver
+from .tabu import TabuSearchSolver
+from .tempering import ParallelTemperingSolver
+
+__all__ = [
+    "EmbeddedSolver",
+    "Embedding",
+    "chain_break_fraction",
+    "chimera_clique_embedding",
+    "chimera_graph",
+    "embed_ising",
+    "find_embedding",
+    "unembed_sampleset",
+    "all_assignments",
+    "ground_states",
+    "qubo_spectrum",
+    "solve_ising_exact",
+    "solve_qubo_exact",
+    "IsingModel",
+    "bits_to_spins",
+    "spins_to_bits",
+    "QAOAResult",
+    "QAOASolver",
+    "approximation_ratio",
+    "basis_energies",
+    "qaoa_circuit",
+    "QUBO",
+    "Sample",
+    "SampleSet",
+    "default_beta_schedule",
+    "default_transverse_field_schedule",
+    "geometric_schedule",
+    "linear_schedule",
+    "SimulatedAnnealingSolver",
+    "anneal_qubo",
+    "SimulatedQuantumAnnealingSolver",
+    "TabuSearchSolver",
+    "ParallelTemperingSolver",
+]

@@ -1,0 +1,476 @@
+"""Minor embedding onto limited-connectivity annealer topologies.
+
+Physical annealers do not provide all-to-all couplings: D-Wave-style
+hardware exposes a *Chimera* lattice of sparsely connected unit cells.
+Logical problems with denser interaction graphs must be minor-embedded:
+each logical variable becomes a *chain* of physical qubits bound
+together by a strong ferromagnetic coupling, and logical couplings are
+routed through physical edges between chains.
+
+This module provides the full pipeline the tutorial describes:
+
+* :func:`chimera_graph` — the hardware connectivity graph,
+* :func:`find_embedding` — a greedy chain embedding,
+* :func:`embed_ising` — compile a logical Ising model onto hardware
+  with a chain-strength coupling,
+* :func:`unembed_sampleset` — majority-vote chain repair back to
+  logical assignments,
+* :class:`EmbeddedSolver` — wraps any physical-model solver into a
+  logical-model solver.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+from .ising import IsingModel
+from .qubo import QUBO
+from .results import Sample, SampleSet
+
+
+def chimera_graph(rows: int, columns: int, shore: int = 4) -> nx.Graph:
+    """Chimera lattice: a grid of K_{shore,shore} unit cells.
+
+    Within a cell, every 'left' qubit couples to every 'right' qubit.
+    Left qubits couple vertically to the cell below; right qubits
+    horizontally to the cell to the right — the D-Wave 2000Q layout.
+    Nodes are integers numbered cell by cell.
+    """
+    if rows < 1 or columns < 1 or shore < 1:
+        raise ValueError("rows, columns and shore must be positive")
+    graph = nx.Graph()
+
+    def node(r: int, c: int, side: int, k: int) -> int:
+        return ((r * columns + c) * 2 + side) * shore + k
+
+    for r in range(rows):
+        for c in range(columns):
+            for k_left in range(shore):
+                for k_right in range(shore):
+                    graph.add_edge(node(r, c, 0, k_left),
+                                   node(r, c, 1, k_right))
+            if r + 1 < rows:
+                for k in range(shore):
+                    graph.add_edge(node(r, c, 0, k),
+                                   node(r + 1, c, 0, k))
+            if c + 1 < columns:
+                for k in range(shore):
+                    graph.add_edge(node(r, c, 1, k),
+                                   node(r, c + 1, 1, k))
+    return graph
+
+
+@dataclass
+class Embedding:
+    """Chains of physical qubits per logical variable."""
+
+    chains: Dict[int, List[int]]
+
+    def __post_init__(self):
+        used: Set[int] = set()
+        for variable, chain in self.chains.items():
+            if not chain:
+                raise ValueError(f"empty chain for variable {variable}")
+            overlap = used & set(chain)
+            if overlap:
+                raise ValueError(
+                    f"physical qubits {sorted(overlap)} appear in "
+                    "multiple chains"
+                )
+            used |= set(chain)
+
+    @property
+    def num_physical_qubits(self) -> int:
+        return sum(len(chain) for chain in self.chains.values())
+
+    def max_chain_length(self) -> int:
+        return max(len(chain) for chain in self.chains.values())
+
+    def physical_to_logical(self) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        for variable, chain in self.chains.items():
+            for qubit in chain:
+                out[qubit] = variable
+        return out
+
+
+def find_embedding(logical_edges: Sequence[Tuple[int, int]],
+                   hardware: nx.Graph,
+                   seed: Optional[int] = None,
+                   retries: int = 10) -> Embedding:
+    """Greedy chain embedding of a logical graph into hardware.
+
+    Variables are placed in descending-degree order. Each new variable
+    starts a chain at a free qubit close to its already-placed
+    neighbours, then grows the chain along shortest paths through free
+    qubits until it touches every placed neighbour's chain. Greedy
+    placement can paint itself into a corner, so up to ``retries``
+    randomized attempts are made (with shuffled tie-breaking) before
+    giving up — the same restart strategy production embedders use.
+
+    Raises
+    ------
+    RuntimeError
+        If no attempt finds an embedding.
+    """
+    if retries < 1:
+        raise ValueError("retries must be positive")
+    rng = np.random.default_rng(seed)
+    last_error: Optional[Exception] = None
+    for attempt in range(retries):
+        try:
+            return _find_embedding_once(
+                logical_edges, hardware,
+                np.random.default_rng(int(rng.integers(2 ** 31))),
+                shuffle_order=attempt > 0,
+            )
+        except RuntimeError as error:
+            last_error = error
+    raise RuntimeError(
+        f"no embedding found in {retries} attempts: {last_error}"
+    )
+
+
+def _find_embedding_once(logical_edges: Sequence[Tuple[int, int]],
+                         hardware: nx.Graph,
+                         rng: np.random.Generator,
+                         shuffle_order: bool) -> Embedding:
+    logical = nx.Graph()
+    logical.add_edges_from(logical_edges)
+    if logical.number_of_nodes() == 0:
+        raise ValueError("logical graph has no edges")
+
+    order = sorted(logical.nodes,
+                   key=lambda v: logical.degree(v), reverse=True)
+    if shuffle_order:
+        # Keep the descending-degree heuristic but break ties (and
+        # occasionally the order itself) randomly across attempts.
+        perturbed = list(order)
+        rng.shuffle(perturbed)
+        order = sorted(perturbed,
+                       key=lambda v: logical.degree(v), reverse=True)
+    free: Set[int] = set(hardware.nodes)
+    chains: Dict[int, Set[int]] = {}
+
+    for variable in order:
+        placed_neighbours = [
+            u for u in logical.neighbors(variable) if u in chains
+        ]
+        if not placed_neighbours:
+            seed_qubit = _pick_free_qubit(free, hardware, rng)
+            chains[variable] = {seed_qubit}
+            free.discard(seed_qubit)
+            continue
+        chain = _grow_chain(variable, placed_neighbours, chains, free,
+                            hardware)
+        chains[variable] = chain
+        free -= chain
+    return Embedding({v: sorted(c) for v, c in chains.items()})
+
+
+def _pick_free_qubit(free: Set[int], hardware: nx.Graph,
+                     rng: np.random.Generator) -> int:
+    if not free:
+        raise RuntimeError("hardware graph exhausted")
+    # Prefer high-degree free qubits: they keep options open.
+    candidates = sorted(free)
+    degrees = [sum(1 for n in hardware.neighbors(q) if n in free)
+               for q in candidates]
+    best = max(degrees)
+    top = [q for q, d in zip(candidates, degrees) if d == best]
+    return int(top[rng.integers(len(top))])
+
+
+def _grow_chain(variable: int, neighbours: Sequence[int],
+                chains: Mapping[int, Set[int]], free: Set[int],
+                hardware: nx.Graph) -> Set[int]:
+    """Steiner-tree-flavoured growth: connect to each neighbour chain
+    via the shortest path through free qubits."""
+    chain: Set[int] = set()
+    for neighbour in neighbours:
+        target_chain = chains[neighbour]
+        # Allowed transit nodes: free qubits + the current chain; the
+        # path may end on any qubit adjacent to the target chain.
+        allowed = free | chain
+        subgraph = hardware.subgraph(
+            allowed | set(target_chain)
+        )
+        sources = chain if chain else allowed
+        path = _shortest_path_to_set(subgraph, sources, target_chain)
+        if path is None:
+            raise RuntimeError(
+                f"could not route variable {variable} to neighbour "
+                f"{neighbour}; hardware too small or fragmented"
+            )
+        chain |= {node for node in path if node not in target_chain}
+    if not chain:
+        raise RuntimeError(f"could not place variable {variable}")
+    return chain
+
+
+def _shortest_path_to_set(graph: nx.Graph, sources: Set[int],
+                          targets: Set[int]) -> Optional[List[int]]:
+    """BFS from any source to any node adjacent to the target set."""
+    from collections import deque
+
+    queue = deque()
+    parents: Dict[int, Optional[int]] = {}
+    for source in sources:
+        if source in graph:
+            queue.append(source)
+            parents[source] = None
+    while queue:
+        current = queue.popleft()
+        for neighbour in graph.neighbors(current):
+            if neighbour in targets:
+                path = [current]
+                while parents[path[-1]] is not None:
+                    path.append(parents[path[-1]])
+                return list(reversed(path))
+            if neighbour not in parents and neighbour not in targets:
+                parents[neighbour] = current
+                queue.append(neighbour)
+    return None
+
+
+def chimera_clique_embedding(num_variables: int, rows: int,
+                             shore: int = 4) -> Embedding:
+    """Structured clique embedding for Chimera (Choi-style L-chains).
+
+    Variable ``v = shore * b + j`` gets an L-shaped chain with its
+    corner on the diagonal cell ``(b, b)``: the vertical arm uses
+    left-shore qubits at offset ``j`` in column ``b``, rows ``0..b``;
+    the horizontal arm uses right-shore qubits at offset ``j`` in row
+    ``b``, columns ``b..rows-1``. Any two chains meet in exactly one
+    cell through an internal K_{shore,shore} edge, so the full
+    ``K_{shore * rows}`` is realizable with chains of length
+    ``rows + 1`` — the construction production annealers use for dense
+    problems, where greedy embedders fail.
+    """
+    capacity = shore * rows
+    if not 1 <= num_variables <= capacity:
+        raise ValueError(
+            f"a {rows}x{rows} Chimera with shore {shore} supports "
+            f"cliques up to {capacity} variables, got {num_variables}"
+        )
+
+    def node(r: int, c: int, side: int, k: int) -> int:
+        return ((r * rows + c) * 2 + side) * shore + k
+
+    chains: Dict[int, List[int]] = {}
+    for v in range(num_variables):
+        block, offset = divmod(v, shore)
+        vertical = [node(r, block, 0, offset) for r in range(block + 1)]
+        horizontal = [node(block, c, 1, offset)
+                      for c in range(block, rows)]
+        chains[v] = sorted(set(vertical + horizontal))
+    return Embedding(chains)
+
+
+def embed_ising(model: IsingModel, embedding: Embedding,
+                hardware: nx.Graph,
+                chain_strength: Optional[float] = None) -> IsingModel:
+    """Compile a logical Ising model onto the embedded chains.
+
+    Logical fields are split evenly across the chain. Each logical
+    coupling must be realizable on a *hardware edge* between the two
+    chains — that is what makes the embedding a faithful compilation;
+    a missing edge raises. Within a chain, consecutive qubits along a
+    spanning tree of the chain's induced subgraph get the ferromagnetic
+    binding ``-chain_strength``.
+
+    ``chain_strength`` defaults to ``1 + max |coefficient|``, the
+    common heuristic keeping chains intact without drowning the
+    problem signal.
+    """
+    physical_ids = sorted(
+        q for chain in embedding.chains.values() for q in chain
+    )
+    index = {q: i for i, q in enumerate(physical_ids)}
+    num_physical = len(physical_ids)
+
+    coefficients = [abs(v) for v in model.h.values()]
+    coefficients += [abs(v) for v in model.j.values()]
+    if chain_strength is None:
+        chain_strength = 1.0 + (max(coefficients) if coefficients else 1.0)
+
+    h: Dict[int, float] = {}
+    j: Dict[Tuple[int, int], float] = {}
+    for variable, chain in embedding.chains.items():
+        field = model.h.get(variable, 0.0)
+        share = field / len(chain)
+        for qubit in chain:
+            if share:
+                h[index[qubit]] = h.get(index[qubit], 0.0) + share
+        for a, b in _chain_tree_edges(chain, hardware):
+            key = (min(index[a], index[b]), max(index[a], index[b]))
+            j[key] = j.get(key, 0.0) - chain_strength
+    for (u, v), coupling in model.j.items():
+        edge = _hardware_edge_between(
+            embedding.chains[u], embedding.chains[v], hardware
+        )
+        if edge is None:
+            raise ValueError(
+                f"no hardware edge between the chains of logical "
+                f"variables {u} and {v}"
+            )
+        qubit_u, qubit_v = edge
+        key = (min(index[qubit_u], index[qubit_v]),
+               max(index[qubit_u], index[qubit_v]))
+        j[key] = j.get(key, 0.0) + coupling
+    return IsingModel(num_physical, h=h, j=j, offset=model.offset)
+
+
+def _chain_tree_edges(chain: Sequence[int],
+                      hardware: nx.Graph) -> List[Tuple[int, int]]:
+    """Spanning-tree edges of the chain's induced hardware subgraph."""
+    members = list(chain)
+    if len(members) == 1:
+        return []
+    induced = hardware.subgraph(members)
+    if not nx.is_connected(induced):
+        raise ValueError(
+            f"chain {sorted(members)} is not connected in hardware"
+        )
+    return list(nx.minimum_spanning_edges(induced, data=False))
+
+
+def _hardware_edge_between(chain_u: Sequence[int],
+                           chain_v: Sequence[int],
+                           hardware: nx.Graph
+                           ) -> Optional[Tuple[int, int]]:
+    set_v = set(chain_v)
+    for qubit in chain_u:
+        for neighbour in hardware.neighbors(qubit):
+            if neighbour in set_v:
+                return (qubit, neighbour)
+    return None
+
+
+def unembed_sampleset(samples: SampleSet, embedding: Embedding,
+                      model: IsingModel) -> SampleSet:
+    """Physical samples -> logical samples via majority vote per chain.
+
+    Broken chains (mixed spins) are repaired by majority, ties by the
+    chain's first qubit. Energies are recomputed against the logical
+    model.
+    """
+    physical_ids = sorted(
+        q for chain in embedding.chains.values() for q in chain
+    )
+    index = {q: i for i, q in enumerate(physical_ids)}
+    logical_samples: List[Sample] = []
+    variables = sorted(embedding.chains)
+    for sample in samples:
+        bits = np.asarray(sample.assignment)
+        logical_bits = []
+        for variable in variables:
+            chain = embedding.chains[variable]
+            votes = [bits[index[q]] for q in chain]
+            total = sum(votes)
+            if 2 * total > len(votes):
+                logical_bits.append(1)
+            elif 2 * total < len(votes):
+                logical_bits.append(0)
+            else:
+                logical_bits.append(int(votes[0]))
+        spins = np.asarray([2 * b - 1 for b in logical_bits])
+        energy = float(model.energies(spins[None, :])[0])
+        logical_samples.append(
+            Sample(tuple(logical_bits), energy, sample.num_occurrences)
+        )
+    return SampleSet(logical_samples)
+
+
+def chain_break_fraction(samples: SampleSet,
+                         embedding: Embedding) -> float:
+    """Fraction of (sample, chain) pairs whose chain is not uniform."""
+    physical_ids = sorted(
+        q for chain in embedding.chains.values() for q in chain
+    )
+    index = {q: i for i, q in enumerate(physical_ids)}
+    broken = 0
+    total = 0
+    for sample in samples:
+        bits = np.asarray(sample.assignment)
+        for chain in embedding.chains.values():
+            values = {int(bits[index[q]]) for q in chain}
+            total += sample.num_occurrences
+            if len(values) > 1:
+                broken += sample.num_occurrences
+    return broken / total if total else 0.0
+
+
+class EmbeddedSolver:
+    """Solve a logical model through an embedding + physical solver.
+
+    The full hardware workflow: embed, scale in the chain strength,
+    run the physical solver, majority-vote back to logical samples.
+    """
+
+    def __init__(self, physical_solver, hardware: nx.Graph,
+                 chain_strength: Optional[float] = None,
+                 seed: Optional[int] = None):
+        self.physical_solver = physical_solver
+        self.hardware = hardware
+        self.chain_strength = chain_strength
+        self.seed = seed
+        self.last_embedding: Optional[Embedding] = None
+        self.last_chain_break_fraction: Optional[float] = None
+
+    def solve(self, model) -> SampleSet:
+        ising = model.to_ising() if isinstance(model, QUBO) else model
+        edges = list(ising.j)
+        if not edges:
+            raise ValueError("model has no couplings; nothing to embed")
+        try:
+            embedding = find_embedding(edges, self.hardware,
+                                       seed=self.seed)
+        except RuntimeError:
+            # Dense interaction graphs defeat the greedy embedder; fall
+            # back to the structured clique embedding when the hardware
+            # is a square Chimera large enough to hold one.
+            embedding = self._clique_fallback(ising.num_spins)
+        # Variables with fields but no couplings still need chains.
+        for spin in range(ising.num_spins):
+            if spin not in embedding.chains:
+                raise ValueError(
+                    f"spin {spin} has no couplings; embed only models "
+                    "whose interaction graph covers every spin"
+                )
+        physical_model = embed_ising(ising, embedding, self.hardware,
+                                     chain_strength=self.chain_strength)
+        physical_samples = self.physical_solver.solve(physical_model)
+        self.last_embedding = embedding
+        self.last_chain_break_fraction = chain_break_fraction(
+            physical_samples, embedding
+        )
+        return unembed_sampleset(physical_samples, embedding, ising)
+
+    def _clique_fallback(self, num_spins: int) -> Embedding:
+        rows, shore = _square_chimera_shape(self.hardware)
+        return chimera_clique_embedding(num_spins, rows, shore=shore)
+
+
+def _square_chimera_shape(hardware: nx.Graph):
+    """Recover (rows, shore) if the graph is a square chimera_graph
+    output; raises otherwise (the clique fallback needs the structured
+    layout)."""
+    nodes = hardware.number_of_nodes()
+    for shore in (4, 2, 1, 3, 5, 6, 8):
+        cells = nodes / (2 * shore)
+        rows = int(round(math.sqrt(cells))) if cells > 0 else 0
+        if rows >= 1 and 2 * shore * rows * rows == nodes:
+            candidate = chimera_graph(rows, rows, shore=shore)
+            if (candidate.number_of_edges() == hardware.number_of_edges()
+                    and set(candidate.nodes) == set(hardware.nodes)):
+                return rows, shore
+    raise RuntimeError(
+        "clique-embedding fallback requires a square chimera_graph "
+        "hardware layout"
+    )

@@ -1,0 +1,155 @@
+"""Ising spin-glass model.
+
+``E(s) = offset + sum_i h_i s_i + sum_{i<j} J_ij s_i s_j`` over spins
+``s_i in {-1, +1}``. This is the native form of the annealing solvers
+and the bridge to gate-model Hamiltonians (QAOA, exact
+diagonalization) via :meth:`IsingModel.to_pauli_sum`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class IsingModel:
+    """Fields ``h``, couplings ``J`` (keys normalized i < j), constant."""
+
+    def __init__(self, num_spins: int,
+                 h: Optional[Mapping[int, float]] = None,
+                 j: Optional[Mapping[Tuple[int, int], float]] = None,
+                 offset: float = 0.0):
+        if num_spins < 1:
+            raise ValueError("num_spins must be positive")
+        self.num_spins = int(num_spins)
+        self.offset = float(offset)
+        self.h: Dict[int, float] = {}
+        self.j: Dict[Tuple[int, int], float] = {}
+        for spin, value in (h or {}).items():
+            self._check_spin(spin)
+            if value:
+                self.h[spin] = self.h.get(spin, 0.0) + float(value)
+        for (a, b), value in (j or {}).items():
+            self._check_spin(a)
+            self._check_spin(b)
+            if a == b:
+                raise ValueError("J couples distinct spins")
+            if value:
+                key = (min(a, b), max(a, b))
+                self.j[key] = self.j.get(key, 0.0) + float(value)
+
+    # ------------------------------------------------------------------
+    def energy(self, spins: Sequence[int]) -> float:
+        """Energy of a spin configuration in {-1, +1}^n."""
+        s = np.asarray(spins)
+        if s.size != self.num_spins:
+            raise ValueError(
+                f"configuration has {s.size} spins, expected "
+                f"{self.num_spins}"
+            )
+        if not np.isin(s, (-1, 1)).all():
+            raise ValueError("spins must be -1 or +1")
+        total = self.offset
+        for spin, field in self.h.items():
+            total += field * s[spin]
+        for (a, b), coupling in self.j.items():
+            total += coupling * s[a] * s[b]
+        return float(total)
+
+    def energies(self, S: np.ndarray) -> np.ndarray:
+        """Vectorized energies for a matrix of configurations (rows)."""
+        S = np.atleast_2d(np.asarray(S, dtype=float))
+        field = np.zeros(self.num_spins)
+        for spin, value in self.h.items():
+            field[spin] = value
+        coupling = np.zeros((self.num_spins, self.num_spins))
+        for (a, b), value in self.j.items():
+            coupling[a, b] = value
+        return (S @ field
+                + np.einsum("bi,ij,bj->b", S, coupling, S)
+                + self.offset)
+
+    def local_fields(self) -> np.ndarray:
+        """Dense field vector h."""
+        out = np.zeros(self.num_spins)
+        for spin, value in self.h.items():
+            out[spin] = value
+        return out
+
+    def coupling_matrix(self) -> np.ndarray:
+        """Symmetric coupling matrix with J on both triangles."""
+        out = np.zeros((self.num_spins, self.num_spins))
+        for (a, b), value in self.j.items():
+            out[a, b] = value
+            out[b, a] = value
+        return out
+
+    # ------------------------------------------------------------------
+    def to_qubo(self) -> "QUBO":
+        """Equivalent QUBO under ``s_i = 2 x_i - 1``."""
+        from .qubo import QUBO
+
+        model = QUBO(self.num_spins)
+        offset = self.offset
+        for spin, field in self.h.items():
+            model.add_linear(spin, 2.0 * field)
+            offset -= field
+        for (a, b), coupling in self.j.items():
+            model.add_quadratic(a, b, 4.0 * coupling)
+            model.add_linear(a, -2.0 * coupling)
+            model.add_linear(b, -2.0 * coupling)
+            offset += coupling
+        model.add_offset(offset)
+        return model
+
+    def to_pauli_sum(self):
+        """Gate-model Hamiltonian: Z for each spin, ZZ per coupling."""
+        from ..quantum.operators import ising_hamiltonian
+
+        return ising_hamiltonian(self.h, self.j, self.num_spins,
+                                 constant=self.offset)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(cls, num_spins: int, density: float = 1.0,
+               field_scale: float = 0.0, seed: Optional[int] = None
+               ) -> "IsingModel":
+        """Random +-J spin glass; ``density`` is the coupling fill rate."""
+        if not 0 < density <= 1:
+            raise ValueError("density must be in (0, 1]")
+        rng = np.random.default_rng(seed)
+        j: Dict[Tuple[int, int], float] = {}
+        for a in range(num_spins):
+            for b in range(a + 1, num_spins):
+                if rng.random() < density:
+                    j[(a, b)] = float(rng.choice((-1.0, 1.0)))
+        h: Dict[int, float] = {}
+        if field_scale > 0:
+            for spin in range(num_spins):
+                h[spin] = float(rng.normal(scale=field_scale))
+        return cls(num_spins, h=h, j=j)
+
+    def __repr__(self) -> str:
+        return (
+            f"IsingModel(num_spins={self.num_spins}, fields={len(self.h)}, "
+            f"couplings={len(self.j)})"
+        )
+
+    def _check_spin(self, spin: int) -> None:
+        if not 0 <= spin < self.num_spins:
+            raise ValueError(
+                f"spin {spin} out of range [0, {self.num_spins})"
+            )
+
+
+def spins_to_bits(spins: Sequence[int]) -> np.ndarray:
+    """Map {-1, +1} to {0, 1} via ``x = (1 + s) / 2``."""
+    s = np.asarray(spins)
+    return ((1 + s) // 2).astype(int)
+
+
+def bits_to_spins(bits: Sequence[int]) -> np.ndarray:
+    """Map {0, 1} to {-1, +1} via ``s = 2 x - 1``."""
+    x = np.asarray(bits)
+    return (2 * x - 1).astype(int)

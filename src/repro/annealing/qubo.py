@@ -1,0 +1,214 @@
+"""QUBO model builder.
+
+Quadratic unconstrained binary optimization is the lingua franca of
+the annealing-based database work this library reproduces: join order,
+multiple-query optimization, index selection and transaction scheduling
+all compile to a :class:`QUBO` and are then handed to any solver in
+this package.
+
+Energy convention: ``E(x) = x^T Q x + offset`` with binary ``x`` and an
+upper-triangular coefficient store (``Q[i, i]`` holds linear terms).
+All solvers minimize.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class QUBO:
+    """A quadratic pseudo-boolean objective over ``num_variables`` bits."""
+
+    def __init__(self, num_variables: int, offset: float = 0.0):
+        if num_variables < 1:
+            raise ValueError("num_variables must be positive")
+        self.num_variables = int(num_variables)
+        self.offset = float(offset)
+        self._coefficients: Dict[Tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_linear(self, variable: int, coefficient: float) -> "QUBO":
+        """Add ``coefficient * x_variable`` to the objective."""
+        self._check_var(variable)
+        key = (variable, variable)
+        self._coefficients[key] = self._coefficients.get(key, 0.0) + float(
+            coefficient
+        )
+        return self
+
+    def add_quadratic(self, u: int, v: int, coefficient: float) -> "QUBO":
+        """Add ``coefficient * x_u * x_v``; (u, v) is normalized u < v.
+
+        Adding with ``u == v`` is a linear term (``x^2 = x``).
+        """
+        self._check_var(u)
+        self._check_var(v)
+        if u == v:
+            return self.add_linear(u, coefficient)
+        key = (min(u, v), max(u, v))
+        self._coefficients[key] = self._coefficients.get(key, 0.0) + float(
+            coefficient
+        )
+        return self
+
+    def add_offset(self, value: float) -> "QUBO":
+        """Add a constant to the objective."""
+        self.offset += float(value)
+        return self
+
+    # ------------------------------------------------------------------
+    # Constraint-penalty helpers (the tutorial's QUBO modelling toolkit)
+    # ------------------------------------------------------------------
+    def add_penalty_exactly_one(self, variables: Sequence[int],
+                                weight: float) -> "QUBO":
+        """Penalize ``(sum_i x_i - 1)^2 * weight`` (one-hot constraint)."""
+        self._check_penalty(variables, weight)
+        for i, u in enumerate(variables):
+            self.add_linear(u, -weight)
+            for v in variables[i + 1:]:
+                self.add_quadratic(u, v, 2.0 * weight)
+        self.add_offset(weight)
+        return self
+
+    def add_penalty_at_most_one(self, variables: Sequence[int],
+                                weight: float) -> "QUBO":
+        """Penalize any pair being set: ``weight * sum_{u<v} x_u x_v``."""
+        self._check_penalty(variables, weight)
+        for i, u in enumerate(variables):
+            for v in variables[i + 1:]:
+                self.add_quadratic(u, v, weight)
+        return self
+
+    def add_penalty_equal(self, u: int, v: int, weight: float) -> "QUBO":
+        """Penalize disagreement: ``weight * (x_u - x_v)^2``."""
+        if weight < 0:
+            raise ValueError("penalty weight must be non-negative")
+        self.add_linear(u, weight)
+        self.add_linear(v, weight)
+        self.add_quadratic(u, v, -2.0 * weight)
+        return self
+
+    def add_penalty_implication(self, u: int, v: int,
+                                weight: float) -> "QUBO":
+        """Penalize ``x_u = 1 and x_v = 0``: ``weight * x_u (1 - x_v)``."""
+        if weight < 0:
+            raise ValueError("penalty weight must be non-negative")
+        self.add_linear(u, weight)
+        self.add_quadratic(u, v, -weight)
+        return self
+
+    def _check_penalty(self, variables: Sequence[int],
+                       weight: float) -> None:
+        if weight < 0:
+            raise ValueError("penalty weight must be non-negative")
+        if len(set(variables)) != len(variables):
+            raise ValueError("penalty variables must be distinct")
+
+    # ------------------------------------------------------------------
+    # Inspection / evaluation
+    # ------------------------------------------------------------------
+    @property
+    def linear(self) -> Dict[int, float]:
+        """Linear coefficients keyed by variable."""
+        return {
+            u: c for (u, v), c in self._coefficients.items() if u == v
+        }
+
+    @property
+    def quadratic(self) -> Dict[Tuple[int, int], float]:
+        """Strictly quadratic coefficients keyed by (u, v), u < v."""
+        return {
+            key: c for key, c in self._coefficients.items()
+            if key[0] != key[1]
+        }
+
+    def energy(self, x: Sequence[int]) -> float:
+        """Objective value of a binary assignment."""
+        bits = np.asarray(x)
+        if bits.size != self.num_variables:
+            raise ValueError(
+                f"assignment has {bits.size} bits, expected "
+                f"{self.num_variables}"
+            )
+        if not np.isin(bits, (0, 1)).all():
+            raise ValueError("assignment must be binary")
+        total = self.offset
+        for (u, v), c in self._coefficients.items():
+            total += c * bits[u] * bits[v]
+        return float(total)
+
+    def energies(self, X: np.ndarray) -> np.ndarray:
+        """Vectorized objective for a matrix of assignments (rows)."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        q = self.matrix()
+        return np.einsum("bi,ij,bj->b", X, q, X) + self.offset
+
+    def matrix(self) -> np.ndarray:
+        """Dense upper-triangular Q matrix."""
+        q = np.zeros((self.num_variables, self.num_variables))
+        for (u, v), c in self._coefficients.items():
+            q[u, v] += c
+        return q
+
+    def max_abs_coefficient(self) -> float:
+        """Largest absolute coefficient; the basis for penalty weights."""
+        if not self._coefficients:
+            return 0.0
+        return max(abs(c) for c in self._coefficients.values())
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_ising(self) -> "IsingModel":
+        """Equivalent Ising model under ``x_i = (1 + s_i) / 2``."""
+        from .ising import IsingModel
+
+        h: Dict[int, float] = {}
+        j: Dict[Tuple[int, int], float] = {}
+        offset = self.offset
+        for (u, v), c in self._coefficients.items():
+            if u == v:
+                h[u] = h.get(u, 0.0) + c / 2.0
+                offset += c / 2.0
+            else:
+                j[(u, v)] = j.get((u, v), 0.0) + c / 4.0
+                h[u] = h.get(u, 0.0) + c / 4.0
+                h[v] = h.get(v, 0.0) + c / 4.0
+                offset += c / 4.0
+        return IsingModel(self.num_variables, h=h, j=j, offset=offset)
+
+    @classmethod
+    def from_matrix(cls, q: np.ndarray, offset: float = 0.0) -> "QUBO":
+        """Build from a square coefficient matrix (symmetrized into
+        the upper triangle)."""
+        q = np.asarray(q, dtype=float)
+        if q.ndim != 2 or q.shape[0] != q.shape[1]:
+            raise ValueError("Q must be square")
+        model = cls(q.shape[0], offset=offset)
+        n = q.shape[0]
+        for u in range(n):
+            if q[u, u]:
+                model.add_linear(u, q[u, u])
+            for v in range(u + 1, n):
+                total = q[u, v] + q[v, u]
+                if total:
+                    model.add_quadratic(u, v, total)
+        return model
+
+    def __repr__(self) -> str:
+        return (
+            f"QUBO(num_variables={self.num_variables}, "
+            f"terms={len(self._coefficients)}, offset={self.offset:g})"
+        )
+
+    def _check_var(self, variable: int) -> None:
+        if not 0 <= variable < self.num_variables:
+            raise ValueError(
+                f"variable {variable} out of range "
+                f"[0, {self.num_variables})"
+            )

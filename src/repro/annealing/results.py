@@ -1,0 +1,81 @@
+"""Solver result containers shared by all annealing-style solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One solution: binary assignment, its energy, occurrence count."""
+
+    assignment: Tuple[int, ...]
+    energy: float
+    num_occurrences: int = 1
+
+
+class SampleSet:
+    """Collection of samples sorted by energy (best first)."""
+
+    def __init__(self, samples: Sequence[Sample]):
+        if not samples:
+            raise ValueError("a SampleSet needs at least one sample")
+        merged: dict = {}
+        for sample in samples:
+            key = sample.assignment
+            if key in merged:
+                existing = merged[key]
+                merged[key] = Sample(
+                    key, existing.energy,
+                    existing.num_occurrences + sample.num_occurrences,
+                )
+            else:
+                merged[key] = sample
+        self.samples: List[Sample] = sorted(
+            merged.values(), key=lambda s: s.energy
+        )
+
+    @property
+    def best(self) -> Sample:
+        """Lowest-energy sample."""
+        return self.samples[0]
+
+    @property
+    def best_energy(self) -> float:
+        return self.best.energy
+
+    @property
+    def best_assignment(self) -> np.ndarray:
+        return np.asarray(self.best.assignment)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self) -> Iterator[Sample]:
+        return iter(self.samples)
+
+    def energies(self) -> np.ndarray:
+        """Energies expanded by occurrence counts."""
+        return np.repeat(
+            [s.energy for s in self.samples],
+            [s.num_occurrences for s in self.samples],
+        )
+
+    def success_probability(self, target_energy: float,
+                            atol: float = 1e-9) -> float:
+        """Fraction of reads at or below a target energy."""
+        total = sum(s.num_occurrences for s in self.samples)
+        hits = sum(
+            s.num_occurrences for s in self.samples
+            if s.energy <= target_energy + atol
+        )
+        return hits / total
+
+    def __repr__(self) -> str:
+        return (
+            f"SampleSet(num_distinct={len(self.samples)}, "
+            f"best_energy={self.best_energy:g})"
+        )

@@ -1,0 +1,41 @@
+"""Annealing schedules (inverse temperature and transverse field)."""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+
+def linear_schedule(start: float, end: float, steps: int) -> List[float]:
+    """Evenly spaced values from start to end inclusive."""
+    if steps < 1:
+        raise ValueError("steps must be positive")
+    if steps == 1:
+        return [end]
+    delta = (end - start) / (steps - 1)
+    return [start + delta * k for k in range(steps)]
+
+
+def geometric_schedule(start: float, end: float, steps: int) -> List[float]:
+    """Geometrically spaced values; both endpoints must share a sign
+    and be non-zero. The standard choice for inverse temperature."""
+    if steps < 1:
+        raise ValueError("steps must be positive")
+    if start == 0 or end == 0 or (start > 0) != (end > 0):
+        raise ValueError("geometric schedule endpoints must share a sign")
+    if steps == 1:
+        return [end]
+    ratio = (end / start) ** (1.0 / (steps - 1))
+    return [start * ratio ** k for k in range(steps)]
+
+
+def default_beta_schedule(steps: int, beta_min: float = 0.1,
+                          beta_max: float = 10.0) -> List[float]:
+    """Geometric inverse-temperature ramp used by the SA solver."""
+    return geometric_schedule(beta_min, beta_max, steps)
+
+
+def default_transverse_field_schedule(steps: int, gamma_min: float = 0.01,
+                                      gamma_max: float = 3.0) -> List[float]:
+    """Decreasing transverse field for simulated quantum annealing."""
+    return list(reversed(linear_schedule(gamma_min, gamma_max, steps)))

@@ -1,0 +1,33 @@
+"""Classical machine-learning baselines, implemented from scratch.
+
+Every quantum model in :mod:`repro.qml` is benchmarked against one of
+these. They follow the familiar ``fit`` / ``predict`` / ``score``
+estimator shape.
+"""
+
+from .kernels import (
+    linear_kernel,
+    make_kernel,
+    median_heuristic_gamma,
+    polynomial_kernel,
+    rbf_kernel,
+)
+from .knn import KNNClassifier
+from .linear import LinearRegression, RidgeRegression
+from .logistic import LogisticRegression
+from .mlp import MLP
+from .svm import SVM
+
+__all__ = [
+    "linear_kernel",
+    "make_kernel",
+    "median_heuristic_gamma",
+    "polynomial_kernel",
+    "rbf_kernel",
+    "KNNClassifier",
+    "LinearRegression",
+    "RidgeRegression",
+    "LogisticRegression",
+    "MLP",
+    "SVM",
+]

@@ -1,0 +1,55 @@
+"""Classical kernel functions for the SVM baseline and comparisons."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+KernelFunction = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def linear_kernel(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Gram matrix of inner products ``K[i, j] = <x_i, y_j>``."""
+    return np.asarray(x) @ np.asarray(y).T
+
+
+def polynomial_kernel(x: np.ndarray, y: np.ndarray, degree: int = 3,
+                      coef0: float = 1.0, gamma: float = 1.0) -> np.ndarray:
+    """``(gamma <x, y> + coef0) ** degree``."""
+    return (gamma * linear_kernel(x, y) + coef0) ** degree
+
+
+def rbf_kernel(x: np.ndarray, y: np.ndarray,
+               gamma: float = 1.0) -> np.ndarray:
+    """Gaussian kernel ``exp(-gamma ||x - y||^2)``."""
+    x = np.atleast_2d(np.asarray(x, dtype=float))
+    y = np.atleast_2d(np.asarray(y, dtype=float))
+    sq_x = (x ** 2).sum(axis=1)[:, None]
+    sq_y = (y ** 2).sum(axis=1)[None, :]
+    sq_dist = sq_x + sq_y - 2.0 * x @ y.T
+    np.maximum(sq_dist, 0.0, out=sq_dist)
+    return np.exp(-gamma * sq_dist)
+
+
+def make_kernel(name: str, **kwargs) -> KernelFunction:
+    """Resolve a kernel by name, currying hyperparameters."""
+    name = name.lower()
+    if name == "linear":
+        return linear_kernel
+    if name == "poly":
+        return lambda x, y: polynomial_kernel(x, y, **kwargs)
+    if name == "rbf":
+        return lambda x, y: rbf_kernel(x, y, **kwargs)
+    raise KeyError(f"unknown kernel {name!r}; choose linear, poly or rbf")
+
+
+def median_heuristic_gamma(x: np.ndarray) -> float:
+    """Bandwidth via the median pairwise squared distance heuristic."""
+    x = np.atleast_2d(np.asarray(x, dtype=float))
+    sq = ((x[:, None, :] - x[None, :, :]) ** 2).sum(axis=2)
+    upper = sq[np.triu_indices_from(sq, k=1)]
+    median = float(np.median(upper))
+    if median <= 0:
+        return 1.0
+    return 1.0 / median

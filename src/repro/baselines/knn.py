@@ -1,0 +1,44 @@
+"""k-nearest-neighbour classifier (brute force)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class KNNClassifier:
+    """Majority vote over the k nearest training points (Euclidean)."""
+
+    def __init__(self, k: int = 5):
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.k = int(k)
+        self._fitted = False
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNNClassifier":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y).reshape(-1)
+        if X.shape[0] != y.size:
+            raise ValueError("X and y length mismatch")
+        if self.k > X.shape[0]:
+            raise ValueError("k exceeds number of training points")
+        self._X = X
+        self._y = y
+        self.classes_ = np.unique(y)
+        self._fitted = True
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("model is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        sq = ((X[:, None, :] - self._X[None, :, :]) ** 2).sum(axis=2)
+        nearest = np.argsort(sq, axis=1)[:, : self.k]
+        predictions = np.empty(X.shape[0], dtype=self._y.dtype)
+        for row, neighbours in enumerate(nearest):
+            labels, counts = np.unique(self._y[neighbours],
+                                       return_counts=True)
+            predictions[row] = labels[counts.argmax()]
+        return predictions
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        return float((self.predict(X) == np.asarray(y).reshape(-1)).mean())

@@ -1,0 +1,83 @@
+"""Linear and ridge regression baselines (closed form)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class LinearRegression:
+    """Ordinary least squares via the normal equations (lstsq)."""
+
+    def __init__(self, fit_intercept: bool = True):
+        self.fit_intercept = fit_intercept
+        self._fitted = False
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearRegression":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).reshape(-1)
+        if X.shape[0] != y.size:
+            raise ValueError("X and y length mismatch")
+        design = self._design(X)
+        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        if self.fit_intercept:
+            self.intercept_ = float(solution[0])
+            self.coef_ = solution[1:]
+        else:
+            self.intercept_ = 0.0
+            self.coef_ = solution
+        self._fitted = True
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("model is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return X @ self.coef_ + self.intercept_
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Coefficient of determination R^2."""
+        y = np.asarray(y, dtype=float).reshape(-1)
+        residual = ((y - self.predict(X)) ** 2).sum()
+        total = ((y - y.mean()) ** 2).sum()
+        if total == 0:
+            return 1.0 if residual == 0 else 0.0
+        return 1.0 - residual / total
+
+    def _design(self, X: np.ndarray) -> np.ndarray:
+        if self.fit_intercept:
+            return np.hstack([np.ones((X.shape[0], 1)), X])
+        return X
+
+
+class RidgeRegression(LinearRegression):
+    """L2-regularized least squares; intercept is not penalized."""
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True):
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        super().__init__(fit_intercept=fit_intercept)
+        self.alpha = float(alpha)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RidgeRegression":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).reshape(-1)
+        if X.shape[0] != y.size:
+            raise ValueError("X and y length mismatch")
+        design = self._design(X)
+        dim = design.shape[1]
+        penalty = self.alpha * np.eye(dim)
+        if self.fit_intercept:
+            penalty[0, 0] = 0.0
+        solution = np.linalg.solve(
+            design.T @ design + penalty, design.T @ y
+        )
+        if self.fit_intercept:
+            self.intercept_ = float(solution[0])
+            self.coef_ = solution[1:]
+        else:
+            self.intercept_ = 0.0
+            self.coef_ = solution
+        self._fitted = True
+        return self

@@ -1,0 +1,84 @@
+"""Logistic regression trained by full-batch gradient descent."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
+
+class LogisticRegression:
+    """Binary logistic regression with optional L2 regularization."""
+
+    def __init__(self, learning_rate: float = 0.5, max_iter: int = 500,
+                 l2: float = 0.0, tol: float = 1e-6):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if l2 < 0:
+            raise ValueError("l2 must be non-negative")
+        self.learning_rate = learning_rate
+        self.max_iter = max_iter
+        self.l2 = l2
+        self.tol = tol
+        self._fitted = False
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y).reshape(-1)
+        if X.shape[0] != y.size:
+            raise ValueError("X and y length mismatch")
+        self.classes_ = np.unique(y)
+        if self.classes_.size != 2:
+            raise ValueError("logistic regression is binary here")
+        targets = (y == self.classes_[1]).astype(float)
+
+        n, d = X.shape
+        weights = np.zeros(d)
+        bias = 0.0
+        previous_loss = np.inf
+        for _ in range(self.max_iter):
+            probabilities = _sigmoid(X @ weights + bias)
+            error = probabilities - targets
+            grad_w = X.T @ error / n + self.l2 * weights
+            grad_b = float(error.mean())
+            weights -= self.learning_rate * grad_w
+            bias -= self.learning_rate * grad_b
+            loss = self._loss(probabilities, targets, weights)
+            if abs(previous_loss - loss) < self.tol:
+                break
+            previous_loss = loss
+        self.coef_ = weights
+        self.intercept_ = bias
+        self._fitted = True
+        return self
+
+    def _loss(self, probabilities: np.ndarray, targets: np.ndarray,
+              weights: np.ndarray) -> float:
+        eps = 1e-12
+        ce = -(targets * np.log(probabilities + eps)
+               + (1 - targets) * np.log(1 - probabilities + eps)).mean()
+        return float(ce + 0.5 * self.l2 * (weights ** 2).sum())
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Probability of the positive (second) class per row."""
+        if not self._fitted:
+            raise RuntimeError("model is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return _sigmoid(X @ self.coef_ + self.intercept_)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        probabilities = self.predict_proba(X)
+        return np.where(probabilities >= 0.5, self.classes_[1],
+                        self.classes_[0])
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        return float((self.predict(X) == np.asarray(y).reshape(-1)).mean())

@@ -1,0 +1,176 @@
+"""Multi-layer perceptron with numpy backprop.
+
+Supports binary classification (sigmoid output + cross entropy) and
+regression (linear output + mean squared error). Used as the strong
+classical baseline in experiments E2 and E13.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def _tanh(z: np.ndarray) -> np.ndarray:
+    return np.tanh(z)
+
+
+def _tanh_grad(activation: np.ndarray) -> np.ndarray:
+    return 1.0 - activation ** 2
+
+
+def _relu(z: np.ndarray) -> np.ndarray:
+    return np.maximum(z, 0.0)
+
+
+def _relu_grad(activation: np.ndarray) -> np.ndarray:
+    return (activation > 0).astype(float)
+
+
+_ACTIVATIONS = {"tanh": (_tanh, _tanh_grad), "relu": (_relu, _relu_grad)}
+
+
+class MLP:
+    """A small fully connected network trained with Adam.
+
+    Parameters
+    ----------
+    hidden:
+        Hidden layer widths, e.g. ``(16, 16)``.
+    task:
+        ``"classification"`` (binary, sigmoid head) or ``"regression"``.
+    """
+
+    def __init__(self, hidden: Sequence[int] = (16,),
+                 task: str = "classification", activation: str = "tanh",
+                 learning_rate: float = 0.01, max_iter: int = 500,
+                 batch_size: Optional[int] = None, l2: float = 0.0,
+                 seed: Optional[int] = 0):
+        if task not in ("classification", "regression"):
+            raise ValueError("task must be classification or regression")
+        if activation not in _ACTIVATIONS:
+            raise ValueError(f"activation must be one of {sorted(_ACTIVATIONS)}")
+        if any(h < 1 for h in hidden):
+            raise ValueError("hidden widths must be positive")
+        self.hidden = tuple(int(h) for h in hidden)
+        self.task = task
+        self.activation = activation
+        self.learning_rate = learning_rate
+        self.max_iter = max_iter
+        self.batch_size = batch_size
+        self.l2 = l2
+        self._rng = np.random.default_rng(seed)
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    def _init_params(self, input_dim: int) -> None:
+        sizes = [input_dim, *self.hidden, 1]
+        self._weights: List[np.ndarray] = []
+        self._biases: List[np.ndarray] = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            scale = np.sqrt(2.0 / (fan_in + fan_out))
+            self._weights.append(
+                self._rng.normal(0.0, scale, size=(fan_in, fan_out))
+            )
+            self._biases.append(np.zeros(fan_out))
+
+    def _forward(self, X: np.ndarray) -> Tuple[np.ndarray, List[np.ndarray]]:
+        act_fn, _ = _ACTIVATIONS[self.activation]
+        activations = [X]
+        out = X
+        for w, b in zip(self._weights[:-1], self._biases[:-1]):
+            out = act_fn(out @ w + b)
+            activations.append(out)
+        out = out @ self._weights[-1] + self._biases[-1]
+        if self.task == "classification":
+            out = 1.0 / (1.0 + np.exp(-np.clip(out, -30, 30)))
+        return out.reshape(-1), activations
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLP":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y).reshape(-1)
+        if X.shape[0] != y.size:
+            raise ValueError("X and y length mismatch")
+        if self.task == "classification":
+            self.classes_ = np.unique(y)
+            if self.classes_.size != 2:
+                raise ValueError("MLP classifier is binary here")
+            targets = (y == self.classes_[1]).astype(float)
+        else:
+            targets = y.astype(float)
+
+        self._init_params(X.shape[1])
+        _, act_grad = _ACTIVATIONS[self.activation]
+        n = X.shape[0]
+        batch = self.batch_size or n
+        # Adam state per parameter tensor.
+        m_w = [np.zeros_like(w) for w in self._weights]
+        v_w = [np.zeros_like(w) for w in self._weights]
+        m_b = [np.zeros_like(b) for b in self._biases]
+        v_b = [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        for _ in range(self.max_iter):
+            order = self._rng.permutation(n)
+            for start in range(0, n, batch):
+                rows = order[start: start + batch]
+                xb, tb = X[rows], targets[rows]
+                predictions, activations = self._forward(xb)
+                # Both heads reduce to the same output delta.
+                delta = (predictions - tb).reshape(-1, 1) / rows.size
+                grads_w: List[np.ndarray] = [None] * len(self._weights)
+                grads_b: List[np.ndarray] = [None] * len(self._biases)
+                for layer in reversed(range(len(self._weights))):
+                    grads_w[layer] = (activations[layer].T @ delta
+                                      + self.l2 * self._weights[layer])
+                    grads_b[layer] = delta.sum(axis=0)
+                    if layer > 0:
+                        delta = (delta @ self._weights[layer].T
+                                 * act_grad(activations[layer]))
+                step += 1
+                for layer in range(len(self._weights)):
+                    for params, grads, m, v in (
+                        (self._weights, grads_w, m_w, v_w),
+                        (self._biases, grads_b, m_b, v_b),
+                    ):
+                        m[layer] = beta1 * m[layer] + (1 - beta1) * grads[layer]
+                        v[layer] = (beta2 * v[layer]
+                                    + (1 - beta2) * grads[layer] ** 2)
+                        m_hat = m[layer] / (1 - beta1 ** step)
+                        v_hat = v[layer] / (1 - beta2 ** step)
+                        params[layer] = params[layer] - (
+                            self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+                        )
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("model is not fitted")
+        if self.task != "classification":
+            raise RuntimeError("predict_proba is classification-only")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        probabilities, _ = self._forward(X)
+        return probabilities
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("model is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        outputs, _ = self._forward(X)
+        if self.task == "classification":
+            return np.where(outputs >= 0.5, self.classes_[1], self.classes_[0])
+        return outputs
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy (classification) or R^2 (regression)."""
+        y = np.asarray(y).reshape(-1)
+        if self.task == "classification":
+            return float((self.predict(X) == y).mean())
+        predictions = self.predict(X)
+        total = ((y - y.mean()) ** 2).sum()
+        if total == 0:
+            return 1.0
+        return 1.0 - float(((y - predictions) ** 2).sum() / total)

@@ -1,0 +1,171 @@
+"""Support vector machine trained with simplified SMO.
+
+A from-scratch C-SVM (Platt's sequential minimal optimization in the
+simplified variant) supporting callable kernels and precomputed Gram
+matrices. The precomputed path is what the quantum-kernel classifier
+in :mod:`repro.qml.kernels` uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from .kernels import KernelFunction, rbf_kernel
+
+
+class SVM:
+    """Binary C-SVM classifier.
+
+    Parameters
+    ----------
+    kernel:
+        ``"precomputed"``, a :data:`KernelFunction`, or one of
+        ``"linear"`` / ``"rbf"`` (rbf uses ``gamma``).
+    C:
+        Soft-margin penalty.
+    tol:
+        KKT violation tolerance for the SMO loop.
+    max_passes:
+        Number of consecutive full passes without any alpha update
+        before declaring convergence.
+    """
+
+    def __init__(self, kernel: Union[str, KernelFunction] = "rbf",
+                 C: float = 1.0, gamma: float = 1.0, tol: float = 1e-3,
+                 max_passes: int = 5, max_iter: int = 10_000,
+                 seed: Optional[int] = 0):
+        if C <= 0:
+            raise ValueError("C must be positive")
+        self.kernel = kernel
+        self.C = float(C)
+        self.gamma = float(gamma)
+        self.tol = tol
+        self.max_passes = max_passes
+        self.max_iter = max_iter
+        self._rng = np.random.default_rng(seed)
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    def _gram(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        if self.kernel == "precomputed":
+            raise RuntimeError("internal: precomputed path bypasses _gram")
+        if callable(self.kernel):
+            return np.asarray(self.kernel(x, y), dtype=float)
+        if self.kernel == "linear":
+            return x @ y.T
+        if self.kernel == "rbf":
+            return rbf_kernel(x, y, gamma=self.gamma)
+        raise KeyError(f"unknown kernel {self.kernel!r}")
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SVM":
+        """Train on features (or a square Gram matrix if precomputed).
+
+        Labels must be binary; they are mapped internally to -1/+1.
+        """
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y).reshape(-1)
+        if X.shape[0] != y.size:
+            raise ValueError("X and y length mismatch")
+        self.classes_ = np.unique(y)
+        if self.classes_.size != 2:
+            raise ValueError("SVM is binary; got "
+                             f"{self.classes_.size} classes")
+        signs = np.where(y == self.classes_[1], 1.0, -1.0)
+
+        if self.kernel == "precomputed":
+            if X.shape[0] != X.shape[1]:
+                raise ValueError("precomputed kernel must be square")
+            gram = X
+            self._train_X = None
+        else:
+            gram = self._gram(X, X)
+            self._train_X = X
+
+        n = y.size
+        alphas = np.zeros(n)
+        b = 0.0
+        passes = 0
+        iteration = 0
+        while passes < self.max_passes and iteration < self.max_iter:
+            changed = 0
+            for i in range(n):
+                error_i = (alphas * signs) @ gram[:, i] + b - signs[i]
+                if ((signs[i] * error_i < -self.tol and alphas[i] < self.C)
+                        or (signs[i] * error_i > self.tol and alphas[i] > 0)):
+                    j = int(self._rng.integers(n - 1))
+                    if j >= i:
+                        j += 1
+                    error_j = (alphas * signs) @ gram[:, j] + b - signs[j]
+                    alpha_i_old, alpha_j_old = alphas[i], alphas[j]
+                    if signs[i] != signs[j]:
+                        low = max(0.0, alphas[j] - alphas[i])
+                        high = min(self.C, self.C + alphas[j] - alphas[i])
+                    else:
+                        low = max(0.0, alphas[i] + alphas[j] - self.C)
+                        high = min(self.C, alphas[i] + alphas[j])
+                    if low == high:
+                        continue
+                    eta = 2.0 * gram[i, j] - gram[i, i] - gram[j, j]
+                    if eta >= 0:
+                        continue
+                    alphas[j] -= signs[j] * (error_i - error_j) / eta
+                    alphas[j] = min(high, max(low, alphas[j]))
+                    if abs(alphas[j] - alpha_j_old) < 1e-7:
+                        continue
+                    alphas[i] += (signs[i] * signs[j]
+                                  * (alpha_j_old - alphas[j]))
+                    b1 = (b - error_i
+                          - signs[i] * (alphas[i] - alpha_i_old) * gram[i, i]
+                          - signs[j] * (alphas[j] - alpha_j_old) * gram[i, j])
+                    b2 = (b - error_j
+                          - signs[i] * (alphas[i] - alpha_i_old) * gram[i, j]
+                          - signs[j] * (alphas[j] - alpha_j_old) * gram[j, j])
+                    if 0 < alphas[i] < self.C:
+                        b = b1
+                    elif 0 < alphas[j] < self.C:
+                        b = b2
+                    else:
+                        b = 0.5 * (b1 + b2)
+                    changed += 1
+            passes = passes + 1 if changed == 0 else 0
+            iteration += 1
+
+        self.alphas_ = alphas
+        self.b_ = b
+        self._signs = signs
+        support = alphas > 1e-8
+        self.support_ = np.flatnonzero(support)
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Signed margin for each row of X (or kernel rows vs training
+        set when the kernel is precomputed: shape [n_test, n_train])."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        if self.kernel == "precomputed":
+            kernel_rows = X
+            if kernel_rows.shape[1] != self.alphas_.size:
+                raise ValueError(
+                    "precomputed test kernel must have one column per "
+                    "training sample"
+                )
+        else:
+            kernel_rows = self._gram(np.atleast_2d(X), self._train_X)
+        return kernel_rows @ (self.alphas_ * self._signs) + self.b_
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted class labels (original label values)."""
+        margins = self.decision_function(X)
+        return np.where(margins >= 0, self.classes_[1], self.classes_[0])
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy."""
+        return float((self.predict(X) == np.asarray(y).reshape(-1)).mean())
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("SVM is not fitted; call fit first")

@@ -1,0 +1,25 @@
+"""Synthetic dataset generators used across experiments and examples."""
+
+from .synthetic import (
+    make_blobs,
+    make_circles,
+    make_linearly_separable,
+    make_moons,
+    make_parity,
+    make_regression_wave,
+    make_xor,
+    minmax_scale,
+    train_test_split,
+)
+
+__all__ = [
+    "make_blobs",
+    "make_circles",
+    "make_linearly_separable",
+    "make_moons",
+    "make_parity",
+    "make_regression_wave",
+    "make_xor",
+    "minmax_scale",
+    "train_test_split",
+]

@@ -1,0 +1,174 @@
+"""Synthetic datasets for the classification and regression experiments.
+
+All generators return ``(X, y)`` with ``X`` of shape ``(n, d)`` float64
+and ``y`` integer labels in {0, 1} (classification) or float targets
+(regression), and accept a seed for reproducibility.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+Dataset = Tuple[np.ndarray, np.ndarray]
+
+
+def make_moons(n_samples: int = 100, noise: float = 0.1,
+               seed: Optional[int] = None) -> Dataset:
+    """Two interleaving half circles — the canonical nonlinear task."""
+    _check(n_samples, noise)
+    rng = np.random.default_rng(seed)
+    half = n_samples // 2
+    rest = n_samples - half
+    angles_outer = rng.uniform(0, math.pi, half)
+    angles_inner = rng.uniform(0, math.pi, rest)
+    outer = np.column_stack([np.cos(angles_outer), np.sin(angles_outer)])
+    inner = np.column_stack(
+        [1.0 - np.cos(angles_inner), 0.5 - np.sin(angles_inner)]
+    )
+    X = np.vstack([outer, inner])
+    X += rng.normal(scale=noise, size=X.shape)
+    y = np.concatenate([np.zeros(half, dtype=int), np.ones(rest, dtype=int)])
+    return _shuffle(X, y, rng)
+
+
+def make_circles(n_samples: int = 100, noise: float = 0.05,
+                 factor: float = 0.5,
+                 seed: Optional[int] = None) -> Dataset:
+    """Concentric circles; linearly inseparable in the raw features."""
+    _check(n_samples, noise)
+    if not 0 < factor < 1:
+        raise ValueError("factor must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    half = n_samples // 2
+    rest = n_samples - half
+    outer_angles = rng.uniform(0, 2 * math.pi, half)
+    inner_angles = rng.uniform(0, 2 * math.pi, rest)
+    outer = np.column_stack([np.cos(outer_angles), np.sin(outer_angles)])
+    inner = factor * np.column_stack(
+        [np.cos(inner_angles), np.sin(inner_angles)]
+    )
+    X = np.vstack([outer, inner]) + rng.normal(
+        scale=noise, size=(n_samples, 2)
+    )
+    y = np.concatenate([np.zeros(half, dtype=int), np.ones(rest, dtype=int)])
+    return _shuffle(X, y, rng)
+
+
+def make_blobs(n_samples: int = 100, centers: int = 2, spread: float = 0.5,
+               dim: int = 2, seed: Optional[int] = None) -> Dataset:
+    """Gaussian blobs; labels cycle through the centers."""
+    _check(n_samples, spread)
+    if centers < 2:
+        raise ValueError("need at least two centers")
+    rng = np.random.default_rng(seed)
+    locations = rng.uniform(-3, 3, size=(centers, dim))
+    assignments = np.arange(n_samples) % centers
+    X = locations[assignments] + rng.normal(
+        scale=spread, size=(n_samples, dim)
+    )
+    return _shuffle(X, assignments.astype(int), rng)
+
+
+def make_xor(n_samples: int = 100, noise: float = 0.1,
+             seed: Optional[int] = None) -> Dataset:
+    """The XOR quadrant problem: label = sign(x0) != sign(x1)."""
+    _check(n_samples, noise)
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n_samples, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    X += rng.normal(scale=noise, size=X.shape)
+    return X, y
+
+
+def make_parity(num_bits: int = 4, n_samples: Optional[int] = None,
+                seed: Optional[int] = None) -> Dataset:
+    """Bit strings labeled by parity; the classic linear-kernel killer.
+
+    With ``n_samples=None`` the full truth table (``2**num_bits`` rows)
+    is returned in random order.
+    """
+    if num_bits < 2:
+        raise ValueError("num_bits must be >= 2")
+    rng = np.random.default_rng(seed)
+    total = 2 ** num_bits
+    rows = np.array(
+        [[(i >> (num_bits - 1 - b)) & 1 for b in range(num_bits)]
+         for i in range(total)],
+        dtype=float,
+    )
+    labels = rows.sum(axis=1).astype(int) % 2
+    if n_samples is None:
+        return _shuffle(rows, labels, rng)
+    picks = rng.integers(total, size=n_samples)
+    return rows[picks], labels[picks]
+
+
+def make_linearly_separable(n_samples: int = 100, dim: int = 2,
+                            margin: float = 0.2,
+                            seed: Optional[int] = None) -> Dataset:
+    """Points split by a random hyperplane with a guaranteed margin."""
+    _check(n_samples, margin)
+    rng = np.random.default_rng(seed)
+    normal = rng.normal(size=dim)
+    normal /= np.linalg.norm(normal)
+    X = np.empty((0, dim))
+    while X.shape[0] < n_samples:
+        candidates = rng.uniform(-1, 1, size=(2 * n_samples, dim))
+        keep = np.abs(candidates @ normal) >= margin
+        X = np.vstack([X, candidates[keep]])
+    X = X[:n_samples]
+    y = (X @ normal > 0).astype(int)
+    return X, y
+
+
+def make_regression_wave(n_samples: int = 100, noise: float = 0.05,
+                         seed: Optional[int] = None) -> Dataset:
+    """1-D regression target ``sin(pi x)`` on [-1, 1] with noise."""
+    _check(n_samples, noise)
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(n_samples, 1))
+    y = np.sin(math.pi * x[:, 0]) + rng.normal(scale=noise, size=n_samples)
+    return x, y
+
+
+def train_test_split(X: np.ndarray, y: np.ndarray, test_fraction: float = 0.3,
+                     seed: Optional[int] = None
+                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split into (X_train, X_test, y_train, y_test)."""
+    if not 0 < test_fraction < 1:
+        raise ValueError("test_fraction must be in (0, 1)")
+    X = np.asarray(X)
+    y = np.asarray(y)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(X.shape[0])
+    cut = int(round(X.shape[0] * (1 - test_fraction)))
+    if cut in (0, X.shape[0]):
+        raise ValueError("split leaves an empty train or test set")
+    train, test = order[:cut], order[cut:]
+    return X[train], X[test], y[train], y[test]
+
+
+def minmax_scale(X: np.ndarray, low: float = 0.0,
+                 high: float = 1.0) -> np.ndarray:
+    """Column-wise rescale into [low, high]; constant columns map to low."""
+    X = np.asarray(X, dtype=float)
+    mins = X.min(axis=0)
+    spans = X.max(axis=0) - mins
+    spans[spans == 0] = 1.0
+    return low + (high - low) * (X - mins) / spans
+
+
+def _shuffle(X: np.ndarray, y: np.ndarray,
+             rng: np.random.Generator) -> Dataset:
+    order = rng.permutation(X.shape[0])
+    return X[order], y[order]
+
+
+def _check(n_samples: int, noise: float) -> None:
+    if n_samples < 2:
+        raise ValueError("n_samples must be >= 2")
+    if noise < 0:
+        raise ValueError("noise must be non-negative")

@@ -1,0 +1,157 @@
+"""Database substrate and quantum-optimization formulations.
+
+A small but real relational layer (catalog, statistics, cost model,
+workload generators) plus the four database optimization problems the
+tutorial casts as QUBOs — join ordering, multiple-query optimization,
+index selection, transaction scheduling — and the learned cardinality
+estimation workload.
+"""
+
+from .cardinality import (
+    CardinalityDataset,
+    RangeQuery,
+    evaluate_q_errors,
+    featurize,
+    generate_workload,
+    histogram_estimates,
+    make_cardinality_dataset,
+)
+from .catalog import Catalog, ColumnStats, Table
+from .cost import (
+    estimate_range_cardinality,
+    estimate_range_selectivity,
+    left_deep_cost,
+    log_cost_proxy,
+    q_error,
+    selectivity_from_stats,
+    tree_cost,
+)
+from .executor import (
+    EquiJoinPredicate,
+    ExecutionResult,
+    HashJoinExecutor,
+    PhysicalQuery,
+    validate_cost_model,
+)
+from .datagen import (
+    correlated_columns,
+    make_correlated_table,
+    make_star_schema,
+    make_tpch_like_schema,
+    tpch_chain_join_query,
+    true_range_cardinality,
+    zipf_column,
+)
+from .indexsel import (
+    IndexSelectionProblem,
+    IndexSelectionQUBO,
+    solve_index_selection_annealing,
+    solve_index_selection_exact,
+    solve_index_selection_greedy,
+)
+from .joinorder import (
+    JoinOrderDecoded,
+    JoinOrderQUBO,
+    dp_optimal,
+    exhaustive_left_deep,
+    greedy_goo,
+    solve_join_order_annealing,
+    solve_join_order_grover,
+    two_opt_polish,
+)
+from .mqo import (
+    MQOProblem,
+    MQOQUBO,
+    solve_mqo_annealing,
+    solve_mqo_exhaustive,
+    solve_mqo_greedy,
+)
+from .partitioning import (
+    PartitioningIsing,
+    PartitioningProblem,
+    partition_annealing,
+    partition_exact,
+    partition_kernighan_lin,
+)
+from .query import JoinGraph, JoinTree, left_deep_tree
+from .rl_optimizer import QLearningJoinOptimizer, solve_join_order_rl
+from .txsched import (
+    Transaction,
+    TransactionSchedulingProblem,
+    TransactionSchedulingQUBO,
+    minimum_slots_annealing,
+    schedule_fcfs,
+    schedule_greedy_first_fit,
+    solve_scheduling_annealing,
+)
+from .workloads import TOPOLOGIES, random_join_graph, topology_edges
+
+__all__ = [
+    "CardinalityDataset",
+    "RangeQuery",
+    "evaluate_q_errors",
+    "featurize",
+    "generate_workload",
+    "histogram_estimates",
+    "make_cardinality_dataset",
+    "Catalog",
+    "ColumnStats",
+    "Table",
+    "estimate_range_cardinality",
+    "estimate_range_selectivity",
+    "left_deep_cost",
+    "log_cost_proxy",
+    "q_error",
+    "selectivity_from_stats",
+    "tree_cost",
+    "EquiJoinPredicate",
+    "ExecutionResult",
+    "HashJoinExecutor",
+    "PhysicalQuery",
+    "validate_cost_model",
+    "correlated_columns",
+    "make_correlated_table",
+    "make_star_schema",
+    "make_tpch_like_schema",
+    "tpch_chain_join_query",
+    "true_range_cardinality",
+    "zipf_column",
+    "IndexSelectionProblem",
+    "IndexSelectionQUBO",
+    "solve_index_selection_annealing",
+    "solve_index_selection_exact",
+    "solve_index_selection_greedy",
+    "JoinOrderDecoded",
+    "JoinOrderQUBO",
+    "dp_optimal",
+    "exhaustive_left_deep",
+    "greedy_goo",
+    "solve_join_order_annealing",
+    "solve_join_order_grover",
+    "two_opt_polish",
+    "MQOProblem",
+    "MQOQUBO",
+    "solve_mqo_annealing",
+    "solve_mqo_exhaustive",
+    "solve_mqo_greedy",
+    "PartitioningIsing",
+    "PartitioningProblem",
+    "partition_annealing",
+    "partition_exact",
+    "partition_kernighan_lin",
+    "JoinGraph",
+    "JoinTree",
+    "left_deep_tree",
+    "QLearningJoinOptimizer",
+    "solve_join_order_rl",
+    "Transaction",
+    "TransactionSchedulingProblem",
+    "TransactionSchedulingQUBO",
+    "minimum_slots_annealing",
+    "schedule_fcfs",
+    "schedule_greedy_first_fit",
+    "solve_scheduling_annealing",
+    "TOPOLOGIES",
+    "random_join_graph",
+    "topology_edges",
+]

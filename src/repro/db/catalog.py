@@ -1,0 +1,148 @@
+"""Relational catalog: tables, columns and optimizer statistics.
+
+A deliberately small but real substrate: tables hold actual numpy
+column data, and the catalog derives the statistics (row counts,
+distinct counts, min/max, equi-width histograms) that the cost model
+in :mod:`repro.db.cost` consumes — the same separation a production
+optimizer has between data and metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class ColumnStats:
+    """Optimizer statistics for one column."""
+
+    num_distinct: int
+    min_value: float
+    max_value: float
+    histogram_bounds: np.ndarray
+    histogram_counts: np.ndarray
+
+    def selectivity_range(self, low: float, high: float) -> float:
+        """Estimated fraction of rows with value in [low, high].
+
+        Uses the equi-width histogram with linear interpolation inside
+        partially covered buckets.
+        """
+        if high < low:
+            return 0.0
+        total = float(self.histogram_counts.sum())
+        if total == 0:
+            return 0.0
+        bounds = self.histogram_bounds
+        covered = 0.0
+        for b in range(self.histogram_counts.size):
+            lo_b, hi_b = bounds[b], bounds[b + 1]
+            width = hi_b - lo_b
+            overlap_lo = max(low, lo_b)
+            overlap_hi = min(high, hi_b)
+            if overlap_hi <= overlap_lo or width <= 0:
+                # Degenerate bucket: count it fully if the point is in.
+                if width <= 0 and low <= lo_b <= high:
+                    covered += float(self.histogram_counts[b])
+                continue
+            fraction = (overlap_hi - overlap_lo) / width
+            covered += fraction * float(self.histogram_counts[b])
+        return min(1.0, covered / total)
+
+    def selectivity_equals(self) -> float:
+        """Estimated fraction matching one value (uniformity assumption)."""
+        if self.num_distinct == 0:
+            return 0.0
+        return 1.0 / self.num_distinct
+
+
+class Table:
+    """A named table backed by numpy columns of equal length."""
+
+    def __init__(self, name: str, columns: Mapping[str, np.ndarray]):
+        if not name:
+            raise ValueError("table name must be non-empty")
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        lengths = {np.asarray(v).shape[0] for v in columns.values()}
+        if len(lengths) != 1:
+            raise ValueError("all columns must have the same length")
+        self.name = name
+        self.columns: Dict[str, np.ndarray] = {
+            col: np.asarray(values) for col, values in columns.items()
+        }
+        self.num_rows = lengths.pop()
+
+    def column(self, name: str) -> np.ndarray:
+        if name not in self.columns:
+            raise KeyError(f"table {self.name!r} has no column {name!r}")
+        return self.columns[name]
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name!r}, rows={self.num_rows}, "
+            f"columns={sorted(self.columns)})"
+        )
+
+
+class Catalog:
+    """A set of tables plus derived statistics, addressable by name."""
+
+    def __init__(self, num_histogram_buckets: int = 32):
+        if num_histogram_buckets < 1:
+            raise ValueError("need at least one histogram bucket")
+        self.num_histogram_buckets = num_histogram_buckets
+        self._tables: Dict[str, Table] = {}
+        self._stats: Dict[Tuple[str, str], ColumnStats] = {}
+
+    def add_table(self, table: Table) -> "Catalog":
+        """Register a table and analyze all its columns."""
+        if table.name in self._tables:
+            raise ValueError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+        for column_name, values in table.columns.items():
+            self._stats[(table.name, column_name)] = self._analyze(values)
+        return self
+
+    def table(self, name: str) -> Table:
+        if name not in self._tables:
+            raise KeyError(f"unknown table {name!r}")
+        return self._tables[name]
+
+    @property
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    def row_count(self, table_name: str) -> int:
+        return self.table(table_name).num_rows
+
+    def stats(self, table_name: str, column_name: str) -> ColumnStats:
+        key = (table_name, column_name)
+        if key not in self._stats:
+            raise KeyError(f"no statistics for {table_name}.{column_name}")
+        return self._stats[key]
+
+    def _analyze(self, values: np.ndarray) -> ColumnStats:
+        data = np.asarray(values, dtype=float)
+        lo = float(data.min())
+        hi = float(data.max())
+        buckets = self.num_histogram_buckets
+        if hi == lo:
+            bounds = np.array([lo, hi])
+            counts = np.array([data.size], dtype=float)
+        else:
+            counts, bounds = np.histogram(data, bins=buckets,
+                                          range=(lo, hi))
+        return ColumnStats(
+            num_distinct=int(np.unique(data).size),
+            min_value=lo,
+            max_value=hi,
+            histogram_bounds=np.asarray(bounds, dtype=float),
+            histogram_counts=np.asarray(counts, dtype=float),
+        )
+
+    def __repr__(self) -> str:
+        return f"Catalog(tables={self.table_names})"

@@ -1,0 +1,199 @@
+"""Synthetic relational data generators.
+
+Produces the skewed, correlated data that makes learned cardinality
+estimation (experiment E13) non-trivial, plus a small star schema for
+end-to-end examples. All generators are seeded and pure numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .catalog import Catalog, Table
+
+
+def zipf_column(num_rows: int, num_values: int, skew: float = 1.2,
+                seed: Optional[int] = None) -> np.ndarray:
+    """Integer column with a (truncated) Zipf frequency distribution.
+
+    ``skew`` > 0; larger means heavier head. Values are 0..num_values-1
+    with value 0 the most frequent.
+    """
+    if num_rows < 1 or num_values < 1:
+        raise ValueError("num_rows and num_values must be positive")
+    if skew <= 0:
+        raise ValueError("skew must be positive")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, num_values + 1, dtype=float)
+    weights = ranks ** (-skew)
+    weights /= weights.sum()
+    return rng.choice(num_values, size=num_rows, p=weights)
+
+
+def correlated_columns(num_rows: int, correlation: float = 0.8,
+                       seed: Optional[int] = None
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+    """Two standard-normal columns with the given Pearson correlation."""
+    if not -1.0 <= correlation <= 1.0:
+        raise ValueError("correlation must be in [-1, 1]")
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=num_rows)
+    independent = rng.normal(size=num_rows)
+    partner = (correlation * base
+               + np.sqrt(max(0.0, 1.0 - correlation ** 2)) * independent)
+    return base, partner
+
+
+def make_correlated_table(name: str, num_rows: int,
+                          num_column_pairs: int = 2,
+                          correlation: float = 0.8,
+                          seed: Optional[int] = None) -> Table:
+    """Table of ``2 * num_column_pairs`` correlated numeric columns.
+
+    Column names: ``c0, c1, ...``; consecutive pairs are correlated.
+    """
+    if num_column_pairs < 1:
+        raise ValueError("need at least one column pair")
+    rng = np.random.default_rng(seed)
+    columns: Dict[str, np.ndarray] = {}
+    for pair in range(num_column_pairs):
+        a, b = correlated_columns(
+            num_rows, correlation, seed=int(rng.integers(2 ** 31))
+        )
+        columns[f"c{2 * pair}"] = a
+        columns[f"c{2 * pair + 1}"] = b
+    return Table(name, columns)
+
+
+def make_star_schema(fact_rows: int = 5000,
+                     dimension_rows: Sequence[int] = (100, 50, 20),
+                     skew: float = 1.1,
+                     seed: Optional[int] = None) -> Catalog:
+    """A fact table with skewed foreign keys into small dimensions.
+
+    Tables: ``fact`` with columns ``fk0..fk{d-1}``, ``measure``; and
+    ``dim0 .. dim{d-1}`` each with ``id`` and ``attr``.
+    """
+    if fact_rows < 1:
+        raise ValueError("fact_rows must be positive")
+    rng = np.random.default_rng(seed)
+    catalog = Catalog()
+    fact_columns: Dict[str, np.ndarray] = {}
+    for d, rows in enumerate(dimension_rows):
+        if rows < 1:
+            raise ValueError("dimension row counts must be positive")
+        catalog.add_table(Table(
+            f"dim{d}",
+            {
+                "id": np.arange(rows),
+                "attr": rng.normal(size=rows),
+            },
+        ))
+        fact_columns[f"fk{d}"] = zipf_column(
+            fact_rows, rows, skew=skew, seed=int(rng.integers(2 ** 31))
+        )
+    fact_columns["measure"] = rng.gamma(2.0, 10.0, size=fact_rows)
+    catalog.add_table(Table("fact", fact_columns))
+    return catalog
+
+
+def true_range_cardinality(table: Table,
+                           predicates: Dict[str, Tuple[float, float]]
+                           ) -> int:
+    """Exact count of rows satisfying all range predicates.
+
+    ``predicates`` maps column name to an inclusive (low, high) range.
+    This is the label generator for learned cardinality estimation.
+    """
+    mask = np.ones(table.num_rows, dtype=bool)
+    for column, (low, high) in predicates.items():
+        values = table.column(column)
+        mask &= (values >= low) & (values <= high)
+    return int(mask.sum())
+
+
+def make_tpch_like_schema(scale: float = 0.01,
+                          seed: Optional[int] = None) -> Catalog:
+    """A miniature TPC-H-flavoured schema with referentially intact
+    foreign keys.
+
+    Tables (row counts at scale 1.0 in parentheses, scaled down
+    linearly): ``region`` (5), ``nation`` (25), ``customer`` (15k),
+    ``orders`` (150k), ``lineitem`` (~600k), ``part`` (20k),
+    ``supplier`` (1k). The canonical 5-way chain join
+    region-nation-customer-orders-lineitem exercises the optimizer the
+    way TPC-H Q5-style queries do.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    rng = np.random.default_rng(seed)
+
+    def rows(base: int, minimum: int = 2) -> int:
+        return max(minimum, int(base * scale))
+
+    n_region = 5
+    n_nation = 25
+    n_customer = rows(150_000)
+    n_orders = rows(1_500_000)
+    n_lineitem = rows(6_000_000)
+    n_part = rows(200_000)
+    n_supplier = rows(10_000)
+
+    catalog = Catalog()
+    catalog.add_table(Table("region", {
+        "r_regionkey": np.arange(n_region),
+    }))
+    catalog.add_table(Table("nation", {
+        "n_nationkey": np.arange(n_nation),
+        "n_regionkey": rng.integers(0, n_region, size=n_nation),
+    }))
+    catalog.add_table(Table("customer", {
+        "c_custkey": np.arange(n_customer),
+        "c_nationkey": rng.integers(0, n_nation, size=n_customer),
+        "c_acctbal": rng.uniform(-1000, 10_000, size=n_customer),
+    }))
+    catalog.add_table(Table("orders", {
+        "o_orderkey": np.arange(n_orders),
+        "o_custkey": zipf_column(n_orders, n_customer, skew=1.05,
+                                 seed=int(rng.integers(2 ** 31))),
+        "o_totalprice": rng.gamma(2.0, 20_000.0, size=n_orders),
+    }))
+    catalog.add_table(Table("lineitem", {
+        "l_orderkey": zipf_column(n_lineitem, n_orders, skew=1.02,
+                                  seed=int(rng.integers(2 ** 31))),
+        "l_partkey": rng.integers(0, n_part, size=n_lineitem),
+        "l_suppkey": rng.integers(0, n_supplier, size=n_lineitem),
+        "l_quantity": rng.integers(1, 51, size=n_lineitem),
+    }))
+    catalog.add_table(Table("part", {
+        "p_partkey": np.arange(n_part),
+        "p_retailprice": rng.uniform(900, 2000, size=n_part),
+    }))
+    catalog.add_table(Table("supplier", {
+        "s_suppkey": np.arange(n_supplier),
+        "s_nationkey": rng.integers(0, n_nation, size=n_supplier),
+    }))
+    return catalog
+
+
+def tpch_chain_join_query(catalog: Catalog):
+    """The canonical TPC-H-style 5-way chain join as a PhysicalQuery:
+    region - nation - customer - orders - lineitem."""
+    from .executor import EquiJoinPredicate, PhysicalQuery
+
+    return PhysicalQuery(
+        catalog=catalog,
+        tables=["region", "nation", "customer", "orders", "lineitem"],
+        predicates=[
+            EquiJoinPredicate("nation", "n_regionkey",
+                              "region", "r_regionkey"),
+            EquiJoinPredicate("customer", "c_nationkey",
+                              "nation", "n_nationkey"),
+            EquiJoinPredicate("orders", "o_custkey",
+                              "customer", "c_custkey"),
+            EquiJoinPredicate("lineitem", "l_orderkey",
+                              "orders", "o_orderkey"),
+        ],
+    )

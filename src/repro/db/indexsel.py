@@ -1,0 +1,275 @@
+"""Index selection under a storage budget as a QUBO.
+
+The classical problem: choose a subset of candidate indexes maximizing
+workload benefit subject to a storage budget, where benefits interact
+(two indexes covering the same query are partially redundant). The
+QUBO encodes
+
+    minimize  -sum_i benefit_i x_i + sum_{i<j} overlap_ij x_i x_j
+              + A * (sum_i size_i x_i + slack - budget)^2
+
+with the inequality turned into an equality through binary slack
+variables — the standard knapsack-to-QUBO trick the tutorial covers.
+Experiment E10.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..annealing.qubo import QUBO
+from ..annealing.simulated_annealing import SimulatedAnnealingSolver
+
+
+@dataclass
+class IndexSelectionProblem:
+    """Candidate indexes with sizes, benefits and pairwise overlaps.
+
+    ``sizes`` and ``benefits`` are per-candidate; ``overlaps`` maps
+    (i, j) with i < j to the benefit double-counted when both are
+    chosen (subtracted from the sum of individual benefits). All sizes
+    and the budget are positive integers, keeping the slack encoding
+    exact.
+    """
+
+    sizes: List[int]
+    benefits: List[float]
+    overlaps: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    budget: int = 0
+
+    def __post_init__(self):
+        if len(self.sizes) != len(self.benefits):
+            raise ValueError("sizes and benefits must align")
+        if not self.sizes:
+            raise ValueError("need at least one candidate index")
+        if any(s < 1 for s in self.sizes):
+            raise ValueError("sizes must be positive integers")
+        if any(b < 0 for b in self.benefits):
+            raise ValueError("benefits must be non-negative")
+        if self.budget < 1:
+            raise ValueError("budget must be a positive integer")
+        normalized: Dict[Tuple[int, int], float] = {}
+        for (i, j), value in self.overlaps.items():
+            if not 0 <= i < len(self.sizes) or not 0 <= j < len(self.sizes):
+                raise ValueError("overlap index out of range")
+            if i == j:
+                raise ValueError("overlaps link distinct indexes")
+            if value < 0:
+                raise ValueError("overlaps must be non-negative")
+            key = (min(i, j), max(i, j))
+            normalized[key] = normalized.get(key, 0.0) + float(value)
+        self.overlaps = normalized
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self.sizes)
+
+    def total_size(self, selection: Sequence[int]) -> int:
+        return int(sum(self.sizes[i] for i in selection))
+
+    def total_benefit(self, selection: Sequence[int]) -> float:
+        """Net benefit of a set of candidate indexes (overlap-adjusted)."""
+        chosen = sorted(set(selection))
+        benefit = sum(self.benefits[i] for i in chosen)
+        for a_pos, i in enumerate(chosen):
+            for j in chosen[a_pos + 1:]:
+                benefit -= self.overlaps.get((i, j), 0.0)
+        return float(benefit)
+
+    def is_feasible(self, selection: Sequence[int]) -> bool:
+        return self.total_size(selection) <= self.budget
+
+    @classmethod
+    def random(cls, num_candidates: int, budget_fraction: float = 0.4,
+               overlap_probability: float = 0.25,
+               seed: Optional[int] = None) -> "IndexSelectionProblem":
+        """Random instance; budget is a fraction of the total size."""
+        if num_candidates < 2:
+            raise ValueError("need at least two candidates")
+        if not 0 < budget_fraction <= 1:
+            raise ValueError("budget_fraction must be in (0, 1]")
+        rng = np.random.default_rng(seed)
+        sizes = [int(rng.integers(1, 20)) for _ in range(num_candidates)]
+        benefits = [float(rng.uniform(1.0, 50.0))
+                    for _ in range(num_candidates)]
+        overlaps: Dict[Tuple[int, int], float] = {}
+        for i in range(num_candidates):
+            for j in range(i + 1, num_candidates):
+                if rng.random() < overlap_probability:
+                    ceiling = 0.8 * min(benefits[i], benefits[j])
+                    overlaps[(i, j)] = float(rng.uniform(0.0, ceiling))
+        budget = max(1, int(budget_fraction * sum(sizes)))
+        return cls(sizes=sizes, benefits=benefits, overlaps=overlaps,
+                   budget=budget)
+
+
+class IndexSelectionQUBO:
+    """QUBO compiler with binary slack for the storage inequality."""
+
+    def __init__(self, problem: IndexSelectionProblem,
+                 penalty_scale: float = 1.0):
+        if penalty_scale <= 0:
+            raise ValueError("penalty_scale must be positive")
+        self.problem = problem
+        self.penalty_scale = penalty_scale
+        self.num_index_vars = problem.num_candidates
+        self.num_slack_vars = max(1, problem.budget.bit_length())
+        self.num_variables = self.num_index_vars + self.num_slack_vars
+        self._qubo: Optional[QUBO] = None
+
+    def slack_coefficients(self) -> List[int]:
+        """Binary expansion weights covering exactly [0, budget]."""
+        weights: List[int] = []
+        remaining = self.problem.budget
+        power = 1
+        while len(weights) < self.num_slack_vars - 1:
+            weights.append(power)
+            remaining -= power
+            power *= 2
+        weights.append(max(1, remaining))
+        return weights
+
+    def penalty_weight(self) -> float:
+        """Exceeds the largest possible benefit swing of one index."""
+        best = max(self.problem.benefits)
+        return self.penalty_scale * (best + 1.0)
+
+    def build(self) -> QUBO:
+        if self._qubo is not None:
+            return self._qubo
+        problem = self.problem
+        qubo = QUBO(self.num_variables)
+        for i, benefit in enumerate(problem.benefits):
+            qubo.add_linear(i, -benefit)
+        for (i, j), value in problem.overlaps.items():
+            qubo.add_quadratic(i, j, value)
+
+        # Penalty A * (sum_i s_i x_i + sum_k w_k z_k - budget)^2.
+        weight = self.penalty_weight()
+        slack = self.slack_coefficients()
+        coefficients = list(problem.sizes) + slack
+        budget = problem.budget
+        for a in range(self.num_variables):
+            ca = coefficients[a]
+            qubo.add_linear(a, weight * (ca * ca - 2.0 * budget * ca))
+            for b in range(a + 1, self.num_variables):
+                qubo.add_quadratic(
+                    a, b, weight * 2.0 * ca * coefficients[b]
+                )
+        qubo.add_offset(weight * budget * budget)
+        self._qubo = qubo
+        return qubo
+
+    def decode(self, bits: Sequence[int]) -> List[int]:
+        """Bits -> selected index list with two repair passes.
+
+        First infeasible selections shed their worst benefit/size
+        index until the budget holds; then leftover budget is filled
+        greedily by marginal benefit (the annealer often leaves slack
+        capacity because the slack bits froze early).
+        """
+        bits = np.asarray(bits).reshape(-1)
+        if bits.size != self.num_variables:
+            raise ValueError(
+                f"expected {self.num_variables} bits, got {bits.size}"
+            )
+        selection = [i for i in range(self.num_index_vars) if bits[i] == 1]
+        while selection and not self.problem.is_feasible(selection):
+            worst = min(
+                selection,
+                key=lambda i: self.problem.benefits[i] / self.problem.sizes[i],
+            )
+            selection.remove(worst)
+        return self._complete_greedily(selection)
+
+    def _complete_greedily(self, selection: List[int]) -> List[int]:
+        remaining = [
+            i for i in range(self.num_index_vars) if i not in selection
+        ]
+        while True:
+            current = self.problem.total_benefit(selection)
+            best_gain = 0.0
+            best_index: Optional[int] = None
+            for i in remaining:
+                if not self.problem.is_feasible(selection + [i]):
+                    continue
+                gain = self.problem.total_benefit(selection + [i]) - current
+                if gain > best_gain:
+                    best_gain = gain
+                    best_index = i
+            if best_index is None:
+                return selection
+            selection = selection + [best_index]
+            remaining.remove(best_index)
+
+
+def solve_index_selection_exact(problem: IndexSelectionProblem
+                                ) -> Tuple[List[int], float]:
+    """Optimal selection by subset enumeration (n <= ~20)."""
+    n = problem.num_candidates
+    if n > 22:
+        raise ValueError("exact enumeration limited to 22 candidates")
+    best_selection: List[int] = []
+    best_benefit = 0.0
+    for mask in range(1 << n):
+        selection = [i for i in range(n) if mask & (1 << i)]
+        if not problem.is_feasible(selection):
+            continue
+        benefit = problem.total_benefit(selection)
+        if benefit > best_benefit:
+            best_benefit = benefit
+            best_selection = selection
+    return best_selection, best_benefit
+
+
+def solve_index_selection_greedy(problem: IndexSelectionProblem
+                                 ) -> Tuple[List[int], float]:
+    """Marginal-benefit-per-size greedy (the classical advisor loop)."""
+    selection: List[int] = []
+    remaining = set(range(problem.num_candidates))
+    budget_left = problem.budget
+    while True:
+        best_index: Optional[int] = None
+        best_ratio = 0.0
+        current = problem.total_benefit(selection)
+        for i in sorted(remaining):
+            if problem.sizes[i] > budget_left:
+                continue
+            marginal = problem.total_benefit(selection + [i]) - current
+            ratio = marginal / problem.sizes[i]
+            if ratio > best_ratio:
+                best_ratio = ratio
+                best_index = i
+        if best_index is None:
+            break
+        selection.append(best_index)
+        remaining.discard(best_index)
+        budget_left -= problem.sizes[best_index]
+    return selection, problem.total_benefit(selection)
+
+
+def solve_index_selection_annealing(problem: IndexSelectionProblem,
+                                    solver=None,
+                                    penalty_scale: float = 1.0
+                                    ) -> Tuple[List[int], float]:
+    """Compile to QUBO, anneal, decode the best feasible read."""
+    compiler = IndexSelectionQUBO(problem, penalty_scale=penalty_scale)
+    qubo = compiler.build()
+    if solver is None:
+        solver = SimulatedAnnealingSolver(num_sweeps=800, num_reads=40,
+                                          seed=0)
+    samples = solver.solve(qubo)
+    best_selection: List[int] = []
+    best_benefit = -math.inf
+    for sample in samples:
+        selection = compiler.decode(sample.assignment)
+        benefit = problem.total_benefit(selection)
+        if benefit > best_benefit:
+            best_benefit = benefit
+            best_selection = selection
+    return best_selection, max(best_benefit, 0.0)

@@ -1,0 +1,251 @@
+"""Multiple-query optimization (MQO) as a QUBO.
+
+Reproduces the Trummer & Koch formulation (the first database problem
+run on a quantum annealer): a batch of queries each has alternative
+plans; pairs of plans from *different* queries can share intermediate
+results, saving cost. Choosing one plan per query to minimize
+
+    sum_p cost_p x_p  -  sum_{p, q} saving_pq x_p x_q
+
+is naturally quadratic; the one-plan-per-query constraint becomes a
+penalty. Experiment E9.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..annealing.qubo import QUBO
+from ..annealing.simulated_annealing import SimulatedAnnealingSolver
+
+
+@dataclass
+class MQOProblem:
+    """Plan costs per query plus pairwise cross-query savings.
+
+    ``plan_costs[q][k]`` is the cost of query q's k-th plan.
+    ``savings`` maps ((q1, k1), (q2, k2)) with q1 != q2 to a positive
+    saving realized when both plans are selected.
+    """
+
+    plan_costs: List[List[float]]
+    savings: Dict[Tuple[Tuple[int, int], Tuple[int, int]], float] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self):
+        if len(self.plan_costs) < 1:
+            raise ValueError("need at least one query")
+        for q, costs in enumerate(self.plan_costs):
+            if not costs:
+                raise ValueError(f"query {q} has no plans")
+            if any(c < 0 for c in costs):
+                raise ValueError("plan costs must be non-negative")
+        normalized: Dict[Tuple[Tuple[int, int], Tuple[int, int]], float] = {}
+        for (plan_a, plan_b), value in self.savings.items():
+            self._check_plan(plan_a)
+            self._check_plan(plan_b)
+            if plan_a[0] == plan_b[0]:
+                raise ValueError("savings must link different queries")
+            if value < 0:
+                raise ValueError("savings must be non-negative")
+            key = (min(plan_a, plan_b), max(plan_a, plan_b))
+            normalized[key] = normalized.get(key, 0.0) + float(value)
+        self.savings = normalized
+
+    def _check_plan(self, plan: Tuple[int, int]) -> None:
+        q, k = plan
+        if not 0 <= q < len(self.plan_costs):
+            raise ValueError(f"query {q} out of range")
+        if not 0 <= k < len(self.plan_costs[q]):
+            raise ValueError(f"plan {k} out of range for query {q}")
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.plan_costs)
+
+    @property
+    def num_plans(self) -> int:
+        return sum(len(costs) for costs in self.plan_costs)
+
+    def total_cost(self, selection: Sequence[int]) -> float:
+        """Cost of one plan choice per query, savings included."""
+        if len(selection) != self.num_queries:
+            raise ValueError("selection must pick one plan per query")
+        total = 0.0
+        for q, k in enumerate(selection):
+            self._check_plan((q, k))
+            total += self.plan_costs[q][k]
+        for (plan_a, plan_b), value in self.savings.items():
+            if (selection[plan_a[0]] == plan_a[1]
+                    and selection[plan_b[0]] == plan_b[1]):
+                total -= value
+        return total
+
+    @classmethod
+    def random(cls, num_queries: int, plans_per_query: int = 3,
+               sharing_probability: float = 0.3,
+               max_cost: float = 100.0,
+               seed: Optional[int] = None) -> "MQOProblem":
+        """Random instance in the style of the original evaluation."""
+        if num_queries < 1 or plans_per_query < 1:
+            raise ValueError("num_queries and plans_per_query must be >= 1")
+        if not 0 <= sharing_probability <= 1:
+            raise ValueError("sharing_probability must be in [0, 1]")
+        rng = np.random.default_rng(seed)
+        plan_costs = [
+            [float(rng.uniform(0.2 * max_cost, max_cost))
+             for _ in range(plans_per_query)]
+            for _ in range(num_queries)
+        ]
+        savings: Dict[Tuple[Tuple[int, int], Tuple[int, int]], float] = {}
+        for q1 in range(num_queries):
+            for q2 in range(q1 + 1, num_queries):
+                for k1 in range(plans_per_query):
+                    for k2 in range(plans_per_query):
+                        if rng.random() < sharing_probability:
+                            ceiling = 0.5 * min(
+                                plan_costs[q1][k1], plan_costs[q2][k2]
+                            )
+                            savings[((q1, k1), (q2, k2))] = float(
+                                rng.uniform(0.1 * ceiling, ceiling)
+                            )
+        return cls(plan_costs=plan_costs, savings=savings)
+
+
+class MQOQUBO:
+    """QUBO compiler for an :class:`MQOProblem`."""
+
+    def __init__(self, problem: MQOProblem, penalty_scale: float = 1.0):
+        if penalty_scale <= 0:
+            raise ValueError("penalty_scale must be positive")
+        self.problem = problem
+        self.penalty_scale = penalty_scale
+        self._offsets: List[int] = []
+        offset = 0
+        for costs in problem.plan_costs:
+            self._offsets.append(offset)
+            offset += len(costs)
+        self.num_variables = offset
+        self._qubo: Optional[QUBO] = None
+
+    def variable(self, query: int, plan: int) -> int:
+        """Flat index of plan ``plan`` of query ``query``."""
+        self.problem._check_plan((query, plan))
+        return self._offsets[query] + plan
+
+    def penalty_weight(self) -> float:
+        """Exceeds the worst objective swing from breaking a one-hot.
+
+        Selecting an *extra* plan p can gain at most the sum of savings
+        involving p (minus its cost); selecting *no* plan for a query
+        can gain at most the cheapest plan's cost. The weight needs to
+        beat both — and a *tight* weight matters in practice: oversized
+        penalties build barriers single-flip annealers cannot cross.
+        """
+        max_cost = max(max(costs) for costs in self.problem.plan_costs)
+        per_plan_savings: Dict[Tuple[int, int], float] = {}
+        for (plan_a, plan_b), value in self.problem.savings.items():
+            per_plan_savings[plan_a] = per_plan_savings.get(plan_a, 0.0) + value
+            per_plan_savings[plan_b] = per_plan_savings.get(plan_b, 0.0) + value
+        max_plan_savings = max(per_plan_savings.values(), default=0.0)
+        return self.penalty_scale * (max(max_cost, max_plan_savings) + 1.0)
+
+    def build(self) -> QUBO:
+        if self._qubo is not None:
+            return self._qubo
+        qubo = QUBO(self.num_variables)
+        for q, costs in enumerate(self.problem.plan_costs):
+            for k, cost in enumerate(costs):
+                qubo.add_linear(self.variable(q, k), cost)
+        for (plan_a, plan_b), value in self.problem.savings.items():
+            qubo.add_quadratic(
+                self.variable(*plan_a), self.variable(*plan_b), -value
+            )
+        weight = self.penalty_weight()
+        for q, costs in enumerate(self.problem.plan_costs):
+            qubo.add_penalty_exactly_one(
+                [self.variable(q, k) for k in range(len(costs))], weight
+            )
+        self._qubo = qubo
+        return qubo
+
+    def decode(self, bits: Sequence[int]) -> List[int]:
+        """Bits -> one plan index per query, repairing invalid rows by
+        picking the cheapest set (or overall cheapest) plan."""
+        bits = np.asarray(bits).reshape(-1)
+        if bits.size != self.num_variables:
+            raise ValueError(
+                f"expected {self.num_variables} bits, got {bits.size}"
+            )
+        selection: List[int] = []
+        for q, costs in enumerate(self.problem.plan_costs):
+            chosen = [k for k in range(len(costs))
+                      if bits[self.variable(q, k)] == 1]
+            if len(chosen) == 1:
+                selection.append(chosen[0])
+            elif chosen:
+                selection.append(min(chosen, key=lambda k: costs[k]))
+            else:
+                selection.append(int(np.argmin(costs)))
+        return selection
+
+
+def solve_mqo_exhaustive(problem: MQOProblem) -> Tuple[List[int], float]:
+    """Optimal selection by enumerating the full plan product."""
+    best_selection: Optional[List[int]] = None
+    best_cost = math.inf
+    ranges = [range(len(costs)) for costs in problem.plan_costs]
+    for selection in itertools.product(*ranges):
+        cost = problem.total_cost(selection)
+        if cost < best_cost:
+            best_cost = cost
+            best_selection = list(selection)
+    return best_selection, best_cost
+
+
+def solve_mqo_greedy(problem: MQOProblem) -> Tuple[List[int], float]:
+    """Cheapest plan per query, then single-query hill climbing on the
+    shared-cost objective until a local optimum."""
+    selection = [int(np.argmin(costs)) for costs in problem.plan_costs]
+    cost = problem.total_cost(selection)
+    improved = True
+    while improved:
+        improved = False
+        for q, costs in enumerate(problem.plan_costs):
+            for k in range(len(costs)):
+                if k == selection[q]:
+                    continue
+                candidate = list(selection)
+                candidate[q] = k
+                candidate_cost = problem.total_cost(candidate)
+                if candidate_cost < cost - 1e-12:
+                    selection, cost = candidate, candidate_cost
+                    improved = True
+    return selection, cost
+
+
+def solve_mqo_annealing(problem: MQOProblem, solver=None,
+                        penalty_scale: float = 1.0
+                        ) -> Tuple[List[int], float]:
+    """Compile to QUBO, anneal, decode the best read."""
+    compiler = MQOQUBO(problem, penalty_scale=penalty_scale)
+    qubo = compiler.build()
+    if solver is None:
+        solver = SimulatedAnnealingSolver(num_sweeps=500, num_reads=30,
+                                          seed=0)
+    samples = solver.solve(qubo)
+    best_selection: Optional[List[int]] = None
+    best_cost = math.inf
+    for sample in samples:
+        selection = compiler.decode(sample.assignment)
+        cost = problem.total_cost(selection)
+        if cost < best_cost:
+            best_cost = cost
+            best_selection = selection
+    return best_selection, best_cost

@@ -1,0 +1,174 @@
+"""Query-graph representation for join ordering.
+
+A :class:`JoinGraph` is the optimizer-facing abstraction: relations
+with base cardinalities and join edges with selectivities. Join trees
+over the graph are built from :class:`JoinTree` nodes and costed by the
+C_out model in :mod:`repro.db.cost`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+
+class JoinGraph:
+    """Relations (0..n-1) with cardinalities and selectivity edges."""
+
+    def __init__(self, cardinalities: Sequence[float],
+                 selectivities: Mapping[Tuple[int, int], float],
+                 names: Optional[Sequence[str]] = None):
+        if len(cardinalities) < 2:
+            raise ValueError("a join graph needs at least two relations")
+        self.cardinalities = [float(c) for c in cardinalities]
+        if any(c < 1 for c in self.cardinalities):
+            raise ValueError("cardinalities must be >= 1")
+        self.num_relations = len(self.cardinalities)
+        self.selectivities: Dict[Tuple[int, int], float] = {}
+        for (a, b), sel in selectivities.items():
+            self._check_rel(a)
+            self._check_rel(b)
+            if a == b:
+                raise ValueError("self-joins are not edges")
+            if not 0 < sel <= 1:
+                raise ValueError(
+                    f"selectivity must be in (0, 1], got {sel}"
+                )
+            self.selectivities[(min(a, b), max(a, b))] = float(sel)
+        if names is not None:
+            if len(names) != self.num_relations:
+                raise ValueError("names length must match relations")
+            self.names = list(names)
+        else:
+            self.names = [f"R{i}" for i in range(self.num_relations)]
+
+    # ------------------------------------------------------------------
+    def selectivity(self, a: int, b: int) -> float:
+        """Edge selectivity, or 1.0 (cross product) if no edge."""
+        return self.selectivities.get((min(a, b), max(a, b)), 1.0)
+
+    def neighbors(self, relation: int) -> List[int]:
+        """Relations joined to the given one by an edge."""
+        self._check_rel(relation)
+        out = []
+        for (a, b) in self.selectivities:
+            if a == relation:
+                out.append(b)
+            elif b == relation:
+                out.append(a)
+        return sorted(out)
+
+    def edges(self) -> List[Tuple[int, int]]:
+        return sorted(self.selectivities)
+
+    def subset_cardinality(self, relations: Iterable[int]) -> float:
+        """Estimated result size of joining a set of relations.
+
+        Product of base cardinalities times selectivities of all edges
+        inside the set (independence assumption — the classical
+        textbook estimator).
+        """
+        members = sorted(set(relations))
+        if not members:
+            raise ValueError("empty relation set")
+        size = 1.0
+        for r in members:
+            self._check_rel(r)
+            size *= self.cardinalities[r]
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                size *= self.selectivity(a, b)
+        return size
+
+    def is_connected_subset(self, relations: Iterable[int]) -> bool:
+        """Whether the induced subgraph on the given relations connects."""
+        members = sorted(set(relations))
+        if not members:
+            return False
+        seen = {members[0]}
+        frontier = [members[0]]
+        member_set = set(members)
+        while frontier:
+            current = frontier.pop()
+            for other in self.neighbors(current):
+                if other in member_set and other not in seen:
+                    seen.add(other)
+                    frontier.append(other)
+        return seen == member_set
+
+    def _check_rel(self, relation: int) -> None:
+        if not 0 <= relation < self.num_relations:
+            raise ValueError(
+                f"relation {relation} out of range "
+                f"[0, {self.num_relations})"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"JoinGraph(relations={self.num_relations}, "
+            f"edges={len(self.selectivities)})"
+        )
+
+
+@dataclass(frozen=True)
+class JoinTree:
+    """Binary join tree: a leaf (one relation) or an inner join node."""
+
+    relations: FrozenSet[int]
+    left: Optional["JoinTree"] = None
+    right: Optional["JoinTree"] = None
+
+    @classmethod
+    def leaf(cls, relation: int) -> "JoinTree":
+        return cls(frozenset([relation]))
+
+    @classmethod
+    def join(cls, left: "JoinTree", right: "JoinTree") -> "JoinTree":
+        if left.relations & right.relations:
+            raise ValueError("join inputs must be disjoint")
+        return cls(left.relations | right.relations, left, right)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    def inner_nodes(self) -> List["JoinTree"]:
+        """All join (non-leaf) nodes, leaves excluded."""
+        if self.is_leaf:
+            return []
+        return (self.left.inner_nodes() + self.right.inner_nodes()
+                + [self])
+
+    def is_left_deep(self) -> bool:
+        """True if every right child is a leaf."""
+        if self.is_leaf:
+            return True
+        return self.right.is_leaf and self.left.is_left_deep()
+
+    def leaf_order(self) -> List[int]:
+        """Relations in left-to-right leaf order."""
+        if self.is_leaf:
+            return [next(iter(self.relations))]
+        return self.left.leaf_order() + self.right.leaf_order()
+
+    def display(self, names: Optional[Sequence[str]] = None) -> str:
+        """Parenthesized rendering, e.g. ``((R0 ⋈ R1) ⋈ R2)``."""
+        if self.is_leaf:
+            relation = next(iter(self.relations))
+            return names[relation] if names else f"R{relation}"
+        return (f"({self.left.display(names)} ⋈ "
+                f"{self.right.display(names)})")
+
+
+def left_deep_tree(order: Sequence[int]) -> JoinTree:
+    """Build the left-deep tree joining relations in the given order."""
+    if len(order) < 2:
+        raise ValueError("need at least two relations")
+    if len(set(order)) != len(order):
+        raise ValueError("order must not repeat relations")
+    tree = JoinTree.leaf(order[0])
+    for relation in order[1:]:
+        tree = JoinTree.join(tree, JoinTree.leaf(relation))
+    return tree

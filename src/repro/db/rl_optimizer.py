@@ -1,0 +1,186 @@
+"""Reinforcement-learning join ordering (tabular Q-learning).
+
+The tutorial's "new techniques" thread: instead of enumerating plans,
+*learn* to build them. A left-deep join order is an episode: the state
+is the set of already-joined relations, an action appends one more
+relation, and the per-step reward is the negative log-cardinality of
+the new intermediate result — so the return of an episode is exactly
+the negative log-cost proxy that the QUBO formulation minimizes,
+making all three optimizer families (exact, annealed, learned)
+directly comparable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .cost import left_deep_cost
+from .query import JoinGraph
+
+State = FrozenSet[int]
+
+
+@dataclass
+class TrainingRecord:
+    """Per-episode diagnostics."""
+
+    episode: int
+    order: List[int]
+    cost: float
+    epsilon: float
+
+
+class QLearningJoinOptimizer:
+    """Tabular Q-learning over left-deep join-order construction.
+
+    Parameters
+    ----------
+    graph:
+        The join graph to optimize (the agent trains per-query, the
+        standard setup of the learned-optimizer literature's simplest
+        baseline).
+    episodes:
+        Training episodes.
+    learning_rate, discount:
+        Q-learning update parameters. ``discount=1.0`` is appropriate:
+        episodes are short and the objective is the undiscounted
+        episode return.
+    epsilon_start, epsilon_end:
+        Linear exploration schedule.
+    """
+
+    def __init__(self, graph: JoinGraph, episodes: int = 1500,
+                 learning_rate: float = 0.2, discount: float = 1.0,
+                 epsilon_start: float = 1.0, epsilon_end: float = 0.05,
+                 seed: Optional[int] = 0):
+        if episodes < 1:
+            raise ValueError("episodes must be positive")
+        if not 0 < learning_rate <= 1:
+            raise ValueError("learning_rate must be in (0, 1]")
+        if not 0 <= epsilon_end <= epsilon_start <= 1:
+            raise ValueError("need 0 <= epsilon_end <= epsilon_start <= 1")
+        self.graph = graph
+        self.episodes = episodes
+        self.learning_rate = learning_rate
+        self.discount = discount
+        self.epsilon_start = epsilon_start
+        self.epsilon_end = epsilon_end
+        self._rng = np.random.default_rng(seed)
+        self._q: Dict[Tuple[State, int], float] = {}
+        self.history: List[TrainingRecord] = []
+        self._trained = False
+
+    # ------------------------------------------------------------------
+    def _reward(self, prefix: Sequence[int], action: int) -> float:
+        """Negative log-cardinality of the new intermediate result.
+
+        The first relation is free (scanning a base table is not
+        charged by C_out either).
+        """
+        if not prefix:
+            return 0.0
+        size = self.graph.subset_cardinality([*prefix, action])
+        return -math.log(max(size, 1e-300))
+
+    def _q_value(self, state: State, action: int) -> float:
+        return self._q.get((state, action), 0.0)
+
+    def _best_action(self, state: State,
+                     available: Sequence[int]) -> int:
+        values = [self._q_value(state, a) for a in available]
+        best = max(values)
+        top = [a for a, v in zip(available, values) if v == best]
+        return int(top[self._rng.integers(len(top))])
+
+    def _epsilon(self, episode: int) -> float:
+        if self.episodes == 1:
+            return self.epsilon_end
+        fraction = episode / (self.episodes - 1)
+        return (self.epsilon_start
+                + fraction * (self.epsilon_end - self.epsilon_start))
+
+    # ------------------------------------------------------------------
+    def train(self) -> "QLearningJoinOptimizer":
+        """Run the training episodes (idempotent: call once)."""
+        n = self.graph.num_relations
+        for episode in range(self.episodes):
+            epsilon = self._epsilon(episode)
+            prefix: List[int] = []
+            state: State = frozenset()
+            while len(prefix) < n:
+                available = [r for r in range(n) if r not in state]
+                if self._rng.random() < epsilon:
+                    action = int(available[
+                        self._rng.integers(len(available))
+                    ])
+                else:
+                    action = self._best_action(state, available)
+                reward = self._reward(prefix, action)
+                next_state = state | {action}
+                next_available = [r for r in range(n)
+                                  if r not in next_state]
+                future = 0.0
+                if next_available:
+                    future = max(
+                        self._q_value(next_state, a)
+                        for a in next_available
+                    )
+                key = (state, action)
+                old = self._q_value(state, action)
+                self._q[key] = old + self.learning_rate * (
+                    reward + self.discount * future - old
+                )
+                prefix.append(action)
+                state = next_state
+            self.history.append(TrainingRecord(
+                episode=episode,
+                order=list(prefix),
+                cost=left_deep_cost(self.graph, prefix),
+                epsilon=epsilon,
+            ))
+        self._trained = True
+        return self
+
+    def best_order(self) -> List[int]:
+        """Greedy rollout of the learned policy (no exploration)."""
+        if not self._trained:
+            raise RuntimeError("call train() first")
+        n = self.graph.num_relations
+        prefix: List[int] = []
+        state: State = frozenset()
+        while len(prefix) < n:
+            available = [r for r in range(n) if r not in state]
+            action = self._best_action(state, available)
+            prefix.append(action)
+            state = state | {action}
+        return prefix
+
+    def best_cost(self) -> float:
+        """C_out of the learned policy's plan."""
+        return left_deep_cost(self.graph, self.best_order())
+
+    def learning_curve(self, window: int = 20) -> List[float]:
+        """Rolling geometric-mean episode cost (for convergence plots)."""
+        if not self.history:
+            raise RuntimeError("call train() first")
+        costs = [record.cost for record in self.history]
+        out: List[float] = []
+        for i in range(len(costs)):
+            chunk = costs[max(0, i - window + 1): i + 1]
+            logs = [math.log(max(c, 1e-300)) for c in chunk]
+            out.append(math.exp(sum(logs) / len(logs)))
+        return out
+
+
+def solve_join_order_rl(graph: JoinGraph, episodes: int = 1500,
+                        seed: Optional[int] = 0
+                        ) -> Tuple[List[int], float]:
+    """One-call wrapper: train a Q-learner, return (order, cost)."""
+    optimizer = QLearningJoinOptimizer(graph, episodes=episodes,
+                                       seed=seed)
+    optimizer.train()
+    return optimizer.best_order(), optimizer.best_cost()

@@ -1,0 +1,68 @@
+"""Workload generators: join graphs of standard topologies.
+
+The join-ordering literature (and its quantum offshoots) evaluates on
+chain, star, cycle and clique query shapes with log-uniform base
+cardinalities and random selectivities; these generators reproduce
+that setup with seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .query import JoinGraph
+
+TOPOLOGIES = ("chain", "star", "cycle", "clique")
+
+
+def random_join_graph(num_relations: int, topology: str = "chain",
+                      min_cardinality: float = 10.0,
+                      max_cardinality: float = 100_000.0,
+                      min_selectivity: float = 1e-4,
+                      max_selectivity: float = 0.5,
+                      seed: Optional[int] = None) -> JoinGraph:
+    """A random join graph of the given topology.
+
+    Cardinalities are log-uniform in [min, max]; each topology edge
+    gets a log-uniform selectivity.
+    """
+    if topology not in TOPOLOGIES:
+        raise ValueError(f"topology must be one of {TOPOLOGIES}")
+    if num_relations < 2:
+        raise ValueError("need at least two relations")
+    if not 0 < min_selectivity <= max_selectivity <= 1:
+        raise ValueError("selectivity bounds must satisfy 0 < min <= max <= 1")
+    rng = np.random.default_rng(seed)
+    cardinalities = np.exp(rng.uniform(
+        np.log(min_cardinality), np.log(max_cardinality),
+        size=num_relations,
+    ))
+    edges = topology_edges(num_relations, topology)
+    selectivities: Dict[Tuple[int, int], float] = {}
+    for edge in edges:
+        selectivities[edge] = float(np.exp(rng.uniform(
+            np.log(min_selectivity), np.log(max_selectivity)
+        )))
+    return JoinGraph(list(cardinalities), selectivities)
+
+
+def topology_edges(num_relations: int, topology: str) -> list:
+    """Edge list of a named query-graph topology over n relations."""
+    if topology == "chain":
+        return [(i, i + 1) for i in range(num_relations - 1)]
+    if topology == "star":
+        return [(0, i) for i in range(1, num_relations)]
+    if topology == "cycle":
+        chain = [(i, i + 1) for i in range(num_relations - 1)]
+        if num_relations > 2:
+            chain.append((0, num_relations - 1))
+        return chain
+    if topology == "clique":
+        return [
+            (i, j)
+            for i in range(num_relations)
+            for j in range(i + 1, num_relations)
+        ]
+    raise ValueError(f"topology must be one of {TOPOLOGIES}")

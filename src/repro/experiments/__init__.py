@@ -1,0 +1,31 @@
+"""Experiment harness: every DESIGN.md experiment as a runnable.
+
+Usage::
+
+    from repro.experiments import run_experiment, format_table
+    print(format_table(run_experiment("E8")))
+"""
+
+from .harness import (
+    ExperimentResult,
+    available_experiments,
+    format_table,
+    geometric_mean,
+    register,
+    run_experiment,
+    to_csv,
+)
+
+# Importing the runner modules registers all experiments eagerly so
+# available_experiments() is complete right after import.
+from . import ablations, foundations, learning, optimization  # noqa: E402,F401
+
+__all__ = [
+    "ExperimentResult",
+    "available_experiments",
+    "format_table",
+    "geometric_mean",
+    "register",
+    "run_experiment",
+    "to_csv",
+]

@@ -1,0 +1,40 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments            # list experiments
+    python -m repro.experiments E8         # run one at full scale
+    python -m repro.experiments E8 E12     # run several
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from .harness import available_experiments, format_table, run_experiment
+
+
+def main(argv) -> int:
+    experiments = available_experiments()
+    if not argv:
+        print("Available experiments:")
+        for experiment_id in sorted(experiments,
+                                    key=lambda e: int(e[1:])):
+            print(f"  {experiment_id:<4} {experiments[experiment_id]}")
+        print("\nRun with: python -m repro.experiments <id> [<id> ...]")
+        return 0
+    unknown = [e for e in argv if e not in experiments]
+    if unknown:
+        print(f"unknown experiment id(s): {unknown}", file=sys.stderr)
+        return 2
+    for experiment_id in argv:
+        start = time.time()
+        result = run_experiment(experiment_id)
+        print(format_table(result))
+        print(f"[{time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

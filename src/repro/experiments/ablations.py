@@ -1,0 +1,173 @@
+"""Ablations of the design choices DESIGN.md flags.
+
+* A1 — QUBO penalty-weight scale around the analytic rule.
+* A2 — join-order decode path: raw / repair / repair + 2-opt polish.
+* A3 — SQA Trotter-slice count on a tall-barrier instance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..annealing import (
+    SimulatedAnnealingSolver,
+    SimulatedQuantumAnnealingSolver,
+    solve_ising_exact,
+)
+from ..db.cost import left_deep_cost
+from ..db.joinorder import JoinOrderQUBO, exhaustive_left_deep, two_opt_polish
+from ..db.workloads import random_join_graph
+from .harness import ExperimentResult, geometric_mean, register
+
+
+@register("A1", "Penalty-weight ablation for the join-order QUBO")
+def penalty_weight_ablation(scales: Sequence[float] = (0.01, 0.05, 0.25,
+                                                       1.0, 4.0, 16.0),
+                            num_relations: int = 5, instances: int = 4,
+                            seed: int = 0) -> ExperimentResult:
+    """Sweep the penalty multiplier around the analytic weight.
+
+    Reports the fraction of annealer reads whose one-hot constraints
+    hold without repair, and the decoded cost ratio to the optimal
+    left-deep plan. Too small -> invalid encodings; too large ->
+    penalty barriers freeze the annealer.
+    """
+    rng = np.random.default_rng(seed)
+    graphs = [
+        random_join_graph(num_relations, "star",
+                          seed=int(rng.integers(2 ** 31)))
+        for _ in range(instances)
+    ]
+    optima = [exhaustive_left_deep(g)[1] for g in graphs]
+    rows = []
+    for scale in scales:
+        valid_fractions: List[float] = []
+        ratios: List[float] = []
+        for graph, optimum in zip(graphs, optima):
+            formulation = JoinOrderQUBO(graph, penalty_scale=scale)
+            qubo = formulation.build()
+            solver = SimulatedAnnealingSolver(
+                num_sweeps=300, num_reads=20,
+                seed=int(rng.integers(2 ** 31)),
+            )
+            samples = solver.solve(qubo)
+            decoded = [formulation.decode(s.assignment) for s in samples]
+            valid_fractions.append(
+                sum(d.valid for d in decoded) / len(decoded)
+            )
+            best = min(decoded, key=lambda d: d.cost)
+            ratios.append(best.cost / optimum)
+        rows.append({
+            "penalty_scale": scale,
+            "valid_read_fraction": float(np.mean(valid_fractions)),
+            "cost_vs_optimal": geometric_mean(ratios),
+        })
+    return ExperimentResult(
+        "A1", "Join-order QUBO penalty-weight ablation",
+        ["penalty_scale", "valid_read_fraction", "cost_vs_optimal"],
+        rows,
+        notes="scale 1.0 is the analytic rule; below ~0.05x the "
+              "one-hot encodings break (valid fraction collapses). "
+              "Oversized weights stay benign here because the "
+              "auto-scaled beta schedule absorbs them — itself a "
+              "finding this ablation documents.",
+    )
+
+
+@register("A2", "Join-order decode-path ablation")
+def decode_path_ablation(num_relations: int = 7, instances: int = 5,
+                         topologies: Sequence[str] = ("star", "cycle"),
+                         seed: int = 0) -> ExperimentResult:
+    """Decode alone vs decode + 2-opt polish vs 2-opt from random.
+
+    Quantifies how much of the hybrid pipeline's quality comes from
+    the annealer versus the classical polish, per topology. The
+    honest finding this ablation documents: on star/chain graphs the
+    annealer's decoded order is already near-optimal, while on cycle
+    graphs the permutation QUBO is hard for single-flip annealing and
+    the classical polish carries most of the final quality.
+    """
+    rng = np.random.default_rng(seed)
+    rows = []
+    for topology in topologies:
+        accumulator: Dict[str, List[float]] = {
+            "repair_only": [], "repair_plus_polish": [],
+            "polish_of_random": [],
+        }
+        for _ in range(instances):
+            graph = random_join_graph(num_relations, topology,
+                                      seed=int(rng.integers(2 ** 31)))
+            _, optimum = exhaustive_left_deep(graph)
+            formulation = JoinOrderQUBO(graph)
+            qubo = formulation.build()
+            solver = SimulatedAnnealingSolver(
+                num_sweeps=300, num_reads=20,
+                seed=int(rng.integers(2 ** 31)),
+            )
+            samples = solver.solve(qubo)
+            decoded = [formulation.decode(s.assignment)
+                       for s in samples]
+            best = min(decoded, key=lambda d: d.cost)
+            accumulator["repair_only"].append(best.cost / optimum)
+            polished = two_opt_polish(graph, best.order)
+            accumulator["repair_plus_polish"].append(
+                left_deep_cost(graph, polished) / optimum
+            )
+            random_order = list(rng.permutation(num_relations))
+            accumulator["polish_of_random"].append(
+                left_deep_cost(graph,
+                               two_opt_polish(graph, random_order))
+                / optimum
+            )
+        for name, values in accumulator.items():
+            rows.append({
+                "topology": topology,
+                "decode_path": name,
+                "cost_vs_optimal": geometric_mean(values),
+            })
+    return ExperimentResult(
+        "A2", "Join-order decode-path ablation",
+        ["topology", "decode_path", "cost_vs_optimal"],
+        rows,
+        notes="polish contribution is topology-dependent; 2-opt alone "
+              "is a strong heuristic at this scale",
+    )
+
+
+@register("A3", "SQA Trotter-slice ablation")
+def trotter_slice_ablation(slice_counts: Sequence[int] = (2, 5, 10, 20,
+                                                          40),
+                           cluster_size: int = 6, num_reads: int = 30,
+                           num_sweeps: int = 300,
+                           seed: int = 0) -> ExperimentResult:
+    """Ground-state hit rate vs number of Trotter slices P on a
+    tall-barrier weak-strong instance. Small P approximates thermal
+    dynamics; the quantum advantage needs enough imaginary-time
+    resolution."""
+    from .optimization import weak_strong_cluster_instance
+
+    model = weak_strong_cluster_instance(cluster_size)
+    _, optimum = solve_ising_exact(model)
+    rng = np.random.default_rng(seed)
+    rows = []
+    for slices in slice_counts:
+        solver = SimulatedQuantumAnnealingSolver(
+            num_sweeps=num_sweeps, num_reads=num_reads,
+            num_slices=slices, seed=int(rng.integers(2 ** 31)),
+        )
+        samples = solver.solve(model)
+        rows.append({
+            "trotter_slices": slices,
+            "hit_rate": samples.success_probability(optimum),
+        })
+    return ExperimentResult(
+        "A3", "SQA Trotter-slice ablation (weak-strong cluster)",
+        ["trotter_slices", "hit_rate"],
+        rows,
+        notes="hit rate rises with P, peaks, then degrades: at a "
+              "fixed sweep budget very large P dilutes the per-slice "
+              "dynamics (each slice gets beta/P), so there is an "
+              "optimal Trotter resolution",
+    )

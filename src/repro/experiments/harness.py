@@ -1,0 +1,130 @@
+"""Experiment harness: registry, result container, table formatting.
+
+Every experiment in DESIGN.md registers a runner here. Runners return
+an :class:`ExperimentResult` whose rows are the table/series the
+benchmark prints, so ``benchmarks/bench_e*.py``, ``EXPERIMENTS.md`` and
+ad-hoc exploration all share one code path:
+
+    from repro.experiments import run_experiment, format_table
+    print(format_table(run_experiment("E8", num_relations=6)))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's output table."""
+
+    experiment_id: str
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, Any]]
+    notes: str = ""
+
+    def column(self, name: str) -> List[Any]:
+        """Extract one column across all rows."""
+        if name not in self.columns:
+            raise KeyError(f"no column {name!r} in {self.columns}")
+        return [row.get(name) for row in self.rows]
+
+
+_REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {}
+_TITLES: Dict[str, str] = {}
+
+
+def register(experiment_id: str, title: str):
+    """Decorator registering a runner under an experiment id."""
+
+    def wrap(function: Callable[..., ExperimentResult]):
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"{experiment_id} registered twice")
+        _REGISTRY[experiment_id] = function
+        _TITLES[experiment_id] = title
+        return function
+
+    return wrap
+
+
+def available_experiments() -> Dict[str, str]:
+    """Mapping of experiment id -> title."""
+    return dict(_TITLES)
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run a registered experiment by id."""
+    # Import the runner modules lazily so registration happens on
+    # first use without import cycles.
+    from . import ablations, foundations, learning, optimization  # noqa: F401
+
+    if experiment_id not in _REGISTRY:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[experiment_id](**kwargs)
+
+
+def format_table(result: ExperimentResult,
+                 float_format: str = "{:.4g}") -> str:
+    """Render a result as an aligned text table (paper-style)."""
+    headers = result.columns
+    body: List[List[str]] = []
+    for row in result.rows:
+        rendered = []
+        for column in headers:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                rendered.append(float_format.format(value))
+            else:
+                rendered.append(str(value))
+        body.append(rendered)
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in body)) if body
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        f"{result.experiment_id}: {result.title}",
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for rendered in body:
+        lines.append(
+            "  ".join(rendered[i].ljust(widths[i])
+                      for i in range(len(headers)))
+        )
+    if result.notes:
+        lines.append(f"note: {result.notes}")
+    return "\n".join(lines)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, the standard aggregate for cost ratios."""
+    import math
+
+    values = [max(float(v), 1e-300) for v in values]
+    if not values:
+        raise ValueError("empty sequence")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def to_csv(result: ExperimentResult) -> str:
+    """Render a result as CSV (header + one line per row).
+
+    Cells are comma-escaped by quoting; floats keep full precision so
+    downstream plotting scripts lose nothing.
+    """
+    import csv
+    import io
+
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=result.columns,
+                            extrasaction="ignore")
+    writer.writeheader()
+    for row in result.rows:
+        writer.writerow({c: row.get(c, "") for c in result.columns})
+    return buffer.getvalue()

@@ -1,0 +1,104 @@
+"""Quantum machine learning core.
+
+Data encodings, variational ansätze, parameter-shift gradients,
+optimizers, variational models, quantum kernels, and barren-plateau
+diagnostics — the full foundations toolkit the tutorial teaches.
+"""
+
+from .ansatz import (
+    ANSATZ_BUILDERS,
+    build_ansatz,
+    hardware_efficient_ansatz,
+    strongly_entangling_ansatz,
+    two_local_ansatz,
+)
+from .barren import (
+    GradientStatistics,
+    exponential_decay_rate,
+    sample_gradient_component,
+    variance_scan,
+)
+from .feature_selection import (
+    FeatureSelectionProblem,
+    FeatureSelectionQUBO,
+    mutual_information,
+    select_features_annealing,
+    select_features_exact,
+    select_features_greedy,
+    swap_polish,
+)
+from .encoding import (
+    AmplitudeEncoding,
+    AngleEncoding,
+    BasisEncoding,
+    Encoding,
+    IQPEncoding,
+    mottonen_state_preparation,
+)
+from .gradients import (
+    expectation_function,
+    finite_difference_gradient,
+    parameter_shift_gradient,
+)
+from .kernels import (
+    FidelityQuantumKernel,
+    ProjectedQuantumKernel,
+    QuantumKernelClassifier,
+    kernel_target_alignment,
+)
+from .models import VariationalClassifier, VariationalRegressor
+from .multiclass import OneVsRestVariationalClassifier
+from .vqe import VQE, VQEResult
+from .optimizers import (
+    SPSA,
+    Adam,
+    GradientDescent,
+    Momentum,
+    OptimizeResult,
+    Optimizer,
+    make_optimizer,
+)
+
+__all__ = [
+    "ANSATZ_BUILDERS",
+    "build_ansatz",
+    "hardware_efficient_ansatz",
+    "strongly_entangling_ansatz",
+    "two_local_ansatz",
+    "GradientStatistics",
+    "exponential_decay_rate",
+    "sample_gradient_component",
+    "variance_scan",
+    "FeatureSelectionProblem",
+    "FeatureSelectionQUBO",
+    "mutual_information",
+    "select_features_annealing",
+    "select_features_exact",
+    "select_features_greedy",
+    "swap_polish",
+    "AmplitudeEncoding",
+    "AngleEncoding",
+    "BasisEncoding",
+    "Encoding",
+    "IQPEncoding",
+    "mottonen_state_preparation",
+    "expectation_function",
+    "finite_difference_gradient",
+    "parameter_shift_gradient",
+    "FidelityQuantumKernel",
+    "ProjectedQuantumKernel",
+    "QuantumKernelClassifier",
+    "kernel_target_alignment",
+    "VariationalClassifier",
+    "VariationalRegressor",
+    "OneVsRestVariationalClassifier",
+    "VQE",
+    "VQEResult",
+    "SPSA",
+    "Adam",
+    "GradientDescent",
+    "Momentum",
+    "OptimizeResult",
+    "Optimizer",
+    "make_optimizer",
+]

@@ -1,0 +1,124 @@
+"""Variational circuit ansätze (trainable circuit templates).
+
+Each builder returns ``(circuit, parameters)`` where the circuit is
+symbolic and the parameter list is in binding order. These are the
+trainable halves of the VQC models; the encodings in
+:mod:`repro.qml.encoding` provide the data halves.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..quantum.circuit import Circuit, Parameter, parameter_vector
+
+AnsatzResult = Tuple[Circuit, List[Parameter]]
+
+
+def hardware_efficient_ansatz(num_qubits: int, num_layers: int,
+                              rotations: Sequence[str] = ("ry", "rz"),
+                              entangler: str = "cx",
+                              prefix: str = "theta") -> AnsatzResult:
+    """The NISQ workhorse: per-qubit rotations + linear entangling chain.
+
+    Each layer applies the listed rotation gates to every qubit (one
+    fresh parameter each) followed by a CX/CZ chain over neighbours.
+    Parameter count: ``num_layers * num_qubits * len(rotations)``.
+    """
+    _check_args(num_qubits, num_layers)
+    if entangler not in ("cx", "cz"):
+        raise ValueError("entangler must be 'cx' or 'cz'")
+    for gate in rotations:
+        if gate not in ("rx", "ry", "rz"):
+            raise ValueError(f"unsupported rotation {gate!r}")
+    count = num_layers * num_qubits * len(rotations)
+    params = parameter_vector(prefix, count)
+    qc = Circuit(num_qubits)
+    index = 0
+    for _ in range(num_layers):
+        for qubit in range(num_qubits):
+            for gate in rotations:
+                qc.append(gate, [qubit], [params[index]])
+                index += 1
+        if num_qubits > 1:
+            for qubit in range(num_qubits - 1):
+                qc.append(entangler, [qubit, qubit + 1])
+    return qc, params
+
+
+def strongly_entangling_ansatz(num_qubits: int, num_layers: int,
+                               prefix: str = "theta") -> AnsatzResult:
+    """PennyLane-style strongly entangling layers.
+
+    Each layer: a full RZ-RY-RZ Euler rotation per qubit, then a ring of
+    CX gates with layer-dependent range ``r = 1 + (layer mod (n-1))``,
+    which mixes information across the register faster than a linear
+    chain. Parameter count: ``3 * num_layers * num_qubits``.
+    """
+    _check_args(num_qubits, num_layers)
+    params = parameter_vector(prefix, 3 * num_layers * num_qubits)
+    qc = Circuit(num_qubits)
+    index = 0
+    for layer in range(num_layers):
+        for qubit in range(num_qubits):
+            qc.rz(params[index], qubit)
+            qc.ry(params[index + 1], qubit)
+            qc.rz(params[index + 2], qubit)
+            index += 3
+        if num_qubits > 1:
+            reach = 1 + layer % (num_qubits - 1) if num_qubits > 2 else 1
+            for qubit in range(num_qubits):
+                qc.cx(qubit, (qubit + reach) % num_qubits)
+    return qc, params
+
+
+def two_local_ansatz(num_qubits: int, num_layers: int,
+                     prefix: str = "theta") -> AnsatzResult:
+    """RY rotations with trainable RZZ couplings between neighbours.
+
+    A natural ansatz for Ising-flavoured problems; parameter count:
+    ``num_layers * (num_qubits + max(num_qubits - 1, 0))`` plus a final
+    rotation layer.
+    """
+    _check_args(num_qubits, num_layers)
+    per_layer = num_qubits + max(num_qubits - 1, 0)
+    params = parameter_vector(prefix, num_layers * per_layer + num_qubits)
+    qc = Circuit(num_qubits)
+    index = 0
+    for _ in range(num_layers):
+        for qubit in range(num_qubits):
+            qc.ry(params[index], qubit)
+            index += 1
+        for qubit in range(num_qubits - 1):
+            qc.rzz(params[index], qubit, qubit + 1)
+            index += 1
+    for qubit in range(num_qubits):
+        qc.ry(params[index], qubit)
+        index += 1
+    return qc, params
+
+
+ANSATZ_BUILDERS = {
+    "hardware_efficient": hardware_efficient_ansatz,
+    "strongly_entangling": strongly_entangling_ansatz,
+    "two_local": two_local_ansatz,
+}
+
+
+def build_ansatz(name: str, num_qubits: int, num_layers: int,
+                 prefix: str = "theta") -> AnsatzResult:
+    """Look up an ansatz builder by name."""
+    try:
+        builder = ANSATZ_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown ansatz {name!r}; choose from {sorted(ANSATZ_BUILDERS)}"
+        ) from None
+    return builder(num_qubits, num_layers, prefix=prefix)
+
+
+def _check_args(num_qubits: int, num_layers: int) -> None:
+    if num_qubits < 1:
+        raise ValueError("num_qubits must be positive")
+    if num_layers < 1:
+        raise ValueError("num_layers must be positive")

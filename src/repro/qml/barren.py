@@ -1,0 +1,108 @@
+"""Barren-plateau diagnostics.
+
+McClean et al. showed that for sufficiently deep random parameterized
+circuits, the variance of any cost-gradient component vanishes
+exponentially in the qubit count — the central trainability obstacle
+the tutorial warns database researchers about. This module measures
+that variance empirically for the library's own ansätze (experiment E4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..quantum.operators import PauliSum, zz, single_z
+from ..quantum.statevector import StatevectorSimulator
+from .ansatz import build_ansatz
+from .gradients import parameter_shift_gradient
+
+
+@dataclass
+class GradientStatistics:
+    """Sampled gradient statistics for one (qubits, depth) setting."""
+
+    num_qubits: int
+    depth: int
+    num_samples: int
+    mean: float
+    variance: float
+    samples: List[float]
+
+
+def sample_gradient_component(num_qubits: int, depth: int,
+                              num_samples: int = 50,
+                              ansatz: str = "hardware_efficient",
+                              component: int = 0,
+                              observable: Optional[PauliSum] = None,
+                              seed: Optional[int] = None
+                              ) -> GradientStatistics:
+    """Sample one gradient component at random parameter points.
+
+    The observable defaults to ``Z_0 Z_1`` (a typical local cost term;
+    for one qubit it falls back to ``Z_0``). Returns mean and variance
+    of ``dE / d(theta_component)`` over uniformly random parameters.
+    """
+    if num_samples < 2:
+        raise ValueError("need at least two samples for a variance")
+    circuit, params = build_ansatz(ansatz, num_qubits, depth)
+    if component < 0 or component >= len(params):
+        raise ValueError(
+            f"component must index the {len(params)} ansatz parameters"
+        )
+    if observable is None:
+        if num_qubits >= 2:
+            observable = PauliSum([zz(0, 1, num_qubits)])
+        else:
+            observable = PauliSum([single_z(0, num_qubits)])
+    rng = np.random.default_rng(seed)
+    sim = StatevectorSimulator()
+    samples: List[float] = []
+    for _ in range(num_samples):
+        values = rng.uniform(0, 2 * np.pi, size=len(params))
+        gradient = parameter_shift_gradient(
+            circuit, observable, values, simulator=sim
+        )
+        samples.append(float(gradient[component]))
+    data = np.asarray(samples)
+    return GradientStatistics(
+        num_qubits=num_qubits,
+        depth=depth,
+        num_samples=num_samples,
+        mean=float(data.mean()),
+        variance=float(data.var()),
+        samples=samples,
+    )
+
+
+def variance_scan(qubit_range: Sequence[int], depth: int = 4,
+                  num_samples: int = 50,
+                  ansatz: str = "hardware_efficient",
+                  seed: Optional[int] = None) -> List[GradientStatistics]:
+    """Gradient variance for each qubit count; E4's data series.
+
+    A barren plateau shows as ``variance ~ b ** (-n)`` with ``b > 1``.
+    """
+    rng = np.random.default_rng(seed)
+    return [
+        sample_gradient_component(
+            n, depth, num_samples=num_samples, ansatz=ansatz,
+            seed=int(rng.integers(2 ** 31)),
+        )
+        for n in qubit_range
+    ]
+
+
+def exponential_decay_rate(scan: Sequence[GradientStatistics]) -> float:
+    """Fit ``log(variance) = a - rate * n``; returns the decay rate.
+
+    A positive rate confirms exponential suppression with qubit count.
+    """
+    if len(scan) < 2:
+        raise ValueError("need at least two scan points")
+    ns = np.array([s.num_qubits for s in scan], dtype=float)
+    variances = np.array([max(s.variance, 1e-300) for s in scan])
+    slope, _ = np.polyfit(ns, np.log(variances), 1)
+    return float(-slope)

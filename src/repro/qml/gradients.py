@@ -1,0 +1,155 @@
+"""Gradients of circuit expectation values.
+
+The exact two-term parameter-shift rule applies to every gate of the
+form ``exp(-i theta G / 2)`` with ``G^2 = I`` (all rx/ry/rz/rxx/ryy/rzz
+gates in this library): for such a gate,
+
+    d<O>/d(theta) = ( <O>(theta + pi/2) - <O>(theta - pi/2) ) / 2
+
+When a circuit parameter feeds several gate occurrences, or enters a
+gate through an affine expression ``s * theta + o``, the chain rule
+sums the per-occurrence shift terms scaled by ``s``. Gates outside the
+shift-rule family (``p``, ``cp``, ``u3``, controlled rotations) fall
+back to central finite differences.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..quantum.circuit import (
+    Circuit,
+    Instruction,
+    Parameter,
+    ParameterExpression,
+)
+from ..quantum.gates import SHIFT_RULE_GATES
+from ..quantum.statevector import StatevectorSimulator
+
+_SHIFT = math.pi / 2.0
+_FD_EPS = 1e-6
+
+
+def expectation_function(circuit: Circuit, observable,
+                         simulator: Optional[StatevectorSimulator] = None
+                         ) -> Callable[[Sequence[float]], float]:
+    """Close over a symbolic circuit: values -> ``<O>``.
+
+    Parameter order follows ``circuit.parameters``.
+    """
+    sim = simulator or StatevectorSimulator()
+    params = circuit.parameters
+
+    def evaluate(values: Sequence[float]) -> float:
+        bound = circuit.bind(dict(zip(params, values)))
+        return sim.expectation(bound, observable)
+
+    return evaluate
+
+
+def parameter_shift_gradient(circuit: Circuit, observable,
+                             values: Sequence[float],
+                             simulator: Optional[StatevectorSimulator] = None
+                             ) -> np.ndarray:
+    """Exact gradient of ``<O>`` w.r.t. every circuit parameter.
+
+    Cost: two circuit executions per shift-rule gate occurrence of each
+    parameter (the hardware-realistic gradient the tutorial teaches).
+    """
+    sim = simulator or StatevectorSimulator()
+    params = circuit.parameters
+    values = list(values)
+    if len(values) != len(params):
+        raise ValueError(
+            f"expected {len(params)} values, got {len(values)}"
+        )
+    binding = dict(zip(params, values))
+    bound = circuit.bind(binding)
+    gradient = np.zeros(len(params))
+    for k, param in enumerate(params):
+        gradient[k] = _single_parameter_gradient(
+            circuit, bound, observable, param, binding, sim
+        )
+    return gradient
+
+
+def _single_parameter_gradient(circuit: Circuit, bound: Circuit,
+                               observable, param: Parameter,
+                               binding, sim: StatevectorSimulator) -> float:
+    total = 0.0
+    for position, inst in enumerate(circuit.instructions):
+        scale = _occurrence_scale(inst, param)
+        if scale is None:
+            continue
+        if inst.name in SHIFT_RULE_GATES:
+            plus = _with_shifted_angle(bound, position, +_SHIFT)
+            minus = _with_shifted_angle(bound, position, -_SHIFT)
+            term = 0.5 * (
+                sim.expectation(plus, observable)
+                - sim.expectation(minus, observable)
+            )
+        else:
+            plus = _with_shifted_angle(bound, position, +_FD_EPS)
+            minus = _with_shifted_angle(bound, position, -_FD_EPS)
+            term = (
+                sim.expectation(plus, observable)
+                - sim.expectation(minus, observable)
+            ) / (2.0 * _FD_EPS)
+        total += scale * term
+    return total
+
+
+def _occurrence_scale(inst: Instruction, param: Parameter) -> Optional[float]:
+    """d(gate angle)/d(param) for this occurrence, or None if absent.
+
+    Only single-parameter gates participate (multi-parameter gates such
+    as u3 are handled by the full finite-difference fallback in
+    :func:`finite_difference_gradient` and are rejected here).
+    """
+    for p in inst.params:
+        if isinstance(p, Parameter) and p is param:
+            if len(inst.params) != 1:
+                raise ValueError(
+                    f"gate {inst.name!r} has multiple parameters; use "
+                    "finite_difference_gradient"
+                )
+            return 1.0
+        if isinstance(p, ParameterExpression) and p.parameter is param:
+            if len(inst.params) != 1:
+                raise ValueError(
+                    f"gate {inst.name!r} has multiple parameters; use "
+                    "finite_difference_gradient"
+                )
+            return p.scale
+    return None
+
+
+def _with_shifted_angle(bound: Circuit, position: int,
+                        shift: float) -> Circuit:
+    """Copy of a fully bound circuit with one gate angle shifted."""
+    out = Circuit(bound.num_qubits)
+    out.instructions = list(bound.instructions)
+    inst = out.instructions[position]
+    (angle,) = inst.params
+    out.instructions[position] = Instruction(
+        inst.name, inst.qubits, (float(angle) + shift,)
+    )
+    return out
+
+
+def finite_difference_gradient(function: Callable[[Sequence[float]], float],
+                               values: Sequence[float],
+                               epsilon: float = 1e-6) -> np.ndarray:
+    """Central finite differences for any scalar function of a vector."""
+    values = np.asarray(values, dtype=float)
+    gradient = np.zeros_like(values)
+    for k in range(values.size):
+        forward = values.copy()
+        backward = values.copy()
+        forward[k] += epsilon
+        backward[k] -= epsilon
+        gradient[k] = (function(forward) - function(backward)) / (2 * epsilon)
+    return gradient

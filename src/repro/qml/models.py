@@ -1,0 +1,239 @@
+"""Variational quantum models: classifier and regressor.
+
+A model is ``encoding circuit (data) -> ansatz (weights) -> <Z_0>``,
+trained by minimizing a squared loss with parameter-shift gradients.
+This is the textbook VQC pipeline the tutorial presents, wrapped in the
+familiar ``fit`` / ``predict`` estimator interface.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..quantum.circuit import Circuit, Parameter
+from ..quantum.operators import PauliSum, single_z
+from ..quantum.measurement import expectation_with_shots
+from ..quantum.statevector import StatevectorSimulator
+from .ansatz import build_ansatz
+from .encoding import AngleEncoding, Encoding
+from .gradients import parameter_shift_gradient
+from .optimizers import Adam, Optimizer, make_optimizer
+
+
+class _VariationalModel:
+    """Shared machinery for the classifier and regressor."""
+
+    def __init__(self, encoding: Union[Encoding, int],
+                 num_layers: int = 2,
+                 ansatz: str = "hardware_efficient",
+                 optimizer: Union[str, Optimizer, None] = None,
+                 epochs: int = 30,
+                 batch_size: Optional[int] = None,
+                 shots: Optional[int] = None,
+                 data_reuploads: int = 1,
+                 seed: Optional[int] = 0):
+        if isinstance(encoding, int):
+            encoding = AngleEncoding(encoding, scaling=math.pi)
+        if not isinstance(encoding, Encoding):
+            raise TypeError("encoding must be an Encoding or a feature count")
+        if epochs < 1:
+            raise ValueError("epochs must be positive")
+        if data_reuploads < 1:
+            raise ValueError("data_reuploads must be >= 1")
+        self.encoding = encoding
+        self.num_layers = num_layers
+        self.ansatz_name = ansatz
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.shots = shots
+        self.data_reuploads = data_reuploads
+        self._rng = np.random.default_rng(seed)
+        self._sim = StatevectorSimulator(seed=seed)
+        if optimizer is None:
+            optimizer = Adam(learning_rate=0.1)
+        elif isinstance(optimizer, str):
+            optimizer = make_optimizer(optimizer)
+        self.optimizer = optimizer
+
+        self._template, self._weight_params = build_ansatz(
+            ansatz, encoding.num_qubits, num_layers
+        )
+        self.num_weights = len(self._weight_params)
+        self._observable = PauliSum([single_z(0, encoding.num_qubits)])
+        self.weights_: Optional[np.ndarray] = None
+        self.loss_history_: List[float] = []
+
+    # ------------------------------------------------------------------
+    def _full_circuit(self, x: Sequence[float]) -> Circuit:
+        """Data-bound circuit with symbolic weights.
+
+        With ``data_reuploads > 1`` the encoding block is interleaved
+        with fresh copies of the ansatz layers (simple re-uploading).
+        """
+        data_circuit = self.encoding.circuit(x)
+        full = data_circuit
+        for _ in range(self.data_reuploads - 1):
+            full = full.compose(self._template).compose(data_circuit)
+        return full.compose(self._template)
+
+    def _raw_output(self, x: Sequence[float],
+                    weights: np.ndarray) -> float:
+        circuit = self._full_circuit(x).bind(
+            dict(zip(self._weight_params, weights))
+        )
+        if self.shots is None:
+            return self._sim.expectation(circuit, self._observable)
+        return expectation_with_shots(
+            circuit, self._observable, self.shots, rng=self._rng
+        )
+
+    def _raw_gradient(self, x: Sequence[float],
+                      weights: np.ndarray) -> np.ndarray:
+        circuit = self._full_circuit(x)
+        # Parameter order in the composed circuit: weight params appear
+        # in template order because the encoding is fully bound.
+        return parameter_shift_gradient(
+            circuit, self._observable, weights, simulator=self._sim
+        )
+
+    def _fit_targets(self, X: np.ndarray, targets: np.ndarray) -> None:
+        """Minimize mean squared error between raw outputs and targets."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        n = X.shape[0]
+        batch = min(self.batch_size or n, n)
+        weights0 = self._rng.uniform(-0.1, 0.1, size=self.num_weights)
+        state = {"weights": weights0}
+
+        def batch_rows() -> np.ndarray:
+            if batch >= n:
+                return np.arange(n)
+            return self._rng.choice(n, size=batch, replace=False)
+
+        rows_holder = {"rows": batch_rows()}
+
+        def loss(weights: np.ndarray) -> float:
+            rows = rows_holder["rows"]
+            outputs = np.array(
+                [self._raw_output(X[i], weights) for i in rows]
+            )
+            return float(((outputs - targets[rows]) ** 2).mean())
+
+        def gradient(weights: np.ndarray) -> np.ndarray:
+            rows = rows_holder["rows"]
+            grad = np.zeros(self.num_weights)
+            for i in rows:
+                output = self._raw_output(X[i], weights)
+                grad += 2.0 * (output - targets[i]) * self._raw_gradient(
+                    X[i], weights
+                )
+            return grad / rows.size
+
+        def resample(iteration: int, weights: np.ndarray,
+                     value: float) -> None:
+            self.loss_history_.append(value)
+            rows_holder["rows"] = batch_rows()
+
+        self.loss_history_ = []
+        result = self.optimizer.minimize(
+            loss, weights0, gradient=gradient, max_iter=self.epochs,
+            callback=resample,
+        )
+        state["weights"] = result.x
+        self.weights_ = result.x
+
+    def _check_fitted(self) -> None:
+        if self.weights_ is None:
+            raise RuntimeError("model is not fitted; call fit first")
+
+    def raw_outputs(self, X: np.ndarray) -> np.ndarray:
+        """Model outputs ``<Z_0>`` in [-1, 1] for each row of X."""
+        self._check_fitted()
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return np.array(
+            [self._raw_output(x, self.weights_) for x in X]
+        )
+
+
+class VariationalClassifier(_VariationalModel):
+    """Binary classifier: sign of ``<Z_0>`` after the trained circuit.
+
+    Labels may be any two values; they are mapped to -1/+1 internally.
+
+    Examples
+    --------
+    >>> from repro.datasets import make_moons
+    >>> X, y = make_moons(40, seed=1)
+    >>> clf = VariationalClassifier(2, num_layers=2, epochs=5)
+    >>> _ = clf.fit(X, y)
+    >>> clf.predict(X[:3]).shape
+    (3,)
+    """
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "VariationalClassifier":
+        y = np.asarray(y).reshape(-1)
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[0] != y.size:
+            raise ValueError("X and y length mismatch")
+        self.classes_ = np.unique(y)
+        if self.classes_.size != 2:
+            raise ValueError("classifier is binary; got "
+                             f"{self.classes_.size} classes")
+        targets = np.where(y == self.classes_[1], 1.0, -1.0)
+        self._fit_targets(X, targets)
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Signed score in [-1, 1]; positive means the second class."""
+        return self.raw_outputs(X)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        scores = self.decision_function(X)
+        return np.where(scores >= 0, self.classes_[1], self.classes_[0])
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Probability of the positive class, ``(1 + <Z>) / 2`` clipped."""
+        return np.clip((1.0 + self.decision_function(X)) / 2.0, 0.0, 1.0)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy."""
+        return float((self.predict(X) == np.asarray(y).reshape(-1)).mean())
+
+
+class VariationalRegressor(_VariationalModel):
+    """Regressor: affinely rescaled ``<Z_0>`` output.
+
+    The output range is calibrated from the training targets, so the
+    circuit only has to learn the shape of the function on [-1, 1].
+    """
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "VariationalRegressor":
+        y = np.asarray(y, dtype=float).reshape(-1)
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[0] != y.size:
+            raise ValueError("X and y length mismatch")
+        lo, hi = float(y.min()), float(y.max())
+        if hi == lo:
+            self._scale, self._offset = 1.0, lo
+            targets = np.zeros_like(y)
+        else:
+            # Map targets into [-0.9, 0.9] to keep them reachable.
+            self._scale = (hi - lo) / 1.8
+            self._offset = (hi + lo) / 2.0
+            targets = (y - self._offset) / self._scale
+        self._fit_targets(X, targets)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.raw_outputs(X) * self._scale + self._offset
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Coefficient of determination R^2."""
+        y = np.asarray(y, dtype=float).reshape(-1)
+        predictions = self.predict(X)
+        total = ((y - y.mean()) ** 2).sum()
+        if total == 0:
+            return 1.0
+        return 1.0 - float(((y - predictions) ** 2).sum() / total)

@@ -1,0 +1,85 @@
+"""One-vs-rest multiclass wrapper for binary variational classifiers.
+
+The tutorial's models are binary; real database classification tasks
+(e.g. plan-choice prediction) often are not. This wrapper trains one
+binary :class:`~repro.qml.models.VariationalClassifier` per class and
+predicts by the largest decision margin — the standard OvR reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from .models import VariationalClassifier
+
+
+class OneVsRestVariationalClassifier:
+    """Multiclass classification from per-class binary VQCs.
+
+    Parameters
+    ----------
+    classifier_factory:
+        Zero-argument callable building a fresh (unfitted) binary
+        classifier per class; defaults to a small angle-encoded VQC
+        sized at fit time.
+    """
+
+    def __init__(self,
+                 classifier_factory: Optional[
+                     Callable[[], VariationalClassifier]] = None):
+        self.classifier_factory = classifier_factory
+        self._classifiers: List[VariationalClassifier] = []
+        self.classes_: Optional[np.ndarray] = None
+        self._num_features: Optional[int] = None
+
+    def _make_classifier(self) -> VariationalClassifier:
+        if self.classifier_factory is not None:
+            return self.classifier_factory()
+        return VariationalClassifier(self._num_features, num_layers=2,
+                                     epochs=20, seed=0)
+
+    def fit(self, X: np.ndarray,
+            y: np.ndarray) -> "OneVsRestVariationalClassifier":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y).reshape(-1)
+        if X.shape[0] != y.size:
+            raise ValueError("X and y length mismatch")
+        self.classes_ = np.unique(y)
+        if self.classes_.size < 2:
+            raise ValueError("need at least two classes")
+        self._num_features = X.shape[1]
+        self._classifiers = []
+        for label in self.classes_:
+            binary_targets = (y == label).astype(int)
+            clf = self._make_classifier()
+            clf.fit(X, binary_targets)
+            self._classifiers.append(clf)
+        return self
+
+    def decision_matrix(self, X: np.ndarray) -> np.ndarray:
+        """Per-class margins, shape (n_samples, n_classes).
+
+        Each column is that class's binary score oriented so larger
+        means 'more this class'.
+        """
+        if not self._classifiers:
+            raise RuntimeError("classifier is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        columns = []
+        for clf in self._classifiers:
+            margins = clf.decision_function(X)
+            # The binary model's positive class is its classes_[1];
+            # orient so 'this label' is positive.
+            if clf.classes_[1] != 1:
+                margins = -margins
+            columns.append(margins)
+        return np.column_stack(columns)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        margins = self.decision_matrix(X)
+        return self.classes_[np.argmax(margins, axis=1)]
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        return float((self.predict(X) == np.asarray(y).reshape(-1)).mean())

@@ -1,0 +1,217 @@
+"""Optimizers for variational quantum circuits.
+
+Gradient-based (GD, momentum, Adam) and gradient-free / stochastic
+(SPSA) optimizers behind one ``minimize`` interface. SPSA matters
+because on hardware every gradient component costs circuit evaluations
+and expectation values carry shot noise — it estimates the full
+gradient from exactly two (noisy) function evaluations per step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+Objective = Callable[[np.ndarray], float]
+Gradient = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class OptimizeResult:
+    """Outcome of an optimization run."""
+
+    x: np.ndarray
+    fun: float
+    nit: int
+    nfev: int
+    history: List[float] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return (
+            f"OptimizeResult(fun={self.fun:.6g}, nit={self.nit}, "
+            f"nfev={self.nfev})"
+        )
+
+
+class Optimizer:
+    """Base class: subclasses implement :meth:`minimize`."""
+
+    def minimize(self, function: Objective, x0: Sequence[float],
+                 gradient: Optional[Gradient] = None,
+                 max_iter: int = 100,
+                 callback: Optional[Callable[[int, np.ndarray, float], None]]
+                 = None) -> OptimizeResult:
+        raise NotImplementedError
+
+
+class GradientDescent(Optimizer):
+    """Plain gradient descent with a fixed learning rate."""
+
+    def __init__(self, learning_rate: float = 0.1):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+
+    def minimize(self, function, x0, gradient=None, max_iter=100,
+                 callback=None) -> OptimizeResult:
+        if gradient is None:
+            raise ValueError("GradientDescent requires a gradient")
+        x = np.asarray(x0, dtype=float).copy()
+        history: List[float] = []
+        nfev = 0
+        for iteration in range(max_iter):
+            value = function(x)
+            nfev += 1
+            history.append(value)
+            if callback is not None:
+                callback(iteration, x, value)
+            x = x - self.learning_rate * np.asarray(gradient(x))
+        final = function(x)
+        nfev += 1
+        history.append(final)
+        return OptimizeResult(x=x, fun=final, nit=max_iter, nfev=nfev,
+                              history=history)
+
+
+class Momentum(Optimizer):
+    """Gradient descent with heavy-ball momentum."""
+
+    def __init__(self, learning_rate: float = 0.1, momentum: float = 0.9):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+
+    def minimize(self, function, x0, gradient=None, max_iter=100,
+                 callback=None) -> OptimizeResult:
+        if gradient is None:
+            raise ValueError("Momentum requires a gradient")
+        x = np.asarray(x0, dtype=float).copy()
+        velocity = np.zeros_like(x)
+        history: List[float] = []
+        nfev = 0
+        for iteration in range(max_iter):
+            value = function(x)
+            nfev += 1
+            history.append(value)
+            if callback is not None:
+                callback(iteration, x, value)
+            velocity = (self.momentum * velocity
+                        - self.learning_rate * np.asarray(gradient(x)))
+            x = x + velocity
+        final = function(x)
+        nfev += 1
+        history.append(final)
+        return OptimizeResult(x=x, fun=final, nit=max_iter, nfev=nfev,
+                              history=history)
+
+
+class Adam(Optimizer):
+    """Adam: adaptive moments, the default trainer for the VQC models."""
+
+    def __init__(self, learning_rate: float = 0.05, beta1: float = 0.9,
+                 beta2: float = 0.999, epsilon: float = 1e-8):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+
+    def minimize(self, function, x0, gradient=None, max_iter=100,
+                 callback=None) -> OptimizeResult:
+        if gradient is None:
+            raise ValueError("Adam requires a gradient")
+        x = np.asarray(x0, dtype=float).copy()
+        m = np.zeros_like(x)
+        v = np.zeros_like(x)
+        history: List[float] = []
+        nfev = 0
+        for iteration in range(1, max_iter + 1):
+            value = function(x)
+            nfev += 1
+            history.append(value)
+            if callback is not None:
+                callback(iteration - 1, x, value)
+            g = np.asarray(gradient(x))
+            m = self.beta1 * m + (1 - self.beta1) * g
+            v = self.beta2 * v + (1 - self.beta2) * g * g
+            m_hat = m / (1 - self.beta1 ** iteration)
+            v_hat = v / (1 - self.beta2 ** iteration)
+            x = x - self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+        final = function(x)
+        nfev += 1
+        history.append(final)
+        return OptimizeResult(x=x, fun=final, nit=max_iter, nfev=nfev,
+                              history=history)
+
+
+class SPSA(Optimizer):
+    """Simultaneous perturbation stochastic approximation.
+
+    Estimates the gradient from two function evaluations regardless of
+    dimension, using a random +-1 perturbation direction, with the
+    classic Spall gain schedules ``a_k = a / (k + 1 + A)^alpha`` and
+    ``c_k = c / (k + 1)^gamma``.
+    """
+
+    def __init__(self, a: float = 0.2, c: float = 0.1, alpha: float = 0.602,
+                 gamma: float = 0.101, stability: float = 10.0,
+                 seed: Optional[int] = None):
+        if a <= 0 or c <= 0:
+            raise ValueError("gains a and c must be positive")
+        self.a = a
+        self.c = c
+        self.alpha = alpha
+        self.gamma = gamma
+        self.stability = stability
+        self._rng = np.random.default_rng(seed)
+
+    def minimize(self, function, x0, gradient=None, max_iter=100,
+                 callback=None) -> OptimizeResult:
+        # The supplied analytic gradient (if any) is deliberately
+        # ignored: SPSA's whole point is gradient-free operation.
+        x = np.asarray(x0, dtype=float).copy()
+        history: List[float] = []
+        nfev = 0
+        for k in range(max_iter):
+            ak = self.a / (k + 1 + self.stability) ** self.alpha
+            ck = self.c / (k + 1) ** self.gamma
+            delta = self._rng.choice((-1.0, 1.0), size=x.size)
+            plus = function(x + ck * delta)
+            minus = function(x - ck * delta)
+            nfev += 2
+            estimate = (plus - minus) / (2.0 * ck) * delta
+            x = x - ak * estimate
+            value = 0.5 * (plus + minus)
+            history.append(value)
+            if callback is not None:
+                callback(k, x, value)
+        final = function(x)
+        nfev += 1
+        history.append(final)
+        return OptimizeResult(x=x, fun=final, nit=max_iter, nfev=nfev,
+                              history=history)
+
+
+OPTIMIZERS = {
+    "gd": GradientDescent,
+    "momentum": Momentum,
+    "adam": Adam,
+    "spsa": SPSA,
+}
+
+
+def make_optimizer(name: str, **kwargs) -> Optimizer:
+    """Instantiate an optimizer by short name."""
+    try:
+        cls = OPTIMIZERS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown optimizer {name!r}; choose from {sorted(OPTIMIZERS)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,125 @@
+"""Variational quantum eigensolver.
+
+Minimizes ``<psi(theta)| H |psi(theta)>`` over a parameterized ansatz —
+the gate-model route to ground states that complements QAOA (which it
+generalizes: QAOA is VQE with a problem-structured ansatz). In the
+database context this solves the same Ising-encoded optimization
+problems as the annealers in :mod:`repro.annealing`, so results can be
+cross-checked across all three solver families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..quantum.circuit import Circuit, Parameter
+from ..quantum.operators import PauliSum, PauliString
+from ..quantum.statevector import StatevectorSimulator
+from .ansatz import build_ansatz
+from .gradients import parameter_shift_gradient
+from .optimizers import Adam, Optimizer
+
+
+@dataclass
+class VQEResult:
+    """Outcome of a VQE run."""
+
+    eigenvalue: float
+    optimal_parameters: np.ndarray
+    history: List[float]
+    nfev: int
+
+    def __repr__(self) -> str:
+        return (f"VQEResult(eigenvalue={self.eigenvalue:.6g}, "
+                f"nfev={self.nfev})")
+
+
+class VQE:
+    """Ground-state solver over a trainable ansatz.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register width; must match the Hamiltonian.
+    ansatz:
+        Name from :data:`repro.qml.ansatz.ANSATZ_BUILDERS`.
+    num_layers:
+        Ansatz depth.
+    optimizer:
+        Any :class:`repro.qml.optimizers.Optimizer`; Adam by default.
+    restarts:
+        Independent random restarts; the best run wins (variational
+        landscapes have local minima).
+    """
+
+    def __init__(self, num_qubits: int,
+                 ansatz: str = "hardware_efficient",
+                 num_layers: int = 2,
+                 optimizer: Optional[Optimizer] = None,
+                 max_iter: int = 120, restarts: int = 2,
+                 seed: Optional[int] = 0):
+        if restarts < 1:
+            raise ValueError("restarts must be positive")
+        if max_iter < 1:
+            raise ValueError("max_iter must be positive")
+        self.num_qubits = num_qubits
+        self.max_iter = max_iter
+        self.restarts = restarts
+        self.optimizer = optimizer or Adam(learning_rate=0.1)
+        self._rng = np.random.default_rng(seed)
+        self._sim = StatevectorSimulator(seed=seed)
+        self._circuit, self._params = build_ansatz(
+            ansatz, num_qubits, num_layers
+        )
+
+    @property
+    def num_parameters(self) -> int:
+        return len(self._params)
+
+    def compute_minimum_eigenvalue(
+            self, hamiltonian: Union[PauliSum, PauliString]) -> VQEResult:
+        """Minimize the Hamiltonian expectation; returns the best run."""
+        if isinstance(hamiltonian, PauliString):
+            hamiltonian = PauliSum([hamiltonian])
+        if hamiltonian.num_qubits != self.num_qubits:
+            raise ValueError(
+                f"Hamiltonian acts on {hamiltonian.num_qubits} qubits, "
+                f"solver is configured for {self.num_qubits}"
+            )
+
+        def energy(values: np.ndarray) -> float:
+            bound = self._circuit.bind(dict(zip(self._params, values)))
+            return self._sim.expectation(bound, hamiltonian)
+
+        def gradient(values: np.ndarray) -> np.ndarray:
+            return parameter_shift_gradient(
+                self._circuit, hamiltonian, values, simulator=self._sim
+            )
+
+        best: Optional[VQEResult] = None
+        total_nfev = 0
+        for _ in range(self.restarts):
+            x0 = self._rng.uniform(-0.5, 0.5, size=self.num_parameters)
+            result = self.optimizer.minimize(
+                energy, x0, gradient=gradient, max_iter=self.max_iter
+            )
+            total_nfev += result.nfev
+            candidate = VQEResult(
+                eigenvalue=result.fun,
+                optimal_parameters=result.x,
+                history=result.history,
+                nfev=total_nfev,
+            )
+            if best is None or candidate.eigenvalue < best.eigenvalue:
+                best = candidate
+        return best
+
+    def optimal_state(self, result: VQEResult) -> np.ndarray:
+        """Statevector at the optimized parameters."""
+        bound = self._circuit.bind(
+            dict(zip(self._params, result.optimal_parameters))
+        )
+        return self._sim.run(bound)

@@ -1,0 +1,144 @@
+"""Canonical quantum amplitude estimation (Brassard et al.).
+
+Estimates the probability ``a = |<good|psi>|^2`` of a marked subspace
+to additive error ``O(1 / 2**m)`` using ``m`` phase-estimation qubits
+over the Grover operator ``Q = -S_psi S_good`` — a *quadratic*
+improvement over the ``O(1 / eps^2)`` shots classical sampling needs.
+This is the machinery behind quantum speedups for aggregate/count
+queries and Monte Carlo estimation that the tutorial points to.
+
+Implemented at matrix granularity: the Grover operator is constructed
+as a dense unitary from the state-preparation circuit and the marked
+set, then fed to textbook QPE.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from .circuit import Circuit
+from .phase_estimation import phase_estimation
+from .statevector import StatevectorSimulator
+
+
+@dataclass
+class AmplitudeEstimationResult:
+    """Outcome of a QAE run."""
+
+    estimate: float          # estimated amplitude a
+    true_amplitude: float    # exact a (available in simulation)
+    num_eval_qubits: int
+    grover_calls: int        # 2**m - 1 controlled applications
+
+    @property
+    def error(self) -> float:
+        return abs(self.estimate - self.true_amplitude)
+
+
+def amplitude_estimation(preparation: Circuit, good_states: Iterable[int],
+                         num_eval_qubits: int = 5
+                         ) -> AmplitudeEstimationResult:
+    """Estimate the probability mass of ``good_states`` under the
+    state prepared by ``preparation``.
+
+    Parameters
+    ----------
+    preparation:
+        A fully bound circuit preparing ``|psi> = A|0>``.
+    good_states:
+        Computational basis indices forming the 'good' subspace.
+    num_eval_qubits:
+        Phase-estimation resolution m; the grid has ``2**m`` points
+        and the additive error is ~``pi / 2**m``.
+    """
+    if num_eval_qubits < 1:
+        raise ValueError("num_eval_qubits must be positive")
+    sim = StatevectorSimulator()
+    psi = sim.run(preparation)
+    dim = psi.size
+    good = sorted(set(int(g) for g in good_states))
+    if not good:
+        raise ValueError("good_states must be non-empty")
+    if good[0] < 0 or good[-1] >= dim:
+        raise ValueError("good state index out of range")
+
+    projector_diag = np.zeros(dim)
+    projector_diag[good] = 1.0
+    true_amplitude = float((np.abs(psi) ** 2 * projector_diag).sum())
+
+    # Grover operator Q = A S_0 A^dag S_good, with S_good the phase
+    # flip on good states and S_0 the phase flip about |0...0>.
+    s_good = np.diag(1.0 - 2.0 * projector_diag).astype(complex)
+    s_zero = np.eye(dim, dtype=complex)
+    s_zero[0, 0] = -1.0
+    a_matrix = _circuit_unitary(preparation)
+    grover = -(a_matrix @ s_zero @ a_matrix.conj().T @ s_good)
+
+    # Q rotates the (good, bad) plane by 2 theta with a = sin^2(theta);
+    # QPE on Q with input |psi> reads phase theta / pi (or 1 - it).
+    result = phase_estimation(grover, psi, num_bits=num_eval_qubits)
+    estimate = math.sin(math.pi * result.estimated_phase) ** 2
+    return AmplitudeEstimationResult(
+        estimate=float(estimate),
+        true_amplitude=true_amplitude,
+        num_eval_qubits=num_eval_qubits,
+        grover_calls=2 ** num_eval_qubits - 1,
+    )
+
+
+def classical_sample_estimate(preparation: Circuit,
+                              good_states: Iterable[int], shots: int,
+                              seed: Optional[int] = None) -> float:
+    """Monte Carlo baseline: estimate the same amplitude by sampling.
+
+    Standard error ~ ``sqrt(a (1 - a) / shots)`` — the 1/eps^2 cost
+    QAE quadratically improves on.
+    """
+    if shots < 1:
+        raise ValueError("shots must be positive")
+    sim = StatevectorSimulator(seed=seed)
+    counts = sim.sample_counts(preparation, shots)
+    good = {int(g) for g in good_states}
+    hits = sum(
+        count for bits, count in counts.items()
+        if int(bits, 2) in good
+    )
+    return hits / shots
+
+
+def _circuit_unitary(circuit: Circuit) -> np.ndarray:
+    """Dense unitary of a bound circuit (testing-scale registers)."""
+    dim = 2 ** circuit.num_qubits
+    sim = StatevectorSimulator()
+    columns = []
+    for basis in range(dim):
+        start = np.zeros(dim, dtype=complex)
+        start[basis] = 1.0
+        columns.append(sim.run(circuit, initial_state=start))
+    return np.column_stack(columns)
+
+
+def quantum_counting(num_qubits: int, marked: Iterable[int],
+                     num_eval_qubits: int = 6) -> float:
+    """Estimate the *number* of marked basis states — the quantum
+    COUNT(*) primitive.
+
+    Runs amplitude estimation with the uniform superposition as the
+    preparation circuit, then rescales the estimated amplitude
+    ``a = M / N`` back to a count. Resolution follows the phase grid:
+    the returned count is exact once ``2**num_eval_qubits`` resolves
+    ``asin(sqrt(M / N))``.
+    """
+    marked = sorted(set(int(m) for m in marked))
+    if not marked:
+        raise ValueError("marked must be non-empty")
+    preparation = Circuit(num_qubits)
+    for q in range(num_qubits):
+        preparation.h(q)
+    result = amplitude_estimation(preparation, marked,
+                                  num_eval_qubits=num_eval_qubits)
+    return result.estimate * 2 ** num_qubits

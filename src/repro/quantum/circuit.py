@@ -1,0 +1,426 @@
+"""Quantum circuit intermediate representation.
+
+A :class:`Circuit` is an ordered list of :class:`Instruction` objects.
+Gate parameters may be concrete floats or symbolic :class:`Parameter`
+placeholders (optionally scaled/shifted via :class:`ParameterExpression`),
+which is what lets :mod:`repro.qml` build one circuit template and bind
+data points and trainable weights into it repeatedly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .gates import GATE_ARITY, GATE_NUM_PARAMS, gate_matrix
+
+
+class Parameter:
+    """A named symbolic circuit parameter.
+
+    Parameters are compared by identity, so two parameters that happen to
+    share a name are still distinct knobs. Arithmetic with floats yields
+    :class:`ParameterExpression` objects (affine expressions only, which
+    is all the parameter-shift rule needs).
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name!r})"
+
+    def __mul__(self, other: float) -> "ParameterExpression":
+        return ParameterExpression(self, scale=float(other))
+
+    __rmul__ = __mul__
+
+    def __add__(self, other: float) -> "ParameterExpression":
+        return ParameterExpression(self, offset=float(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: float) -> "ParameterExpression":
+        return ParameterExpression(self, offset=-float(other))
+
+    def __neg__(self) -> "ParameterExpression":
+        return ParameterExpression(self, scale=-1.0)
+
+
+@dataclass(frozen=True)
+class ParameterExpression:
+    """An affine expression ``scale * parameter + offset``."""
+
+    parameter: Parameter
+    scale: float = 1.0
+    offset: float = 0.0
+
+    def bind(self, value: float) -> float:
+        """Evaluate the expression at a concrete parameter value."""
+        return self.scale * value + self.offset
+
+    def __mul__(self, other: float) -> "ParameterExpression":
+        other = float(other)
+        return ParameterExpression(
+            self.parameter, scale=self.scale * other, offset=self.offset * other
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "ParameterExpression":
+        return self * -1.0
+
+    def __add__(self, other: float) -> "ParameterExpression":
+        return ParameterExpression(
+            self.parameter, scale=self.scale, offset=self.offset + float(other)
+        )
+
+    __radd__ = __add__
+
+
+ParamValue = Union[float, Parameter, ParameterExpression]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single gate application: name, target qubits, parameters."""
+
+    name: str
+    qubits: Tuple[int, ...]
+    params: Tuple[ParamValue, ...] = ()
+
+    @property
+    def is_parameterized(self) -> bool:
+        """True if any parameter is still symbolic."""
+        return any(
+            isinstance(p, (Parameter, ParameterExpression)) for p in self.params
+        )
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield the distinct symbolic parameters in this instruction."""
+        for p in self.params:
+            if isinstance(p, Parameter):
+                yield p
+            elif isinstance(p, ParameterExpression):
+                yield p.parameter
+
+    def matrix(self) -> np.ndarray:
+        """Unitary matrix of this instruction; requires bound parameters."""
+        if self.is_parameterized:
+            raise ValueError(
+                f"instruction {self.name} has unbound parameters; bind first"
+            )
+        return gate_matrix(self.name, [float(p) for p in self.params])
+
+
+class Circuit:
+    """An ordered sequence of gate instructions on ``num_qubits`` qubits.
+
+    The builder methods (``h``, ``rx``, ``cx``, ...) append an
+    instruction and return ``self`` so construction chains fluently::
+
+        qc = Circuit(2).h(0).cx(0, 1)
+    """
+
+    def __init__(self, num_qubits: int):
+        if num_qubits < 1:
+            raise ValueError("a circuit needs at least one qubit")
+        self.num_qubits = int(num_qubits)
+        self.instructions: List[Instruction] = []
+
+    # ------------------------------------------------------------------
+    # Generic appends
+    # ------------------------------------------------------------------
+    def append(self, name: str, qubits: Sequence[int],
+               params: Sequence[ParamValue] = ()) -> "Circuit":
+        """Append a gate by name, validating arity and qubit indices."""
+        key = name.lower()
+        arity = GATE_ARITY.get(key)
+        if arity is None:
+            raise KeyError(f"unknown gate {name!r}")
+        qubits = tuple(int(q) for q in qubits)
+        if len(qubits) != arity:
+            raise ValueError(
+                f"gate {name!r} acts on {arity} qubit(s), got {len(qubits)}"
+            )
+        if len(set(qubits)) != len(qubits):
+            raise ValueError(f"duplicate qubits in {qubits}")
+        for q in qubits:
+            if not 0 <= q < self.num_qubits:
+                raise ValueError(
+                    f"qubit {q} out of range for {self.num_qubits}-qubit circuit"
+                )
+        expected = GATE_NUM_PARAMS[key]
+        if len(params) != expected:
+            raise ValueError(
+                f"gate {name!r} takes {expected} parameter(s), got {len(params)}"
+            )
+        normalized: List[ParamValue] = []
+        for p in params:
+            if isinstance(p, (Parameter, ParameterExpression)):
+                normalized.append(p)
+            else:
+                normalized.append(float(p))
+        self.instructions.append(Instruction(key, qubits, tuple(normalized)))
+        return self
+
+    # ------------------------------------------------------------------
+    # Named builders
+    # ------------------------------------------------------------------
+    def i(self, q: int) -> "Circuit":
+        return self.append("i", [q])
+
+    def x(self, q: int) -> "Circuit":
+        return self.append("x", [q])
+
+    def y(self, q: int) -> "Circuit":
+        return self.append("y", [q])
+
+    def z(self, q: int) -> "Circuit":
+        return self.append("z", [q])
+
+    def h(self, q: int) -> "Circuit":
+        return self.append("h", [q])
+
+    def s(self, q: int) -> "Circuit":
+        return self.append("s", [q])
+
+    def sdg(self, q: int) -> "Circuit":
+        return self.append("sdg", [q])
+
+    def t(self, q: int) -> "Circuit":
+        return self.append("t", [q])
+
+    def tdg(self, q: int) -> "Circuit":
+        return self.append("tdg", [q])
+
+    def sx(self, q: int) -> "Circuit":
+        return self.append("sx", [q])
+
+    def rx(self, theta: ParamValue, q: int) -> "Circuit":
+        return self.append("rx", [q], [theta])
+
+    def ry(self, theta: ParamValue, q: int) -> "Circuit":
+        return self.append("ry", [q], [theta])
+
+    def rz(self, theta: ParamValue, q: int) -> "Circuit":
+        return self.append("rz", [q], [theta])
+
+    def p(self, lam: ParamValue, q: int) -> "Circuit":
+        return self.append("p", [q], [lam])
+
+    def u3(self, theta: ParamValue, phi: ParamValue, lam: ParamValue,
+           q: int) -> "Circuit":
+        return self.append("u3", [q], [theta, phi, lam])
+
+    def cx(self, control: int, target: int) -> "Circuit":
+        return self.append("cx", [control, target])
+
+    def cz(self, control: int, target: int) -> "Circuit":
+        return self.append("cz", [control, target])
+
+    def swap(self, a: int, b: int) -> "Circuit":
+        return self.append("swap", [a, b])
+
+    def iswap(self, a: int, b: int) -> "Circuit":
+        return self.append("iswap", [a, b])
+
+    def crx(self, theta: ParamValue, control: int, target: int) -> "Circuit":
+        return self.append("crx", [control, target], [theta])
+
+    def cry(self, theta: ParamValue, control: int, target: int) -> "Circuit":
+        return self.append("cry", [control, target], [theta])
+
+    def crz(self, theta: ParamValue, control: int, target: int) -> "Circuit":
+        return self.append("crz", [control, target], [theta])
+
+    def cp(self, lam: ParamValue, control: int, target: int) -> "Circuit":
+        return self.append("cp", [control, target], [lam])
+
+    def rxx(self, theta: ParamValue, a: int, b: int) -> "Circuit":
+        return self.append("rxx", [a, b], [theta])
+
+    def ryy(self, theta: ParamValue, a: int, b: int) -> "Circuit":
+        return self.append("ryy", [a, b], [theta])
+
+    def rzz(self, theta: ParamValue, a: int, b: int) -> "Circuit":
+        return self.append("rzz", [a, b], [theta])
+
+    def ccx(self, c1: int, c2: int, target: int) -> "Circuit":
+        return self.append("ccx", [c1, c2, target])
+
+    def cswap(self, control: int, a: int, b: int) -> "Circuit":
+        return self.append("cswap", [control, a, b])
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    @property
+    def parameters(self) -> List[Parameter]:
+        """Distinct symbolic parameters in first-appearance order."""
+        seen: Dict[int, Parameter] = {}
+        for inst in self.instructions:
+            for p in inst.parameters():
+                seen.setdefault(id(p), p)
+        return list(seen.values())
+
+    @property
+    def num_parameters(self) -> int:
+        return len(self.parameters)
+
+    def depth(self) -> int:
+        """Circuit depth: longest chain of instructions per qubit frontier."""
+        frontier = [0] * self.num_qubits
+        for inst in self.instructions:
+            level = 1 + max(frontier[q] for q in inst.qubits)
+            for q in inst.qubits:
+                frontier[q] = level
+        return max(frontier, default=0)
+
+    def count_ops(self) -> Dict[str, int]:
+        """Histogram of gate names."""
+        counts: Dict[str, int] = {}
+        for inst in self.instructions:
+            counts[inst.name] = counts.get(inst.name, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def copy(self) -> "Circuit":
+        out = Circuit(self.num_qubits)
+        out.instructions = list(self.instructions)
+        return out
+
+    def bind(self, mapping: Mapping[Parameter, float]) -> "Circuit":
+        """Return a copy with the given parameters substituted.
+
+        Parameters absent from ``mapping`` stay symbolic, so partial
+        binding (data first, weights later) is supported.
+        """
+        out = Circuit(self.num_qubits)
+        for inst in self.instructions:
+            new_params: List[ParamValue] = []
+            for p in inst.params:
+                if isinstance(p, Parameter) and p in mapping:
+                    new_params.append(float(mapping[p]))
+                elif (isinstance(p, ParameterExpression)
+                      and p.parameter in mapping):
+                    new_params.append(p.bind(float(mapping[p.parameter])))
+                else:
+                    new_params.append(p)
+            out.instructions.append(
+                Instruction(inst.name, inst.qubits, tuple(new_params))
+            )
+        return out
+
+    def bind_values(self, values: Sequence[float]) -> "Circuit":
+        """Bind all parameters positionally, in first-appearance order."""
+        params = self.parameters
+        if len(values) != len(params):
+            raise ValueError(
+                f"circuit has {len(params)} parameters, got {len(values)} values"
+            )
+        return self.bind(dict(zip(params, values)))
+
+    def compose(self, other: "Circuit") -> "Circuit":
+        """Return a new circuit running ``self`` then ``other``."""
+        if other.num_qubits > self.num_qubits:
+            raise ValueError(
+                "composed circuit acts on more qubits than the base circuit"
+            )
+        out = self.copy()
+        out.instructions.extend(other.instructions)
+        return out
+
+    def inverse(self) -> "Circuit":
+        """Return the adjoint circuit.
+
+        All instructions must be bound; symbolic parameters are negated
+        only through the affine machinery for shift-rule gates, so for
+        simplicity (and because every caller inverts bound encodings) we
+        require concrete parameters except for shift-rule gates, whose
+        inverse is the gate at the negated parameter.
+        """
+        out = Circuit(self.num_qubits)
+        for inst in reversed(self.instructions):
+            out.instructions.append(_invert_instruction(inst))
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit(num_qubits={self.num_qubits}, "
+            f"gates={len(self.instructions)}, "
+            f"params={self.num_parameters})"
+        )
+
+    def draw(self) -> str:
+        """A minimal text rendering: one line per instruction."""
+        lines = [f"Circuit on {self.num_qubits} qubit(s):"]
+        for inst in self.instructions:
+            args = ", ".join(_param_repr(p) for p in inst.params)
+            suffix = f"({args})" if args else ""
+            lines.append(f"  {inst.name}{suffix} q{list(inst.qubits)}")
+        return "\n".join(lines)
+
+
+_SELF_INVERSE = frozenset(
+    {"i", "x", "y", "z", "h", "cx", "cz", "swap", "ccx", "cswap"}
+)
+_NEGATE_PARAM = frozenset(
+    {"rx", "ry", "rz", "p", "crx", "cry", "crz", "cp", "rxx", "ryy", "rzz"}
+)
+_INVERSE_NAME = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t"}
+
+
+def _invert_instruction(inst: Instruction) -> Instruction:
+    if inst.name in _SELF_INVERSE:
+        return inst
+    if inst.name in _INVERSE_NAME:
+        return Instruction(_INVERSE_NAME[inst.name], inst.qubits)
+    if inst.name in _NEGATE_PARAM:
+        (theta,) = inst.params
+        if isinstance(theta, Parameter):
+            negated: ParamValue = -theta
+        elif isinstance(theta, ParameterExpression):
+            negated = -theta
+        else:
+            negated = -float(theta)
+        return Instruction(inst.name, inst.qubits, (negated,))
+    if inst.name == "u3":
+        theta, phi, lam = inst.params
+        if inst.is_parameterized:
+            raise ValueError("cannot invert a symbolic u3 gate")
+        return Instruction(
+            "u3", inst.qubits, (-float(theta), -float(lam), -float(phi))
+        )
+    if inst.name == "sx":
+        # sx^-1 = sx . sx . sx is wasteful; use u3 equivalent instead.
+        raise ValueError("sx inversion is not supported; use rx(pi/2)")
+    if inst.name == "iswap":
+        raise ValueError("iswap inversion is not supported")
+    raise ValueError(f"do not know how to invert gate {inst.name!r}")
+
+
+def _param_repr(p: ParamValue) -> str:
+    if isinstance(p, Parameter):
+        return p.name
+    if isinstance(p, ParameterExpression):
+        return f"{p.scale:g}*{p.parameter.name}+{p.offset:g}"
+    return f"{p:.4g}"
+
+
+def parameter_vector(prefix: str, length: int) -> List[Parameter]:
+    """Create a list of parameters named ``prefix[0] .. prefix[length-1]``."""
+    return [Parameter(f"{prefix}[{i}]") for i in range(length)]

@@ -1,0 +1,162 @@
+"""Density-matrix simulator with optional gate noise.
+
+The density matrix of an ``n``-qubit system is stored as a
+``2**n x 2**n`` complex array, reshaped to ``(2,) * 2n`` for gate and
+Kraus application. Row axes ``0..n-1`` are the ket indices (qubit i =
+axis i), column axes ``n..2n-1`` the bra indices, matching the
+statevector simulator's big-endian convention.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from .circuit import Circuit
+from .noise import NoiseModel
+from .operators import PauliString, PauliSum
+
+
+def zero_density(num_qubits: int) -> np.ndarray:
+    """Density matrix of ``|0...0><0...0|``."""
+    dim = 2 ** num_qubits
+    rho = np.zeros((dim, dim), dtype=complex)
+    rho[0, 0] = 1.0
+    return rho
+
+
+def density_from_statevector(state: np.ndarray) -> np.ndarray:
+    """Outer product ``|psi><psi|``."""
+    psi = np.asarray(state, dtype=complex)
+    return np.outer(psi, psi.conj())
+
+
+def apply_unitary(rho: np.ndarray, matrix: np.ndarray,
+                  qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+    """Conjugate the density matrix by a unitary on the given qubits."""
+    return _apply_one_sided(
+        _apply_one_sided(rho, matrix, qubits, num_qubits, side="left"),
+        matrix, qubits, num_qubits, side="right",
+    )
+
+
+def apply_kraus(rho: np.ndarray, kraus: Sequence[np.ndarray],
+                qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+    """Apply a Kraus channel ``rho -> sum K rho K^dag`` on given qubits."""
+    out = np.zeros_like(rho)
+    for k in kraus:
+        term = _apply_one_sided(rho, k, qubits, num_qubits, side="left")
+        term = _apply_one_sided(term, k, qubits, num_qubits, side="right")
+        out += term
+    return out
+
+
+def _apply_one_sided(rho: np.ndarray, matrix: np.ndarray,
+                     qubits: Sequence[int], num_qubits: int,
+                     side: str) -> np.ndarray:
+    """Multiply ``M . rho`` (left, ket axes) or ``rho . M^dag`` (right)."""
+    k = len(qubits)
+    tensor = rho.reshape((2,) * (2 * num_qubits))
+    mat = np.asarray(matrix, dtype=complex).reshape((2,) * (2 * k))
+    if side == "left":
+        axes = tuple(qubits)
+        contracted = np.tensordot(
+            mat, tensor, axes=(tuple(range(k, 2 * k)), axes)
+        )
+        result = np.moveaxis(contracted, range(k), axes)
+    else:
+        axes = tuple(num_qubits + q for q in qubits)
+        contracted = np.tensordot(
+            mat.conj(), tensor, axes=(tuple(range(k, 2 * k)), axes)
+        )
+        result = np.moveaxis(contracted, range(k), axes)
+    dim = 2 ** num_qubits
+    return np.ascontiguousarray(result).reshape(dim, dim)
+
+
+class DensityMatrixSimulator:
+    """Mixed-state simulator; plugs a :class:`NoiseModel` in after gates."""
+
+    def __init__(self, noise_model: Optional[NoiseModel] = None,
+                 seed: Optional[int] = None):
+        self.noise_model = noise_model
+        self._rng = np.random.default_rng(seed)
+
+    def run(self, circuit: Circuit,
+            initial_density: Optional[np.ndarray] = None) -> np.ndarray:
+        """Execute a bound circuit, returning the final density matrix."""
+        n = circuit.num_qubits
+        if initial_density is None:
+            rho = zero_density(n)
+        else:
+            rho = np.asarray(initial_density, dtype=complex).copy()
+            if rho.shape != (2 ** n, 2 ** n):
+                raise ValueError(f"density matrix must be {2**n}x{2**n}")
+        for inst in circuit.instructions:
+            rho = apply_unitary(rho, inst.matrix(), inst.qubits, n)
+            if self.noise_model is not None:
+                channel = self.noise_model.channel_for(len(inst.qubits))
+                if channel is not None:
+                    rho = apply_kraus(rho, channel, inst.qubits, n)
+        return rho
+
+    def probabilities(self, circuit: Circuit) -> np.ndarray:
+        """Z-basis outcome probabilities (diagonal of the final rho),
+        including classical readout error if the noise model has one."""
+        rho = self.run(circuit)
+        probs = np.real(np.diag(rho)).copy()
+        probs[probs < 0] = 0.0
+        probs /= probs.sum()
+        if self.noise_model is not None and self.noise_model.readout_error > 0:
+            probs = _apply_readout_error(
+                probs, circuit.num_qubits, self.noise_model.readout_error
+            )
+        return probs
+
+    def sample_counts(self, circuit: Circuit, shots: int) -> Dict[str, int]:
+        """Sample Z-basis outcomes from the noisy distribution."""
+        if shots < 1:
+            raise ValueError("shots must be positive")
+        probs = self.probabilities(circuit)
+        n = circuit.num_qubits
+        outcomes = self._rng.choice(len(probs), size=shots, p=probs)
+        counts: Dict[str, int] = {}
+        for outcome in outcomes:
+            key = format(outcome, f"0{n}b")
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def expectation(self, circuit: Circuit, observable) -> float:
+        """Expectation ``Tr(rho O)`` of a Pauli observable."""
+        rho = self.run(circuit)
+        if isinstance(observable, PauliString):
+            observable = PauliSum([observable])
+        value = 0.0
+        for term in observable:
+            value += float(np.trace(rho @ term.matrix()).real)
+        return value
+
+
+def _apply_readout_error(probs: np.ndarray, num_qubits: int,
+                         p_flip: float) -> np.ndarray:
+    """Convolve the outcome distribution with independent bit flips."""
+    flip = np.array([[1.0 - p_flip, p_flip], [p_flip, 1.0 - p_flip]])
+    out = probs.reshape((2,) * num_qubits)
+    for axis in range(num_qubits):
+        out = np.tensordot(flip, out, axes=([1], [axis]))
+        out = np.moveaxis(out, 0, axis)
+    return out.reshape(-1)
+
+
+def purity(rho: np.ndarray) -> float:
+    """``Tr(rho^2)``; 1 for pure states, ``1/d`` for maximally mixed."""
+    return float(np.trace(rho @ rho).real)
+
+
+def von_neumann_entropy(rho: np.ndarray, base: float = 2.0) -> float:
+    """Entropy ``-Tr(rho log rho)`` computed from eigenvalues."""
+    eigenvalues = np.linalg.eigvalsh(rho)
+    eigenvalues = eigenvalues[eigenvalues > 1e-12]
+    return float(-(eigenvalues * np.log(eigenvalues)).sum() / math.log(base))

@@ -1,0 +1,256 @@
+"""Quantum gate library.
+
+Every gate used anywhere in the library is defined here, either as a
+fixed unitary matrix (:data:`FIXED_GATES`) or as a factory mapping
+parameter values to a unitary (:data:`PARAMETRIC_GATES`).
+
+Conventions
+-----------
+* Matrices act on column statevectors in the computational basis.
+* For multi-qubit gates the first qubit passed to the circuit is the
+  most significant bit of the matrix index (big-endian within the gate).
+* All parametric rotation gates are of the form
+  ``exp(-i * theta / 2 * G)`` for a Hermitian generator ``G`` with
+  eigenvalues +-1, which is exactly the family covered by the two-term
+  parameter-shift rule used in :mod:`repro.qml.gradients`.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+Matrix = np.ndarray
+
+_SQRT2 = math.sqrt(2.0)
+
+I2 = np.eye(2, dtype=complex)
+
+PAULI_X = np.array([[0, 1], [1, 0]], dtype=complex)
+PAULI_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+PAULI_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+
+HADAMARD = np.array([[1, 1], [1, -1]], dtype=complex) / _SQRT2
+S_GATE = np.array([[1, 0], [0, 1j]], dtype=complex)
+SDG_GATE = np.array([[1, 0], [0, -1j]], dtype=complex)
+T_GATE = np.array([[1, 0], [0, cmath.exp(1j * math.pi / 4)]], dtype=complex)
+TDG_GATE = np.array([[1, 0], [0, cmath.exp(-1j * math.pi / 4)]], dtype=complex)
+SX_GATE = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+
+CNOT = np.array(
+    [[1, 0, 0, 0],
+     [0, 1, 0, 0],
+     [0, 0, 0, 1],
+     [0, 0, 1, 0]],
+    dtype=complex,
+)
+CZ = np.diag([1, 1, 1, -1]).astype(complex)
+SWAP = np.array(
+    [[1, 0, 0, 0],
+     [0, 0, 1, 0],
+     [0, 1, 0, 0],
+     [0, 0, 0, 1]],
+    dtype=complex,
+)
+ISWAP = np.array(
+    [[1, 0, 0, 0],
+     [0, 0, 1j, 0],
+     [0, 1j, 0, 0],
+     [0, 0, 0, 1]],
+    dtype=complex,
+)
+TOFFOLI = np.eye(8, dtype=complex)
+TOFFOLI[[6, 7], :] = TOFFOLI[[7, 6], :]
+FREDKIN = np.eye(8, dtype=complex)
+FREDKIN[[5, 6], :] = FREDKIN[[6, 5], :]
+
+
+def rx_matrix(theta: float) -> Matrix:
+    """Rotation about the X axis: ``exp(-i theta X / 2)``."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def ry_matrix(theta: float) -> Matrix:
+    """Rotation about the Y axis: ``exp(-i theta Y / 2)``."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def rz_matrix(theta: float) -> Matrix:
+    """Rotation about the Z axis: ``exp(-i theta Z / 2)``."""
+    phase = cmath.exp(-1j * theta / 2.0)
+    return np.array([[phase, 0], [0, phase.conjugate()]], dtype=complex)
+
+
+def phase_matrix(lam: float) -> Matrix:
+    """Diagonal phase gate ``diag(1, exp(i lam))``."""
+    return np.array([[1, 0], [0, cmath.exp(1j * lam)]], dtype=complex)
+
+
+def u3_matrix(theta: float, phi: float, lam: float) -> Matrix:
+    """Generic single-qubit unitary in the standard U3 parameterization."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array(
+        [[c, -cmath.exp(1j * lam) * s],
+         [cmath.exp(1j * phi) * s, cmath.exp(1j * (phi + lam)) * c]],
+        dtype=complex,
+    )
+
+
+def crx_matrix(theta: float) -> Matrix:
+    """Controlled-RX (control is the first / most significant qubit)."""
+    return _controlled(rx_matrix(theta))
+
+
+def cry_matrix(theta: float) -> Matrix:
+    """Controlled-RY."""
+    return _controlled(ry_matrix(theta))
+
+
+def crz_matrix(theta: float) -> Matrix:
+    """Controlled-RZ."""
+    return _controlled(rz_matrix(theta))
+
+
+def cphase_matrix(lam: float) -> Matrix:
+    """Controlled phase gate ``diag(1, 1, 1, exp(i lam))``."""
+    return np.diag([1.0, 1.0, 1.0, cmath.exp(1j * lam)]).astype(complex)
+
+
+def rxx_matrix(theta: float) -> Matrix:
+    """Two-qubit XX interaction: ``exp(-i theta XX / 2)``."""
+    return _two_qubit_rotation(np.kron(PAULI_X, PAULI_X), theta)
+
+
+def ryy_matrix(theta: float) -> Matrix:
+    """Two-qubit YY interaction: ``exp(-i theta YY / 2)``."""
+    return _two_qubit_rotation(np.kron(PAULI_Y, PAULI_Y), theta)
+
+
+def rzz_matrix(theta: float) -> Matrix:
+    """Two-qubit ZZ interaction: ``exp(-i theta ZZ / 2)``.
+
+    This is the workhorse of QAOA cost layers for Ising problems.
+    """
+    return _two_qubit_rotation(np.kron(PAULI_Z, PAULI_Z), theta)
+
+
+def _two_qubit_rotation(generator: Matrix, theta: float) -> Matrix:
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return c * np.eye(4, dtype=complex) - 1j * s * generator
+
+
+def _controlled(unitary: Matrix) -> Matrix:
+    dim = unitary.shape[0]
+    out = np.eye(2 * dim, dtype=complex)
+    out[dim:, dim:] = unitary
+    return out
+
+
+def controlled(unitary: Matrix, num_controls: int = 1) -> Matrix:
+    """Return the controlled version of an arbitrary unitary.
+
+    Controls are prepended as the most significant qubits.
+    """
+    if num_controls < 1:
+        raise ValueError("num_controls must be >= 1")
+    out = np.asarray(unitary, dtype=complex)
+    for _ in range(num_controls):
+        out = _controlled(out)
+    return out
+
+
+#: Fixed (non-parametric) gates, keyed by lowercase name.
+FIXED_GATES: Dict[str, Matrix] = {
+    "i": I2,
+    "x": PAULI_X,
+    "y": PAULI_Y,
+    "z": PAULI_Z,
+    "h": HADAMARD,
+    "s": S_GATE,
+    "sdg": SDG_GATE,
+    "t": T_GATE,
+    "tdg": TDG_GATE,
+    "sx": SX_GATE,
+    "cx": CNOT,
+    "cz": CZ,
+    "swap": SWAP,
+    "iswap": ISWAP,
+    "ccx": TOFFOLI,
+    "cswap": FREDKIN,
+}
+
+#: Parametric gate factories, keyed by lowercase name.
+PARAMETRIC_GATES: Dict[str, Callable[..., Matrix]] = {
+    "rx": rx_matrix,
+    "ry": ry_matrix,
+    "rz": rz_matrix,
+    "p": phase_matrix,
+    "u3": u3_matrix,
+    "crx": crx_matrix,
+    "cry": cry_matrix,
+    "crz": crz_matrix,
+    "cp": cphase_matrix,
+    "rxx": rxx_matrix,
+    "ryy": ryy_matrix,
+    "rzz": rzz_matrix,
+}
+
+#: Number of qubits each gate acts on.
+GATE_ARITY: Dict[str, int] = {
+    "i": 1, "x": 1, "y": 1, "z": 1, "h": 1, "s": 1, "sdg": 1,
+    "t": 1, "tdg": 1, "sx": 1, "rx": 1, "ry": 1, "rz": 1, "p": 1,
+    "u3": 1,
+    "cx": 2, "cz": 2, "swap": 2, "iswap": 2, "crx": 2, "cry": 2,
+    "crz": 2, "cp": 2, "rxx": 2, "ryy": 2, "rzz": 2,
+    "ccx": 3, "cswap": 3,
+}
+
+#: Number of scalar parameters each parametric gate takes.
+GATE_NUM_PARAMS: Dict[str, int] = {
+    name: 0 for name in FIXED_GATES
+}
+GATE_NUM_PARAMS.update({
+    "rx": 1, "ry": 1, "rz": 1, "p": 1, "u3": 3,
+    "crx": 1, "cry": 1, "crz": 1, "cp": 1,
+    "rxx": 1, "ryy": 1, "rzz": 1,
+})
+
+#: Gates whose single parameter obeys the exact two-term shift rule.
+SHIFT_RULE_GATES = frozenset({"rx", "ry", "rz", "rxx", "ryy", "rzz"})
+
+
+def gate_matrix(name: str, params: Sequence[float] = ()) -> Matrix:
+    """Resolve a gate name plus parameter values to its unitary matrix.
+
+    Raises
+    ------
+    KeyError
+        If the gate name is unknown.
+    ValueError
+        If the wrong number of parameters is supplied.
+    """
+    key = name.lower()
+    expected = GATE_NUM_PARAMS.get(key)
+    if expected is None:
+        raise KeyError(f"unknown gate {name!r}")
+    if len(params) != expected:
+        raise ValueError(
+            f"gate {name!r} takes {expected} parameter(s), got {len(params)}"
+        )
+    if key in FIXED_GATES:
+        return FIXED_GATES[key]
+    return PARAMETRIC_GATES[key](*params)
+
+
+def is_unitary(matrix: Matrix, atol: float = 1e-10) -> bool:
+    """Check whether a matrix is unitary within tolerance."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    identity = np.eye(matrix.shape[0])
+    return bool(np.allclose(matrix.conj().T @ matrix, identity, atol=atol))

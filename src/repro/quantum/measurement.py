@@ -1,0 +1,81 @@
+"""Shot-based estimation helpers.
+
+The exact simulators give noiseless expectation values; real hardware
+estimates them from a finite number of measurement shots. This module
+provides the shot-noise layer used by the optimizers experiment (E7)
+and anywhere a finite-sampling budget matters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from .circuit import Circuit
+from .operators import PauliString, PauliSum
+from .statevector import StatevectorSimulator
+
+
+def counts_to_probabilities(counts: Mapping[str, int]) -> Dict[str, float]:
+    """Normalize a counts dictionary into outcome frequencies."""
+    total = sum(counts.values())
+    if total <= 0:
+        raise ValueError("counts must be non-empty")
+    return {key: value / total for key, value in counts.items()}
+
+
+def expectation_with_shots(circuit: Circuit, observable,
+                           shots: int,
+                           rng: Optional[np.random.Generator] = None) -> float:
+    """Estimate ``<O>`` from a finite sample budget.
+
+    Each non-diagonal Pauli term is rotated into the Z basis with the
+    standard basis-change gates (H for X, S^dag H for Y), measured with
+    its share of the shot budget, and the diagonal expectation is read
+    off the sampled bitstrings.
+    """
+    if shots < 1:
+        raise ValueError("shots must be positive")
+    if isinstance(observable, PauliString):
+        observable = PauliSum([observable])
+    terms = list(observable)
+    if not terms:
+        return 0.0
+    rng = rng or np.random.default_rng()
+    shots_per_term = max(1, shots // len(terms))
+    sim = StatevectorSimulator(seed=int(rng.integers(2 ** 31)))
+    total = 0.0
+    for term in terms:
+        if term.is_identity:
+            total += term.coefficient.real
+            continue
+        rotated = _rotate_to_z_basis(circuit, term)
+        counts = sim.sample_counts(rotated, shots_per_term)
+        diagonal = PauliSum([PauliString(
+            "".join("Z" if c != "I" else "I" for c in term.label),
+            term.coefficient,
+        )])
+        total += diagonal.expectation_from_counts(counts)
+    return total
+
+
+def _rotate_to_z_basis(circuit: Circuit, term: PauliString) -> Circuit:
+    """Append the basis change that diagonalizes ``term``."""
+    rotated = circuit.copy()
+    for qubit, char in enumerate(term.label):
+        if char == "X":
+            rotated.h(qubit)
+        elif char == "Y":
+            rotated.sdg(qubit)
+            rotated.h(qubit)
+    return rotated
+
+
+def sample_bit_expectation(counts: Mapping[str, int], qubit: int) -> float:
+    """Expectation of ``Z`` on one qubit from counts: ``P(0) - P(1)``."""
+    probs = counts_to_probabilities(counts)
+    value = 0.0
+    for bitstring, weight in probs.items():
+        value += weight * (1.0 if bitstring[qubit] == "0" else -1.0)
+    return value

@@ -1,0 +1,169 @@
+"""NISQ error mitigation: zero-noise extrapolation and readout
+correction.
+
+Two standard techniques for squeezing signal out of noisy hardware,
+both exercised against this library's own noise models:
+
+* **Zero-noise extrapolation (ZNE)** — amplify the gate noise by known
+  factors through *global unitary folding* (``C -> C C^dag C`` and
+  partial folds), measure the observable at each amplification, and
+  Richardson-extrapolate back to the zero-noise limit.
+* **Readout mitigation** — calibrate the classical bit-flip confusion
+  matrix from basis-state preparations and invert it on measured
+  outcome distributions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .circuit import Circuit
+from .density import DensityMatrixSimulator
+from .noise import NoiseModel
+
+
+# ----------------------------------------------------------------------
+# Zero-noise extrapolation
+# ----------------------------------------------------------------------
+def fold_circuit(circuit: Circuit, scale_factor: float) -> Circuit:
+    """Amplify noise by unitary folding.
+
+    ``scale_factor`` must be >= 1. Integer odd factors ``2k + 1`` fold
+    the whole circuit k times (``C (C^dag C)^k``); other factors fold
+    a proportional prefix of the gate list (partial folding), giving a
+    circuit whose *logical* unitary is unchanged but whose gate count
+    — and therefore gate-attached noise — scales by ~scale_factor.
+    """
+    if scale_factor < 1.0:
+        raise ValueError("scale_factor must be >= 1")
+    if circuit.num_parameters:
+        raise ValueError("bind parameters before folding")
+    num_gates = len(circuit)
+    out = circuit.copy()
+    if num_gates == 0:
+        return out
+    whole_folds = int((scale_factor - 1.0) // 2.0)
+    for _ in range(whole_folds):
+        out = out.compose(circuit.inverse()).compose(circuit)
+    achieved = 1.0 + 2.0 * whole_folds
+    remaining = scale_factor - achieved
+    if remaining > 1e-9:
+        # Partial fold: append (suffix^dag suffix) for a suffix whose
+        # length matches the leftover scale.
+        partial_gates = max(1, int(round(remaining * num_gates / 2.0)))
+        suffix = Circuit(circuit.num_qubits)
+        suffix.instructions = list(circuit.instructions[-partial_gates:])
+        out = out.compose(suffix.inverse()).compose(suffix)
+    return out
+
+
+@dataclass
+class ZNEResult:
+    """Outcome of a zero-noise extrapolation."""
+
+    mitigated_value: float
+    scale_factors: List[float]
+    measured_values: List[float]
+    noisy_value: float  # the unmitigated (scale 1) measurement
+
+
+def zero_noise_extrapolation(circuit: Circuit, observable,
+                             noise_model: NoiseModel,
+                             scale_factors: Sequence[float] = (1.0, 2.0,
+                                                               3.0),
+                             order: int = 1) -> ZNEResult:
+    """Richardson-extrapolate an expectation value to zero noise.
+
+    Runs the folded circuits on the density-matrix simulator with the
+    given noise model, fits a degree-``order`` polynomial in the scale
+    factor, and evaluates it at 0.
+    """
+    if len(scale_factors) < order + 1:
+        raise ValueError("need at least order + 1 scale factors")
+    if sorted(scale_factors)[0] < 1.0:
+        raise ValueError("scale factors must be >= 1")
+    simulator = DensityMatrixSimulator(noise_model=noise_model)
+    values = [
+        simulator.expectation(fold_circuit(circuit, scale), observable)
+        for scale in scale_factors
+    ]
+    coefficients = np.polyfit(np.asarray(scale_factors, dtype=float),
+                              np.asarray(values), deg=order)
+    mitigated = float(np.polyval(coefficients, 0.0))
+    return ZNEResult(
+        mitigated_value=mitigated,
+        scale_factors=list(scale_factors),
+        measured_values=[float(v) for v in values],
+        noisy_value=float(values[0]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Readout mitigation
+# ----------------------------------------------------------------------
+class ReadoutMitigator:
+    """Confusion-matrix readout correction.
+
+    Calibrates ``M[observed, prepared]`` by preparing every basis state
+    under the noise model's readout error, then corrects measured
+    distributions with the (pseudo)inverse, clipping and renormalizing
+    to keep a valid distribution.
+
+    Calibration is exponential in qubits; intended for small registers.
+    """
+
+    def __init__(self, num_qubits: int, noise_model: NoiseModel):
+        if num_qubits < 1:
+            raise ValueError("num_qubits must be positive")
+        if num_qubits > 6:
+            raise ValueError("readout calibration limited to 6 qubits")
+        self.num_qubits = num_qubits
+        self.noise_model = noise_model
+        self._confusion = self._calibrate()
+        self._inverse = np.linalg.pinv(self._confusion)
+
+    @property
+    def confusion_matrix(self) -> np.ndarray:
+        return self._confusion.copy()
+
+    def _calibrate(self) -> np.ndarray:
+        simulator = DensityMatrixSimulator(noise_model=self.noise_model)
+        dim = 2 ** self.num_qubits
+        matrix = np.zeros((dim, dim))
+        for prepared in range(dim):
+            circuit = Circuit(self.num_qubits)
+            for qubit in range(self.num_qubits):
+                if (prepared >> (self.num_qubits - 1 - qubit)) & 1:
+                    circuit.x(qubit)
+                else:
+                    circuit.i(qubit)
+            matrix[:, prepared] = simulator.probabilities(circuit)
+        return matrix
+
+    def correct_probabilities(self,
+                              measured: np.ndarray) -> np.ndarray:
+        """Apply the inverse confusion matrix to a distribution."""
+        measured = np.asarray(measured, dtype=float).reshape(-1)
+        if measured.size != 2 ** self.num_qubits:
+            raise ValueError("distribution size mismatch")
+        corrected = self._inverse @ measured
+        corrected = np.clip(corrected, 0.0, None)
+        total = corrected.sum()
+        if total <= 0:
+            return np.full_like(measured, 1.0 / measured.size)
+        return corrected / total
+
+    def correct_counts(self, counts: Dict[str, int]) -> np.ndarray:
+        """Counts dict -> corrected probability vector."""
+        dim = 2 ** self.num_qubits
+        measured = np.zeros(dim)
+        total = sum(counts.values())
+        if total <= 0:
+            raise ValueError("empty counts")
+        for bits, count in counts.items():
+            measured[int(bits, 2)] = count / total
+        return self.correct_probabilities(measured)

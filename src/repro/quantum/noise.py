@@ -1,0 +1,142 @@
+"""Quantum noise channels in Kraus form.
+
+A channel is a list of Kraus operators ``{K_i}`` with
+``sum K_i^dagger K_i = I``; it acts on a density matrix as
+``rho -> sum K_i rho K_i^dagger``. A :class:`NoiseModel` attaches
+channels after gates so the density-matrix simulator can model NISQ-era
+hardware (experiment E6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .gates import I2, PAULI_X, PAULI_Y, PAULI_Z
+
+KrausOps = List[np.ndarray]
+
+
+def depolarizing_channel(p: float) -> KrausOps:
+    """Single-qubit depolarizing channel with error probability ``p``.
+
+    With probability ``p`` the state is replaced by the maximally mixed
+    state, realized as uniform X/Y/Z errors.
+    """
+    _check_probability(p)
+    return [
+        math.sqrt(1.0 - 3.0 * p / 4.0) * I2,
+        math.sqrt(p / 4.0) * PAULI_X,
+        math.sqrt(p / 4.0) * PAULI_Y,
+        math.sqrt(p / 4.0) * PAULI_Z,
+    ]
+
+
+def bit_flip_channel(p: float) -> KrausOps:
+    """Flip the qubit (X error) with probability ``p``."""
+    _check_probability(p)
+    return [math.sqrt(1.0 - p) * I2, math.sqrt(p) * PAULI_X]
+
+
+def phase_flip_channel(p: float) -> KrausOps:
+    """Apply a Z error with probability ``p``."""
+    _check_probability(p)
+    return [math.sqrt(1.0 - p) * I2, math.sqrt(p) * PAULI_Z]
+
+
+def amplitude_damping_channel(gamma: float) -> KrausOps:
+    """Energy relaxation (T1 decay) with damping rate ``gamma``."""
+    _check_probability(gamma)
+    k0 = np.array([[1.0, 0.0], [0.0, math.sqrt(1.0 - gamma)]], dtype=complex)
+    k1 = np.array([[0.0, math.sqrt(gamma)], [0.0, 0.0]], dtype=complex)
+    return [k0, k1]
+
+
+def phase_damping_channel(gamma: float) -> KrausOps:
+    """Pure dephasing (T2) with rate ``gamma``."""
+    _check_probability(gamma)
+    k0 = np.array([[1.0, 0.0], [0.0, math.sqrt(1.0 - gamma)]], dtype=complex)
+    k1 = np.array([[0.0, 0.0], [0.0, math.sqrt(gamma)]], dtype=complex)
+    return [k0, k1]
+
+
+def two_qubit_depolarizing_channel(p: float) -> KrausOps:
+    """Two-qubit depolarizing channel (uniform over 15 Pauli errors)."""
+    _check_probability(p)
+    paulis = [I2, PAULI_X, PAULI_Y, PAULI_Z]
+    ops: KrausOps = []
+    for i, a in enumerate(paulis):
+        for j, b in enumerate(paulis):
+            weight = 1.0 - 15.0 * p / 16.0 if i == j == 0 else p / 16.0
+            ops.append(math.sqrt(weight) * np.kron(a, b))
+    return ops
+
+
+def is_valid_channel(kraus: Sequence[np.ndarray], atol: float = 1e-10) -> bool:
+    """Check the completeness relation ``sum K^dag K = I``."""
+    if not kraus:
+        return False
+    dim = kraus[0].shape[0]
+    total = np.zeros((dim, dim), dtype=complex)
+    for k in kraus:
+        if k.shape != (dim, dim):
+            return False
+        total += k.conj().T @ k
+    return bool(np.allclose(total, np.eye(dim), atol=atol))
+
+
+@dataclass
+class NoiseModel:
+    """Gate-attached noise: channels applied after each matching gate.
+
+    Attributes
+    ----------
+    single_qubit:
+        Kraus channel applied to the target qubit(s) after every
+        single-qubit gate. ``None`` disables it.
+    two_qubit:
+        Two-qubit Kraus channel applied after every two-qubit gate.
+    readout_error:
+        Probability of classically flipping each measured bit.
+    """
+
+    single_qubit: Optional[KrausOps] = None
+    two_qubit: Optional[KrausOps] = None
+    readout_error: float = 0.0
+
+    def __post_init__(self):
+        if self.single_qubit is not None and not is_valid_channel(self.single_qubit):
+            raise ValueError("single_qubit is not a valid Kraus channel")
+        if self.two_qubit is not None and not is_valid_channel(self.two_qubit):
+            raise ValueError("two_qubit is not a valid Kraus channel")
+        _check_probability(self.readout_error)
+
+    @classmethod
+    def depolarizing(cls, p1: float, p2: Optional[float] = None,
+                     readout_error: float = 0.0) -> "NoiseModel":
+        """Uniform depolarizing model; ``p2`` defaults to ``10 * p1``
+        capped at 1, mirroring typical hardware where two-qubit gates
+        are an order of magnitude noisier."""
+        if p2 is None:
+            p2 = min(10.0 * p1, 1.0)
+        return cls(
+            single_qubit=depolarizing_channel(p1) if p1 > 0 else None,
+            two_qubit=two_qubit_depolarizing_channel(p2) if p2 > 0 else None,
+            readout_error=readout_error,
+        )
+
+    def channel_for(self, num_gate_qubits: int) -> Optional[KrausOps]:
+        """Channel to apply after a gate of the given arity."""
+        if num_gate_qubits == 1:
+            return self.single_qubit
+        if num_gate_qubits == 2:
+            return self.two_qubit
+        return None  # 3-qubit gates left noiseless (decompose if needed)
+
+
+def _check_probability(p: float) -> None:
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {p}")

@@ -1,0 +1,49 @@
+"""Quantum Fourier transform circuit builders.
+
+The QFT is the workhorse behind phase estimation (and thus behind the
+exponential-speedup linear-algebra routines the tutorial surveys).
+Built from H and controlled-phase gates in the textbook pattern, with
+the optional final swap network that reverses qubit order.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .circuit import Circuit
+
+
+def qft_circuit(num_qubits: int, swap: bool = True) -> Circuit:
+    """The quantum Fourier transform on ``num_qubits`` qubits.
+
+    With ``swap=True`` the output matches the standard definition
+    ``|j> -> (1/sqrt(N)) sum_k exp(2 pi i j k / N) |k>`` under this
+    library's big-endian convention.
+    """
+    if num_qubits < 1:
+        raise ValueError("num_qubits must be positive")
+    qc = Circuit(num_qubits)
+    for target in range(num_qubits):
+        qc.h(target)
+        for offset, control in enumerate(range(target + 1, num_qubits),
+                                         start=2):
+            qc.cp(2.0 * math.pi / (2 ** offset), control, target)
+    if swap:
+        for q in range(num_qubits // 2):
+            qc.swap(q, num_qubits - 1 - q)
+    return qc
+
+
+def inverse_qft_circuit(num_qubits: int, swap: bool = True) -> Circuit:
+    """The adjoint QFT (used to read out phases in QPE)."""
+    return qft_circuit(num_qubits, swap=swap).inverse()
+
+
+def qft_matrix(num_qubits: int) -> np.ndarray:
+    """Dense reference DFT matrix ``F[j, k] = w^{jk} / sqrt(N)``."""
+    dim = 2 ** num_qubits
+    omega = np.exp(2j * math.pi / dim)
+    j, k = np.meshgrid(np.arange(dim), np.arange(dim), indexing="ij")
+    return omega ** (j * k) / math.sqrt(dim)

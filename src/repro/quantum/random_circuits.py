@@ -1,0 +1,57 @@
+"""Random circuit and state generators.
+
+Used by the simulator-scaling benchmark (E1), the barren-plateau
+experiment (E4) and the property-based tests, which need unbiased
+circuit samples to probe invariants.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .circuit import Circuit
+
+_SINGLE_QUBIT_POOL = ("rx", "ry", "rz")
+_ENTANGLER_POOL = ("cx", "cz")
+
+
+def random_layered_circuit(num_qubits: int, depth: int,
+                           seed: Optional[int] = None,
+                           entangler: str = "cx") -> Circuit:
+    """A brick-wall circuit: random rotations then nearest-neighbour
+    entanglers, repeated ``depth`` times. All parameters are bound."""
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    if entangler not in _ENTANGLER_POOL:
+        raise ValueError(f"entangler must be one of {_ENTANGLER_POOL}")
+    rng = np.random.default_rng(seed)
+    qc = Circuit(num_qubits)
+    for _ in range(depth):
+        for q in range(num_qubits):
+            gate = _SINGLE_QUBIT_POOL[rng.integers(len(_SINGLE_QUBIT_POOL))]
+            qc.append(gate, [q], [float(rng.uniform(0, 2 * np.pi))])
+        for q in range(num_qubits - 1):
+            qc.append(entangler, [q, q + 1])
+    return qc
+
+
+def random_statevector(num_qubits: int,
+                       seed: Optional[int] = None) -> np.ndarray:
+    """Haar-random pure state via a normalized complex Gaussian vector."""
+    rng = np.random.default_rng(seed)
+    dim = 2 ** num_qubits
+    vec = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+    return vec / np.linalg.norm(vec)
+
+
+def random_product_circuit(num_qubits: int,
+                           seed: Optional[int] = None) -> Circuit:
+    """Independent random single-qubit rotations only (no entanglement)."""
+    rng = np.random.default_rng(seed)
+    qc = Circuit(num_qubits)
+    for q in range(num_qubits):
+        qc.ry(float(rng.uniform(0, np.pi)), q)
+        qc.rz(float(rng.uniform(0, 2 * np.pi)), q)
+    return qc

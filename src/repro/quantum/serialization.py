@@ -1,0 +1,121 @@
+"""Circuit serialization: a QASM-flavoured text format.
+
+Round-trips any bound circuit through a human-readable text form —
+useful for persisting optimized circuits, diffing ansätze and shipping
+them between processes. The dialect is a strict subset of
+OpenQASM 2 syntax (one statement per line, named gates, float
+parameters); symbolic parameters must be bound before export.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import List
+
+from .circuit import Circuit
+from .gates import GATE_ARITY, GATE_NUM_PARAMS
+
+_HEADER = "// repro-qasm 1.0"
+_STATEMENT = re.compile(
+    r"^(?P<name>[a-z0-9]+)"
+    r"(?:\((?P<params>[^)]*)\))?"
+    r"\s+(?P<qubits>q\[\d+\](?:\s*,\s*q\[\d+\])*)\s*;$"
+)
+_QUBIT = re.compile(r"q\[(\d+)\]")
+
+
+def circuit_to_qasm(circuit: Circuit) -> str:
+    """Serialize a fully bound circuit to text.
+
+    Raises
+    ------
+    ValueError
+        If the circuit still contains symbolic parameters.
+    """
+    if circuit.num_parameters:
+        raise ValueError(
+            "circuit has unbound parameters; bind before serializing"
+        )
+    lines: List[str] = [
+        _HEADER,
+        f"qreg q[{circuit.num_qubits}];",
+    ]
+    for inst in circuit.instructions:
+        qubits = ", ".join(f"q[{q}]" for q in inst.qubits)
+        if inst.params:
+            params = ", ".join(f"{float(p):.17g}" for p in inst.params)
+            lines.append(f"{inst.name}({params}) {qubits};")
+        else:
+            lines.append(f"{inst.name} {qubits};")
+    return "\n".join(lines) + "\n"
+
+
+def circuit_from_qasm(text: str) -> Circuit:
+    """Parse the text form back into a circuit.
+
+    Accepts the output of :func:`circuit_to_qasm`: a ``qreg``
+    declaration followed by gate statements. Comments (``//``) and
+    blank lines are ignored.
+    """
+    circuit: Circuit = None
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("//", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("qreg"):
+            match = re.match(r"^qreg\s+q\[(\d+)\]\s*;$", line)
+            if not match:
+                raise ValueError(
+                    f"line {line_number}: malformed qreg declaration"
+                )
+            if circuit is not None:
+                raise ValueError(
+                    f"line {line_number}: duplicate qreg declaration"
+                )
+            circuit = Circuit(int(match.group(1)))
+            continue
+        if circuit is None:
+            raise ValueError(
+                f"line {line_number}: gate before qreg declaration"
+            )
+        match = _STATEMENT.match(line)
+        if not match:
+            raise ValueError(
+                f"line {line_number}: cannot parse statement {line!r}"
+            )
+        name = match.group("name")
+        if name not in GATE_ARITY:
+            raise ValueError(
+                f"line {line_number}: unknown gate {name!r}"
+            )
+        qubits = [int(q) for q in _QUBIT.findall(match.group("qubits"))]
+        params_text = match.group("params")
+        params = []
+        if params_text:
+            params = [_parse_param(p.strip(), line_number)
+                      for p in params_text.split(",")]
+        if len(params) != GATE_NUM_PARAMS[name]:
+            raise ValueError(
+                f"line {line_number}: gate {name!r} takes "
+                f"{GATE_NUM_PARAMS[name]} parameter(s)"
+            )
+        circuit.append(name, qubits, params)
+    if circuit is None:
+        raise ValueError("no qreg declaration found")
+    return circuit
+
+
+def _parse_param(token: str, line_number: int) -> float:
+    """Parse a parameter: a float literal, or 'pi'-style shorthands."""
+    simple = {"pi": math.pi, "-pi": -math.pi,
+              "pi/2": math.pi / 2, "-pi/2": -math.pi / 2,
+              "pi/4": math.pi / 4, "-pi/4": -math.pi / 4}
+    if token in simple:
+        return simple[token]
+    try:
+        return float(token)
+    except ValueError:
+        raise ValueError(
+            f"line {line_number}: bad parameter {token!r}"
+        ) from None

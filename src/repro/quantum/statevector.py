@@ -1,0 +1,155 @@
+"""Dense statevector simulator.
+
+The statevector is stored as a complex vector of length ``2**n`` where
+qubit 0 is the **most significant** bit of the basis-state index
+(big-endian): basis state ``|q0 q1 ... q_{n-1}>`` has index
+``sum(q_i << (n - 1 - i))``. Gates are applied with tensor contractions
+over the reshaped ``(2,) * n`` array, which costs ``O(2**n)`` per gate
+rather than the naive ``O(4**n)`` matrix product.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .circuit import Circuit
+from .gates import gate_matrix
+
+
+def zero_state(num_qubits: int) -> np.ndarray:
+    """The all-zeros computational basis state ``|0...0>``."""
+    if num_qubits < 1:
+        raise ValueError("need at least one qubit")
+    state = np.zeros(2 ** num_qubits, dtype=complex)
+    state[0] = 1.0
+    return state
+
+
+def basis_state(num_qubits: int, bits: Sequence[int]) -> np.ndarray:
+    """Computational basis state for the given bit string (qubit 0 first)."""
+    if len(bits) != num_qubits:
+        raise ValueError("bit string length must equal num_qubits")
+    index = 0
+    for b in bits:
+        if b not in (0, 1):
+            raise ValueError("bits must be 0 or 1")
+        index = (index << 1) | b
+    state = np.zeros(2 ** num_qubits, dtype=complex)
+    state[index] = 1.0
+    return state
+
+
+def apply_matrix(state: np.ndarray, matrix: np.ndarray,
+                 qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+    """Apply a ``2^k x 2^k`` unitary to the given qubits of a statevector.
+
+    Returns a new array; the input is not modified.
+    """
+    k = len(qubits)
+    psi = state.reshape((2,) * num_qubits)
+    mat = np.asarray(matrix, dtype=complex).reshape((2,) * (2 * k))
+    psi = np.tensordot(mat, psi, axes=(tuple(range(k, 2 * k)), tuple(qubits)))
+    psi = np.moveaxis(psi, range(k), qubits)
+    return np.ascontiguousarray(psi).reshape(-1)
+
+
+class StatevectorSimulator:
+    """Exact simulator producing statevectors, probabilities and samples.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the sampling generator. Simulation itself is
+        deterministic; only :meth:`sample_counts` consumes randomness.
+    """
+
+    def __init__(self, seed: Optional[int] = None):
+        self._rng = np.random.default_rng(seed)
+
+    def run(self, circuit: Circuit,
+            initial_state: Optional[np.ndarray] = None) -> np.ndarray:
+        """Execute a fully bound circuit and return the final statevector."""
+        n = circuit.num_qubits
+        if initial_state is None:
+            state = zero_state(n)
+        else:
+            state = np.asarray(initial_state, dtype=complex).copy()
+            if state.shape != (2 ** n,):
+                raise ValueError(
+                    f"initial state must have length {2 ** n}"
+                )
+        for inst in circuit.instructions:
+            state = apply_matrix(state, inst.matrix(), inst.qubits, n)
+        return state
+
+    def probabilities(self, circuit: Circuit) -> np.ndarray:
+        """Measurement probabilities over all ``2**n`` basis states."""
+        state = self.run(circuit)
+        return np.abs(state) ** 2
+
+    def sample_counts(self, circuit: Circuit, shots: int) -> Dict[str, int]:
+        """Sample measurement outcomes; keys are bitstrings, qubit 0 first."""
+        if shots < 1:
+            raise ValueError("shots must be positive")
+        probs = self.probabilities(circuit)
+        n = circuit.num_qubits
+        outcomes = self._rng.choice(len(probs), size=shots, p=_renorm(probs))
+        counts: Dict[str, int] = {}
+        for outcome in outcomes:
+            key = format(outcome, f"0{n}b")
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def expectation(self, circuit: Circuit, observable) -> float:
+        """Exact expectation value ``<psi|O|psi>`` of a Pauli observable.
+
+        ``observable`` is a :class:`repro.quantum.operators.PauliString`
+        or :class:`~repro.quantum.operators.PauliSum`.
+        """
+        from .operators import PauliString, PauliSum
+
+        state = self.run(circuit)
+        if isinstance(observable, PauliString):
+            observable = PauliSum([observable])
+        if not isinstance(observable, PauliSum):
+            raise TypeError(
+                "observable must be a PauliString or PauliSum, "
+                f"got {type(observable).__name__}"
+            )
+        return observable.expectation(state, circuit.num_qubits)
+
+
+def _renorm(probs: np.ndarray) -> np.ndarray:
+    total = probs.sum()
+    if not math.isclose(total, 1.0, rel_tol=0, abs_tol=1e-6):
+        raise ValueError(f"probabilities sum to {total}, state not normalized")
+    return probs / total
+
+
+def fidelity(state_a: np.ndarray, state_b: np.ndarray) -> float:
+    """Squared overlap ``|<a|b>|^2`` between two pure states."""
+    a = np.asarray(state_a, dtype=complex)
+    b = np.asarray(state_b, dtype=complex)
+    if a.shape != b.shape:
+        raise ValueError("states must have the same dimension")
+    return float(abs(np.vdot(a, b)) ** 2)
+
+
+def marginal_probabilities(state: np.ndarray,
+                           qubits: Sequence[int]) -> np.ndarray:
+    """Marginal distribution over a subset of qubits (given order)."""
+    n = int(round(math.log2(state.size)))
+    if 2 ** n != state.size:
+        raise ValueError("state length must be a power of two")
+    probs = (np.abs(state) ** 2).reshape((2,) * n)
+    keep = list(qubits)
+    drop = tuple(i for i in range(n) if i not in keep)
+    marg = probs.sum(axis=drop) if drop else probs
+    # ``sum`` keeps remaining axes in ascending qubit order; permute to
+    # the caller's requested order.
+    ascending = sorted(keep)
+    perm = [ascending.index(q) for q in keep]
+    return np.transpose(marg, perm).reshape(-1)

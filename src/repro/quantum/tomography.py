@@ -1,0 +1,125 @@
+"""Quantum state tomography.
+
+Reconstructs the density matrix of a prepared state from Pauli
+expectation measurements:
+
+    rho = (1 / 2^n) * sum_P <P> P        over all 4^n Pauli strings,
+
+the experimental procedure for characterizing what a circuit actually
+produced. With finite shots the linear-inversion estimate can be
+unphysical (negative eigenvalues); the standard projection onto the
+nearest density matrix fixes that. Exponential in qubit count by
+nature — intended for the <= 3-qubit verification regime.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from .circuit import Circuit
+from .measurement import expectation_with_shots
+from .operators import PauliString
+from .statevector import StatevectorSimulator
+
+_MAX_TOMOGRAPHY_QUBITS = 4
+
+
+@dataclass
+class TomographyResult:
+    """Reconstructed state and measurement bookkeeping."""
+
+    density_matrix: np.ndarray
+    num_qubits: int
+    num_settings: int          # Pauli strings measured (4^n - 1)
+    shots_per_setting: Optional[int]
+
+    def fidelity_with_state(self, state: np.ndarray) -> float:
+        """Fidelity ``<psi| rho |psi>`` against a pure reference."""
+        psi = np.asarray(state, dtype=complex).reshape(-1)
+        psi = psi / np.linalg.norm(psi)
+        return float(np.real(psi.conj() @ self.density_matrix @ psi))
+
+    def purity(self) -> float:
+        return float(np.trace(self.density_matrix
+                              @ self.density_matrix).real)
+
+
+def pauli_labels(num_qubits: int):
+    """All 4^n Pauli labels over I/X/Y/Z (identity first)."""
+    return ("".join(chars) for chars in
+            itertools.product("IXYZ", repeat=num_qubits))
+
+
+def state_tomography(circuit: Circuit,
+                     shots_per_setting: Optional[int] = None,
+                     seed: Optional[int] = None) -> TomographyResult:
+    """Full Pauli tomography of the state a circuit prepares.
+
+    ``shots_per_setting=None`` uses exact expectations (ideal
+    tomography); a finite value estimates each Pauli from that many
+    shots, then projects the linear-inversion estimate back onto the
+    physical set (unit-trace positive semidefinite matrices).
+    """
+    n = circuit.num_qubits
+    if n > _MAX_TOMOGRAPHY_QUBITS:
+        raise ValueError(
+            f"tomography measures 4^n settings; {n} qubits exceeds "
+            f"the supported maximum of {_MAX_TOMOGRAPHY_QUBITS}"
+        )
+    rng = np.random.default_rng(seed)
+    sim = StatevectorSimulator()
+    dim = 2 ** n
+    rho = np.zeros((dim, dim), dtype=complex)
+    settings = 0
+    for label in pauli_labels(n):
+        pauli = PauliString(label)
+        if label == "I" * n:
+            value = 1.0
+        elif shots_per_setting is None:
+            value = sim.expectation(circuit, pauli)
+        else:
+            value = expectation_with_shots(
+                circuit, pauli, shots_per_setting, rng=rng
+            )
+            settings += 1
+        rho += value * pauli.matrix()
+    if shots_per_setting is None:
+        settings = 4 ** n - 1
+    rho /= dim
+    rho = project_to_physical(rho)
+    return TomographyResult(
+        density_matrix=rho,
+        num_qubits=n,
+        num_settings=settings,
+        shots_per_setting=shots_per_setting,
+    )
+
+
+def project_to_physical(matrix: np.ndarray) -> np.ndarray:
+    """Nearest density matrix: Hermitize, clip negative eigenvalues to
+    zero (Smolin-Gambetta-Smith style simple projection), renormalize
+    the trace."""
+    hermitian = 0.5 * (matrix + matrix.conj().T)
+    eigenvalues, eigenvectors = np.linalg.eigh(hermitian)
+    clipped = np.clip(eigenvalues, 0.0, None)
+    total = clipped.sum()
+    if total <= 0:
+        dim = matrix.shape[0]
+        return np.eye(dim, dtype=complex) / dim
+    clipped /= total
+    return (eigenvectors * clipped) @ eigenvectors.conj().T
+
+
+def reconstruction_error(result: TomographyResult,
+                         reference: np.ndarray) -> float:
+    """Trace distance ``(1/2) ||rho - sigma||_1`` to a reference
+    density matrix."""
+    difference = result.density_matrix - np.asarray(reference,
+                                                    dtype=complex)
+    singular_values = np.linalg.svd(difference, compute_uv=False)
+    return float(0.5 * singular_values.sum())

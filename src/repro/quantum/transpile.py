@@ -1,0 +1,113 @@
+"""Circuit optimization passes.
+
+Lightweight peephole transpilation for bound circuits: merging
+adjacent rotations on the same qubit, cancelling adjacent self-inverse
+gates, and dropping identity operations. On NISQ hardware every gate
+costs fidelity, so shorter equivalent circuits are strictly better —
+this is the compiler layer between the ansatz builders and the
+simulators.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from .circuit import Circuit, Instruction
+
+_TWO_PI = 2.0 * math.pi
+
+_MERGEABLE = frozenset({"rx", "ry", "rz", "p", "rzz", "rxx", "ryy",
+                        "crx", "cry", "crz", "cp"})
+_SELF_INVERSE = frozenset({"x", "y", "z", "h", "cx", "cz", "swap",
+                           "ccx", "cswap"})
+#: rotations with period 2*pi whose zero-angle form is the identity
+_PERIODIC = frozenset({"rx", "ry", "rz", "rzz", "rxx", "ryy",
+                       "crx", "cry", "crz"})
+
+
+def remove_identities(circuit: Circuit, atol: float = 1e-12) -> Circuit:
+    """Drop explicit identity gates and zero-angle rotations."""
+    out = Circuit(circuit.num_qubits)
+    for inst in circuit.instructions:
+        if inst.name == "i":
+            continue
+        if (inst.name in _MERGEABLE and not inst.is_parameterized
+                and abs(_normalized_angle(inst)) <= atol):
+            continue
+        out.instructions.append(inst)
+    return out
+
+
+def merge_rotations(circuit: Circuit, atol: float = 1e-12) -> Circuit:
+    """Fuse runs of the same rotation gate on the same qubits.
+
+    Consecutive ``rx(a) rx(b)`` on one qubit become ``rx(a + b)``
+    (dropped entirely if the sum is a multiple of 2*pi). Only bound
+    instructions participate; symbolic ones act as barriers.
+    """
+    out = Circuit(circuit.num_qubits)
+    for inst in circuit.instructions:
+        previous = out.instructions[-1] if out.instructions else None
+        if (previous is not None
+                and inst.name in _MERGEABLE
+                and previous.name == inst.name
+                and previous.qubits == inst.qubits
+                and not inst.is_parameterized
+                and not previous.is_parameterized):
+            angle = float(previous.params[0]) + float(inst.params[0])
+            out.instructions.pop()
+            if inst.name in _PERIODIC:
+                angle = math.remainder(angle, _TWO_PI)
+            if abs(angle) > atol:
+                out.instructions.append(
+                    Instruction(inst.name, inst.qubits, (angle,))
+                )
+            continue
+        out.instructions.append(inst)
+    return out
+
+
+def cancel_adjacent_inverses(circuit: Circuit) -> Circuit:
+    """Remove adjacent pairs of self-inverse gates on identical qubits.
+
+    Scans with a stack so that cancelling one pair can expose another
+    (``h x x h`` collapses fully). Soundness: a pop only happens when
+    everything between the pair in program order has itself been
+    popped, i.e. composes to the identity, so removing the pair
+    preserves the circuit's unitary.
+    """
+    stack: List[Instruction] = []
+    for inst in circuit.instructions:
+        if (stack
+                and inst.name in _SELF_INVERSE
+                and stack[-1].name == inst.name
+                and stack[-1].qubits == inst.qubits):
+            stack.pop()
+            continue
+        stack.append(inst)
+    out = Circuit(circuit.num_qubits)
+    out.instructions = stack
+    return out
+
+
+def optimize_circuit(circuit: Circuit, passes: int = 3) -> Circuit:
+    """Run the pass pipeline to a fixed point (bounded by ``passes``)."""
+    if passes < 1:
+        raise ValueError("passes must be positive")
+    current = circuit
+    for _ in range(passes):
+        before = len(current)
+        current = remove_identities(current)
+        current = merge_rotations(current)
+        current = cancel_adjacent_inverses(current)
+        if len(current) == before:
+            break
+    return current
+
+
+def _normalized_angle(inst: Instruction) -> float:
+    angle = float(inst.params[0])
+    if inst.name in _PERIODIC:
+        return math.remainder(angle, _TWO_PI)
+    return angle

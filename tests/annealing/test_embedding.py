@@ -1,0 +1,248 @@
+"""Tests for Chimera topology and minor embedding."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.annealing import (
+    EmbeddedSolver,
+    Embedding,
+    IsingModel,
+    Sample,
+    SampleSet,
+    SimulatedAnnealingSolver,
+    chain_break_fraction,
+    chimera_graph,
+    embed_ising,
+    find_embedding,
+    solve_ising_exact,
+    unembed_sampleset,
+)
+
+
+@pytest.fixture(scope="module")
+def hardware():
+    return chimera_graph(2, 2, shore=4)
+
+
+# ----------------------------------------------------------------------
+# Chimera topology
+# ----------------------------------------------------------------------
+def test_chimera_node_and_edge_counts(hardware):
+    # 4 cells x 8 qubits.
+    assert hardware.number_of_nodes() == 32
+    # Per cell: 16 internal; inter-cell: 4 vertical + 4 horizontal
+    # per adjacent pair; 2x2 grid has 2 vertical + 2 horizontal pairs.
+    assert hardware.number_of_edges() == 4 * 16 + 4 * 4
+
+
+def test_chimera_cell_is_bipartite_k44():
+    cell = chimera_graph(1, 1, shore=4)
+    assert cell.number_of_nodes() == 8
+    assert cell.number_of_edges() == 16
+    assert nx.is_bipartite(cell)
+
+
+def test_chimera_validates_args():
+    with pytest.raises(ValueError):
+        chimera_graph(0, 1)
+
+
+def test_chimera_is_connected(hardware):
+    assert nx.is_connected(hardware)
+
+
+# ----------------------------------------------------------------------
+# Embedding
+# ----------------------------------------------------------------------
+def test_embedding_rejects_overlapping_chains():
+    with pytest.raises(ValueError):
+        Embedding({0: [1, 2], 1: [2, 3]})
+
+
+def test_embedding_rejects_empty_chain():
+    with pytest.raises(ValueError):
+        Embedding({0: []})
+
+
+def test_find_embedding_triangle_in_cell(hardware):
+    # A triangle does not fit a bipartite cell without a chain.
+    embedding = find_embedding([(0, 1), (1, 2), (0, 2)], hardware,
+                               seed=0)
+    assert set(embedding.chains) == {0, 1, 2}
+    assert embedding.max_chain_length() >= 1
+    _assert_edges_realizable(embedding, [(0, 1), (1, 2), (0, 2)],
+                             hardware)
+
+
+def test_find_embedding_k5(hardware):
+    edges = [(a, b) for a in range(5) for b in range(a + 1, 5)]
+    embedding = find_embedding(edges, hardware, seed=0)
+    _assert_edges_realizable(embedding, edges, hardware)
+    # Chains must be connected in hardware.
+    for chain in embedding.chains.values():
+        assert nx.is_connected(hardware.subgraph(chain))
+
+
+def test_find_embedding_too_large_raises():
+    tiny = chimera_graph(1, 1, shore=2)  # 4 qubits
+    edges = [(a, b) for a in range(8) for b in range(a + 1, 8)]
+    with pytest.raises(RuntimeError):
+        find_embedding(edges, tiny, seed=0)
+
+
+def test_find_embedding_requires_edges(hardware):
+    with pytest.raises(ValueError):
+        find_embedding([], hardware)
+
+
+def _assert_edges_realizable(embedding, edges, hardware):
+    for u, v in edges:
+        chain_u = set(embedding.chains[u])
+        chain_v = set(embedding.chains[v])
+        touching = any(
+            n in chain_v
+            for q in chain_u for n in hardware.neighbors(q)
+        )
+        assert touching, f"chains of {u} and {v} not adjacent"
+
+
+# ----------------------------------------------------------------------
+# Compilation and unembedding
+# ----------------------------------------------------------------------
+def test_embed_ising_preserves_ground_state(hardware):
+    model = IsingModel.random(4, density=1.0, field_scale=0.4, seed=2)
+    embedding = find_embedding(list(model.j), hardware, seed=0)
+    physical = embed_ising(model, embedding, hardware)
+    # The physical ground state, unembedded, is the logical one.
+    spins, logical_energy = solve_ising_exact(model)
+    phys_spins, _ = solve_ising_exact(physical)
+    bits = tuple((1 + s) // 2 for s in phys_spins)
+    samples = SampleSet([Sample(bits, 0.0)])
+    logical = unembed_sampleset(samples, embedding, model)
+    assert logical.best_energy == pytest.approx(logical_energy)
+
+
+def test_embed_ising_missing_edge_raises(hardware):
+    model = IsingModel(2, j={(0, 1): 1.0})
+    # Deliberately broken embedding: two far-apart single qubits with
+    # no hardware edge between them.
+    far_a, far_b = 0, 31
+    assert not hardware.has_edge(far_a, far_b)
+    with pytest.raises(ValueError):
+        embed_ising(model, Embedding({0: [far_a], 1: [far_b]}),
+                    hardware)
+
+
+def test_unembed_majority_vote():
+    model = IsingModel(1, h={0: -1.0}, j={})
+    embedding = Embedding({0: [0, 1, 2]})
+    samples = SampleSet([Sample((1, 1, 0), 0.0)])  # broken chain 2:1
+    logical = unembed_sampleset(samples, embedding, model)
+    assert logical.best.assignment == (1,)
+
+
+def test_chain_break_fraction_counts():
+    embedding = Embedding({0: [0, 1]})
+    intact = SampleSet([Sample((1, 1), 0.0)])
+    broken = SampleSet([Sample((1, 0), 0.0)])
+    assert chain_break_fraction(intact, embedding) == 0.0
+    assert chain_break_fraction(broken, embedding) == 1.0
+
+
+# ----------------------------------------------------------------------
+# End-to-end embedded solving
+# ----------------------------------------------------------------------
+def test_embedded_solver_matches_exact(hardware):
+    model = IsingModel.random(5, density=1.0, field_scale=0.3, seed=1)
+    solver = EmbeddedSolver(
+        SimulatedAnnealingSolver(num_sweeps=400, num_reads=25, seed=3),
+        hardware, seed=0,
+    )
+    result = solver.solve(model)
+    _, exact = solve_ising_exact(model)
+    assert result.best_energy == pytest.approx(exact)
+    assert solver.last_embedding is not None
+    assert solver.last_chain_break_fraction is not None
+
+
+def test_embedded_solver_rejects_uncoupled_spin(hardware):
+    model = IsingModel(3, h={2: 1.0}, j={(0, 1): -1.0})
+    solver = EmbeddedSolver(
+        SimulatedAnnealingSolver(num_sweeps=50, num_reads=3, seed=0),
+        hardware,
+    )
+    with pytest.raises(ValueError):
+        solver.solve(model)
+
+
+def test_embedded_solver_accepts_qubo(hardware):
+    from repro.annealing import QUBO, solve_qubo_exact
+
+    qubo = QUBO(3)
+    qubo.add_quadratic(0, 1, -2.0).add_quadratic(1, 2, 1.0)
+    qubo.add_quadratic(0, 2, 1.5).add_linear(0, -1.0)
+    solver = EmbeddedSolver(
+        SimulatedAnnealingSolver(num_sweeps=300, num_reads=20, seed=4),
+        hardware, seed=0,
+    )
+    result = solver.solve(qubo)
+    assert result.best_energy == pytest.approx(
+        solve_qubo_exact(qubo).energy
+    )
+
+
+# ----------------------------------------------------------------------
+# Structured clique embedding
+# ----------------------------------------------------------------------
+def test_clique_embedding_k16_on_c4():
+    import networkx as nx
+
+    from repro.annealing import chimera_clique_embedding
+
+    hardware = chimera_graph(4, 4, shore=4)
+    embedding = chimera_clique_embedding(16, 4, shore=4)
+    for u in range(16):
+        chain_u = set(embedding.chains[u])
+        assert nx.is_connected(hardware.subgraph(chain_u))
+        for v in range(u + 1, 16):
+            chain_v = set(embedding.chains[v])
+            touching = any(
+                n in chain_v
+                for q in chain_u for n in hardware.neighbors(q)
+            )
+            assert touching, f"chains {u}, {v} not adjacent"
+
+
+def test_clique_embedding_chain_length():
+    from repro.annealing import chimera_clique_embedding
+
+    embedding = chimera_clique_embedding(12, 3, shore=4)
+    assert embedding.max_chain_length() == 4  # rows + 1
+
+
+def test_clique_embedding_capacity_check():
+    from repro.annealing import chimera_clique_embedding
+
+    with pytest.raises(ValueError):
+        chimera_clique_embedding(17, 4, shore=4)
+    with pytest.raises(ValueError):
+        chimera_clique_embedding(0, 4)
+
+
+def test_embedded_solver_clique_fallback_dense_problem():
+    """An 11-variable dense QUBO (beyond the greedy embedder) solves
+    through the structured clique fallback."""
+    from repro.annealing import QUBO, solve_qubo_exact
+
+    rng = np.random.default_rng(12)
+    qubo = QUBO.from_matrix(rng.normal(size=(11, 11)))
+    hardware = chimera_graph(3, 3, shore=4)
+    solver = EmbeddedSolver(
+        SimulatedAnnealingSolver(num_sweeps=600, num_reads=30, seed=0),
+        hardware, seed=0,
+    )
+    result = solver.solve(qubo)
+    exact = solve_qubo_exact(qubo)
+    assert result.best_energy <= exact.energy + 1.0
+    assert solver.last_embedding.max_chain_length() == 4

@@ -1,0 +1,101 @@
+"""Tests for the QAOA solver."""
+
+import numpy as np
+import pytest
+
+from repro.annealing import (
+    QAOASolver,
+    QUBO,
+    IsingModel,
+    approximation_ratio,
+    basis_energies,
+    qaoa_circuit,
+    solve_ising_exact,
+)
+
+
+@pytest.fixture(scope="module")
+def triangle_maxcut():
+    """MaxCut on a triangle as an Ising model: J = +1 on each edge."""
+    return IsingModel(3, j={(0, 1): 1.0, (1, 2): 1.0, (0, 2): 1.0})
+
+
+def test_qaoa_circuit_structure(triangle_maxcut):
+    qc = qaoa_circuit(triangle_maxcut, gammas=[0.3], betas=[0.2])
+    ops = qc.count_ops()
+    assert ops["h"] == 3
+    assert ops["rzz"] == 3
+    assert ops["rx"] == 3
+
+
+def test_qaoa_circuit_depth_two_layers(triangle_maxcut):
+    qc = qaoa_circuit(triangle_maxcut, gammas=[0.3, 0.1], betas=[0.2, 0.4])
+    assert qc.count_ops()["rzz"] == 6
+
+
+def test_qaoa_circuit_angle_length_mismatch(triangle_maxcut):
+    with pytest.raises(ValueError):
+        qaoa_circuit(triangle_maxcut, gammas=[0.1], betas=[0.1, 0.2])
+
+
+def test_basis_energies_match_model():
+    model = IsingModel(2, h={0: 0.5}, j={(0, 1): -1.0})
+    energies = basis_energies(model)
+    # index 0 = |00> = spins (+1, +1): E = 0.5 - 1 = -0.5
+    assert energies[0] == pytest.approx(-0.5)
+    # index 3 = |11> = spins (-1, -1): E = -0.5 - 1 = -1.5
+    assert energies[3] == pytest.approx(-1.5)
+
+
+def test_qaoa_improves_over_random_guessing(triangle_maxcut):
+    result = QAOASolver(p=1, restarts=2, seed=0).solve(triangle_maxcut)
+    energies = basis_energies(triangle_maxcut)
+    random_expectation = float(energies.mean())
+    assert result.expectation < random_expectation
+
+
+def test_qaoa_samples_reach_ground_state(triangle_maxcut):
+    result = QAOASolver(p=2, restarts=3, shots=512, seed=1).solve(
+        triangle_maxcut
+    )
+    _, exact = solve_ising_exact(triangle_maxcut)
+    assert result.samples.best_energy == pytest.approx(exact)
+
+
+def test_qaoa_ratio_increases_with_depth(triangle_maxcut):
+    shallow = QAOASolver(p=1, restarts=3, seed=2).solve(triangle_maxcut)
+    deep = QAOASolver(p=3, restarts=3, seed=2).solve(triangle_maxcut)
+    assert deep.approximation_ratio >= shallow.approximation_ratio - 0.02
+
+
+def test_qaoa_accepts_qubo_input():
+    q = QUBO(2).add_linear(0, 1.0).add_quadratic(0, 1, -3.0)
+    result = QAOASolver(p=1, restarts=2, seed=3).solve(q)
+    assert result.samples.best.assignment in {(1, 1), (0, 0), (0, 1), (1, 0)}
+
+
+def test_qaoa_validates_args():
+    with pytest.raises(ValueError):
+        QAOASolver(p=0)
+    with pytest.raises(ValueError):
+        QAOASolver(optimizer="bfgs")
+    with pytest.raises(ValueError):
+        QAOASolver(restarts=0)
+
+
+def test_approximation_ratio_bounds():
+    energies = np.array([-2.0, 0.0, 3.0])
+    assert approximation_ratio(-2.0, energies) == pytest.approx(1.0)
+    assert approximation_ratio(3.0, energies) == pytest.approx(0.0)
+    assert approximation_ratio(0.5, energies) == pytest.approx(0.5)
+
+
+def test_approximation_ratio_degenerate_spectrum():
+    assert approximation_ratio(1.0, np.array([1.0, 1.0])) == 1.0
+
+
+def test_qaoa_nelder_mead_also_works(triangle_maxcut):
+    result = QAOASolver(p=1, optimizer="nelder-mead", restarts=1,
+                        seed=4).solve(triangle_maxcut)
+    assert result.nfev > 0
+    assert result.gammas.size == 1

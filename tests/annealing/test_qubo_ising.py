@@ -1,0 +1,190 @@
+"""Tests for QUBO/Ising models and their conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.annealing import QUBO, IsingModel, bits_to_spins, spins_to_bits
+
+
+def test_qubo_energy_basic():
+    q = QUBO(2).add_linear(0, 1.0).add_quadratic(0, 1, -2.0).add_offset(0.5)
+    assert q.energy([0, 0]) == pytest.approx(0.5)
+    assert q.energy([1, 0]) == pytest.approx(1.5)
+    assert q.energy([1, 1]) == pytest.approx(-0.5)
+
+
+def test_qubo_quadratic_normalizes_key_order():
+    q = QUBO(3)
+    q.add_quadratic(2, 0, 1.0)
+    q.add_quadratic(0, 2, 1.0)
+    assert q.quadratic == {(0, 2): 2.0}
+
+
+def test_qubo_diagonal_quadratic_is_linear():
+    q = QUBO(2).add_quadratic(1, 1, 3.0)
+    assert q.linear == {1: 3.0}
+
+
+def test_qubo_energy_validates_assignment():
+    q = QUBO(2)
+    with pytest.raises(ValueError):
+        q.energy([0])
+    with pytest.raises(ValueError):
+        q.energy([0, 2])
+
+
+def test_qubo_variable_bounds():
+    q = QUBO(2)
+    with pytest.raises(ValueError):
+        q.add_linear(2, 1.0)
+    with pytest.raises(ValueError):
+        q.add_quadratic(0, 5, 1.0)
+
+
+def test_qubo_energies_vectorized_matches_scalar():
+    rng = np.random.default_rng(0)
+    q = QUBO.from_matrix(rng.normal(size=(5, 5)), offset=1.2)
+    X = rng.integers(0, 2, size=(10, 5))
+    vec = q.energies(X)
+    scalar = [q.energy(x) for x in X]
+    assert np.allclose(vec, scalar)
+
+
+def test_qubo_from_matrix_symmetrizes():
+    q = QUBO.from_matrix(np.array([[0.0, 1.0], [2.0, 0.0]]))
+    assert q.quadratic == {(0, 1): 3.0}
+
+
+def test_qubo_from_matrix_rejects_non_square():
+    with pytest.raises(ValueError):
+        QUBO.from_matrix(np.ones((2, 3)))
+
+
+def test_penalty_exactly_one_energies():
+    q = QUBO(3).add_penalty_exactly_one([0, 1, 2], weight=2.0)
+    assert q.energy([1, 0, 0]) == pytest.approx(0.0)
+    assert q.energy([0, 0, 0]) == pytest.approx(2.0)
+    assert q.energy([1, 1, 0]) == pytest.approx(2.0)
+    assert q.energy([1, 1, 1]) == pytest.approx(8.0)
+
+
+def test_penalty_at_most_one():
+    q = QUBO(3).add_penalty_at_most_one([0, 1, 2], weight=1.5)
+    assert q.energy([0, 0, 0]) == pytest.approx(0.0)
+    assert q.energy([1, 0, 0]) == pytest.approx(0.0)
+    assert q.energy([1, 1, 0]) == pytest.approx(1.5)
+    assert q.energy([1, 1, 1]) == pytest.approx(4.5)
+
+
+def test_penalty_equal():
+    q = QUBO(2).add_penalty_equal(0, 1, weight=3.0)
+    assert q.energy([0, 0]) == pytest.approx(0.0)
+    assert q.energy([1, 1]) == pytest.approx(0.0)
+    assert q.energy([1, 0]) == pytest.approx(3.0)
+
+
+def test_penalty_implication():
+    q = QUBO(2).add_penalty_implication(0, 1, weight=2.0)
+    assert q.energy([1, 0]) == pytest.approx(2.0)
+    assert q.energy([1, 1]) == pytest.approx(0.0)
+    assert q.energy([0, 0]) == pytest.approx(0.0)
+
+
+def test_penalty_rejects_negative_weight():
+    with pytest.raises(ValueError):
+        QUBO(2).add_penalty_exactly_one([0, 1], weight=-1.0)
+
+
+def test_penalty_rejects_duplicate_variables():
+    with pytest.raises(ValueError):
+        QUBO(2).add_penalty_exactly_one([0, 0], weight=1.0)
+
+
+def test_max_abs_coefficient():
+    q = QUBO(2).add_linear(0, -3.0).add_quadratic(0, 1, 2.0)
+    assert q.max_abs_coefficient() == pytest.approx(3.0)
+    assert QUBO(2).max_abs_coefficient() == 0.0
+
+
+# ----------------------------------------------------------------------
+# Ising model
+# ----------------------------------------------------------------------
+def test_ising_energy():
+    model = IsingModel(2, h={0: 0.5}, j={(0, 1): -1.0}, offset=2.0)
+    assert model.energy([1, 1]) == pytest.approx(1.5)
+    assert model.energy([-1, 1]) == pytest.approx(2.5)
+
+
+def test_ising_validates_spins():
+    model = IsingModel(2)
+    with pytest.raises(ValueError):
+        model.energy([0, 1])
+    with pytest.raises(ValueError):
+        model.energy([1])
+
+
+def test_ising_rejects_self_coupling():
+    with pytest.raises(ValueError):
+        IsingModel(2, j={(1, 1): 1.0})
+
+
+def test_ising_key_normalization():
+    model = IsingModel(3, j={(2, 0): 1.0, (0, 2): 0.5})
+    assert model.j == {(0, 2): 1.5}
+
+
+def test_ising_energies_vectorized():
+    model = IsingModel.random(5, seed=1)
+    rng = np.random.default_rng(2)
+    S = rng.choice((-1, 1), size=(8, 5))
+    vec = model.energies(S)
+    scalar = [model.energy(s) for s in S]
+    assert np.allclose(vec, scalar)
+
+
+def test_ising_random_plus_minus_one_couplings():
+    model = IsingModel.random(6, density=1.0, seed=3)
+    assert all(v in (-1.0, 1.0) for v in model.j.values())
+    assert len(model.j) == 15
+
+
+def test_spin_bit_maps_are_inverse():
+    bits = np.array([0, 1, 1, 0])
+    assert np.array_equal(spins_to_bits(bits_to_spins(bits)), bits)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_qubo_ising_roundtrip(seed):
+    """QUBO -> Ising -> QUBO preserves energies on all assignments."""
+    rng = np.random.default_rng(seed)
+    q = QUBO.from_matrix(rng.normal(size=(4, 4)), offset=rng.normal())
+    roundtrip = q.to_ising().to_qubo()
+    for idx in range(16):
+        bits = [(idx >> k) & 1 for k in range(4)]
+        assert q.energy(bits) == pytest.approx(roundtrip.energy(bits))
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_qubo_ising_same_energy(seed):
+    """E_qubo(x) == E_ising(2x - 1) for the converted model."""
+    rng = np.random.default_rng(seed)
+    q = QUBO.from_matrix(rng.normal(size=(5, 5)))
+    ising = q.to_ising()
+    bits = rng.integers(0, 2, size=5)
+    assert q.energy(bits) == pytest.approx(
+        ising.energy(bits_to_spins(bits))
+    )
+
+
+def test_ising_to_pauli_sum_spectrum_matches():
+    """The gate-model Hamiltonian has the same energy landscape."""
+    from repro.annealing.qaoa import basis_energies
+
+    model = IsingModel.random(3, field_scale=0.5, seed=4)
+    ham = model.to_pauli_sum()
+    diag = np.diag(ham.matrix()).real
+    assert np.allclose(np.sort(diag), np.sort(basis_energies(model)))

@@ -1,0 +1,73 @@
+"""Regression tests for solver schedule auto-scaling.
+
+These pin down two failure modes found during development:
+
+* penalty-heavy QUBOs whose large coefficients froze the old fixed
+  beta schedule, and
+* near-zero stray coefficients (e.g. tiny mutual-information scores)
+  that stretched the cold end so far the whole anneal was frozen.
+"""
+
+import numpy as np
+import pytest
+
+from repro.annealing import (
+    QUBO,
+    ParallelTemperingSolver,
+    SimulatedAnnealingSolver,
+    solve_qubo_exact,
+)
+from repro.annealing.ising import IsingModel
+from repro.annealing.simulated_annealing import auto_beta_schedule
+
+
+def test_sa_solves_penalty_heavy_qubo():
+    """Large penalty coefficients must not freeze the schedule."""
+    qubo = QUBO(6)
+    rng = np.random.default_rng(0)
+    for i in range(6):
+        qubo.add_linear(i, float(rng.uniform(1, 5)))
+    qubo.add_penalty_exactly_one([0, 1, 2], weight=500.0)
+    qubo.add_penalty_exactly_one([3, 4, 5], weight=500.0)
+    result = SimulatedAnnealingSolver(num_sweeps=300, num_reads=15,
+                                      seed=1).solve(qubo)
+    exact = solve_qubo_exact(qubo)
+    assert result.best_energy == pytest.approx(exact.energy)
+
+
+def test_sa_solves_qubo_with_tiny_stray_coefficients():
+    """A near-zero coefficient must not stretch the cold end into a
+    frozen schedule (the floor at 1e-3 * max matters here)."""
+    qubo = QUBO(8)
+    rng = np.random.default_rng(1)
+    for i in range(8):
+        qubo.add_linear(i, float(rng.normal()))
+    for i in range(7):
+        qubo.add_quadratic(i, i + 1, float(rng.normal()))
+    qubo.add_quadratic(0, 7, 1e-9)  # the stray term
+    result = SimulatedAnnealingSolver(num_sweeps=300, num_reads=15,
+                                      seed=2).solve(qubo)
+    exact = solve_qubo_exact(qubo)
+    assert result.best_energy == pytest.approx(exact.energy)
+
+
+def test_auto_beta_cold_end_is_floored():
+    model = IsingModel(3, j={(0, 1): 1.0, (1, 2): 1e-12})
+    betas = auto_beta_schedule(model, 10)
+    # Without the floor the cold end would be ~ln(1000)/2e-12 ~ 1e15.
+    assert betas[-1] < 1e7
+
+
+def test_parallel_tempering_on_weak_strong_barrier():
+    """PT crosses the tall-thin barrier that defeats plain SA."""
+    from repro.experiments.optimization import (
+        weak_strong_cluster_instance,
+    )
+    from repro.annealing import solve_ising_exact
+
+    model = weak_strong_cluster_instance(6)
+    _, optimum = solve_ising_exact(model)
+    solver = ParallelTemperingSolver(num_replicas=8, num_sweeps=200,
+                                     num_reads=5, seed=3)
+    result = solver.solve(model)
+    assert result.success_probability(optimum) >= 0.6

@@ -1,0 +1,230 @@
+"""Tests for exact, SA, SQA and tabu solvers plus sample sets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.annealing import (
+    QUBO,
+    IsingModel,
+    Sample,
+    SampleSet,
+    SimulatedAnnealingSolver,
+    SimulatedQuantumAnnealingSolver,
+    TabuSearchSolver,
+    all_assignments,
+    anneal_qubo,
+    ground_states,
+    qubo_spectrum,
+    solve_ising_exact,
+    solve_qubo_exact,
+)
+from repro.annealing.simulated_annealing import auto_beta_schedule
+
+
+@pytest.fixture(scope="module")
+def frustrated_qubo():
+    rng = np.random.default_rng(5)
+    return QUBO.from_matrix(rng.normal(size=(8, 8)))
+
+
+# ----------------------------------------------------------------------
+# SampleSet
+# ----------------------------------------------------------------------
+def test_sampleset_sorts_by_energy():
+    ss = SampleSet([Sample((0,), 2.0), Sample((1,), -1.0)])
+    assert ss.best_energy == -1.0
+    assert ss.best.assignment == (1,)
+
+
+def test_sampleset_merges_duplicates():
+    ss = SampleSet([Sample((0, 1), 1.0), Sample((0, 1), 1.0, 3)])
+    assert len(ss) == 1
+    assert ss.best.num_occurrences == 4
+
+
+def test_sampleset_success_probability():
+    ss = SampleSet([Sample((0,), 0.0, 3), Sample((1,), 5.0, 1)])
+    assert ss.success_probability(0.0) == pytest.approx(0.75)
+
+
+def test_sampleset_rejects_empty():
+    with pytest.raises(ValueError):
+        SampleSet([])
+
+
+def test_sampleset_energies_expanded():
+    ss = SampleSet([Sample((0,), 1.0, 2), Sample((1,), 3.0)])
+    assert sorted(ss.energies()) == [1.0, 1.0, 3.0]
+
+
+# ----------------------------------------------------------------------
+# Exact
+# ----------------------------------------------------------------------
+def test_all_assignments_lexicographic():
+    rows = all_assignments(2)
+    assert rows.tolist() == [[0, 0], [0, 1], [1, 0], [1, 1]]
+
+
+def test_all_assignments_limit():
+    with pytest.raises(ValueError):
+        all_assignments(30)
+
+
+def test_exact_qubo_known_optimum():
+    # min of x0 - 2 x1 + 3 x0 x1 is x = (0, 1) with energy -2.
+    q = QUBO(2).add_linear(0, 1.0).add_linear(1, -2.0)
+    q.add_quadratic(0, 1, 3.0)
+    best = solve_qubo_exact(q)
+    assert best.assignment == (0, 1)
+    assert best.energy == pytest.approx(-2.0)
+
+
+def test_exact_ising_ferromagnet():
+    model = IsingModel(3, j={(0, 1): -1.0, (1, 2): -1.0})
+    spins, energy = solve_ising_exact(model)
+    assert energy == pytest.approx(-2.0)
+    assert abs(spins.sum()) == 3  # all aligned
+
+
+def test_qubo_spectrum_sorted_and_complete():
+    q = QUBO(3).add_linear(0, 1.0)
+    spectrum = qubo_spectrum(q)
+    assert spectrum.size == 8
+    assert (np.diff(spectrum) >= 0).all()
+
+
+def test_ground_states_finds_degenerate_optima():
+    # -Z0 Z1 in QUBO form has two ground states: 00 and 11.
+    model = IsingModel(2, j={(0, 1): -1.0}).to_qubo()
+    states = ground_states(model)
+    assignments = {s.assignment for s in states}
+    assert assignments == {(0, 0), (1, 1)}
+
+
+# ----------------------------------------------------------------------
+# Simulated annealing
+# ----------------------------------------------------------------------
+def test_sa_finds_optimum_of_small_qubo(frustrated_qubo):
+    exact = solve_qubo_exact(frustrated_qubo)
+    result = anneal_qubo(frustrated_qubo, num_sweeps=200, num_reads=10,
+                         seed=0)
+    assert result.best_energy == pytest.approx(exact.energy)
+
+
+def test_sa_accepts_ising_directly():
+    model = IsingModel.random(6, seed=1)
+    solver = SimulatedAnnealingSolver(num_sweeps=100, num_reads=5, seed=2)
+    result = solver.solve(model)
+    _, exact_energy = solve_ising_exact(model)
+    assert result.best_energy <= exact_energy + 2.0
+
+
+def test_sa_deterministic_with_seed(frustrated_qubo):
+    a = SimulatedAnnealingSolver(num_sweeps=50, num_reads=3, seed=9)
+    b = SimulatedAnnealingSolver(num_sweeps=50, num_reads=3, seed=9)
+    assert (a.solve(frustrated_qubo).best_energy
+            == b.solve(frustrated_qubo).best_energy)
+
+
+def test_sa_validates_args():
+    with pytest.raises(ValueError):
+        SimulatedAnnealingSolver(num_sweeps=0)
+    with pytest.raises(ValueError):
+        SimulatedAnnealingSolver(num_reads=0)
+
+
+def test_sa_custom_schedule_length_checked(frustrated_qubo):
+    solver = SimulatedAnnealingSolver(num_sweeps=10, beta_schedule=[1.0])
+    with pytest.raises(ValueError):
+        solver.solve(frustrated_qubo)
+
+
+def test_auto_beta_schedule_is_increasing(frustrated_qubo):
+    betas = auto_beta_schedule(frustrated_qubo.to_ising(), 50)
+    assert len(betas) == 50
+    assert betas[0] < betas[-1]
+    assert betas[0] > 0
+
+
+def test_auto_beta_schedule_scales_with_coefficients():
+    small = IsingModel(2, j={(0, 1): 1.0})
+    large = IsingModel(2, j={(0, 1): 1000.0})
+    assert (auto_beta_schedule(large, 10)[0]
+            < auto_beta_schedule(small, 10)[0])
+
+
+def test_sa_penalized_onehot_problem():
+    """SA respects one-hot penalties when weights dominate."""
+    q = QUBO(3).add_linear(0, 5.0).add_linear(1, 1.0).add_linear(2, 3.0)
+    q.add_penalty_exactly_one([0, 1, 2], weight=20.0)
+    result = anneal_qubo(q, num_sweeps=100, num_reads=5, seed=3)
+    assert result.best_assignment.tolist() == [0, 1, 0]
+
+
+# ----------------------------------------------------------------------
+# Simulated quantum annealing
+# ----------------------------------------------------------------------
+def test_sqa_finds_optimum_of_small_qubo(frustrated_qubo):
+    exact = solve_qubo_exact(frustrated_qubo)
+    solver = SimulatedQuantumAnnealingSolver(
+        num_sweeps=200, num_reads=8, num_slices=10, seed=4
+    )
+    result = solver.solve(frustrated_qubo)
+    assert result.best_energy <= exact.energy + 0.5
+
+
+def test_sqa_validates_args():
+    with pytest.raises(ValueError):
+        SimulatedQuantumAnnealingSolver(num_slices=1)
+    with pytest.raises(ValueError):
+        SimulatedQuantumAnnealingSolver(beta=0.0)
+
+
+def test_sqa_deterministic_with_seed(frustrated_qubo):
+    make = lambda: SimulatedQuantumAnnealingSolver(
+        num_sweeps=50, num_reads=3, num_slices=6, seed=11
+    )
+    assert (make().solve(frustrated_qubo).best_energy
+            == make().solve(frustrated_qubo).best_energy)
+
+
+def test_sqa_gamma_schedule_length_checked(frustrated_qubo):
+    solver = SimulatedQuantumAnnealingSolver(
+        num_sweeps=10, gamma_schedule=[1.0]
+    )
+    with pytest.raises(ValueError):
+        solver.solve(frustrated_qubo)
+
+
+# ----------------------------------------------------------------------
+# Tabu search
+# ----------------------------------------------------------------------
+def test_tabu_finds_optimum_of_small_qubo(frustrated_qubo):
+    exact = solve_qubo_exact(frustrated_qubo)
+    solver = TabuSearchSolver(num_restarts=5, max_iterations=200, seed=5)
+    result = solver.solve(frustrated_qubo)
+    assert result.best_energy == pytest.approx(exact.energy)
+
+
+def test_tabu_validates_args():
+    with pytest.raises(ValueError):
+        TabuSearchSolver(num_restarts=0)
+    with pytest.raises(ValueError):
+        TabuSearchSolver(max_iterations=0)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1_000))
+def test_property_heuristics_never_beat_exact(seed):
+    """Sanity invariant: no heuristic reports energy below the true
+    global minimum."""
+    rng = np.random.default_rng(seed)
+    q = QUBO.from_matrix(rng.normal(size=(6, 6)))
+    floor = solve_qubo_exact(q).energy
+    sa = anneal_qubo(q, num_sweeps=60, num_reads=3, seed=seed)
+    tabu = TabuSearchSolver(num_restarts=2, max_iterations=60,
+                            seed=seed).solve(q)
+    assert sa.best_energy >= floor - 1e-9
+    assert tabu.best_energy >= floor - 1e-9

@@ -1,0 +1,81 @@
+"""Tests for the parallel tempering solver."""
+
+import numpy as np
+import pytest
+
+from repro.annealing import (
+    IsingModel,
+    ParallelTemperingSolver,
+    QUBO,
+    solve_ising_exact,
+    solve_qubo_exact,
+)
+
+
+@pytest.fixture(scope="module")
+def glass():
+    rng = np.random.default_rng(6)
+    return QUBO.from_matrix(rng.normal(size=(10, 10)))
+
+
+def test_pt_finds_optimum(glass):
+    solver = ParallelTemperingSolver(num_replicas=6, num_sweeps=150,
+                                     num_reads=3, seed=0)
+    result = solver.solve(glass)
+    assert result.best_energy == pytest.approx(
+        solve_qubo_exact(glass).energy
+    )
+
+
+def test_pt_accepts_ising_directly():
+    model = IsingModel.random(8, seed=1)
+    solver = ParallelTemperingSolver(num_replicas=4, num_sweeps=100,
+                                     num_reads=2, seed=2)
+    result = solver.solve(model)
+    _, exact = solve_ising_exact(model)
+    assert result.best_energy <= exact + 1.0
+
+
+def test_pt_swap_acceptance_recorded(glass):
+    solver = ParallelTemperingSolver(num_replicas=5, num_sweeps=50,
+                                     num_reads=1, seed=3)
+    solver.solve(glass)
+    assert 0.0 <= solver.last_swap_acceptance <= 1.0
+
+
+def test_pt_deterministic_with_seed(glass):
+    make = lambda: ParallelTemperingSolver(
+        num_replicas=4, num_sweeps=50, num_reads=2, seed=11
+    )
+    assert (make().solve(glass).best_energy
+            == make().solve(glass).best_energy)
+
+
+def test_pt_custom_beta_ladder(glass):
+    solver = ParallelTemperingSolver(
+        num_replicas=3, num_sweeps=80, num_reads=2,
+        betas=[0.05, 0.5, 5.0], seed=4,
+    )
+    result = solver.solve(glass)
+    assert result.best_energy <= solve_qubo_exact(glass).energy + 2.0
+
+
+def test_pt_validations():
+    with pytest.raises(ValueError):
+        ParallelTemperingSolver(num_replicas=1)
+    with pytest.raises(ValueError):
+        ParallelTemperingSolver(num_sweeps=0)
+    with pytest.raises(ValueError):
+        ParallelTemperingSolver(num_reads=0)
+    with pytest.raises(ValueError):
+        ParallelTemperingSolver(num_replicas=3, betas=[1.0, 2.0])
+    with pytest.raises(ValueError):
+        ParallelTemperingSolver(num_replicas=3, betas=[2.0, 1.0, 3.0])
+
+
+def test_pt_never_beats_exact(glass):
+    floor = solve_qubo_exact(glass).energy
+    for seed in range(3):
+        solver = ParallelTemperingSolver(num_replicas=4, num_sweeps=40,
+                                         num_reads=1, seed=seed)
+        assert solver.solve(glass).best_energy >= floor - 1e-9

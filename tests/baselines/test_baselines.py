@@ -1,0 +1,278 @@
+"""Tests for the from-scratch classical ML baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    KNNClassifier,
+    LinearRegression,
+    LogisticRegression,
+    MLP,
+    RidgeRegression,
+    SVM,
+    linear_kernel,
+    median_heuristic_gamma,
+    polynomial_kernel,
+    rbf_kernel,
+)
+from repro.datasets import (
+    make_circles,
+    make_linearly_separable,
+    make_moons,
+    train_test_split,
+)
+
+
+# ----------------------------------------------------------------------
+# Kernels
+# ----------------------------------------------------------------------
+def test_linear_kernel_is_inner_product():
+    x = np.array([[1.0, 2.0]])
+    y = np.array([[3.0, 4.0]])
+    assert linear_kernel(x, y)[0, 0] == pytest.approx(11.0)
+
+
+def test_rbf_kernel_diagonal_one():
+    x = np.random.default_rng(0).normal(size=(5, 3))
+    assert np.allclose(np.diag(rbf_kernel(x, x)), 1.0)
+
+
+def test_rbf_kernel_decays_with_distance():
+    x = np.array([[0.0], [1.0], [10.0]])
+    gram = rbf_kernel(x, x, gamma=1.0)
+    assert gram[0, 1] > gram[0, 2]
+
+
+def test_polynomial_kernel_degree_two():
+    x = np.array([[1.0]])
+    value = polynomial_kernel(x, x, degree=2, coef0=1.0, gamma=1.0)
+    assert value[0, 0] == pytest.approx(4.0)
+
+
+def test_median_heuristic_positive():
+    x = np.random.default_rng(1).normal(size=(10, 2))
+    assert median_heuristic_gamma(x) > 0
+
+
+# ----------------------------------------------------------------------
+# SVM
+# ----------------------------------------------------------------------
+def test_svm_linear_separable():
+    X, y = make_linearly_separable(60, margin=0.25, seed=0)
+    clf = SVM(kernel="linear", C=10.0, seed=0).fit(X, y)
+    assert clf.score(X, y) >= 0.95
+
+
+def test_svm_rbf_on_circles():
+    X, y = make_circles(80, noise=0.05, seed=1)
+    clf = SVM(kernel="rbf", gamma=2.0, C=5.0, seed=0).fit(X, y)
+    assert clf.score(X, y) >= 0.9
+
+
+def test_svm_precomputed_matches_callable():
+    X, y = make_moons(40, seed=2)
+    gram = rbf_kernel(X, X, gamma=1.5)
+    direct = SVM(kernel="rbf", gamma=1.5, C=2.0, seed=0).fit(X, y)
+    precomputed = SVM(kernel="precomputed", C=2.0, seed=0).fit(gram, y)
+    test_gram = rbf_kernel(X, X, gamma=1.5)
+    assert (precomputed.predict(test_gram) == direct.predict(X)).mean() > 0.9
+
+
+def test_svm_callable_kernel():
+    X, y = make_linearly_separable(40, seed=3)
+    clf = SVM(kernel=lambda a, b: a @ b.T, C=5.0, seed=0).fit(X, y)
+    assert clf.score(X, y) >= 0.9
+
+
+def test_svm_decision_function_sign_matches_predictions():
+    X, y = make_moons(30, seed=4)
+    clf = SVM(kernel="rbf", gamma=1.0, seed=0).fit(X, y)
+    margins = clf.decision_function(X)
+    assert ((margins >= 0) == (clf.predict(X) == clf.classes_[1])).all()
+
+
+def test_svm_preserves_original_labels():
+    X, y = make_linearly_separable(30, seed=5)
+    labels = np.where(y == 1, 7, -3)
+    clf = SVM(kernel="linear", seed=0).fit(X, labels)
+    assert set(clf.predict(X)) <= {7, -3}
+
+
+def test_svm_rejects_multiclass():
+    X = np.random.default_rng(0).normal(size=(9, 2))
+    with pytest.raises(ValueError):
+        SVM().fit(X, np.array([0, 1, 2] * 3))
+
+
+def test_svm_rejects_bad_c():
+    with pytest.raises(ValueError):
+        SVM(C=0.0)
+
+
+def test_svm_precomputed_requires_square():
+    with pytest.raises(ValueError):
+        SVM(kernel="precomputed").fit(np.ones((3, 4)), [0, 1, 0])
+
+
+def test_svm_unfitted_raises():
+    with pytest.raises(RuntimeError):
+        SVM().predict(np.ones((1, 2)))
+
+
+def test_svm_support_vectors_subset():
+    X, y = make_linearly_separable(40, seed=6)
+    clf = SVM(kernel="linear", C=1.0, seed=0).fit(X, y)
+    assert 0 < clf.support_.size <= 40
+
+
+# ----------------------------------------------------------------------
+# Logistic regression
+# ----------------------------------------------------------------------
+def test_logistic_separable():
+    X, y = make_linearly_separable(60, margin=0.3, seed=7)
+    clf = LogisticRegression(max_iter=300).fit(X, y)
+    assert clf.score(X, y) >= 0.95
+
+
+def test_logistic_proba_bounds():
+    X, y = make_moons(30, seed=8)
+    clf = LogisticRegression(max_iter=100).fit(X, y)
+    probabilities = clf.predict_proba(X)
+    assert ((probabilities > 0) & (probabilities < 1)).all()
+
+
+def test_logistic_l2_shrinks_weights():
+    X, y = make_linearly_separable(60, seed=9)
+    plain = LogisticRegression(max_iter=200, l2=0.0).fit(X, y)
+    ridge = LogisticRegression(max_iter=200, l2=1.0).fit(X, y)
+    assert np.linalg.norm(ridge.coef_) < np.linalg.norm(plain.coef_)
+
+
+def test_logistic_rejects_multiclass():
+    with pytest.raises(ValueError):
+        LogisticRegression().fit(np.ones((3, 1)), [0, 1, 2])
+
+
+def test_logistic_unfitted_raises():
+    with pytest.raises(RuntimeError):
+        LogisticRegression().predict(np.ones((1, 2)))
+
+
+# ----------------------------------------------------------------------
+# Linear / ridge regression
+# ----------------------------------------------------------------------
+def test_linear_regression_recovers_coefficients():
+    rng = np.random.default_rng(10)
+    X = rng.normal(size=(50, 2))
+    y = 3.0 * X[:, 0] - 2.0 * X[:, 1] + 1.0
+    model = LinearRegression().fit(X, y)
+    assert np.allclose(model.coef_, [3.0, -2.0], atol=1e-8)
+    assert model.intercept_ == pytest.approx(1.0)
+    assert model.score(X, y) == pytest.approx(1.0)
+
+
+def test_linear_regression_no_intercept():
+    X = np.array([[1.0], [2.0]])
+    model = LinearRegression(fit_intercept=False).fit(X, [2.0, 4.0])
+    assert model.intercept_ == 0.0
+    assert model.coef_[0] == pytest.approx(2.0)
+
+
+def test_ridge_shrinks_relative_to_ols():
+    rng = np.random.default_rng(11)
+    X = rng.normal(size=(20, 3))
+    y = X @ np.array([5.0, -5.0, 2.0]) + rng.normal(scale=0.1, size=20)
+    ols = LinearRegression().fit(X, y)
+    ridge = RidgeRegression(alpha=50.0).fit(X, y)
+    assert np.linalg.norm(ridge.coef_) < np.linalg.norm(ols.coef_)
+
+
+def test_ridge_rejects_negative_alpha():
+    with pytest.raises(ValueError):
+        RidgeRegression(alpha=-1.0)
+
+
+def test_regression_length_mismatch():
+    with pytest.raises(ValueError):
+        LinearRegression().fit(np.ones((3, 1)), [1.0, 2.0])
+
+
+# ----------------------------------------------------------------------
+# MLP
+# ----------------------------------------------------------------------
+def test_mlp_classifier_on_moons():
+    X, y = make_moons(120, noise=0.1, seed=12)
+    clf = MLP(hidden=(16,), max_iter=300, learning_rate=0.02, seed=0)
+    clf.fit(X, y)
+    assert clf.score(X, y) >= 0.85
+
+
+def test_mlp_regressor_on_sine():
+    rng = np.random.default_rng(13)
+    X = rng.uniform(-1, 1, size=(80, 1))
+    y = np.sin(2 * X[:, 0])
+    model = MLP(hidden=(16,), task="regression", max_iter=400,
+                learning_rate=0.02, seed=0)
+    model.fit(X, y)
+    assert model.score(X, y) >= 0.8
+
+
+def test_mlp_predict_proba_classification_only():
+    model = MLP(task="regression", max_iter=1, seed=0)
+    model.fit(np.ones((4, 1)), np.ones(4))
+    with pytest.raises(RuntimeError):
+        model.predict_proba(np.ones((1, 1)))
+
+
+def test_mlp_validates_args():
+    with pytest.raises(ValueError):
+        MLP(task="clustering")
+    with pytest.raises(ValueError):
+        MLP(hidden=(0,))
+    with pytest.raises(ValueError):
+        MLP(activation="sigmoidish")
+
+
+def test_mlp_unfitted_raises():
+    with pytest.raises(RuntimeError):
+        MLP().predict(np.ones((1, 2)))
+
+
+def test_mlp_deterministic_with_seed():
+    X, y = make_moons(40, seed=14)
+    a = MLP(max_iter=50, seed=3).fit(X, y).predict(X)
+    b = MLP(max_iter=50, seed=3).fit(X, y).predict(X)
+    assert (a == b).all()
+
+
+# ----------------------------------------------------------------------
+# k-NN
+# ----------------------------------------------------------------------
+def test_knn_memorizes_with_k1():
+    X, y = make_moons(30, seed=15)
+    clf = KNNClassifier(k=1).fit(X, y)
+    assert clf.score(X, y) == 1.0
+
+
+def test_knn_generalizes():
+    X, y = make_moons(100, noise=0.1, seed=16)
+    Xtr, Xte, ytr, yte = train_test_split(X, y, 0.3, seed=0)
+    clf = KNNClassifier(k=5).fit(Xtr, ytr)
+    assert clf.score(Xte, yte) >= 0.8
+
+
+def test_knn_validates_k():
+    with pytest.raises(ValueError):
+        KNNClassifier(k=0)
+    with pytest.raises(ValueError):
+        KNNClassifier(k=10).fit(np.ones((3, 1)), [0, 1, 0])
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1_000))
+def test_property_rbf_gram_psd(seed):
+    x = np.random.default_rng(seed).normal(size=(6, 2))
+    gram = rbf_kernel(x, x, gamma=0.7)
+    assert np.linalg.eigvalsh(gram).min() > -1e-9

@@ -1,0 +1,200 @@
+"""Tests for the catalog, statistics and data generators."""
+
+import numpy as np
+import pytest
+
+from repro.db import (
+    Catalog,
+    Table,
+    correlated_columns,
+    make_correlated_table,
+    make_star_schema,
+    true_range_cardinality,
+    zipf_column,
+)
+
+
+def test_table_requires_equal_column_lengths():
+    with pytest.raises(ValueError):
+        Table("t", {"a": np.arange(3), "b": np.arange(4)})
+
+
+def test_table_requires_name_and_columns():
+    with pytest.raises(ValueError):
+        Table("", {"a": np.arange(2)})
+    with pytest.raises(ValueError):
+        Table("t", {})
+
+
+def test_table_column_access():
+    t = Table("t", {"a": np.arange(5)})
+    assert t.num_rows == 5
+    assert t.column("a")[3] == 3
+    with pytest.raises(KeyError):
+        t.column("missing")
+
+
+def test_catalog_registers_and_serves_stats():
+    catalog = Catalog()
+    catalog.add_table(Table("t", {"a": np.arange(100)}))
+    stats = catalog.stats("t", "a")
+    assert stats.num_distinct == 100
+    assert stats.min_value == 0
+    assert stats.max_value == 99
+    assert catalog.row_count("t") == 100
+
+
+def test_catalog_rejects_duplicate_table():
+    catalog = Catalog()
+    catalog.add_table(Table("t", {"a": np.arange(2)}))
+    with pytest.raises(ValueError):
+        catalog.add_table(Table("t", {"a": np.arange(2)}))
+
+
+def test_catalog_unknown_lookups():
+    catalog = Catalog()
+    with pytest.raises(KeyError):
+        catalog.table("nope")
+    with pytest.raises(KeyError):
+        catalog.stats("nope", "a")
+
+
+def test_histogram_selectivity_full_range():
+    catalog = Catalog()
+    catalog.add_table(Table("t", {"a": np.arange(1000, dtype=float)}))
+    stats = catalog.stats("t", "a")
+    assert stats.selectivity_range(0, 999) == pytest.approx(1.0)
+
+
+def test_histogram_selectivity_half_range():
+    catalog = Catalog()
+    catalog.add_table(Table("t", {"a": np.arange(1000, dtype=float)}))
+    stats = catalog.stats("t", "a")
+    assert stats.selectivity_range(0, 499.5) == pytest.approx(0.5, abs=0.05)
+
+
+def test_histogram_selectivity_empty_range():
+    catalog = Catalog()
+    catalog.add_table(Table("t", {"a": np.arange(10, dtype=float)}))
+    stats = catalog.stats("t", "a")
+    assert stats.selectivity_range(5, 4) == 0.0
+
+
+def test_histogram_constant_column():
+    catalog = Catalog()
+    catalog.add_table(Table("t", {"a": np.full(10, 7.0)}))
+    stats = catalog.stats("t", "a")
+    assert stats.selectivity_range(6, 8) == pytest.approx(1.0)
+    assert stats.selectivity_equals() == pytest.approx(1.0)
+
+
+def test_selectivity_equals_uses_ndv():
+    catalog = Catalog()
+    catalog.add_table(Table("t", {"a": np.array([1.0, 2.0, 3.0, 4.0])}))
+    assert catalog.stats("t", "a").selectivity_equals() == pytest.approx(0.25)
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+def test_zipf_column_shape_and_range():
+    col = zipf_column(1000, 50, seed=0)
+    assert col.shape == (1000,)
+    assert col.min() >= 0 and col.max() < 50
+
+
+def test_zipf_column_is_skewed():
+    col = zipf_column(5000, 20, skew=1.5, seed=1)
+    counts = np.bincount(col, minlength=20)
+    assert counts[0] > counts[10]
+
+
+def test_zipf_validates_args():
+    with pytest.raises(ValueError):
+        zipf_column(0, 5)
+    with pytest.raises(ValueError):
+        zipf_column(10, 5, skew=0.0)
+
+
+def test_correlated_columns_hit_target_correlation():
+    a, b = correlated_columns(5000, correlation=0.8, seed=2)
+    observed = np.corrcoef(a, b)[0, 1]
+    assert observed == pytest.approx(0.8, abs=0.05)
+
+
+def test_correlated_columns_validate_range():
+    with pytest.raises(ValueError):
+        correlated_columns(10, correlation=1.5)
+
+
+def test_make_correlated_table_columns():
+    t = make_correlated_table("t", 100, num_column_pairs=2, seed=3)
+    assert sorted(t.columns) == ["c0", "c1", "c2", "c3"]
+    assert t.num_rows == 100
+
+
+def test_make_star_schema_structure():
+    catalog = make_star_schema(fact_rows=500,
+                               dimension_rows=(50, 20), seed=4)
+    assert catalog.table_names == ["dim0", "dim1", "fact"]
+    fact = catalog.table("fact")
+    assert set(fact.columns) == {"fk0", "fk1", "measure"}
+    assert fact.column("fk0").max() < 50
+
+
+def test_true_range_cardinality_counts_exactly():
+    t = Table("t", {"a": np.array([1.0, 2.0, 3.0, 4.0]),
+                    "b": np.array([10.0, 20.0, 30.0, 40.0])})
+    count = true_range_cardinality(t, {"a": (2, 3), "b": (0, 35)})
+    assert count == 2
+
+
+def test_true_range_cardinality_empty_predicate_set():
+    t = Table("t", {"a": np.arange(5)})
+    assert true_range_cardinality(t, {}) == 5
+
+
+def test_tpch_like_schema_structure():
+    from repro.db import make_tpch_like_schema
+
+    catalog = make_tpch_like_schema(scale=0.001, seed=0)
+    assert set(catalog.table_names) == {
+        "region", "nation", "customer", "orders", "lineitem", "part",
+        "supplier",
+    }
+    assert catalog.row_count("region") == 5
+    assert catalog.row_count("nation") == 25
+    assert catalog.row_count("lineitem") > catalog.row_count("orders")
+
+
+def test_tpch_like_foreign_keys_intact():
+    from repro.db import make_tpch_like_schema
+
+    catalog = make_tpch_like_schema(scale=0.001, seed=1)
+    orders = catalog.table("orders")
+    assert orders.column("o_custkey").max() < catalog.row_count("customer")
+    lineitem = catalog.table("lineitem")
+    assert lineitem.column("l_orderkey").max() < catalog.row_count("orders")
+
+
+def test_tpch_like_rejects_bad_scale():
+    from repro.db import make_tpch_like_schema
+
+    with pytest.raises(ValueError):
+        make_tpch_like_schema(scale=0.0)
+
+
+def test_tpch_chain_join_executes():
+    from repro.db import (
+        HashJoinExecutor,
+        dp_optimal,
+        make_tpch_like_schema,
+        tpch_chain_join_query,
+    )
+
+    catalog = make_tpch_like_schema(scale=0.001, seed=2)
+    query = tpch_chain_join_query(catalog)
+    tree, _ = dp_optimal(query.to_join_graph())
+    result = HashJoinExecutor(query).execute(tree)
+    # Chain of FK joins keeps every lineitem row.
+    assert result.row_count == catalog.row_count("lineitem")

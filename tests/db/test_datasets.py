@@ -1,0 +1,136 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    make_blobs,
+    make_circles,
+    make_linearly_separable,
+    make_moons,
+    make_parity,
+    make_regression_wave,
+    make_xor,
+    minmax_scale,
+    train_test_split,
+)
+
+
+@pytest.mark.parametrize("maker", [
+    make_moons, make_circles, make_xor,
+])
+def test_binary_generators_shapes(maker):
+    X, y = maker(50, seed=0)
+    assert X.shape == (50, 2)
+    assert y.shape == (50,)
+    assert set(np.unique(y)) == {0, 1}
+
+
+def test_generators_deterministic_with_seed():
+    a = make_moons(30, seed=5)[0]
+    b = make_moons(30, seed=5)[0]
+    assert np.allclose(a, b)
+
+
+def test_moons_classes_roughly_balanced():
+    _, y = make_moons(100, seed=1)
+    assert abs(y.mean() - 0.5) < 0.1
+
+
+def test_circles_inner_radius_smaller():
+    X, y = make_circles(200, noise=0.0, factor=0.5, seed=2)
+    radii = np.linalg.norm(X, axis=1)
+    assert radii[y == 1].mean() < radii[y == 0].mean()
+
+
+def test_circles_validates_factor():
+    with pytest.raises(ValueError):
+        make_circles(10, factor=1.5)
+
+
+def test_blobs_multiclass():
+    X, y = make_blobs(60, centers=3, seed=3)
+    assert set(np.unique(y)) == {0, 1, 2}
+
+
+def test_blobs_validates_centers():
+    with pytest.raises(ValueError):
+        make_blobs(10, centers=1)
+
+
+def test_xor_labels_follow_quadrants():
+    X, y = make_xor(200, noise=0.0, seed=4)
+    expected = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    assert (y == expected).all()
+
+
+def test_parity_full_truth_table():
+    X, y = make_parity(3, seed=5)
+    assert X.shape == (8, 3)
+    assert (y == X.sum(axis=1).astype(int) % 2).all()
+
+
+def test_parity_sampled():
+    X, y = make_parity(4, n_samples=10, seed=6)
+    assert X.shape == (10, 4)
+
+
+def test_parity_validates_bits():
+    with pytest.raises(ValueError):
+        make_parity(1)
+
+
+def test_linearly_separable_margin_respected():
+    X, y = make_linearly_separable(100, margin=0.3, seed=7)
+    assert X.shape == (100, 2)
+    # A linear SVM-style check: classes are separable by some line.
+    from repro.baselines import LogisticRegression
+    clf = LogisticRegression(max_iter=500).fit(X, y)
+    assert clf.score(X, y) == 1.0
+
+
+def test_regression_wave_target():
+    X, y = make_regression_wave(50, noise=0.0, seed=8)
+    assert np.allclose(y, np.sin(np.pi * X[:, 0]))
+
+
+def test_train_test_split_sizes():
+    X = np.arange(20).reshape(10, 2)
+    y = np.arange(10)
+    Xtr, Xte, ytr, yte = train_test_split(X, y, 0.3, seed=0)
+    assert Xtr.shape[0] == 7 and Xte.shape[0] == 3
+    assert set(ytr) | set(yte) == set(range(10))
+
+
+def test_train_test_split_validates_fraction():
+    X = np.ones((4, 1))
+    y = np.zeros(4)
+    with pytest.raises(ValueError):
+        train_test_split(X, y, 0.0)
+    with pytest.raises(ValueError):
+        train_test_split(X, y, 1.0)
+
+
+def test_minmax_scale_range():
+    X = np.array([[1.0, -5.0], [3.0, 5.0]])
+    scaled = minmax_scale(X)
+    assert scaled.min() == 0.0 and scaled.max() == 1.0
+
+
+def test_minmax_scale_constant_column():
+    X = np.array([[2.0], [2.0]])
+    assert np.allclose(minmax_scale(X), 0.0)
+
+
+def test_minmax_scale_custom_bounds():
+    X = np.array([[0.0], [1.0]])
+    scaled = minmax_scale(X, low=-1.0, high=1.0)
+    assert scaled[0, 0] == -1.0 and scaled[1, 0] == 1.0
+
+
+@pytest.mark.parametrize("maker", [make_moons, make_circles, make_xor])
+def test_generators_validate_args(maker):
+    with pytest.raises(ValueError):
+        maker(1)
+    with pytest.raises(ValueError):
+        maker(10, noise=-0.1)

@@ -1,0 +1,207 @@
+"""Tests for the join-order optimizers, including the QUBO route."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.annealing import SimulatedAnnealingSolver, solve_qubo_exact
+from repro.db import (
+    JoinGraph,
+    JoinOrderQUBO,
+    dp_optimal,
+    exhaustive_left_deep,
+    greedy_goo,
+    left_deep_cost,
+    log_cost_proxy,
+    random_join_graph,
+    solve_join_order_annealing,
+    tree_cost,
+)
+
+
+@pytest.fixture
+def chain_graph():
+    return random_join_graph(5, "chain", seed=10)
+
+
+@pytest.fixture
+def star_graph():
+    return random_join_graph(5, "star", seed=11)
+
+
+# ----------------------------------------------------------------------
+# DP
+# ----------------------------------------------------------------------
+def test_dp_left_deep_matches_exhaustive(chain_graph):
+    # Exhaustive enumeration allows cross products, so compare against
+    # the unrestricted DP variant.
+    _, dp_cost = dp_optimal(chain_graph, bushy=False,
+                            avoid_cross_products=False)
+    _, exhaustive_cost = exhaustive_left_deep(chain_graph)
+    assert dp_cost == pytest.approx(exhaustive_cost)
+
+
+def test_dp_cross_product_avoidance_never_helps(chain_graph):
+    _, restricted = dp_optimal(chain_graph, bushy=False)
+    _, free = dp_optimal(chain_graph, bushy=False,
+                         avoid_cross_products=False)
+    assert restricted >= free - 1e-9
+
+
+def test_dp_bushy_at_least_as_good_as_left_deep(star_graph):
+    _, bushy = dp_optimal(star_graph, bushy=True)
+    _, left_deep = dp_optimal(star_graph, bushy=False)
+    assert bushy <= left_deep + 1e-9
+
+
+def test_dp_tree_covers_all_relations(chain_graph):
+    tree, cost = dp_optimal(chain_graph)
+    assert tree.relations == frozenset(range(5))
+    assert cost == pytest.approx(tree_cost(chain_graph, tree))
+
+
+def test_dp_two_relations():
+    g = JoinGraph([10.0, 20.0], {(0, 1): 0.5})
+    tree, cost = dp_optimal(g)
+    assert cost == pytest.approx(100.0)
+
+
+def test_dp_handles_disconnected_graph():
+    # No edge between {0,1} and {2,3}: DP must fall back to a cross
+    # product without crashing.
+    g = JoinGraph([10.0, 10.0, 10.0, 10.0],
+                  {(0, 1): 0.1, (2, 3): 0.1})
+    tree, cost = dp_optimal(g)
+    assert tree.relations == frozenset(range(4))
+
+
+# ----------------------------------------------------------------------
+# Greedy
+# ----------------------------------------------------------------------
+def test_greedy_returns_valid_tree(chain_graph):
+    tree, cost = greedy_goo(chain_graph)
+    assert tree.relations == frozenset(range(5))
+    assert cost == pytest.approx(tree_cost(chain_graph, tree))
+
+
+def test_greedy_never_beats_dp(star_graph):
+    _, dp_cost = dp_optimal(star_graph, bushy=True,
+                            avoid_cross_products=False)
+    _, greedy_cost = greedy_goo(star_graph)
+    assert greedy_cost >= dp_cost - 1e-6
+
+
+def test_greedy_is_suboptimal_on_adversarial_instance():
+    """A random cycle instance where GOO's smallest-first choice is a
+    trap (found by search; the gap is ~2.9x)."""
+    g = random_join_graph(5, "cycle", seed=2)
+    _, dp_cost = dp_optimal(g, bushy=True, avoid_cross_products=False)
+    _, greedy_cost = greedy_goo(g)
+    assert greedy_cost > 1.5 * dp_cost
+
+
+# ----------------------------------------------------------------------
+# QUBO formulation
+# ----------------------------------------------------------------------
+def test_qubo_energy_equals_log_proxy_on_valid_encodings(chain_graph):
+    formulation = JoinOrderQUBO(chain_graph)
+    qubo = formulation.build()
+    for order in itertools.permutations(range(5)):
+        bits = formulation.encode_order(order)
+        assert qubo.energy(bits) == pytest.approx(
+            log_cost_proxy(chain_graph, list(order)), abs=1e-6
+        )
+
+
+def test_qubo_ground_state_is_valid_permutation():
+    g = random_join_graph(4, "star", seed=12)
+    formulation = JoinOrderQUBO(g)
+    best = solve_qubo_exact(formulation.build())
+    decoded = formulation.decode(best.assignment)
+    assert decoded.valid
+    assert sorted(decoded.order) == [0, 1, 2, 3]
+
+
+def test_qubo_ground_state_minimizes_log_proxy():
+    g = random_join_graph(4, "chain", seed=13)
+    formulation = JoinOrderQUBO(g)
+    best = solve_qubo_exact(formulation.build())
+    decoded = formulation.decode(best.assignment)
+    proxies = [
+        log_cost_proxy(g, list(order))
+        for order in itertools.permutations(range(4))
+    ]
+    assert decoded.log_proxy == pytest.approx(min(proxies), abs=1e-6)
+
+
+def test_qubo_decode_repairs_invalid_bits(chain_graph):
+    formulation = JoinOrderQUBO(chain_graph)
+    formulation.build()
+    decoded = formulation.decode(np.zeros(25, dtype=int))
+    assert not decoded.valid
+    assert sorted(decoded.order) == list(range(5))
+
+
+def test_qubo_decode_rejects_wrong_length(chain_graph):
+    formulation = JoinOrderQUBO(chain_graph)
+    with pytest.raises(ValueError):
+        formulation.decode([0, 1])
+
+
+def test_qubo_encode_order_roundtrip(chain_graph):
+    formulation = JoinOrderQUBO(chain_graph)
+    formulation.build()
+    bits = formulation.encode_order([4, 2, 0, 1, 3])
+    decoded = formulation.decode(bits)
+    assert decoded.order == [4, 2, 0, 1, 3]
+    assert decoded.valid
+
+
+def test_qubo_penalty_weight_positive(chain_graph):
+    assert JoinOrderQUBO(chain_graph).penalty_weight() > 0
+
+
+def test_qubo_rejects_bad_penalty_scale(chain_graph):
+    with pytest.raises(ValueError):
+        JoinOrderQUBO(chain_graph, penalty_scale=0.0)
+
+
+def test_annealing_pipeline_near_optimal(star_graph):
+    decoded = solve_join_order_annealing(
+        star_graph,
+        solver=SimulatedAnnealingSolver(num_sweeps=300, num_reads=15,
+                                        seed=1),
+    )
+    _, best = exhaustive_left_deep(star_graph)
+    assert decoded.cost <= 3.0 * best  # within small factor of optimum
+    assert sorted(decoded.order) == list(range(5))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_property_dp_is_lower_bound(seed):
+    g = random_join_graph(4, "cycle", seed=seed)
+    _, dp_cost = dp_optimal(g, bushy=True, avoid_cross_products=False)
+    for order in itertools.permutations(range(4)):
+        assert left_deep_cost(g, list(order)) >= dp_cost - 1e-6
+
+
+def test_grover_join_order_matches_exhaustive():
+    from repro.db import solve_join_order_grover
+
+    g = random_join_graph(4, "star", seed=21)
+    order, cost = solve_join_order_grover(g, seed=0)
+    _, best = exhaustive_left_deep(g)
+    assert cost == pytest.approx(best)
+    assert sorted(order) == [0, 1, 2, 3]
+
+
+def test_grover_join_order_size_limit():
+    from repro.db import solve_join_order_grover
+
+    g = random_join_graph(7, "chain", seed=0)
+    with pytest.raises(ValueError):
+        solve_join_order_grover(g)

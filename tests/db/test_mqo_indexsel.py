@@ -1,0 +1,210 @@
+"""Tests for multiple-query optimization and index selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.annealing import SimulatedAnnealingSolver, solve_qubo_exact
+from repro.db import (
+    IndexSelectionProblem,
+    IndexSelectionQUBO,
+    MQOProblem,
+    MQOQUBO,
+    solve_index_selection_annealing,
+    solve_index_selection_exact,
+    solve_index_selection_greedy,
+    solve_mqo_annealing,
+    solve_mqo_exhaustive,
+    solve_mqo_greedy,
+)
+
+
+# ----------------------------------------------------------------------
+# MQO
+# ----------------------------------------------------------------------
+@pytest.fixture
+def tiny_mqo():
+    return MQOProblem(
+        plan_costs=[[10.0, 8.0], [5.0, 9.0]],
+        savings={((0, 0), (1, 1)): 6.0},
+    )
+
+
+def test_mqo_total_cost_applies_savings(tiny_mqo):
+    # Plans (0, 1): costs 10 + 9 = 19, saving 6 -> 13.
+    assert tiny_mqo.total_cost([0, 1]) == pytest.approx(13.0)
+    assert tiny_mqo.total_cost([1, 0]) == pytest.approx(13.0)
+
+
+def test_mqo_exhaustive_picks_sharing_when_worth_it(tiny_mqo):
+    selection, cost = solve_mqo_exhaustive(tiny_mqo)
+    assert cost == pytest.approx(13.0)
+    assert selection in ([0, 1], [1, 0])
+
+
+def test_mqo_greedy_can_miss_sharing(tiny_mqo):
+    # Greedy starts from cheapest plans (1, 0) = 13 and climbs; both
+    # optima cost 13 here so it matches, but never exceeds exhaustive.
+    _, greedy_cost = solve_mqo_greedy(tiny_mqo)
+    _, exact_cost = solve_mqo_exhaustive(tiny_mqo)
+    assert greedy_cost >= exact_cost - 1e-9
+
+
+def test_mqo_validations():
+    with pytest.raises(ValueError):
+        MQOProblem(plan_costs=[])
+    with pytest.raises(ValueError):
+        MQOProblem(plan_costs=[[]])
+    with pytest.raises(ValueError):
+        MQOProblem(plan_costs=[[-1.0]])
+    with pytest.raises(ValueError):
+        MQOProblem(plan_costs=[[1.0], [1.0]],
+                   savings={((0, 0), (0, 0)): 1.0})
+    with pytest.raises(ValueError):
+        MQOProblem(plan_costs=[[1.0], [1.0]],
+                   savings={((0, 0), (1, 0)): -1.0})
+
+
+def test_mqo_total_cost_validates_selection(tiny_mqo):
+    with pytest.raises(ValueError):
+        tiny_mqo.total_cost([0])
+    with pytest.raises(ValueError):
+        tiny_mqo.total_cost([0, 5])
+
+
+def test_mqo_random_instance_shape():
+    problem = MQOProblem.random(4, 3, seed=0)
+    assert problem.num_queries == 4
+    assert problem.num_plans == 12
+
+
+def test_mqo_qubo_ground_state_is_optimal():
+    problem = MQOProblem.random(4, 3, seed=1)
+    compiler = MQOQUBO(problem)
+    best = solve_qubo_exact(compiler.build())
+    decoded = compiler.decode(best.assignment)
+    _, exact_cost = solve_mqo_exhaustive(problem)
+    assert problem.total_cost(decoded) == pytest.approx(exact_cost)
+
+
+def test_mqo_qubo_energy_matches_cost_on_valid_selection(tiny_mqo):
+    compiler = MQOQUBO(tiny_mqo)
+    qubo = compiler.build()
+    bits = np.zeros(4, dtype=int)
+    bits[compiler.variable(0, 0)] = 1
+    bits[compiler.variable(1, 1)] = 1
+    assert qubo.energy(bits) == pytest.approx(tiny_mqo.total_cost([0, 1]))
+
+
+def test_mqo_decode_repairs_empty_rows(tiny_mqo):
+    compiler = MQOQUBO(tiny_mqo)
+    compiler.build()
+    selection = compiler.decode(np.zeros(4, dtype=int))
+    assert selection == [1, 0]  # cheapest plans
+
+
+def test_mqo_annealing_close_to_exact():
+    problem = MQOProblem.random(5, 3, seed=2)
+    _, exact_cost = solve_mqo_exhaustive(problem)
+    _, annealed_cost = solve_mqo_annealing(
+        problem,
+        solver=SimulatedAnnealingSolver(num_sweeps=400, num_reads=25,
+                                        seed=0),
+    )
+    assert annealed_cost <= 1.15 * exact_cost
+
+
+# ----------------------------------------------------------------------
+# Index selection
+# ----------------------------------------------------------------------
+@pytest.fixture
+def tiny_index_problem():
+    return IndexSelectionProblem(
+        sizes=[5, 4, 6],
+        benefits=[10.0, 8.0, 9.0],
+        overlaps={(0, 1): 5.0},
+        budget=10,
+    )
+
+
+def test_index_benefit_subtracts_overlap(tiny_index_problem):
+    assert tiny_index_problem.total_benefit([0, 1]) == pytest.approx(13.0)
+    assert tiny_index_problem.total_benefit([0, 2]) == pytest.approx(19.0)
+
+
+def test_index_feasibility(tiny_index_problem):
+    assert tiny_index_problem.is_feasible([0, 1])
+    assert not tiny_index_problem.is_feasible([0, 1, 2])
+
+
+def test_index_exact_solution(tiny_index_problem):
+    selection, benefit = solve_index_selection_exact(tiny_index_problem)
+    # {0, 2} costs 11 > 10 -> infeasible; best is {1, 2} = 17.
+    assert sorted(selection) == [1, 2]
+    assert benefit == pytest.approx(17.0)
+
+
+def test_index_greedy_feasible(tiny_index_problem):
+    selection, benefit = solve_index_selection_greedy(tiny_index_problem)
+    assert tiny_index_problem.is_feasible(selection)
+    assert benefit <= 17.0 + 1e-9
+
+
+def test_index_validations():
+    with pytest.raises(ValueError):
+        IndexSelectionProblem(sizes=[1], benefits=[1.0, 2.0], budget=1)
+    with pytest.raises(ValueError):
+        IndexSelectionProblem(sizes=[0], benefits=[1.0], budget=1)
+    with pytest.raises(ValueError):
+        IndexSelectionProblem(sizes=[1], benefits=[-1.0], budget=1)
+    with pytest.raises(ValueError):
+        IndexSelectionProblem(sizes=[1], benefits=[1.0], budget=0)
+    with pytest.raises(ValueError):
+        IndexSelectionProblem(sizes=[1, 1], benefits=[1.0, 1.0],
+                              overlaps={(0, 0): 1.0}, budget=1)
+
+
+def test_index_qubo_slack_covers_budget():
+    problem = IndexSelectionProblem.random(8, seed=3)
+    compiler = IndexSelectionQUBO(problem)
+    weights = compiler.slack_coefficients()
+    reachable = {0}
+    for w in weights:
+        reachable |= {r + w for r in reachable}
+    assert set(range(problem.budget + 1)) <= reachable
+
+
+def test_index_qubo_ground_state_feasible_and_optimal():
+    problem = IndexSelectionProblem.random(10, seed=4)
+    compiler = IndexSelectionQUBO(problem)
+    best = solve_qubo_exact(compiler.build())
+    decoded = compiler.decode(best.assignment)
+    assert problem.is_feasible(decoded)
+    _, exact_benefit = solve_index_selection_exact(problem)
+    assert problem.total_benefit(decoded) == pytest.approx(exact_benefit)
+
+
+def test_index_decode_repairs_infeasible(tiny_index_problem):
+    compiler = IndexSelectionQUBO(tiny_index_problem)
+    compiler.build()
+    bits = np.ones(compiler.num_variables, dtype=int)
+    decoded = compiler.decode(bits)
+    assert tiny_index_problem.is_feasible(decoded)
+
+
+def test_index_annealing_close_to_exact():
+    problem = IndexSelectionProblem.random(12, seed=5)
+    _, exact_benefit = solve_index_selection_exact(problem)
+    _, annealed = solve_index_selection_annealing(problem)
+    assert annealed >= 0.85 * exact_benefit
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_property_greedy_is_feasible_and_bounded(seed):
+    problem = IndexSelectionProblem.random(9, seed=seed)
+    selection, benefit = solve_index_selection_greedy(problem)
+    assert problem.is_feasible(selection)
+    _, exact_benefit = solve_index_selection_exact(problem)
+    assert benefit <= exact_benefit + 1e-9

@@ -1,0 +1,132 @@
+"""Tests for data partitioning (balanced min-cut)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import (
+    PartitioningIsing,
+    PartitioningProblem,
+    partition_annealing,
+    partition_exact,
+    partition_kernighan_lin,
+)
+
+
+@pytest.fixture(scope="module")
+def two_clusters():
+    """Two internally dense fragments groups with one weak bridge."""
+    weights = {}
+    for group in ((0, 1, 2), (3, 4, 5)):
+        for a_pos, a in enumerate(group):
+            for b in group[a_pos + 1:]:
+                weights[(a, b)] = 10.0
+    weights[(2, 3)] = 1.0  # bridge
+    return PartitioningProblem(sizes=[1.0] * 6, weights=weights)
+
+
+def test_cut_weight_and_imbalance(two_clusters):
+    across = [0, 0, 0, 1, 1, 1]
+    assert two_clusters.cut_weight(across) == pytest.approx(1.0)
+    assert two_clusters.imbalance(across) == pytest.approx(0.0)
+    lopsided = [0, 0, 0, 0, 0, 1]
+    assert lopsided.count(0) == 5
+    assert two_clusters.imbalance(lopsided) == pytest.approx(4.0)
+
+
+def test_validations():
+    with pytest.raises(ValueError):
+        PartitioningProblem(sizes=[1.0])
+    with pytest.raises(ValueError):
+        PartitioningProblem(sizes=[1.0, -1.0])
+    with pytest.raises(ValueError):
+        PartitioningProblem(sizes=[1.0, 1.0], weights={(0, 0): 1.0})
+    with pytest.raises(ValueError):
+        PartitioningProblem(sizes=[1.0, 1.0], weights={(0, 1): -1.0})
+    problem = PartitioningProblem(sizes=[1.0, 1.0])
+    with pytest.raises(ValueError):
+        problem.cut_weight([0])
+    with pytest.raises(ValueError):
+        problem.cut_weight([0, 2])
+
+
+def test_exact_cuts_only_the_bridge(two_clusters):
+    assignment, cut = partition_exact(two_clusters)
+    assert cut == pytest.approx(1.0)
+    assert two_clusters.imbalance(assignment) == pytest.approx(0.0)
+
+
+def test_annealing_matches_exact(two_clusters):
+    assignment = partition_annealing(two_clusters)
+    assert two_clusters.cut_weight(assignment) == pytest.approx(1.0)
+
+
+def test_kernighan_lin_also_finds_bridge(two_clusters):
+    assignment = partition_kernighan_lin(two_clusters, seed=0)
+    assert two_clusters.cut_weight(assignment) == pytest.approx(1.0)
+
+
+def test_annealing_balances_heterogeneous_sizes():
+    """With one huge fragment, the balanced optimum isolates it."""
+    problem = PartitioningProblem(
+        sizes=[10.0, 1.0, 1.0, 1.0, 1.0],
+        weights={(1, 2): 5.0, (2, 3): 5.0, (3, 4): 5.0},
+    )
+    assignment = partition_annealing(problem)
+    exact_assignment, _ = partition_exact(problem)
+    compiler = PartitioningIsing(problem)
+    score = lambda a: (problem.cut_weight(a)
+                       + compiler.balance_weight
+                       * problem.imbalance(a) ** 2)
+    assert score(assignment) == pytest.approx(score(exact_assignment))
+
+
+def test_decode_fixes_gauge(two_clusters):
+    compiler = PartitioningIsing(two_clusters)
+    assert compiler.decode([1, 1, 1, 0, 0, 0]) == [0, 0, 0, 1, 1, 1]
+    assert compiler.decode([0, 0, 0, 1, 1, 1]) == [0, 0, 0, 1, 1, 1]
+    with pytest.raises(ValueError):
+        compiler.decode([0, 1])
+
+
+def test_random_instance_deterministic():
+    a = PartitioningProblem.random(8, seed=5)
+    b = PartitioningProblem.random(8, seed=5)
+    assert a.weights == b.weights
+    assert a.sizes == b.sizes
+
+
+def test_ising_energy_tracks_score():
+    """The compiled Ising energy orders assignments the same way as
+    the explicit cut + balance score (they differ by a constant)."""
+    problem = PartitioningProblem.random(6, seed=7)
+    compiler = PartitioningIsing(problem)
+    model = compiler.build()
+    scores = []
+    energies = []
+    for mask in range(2 ** 5):
+        assignment = [0] + [(mask >> k) & 1 for k in range(5)]
+        spins = [1 - 2 * a for a in assignment]
+        scores.append(problem.cut_weight(assignment)
+                      + compiler.balance_weight
+                      * problem.imbalance(assignment) ** 2)
+        energies.append(model.energy(spins))
+    differences = np.asarray(energies) - np.asarray(scores)
+    assert np.allclose(differences, differences[0], atol=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_property_annealed_partition_is_valid(seed):
+    problem = PartitioningProblem.random(7, seed=seed)
+    from repro.annealing import SimulatedAnnealingSolver
+
+    assignment = partition_annealing(
+        problem,
+        solver=SimulatedAnnealingSolver(num_sweeps=100, num_reads=5,
+                                        seed=seed),
+    )
+    assert len(assignment) == 7
+    assert set(assignment) <= {0, 1}
+    assert assignment[0] == 0  # gauge fixed

@@ -1,0 +1,205 @@
+"""Tests for join graphs, join trees, cost model and workloads."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import (
+    JoinGraph,
+    JoinTree,
+    left_deep_cost,
+    left_deep_tree,
+    log_cost_proxy,
+    q_error,
+    random_join_graph,
+    selectivity_from_stats,
+    topology_edges,
+    tree_cost,
+)
+from repro.db.catalog import Catalog, Table
+
+
+@pytest.fixture
+def small_graph():
+    return JoinGraph(
+        [100.0, 1000.0, 10.0],
+        {(0, 1): 0.01, (1, 2): 0.001},
+    )
+
+
+# ----------------------------------------------------------------------
+# JoinGraph
+# ----------------------------------------------------------------------
+def test_graph_validates_inputs():
+    with pytest.raises(ValueError):
+        JoinGraph([100.0], {})
+    with pytest.raises(ValueError):
+        JoinGraph([10.0, 0.5], {})
+    with pytest.raises(ValueError):
+        JoinGraph([10.0, 10.0], {(0, 0): 0.5})
+    with pytest.raises(ValueError):
+        JoinGraph([10.0, 10.0], {(0, 1): 0.0})
+    with pytest.raises(ValueError):
+        JoinGraph([10.0, 10.0], {(0, 1): 1.5})
+
+
+def test_graph_selectivity_defaults_to_cross_product(small_graph):
+    assert small_graph.selectivity(0, 2) == 1.0
+    assert small_graph.selectivity(1, 0) == 0.01
+
+
+def test_graph_neighbors(small_graph):
+    assert small_graph.neighbors(1) == [0, 2]
+    assert small_graph.neighbors(0) == [1]
+
+
+def test_subset_cardinality(small_graph):
+    assert small_graph.subset_cardinality([0]) == pytest.approx(100.0)
+    assert small_graph.subset_cardinality([0, 1]) == pytest.approx(1000.0)
+    # all three: 100 * 1000 * 10 * 0.01 * 0.001 = 10
+    assert small_graph.subset_cardinality([0, 1, 2]) == pytest.approx(10.0)
+
+
+def test_subset_cardinality_cross_product(small_graph):
+    assert small_graph.subset_cardinality([0, 2]) == pytest.approx(1000.0)
+
+
+def test_connected_subset(small_graph):
+    assert small_graph.is_connected_subset([0, 1])
+    assert not small_graph.is_connected_subset([0, 2])
+    assert small_graph.is_connected_subset([0, 1, 2])
+
+
+# ----------------------------------------------------------------------
+# JoinTree
+# ----------------------------------------------------------------------
+def test_tree_leaf_and_join():
+    tree = JoinTree.join(JoinTree.leaf(0), JoinTree.leaf(1))
+    assert tree.relations == frozenset({0, 1})
+    assert not tree.is_leaf
+    assert len(tree.inner_nodes()) == 1
+
+
+def test_tree_rejects_overlapping_join():
+    with pytest.raises(ValueError):
+        JoinTree.join(JoinTree.leaf(0), JoinTree.leaf(0))
+
+
+def test_left_deep_tree_shape():
+    tree = left_deep_tree([2, 0, 1])
+    assert tree.is_left_deep()
+    assert tree.leaf_order() == [2, 0, 1]
+
+
+def test_bushy_tree_not_left_deep():
+    left = JoinTree.join(JoinTree.leaf(0), JoinTree.leaf(1))
+    right = JoinTree.join(JoinTree.leaf(2), JoinTree.leaf(3))
+    assert not JoinTree.join(left, right).is_left_deep()
+
+
+def test_left_deep_tree_validations():
+    with pytest.raises(ValueError):
+        left_deep_tree([0])
+    with pytest.raises(ValueError):
+        left_deep_tree([0, 0])
+
+
+def test_tree_display(small_graph):
+    tree = left_deep_tree([0, 1, 2])
+    assert tree.display() == "((R0 ⋈ R1) ⋈ R2)"
+    assert "A" in tree.display(["A", "B", "C"])
+
+
+# ----------------------------------------------------------------------
+# Cost model
+# ----------------------------------------------------------------------
+def test_tree_cost_sums_intermediates(small_graph):
+    tree = left_deep_tree([0, 1, 2])
+    # |{0,1}| = 1000, |{0,1,2}| = 10
+    assert tree_cost(small_graph, tree) == pytest.approx(1010.0)
+
+
+def test_tree_cost_requires_all_relations(small_graph):
+    partial = JoinTree.join(JoinTree.leaf(0), JoinTree.leaf(1))
+    with pytest.raises(ValueError):
+        tree_cost(small_graph, partial)
+
+
+def test_left_deep_cost_orders_differ(small_graph):
+    good = left_deep_cost(small_graph, [2, 1, 0])
+    bad = left_deep_cost(small_graph, [0, 2, 1])  # cross product first
+    assert good < bad
+
+
+def test_left_deep_cost_validates_permutation(small_graph):
+    with pytest.raises(ValueError):
+        left_deep_cost(small_graph, [0, 1])
+    with pytest.raises(ValueError):
+        left_deep_cost(small_graph, [0, 1, 1])
+
+
+def test_log_cost_proxy_is_log_of_product(small_graph):
+    order = [0, 1, 2]
+    proxy = log_cost_proxy(small_graph, order)
+    assert proxy == pytest.approx(math.log(1000.0) + math.log(10.0))
+
+
+def test_q_error_symmetric():
+    assert q_error(10, 100) == pytest.approx(10.0)
+    assert q_error(100, 10) == pytest.approx(10.0)
+    assert q_error(50, 50) == pytest.approx(1.0)
+
+
+def test_q_error_floors_at_one_row():
+    assert q_error(0.0, 5.0) == pytest.approx(5.0)
+
+
+def test_selectivity_from_stats_uses_max_ndv():
+    catalog = Catalog()
+    catalog.add_table(Table("a", {"k": np.arange(100) % 10}))
+    catalog.add_table(Table("b", {"k": np.arange(50) % 50}))
+    sel = selectivity_from_stats(catalog, ("a", "k"), ("b", "k"))
+    assert sel == pytest.approx(1.0 / 50.0)
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("topology, expected_edges", [
+    ("chain", 4), ("star", 4), ("cycle", 5), ("clique", 10),
+])
+def test_topology_edge_counts(topology, expected_edges):
+    assert len(topology_edges(5, topology)) == expected_edges
+
+
+def test_random_join_graph_respects_bounds():
+    g = random_join_graph(6, "chain", min_cardinality=10,
+                          max_cardinality=1000, seed=0)
+    assert all(10 <= c <= 1000 for c in g.cardinalities)
+    assert all(0 < s <= 0.5 for s in g.selectivities.values())
+
+
+def test_random_join_graph_rejects_bad_topology():
+    with pytest.raises(ValueError):
+        random_join_graph(4, "mesh")
+
+
+def test_random_join_graph_deterministic():
+    a = random_join_graph(5, "star", seed=7)
+    b = random_join_graph(5, "star", seed=7)
+    assert a.cardinalities == b.cardinalities
+    assert a.selectivities == b.selectivities
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    topology=st.sampled_from(["chain", "star", "cycle", "clique"]),
+    n=st.integers(min_value=3, max_value=6),
+    seed=st.integers(min_value=0, max_value=1_000),
+)
+def test_property_topologies_are_connected(topology, n, seed):
+    g = random_join_graph(n, topology, seed=seed)
+    assert g.is_connected_subset(range(n))

@@ -1,0 +1,68 @@
+"""Tests for the Q-learning join optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.db import (
+    QLearningJoinOptimizer,
+    exhaustive_left_deep,
+    random_join_graph,
+    solve_join_order_rl,
+)
+
+
+@pytest.fixture(scope="module")
+def star_graph():
+    return random_join_graph(5, "star", seed=8)
+
+
+def test_rl_converges_near_optimal(star_graph):
+    order, cost = solve_join_order_rl(star_graph, episodes=1500, seed=0)
+    _, best = exhaustive_left_deep(star_graph)
+    assert cost <= 1.2 * best
+    assert sorted(order) == list(range(5))
+
+
+def test_rl_improves_over_training(star_graph):
+    optimizer = QLearningJoinOptimizer(star_graph, episodes=800, seed=1)
+    optimizer.train()
+    curve = optimizer.learning_curve(window=50)
+    # Late-training rolling cost is better than early exploration.
+    assert curve[-1] < curve[49]
+
+
+def test_rl_policy_rollout_is_deterministic_given_q(star_graph):
+    optimizer = QLearningJoinOptimizer(star_graph, episodes=500, seed=2)
+    optimizer.train()
+    assert optimizer.best_order() == optimizer.best_order()
+
+
+def test_rl_history_recorded(star_graph):
+    optimizer = QLearningJoinOptimizer(star_graph, episodes=50, seed=3)
+    optimizer.train()
+    assert len(optimizer.history) == 50
+    assert optimizer.history[0].epsilon > optimizer.history[-1].epsilon
+
+
+def test_rl_requires_training_first(star_graph):
+    optimizer = QLearningJoinOptimizer(star_graph, episodes=10)
+    with pytest.raises(RuntimeError):
+        optimizer.best_order()
+    with pytest.raises(RuntimeError):
+        optimizer.learning_curve()
+
+
+def test_rl_validates_args(star_graph):
+    with pytest.raises(ValueError):
+        QLearningJoinOptimizer(star_graph, episodes=0)
+    with pytest.raises(ValueError):
+        QLearningJoinOptimizer(star_graph, learning_rate=0.0)
+    with pytest.raises(ValueError):
+        QLearningJoinOptimizer(star_graph, epsilon_start=0.1,
+                               epsilon_end=0.5)
+
+
+def test_rl_two_relations_trivial():
+    g = random_join_graph(2, "chain", seed=0)
+    order, cost = solve_join_order_rl(g, episodes=20, seed=0)
+    assert sorted(order) == [0, 1]

@@ -1,0 +1,206 @@
+"""Tests for transaction scheduling and cardinality estimation."""
+
+import numpy as np
+import pytest
+
+from repro.annealing import SimulatedAnnealingSolver, solve_qubo_exact
+from repro.db import (
+    Transaction,
+    TransactionSchedulingProblem,
+    TransactionSchedulingQUBO,
+    evaluate_q_errors,
+    featurize,
+    generate_workload,
+    histogram_estimates,
+    make_cardinality_dataset,
+    minimum_slots_annealing,
+    schedule_fcfs,
+    schedule_greedy_first_fit,
+    solve_scheduling_annealing,
+)
+from repro.db.cardinality import RangeQuery
+
+
+# ----------------------------------------------------------------------
+# Transactions and conflicts
+# ----------------------------------------------------------------------
+def test_conflict_rules():
+    t1 = Transaction(frozenset({"a"}), frozenset({"b"}))
+    t2 = Transaction(frozenset({"b"}), frozenset())
+    t3 = Transaction(frozenset({"c"}), frozenset({"c"}))
+    assert t1.conflicts_with(t2)      # write-read on b
+    assert t2.conflicts_with(t1)      # symmetric
+    assert not t1.conflicts_with(t3)  # disjoint
+    assert t3.conflicts_with(t3)      # self write-write
+
+
+def test_problem_builds_conflict_graph():
+    problem = TransactionSchedulingProblem([
+        Transaction(frozenset(), frozenset({"x"})),
+        Transaction(frozenset({"x"}), frozenset()),
+        Transaction(frozenset({"y"}), frozenset()),
+    ])
+    assert problem.conflicts == {(0, 1)}
+    assert problem.conflict_degree(0) == 1
+    assert problem.conflict_degree(2) == 0
+
+
+def test_violations_and_makespan():
+    problem = TransactionSchedulingProblem([
+        Transaction(frozenset(), frozenset({"x"})),
+        Transaction(frozenset({"x"}), frozenset()),
+    ])
+    assert problem.num_conflict_violations([0, 0]) == 1
+    assert problem.num_conflict_violations([0, 1]) == 0
+    assert problem.makespan([0, 1]) == 2
+    assert problem.is_valid([0, 1])
+
+
+def test_random_problem_deterministic():
+    a = TransactionSchedulingProblem.random(8, seed=1)
+    b = TransactionSchedulingProblem.random(8, seed=1)
+    assert a.conflicts == b.conflicts
+
+
+# ----------------------------------------------------------------------
+# Classical schedulers
+# ----------------------------------------------------------------------
+def test_greedy_first_fit_is_conflict_free():
+    problem = TransactionSchedulingProblem.random(12, num_objects=10,
+                                                  seed=2)
+    schedule = schedule_greedy_first_fit(problem)
+    assert problem.is_valid(schedule)
+
+
+def test_fcfs_is_conflict_free():
+    problem = TransactionSchedulingProblem.random(12, num_objects=10,
+                                                  seed=3)
+    assert problem.is_valid(schedule_fcfs(problem))
+
+
+def test_greedy_no_worse_than_fcfs_typically():
+    worse = 0
+    for seed in range(5):
+        problem = TransactionSchedulingProblem.random(
+            14, num_objects=8, seed=seed
+        )
+        greedy = problem.makespan(schedule_greedy_first_fit(problem))
+        fcfs = problem.makespan(schedule_fcfs(problem))
+        if greedy > fcfs:
+            worse += 1
+    assert worse <= 1
+
+
+# ----------------------------------------------------------------------
+# QUBO scheduling
+# ----------------------------------------------------------------------
+def test_qubo_ground_state_is_conflict_free():
+    problem = TransactionSchedulingProblem.random(5, num_objects=6,
+                                                  seed=4)
+    slots = problem.makespan(schedule_greedy_first_fit(problem))
+    compiler = TransactionSchedulingQUBO(problem, slots)
+    best = solve_qubo_exact(compiler.build())
+    schedule = compiler.decode(best.assignment)
+    assert problem.is_valid(schedule)
+
+
+def test_qubo_decode_wrong_length():
+    problem = TransactionSchedulingProblem.random(4, seed=5)
+    compiler = TransactionSchedulingQUBO(problem, 2)
+    with pytest.raises(ValueError):
+        compiler.decode([0, 1])
+
+
+def test_annealed_schedule_valid():
+    problem = TransactionSchedulingProblem.random(10, num_objects=12,
+                                                  seed=6)
+    slots = problem.makespan(schedule_greedy_first_fit(problem))
+    schedule = solve_scheduling_annealing(
+        problem, slots,
+        solver=SimulatedAnnealingSolver(num_sweeps=300, num_reads=15,
+                                        seed=0),
+    )
+    assert problem.is_valid(schedule)
+
+
+def test_minimum_slots_at_most_greedy():
+    problem = TransactionSchedulingProblem.random(10, num_objects=10,
+                                                  seed=7)
+    annealed = minimum_slots_annealing(problem)
+    greedy = schedule_greedy_first_fit(problem)
+    assert problem.is_valid(annealed)
+    assert problem.makespan(annealed) <= problem.makespan(greedy)
+
+
+def test_qubo_validations():
+    problem = TransactionSchedulingProblem.random(3, seed=8)
+    with pytest.raises(ValueError):
+        TransactionSchedulingQUBO(problem, 0)
+    with pytest.raises(ValueError):
+        TransactionSchedulingQUBO(problem, 2, penalty_scale=0.0)
+
+
+# ----------------------------------------------------------------------
+# Cardinality estimation
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def dataset():
+    return make_cardinality_dataset(num_rows=600, num_queries=60,
+                                    correlation=0.9, seed=0)
+
+
+def test_dataset_shapes(dataset):
+    assert dataset.features.shape == (60, 4)
+    assert dataset.log_cardinalities.shape == (60,)
+    assert len(dataset.queries) == 60
+
+
+def test_features_in_unit_interval(dataset):
+    assert ((dataset.features >= 0) & (dataset.features <= 1)).all()
+
+
+def test_labels_are_log1p_of_counts(dataset):
+    assert (dataset.cardinalities >= 0).all()
+    assert dataset.cardinalities.max() <= 600
+
+
+def test_range_query_validates_bounds():
+    with pytest.raises(ValueError):
+        RangeQuery({"a": (5.0, 1.0)})
+
+
+def test_generate_workload_covers_columns(dataset):
+    queries = generate_workload(dataset.table, 5, seed=1)
+    assert all(set(q.predicates) == set(dataset.column_order)
+               for q in queries)
+
+
+def test_featurize_full_range_is_unit_box(dataset):
+    table = dataset.table
+    full = RangeQuery({
+        c: (float(table.column(c).min()), float(table.column(c).max()))
+        for c in dataset.column_order
+    })
+    feats = featurize(table, [full], dataset.column_order)
+    assert np.allclose(feats, [0.0, 1.0] * len(dataset.column_order))
+
+
+def test_histogram_estimator_struggles_on_correlated_data(dataset):
+    """On strongly correlated columns the independence assumption
+    inflates q-errors well beyond the perfect-estimator value of 1."""
+    estimates = histogram_estimates(dataset)
+    summary = evaluate_q_errors(estimates, dataset.cardinalities)
+    assert summary["median"] >= 1.0
+    assert summary["max"] > 2.0
+
+
+def test_evaluate_q_errors_perfect_estimator(dataset):
+    summary = evaluate_q_errors(dataset.cardinalities,
+                                dataset.cardinalities)
+    assert summary["median"] == pytest.approx(1.0)
+    assert summary["max"] == pytest.approx(1.0)
+
+
+def test_evaluate_q_errors_shape_mismatch():
+    with pytest.raises(ValueError):
+        evaluate_q_errors(np.ones(3), np.ones(4))

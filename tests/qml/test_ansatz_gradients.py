@@ -1,0 +1,176 @@
+"""Tests for ansatz builders and parameter-shift gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qml.ansatz import (
+    build_ansatz,
+    hardware_efficient_ansatz,
+    strongly_entangling_ansatz,
+    two_local_ansatz,
+)
+from repro.qml.gradients import (
+    expectation_function,
+    finite_difference_gradient,
+    parameter_shift_gradient,
+)
+from repro.quantum import Circuit, Parameter, PauliString, PauliSum, single_z
+
+
+# ----------------------------------------------------------------------
+# Ansatz builders
+# ----------------------------------------------------------------------
+def test_hea_parameter_count():
+    qc, params = hardware_efficient_ansatz(3, 2, rotations=("ry", "rz"))
+    assert len(params) == 12
+    assert qc.num_parameters == 12
+
+
+def test_hea_entangler_count():
+    qc, _ = hardware_efficient_ansatz(4, 3)
+    assert qc.count_ops()["cx"] == 3 * 3
+
+
+def test_hea_cz_entangler():
+    qc, _ = hardware_efficient_ansatz(3, 1, entangler="cz")
+    assert "cz" in qc.count_ops()
+
+
+def test_hea_single_qubit_no_entanglers():
+    qc, _ = hardware_efficient_ansatz(1, 2)
+    assert "cx" not in qc.count_ops()
+
+
+def test_hea_rejects_bad_rotation():
+    with pytest.raises(ValueError):
+        hardware_efficient_ansatz(2, 1, rotations=("h",))
+
+
+def test_hea_rejects_bad_entangler():
+    with pytest.raises(ValueError):
+        hardware_efficient_ansatz(2, 1, entangler="swap")
+
+
+def test_strongly_entangling_parameter_count():
+    _, params = strongly_entangling_ansatz(4, 2)
+    assert len(params) == 3 * 2 * 4
+
+
+def test_strongly_entangling_ring():
+    qc, _ = strongly_entangling_ansatz(4, 1)
+    assert qc.count_ops()["cx"] == 4
+
+
+def test_two_local_parameter_count():
+    _, params = two_local_ansatz(3, 2)
+    # 2 layers * (3 ry + 2 rzz) + 3 final ry
+    assert len(params) == 2 * 5 + 3
+
+
+def test_build_ansatz_lookup():
+    qc, params = build_ansatz("hardware_efficient", 2, 1)
+    assert qc.num_qubits == 2
+    with pytest.raises(KeyError):
+        build_ansatz("nonexistent", 2, 1)
+
+
+@pytest.mark.parametrize("builder", [
+    hardware_efficient_ansatz,
+    strongly_entangling_ansatz,
+    two_local_ansatz,
+])
+def test_builders_validate_args(builder):
+    with pytest.raises(ValueError):
+        builder(0, 1)
+    with pytest.raises(ValueError):
+        builder(2, 0)
+
+
+@pytest.mark.parametrize("name", [
+    "hardware_efficient", "strongly_entangling", "two_local",
+])
+def test_ansatz_parameters_unique(name):
+    qc, params = build_ansatz(name, 3, 2)
+    assert len({id(p) for p in params}) == len(params)
+    assert qc.parameters == params
+
+
+# ----------------------------------------------------------------------
+# Gradients
+# ----------------------------------------------------------------------
+def test_shift_gradient_matches_analytic_single_gate():
+    theta = Parameter("theta")
+    qc = Circuit(1).rx(theta, 0)
+    obs = PauliSum([single_z(0, 1)])
+    # <Z> = cos(theta); d/dtheta = -sin(theta)
+    for value in (0.0, 0.4, 1.3, 3.0):
+        grad = parameter_shift_gradient(qc, obs, [value])
+        assert grad[0] == pytest.approx(-np.sin(value), abs=1e-9)
+
+
+def test_shift_gradient_shared_parameter():
+    theta = Parameter("theta")
+    qc = Circuit(1).rx(theta, 0).rx(theta, 0)
+    obs = PauliSum([single_z(0, 1)])
+    # <Z> = cos(2 theta); derivative -2 sin(2 theta)
+    grad = parameter_shift_gradient(qc, obs, [0.3])
+    assert grad[0] == pytest.approx(-2.0 * np.sin(0.6), abs=1e-9)
+
+
+def test_shift_gradient_scaled_parameter():
+    theta = Parameter("theta")
+    qc = Circuit(1).rx(3.0 * theta, 0)
+    obs = PauliSum([single_z(0, 1)])
+    grad = parameter_shift_gradient(qc, obs, [0.2])
+    assert grad[0] == pytest.approx(-3.0 * np.sin(0.6), abs=1e-9)
+
+
+def test_shift_gradient_value_count_mismatch():
+    qc = Circuit(1).rx(Parameter("a"), 0)
+    obs = PauliSum([single_z(0, 1)])
+    with pytest.raises(ValueError):
+        parameter_shift_gradient(qc, obs, [0.1, 0.2])
+
+
+def test_shift_gradient_fallback_for_phase_gate():
+    lam = Parameter("lam")
+    qc = Circuit(1).h(0).p(lam, 0).h(0)
+    obs = PauliSum([single_z(0, 1)])
+    # <Z> after H P(l) H on |0> = cos(l)... verify vs finite differences.
+    f = expectation_function(qc, obs)
+    grad = parameter_shift_gradient(qc, obs, [0.7])
+    fd = finite_difference_gradient(f, [0.7])
+    assert grad[0] == pytest.approx(fd[0], abs=1e-4)
+
+
+def test_expectation_function_evaluates():
+    theta = Parameter("theta")
+    qc = Circuit(1).ry(theta, 0)
+    f = expectation_function(qc, PauliSum([single_z(0, 1)]))
+    assert f([0.0]) == pytest.approx(1.0)
+    assert f([np.pi]) == pytest.approx(-1.0)
+
+
+def test_finite_difference_on_polynomial():
+    grad = finite_difference_gradient(
+        lambda v: v[0] ** 2 + 3 * v[1], [2.0, 5.0]
+    )
+    assert grad[0] == pytest.approx(4.0, abs=1e-4)
+    assert grad[1] == pytest.approx(3.0, abs=1e-4)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5_000))
+def test_property_shift_matches_finite_difference(seed):
+    """Parameter shift equals finite differences on random ansätze."""
+    rng = np.random.default_rng(seed)
+    qc, params = build_ansatz("hardware_efficient", 2, 1)
+    obs = PauliSum([single_z(0, 2), PauliString("ZZ", 0.5)])
+    values = rng.uniform(0, 2 * np.pi, size=len(params))
+    analytic = parameter_shift_gradient(qc, obs, values)
+    numeric = finite_difference_gradient(
+        expectation_function(qc, obs), values
+    )
+    assert np.allclose(analytic, numeric, atol=1e-5)

@@ -1,0 +1,55 @@
+"""Tests for barren-plateau diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.qml.barren import (
+    exponential_decay_rate,
+    sample_gradient_component,
+    variance_scan,
+)
+
+
+def test_sample_statistics_shapes():
+    stats = sample_gradient_component(2, 2, num_samples=10, seed=0)
+    assert stats.num_qubits == 2
+    assert len(stats.samples) == 10
+    assert stats.variance >= 0
+
+
+def test_sample_mean_near_zero():
+    """Random-circuit gradients average to ~0 (unbiased landscape)."""
+    stats = sample_gradient_component(3, 3, num_samples=60, seed=1)
+    assert abs(stats.mean) < 4 * np.sqrt(stats.variance / 60) + 0.05
+
+
+def test_variance_decreases_with_qubits():
+    scan = variance_scan([2, 4, 6], depth=3, num_samples=40, seed=2)
+    variances = [s.variance for s in scan]
+    assert variances[-1] < variances[0]
+
+
+def test_decay_rate_positive_for_plateau():
+    scan = variance_scan([2, 4, 6], depth=3, num_samples=40, seed=3)
+    assert exponential_decay_rate(scan) > 0
+
+
+def test_decay_rate_needs_two_points():
+    scan = variance_scan([2], depth=2, num_samples=5, seed=4)
+    with pytest.raises(ValueError):
+        exponential_decay_rate(scan)
+
+
+def test_single_qubit_uses_z_observable():
+    stats = sample_gradient_component(1, 2, num_samples=5, seed=5)
+    assert stats.num_qubits == 1
+
+
+def test_component_bounds_checked():
+    with pytest.raises(ValueError):
+        sample_gradient_component(2, 1, num_samples=5, component=999)
+
+
+def test_requires_two_samples():
+    with pytest.raises(ValueError):
+        sample_gradient_component(2, 1, num_samples=1)

@@ -1,0 +1,199 @@
+"""Unit + property tests for data encodings and state preparation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qml.encoding import (
+    AmplitudeEncoding,
+    AngleEncoding,
+    BasisEncoding,
+    IQPEncoding,
+    mottonen_state_preparation,
+)
+from repro.quantum import StatevectorSimulator, zero_state
+
+SIM = StatevectorSimulator()
+
+
+# ----------------------------------------------------------------------
+# Basis encoding
+# ----------------------------------------------------------------------
+def test_basis_encoding_maps_bits_to_basis_state():
+    enc = BasisEncoding(3)
+    state = enc.state([1, 0, 1])
+    assert abs(state[0b101]) == pytest.approx(1.0)
+
+
+def test_basis_encoding_rejects_non_bits():
+    with pytest.raises(ValueError):
+        BasisEncoding(2).circuit([0.5, 1.0])
+
+
+def test_basis_encoding_rejects_wrong_length():
+    with pytest.raises(ValueError):
+        BasisEncoding(2).circuit([1])
+
+
+def test_basis_encoding_rejects_zero_bits():
+    with pytest.raises(ValueError):
+        BasisEncoding(0)
+
+
+# ----------------------------------------------------------------------
+# Angle encoding
+# ----------------------------------------------------------------------
+def test_angle_encoding_ry_amplitudes():
+    enc = AngleEncoding(1, rotation="ry")
+    state = enc.state([0.8])
+    assert state[0].real == pytest.approx(math.cos(0.4))
+    assert state[1].real == pytest.approx(math.sin(0.4))
+
+
+def test_angle_encoding_scaling():
+    enc = AngleEncoding(1, rotation="ry", scaling=2.0)
+    state = enc.state([0.4])
+    assert state[0].real == pytest.approx(math.cos(0.4))
+
+
+def test_angle_encoding_zero_keeps_ground_state():
+    enc = AngleEncoding(3)
+    assert np.allclose(enc.state([0, 0, 0]), zero_state(3))
+
+
+def test_angle_encoding_rz_uses_hadamard():
+    qc = AngleEncoding(2, rotation="rz").circuit([0.1, 0.2])
+    assert qc.count_ops().get("h") == 2
+
+
+def test_angle_encoding_entangle_appends_cx():
+    qc = AngleEncoding(3, entangle=True).circuit([0.1, 0.2, 0.3])
+    assert qc.count_ops().get("cx") == 2
+
+
+def test_angle_encoding_rejects_bad_rotation():
+    with pytest.raises(ValueError):
+        AngleEncoding(2, rotation="rw")
+
+
+def test_angle_encoding_feature_count_mismatch():
+    with pytest.raises(ValueError):
+        AngleEncoding(2).circuit([0.1])
+
+
+# ----------------------------------------------------------------------
+# IQP encoding
+# ----------------------------------------------------------------------
+def test_iqp_depth_controls_repetitions():
+    shallow = IQPEncoding(3, depth=1).circuit([0.1, 0.2, 0.3])
+    deep = IQPEncoding(3, depth=3).circuit([0.1, 0.2, 0.3])
+    assert len(deep) == 3 * len(shallow)
+
+
+def test_iqp_full_entanglement_pairs():
+    qc = IQPEncoding(4, depth=1, full_entanglement=True).circuit(
+        [0.1, 0.2, 0.3, 0.4]
+    )
+    assert qc.count_ops().get("rzz") == 6  # C(4, 2)
+
+
+def test_iqp_linear_entanglement_pairs():
+    qc = IQPEncoding(4, depth=1).circuit([0.1, 0.2, 0.3, 0.4])
+    assert qc.count_ops().get("rzz") == 3
+
+
+def test_iqp_state_is_normalized():
+    state = IQPEncoding(3, depth=2).state([0.5, 1.0, 1.5])
+    assert np.linalg.norm(state) == pytest.approx(1.0)
+
+
+def test_iqp_zero_features_gives_uniform_superposition():
+    state = IQPEncoding(2, depth=1).state([0.0, 0.0])
+    assert np.allclose(np.abs(state), 0.5)
+
+
+def test_iqp_rejects_bad_depth():
+    with pytest.raises(ValueError):
+        IQPEncoding(2, depth=0)
+
+
+# ----------------------------------------------------------------------
+# Amplitude encoding / Mottonen
+# ----------------------------------------------------------------------
+def test_amplitude_encoding_exact_state():
+    enc = AmplitudeEncoding(4)
+    vec = np.array([0.5, -0.5, 0.5, 0.5])
+    assert np.allclose(enc.state(vec).real, vec)
+
+
+def test_amplitude_encoding_normalizes():
+    enc = AmplitudeEncoding(4)
+    state = enc.state([3.0, 0.0, 4.0, 0.0])
+    assert np.linalg.norm(state) == pytest.approx(1.0)
+    assert state[0].real == pytest.approx(0.6)
+
+
+def test_amplitude_encoding_pads_to_power_of_two():
+    enc = AmplitudeEncoding(3)
+    assert enc.num_qubits == 2
+    state = enc.state([1.0, 1.0, 1.0])
+    assert state[3] == pytest.approx(0.0)
+
+
+def test_amplitude_encoding_rejects_zero_vector():
+    with pytest.raises(ValueError):
+        AmplitudeEncoding(4).state([0.0, 0.0, 0.0, 0.0])
+
+
+def test_amplitude_encoding_circuit_matches_state():
+    enc = AmplitudeEncoding(8)
+    x = np.array([1.0, -2.0, 3.0, 0.5, -0.25, 2.0, 1.5, -1.0])
+    circuit_state = SIM.run(enc.circuit(x))
+    assert np.allclose(circuit_state, enc.state(x), atol=1e-9)
+
+
+def test_mottonen_rejects_unnormalized():
+    with pytest.raises(ValueError):
+        mottonen_state_preparation([1.0, 1.0])
+
+
+def test_mottonen_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        mottonen_state_preparation([1.0, 0.0, 0.0])
+
+
+def test_mottonen_single_qubit():
+    state = SIM.run(mottonen_state_preparation([0.6, -0.8]))
+    assert np.allclose(state.real, [0.6, -0.8])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    num_qubits=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_mottonen_prepares_any_real_state(num_qubits, seed):
+    rng = np.random.default_rng(seed)
+    vec = rng.normal(size=2 ** num_qubits)
+    vec /= np.linalg.norm(vec)
+    state = SIM.run(mottonen_state_preparation(vec))
+    assert np.allclose(state.real, vec, atol=1e-8)
+    assert np.allclose(state.imag, 0.0, atol=1e-8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    features=st.lists(
+        st.floats(min_value=-2.0, max_value=2.0), min_size=2, max_size=4
+    ),
+)
+def test_property_encodings_produce_normalized_states(features):
+    for enc in (
+        AngleEncoding(len(features)),
+        IQPEncoding(len(features)),
+    ):
+        state = enc.state(features)
+        assert np.linalg.norm(state) == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,171 @@
+"""Tests for QUBO feature selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.annealing import solve_qubo_exact
+from repro.qml import (
+    FeatureSelectionProblem,
+    FeatureSelectionQUBO,
+    mutual_information,
+    select_features_annealing,
+    select_features_exact,
+    select_features_greedy,
+)
+
+
+@pytest.fixture(scope="module")
+def redundant_dataset():
+    """f0, f1 informative; f2 a near-copy of f0; f3..f5 noise."""
+    rng = np.random.default_rng(1)
+    n = 500
+    f0 = rng.normal(size=n)
+    f1 = rng.normal(size=n)
+    y = (f0 + f1 > 0).astype(int)
+    f2 = f0 + rng.normal(scale=0.1, size=n)
+    noise = rng.normal(size=(n, 3))
+    X = np.column_stack([f0, f1, f2, noise])
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def problem(redundant_dataset):
+    X, y = redundant_dataset
+    return FeatureSelectionProblem.from_data(X, y, num_selected=2)
+
+
+# ----------------------------------------------------------------------
+# Mutual information
+# ----------------------------------------------------------------------
+def test_mi_identical_variables_is_entropy():
+    x = np.array([0, 0, 1, 1] * 50)
+    assert mutual_information(x, x) == pytest.approx(np.log(2), abs=0.01)
+
+
+def test_mi_independent_variables_near_zero():
+    rng = np.random.default_rng(2)
+    a = rng.normal(size=2000)
+    b = rng.normal(size=2000)
+    assert mutual_information(a, b) < 0.05
+
+
+def test_mi_is_symmetric():
+    rng = np.random.default_rng(3)
+    a = rng.normal(size=500)
+    b = a + rng.normal(scale=0.5, size=500)
+    assert mutual_information(a, b) == pytest.approx(
+        mutual_information(b, a)
+    )
+
+
+def test_mi_nonnegative_property():
+    rng = np.random.default_rng(4)
+    for _ in range(5):
+        a = rng.normal(size=200)
+        b = rng.normal(size=200)
+        assert mutual_information(a, b) >= -1e-12
+
+
+def test_mi_validations():
+    with pytest.raises(ValueError):
+        mutual_information(np.ones(3), np.ones(4))
+    with pytest.raises(ValueError):
+        mutual_information(np.array([]), np.array([]))
+
+
+# ----------------------------------------------------------------------
+# Problem construction and objective
+# ----------------------------------------------------------------------
+def test_relevance_orders_informative_features(problem):
+    relevance = problem.relevance
+    # f0, f1, f2 all carry signal; noise features carry ~none.
+    assert min(relevance[0], relevance[1], relevance[2]) > max(
+        relevance[3:]
+    )
+
+
+def test_redundant_pair_has_high_mi(problem):
+    assert problem.redundancy[0, 2] > 5 * problem.redundancy[0, 1]
+
+
+def test_objective_penalizes_redundancy(problem):
+    informative = problem.objective([0, 1])
+    redundant = problem.objective([0, 2])
+    assert informative > redundant
+
+
+def test_problem_validations():
+    with pytest.raises(ValueError):
+        FeatureSelectionProblem(np.ones(3), np.ones((2, 2)), 1)
+    with pytest.raises(ValueError):
+        FeatureSelectionProblem(np.ones(3), np.zeros((3, 3)), 0)
+    with pytest.raises(ValueError):
+        FeatureSelectionProblem(np.ones(3), np.zeros((3, 3)), 4)
+
+
+# ----------------------------------------------------------------------
+# Solvers
+# ----------------------------------------------------------------------
+def test_exact_avoids_redundant_copy(problem):
+    selection, _ = select_features_exact(problem)
+    # f0 and f2 are near-copies: an optimal pair takes f1 plus exactly
+    # one of them, never both.
+    assert 1 in selection
+    assert len(set(selection) & {0, 2}) == 1
+
+
+def test_greedy_matches_exact_here(problem):
+    greedy_selection, greedy_value = select_features_greedy(problem)
+    _, exact_value = select_features_exact(problem)
+    assert greedy_value <= exact_value + 1e-9
+    assert len(greedy_selection) == 2
+
+
+def test_annealing_matches_exact(problem):
+    selection, value = select_features_annealing(problem)
+    _, exact_value = select_features_exact(problem)
+    assert value == pytest.approx(exact_value)
+    assert 1 in selection
+    assert len(set(selection) & {0, 2}) == 1
+
+
+def test_qubo_ground_state_respects_cardinality(problem):
+    compiler = FeatureSelectionQUBO(problem)
+    best = solve_qubo_exact(compiler.build())
+    selection = compiler.decode(best.assignment)
+    assert len(selection) == problem.num_selected
+
+
+def test_decoder_repairs_wrong_cardinality(problem):
+    compiler = FeatureSelectionQUBO(problem)
+    compiler.build()
+    nothing = compiler.decode(np.zeros(6, dtype=int))
+    everything = compiler.decode(np.ones(6, dtype=int))
+    assert len(nothing) == 2
+    assert len(everything) == 2
+    # Repair favours relevance: the empty decode picks top features.
+    assert set(nothing) <= {0, 1, 2}
+
+
+def test_compiler_validations(problem):
+    with pytest.raises(ValueError):
+        FeatureSelectionQUBO(problem, alpha=-1.0)
+    with pytest.raises(ValueError):
+        FeatureSelectionQUBO(problem, penalty_scale=0.0)
+    compiler = FeatureSelectionQUBO(problem)
+    compiler.build()
+    with pytest.raises(ValueError):
+        compiler.decode([0, 1])
+
+
+@settings(max_examples=15, deadline=None)
+@given(raw=st.integers(min_value=0, max_value=2 ** 6 - 1))
+def test_property_decoder_always_returns_k_features(problem, raw):
+    compiler = FeatureSelectionQUBO(problem)
+    compiler.build()
+    bits = np.array([(raw >> k) & 1 for k in range(6)])
+    selection = compiler.decode(bits)
+    assert len(selection) == problem.num_selected
+    assert len(set(selection)) == problem.num_selected

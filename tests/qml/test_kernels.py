@@ -1,0 +1,188 @@
+"""Tests for quantum kernels and the kernel classifier."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import make_circles, make_parity, train_test_split
+from repro.qml.encoding import AngleEncoding, IQPEncoding
+from repro.qml.kernels import (
+    FidelityQuantumKernel,
+    ProjectedQuantumKernel,
+    QuantumKernelClassifier,
+    kernel_target_alignment,
+)
+
+
+@pytest.fixture(scope="module")
+def small_data():
+    rng = np.random.default_rng(0)
+    return rng.uniform(0, np.pi, size=(8, 2))
+
+
+def test_fidelity_kernel_diagonal_is_one(small_data):
+    kernel = FidelityQuantumKernel(AngleEncoding(2))
+    gram = kernel(small_data)
+    assert np.allclose(np.diag(gram), 1.0)
+
+
+def test_fidelity_kernel_symmetric(small_data):
+    gram = FidelityQuantumKernel(IQPEncoding(2))(small_data)
+    assert np.allclose(gram, gram.T)
+
+
+def test_fidelity_kernel_entries_in_unit_interval(small_data):
+    gram = FidelityQuantumKernel(IQPEncoding(2, depth=2))(small_data)
+    assert (gram >= -1e-12).all() and (gram <= 1.0 + 1e-12).all()
+
+
+def test_fidelity_kernel_positive_semidefinite(small_data):
+    gram = FidelityQuantumKernel(IQPEncoding(2))(small_data)
+    eigenvalues = np.linalg.eigvalsh(gram)
+    assert eigenvalues.min() > -1e-9
+
+
+def test_fidelity_kernel_rectangular(small_data):
+    kernel = FidelityQuantumKernel(AngleEncoding(2))
+    gram = kernel(small_data[:3], small_data[3:])
+    assert gram.shape == (3, 5)
+
+
+def test_fidelity_kernel_evaluate_single_pair():
+    kernel = FidelityQuantumKernel(AngleEncoding(2))
+    x = np.array([0.2, 0.4])
+    assert kernel.evaluate(x, x) == pytest.approx(1.0)
+
+
+def test_fidelity_kernel_identical_points_kernel_one():
+    kernel = FidelityQuantumKernel(IQPEncoding(2))
+    gram = kernel(np.array([[0.3, 0.7], [0.3, 0.7]]))
+    assert gram[0, 1] == pytest.approx(1.0)
+
+
+def test_fidelity_kernel_rejects_non_encoding():
+    with pytest.raises(TypeError):
+        FidelityQuantumKernel("angle")
+
+
+def test_projected_kernel_diagonal_is_one(small_data):
+    kernel = ProjectedQuantumKernel(AngleEncoding(2), gamma=1.0)
+    gram = kernel(small_data)
+    assert np.allclose(np.diag(gram), 1.0)
+
+
+def test_projected_kernel_features_are_probabilities(small_data):
+    kernel = ProjectedQuantumKernel(AngleEncoding(2))
+    feats = kernel.features(small_data)
+    assert ((feats >= 0) & (feats <= 1)).all()
+    assert feats.shape == (8, 2)
+
+
+def test_projected_kernel_rejects_bad_gamma():
+    with pytest.raises(ValueError):
+        ProjectedQuantumKernel(AngleEncoding(2), gamma=0.0)
+
+
+def test_alignment_perfect_kernel():
+    y = np.array([0, 0, 1, 1])
+    signs = np.where(y == 1, 1.0, -1.0)
+    ideal = np.outer(signs, signs)
+    assert kernel_target_alignment(ideal, y) == pytest.approx(1.0)
+
+
+def test_alignment_random_kernel_is_lower():
+    rng = np.random.default_rng(1)
+    y = np.array([0, 1] * 8)
+    noise = rng.uniform(size=(16, 16))
+    noise = (noise + noise.T) / 2
+    ideal_alignment = kernel_target_alignment(
+        np.outer(np.where(y == 1, 1.0, -1.0),
+                 np.where(y == 1, 1.0, -1.0)),
+        y,
+    )
+    assert kernel_target_alignment(noise, y) < ideal_alignment
+
+
+def test_alignment_shape_mismatch():
+    with pytest.raises(ValueError):
+        kernel_target_alignment(np.eye(3), np.array([0, 1]))
+
+
+def test_quantum_kernel_classifier_on_circles():
+    X, y = make_circles(48, noise=0.03, seed=2)
+    Xtr, Xte, ytr, yte = train_test_split(X, y, 0.25, seed=0)
+    clf = QuantumKernelClassifier(
+        kernel=FidelityQuantumKernel(IQPEncoding(2, depth=2)), C=5.0
+    )
+    clf.fit(Xtr, ytr)
+    assert clf.score(Xte, yte) >= 0.7
+
+
+def test_quantum_kernel_classifier_default_kernel():
+    X, y = make_circles(20, seed=3)
+    clf = QuantumKernelClassifier().fit(X, y)
+    assert clf.predict(X).shape == (20,)
+
+
+def test_quantum_kernel_classifier_decision_function_sign():
+    X, y = make_circles(24, seed=4)
+    clf = QuantumKernelClassifier().fit(X, y)
+    margins = clf.decision_function(X)
+    predictions = clf.predict(X)
+    positive = predictions == clf._svm.classes_[1]
+    assert ((margins >= 0) == positive).all()
+
+
+def test_quantum_kernel_classifier_unfitted_raises():
+    clf = QuantumKernelClassifier(
+        kernel=FidelityQuantumKernel(AngleEncoding(2))
+    )
+    with pytest.raises(RuntimeError):
+        clf.predict(np.ones((1, 2)))
+
+
+def test_quantum_kernel_separates_parity_unlike_linear():
+    """The IQP kernel distinguishes parity classes that inner products
+    cannot (all parity rows share the same norm structure)."""
+    X, y = make_parity(3, seed=5)
+    gram = FidelityQuantumKernel(IQPEncoding(3, depth=2, scaling=np.pi))(X)
+    alignment = kernel_target_alignment(gram, y)
+    linear = X @ X.T
+    assert alignment > kernel_target_alignment(linear, y)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1_000))
+def test_property_gram_psd_for_random_data(seed):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(6, 2))
+    gram = FidelityQuantumKernel(IQPEncoding(2))(X)
+    assert np.linalg.eigvalsh(gram).min() > -1e-9
+
+
+def test_shot_based_kernel_validates_shots():
+    with pytest.raises(ValueError):
+        FidelityQuantumKernel(AngleEncoding(2), shots=0)
+
+
+def test_shot_based_kernel_symmetric_unit_diagonal(small_data):
+    kernel = FidelityQuantumKernel(AngleEncoding(2), shots=32, seed=1)
+    gram = kernel(small_data)
+    assert np.allclose(gram, gram.T)
+    assert np.allclose(np.diag(gram), 1.0)
+
+
+def test_shot_based_kernel_entries_are_frequencies(small_data):
+    kernel = FidelityQuantumKernel(AngleEncoding(2), shots=8, seed=2)
+    gram = kernel(small_data)
+    # Every entry is a multiple of 1/8 in [0, 1].
+    assert ((gram >= 0) & (gram <= 1)).all()
+    assert np.allclose(gram * 8, np.round(gram * 8))
+
+
+def test_shot_based_kernel_converges_to_exact(small_data):
+    exact = FidelityQuantumKernel(IQPEncoding(2))(small_data)
+    sampled = FidelityQuantumKernel(IQPEncoding(2), shots=8192,
+                                    seed=3)(small_data)
+    assert np.abs(sampled - exact).max() < 0.05

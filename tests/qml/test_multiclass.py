@@ -1,0 +1,75 @@
+"""Tests for the one-vs-rest multiclass VQC wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_blobs, minmax_scale
+from repro.qml import OneVsRestVariationalClassifier, VariationalClassifier
+
+
+@pytest.fixture(scope="module")
+def three_blobs():
+    X, y = make_blobs(45, centers=3, spread=0.3, seed=0)
+    return minmax_scale(X), y
+
+
+@pytest.fixture(scope="module")
+def fitted(three_blobs):
+    X, y = three_blobs
+    clf = OneVsRestVariationalClassifier(
+        classifier_factory=lambda: VariationalClassifier(
+            2, num_layers=1, epochs=10, seed=0
+        )
+    )
+    return clf.fit(X, y), X, y
+
+
+def test_multiclass_predicts_all_classes(fitted):
+    clf, X, y = fitted
+    predictions = clf.predict(X)
+    assert set(predictions) <= set(np.unique(y))
+
+
+def test_multiclass_beats_chance_on_blobs(fitted):
+    clf, X, y = fitted
+    assert clf.score(X, y) > 1.0 / 3.0 + 0.15
+
+
+def test_decision_matrix_shape(fitted):
+    clf, X, _ = fitted
+    margins = clf.decision_matrix(X[:5])
+    assert margins.shape == (5, 3)
+
+
+def test_argmax_consistency(fitted):
+    clf, X, _ = fitted
+    margins = clf.decision_matrix(X[:8])
+    predictions = clf.predict(X[:8])
+    assert (predictions == clf.classes_[margins.argmax(axis=1)]).all()
+
+
+def test_unfitted_raises():
+    clf = OneVsRestVariationalClassifier()
+    with pytest.raises(RuntimeError):
+        clf.predict(np.ones((1, 2)))
+
+
+def test_requires_two_classes():
+    clf = OneVsRestVariationalClassifier()
+    with pytest.raises(ValueError):
+        clf.fit(np.ones((3, 2)), np.zeros(3))
+
+
+def test_length_mismatch():
+    clf = OneVsRestVariationalClassifier()
+    with pytest.raises(ValueError):
+        clf.fit(np.ones((3, 2)), np.array([0, 1]))
+
+
+def test_default_factory_used_when_none(three_blobs):
+    X, y = three_blobs
+    # Only check construction path; training with defaults is slow,
+    # so shrink via a tiny subset.
+    clf = OneVsRestVariationalClassifier()
+    clf.fit(X[:9], y[:9])
+    assert len(clf._classifiers) == len(np.unique(y[:9]))

@@ -1,0 +1,106 @@
+"""Tests for the variational optimizers on analytic objectives."""
+
+import numpy as np
+import pytest
+
+from repro.qml.optimizers import (
+    SPSA,
+    Adam,
+    GradientDescent,
+    Momentum,
+    make_optimizer,
+)
+
+
+def quadratic(x):
+    return float(((x - 3.0) ** 2).sum())
+
+
+def quadratic_gradient(x):
+    return 2.0 * (x - 3.0)
+
+
+@pytest.mark.parametrize("optimizer", [
+    GradientDescent(learning_rate=0.1),
+    Momentum(learning_rate=0.05),
+    Adam(learning_rate=0.3),
+])
+def test_gradient_optimizers_converge_on_quadratic(optimizer):
+    result = optimizer.minimize(
+        quadratic, np.zeros(3), gradient=quadratic_gradient, max_iter=200
+    )
+    assert np.allclose(result.x, 3.0, atol=0.05)
+    assert result.fun < 1e-2
+
+
+def test_spsa_converges_without_gradient():
+    optimizer = SPSA(a=0.5, c=0.2, seed=0)
+    result = optimizer.minimize(quadratic, np.zeros(3), max_iter=500)
+    assert result.fun < 0.5
+
+
+def test_spsa_tolerates_noisy_objective():
+    rng = np.random.default_rng(1)
+
+    def noisy(x):
+        return quadratic(x) + rng.normal(scale=0.05)
+
+    result = SPSA(a=0.5, c=0.2, seed=2).minimize(
+        noisy, np.zeros(2), max_iter=500
+    )
+    assert np.allclose(result.x, 3.0, atol=0.5)
+
+
+@pytest.mark.parametrize("optimizer_cls", [GradientDescent, Momentum, Adam])
+def test_gradient_optimizers_require_gradient(optimizer_cls):
+    with pytest.raises(ValueError):
+        optimizer_cls().minimize(quadratic, np.zeros(2), max_iter=5)
+
+
+def test_history_and_counts_recorded():
+    result = Adam(learning_rate=0.2).minimize(
+        quadratic, np.zeros(2), gradient=quadratic_gradient, max_iter=10
+    )
+    assert result.nit == 10
+    assert len(result.history) == 11  # iterations + final evaluation
+    assert result.nfev == 11
+
+
+def test_history_is_decreasing_overall():
+    result = Adam(learning_rate=0.2).minimize(
+        quadratic, np.zeros(2), gradient=quadratic_gradient, max_iter=50
+    )
+    assert result.history[-1] < result.history[0]
+
+
+def test_callback_invoked_each_iteration():
+    calls = []
+    Adam().minimize(
+        quadratic, np.zeros(1), gradient=quadratic_gradient, max_iter=7,
+        callback=lambda it, x, value: calls.append(it),
+    )
+    assert calls == list(range(7))
+
+
+def test_make_optimizer_lookup():
+    assert isinstance(make_optimizer("adam"), Adam)
+    assert isinstance(make_optimizer("spsa", seed=1), SPSA)
+    with pytest.raises(KeyError):
+        make_optimizer("lbfgs")
+
+
+@pytest.mark.parametrize("cls, kwargs", [
+    (GradientDescent, {"learning_rate": 0.0}),
+    (Momentum, {"momentum": 1.0}),
+    (Adam, {"learning_rate": -1.0}),
+    (SPSA, {"a": 0.0}),
+])
+def test_invalid_hyperparameters_rejected(cls, kwargs):
+    with pytest.raises(ValueError):
+        cls(**kwargs)
+
+
+def test_spsa_is_deterministic_with_seed():
+    result_a = SPSA(seed=42).minimize(quadratic, np.zeros(2), max_iter=50)
+    result_b = SPSA(seed=42).minimize(quadratic, np.zeros(2), max_iter=50)
+    assert np.allclose(result_a.x, result_b.x)

@@ -1,0 +1,68 @@
+"""Tests for the variational quantum eigensolver."""
+
+import numpy as np
+import pytest
+
+from repro.annealing import IsingModel, solve_ising_exact
+from repro.qml import VQE, Adam
+from repro.quantum import PauliString, PauliSum
+
+
+def test_vqe_single_qubit_z():
+    vqe = VQE(1, num_layers=1, max_iter=60, seed=0)
+    result = vqe.compute_minimum_eigenvalue(PauliString("Z"))
+    assert result.eigenvalue == pytest.approx(-1.0, abs=0.01)
+
+
+def test_vqe_transverse_field_pair():
+    ham = PauliSum([
+        PauliString("ZZ", 1.0),
+        PauliString("XI", 0.5),
+        PauliString("IX", 0.5),
+    ])
+    exact = float(np.linalg.eigvalsh(ham.matrix())[0])
+    vqe = VQE(2, num_layers=2, max_iter=100, seed=0)
+    result = vqe.compute_minimum_eigenvalue(ham)
+    assert result.eigenvalue == pytest.approx(exact, abs=0.01)
+
+
+def test_vqe_matches_ising_ground_state():
+    model = IsingModel.random(3, field_scale=0.5, seed=2)
+    _, exact = solve_ising_exact(model)
+    vqe = VQE(3, num_layers=2, max_iter=80, restarts=2, seed=1)
+    result = vqe.compute_minimum_eigenvalue(model.to_pauli_sum())
+    assert result.eigenvalue <= exact + 0.1
+
+
+def test_vqe_optimal_state_consistent():
+    vqe = VQE(1, num_layers=1, max_iter=60, seed=0)
+    result = vqe.compute_minimum_eigenvalue(PauliString("Z"))
+    state = vqe.optimal_state(result)
+    # Ground state of Z is |1>.
+    assert abs(state[1]) ** 2 > 0.99
+
+
+def test_vqe_history_decreases():
+    vqe = VQE(2, num_layers=1, max_iter=40, restarts=1, seed=0)
+    result = vqe.compute_minimum_eigenvalue(PauliString("ZZ"))
+    assert result.history[-1] <= result.history[0]
+
+
+def test_vqe_qubit_mismatch():
+    vqe = VQE(2, max_iter=5)
+    with pytest.raises(ValueError):
+        vqe.compute_minimum_eigenvalue(PauliString("ZZZ"))
+
+
+def test_vqe_validates_args():
+    with pytest.raises(ValueError):
+        VQE(2, restarts=0)
+    with pytest.raises(ValueError):
+        VQE(2, max_iter=0)
+
+
+def test_vqe_custom_optimizer():
+    vqe = VQE(1, num_layers=1, optimizer=Adam(learning_rate=0.3),
+              max_iter=40, seed=0)
+    result = vqe.compute_minimum_eigenvalue(PauliString("X"))
+    assert result.eigenvalue == pytest.approx(-1.0, abs=0.01)

@@ -1,0 +1,224 @@
+"""Tests for QFT, Grover search and quantum phase estimation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum import (
+    StatevectorSimulator,
+    grover_minimum_search,
+    grover_search,
+    grover_search_predicate,
+    inverse_qft_circuit,
+    optimal_iterations,
+    phase_estimation,
+    phase_from_eigenvalue,
+    qft_circuit,
+    qft_matrix,
+    zero_state,
+)
+from repro.quantum.grover import (
+    counts_from_grover,
+    diffusion_matrix,
+    phase_oracle_matrix,
+)
+
+SIM = StatevectorSimulator()
+
+
+# ----------------------------------------------------------------------
+# QFT
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n", [1, 2, 3, 4])
+def test_qft_circuit_matches_dft_matrix(n):
+    reference = qft_matrix(n)
+    for j in range(2 ** n):
+        column = SIM.run(
+            qft_circuit(n),
+            initial_state=np.eye(2 ** n)[j].astype(complex),
+        )
+        assert np.allclose(column, reference[:, j], atol=1e-9)
+
+
+def test_qft_of_zero_state_is_uniform():
+    state = SIM.run(qft_circuit(3))
+    assert np.allclose(state, np.full(8, 1 / math.sqrt(8)))
+
+
+def test_inverse_qft_undoes_qft():
+    circuit = qft_circuit(3).compose(inverse_qft_circuit(3))
+    assert np.allclose(SIM.run(circuit), zero_state(3))
+
+
+def test_qft_matrix_is_unitary():
+    f = qft_matrix(3)
+    assert np.allclose(f @ f.conj().T, np.eye(8), atol=1e-12)
+
+
+def test_qft_rejects_zero_qubits():
+    with pytest.raises(ValueError):
+        qft_circuit(0)
+
+
+# ----------------------------------------------------------------------
+# Grover
+# ----------------------------------------------------------------------
+def test_oracle_flips_marked_phases():
+    oracle = phase_oracle_matrix(2, [1, 3])
+    assert np.allclose(np.diag(oracle), [1, -1, 1, -1])
+
+
+def test_oracle_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        phase_oracle_matrix(2, [4])
+
+
+def test_diffusion_is_unitary_and_reflects():
+    d = diffusion_matrix(2)
+    assert np.allclose(d @ d.conj().T, np.eye(4), atol=1e-12)
+    uniform = np.full(4, 0.5)
+    assert np.allclose(d @ uniform, uniform)
+
+
+def test_optimal_iterations_single_marked():
+    # N=16, M=1 -> ~3 iterations.
+    assert optimal_iterations(4, 1) == 3
+
+
+def test_optimal_iterations_majority_marked_is_zero():
+    """M >= N/2 rotations can overshoot to zero success; measure
+    the uniform superposition directly instead."""
+    assert optimal_iterations(4, 8) == 0
+    assert optimal_iterations(4, 12) == 0
+
+
+def test_optimal_iterations_validations():
+    with pytest.raises(ValueError):
+        optimal_iterations(2, 0)
+    with pytest.raises(ValueError):
+        optimal_iterations(2, 4)
+
+
+def test_grover_amplifies_single_target():
+    result = grover_search(4, [5])
+    assert result.success_probability > 0.9
+    assert result.top_state == 5
+
+
+def test_grover_multiple_targets():
+    result = grover_search(4, [3, 12])
+    assert result.success_probability > 0.9
+    assert result.top_state in (3, 12)
+
+
+def test_grover_zero_iterations_is_uniform():
+    result = grover_search(3, [0], iterations=0)
+    assert result.success_probability == pytest.approx(1 / 8)
+
+
+def test_grover_quadratic_iteration_scaling():
+    """Iterations grow ~sqrt(N): doubling qubits (4x states) doubles
+    the optimal count."""
+    assert optimal_iterations(8, 1) >= 1.8 * optimal_iterations(6, 1)
+
+
+def test_grover_predicate_interface():
+    result = grover_search_predicate(4, lambda i: i % 7 == 0 and i > 0)
+    assert result.top_state in (7, 14)
+
+
+def test_grover_predicate_rejects_empty():
+    with pytest.raises(ValueError):
+        grover_search_predicate(3, lambda i: False)
+
+
+def test_grover_counts_sampling():
+    result = grover_search(3, [6])
+    counts = counts_from_grover(result, shots=200, seed=0)
+    assert sum(counts.values()) == 200
+    assert counts.get("110", 0) > 150
+
+
+def test_minimum_search_finds_argmin():
+    values = np.random.default_rng(0).normal(size=13)
+    hits = sum(
+        grover_minimum_search(values, seed=s) == int(np.argmin(values))
+        for s in range(10)
+    )
+    assert hits >= 8
+
+
+def test_minimum_search_non_power_of_two():
+    values = [5.0, 2.0, 9.0]
+    assert grover_minimum_search(values, seed=1) == 1
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_property_grover_beats_uniform_sampling(n, seed):
+    rng = np.random.default_rng(seed)
+    target = int(rng.integers(2 ** n))
+    result = grover_search(n, [target])
+    assert result.success_probability > 1 / 2 ** n
+
+
+# ----------------------------------------------------------------------
+# Phase estimation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("num, den", [(1, 2), (1, 4), (3, 8), (5, 8)])
+def test_qpe_exact_dyadic_phases(num, den):
+    phi = num / den
+    unitary = np.diag([1.0, np.exp(2j * math.pi * phi)])
+    result = phase_estimation(unitary, np.array([0, 1], dtype=complex),
+                              num_bits=3)
+    assert result.estimated_phase == pytest.approx(phi)
+    assert result.distribution.max() == pytest.approx(1.0, abs=1e-9)
+
+
+def test_qpe_non_dyadic_phase_within_resolution():
+    phi = 0.3
+    unitary = np.diag([1.0, np.exp(2j * math.pi * phi)])
+    result = phase_estimation(unitary, np.array([0, 1], dtype=complex),
+                              num_bits=5)
+    assert abs(result.estimated_phase - phi) < 1 / 2 ** 5
+
+
+def test_qpe_two_qubit_unitary():
+    # CZ has eigenvalue -1 (phase 1/2) on |11>.
+    cz = np.diag([1.0, 1.0, 1.0, -1.0])
+    eigenstate = np.zeros(4, dtype=complex)
+    eigenstate[3] = 1.0
+    result = phase_estimation(cz, eigenstate, num_bits=3)
+    assert result.estimated_phase == pytest.approx(0.5)
+
+
+def test_qpe_counts_concentrate():
+    unitary = np.diag([1.0, np.exp(2j * math.pi * 0.25)])
+    result = phase_estimation(unitary, np.array([0, 1], dtype=complex),
+                              num_bits=3)
+    counts = result.counts(100, seed=0)
+    assert counts.get("010", 0) == 100  # 0.25 * 8 = 2 = 010
+
+
+def test_qpe_validations():
+    unitary = np.diag([1.0, 1.0])
+    with pytest.raises(ValueError):
+        phase_estimation(np.ones((2, 3)), np.array([1, 0]), 2)
+    with pytest.raises(ValueError):
+        phase_estimation(unitary, np.array([1, 0, 0]), 2)
+    with pytest.raises(ValueError):
+        phase_estimation(unitary, np.array([1, 0]), 0)
+
+
+def test_phase_from_eigenvalue_wraps():
+    assert phase_from_eigenvalue(np.exp(2j * math.pi * 0.7)) == (
+        pytest.approx(0.7)
+    )
+    assert phase_from_eigenvalue(1.0) == pytest.approx(0.0)
+    assert phase_from_eigenvalue(-1.0) == pytest.approx(0.5)

@@ -1,0 +1,193 @@
+"""Unit tests for the circuit IR: builders, parameters, transformations."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.quantum import Circuit, Parameter, StatevectorSimulator, zero_state
+from repro.quantum.circuit import ParameterExpression, parameter_vector
+
+
+def test_builder_chaining():
+    qc = Circuit(2).h(0).cx(0, 1)
+    assert len(qc) == 2
+    assert qc.instructions[0].name == "h"
+    assert qc.instructions[1].qubits == (0, 1)
+
+
+def test_requires_positive_qubits():
+    with pytest.raises(ValueError):
+        Circuit(0)
+
+
+def test_append_validates_qubit_range():
+    qc = Circuit(2)
+    with pytest.raises(ValueError):
+        qc.x(2)
+    with pytest.raises(ValueError):
+        qc.x(-1)
+
+
+def test_append_rejects_duplicate_qubits():
+    with pytest.raises(ValueError):
+        Circuit(2).cx(1, 1)
+
+
+def test_append_rejects_unknown_gate():
+    with pytest.raises(KeyError):
+        Circuit(1).append("nope", [0])
+
+
+def test_append_validates_param_count():
+    with pytest.raises(ValueError):
+        Circuit(1).append("rx", [0], [])
+
+
+def test_parameters_in_first_appearance_order():
+    a, b = Parameter("a"), Parameter("b")
+    qc = Circuit(2).rx(b, 0).ry(a, 1).rz(b, 0)
+    assert qc.parameters == [b, a]
+    assert qc.num_parameters == 2
+
+
+def test_parameters_identity_not_name():
+    p1, p2 = Parameter("theta"), Parameter("theta")
+    qc = Circuit(1).rx(p1, 0).ry(p2, 0)
+    assert qc.num_parameters == 2
+
+
+def test_bind_full():
+    theta = Parameter("theta")
+    qc = Circuit(1).rx(theta, 0)
+    bound = qc.bind({theta: 0.5})
+    assert bound.num_parameters == 0
+    assert bound.instructions[0].params == (0.5,)
+
+
+def test_bind_partial_keeps_other_symbolic():
+    a, b = Parameter("a"), Parameter("b")
+    qc = Circuit(1).rx(a, 0).ry(b, 0)
+    partially = qc.bind({a: 1.0})
+    assert partially.num_parameters == 1
+    assert partially.parameters == [b]
+
+
+def test_bind_does_not_mutate_original():
+    theta = Parameter("theta")
+    qc = Circuit(1).rx(theta, 0)
+    qc.bind({theta: 0.5})
+    assert qc.num_parameters == 1
+
+
+def test_bind_values_positional():
+    a, b = Parameter("a"), Parameter("b")
+    qc = Circuit(1).rx(a, 0).ry(b, 0)
+    bound = qc.bind_values([0.1, 0.2])
+    assert bound.instructions[0].params == (0.1,)
+    assert bound.instructions[1].params == (0.2,)
+
+
+def test_bind_values_wrong_length():
+    qc = Circuit(1).rx(Parameter("a"), 0)
+    with pytest.raises(ValueError):
+        qc.bind_values([0.1, 0.2])
+
+
+def test_parameter_expression_scaling():
+    theta = Parameter("theta")
+    qc = Circuit(1).rx(2.0 * theta, 0)
+    bound = qc.bind({theta: 0.25})
+    assert bound.instructions[0].params == (0.5,)
+
+
+def test_parameter_expression_offset_and_negation():
+    theta = Parameter("theta")
+    expr = -(theta * 3.0) + 1.0
+    assert isinstance(expr, ParameterExpression)
+    assert expr.bind(2.0) == pytest.approx(-5.0)
+
+
+def test_depth_parallel_gates():
+    qc = Circuit(3).h(0).h(1).h(2)
+    assert qc.depth() == 1
+
+
+def test_depth_sequential_dependency():
+    qc = Circuit(2).h(0).cx(0, 1).h(1)
+    assert qc.depth() == 3
+
+
+def test_count_ops():
+    qc = Circuit(2).h(0).h(1).cx(0, 1)
+    assert qc.count_ops() == {"h": 2, "cx": 1}
+
+
+def test_compose_runs_sequentially():
+    first = Circuit(2).h(0)
+    second = Circuit(2).cx(0, 1)
+    combined = first.compose(second)
+    assert [i.name for i in combined] == ["h", "cx"]
+    assert len(first) == 1  # original untouched
+
+
+def test_compose_rejects_larger_circuit():
+    with pytest.raises(ValueError):
+        Circuit(1).compose(Circuit(2))
+
+
+def test_inverse_undoes_bound_circuit():
+    qc = Circuit(3)
+    qc.h(0).rx(0.7, 1).cx(0, 1).rz(1.3, 2).t(0).s(2).rzz(0.4, 0, 2)
+    sim = StatevectorSimulator()
+    roundtrip = sim.run(qc.compose(qc.inverse()))
+    assert np.allclose(roundtrip, zero_state(3))
+
+
+def test_inverse_negates_rotation():
+    qc = Circuit(1).rx(0.7, 0)
+    assert qc.inverse().instructions[0].params == (-0.7,)
+
+
+def test_inverse_of_t_is_tdg():
+    qc = Circuit(1).t(0)
+    assert qc.inverse().instructions[0].name == "tdg"
+
+
+def test_inverse_symbolic_rotation():
+    theta = Parameter("theta")
+    inv = Circuit(1).rx(theta, 0).inverse()
+    bound = inv.bind({theta: 0.3})
+    assert bound.instructions[0].params[0] == pytest.approx(-0.3)
+
+
+def test_inverse_u3_roundtrip():
+    qc = Circuit(1).u3(0.3, 0.5, 0.9, 0)
+    sim = StatevectorSimulator()
+    final = sim.run(qc.compose(qc.inverse()))
+    assert np.allclose(final, zero_state(1))
+
+
+def test_instruction_matrix_requires_bound():
+    theta = Parameter("theta")
+    qc = Circuit(1).rx(theta, 0)
+    with pytest.raises(ValueError):
+        qc.instructions[0].matrix()
+
+
+def test_parameter_vector_names():
+    params = parameter_vector("w", 3)
+    assert [p.name for p in params] == ["w[0]", "w[1]", "w[2]"]
+    assert len({id(p) for p in params}) == 3
+
+
+def test_draw_contains_gates():
+    text = Circuit(2).h(0).cx(0, 1).draw()
+    assert "h" in text and "cx" in text
+
+
+def test_copy_is_independent():
+    qc = Circuit(1).h(0)
+    clone = qc.copy()
+    clone.x(0)
+    assert len(qc) == 1 and len(clone) == 2

@@ -1,0 +1,142 @@
+"""Unit tests for noise channels and the density-matrix simulator."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import (
+    Circuit,
+    DensityMatrixSimulator,
+    NoiseModel,
+    PauliString,
+    StatevectorSimulator,
+    amplitude_damping_channel,
+    bit_flip_channel,
+    depolarizing_channel,
+    phase_damping_channel,
+    phase_flip_channel,
+    purity,
+    von_neumann_entropy,
+)
+from repro.quantum.density import density_from_statevector, zero_density
+from repro.quantum.noise import is_valid_channel, two_qubit_depolarizing_channel
+
+
+@pytest.mark.parametrize("factory", [
+    depolarizing_channel,
+    bit_flip_channel,
+    phase_flip_channel,
+    amplitude_damping_channel,
+    phase_damping_channel,
+    two_qubit_depolarizing_channel,
+])
+@pytest.mark.parametrize("p", [0.0, 0.05, 0.5, 1.0])
+def test_channels_satisfy_completeness(factory, p):
+    assert is_valid_channel(factory(p))
+
+
+@pytest.mark.parametrize("factory", [depolarizing_channel, bit_flip_channel])
+def test_channels_reject_bad_probability(factory):
+    with pytest.raises(ValueError):
+        factory(-0.1)
+    with pytest.raises(ValueError):
+        factory(1.1)
+
+
+def test_noiseless_density_matches_statevector():
+    qc = Circuit(2).h(0).cx(0, 1).rz(0.3, 1)
+    rho = DensityMatrixSimulator().run(qc)
+    psi = StatevectorSimulator().run(qc)
+    assert np.allclose(rho, density_from_statevector(psi))
+
+
+def test_noiseless_run_is_pure():
+    qc = Circuit(2).h(0).cx(0, 1)
+    rho = DensityMatrixSimulator().run(qc)
+    assert purity(rho) == pytest.approx(1.0)
+
+
+def test_depolarizing_reduces_purity():
+    noise = NoiseModel.depolarizing(p1=0.1, p2=0.1)
+    qc = Circuit(2).h(0).cx(0, 1)
+    rho = DensityMatrixSimulator(noise_model=noise).run(qc)
+    assert purity(rho) < 1.0
+    assert np.trace(rho).real == pytest.approx(1.0)
+
+
+def test_full_depolarizing_gives_maximally_mixed():
+    noise = NoiseModel(single_qubit=depolarizing_channel(1.0))
+    rho = DensityMatrixSimulator(noise_model=noise).run(Circuit(1).h(0))
+    assert np.allclose(rho, np.eye(2) / 2)
+
+
+def test_amplitude_damping_fixes_ground_state():
+    noise = NoiseModel(single_qubit=amplitude_damping_channel(1.0))
+    rho = DensityMatrixSimulator(noise_model=noise).run(Circuit(1).x(0))
+    assert rho[0, 0].real == pytest.approx(1.0)
+
+
+def test_bit_flip_expectation():
+    p = 0.2
+    noise = NoiseModel(single_qubit=bit_flip_channel(p))
+    sim = DensityMatrixSimulator(noise_model=noise)
+    # i gate triggers the channel once on |0>.
+    value = sim.expectation(Circuit(1).i(0), PauliString("Z"))
+    assert value == pytest.approx(1.0 - 2.0 * p)
+
+
+def test_noise_model_validates_channels():
+    with pytest.raises(ValueError):
+        NoiseModel(single_qubit=[np.eye(2) * 2.0])
+    with pytest.raises(ValueError):
+        NoiseModel(readout_error=1.5)
+
+
+def test_noise_model_channel_for_arity():
+    noise = NoiseModel.depolarizing(p1=0.01)
+    assert noise.channel_for(1) is not None
+    assert noise.channel_for(2) is not None
+    assert noise.channel_for(3) is None
+
+
+def test_readout_error_flips_distribution():
+    noise = NoiseModel(readout_error=1.0)
+    sim = DensityMatrixSimulator(noise_model=noise)
+    probs = sim.probabilities(Circuit(1).i(0))
+    assert probs[1] == pytest.approx(1.0)
+
+
+def test_sample_counts_shapes():
+    sim = DensityMatrixSimulator(
+        noise_model=NoiseModel.depolarizing(0.05), seed=3
+    )
+    counts = sim.sample_counts(Circuit(2).h(0).cx(0, 1), shots=200)
+    assert sum(counts.values()) == 200
+    assert all(len(k) == 2 for k in counts)
+
+
+def test_sample_counts_rejects_zero_shots():
+    with pytest.raises(ValueError):
+        DensityMatrixSimulator().sample_counts(Circuit(1), shots=0)
+
+
+def test_run_rejects_bad_initial_density():
+    with pytest.raises(ValueError):
+        DensityMatrixSimulator().run(Circuit(2).h(0), np.eye(2))
+
+
+def test_expectation_matches_statevector_when_noiseless():
+    qc = Circuit(2).h(0).cx(0, 1).ry(0.4, 0)
+    obs = PauliString("ZZ")
+    dm = DensityMatrixSimulator().expectation(qc, obs)
+    sv = StatevectorSimulator().expectation(qc, obs)
+    assert dm == pytest.approx(sv)
+
+
+def test_purity_and_entropy_of_mixed_state():
+    rho = np.eye(2) / 2
+    assert purity(rho) == pytest.approx(0.5)
+    assert von_neumann_entropy(rho) == pytest.approx(1.0)
+
+
+def test_entropy_of_pure_state_is_zero():
+    assert von_neumann_entropy(zero_density(2)) == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,162 @@
+"""Unit tests for the gate library."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.quantum import gates
+
+
+ALL_FIXED = sorted(gates.FIXED_GATES)
+ALL_PARAMETRIC = sorted(gates.PARAMETRIC_GATES)
+
+
+@pytest.mark.parametrize("name", ALL_FIXED)
+def test_fixed_gates_are_unitary(name):
+    assert gates.is_unitary(gates.FIXED_GATES[name])
+
+
+@pytest.mark.parametrize("name", ALL_PARAMETRIC)
+@pytest.mark.parametrize("theta", [0.0, 0.3, math.pi / 2, math.pi, 5.1])
+def test_parametric_gates_are_unitary(name, theta):
+    nparams = gates.GATE_NUM_PARAMS[name]
+    matrix = gates.PARAMETRIC_GATES[name](*([theta] * nparams))
+    assert gates.is_unitary(matrix)
+
+
+@pytest.mark.parametrize("name", ["rx", "ry", "rz", "rxx", "ryy", "rzz"])
+def test_rotations_at_zero_are_identity(name):
+    matrix = gates.PARAMETRIC_GATES[name](0.0)
+    assert np.allclose(matrix, np.eye(matrix.shape[0]))
+
+
+def test_rx_pi_is_x_up_to_phase():
+    matrix = gates.rx_matrix(math.pi)
+    assert np.allclose(matrix, -1j * gates.PAULI_X)
+
+
+def test_ry_pi_is_y_up_to_phase():
+    assert np.allclose(gates.ry_matrix(math.pi), -1j * gates.PAULI_Y)
+
+
+def test_rz_pi_is_z_up_to_phase():
+    assert np.allclose(gates.rz_matrix(math.pi), -1j * gates.PAULI_Z)
+
+
+def test_hadamard_squares_to_identity():
+    assert np.allclose(gates.HADAMARD @ gates.HADAMARD, np.eye(2))
+
+
+def test_s_gate_squares_to_z():
+    assert np.allclose(gates.S_GATE @ gates.S_GATE, gates.PAULI_Z)
+
+
+def test_t_gate_squares_to_s():
+    assert np.allclose(gates.T_GATE @ gates.T_GATE, gates.S_GATE)
+
+
+def test_sx_squares_to_x():
+    assert np.allclose(gates.SX_GATE @ gates.SX_GATE, gates.PAULI_X)
+
+
+def test_cnot_flips_target_when_control_set():
+    state = np.zeros(4)
+    state[2] = 1.0  # |10>
+    assert np.allclose(gates.CNOT @ state, np.eye(4)[3])  # -> |11>
+
+
+def test_cnot_leaves_target_when_control_clear():
+    state = np.eye(4)[1]  # |01>
+    assert np.allclose(gates.CNOT @ state, state)
+
+
+def test_toffoli_truth_table():
+    for a in (0, 1):
+        for b in (0, 1):
+            for c in (0, 1):
+                idx = (a << 2) | (b << 1) | c
+                out = gates.TOFFOLI @ np.eye(8)[idx]
+                expected = (a << 2) | (b << 1) | (c ^ (a & b))
+                assert np.allclose(out, np.eye(8)[expected])
+
+
+def test_fredkin_swaps_when_control_set():
+    # |1 1 0> -> |1 0 1>
+    out = gates.FREDKIN @ np.eye(8)[0b110]
+    assert np.allclose(out, np.eye(8)[0b101])
+
+
+def test_swap_matrix():
+    assert np.allclose(gates.SWAP @ np.eye(4)[1], np.eye(4)[2])
+
+
+def test_controlled_builds_cnot_from_x():
+    assert np.allclose(gates.controlled(gates.PAULI_X), gates.CNOT)
+
+
+def test_controlled_two_controls_builds_toffoli():
+    assert np.allclose(
+        gates.controlled(gates.PAULI_X, num_controls=2), gates.TOFFOLI
+    )
+
+
+def test_controlled_rejects_zero_controls():
+    with pytest.raises(ValueError):
+        gates.controlled(gates.PAULI_X, num_controls=0)
+
+
+def test_rzz_diagonal_phases():
+    theta = 0.7
+    matrix = gates.rzz_matrix(theta)
+    phases = np.exp(-1j * theta / 2 * np.array([1, -1, -1, 1]))
+    assert np.allclose(np.diag(matrix), phases)
+
+
+def test_cphase_matrix():
+    lam = 1.2
+    matrix = gates.cphase_matrix(lam)
+    assert np.allclose(np.diag(matrix), [1, 1, 1, np.exp(1j * lam)])
+
+
+def test_u3_reduces_to_ry():
+    theta = 0.9
+    assert np.allclose(gates.u3_matrix(theta, 0, 0), gates.ry_matrix(theta))
+
+
+def test_gate_matrix_resolves_fixed():
+    assert np.allclose(gates.gate_matrix("h"), gates.HADAMARD)
+
+
+def test_gate_matrix_resolves_parametric():
+    assert np.allclose(gates.gate_matrix("rx", [0.4]), gates.rx_matrix(0.4))
+
+
+def test_gate_matrix_unknown_name():
+    with pytest.raises(KeyError):
+        gates.gate_matrix("frobnicate")
+
+
+def test_gate_matrix_wrong_param_count():
+    with pytest.raises(ValueError):
+        gates.gate_matrix("rx", [0.1, 0.2])
+    with pytest.raises(ValueError):
+        gates.gate_matrix("h", [0.1])
+
+
+def test_is_unitary_rejects_non_square():
+    assert not gates.is_unitary(np.ones((2, 3)))
+
+
+def test_is_unitary_rejects_non_unitary():
+    assert not gates.is_unitary(np.array([[1, 1], [0, 1]], dtype=complex))
+
+
+def test_arity_table_consistent_with_matrices():
+    for name in ALL_FIXED:
+        dim = gates.FIXED_GATES[name].shape[0]
+        assert dim == 2 ** gates.GATE_ARITY[name]
+    for name in ALL_PARAMETRIC:
+        nparams = gates.GATE_NUM_PARAMS[name]
+        matrix = gates.PARAMETRIC_GATES[name](*([0.3] * nparams))
+        assert matrix.shape[0] == 2 ** gates.GATE_ARITY[name]

@@ -1,0 +1,88 @@
+"""Tests for the HHL linear-system solver."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import classical_reference, hhl_solve
+
+
+@pytest.fixture(scope="module")
+def well_conditioned_2x2():
+    # Eigenvalues 1 and 2 — exactly representable with 3 clock bits
+    # under the default evolution time.
+    return np.array([[1.5, 0.5], [0.5, 1.5]])
+
+
+def test_hhl_matches_classical_solution(well_conditioned_2x2):
+    b = np.array([1.0, 0.0])
+    result = hhl_solve(well_conditioned_2x2, b, num_clock_bits=3)
+    assert result.fidelity_with(
+        classical_reference(well_conditioned_2x2, b)
+    ) > 0.995
+
+
+def test_hhl_larger_system_high_fidelity():
+    rng = np.random.default_rng(0)
+    m = rng.normal(size=(4, 4))
+    a = m @ m.T + 4.0 * np.eye(4)
+    b = rng.normal(size=4)
+    result = hhl_solve(a, b, num_clock_bits=6)
+    assert result.fidelity_with(classical_reference(a, b)) > 0.999
+
+
+def test_hhl_fidelity_improves_with_clock_bits():
+    rng = np.random.default_rng(1)
+    m = rng.normal(size=(2, 2))
+    a = m @ m.T + 2.0 * np.eye(2)
+    b = np.array([0.3, 0.9])
+    coarse = hhl_solve(a, b, num_clock_bits=2)
+    fine = hhl_solve(a, b, num_clock_bits=6)
+    reference = classical_reference(a, b)
+    assert fine.fidelity_with(reference) >= (
+        coarse.fidelity_with(reference) - 1e-6
+    )
+    assert fine.fidelity_with(reference) > 0.99
+
+
+def test_hhl_success_probability_positive(well_conditioned_2x2):
+    result = hhl_solve(well_conditioned_2x2, np.array([0.6, 0.8]),
+                       num_clock_bits=3)
+    assert 0.0 < result.success_probability <= 1.0
+
+
+def test_hhl_identity_returns_b():
+    b = np.array([0.6, 0.8])
+    result = hhl_solve(np.eye(2), b, num_clock_bits=3)
+    assert result.fidelity_with(b) > 0.99
+
+
+def test_hhl_diagonal_matrix_inverts_spectrum():
+    a = np.diag([1.0, 4.0])
+    b = np.array([1.0, 1.0])
+    result = hhl_solve(a, b, num_clock_bits=4)
+    # x = (1, 1/4): amplitude of component 0 should dominate 4:1.
+    ratio = abs(result.solution[0]) / abs(result.solution[1])
+    assert ratio == pytest.approx(4.0, rel=0.15)
+
+
+def test_hhl_validations():
+    with pytest.raises(ValueError):
+        hhl_solve(np.ones((2, 3)), np.ones(2))
+    with pytest.raises(ValueError):
+        hhl_solve(np.array([[0, 1], [0, 0]]), np.ones(2))  # not Hermitian
+    with pytest.raises(ValueError):
+        hhl_solve(np.eye(3), np.ones(3))  # not a power of two
+    with pytest.raises(ValueError):
+        hhl_solve(np.eye(2), np.ones(3))  # rhs mismatch
+    with pytest.raises(ValueError):
+        hhl_solve(np.eye(2), np.zeros(2))  # zero rhs
+    with pytest.raises(ValueError):
+        hhl_solve(-np.eye(2), np.ones(2))  # not positive definite
+    with pytest.raises(ValueError):
+        hhl_solve(np.eye(2), np.ones(2), num_clock_bits=0)
+
+
+def test_classical_reference_is_normalized():
+    a = np.diag([2.0, 5.0])
+    reference = classical_reference(a, np.array([1.0, 1.0]))
+    assert np.linalg.norm(reference) == pytest.approx(1.0)

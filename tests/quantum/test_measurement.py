@@ -1,0 +1,66 @@
+"""Unit tests for shot-based estimation."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import Circuit, PauliString, PauliSum, expectation_with_shots
+from repro.quantum.measurement import (
+    counts_to_probabilities,
+    sample_bit_expectation,
+)
+
+
+def test_counts_to_probabilities():
+    probs = counts_to_probabilities({"00": 75, "11": 25})
+    assert probs["00"] == pytest.approx(0.75)
+    assert probs["11"] == pytest.approx(0.25)
+
+
+def test_counts_to_probabilities_empty():
+    with pytest.raises(ValueError):
+        counts_to_probabilities({})
+
+
+def test_shot_expectation_z_converges():
+    rng = np.random.default_rng(5)
+    value = expectation_with_shots(
+        Circuit(1).ry(0.8, 0), PauliString("Z"), shots=20_000, rng=rng
+    )
+    assert value == pytest.approx(np.cos(0.8), abs=0.03)
+
+
+def test_shot_expectation_x_basis_rotation():
+    rng = np.random.default_rng(6)
+    value = expectation_with_shots(
+        Circuit(1).h(0), PauliString("X"), shots=5_000, rng=rng
+    )
+    assert value == pytest.approx(1.0, abs=0.02)
+
+
+def test_shot_expectation_y_basis_rotation():
+    rng = np.random.default_rng(7)
+    qc = Circuit(1).h(0).s(0)  # |+i>
+    value = expectation_with_shots(qc, PauliString("Y"), shots=5_000, rng=rng)
+    assert value == pytest.approx(1.0, abs=0.02)
+
+
+def test_shot_expectation_sum_with_identity():
+    rng = np.random.default_rng(8)
+    obs = PauliSum([PauliString("I", 2.0), PauliString("Z", 1.0)])
+    value = expectation_with_shots(Circuit(1), obs, shots=1_000, rng=rng)
+    assert value == pytest.approx(3.0, abs=0.01)
+
+
+def test_shot_expectation_empty_observable():
+    assert expectation_with_shots(Circuit(1), PauliSum(), shots=10) == 0.0
+
+
+def test_shot_expectation_rejects_zero_shots():
+    with pytest.raises(ValueError):
+        expectation_with_shots(Circuit(1), PauliString("Z"), shots=0)
+
+
+def test_sample_bit_expectation():
+    assert sample_bit_expectation({"00": 10}, 0) == pytest.approx(1.0)
+    assert sample_bit_expectation({"10": 10}, 0) == pytest.approx(-1.0)
+    assert sample_bit_expectation({"10": 5, "00": 5}, 0) == pytest.approx(0.0)

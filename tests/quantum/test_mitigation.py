@@ -1,0 +1,176 @@
+"""Tests for error mitigation (ZNE and readout correction)."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import (
+    Circuit,
+    DensityMatrixSimulator,
+    NoiseModel,
+    Parameter,
+    PauliString,
+    ReadoutMitigator,
+    StatevectorSimulator,
+    fold_circuit,
+    zero_noise_extrapolation,
+)
+
+
+@pytest.fixture(scope="module")
+def test_circuit():
+    return Circuit(2).h(0).cx(0, 1).ry(0.4, 0)
+
+
+@pytest.fixture(scope="module")
+def observable():
+    return PauliString("ZZ")
+
+
+# ----------------------------------------------------------------------
+# Folding
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scale", [1.0, 1.5, 2.0, 3.0, 5.0])
+def test_folding_preserves_unitary(test_circuit, scale):
+    sim = StatevectorSimulator()
+    folded = fold_circuit(test_circuit, scale)
+    assert np.allclose(sim.run(folded), sim.run(test_circuit))
+
+
+def test_folding_scales_gate_count(test_circuit):
+    base = len(test_circuit)
+    tripled = fold_circuit(test_circuit, 3.0)
+    assert len(tripled) == 3 * base
+
+
+def test_partial_fold_increases_gate_count(test_circuit):
+    base = len(test_circuit)
+    partial = fold_circuit(test_circuit, 1.5)
+    assert base < len(partial) < 3 * base
+
+
+def test_folding_validations(test_circuit):
+    with pytest.raises(ValueError):
+        fold_circuit(test_circuit, 0.5)
+    symbolic = Circuit(1).rx(Parameter("t"), 0)
+    with pytest.raises(ValueError):
+        fold_circuit(symbolic, 2.0)
+
+
+def test_folding_empty_circuit():
+    assert len(fold_circuit(Circuit(1), 3.0)) == 0
+
+
+# ----------------------------------------------------------------------
+# Zero-noise extrapolation
+# ----------------------------------------------------------------------
+def test_zne_improves_over_noisy_value(test_circuit, observable):
+    ideal = StatevectorSimulator().expectation(test_circuit, observable)
+    noise = NoiseModel.depolarizing(0.02)
+    result = zero_noise_extrapolation(
+        test_circuit, observable, noise,
+        scale_factors=(1.0, 2.0, 3.0), order=1,
+    )
+    assert abs(result.mitigated_value - ideal) < abs(
+        result.noisy_value - ideal
+    )
+
+
+def test_zne_higher_order_helps_more():
+    """On a deeper circuit with odd-integer folds (exact whole folds,
+    no partial-fold rounding) quadratic extrapolation tracks the
+    exponential decay better than linear."""
+    circuit = Circuit(2)
+    for _ in range(3):
+        circuit.h(0).cx(0, 1).ry(0.3, 0).rz(0.2, 1)
+    observable = PauliString("ZZ")
+    ideal = StatevectorSimulator().expectation(circuit, observable)
+    noise = NoiseModel.depolarizing(0.01)
+    linear = zero_noise_extrapolation(
+        circuit, observable, noise,
+        scale_factors=(1.0, 3.0, 5.0), order=1,
+    )
+    quadratic = zero_noise_extrapolation(
+        circuit, observable, noise,
+        scale_factors=(1.0, 3.0, 5.0), order=2,
+    )
+    assert (abs(quadratic.mitigated_value - ideal)
+            <= abs(linear.mitigated_value - ideal) + 0.02)
+    assert (abs(quadratic.mitigated_value - ideal)
+            < abs(quadratic.measured_values[0] - ideal))
+
+
+def test_zne_measured_values_decay_with_scale(test_circuit, observable):
+    noise = NoiseModel.depolarizing(0.03)
+    result = zero_noise_extrapolation(
+        test_circuit, observable, noise, scale_factors=(1.0, 2.0, 3.0)
+    )
+    values = result.measured_values
+    assert abs(values[0]) > abs(values[-1])
+
+
+def test_zne_noiseless_is_exact(test_circuit, observable):
+    ideal = StatevectorSimulator().expectation(test_circuit, observable)
+    clean = NoiseModel.depolarizing(0.0)
+    result = zero_noise_extrapolation(
+        test_circuit, observable, clean, scale_factors=(1.0, 2.0)
+    )
+    assert result.mitigated_value == pytest.approx(ideal, abs=1e-9)
+
+
+def test_zne_validations(test_circuit, observable):
+    noise = NoiseModel.depolarizing(0.01)
+    with pytest.raises(ValueError):
+        zero_noise_extrapolation(test_circuit, observable, noise,
+                                 scale_factors=(1.0,), order=1)
+    with pytest.raises(ValueError):
+        zero_noise_extrapolation(test_circuit, observable, noise,
+                                 scale_factors=(0.5, 2.0))
+
+
+# ----------------------------------------------------------------------
+# Readout mitigation
+# ----------------------------------------------------------------------
+def test_confusion_matrix_structure():
+    mitigator = ReadoutMitigator(1, NoiseModel(readout_error=0.1))
+    matrix = mitigator.confusion_matrix
+    assert matrix.shape == (2, 2)
+    assert matrix[0, 0] == pytest.approx(0.9)
+    assert matrix[1, 0] == pytest.approx(0.1)
+    assert np.allclose(matrix.sum(axis=0), 1.0)
+
+
+def test_correction_recovers_basis_state():
+    noise = NoiseModel(readout_error=0.08)
+    mitigator = ReadoutMitigator(2, noise)
+    simulator = DensityMatrixSimulator(noise_model=noise)
+    measured = simulator.probabilities(Circuit(2).x(0).i(1))
+    corrected = mitigator.correct_probabilities(measured)
+    assert corrected[0b10] == pytest.approx(1.0, abs=1e-9)
+
+
+def test_correction_of_counts_dict():
+    noise = NoiseModel(readout_error=0.05)
+    mitigator = ReadoutMitigator(1, noise)
+    corrected = mitigator.correct_counts({"0": 95, "1": 5})
+    assert corrected[0] == pytest.approx(1.0, abs=1e-9)
+
+
+def test_corrected_distribution_is_valid():
+    mitigator = ReadoutMitigator(2, NoiseModel(readout_error=0.2))
+    rng = np.random.default_rng(0)
+    raw = rng.dirichlet(np.ones(4))
+    corrected = mitigator.correct_probabilities(raw)
+    assert corrected.sum() == pytest.approx(1.0)
+    assert (corrected >= 0).all()
+
+
+def test_readout_mitigator_validations():
+    with pytest.raises(ValueError):
+        ReadoutMitigator(0, NoiseModel())
+    with pytest.raises(ValueError):
+        ReadoutMitigator(7, NoiseModel())
+    mitigator = ReadoutMitigator(1, NoiseModel())
+    with pytest.raises(ValueError):
+        mitigator.correct_probabilities(np.ones(3))
+    with pytest.raises(ValueError):
+        mitigator.correct_counts({})

@@ -1,0 +1,87 @@
+"""Tests for QASM-subset circuit serialization."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum import (
+    Circuit,
+    Parameter,
+    StatevectorSimulator,
+    circuit_from_qasm,
+    circuit_to_qasm,
+    random_layered_circuit,
+)
+
+SIM = StatevectorSimulator()
+
+
+def test_roundtrip_preserves_semantics():
+    qc = Circuit(3).h(0).cx(0, 1).rzz(0.4, 1, 2).t(2).swap(0, 2)
+    back = circuit_from_qasm(circuit_to_qasm(qc))
+    assert np.allclose(SIM.run(qc), SIM.run(back))
+
+
+def test_roundtrip_multi_parameter_gate():
+    qc = Circuit(1).u3(0.1, 0.2, 0.3, 0)
+    back = circuit_from_qasm(circuit_to_qasm(qc))
+    assert np.allclose(SIM.run(qc), SIM.run(back))
+
+
+def test_serialize_rejects_symbolic_parameters():
+    qc = Circuit(1).rx(Parameter("theta"), 0)
+    with pytest.raises(ValueError):
+        circuit_to_qasm(qc)
+
+
+def test_parse_accepts_pi_shorthands():
+    text = "qreg q[1];\nrx(pi/2) q[0];\nrz(-pi) q[0];\n"
+    qc = circuit_from_qasm(text)
+    assert qc.instructions[0].params[0] == pytest.approx(math.pi / 2)
+    assert qc.instructions[1].params[0] == pytest.approx(-math.pi)
+
+
+def test_parse_ignores_comments_and_blanks():
+    text = """
+// a comment
+qreg q[2];
+
+h q[0];   // trailing comment
+cx q[0], q[1];
+"""
+    qc = circuit_from_qasm(text)
+    assert [i.name for i in qc] == ["h", "cx"]
+
+
+def test_parse_errors_are_located():
+    with pytest.raises(ValueError, match="line 2"):
+        circuit_from_qasm("qreg q[1];\nwobble q[0];")
+    with pytest.raises(ValueError, match="qreg"):
+        circuit_from_qasm("h q[0];")
+    with pytest.raises(ValueError, match="duplicate"):
+        circuit_from_qasm("qreg q[1];\nqreg q[1];")
+    with pytest.raises(ValueError):
+        circuit_from_qasm("")
+
+
+def test_parse_validates_parameter_count():
+    with pytest.raises(ValueError, match="parameter"):
+        circuit_from_qasm("qreg q[1];\nrx q[0];")
+    with pytest.raises(ValueError, match="parameter"):
+        circuit_from_qasm("qreg q[1];\nh(0.3) q[0];")
+
+
+def test_parse_bad_parameter_token():
+    with pytest.raises(ValueError, match="bad parameter"):
+        circuit_from_qasm("qreg q[1];\nrx(two) q[0];")
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5_000))
+def test_property_random_circuits_roundtrip(seed):
+    qc = random_layered_circuit(3, 3, seed=seed)
+    back = circuit_from_qasm(circuit_to_qasm(qc))
+    assert np.allclose(SIM.run(qc), SIM.run(back), atol=1e-12)

@@ -1,0 +1,193 @@
+"""Unit + property tests for the statevector simulator."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum import (
+    Circuit,
+    StatevectorSimulator,
+    apply_matrix,
+    basis_state,
+    fidelity,
+    marginal_probabilities,
+    random_layered_circuit,
+    zero_state,
+)
+from repro.quantum.gates import CNOT, HADAMARD
+
+
+SIM = StatevectorSimulator(seed=7)
+
+
+def test_zero_state():
+    state = zero_state(3)
+    assert state[0] == 1.0 and np.allclose(state[1:], 0)
+
+
+def test_zero_state_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        zero_state(0)
+
+
+def test_basis_state_big_endian():
+    # |10> on 2 qubits -> index 2
+    state = basis_state(2, [1, 0])
+    assert state[2] == 1.0
+
+
+def test_basis_state_validates():
+    with pytest.raises(ValueError):
+        basis_state(2, [1])
+    with pytest.raises(ValueError):
+        basis_state(1, [2])
+
+
+def test_hadamard_makes_plus_state():
+    state = SIM.run(Circuit(1).h(0))
+    assert np.allclose(state, np.ones(2) / math.sqrt(2))
+
+
+def test_bell_state():
+    state = SIM.run(Circuit(2).h(0).cx(0, 1))
+    expected = np.zeros(4, dtype=complex)
+    expected[0] = expected[3] = 1 / math.sqrt(2)
+    assert np.allclose(state, expected)
+
+
+def test_x_on_each_qubit_position():
+    # X on qubit 0 of 3 flips the most significant bit.
+    state = SIM.run(Circuit(3).x(0))
+    assert state[0b100] == 1.0
+    state = SIM.run(Circuit(3).x(2))
+    assert state[0b001] == 1.0
+
+
+def test_cx_control_target_order():
+    # control=1, target=0 acting on |01> (qubit1 = 1) flips qubit 0.
+    qc = Circuit(2).x(1).cx(1, 0)
+    state = SIM.run(qc)
+    assert state[0b11] == pytest.approx(1.0)
+
+
+def test_ghz_state():
+    qc = Circuit(4).h(0)
+    for q in range(3):
+        qc.cx(q, q + 1)
+    probs = SIM.probabilities(qc)
+    assert probs[0] == pytest.approx(0.5)
+    assert probs[-1] == pytest.approx(0.5)
+    assert probs[1:-1].sum() == pytest.approx(0.0, abs=1e-12)
+
+
+def test_initial_state_override():
+    initial = basis_state(1, [1])
+    state = SIM.run(Circuit(1).x(0), initial_state=initial)
+    assert state[0] == pytest.approx(1.0)
+
+
+def test_initial_state_wrong_shape():
+    with pytest.raises(ValueError):
+        SIM.run(Circuit(2).h(0), initial_state=np.ones(2))
+
+
+def test_apply_matrix_matches_kron_single_qubit():
+    rng = np.random.default_rng(0)
+    state = rng.normal(size=4) + 1j * rng.normal(size=4)
+    state /= np.linalg.norm(state)
+    via_apply = apply_matrix(state, HADAMARD, (1,), 2)
+    via_kron = np.kron(np.eye(2), HADAMARD) @ state
+    assert np.allclose(via_apply, via_kron)
+
+
+def test_apply_matrix_matches_kron_two_qubit():
+    rng = np.random.default_rng(1)
+    state = rng.normal(size=8) + 1j * rng.normal(size=8)
+    state /= np.linalg.norm(state)
+    via_apply = apply_matrix(state, CNOT, (0, 1), 3)
+    via_kron = np.kron(CNOT, np.eye(2)) @ state
+    assert np.allclose(via_apply, via_kron)
+
+
+def test_apply_matrix_nonadjacent_qubits():
+    # CX with control=2, target=0 on |001> -> |101>
+    state = basis_state(3, [0, 0, 1])
+    out = apply_matrix(state, CNOT, (2, 0), 3)
+    assert out[0b101] == pytest.approx(1.0)
+
+
+def test_sample_counts_distribution():
+    qc = Circuit(1).h(0)
+    counts = StatevectorSimulator(seed=11).sample_counts(qc, shots=4000)
+    assert set(counts) <= {"0", "1"}
+    assert abs(counts.get("0", 0) - 2000) < 200
+
+
+def test_sample_counts_rejects_zero_shots():
+    with pytest.raises(ValueError):
+        SIM.sample_counts(Circuit(1).h(0), shots=0)
+
+
+def test_fidelity_identical_states():
+    state = zero_state(2)
+    assert fidelity(state, state) == pytest.approx(1.0)
+
+
+def test_fidelity_orthogonal_states():
+    assert fidelity(basis_state(1, [0]), basis_state(1, [1])) == pytest.approx(0.0)
+
+
+def test_fidelity_shape_mismatch():
+    with pytest.raises(ValueError):
+        fidelity(zero_state(1), zero_state(2))
+
+
+def test_marginal_probabilities_bell():
+    state = SIM.run(Circuit(2).h(0).cx(0, 1))
+    marg = marginal_probabilities(state, [0])
+    assert np.allclose(marg, [0.5, 0.5])
+
+
+def test_marginal_probabilities_order():
+    # |10>: qubit0=1, qubit1=0. Marginal over (1, 0) should read (0, 1).
+    state = basis_state(2, [1, 0])
+    marg = marginal_probabilities(state, [1, 0])
+    assert marg[0b01] == pytest.approx(1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_qubits=st.integers(min_value=1, max_value=5),
+    depth=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_norm_preserved(num_qubits, depth, seed):
+    """Unitary evolution preserves the 2-norm of any circuit output."""
+    qc = random_layered_circuit(num_qubits, depth, seed=seed)
+    state = StatevectorSimulator().run(qc)
+    assert np.linalg.norm(state) == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    num_qubits=st.integers(min_value=1, max_value=4),
+    depth=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_inverse_roundtrip(num_qubits, depth, seed):
+    """circuit + inverse returns to |0...0> for random bound circuits."""
+    qc = random_layered_circuit(num_qubits, depth, seed=seed)
+    state = StatevectorSimulator().run(qc.compose(qc.inverse()))
+    assert fidelity(state, zero_state(num_qubits)) == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_probabilities_sum_to_one(seed):
+    qc = random_layered_circuit(3, 3, seed=seed)
+    probs = StatevectorSimulator().probabilities(qc)
+    assert probs.sum() == pytest.approx(1.0, abs=1e-9)
+    assert (probs >= -1e-12).all()

@@ -1,0 +1,147 @@
+"""Tests for the swap test and amplitude estimation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.quantum import (
+    Circuit,
+    amplitude_estimation,
+    classical_sample_estimate,
+    swap_test_circuit,
+    swap_test_overlap,
+)
+
+
+# ----------------------------------------------------------------------
+# Swap test
+# ----------------------------------------------------------------------
+def test_swap_test_identical_states():
+    a = Circuit(1).ry(0.9, 0)
+    assert swap_test_overlap(a, a) == pytest.approx(1.0)
+
+
+def test_swap_test_orthogonal_states():
+    a = Circuit(1)
+    b = Circuit(1).x(0)
+    assert swap_test_overlap(a, b) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_swap_test_matches_analytic_overlap():
+    a = Circuit(1).ry(0.8, 0)
+    b = Circuit(1).ry(1.4, 0)
+    expected = math.cos((1.4 - 0.8) / 2) ** 2
+    assert swap_test_overlap(a, b) == pytest.approx(expected)
+
+
+def test_swap_test_two_qubit_states():
+    bell = Circuit(2).h(0).cx(0, 1)
+    product = Circuit(2).h(0).h(1)
+    # |<bell|++>|^2 = |(1 + 1) / (sqrt2 * 2)|^2 = 1/2.
+    assert swap_test_overlap(bell, product) == pytest.approx(0.5)
+
+
+def test_swap_test_shots_converge():
+    a = Circuit(1).ry(0.5, 0)
+    b = Circuit(1).ry(2.0, 0)
+    exact = swap_test_overlap(a, b)
+    noisy = swap_test_overlap(a, b, shots=40_000, seed=0)
+    assert noisy == pytest.approx(exact, abs=0.02)
+
+
+def test_swap_test_circuit_structure():
+    qc = swap_test_circuit(Circuit(2).h(0), Circuit(2).x(1))
+    assert qc.num_qubits == 5
+    assert qc.count_ops()["cswap"] == 2
+    assert qc.count_ops()["h"] == 3  # prep H + two ancilla H
+
+
+def test_swap_test_register_mismatch():
+    with pytest.raises(ValueError):
+        swap_test_circuit(Circuit(1), Circuit(2))
+
+
+def test_swap_test_rejects_zero_shots():
+    with pytest.raises(ValueError):
+        swap_test_overlap(Circuit(1), Circuit(1), shots=0)
+
+
+# ----------------------------------------------------------------------
+# Amplitude estimation
+# ----------------------------------------------------------------------
+def test_qae_single_qubit_amplitude():
+    target = 0.3
+    theta = 2 * math.asin(math.sqrt(target))
+    result = amplitude_estimation(Circuit(1).ry(theta, 0), [1],
+                                  num_eval_qubits=6)
+    assert result.true_amplitude == pytest.approx(target)
+    assert result.error < math.pi / 2 ** 5  # within grid resolution
+
+
+def test_qae_error_shrinks_with_eval_qubits():
+    theta = 2 * math.asin(math.sqrt(0.3))
+    prep = Circuit(1).ry(theta, 0)
+    coarse = amplitude_estimation(prep, [1], num_eval_qubits=3)
+    fine = amplitude_estimation(prep, [1], num_eval_qubits=6)
+    assert fine.error <= coarse.error + 1e-9
+
+
+def test_qae_exact_on_grid_amplitude():
+    # a = sin^2(pi / 4) = 0.5 sits exactly on the 3-bit phase grid.
+    theta = 2 * math.asin(math.sqrt(0.5))
+    result = amplitude_estimation(Circuit(1).ry(theta, 0), [1],
+                                  num_eval_qubits=3)
+    assert result.estimate == pytest.approx(0.5, abs=1e-6)
+
+
+def test_qae_multi_qubit_uniform():
+    prep = Circuit(3).h(0).h(1).h(2)
+    result = amplitude_estimation(prep, [0, 1], num_eval_qubits=6)
+    assert result.true_amplitude == pytest.approx(0.25)
+    assert result.error < 0.05
+
+
+def test_qae_grover_call_accounting():
+    result = amplitude_estimation(Circuit(1).h(0), [1],
+                                  num_eval_qubits=4)
+    assert result.grover_calls == 15
+
+
+def test_qae_validations():
+    with pytest.raises(ValueError):
+        amplitude_estimation(Circuit(1).h(0), [], num_eval_qubits=3)
+    with pytest.raises(ValueError):
+        amplitude_estimation(Circuit(1).h(0), [5], num_eval_qubits=3)
+    with pytest.raises(ValueError):
+        amplitude_estimation(Circuit(1).h(0), [1], num_eval_qubits=0)
+
+
+def test_classical_sampling_baseline_unbiased():
+    theta = 2 * math.asin(math.sqrt(0.3))
+    prep = Circuit(1).ry(theta, 0)
+    estimate = classical_sample_estimate(prep, [1], shots=50_000, seed=2)
+    assert estimate == pytest.approx(0.3, abs=0.02)
+
+
+def test_classical_sampling_rejects_zero_shots():
+    with pytest.raises(ValueError):
+        classical_sample_estimate(Circuit(1), [0], shots=0)
+
+
+# ----------------------------------------------------------------------
+# Quantum counting
+# ----------------------------------------------------------------------
+def test_quantum_counting_accuracy():
+    from repro.quantum import quantum_counting
+
+    for marked in ([3], [1, 5, 9], list(range(6))):
+        estimate = quantum_counting(4, marked, num_eval_qubits=7)
+        assert estimate == pytest.approx(len(marked), abs=0.5)
+
+
+def test_quantum_counting_rejects_empty():
+    from repro.quantum import quantum_counting
+
+    with pytest.raises(ValueError):
+        quantum_counting(3, [])

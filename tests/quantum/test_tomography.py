@@ -1,0 +1,90 @@
+"""Tests for quantum state tomography."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import (
+    Circuit,
+    StatevectorSimulator,
+    project_to_physical,
+    reconstruction_error,
+    state_tomography,
+)
+from repro.quantum.density import density_from_statevector
+
+SIM = StatevectorSimulator()
+
+
+def _true_density(circuit: Circuit) -> np.ndarray:
+    return density_from_statevector(SIM.run(circuit))
+
+
+def test_exact_tomography_of_bell_state():
+    qc = Circuit(2).h(0).cx(0, 1)
+    result = state_tomography(qc)
+    assert reconstruction_error(result, _true_density(qc)) < 1e-9
+    assert result.purity() == pytest.approx(1.0)
+
+
+def test_exact_tomography_single_qubit():
+    qc = Circuit(1).ry(0.7, 0)
+    result = state_tomography(qc)
+    assert result.fidelity_with_state(SIM.run(qc)) == pytest.approx(1.0)
+    assert result.num_settings == 3
+
+
+def test_exact_tomography_three_qubits():
+    qc = Circuit(3).h(0).cx(0, 1).cx(1, 2).rz(0.4, 2)
+    result = state_tomography(qc)
+    assert reconstruction_error(result, _true_density(qc)) < 1e-9
+
+
+def test_shot_tomography_converges():
+    qc = Circuit(2).h(0).cx(0, 1)
+    true_rho = _true_density(qc)
+    coarse = state_tomography(qc, shots_per_setting=50, seed=0)
+    fine = state_tomography(qc, shots_per_setting=2000, seed=0)
+    assert (reconstruction_error(fine, true_rho)
+            < reconstruction_error(coarse, true_rho))
+    assert fine.fidelity_with_state(SIM.run(qc)) > 0.97
+
+
+def test_shot_tomography_is_physical():
+    qc = Circuit(2).h(0).cx(0, 1)
+    result = state_tomography(qc, shots_per_setting=20, seed=1)
+    rho = result.density_matrix
+    eigenvalues = np.linalg.eigvalsh(rho)
+    assert eigenvalues.min() >= -1e-12
+    assert np.trace(rho).real == pytest.approx(1.0)
+    assert np.allclose(rho, rho.conj().T)
+
+
+def test_density_matrix_reproduces_probabilities():
+    qc = Circuit(2).ry(0.9, 0).cx(0, 1)
+    result = state_tomography(qc)
+    probabilities = np.real(np.diag(result.density_matrix))
+    expected = np.abs(SIM.run(qc)) ** 2
+    assert np.allclose(probabilities, expected, atol=1e-9)
+
+
+def test_qubit_limit_enforced():
+    with pytest.raises(ValueError):
+        state_tomography(Circuit(5))
+
+
+def test_project_to_physical_fixes_negativity():
+    unphysical = np.diag([1.2, -0.2]).astype(complex)
+    projected = project_to_physical(unphysical)
+    eigenvalues = np.linalg.eigvalsh(projected)
+    assert eigenvalues.min() >= 0
+    assert np.trace(projected).real == pytest.approx(1.0)
+
+
+def test_project_to_physical_degenerate_input():
+    projected = project_to_physical(np.zeros((2, 2), dtype=complex))
+    assert np.allclose(projected, np.eye(2) / 2)
+
+
+def test_settings_count_matches_pauli_space():
+    result = state_tomography(Circuit(2).h(0))
+    assert result.num_settings == 4 ** 2 - 1

@@ -1,0 +1,152 @@
+"""Tests for the circuit optimization passes."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum import (
+    Circuit,
+    Parameter,
+    StatevectorSimulator,
+    cancel_adjacent_inverses,
+    merge_rotations,
+    optimize_circuit,
+    random_layered_circuit,
+    remove_identities,
+)
+
+SIM = StatevectorSimulator()
+
+
+def _equivalent(a: Circuit, b: Circuit) -> bool:
+    return np.allclose(SIM.run(a), SIM.run(b), atol=1e-10)
+
+
+# ----------------------------------------------------------------------
+# remove_identities
+# ----------------------------------------------------------------------
+def test_removes_identity_gates():
+    qc = Circuit(2).i(0).h(1).i(1)
+    out = remove_identities(qc)
+    assert [inst.name for inst in out] == ["h"]
+
+
+def test_removes_zero_angle_rotations():
+    qc = Circuit(1).rx(0.0, 0).ry(0.5, 0).rz(2 * math.pi, 0)
+    out = remove_identities(qc)
+    assert [inst.name for inst in out] == ["ry"]
+
+
+def test_keeps_symbolic_rotations():
+    qc = Circuit(1).rx(Parameter("t"), 0)
+    assert len(remove_identities(qc)) == 1
+
+
+# ----------------------------------------------------------------------
+# merge_rotations
+# ----------------------------------------------------------------------
+def test_merges_adjacent_same_axis_rotations():
+    qc = Circuit(1).rx(0.3, 0).rx(0.4, 0)
+    out = merge_rotations(qc)
+    assert len(out) == 1
+    assert out.instructions[0].params[0] == pytest.approx(0.7)
+
+
+def test_merge_drops_full_period():
+    qc = Circuit(1).rx(math.pi, 0).rx(math.pi, 0)
+    assert len(merge_rotations(qc)) == 0
+
+
+def test_merge_respects_axis_boundaries():
+    qc = Circuit(1).rx(0.3, 0).ry(0.4, 0).rx(0.2, 0)
+    assert len(merge_rotations(qc)) == 3
+
+
+def test_merge_respects_qubit_boundaries():
+    qc = Circuit(2).rx(0.3, 0).rx(0.4, 1)
+    assert len(merge_rotations(qc)) == 2
+
+
+def test_merge_chains_through_runs():
+    qc = Circuit(1).rz(0.1, 0).rz(0.2, 0).rz(0.3, 0)
+    out = merge_rotations(qc)
+    assert len(out) == 1
+    assert out.instructions[0].params[0] == pytest.approx(0.6)
+
+
+def test_merge_two_qubit_rotations():
+    qc = Circuit(2).rzz(0.3, 0, 1).rzz(0.4, 0, 1)
+    out = merge_rotations(qc)
+    assert len(out) == 1
+    assert out.instructions[0].params[0] == pytest.approx(0.7)
+
+
+def test_merge_symbolic_acts_as_barrier():
+    theta = Parameter("t")
+    qc = Circuit(1).rx(0.3, 0).rx(theta, 0).rx(0.4, 0)
+    assert len(merge_rotations(qc)) == 3
+
+
+# ----------------------------------------------------------------------
+# cancel_adjacent_inverses
+# ----------------------------------------------------------------------
+def test_cancels_adjacent_hadamards():
+    qc = Circuit(1).h(0).h(0)
+    assert len(cancel_adjacent_inverses(qc)) == 0
+
+
+def test_cancellation_cascades():
+    qc = Circuit(1).h(0).x(0).x(0).h(0)
+    assert len(cancel_adjacent_inverses(qc)) == 0
+
+
+def test_cancels_cnot_pairs():
+    qc = Circuit(2).cx(0, 1).cx(0, 1)
+    assert len(cancel_adjacent_inverses(qc)) == 0
+
+
+def test_does_not_cancel_reversed_cnot():
+    qc = Circuit(2).cx(0, 1).cx(1, 0)
+    assert len(cancel_adjacent_inverses(qc)) == 2
+
+
+def test_conservative_with_interleaving_gate():
+    qc = Circuit(2).h(0).x(1).h(0)
+    # x on qubit 1 commutes with h on 0, but the pass is conservative.
+    assert len(cancel_adjacent_inverses(qc)) == 3
+
+
+# ----------------------------------------------------------------------
+# optimize_circuit (pipeline)
+# ----------------------------------------------------------------------
+def test_pipeline_shrinks_and_preserves_semantics():
+    qc = Circuit(2)
+    qc.h(0).h(0).rx(0.3, 1).rx(-0.3, 1).i(0).x(0).x(0)
+    qc.cx(0, 1).cx(0, 1).ry(0.5, 0)
+    out = optimize_circuit(qc)
+    assert len(out) == 1
+    assert _equivalent(qc, out)
+
+
+def test_pipeline_rejects_zero_passes():
+    with pytest.raises(ValueError):
+        optimize_circuit(Circuit(1), passes=0)
+
+
+def test_pipeline_idempotent():
+    qc = Circuit(2).h(0).rx(0.2, 0).rx(0.2, 0).cx(0, 1)
+    once = optimize_circuit(qc)
+    twice = optimize_circuit(once)
+    assert [i.name for i in once] == [i.name for i in twice]
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5_000))
+def test_property_optimization_preserves_unitary(seed):
+    qc = random_layered_circuit(3, 4, seed=seed)
+    out = optimize_circuit(qc)
+    assert _equivalent(qc, out)
+    assert len(out) <= len(qc)

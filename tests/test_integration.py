@@ -1,0 +1,200 @@
+"""Cross-package integration tests.
+
+These exercise full pipelines spanning several subsystems, checking
+that the solver families agree with each other on shared problems —
+the consistency web that makes the library trustworthy as a whole.
+"""
+
+import numpy as np
+import pytest
+
+from repro.annealing import (
+    QAOASolver,
+    QUBO,
+    SimulatedAnnealingSolver,
+    SimulatedQuantumAnnealingSolver,
+    TabuSearchSolver,
+    solve_qubo_exact,
+)
+from repro.db import (
+    EquiJoinPredicate,
+    HashJoinExecutor,
+    JoinOrderQUBO,
+    PhysicalQuery,
+    dp_optimal,
+    exhaustive_left_deep,
+    greedy_goo,
+    left_deep_tree,
+    make_star_schema,
+    random_join_graph,
+    solve_join_order_annealing,
+    solve_join_order_grover,
+    solve_join_order_rl,
+)
+from repro.qml import VQE, FidelityQuantumKernel, IQPEncoding
+from repro.quantum import StatevectorSimulator
+
+
+@pytest.fixture(scope="module")
+def shared_qubo():
+    rng = np.random.default_rng(42)
+    return QUBO.from_matrix(rng.normal(size=(6, 6)) * 2.0)
+
+
+def test_all_qubo_solver_families_agree(shared_qubo):
+    """Exact, SA, SQA, tabu and QAOA all land on the same optimum of a
+    small shared QUBO."""
+    exact = solve_qubo_exact(shared_qubo)
+    sa = SimulatedAnnealingSolver(num_sweeps=300, num_reads=15,
+                                  seed=0).solve(shared_qubo)
+    sqa = SimulatedQuantumAnnealingSolver(
+        num_sweeps=300, num_reads=10, num_slices=12, seed=1
+    ).solve(shared_qubo)
+    tabu = TabuSearchSolver(num_restarts=4, max_iterations=200,
+                            seed=2).solve(shared_qubo)
+    qaoa = QAOASolver(p=3, restarts=3, shots=512, seed=3).solve(
+        shared_qubo
+    )
+    assert sa.best_energy == pytest.approx(exact.energy)
+    assert sqa.best_energy == pytest.approx(exact.energy)
+    assert tabu.best_energy == pytest.approx(exact.energy)
+    assert qaoa.samples.best_energy == pytest.approx(exact.energy)
+
+
+def test_vqe_agrees_with_annealers(shared_qubo):
+    """The gate-model variational route reaches the annealers' optimum
+    on the shared QUBO's Ising form."""
+    exact = solve_qubo_exact(shared_qubo)
+    ising = shared_qubo.to_ising()
+    vqe = VQE(6, num_layers=2, max_iter=80, restarts=2, seed=0)
+    result = vqe.compute_minimum_eigenvalue(ising.to_pauli_sum())
+    assert result.eigenvalue <= exact.energy + 0.5
+
+
+def test_five_join_optimizers_on_one_graph():
+    """DP, greedy, annealed QUBO, Grover and Q-learning all produce
+    executable, near-optimal plans for the same query."""
+    graph = random_join_graph(5, "star", seed=5)
+    _, ld_optimum = exhaustive_left_deep(graph)
+    _, dp_cost = dp_optimal(graph, bushy=True,
+                            avoid_cross_products=False)
+    _, greedy_cost = greedy_goo(graph)
+    annealed = solve_join_order_annealing(graph)
+    grover_order, grover_cost = solve_join_order_grover(graph, seed=0)
+    rl_order, rl_cost = solve_join_order_rl(graph, episodes=1200,
+                                            seed=0)
+    assert dp_cost <= ld_optimum + 1e-6
+    assert greedy_cost <= 2.0 * dp_cost
+    assert annealed.cost <= 2.0 * ld_optimum
+    assert grover_cost == pytest.approx(ld_optimum)
+    assert rl_cost <= 1.5 * ld_optimum
+
+
+def test_join_order_qubo_ground_state_executes_correctly():
+    """Annealed plan -> executor: the optimized plan returns the same
+    row count as the textbook plan on real data."""
+    catalog = make_star_schema(fact_rows=600, dimension_rows=(30, 12),
+                               seed=6)
+    query = PhysicalQuery(
+        catalog, ["fact", "dim0", "dim1"],
+        predicates=[
+            EquiJoinPredicate("fact", "fk0", "dim0", "id"),
+            EquiJoinPredicate("fact", "fk1", "dim1", "id"),
+        ],
+    )
+    graph = query.to_join_graph()
+    annealed = solve_join_order_annealing(graph)
+    executor = HashJoinExecutor(query)
+    optimized = executor.execute(left_deep_tree(annealed.order))
+    reference = executor.execute(left_deep_tree([0, 1, 2]))
+    assert optimized.row_count == reference.row_count == 600
+
+
+def test_quantum_kernel_shot_noise_converges():
+    """Sampled Gram matrices converge to the exact one as shots grow."""
+    rng = np.random.default_rng(7)
+    X = rng.uniform(0, np.pi, size=(6, 2))
+    encoding = IQPEncoding(2, depth=2)
+    exact = FidelityQuantumKernel(encoding)(X)
+    noisy_small = FidelityQuantumKernel(encoding, shots=16, seed=0)(X)
+    noisy_large = FidelityQuantumKernel(encoding, shots=4096, seed=0)(X)
+    error_small = np.abs(noisy_small - exact).mean()
+    error_large = np.abs(noisy_large - exact).mean()
+    assert error_large < error_small
+    assert error_large < 0.02
+    # Sampled symmetric Gram keeps its symmetry and unit diagonal.
+    assert np.allclose(noisy_large, noisy_large.T)
+    assert np.allclose(np.diag(noisy_large), 1.0)
+
+
+def test_log_proxy_objective_consistency():
+    """The QUBO objective, the cost model's log proxy and direct
+    evaluation of the statevector pipeline agree on every permutation
+    of a small graph."""
+    import itertools
+
+    from repro.db import log_cost_proxy
+
+    graph = random_join_graph(4, "cycle", seed=8)
+    formulation = JoinOrderQUBO(graph)
+    qubo = formulation.build()
+    for order in itertools.permutations(range(4)):
+        bits = formulation.encode_order(order)
+        assert qubo.energy(bits) == pytest.approx(
+            log_cost_proxy(graph, list(order)), abs=1e-6
+        )
+
+
+def test_simulator_backends_agree_on_expectation():
+    """Statevector and density-matrix simulators give identical
+    noiseless expectations on random circuits."""
+    from repro.quantum import (
+        DensityMatrixSimulator,
+        PauliString,
+        random_layered_circuit,
+    )
+
+    circuit = random_layered_circuit(3, 3, seed=9)
+    observable = PauliString("ZXY", 0.8)
+    sv = StatevectorSimulator().expectation(circuit, observable)
+    dm = DensityMatrixSimulator().expectation(circuit, observable)
+    assert sv == pytest.approx(dm, abs=1e-9)
+
+
+def test_qaoa_solves_join_order_qubo_end_to_end():
+    """The full stack in one line of sight: a 3-relation join query
+    compiles to a 9-variable QUBO, runs on the *gate-model* QAOA
+    solver (9 qubits), and decodes to the optimal left-deep order."""
+    graph = random_join_graph(3, "chain", seed=10)
+    formulation = JoinOrderQUBO(graph)
+    qubo = formulation.build()
+    result = QAOASolver(p=2, restarts=2, shots=256, seed=0).solve(qubo)
+    decoded = formulation.decode(result.samples.best_assignment)
+    _, optimum = exhaustive_left_deep(graph)
+    assert decoded.cost <= 1.5 * optimum
+
+
+def test_embedded_solver_runs_db_qubo():
+    """Index selection compiled for Chimera hardware: QUBO -> minor
+    embedding -> physical anneal -> logical decode stays feasible."""
+    from repro.annealing import EmbeddedSolver, chimera_graph
+    from repro.db import IndexSelectionProblem, IndexSelectionQUBO
+
+    problem = IndexSelectionProblem.random(6, seed=11)
+    compiler = IndexSelectionQUBO(problem)
+    qubo = compiler.build()
+    hardware = chimera_graph(3, 3, shore=4)
+    solver = EmbeddedSolver(
+        SimulatedAnnealingSolver(num_sweeps=400, num_reads=20, seed=0),
+        hardware, seed=0,
+    )
+    samples = solver.solve(qubo)
+    best = max(
+        (compiler.decode(s.assignment) for s in samples),
+        key=problem.total_benefit,
+    )
+    assert problem.is_feasible(best)
+    from repro.db import solve_index_selection_exact
+
+    _, exact_benefit = solve_index_selection_exact(problem)
+    assert problem.total_benefit(best) >= 0.7 * exact_benefit

@@ -1,0 +1,164 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Fuzzes the repair decoders of every QUBO compiler with arbitrary bit
+vectors (annealers can hand back anything), and pins down algebraic
+invariants of the schedules, penalties and sample sets.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.annealing import QUBO, Sample, SampleSet
+from repro.annealing.schedules import (
+    default_beta_schedule,
+    geometric_schedule,
+    linear_schedule,
+)
+from repro.db import (
+    IndexSelectionProblem,
+    IndexSelectionQUBO,
+    JoinOrderQUBO,
+    MQOProblem,
+    MQOQUBO,
+    TransactionSchedulingProblem,
+    TransactionSchedulingQUBO,
+    random_join_graph,
+)
+
+# ----------------------------------------------------------------------
+# Decoder fuzzing: any bit vector must decode to a *feasible* solution
+# ----------------------------------------------------------------------
+bits_strategy = st.integers(min_value=0, max_value=2 ** 25 - 1)
+
+
+def _bits(value: int, width: int) -> np.ndarray:
+    return np.array([(value >> k) & 1 for k in range(width)], dtype=int)
+
+
+@settings(max_examples=40, deadline=None)
+@given(raw=bits_strategy, seed=st.integers(min_value=0, max_value=200))
+def test_join_order_decoder_always_returns_permutation(raw, seed):
+    graph = random_join_graph(5, "chain", seed=seed)
+    formulation = JoinOrderQUBO(graph)
+    formulation.build()
+    decoded = formulation.decode(_bits(raw, 25))
+    assert sorted(decoded.order) == list(range(5))
+    assert decoded.cost > 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(raw=st.integers(min_value=0, max_value=2 ** 12 - 1),
+       seed=st.integers(min_value=0, max_value=200))
+def test_mqo_decoder_always_selects_one_plan_per_query(raw, seed):
+    problem = MQOProblem.random(4, 3, seed=seed)
+    compiler = MQOQUBO(problem)
+    compiler.build()
+    selection = compiler.decode(_bits(raw, 12))
+    assert len(selection) == 4
+    for q, k in enumerate(selection):
+        assert 0 <= k < 3
+    # The decoded selection has a finite, evaluable cost.
+    assert np.isfinite(problem.total_cost(selection))
+
+
+@settings(max_examples=40, deadline=None)
+@given(raw=st.integers(min_value=0, max_value=2 ** 16 - 1),
+       seed=st.integers(min_value=0, max_value=200))
+def test_index_decoder_always_feasible(raw, seed):
+    problem = IndexSelectionProblem.random(8, seed=seed)
+    compiler = IndexSelectionQUBO(problem)
+    compiler.build()
+    width = compiler.num_variables
+    selection = compiler.decode(_bits(raw % (2 ** width), width))
+    assert problem.is_feasible(selection)
+    assert len(set(selection)) == len(selection)
+
+
+@settings(max_examples=40, deadline=None)
+@given(raw=st.integers(min_value=0, max_value=2 ** 20 - 1),
+       seed=st.integers(min_value=0, max_value=200))
+def test_scheduling_decoder_always_assigns_every_transaction(raw, seed):
+    problem = TransactionSchedulingProblem.random(5, num_objects=6,
+                                                  seed=seed)
+    compiler = TransactionSchedulingQUBO(problem, num_slots=4)
+    compiler.build()
+    schedule = compiler.decode(_bits(raw, 20))
+    assert len(schedule) == 5
+    assert all(0 <= slot < 4 for slot in schedule)
+
+
+# ----------------------------------------------------------------------
+# Penalty algebra
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(raw=st.integers(min_value=0, max_value=2 ** 5 - 1))
+def test_exactly_one_penalty_zero_iff_one_hot(raw):
+    qubo = QUBO(5).add_penalty_exactly_one(list(range(5)), weight=3.0)
+    bits = _bits(raw, 5)
+    energy = qubo.energy(bits)
+    if bits.sum() == 1:
+        assert energy == pytest.approx(0.0)
+    else:
+        assert energy >= 3.0 - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(raw=st.integers(min_value=0, max_value=2 ** 4 - 1))
+def test_at_most_one_penalty_counts_pairs(raw):
+    qubo = QUBO(4).add_penalty_at_most_one(list(range(4)), weight=2.0)
+    bits = _bits(raw, 4)
+    ones = int(bits.sum())
+    expected = 2.0 * ones * (ones - 1) / 2
+    assert qubo.energy(bits) == pytest.approx(expected)
+
+
+# ----------------------------------------------------------------------
+# Schedules
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(steps=st.integers(min_value=2, max_value=200))
+def test_linear_schedule_endpoints_and_monotonicity(steps):
+    values = linear_schedule(1.0, 5.0, steps)
+    assert len(values) == steps
+    assert values[0] == pytest.approx(1.0)
+    assert values[-1] == pytest.approx(5.0)
+    assert all(b >= a for a, b in zip(values, values[1:]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(steps=st.integers(min_value=2, max_value=200))
+def test_geometric_schedule_constant_ratio(steps):
+    values = geometric_schedule(0.1, 10.0, steps)
+    ratios = [b / a for a, b in zip(values, values[1:])]
+    assert max(ratios) - min(ratios) < 1e-9
+
+
+def test_geometric_schedule_rejects_sign_flip():
+    with pytest.raises(ValueError):
+        geometric_schedule(-1.0, 1.0, 5)
+    with pytest.raises(ValueError):
+        geometric_schedule(0.0, 1.0, 5)
+
+
+def test_default_beta_schedule_increasing():
+    betas = default_beta_schedule(50)
+    assert all(b > a for a, b in zip(betas, betas[1:]))
+
+
+# ----------------------------------------------------------------------
+# SampleSet invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(energies=st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False),
+    min_size=1, max_size=10,
+))
+def test_sampleset_best_is_minimum(energies):
+    samples = [
+        Sample((i,), energy) for i, energy in enumerate(energies)
+    ]
+    sample_set = SampleSet(samples)
+    assert sample_set.best_energy == pytest.approx(min(energies))
+    assert sample_set.success_probability(min(energies)) > 0
