@@ -18,11 +18,26 @@ Opportunities for Database Research":
 * :mod:`repro.datasets` — synthetic dataset generators.
 * :mod:`repro.experiments` — runners regenerating every experiment in
   DESIGN.md.
+* :mod:`repro.telemetry` — spans, counters/gauges, and run-provenance
+  records across all of the above (off by default; see
+  ``repro.telemetry.enable`` / ``REPRO_TELEMETRY=1``).
 """
 
-__version__ = "1.0.0"
+# Single source of truth for the package version; pyproject.toml reads
+# it via ``[tool.setuptools.dynamic]``. Keep it a plain literal so
+# setuptools can extract it statically without importing the package.
+__version__ = "1.1.0"
 
-from . import annealing, baselines, datasets, db, experiments, qml, quantum
+from . import (
+    annealing,
+    baselines,
+    datasets,
+    db,
+    experiments,
+    qml,
+    quantum,
+    telemetry,
+)
 
 __all__ = [
     "annealing",
@@ -32,5 +47,6 @@ __all__ = [
     "experiments",
     "qml",
     "quantum",
+    "telemetry",
     "__version__",
 ]

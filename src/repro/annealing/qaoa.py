@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 from scipy import optimize as scipy_optimize
 
+from .. import telemetry
 from ..quantum.circuit import Circuit
 from ..quantum.statevector import StatevectorSimulator
 from .ising import IsingModel, spins_to_bits
@@ -120,21 +121,32 @@ class QAOASolver:
             probabilities = np.abs(state) ** 2
             return float(probabilities @ energies)
 
+        collector = telemetry.get_collector()
         best_angles: Optional[np.ndarray] = None
         best_value = math.inf
-        for _ in range(self.restarts):
-            start = np.concatenate([
-                self._rng.uniform(0, math.pi, self.p),     # gammas
-                self._rng.uniform(0, math.pi / 2, self.p),  # betas
-            ])
-            method = "COBYLA" if self.optimizer == "cobyla" else "Nelder-Mead"
-            result = scipy_optimize.minimize(
-                expectation, start, method=method,
-                options={"maxiter": self.maxiter},
-            )
-            if result.fun < best_value:
-                best_value = float(result.fun)
-                best_angles = np.asarray(result.x)
+        with telemetry.span("annealing.qaoa.solve"):
+            for _ in range(self.restarts):
+                start = np.concatenate([
+                    self._rng.uniform(0, math.pi, self.p),     # gammas
+                    self._rng.uniform(0, math.pi / 2, self.p),  # betas
+                ])
+                method = ("COBYLA" if self.optimizer == "cobyla"
+                          else "Nelder-Mead")
+                result = scipy_optimize.minimize(
+                    expectation, start, method=method,
+                    options={"maxiter": self.maxiter},
+                )
+                if result.fun < best_value:
+                    best_value = float(result.fun)
+                    best_angles = np.asarray(result.x)
+                if collector is not None:
+                    collector.record("annealing.qaoa.best_expectation",
+                                     best_value)
+        if collector is not None:
+            collector.count("annealing.qaoa.energy_evaluations", nfev)
+            collector.count("annealing.qaoa.restarts", self.restarts)
+            collector.gauge("annealing.problem_size", ising.num_spins)
+            collector.gauge("annealing.qaoa.depth", self.p)
 
         gammas, betas = best_angles[: self.p], best_angles[self.p:]
         final_state = sim.run(qaoa_circuit(ising, gammas, betas))
@@ -149,6 +161,7 @@ class QAOASolver:
 
     def _sample(self, probabilities: np.ndarray, energies: np.ndarray,
                 num_spins: int) -> SampleSet:
+        telemetry.count("quantum.shots", self.shots)
         outcomes = self._rng.choice(
             probabilities.size, size=self.shots, p=probabilities
         )

@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from .. import telemetry
 from .ising import IsingModel, spins_to_bits
 from .qubo import QUBO
 from .results import Sample, SampleSet
@@ -66,27 +67,53 @@ class SimulatedAnnealingSolver:
         if len(betas) != self.num_sweeps:
             raise ValueError("beta_schedule length must equal num_sweeps")
 
+        collector = telemetry.get_collector()
         samples: List[Sample] = []
-        for _ in range(self.num_reads):
-            spins = self._rng.choice((-1.0, 1.0), size=n)
-            for beta in betas:
-                self._sweep(spins, fields, couplings, beta)
-            energy = float(ising.energies(spins[None, :])[0])
-            samples.append(
-                Sample(tuple(spins_to_bits(spins.astype(int))), energy)
-            )
+        accepted_total = 0
+        best_energy = math.inf
+        with telemetry.span("annealing.sa.solve"):
+            for _ in range(self.num_reads):
+                spins = self._rng.choice((-1.0, 1.0), size=n)
+                for beta in betas:
+                    accepted_total += self._sweep(
+                        spins, fields, couplings, beta
+                    )
+                energy = float(ising.energies(spins[None, :])[0])
+                samples.append(
+                    Sample(tuple(spins_to_bits(spins.astype(int))), energy)
+                )
+                if energy < best_energy:
+                    best_energy = energy
+                if collector is not None:
+                    collector.record("annealing.sa.best_energy",
+                                     best_energy)
+        if collector is not None:
+            sweeps = self.num_sweeps * self.num_reads
+            collector.count("annealing.sweeps", sweeps)
+            collector.count("annealing.sa.sweeps", sweeps)
+            collector.count("annealing.sa.reads", self.num_reads)
+            collector.count("annealing.sa.accepted_moves", accepted_total)
+            collector.count("annealing.sa.rejected_moves",
+                            sweeps * n - accepted_total)
+            collector.count("annealing.sa.energy_evaluations",
+                            self.num_reads)
+            collector.gauge("annealing.problem_size", n)
         return SampleSet(samples)
 
     def _sweep(self, spins: np.ndarray, fields: np.ndarray,
-               couplings: np.ndarray, beta: float) -> None:
+               couplings: np.ndarray, beta: float) -> int:
+        """One Metropolis pass; returns the number of accepted flips."""
         n = spins.size
         order = self._rng.permutation(n)
         thresholds = self._rng.random(n)
+        accepted = 0
         for position, i in enumerate(order):
             local = fields[i] + couplings[i] @ spins
             delta = -2.0 * spins[i] * local
             if delta <= 0 or thresholds[position] < math.exp(-beta * delta):
                 spins[i] = -spins[i]
+                accepted += 1
+        return accepted
 
 
 def auto_beta_schedule(ising: IsingModel, num_sweeps: int

@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from .. import telemetry
 from .ising import IsingModel, spins_to_bits
 from .qubo import QUBO
 from .results import Sample, SampleSet
@@ -94,20 +95,47 @@ class SimulatedQuantumAnnealingSolver:
         if len(gammas) != self.num_sweeps:
             raise ValueError("gamma_schedule length must equal num_sweeps")
 
+        collector = telemetry.get_collector()
         samples: List[Sample] = []
-        for _ in range(self.num_reads):
-            replicas = self._rng.choice((-1.0, 1.0), size=(p, n))
-            for gamma in gammas:
-                j_perp = self._interslice_coupling(gamma)
-                self._sweep(replicas, fields, couplings, j_perp)
-                self._global_sweep(replicas, fields, couplings)
-            slice_energies = ising.energies(replicas)
-            best_slice = int(np.argmin(slice_energies))
-            spins = replicas[best_slice].astype(int)
-            samples.append(
-                Sample(tuple(spins_to_bits(spins)),
-                       float(slice_energies[best_slice]))
-            )
+        accepted_local = 0
+        accepted_global = 0
+        best_energy = math.inf
+        with telemetry.span("annealing.sqa.solve"):
+            for _ in range(self.num_reads):
+                replicas = self._rng.choice((-1.0, 1.0), size=(p, n))
+                for gamma in gammas:
+                    j_perp = self._interslice_coupling(gamma)
+                    accepted_local += self._sweep(
+                        replicas, fields, couplings, j_perp
+                    )
+                    accepted_global += self._global_sweep(
+                        replicas, fields, couplings
+                    )
+                slice_energies = ising.energies(replicas)
+                best_slice = int(np.argmin(slice_energies))
+                spins = replicas[best_slice].astype(int)
+                samples.append(
+                    Sample(tuple(spins_to_bits(spins)),
+                           float(slice_energies[best_slice]))
+                )
+                if slice_energies[best_slice] < best_energy:
+                    best_energy = float(slice_energies[best_slice])
+                if collector is not None:
+                    collector.record("annealing.sqa.best_energy",
+                                     best_energy)
+        if collector is not None:
+            sweeps = self.num_sweeps * self.num_reads
+            collector.count("annealing.sweeps", sweeps)
+            collector.count("annealing.sqa.sweeps", sweeps)
+            collector.count("annealing.sqa.reads", self.num_reads)
+            collector.count("annealing.sqa.accepted_local_moves",
+                            accepted_local)
+            collector.count("annealing.sqa.accepted_worldline_moves",
+                            accepted_global)
+            collector.count("annealing.sqa.energy_evaluations",
+                            self.num_reads * p)
+            collector.gauge("annealing.problem_size", n)
+            collector.gauge("annealing.sqa.num_slices", p)
         return SampleSet(samples)
 
     def _interslice_coupling(self, gamma: float) -> float:
@@ -115,9 +143,11 @@ class SimulatedQuantumAnnealingSolver:
         return -0.5 / self.beta * math.log(math.tanh(argument))
 
     def _sweep(self, replicas: np.ndarray, fields: np.ndarray,
-               couplings: np.ndarray, j_perp: float) -> None:
+               couplings: np.ndarray, j_perp: float) -> int:
+        """Slice-local Metropolis pass; returns accepted flip count."""
         p, n = replicas.shape
         beta_slice = self.beta / p
+        accepted = 0
         for k in range(p):
             up = (k + 1) % p
             down = (k - 1) % p
@@ -134,9 +164,11 @@ class SimulatedQuantumAnnealingSolver:
                             - self.beta * delta_perp)
                 if exponent >= 0 or thresholds[position] < math.exp(exponent):
                     replicas[k, i] = -replicas[k, i]
+                    accepted += 1
+        return accepted
 
     def _global_sweep(self, replicas: np.ndarray, fields: np.ndarray,
-                      couplings: np.ndarray) -> None:
+                      couplings: np.ndarray) -> int:
         """Flip one spin in *all* slices at once.
 
         These worldline moves leave the interslice coupling invariant
@@ -147,9 +179,12 @@ class SimulatedQuantumAnnealingSolver:
         beta_slice = self.beta / p
         order = self._rng.permutation(n)
         thresholds = self._rng.random(n)
+        accepted = 0
         for position, i in enumerate(order):
             local = fields[i] + replicas @ couplings[i]
             delta = float((-2.0 * replicas[:, i] * local).sum())
             exponent = -beta_slice * delta
             if exponent >= 0 or thresholds[position] < math.exp(exponent):
                 replicas[:, i] = -replicas[:, i]
+                accepted += 1
+        return accepted

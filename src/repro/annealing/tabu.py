@@ -12,6 +12,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from .. import telemetry
 from .qubo import QUBO
 from .results import Sample, SampleSet
 
@@ -46,7 +47,25 @@ class TabuSearchSolver:
         q = model.matrix()
         q_sym = q + q.T  # for fast flip deltas; diagonal handled apart
         diagonal = np.diag(q)
+        collector = telemetry.get_collector()
         samples: List[Sample] = []
+        with telemetry.span("annealing.tabu.solve"):
+            self._solve_restarts(model, n, tenure, q_sym, diagonal, samples)
+        if collector is not None:
+            iterations = self.num_restarts * self.max_iterations
+            collector.count("annealing.tabu.restarts", self.num_restarts)
+            collector.count("annealing.tabu.iterations", iterations)
+            # Every iteration scores the full single-flip neighborhood.
+            collector.count("annealing.tabu.move_evaluations",
+                            iterations * n)
+            collector.record("annealing.tabu.best_energy",
+                             min(s.energy for s in samples))
+            collector.gauge("annealing.problem_size", n)
+        return SampleSet(samples)
+
+    def _solve_restarts(self, model: QUBO, n: int, tenure: int,
+                        q_sym: np.ndarray, diagonal: np.ndarray,
+                        samples: List[Sample]) -> None:
         for _ in range(self.num_restarts):
             bits = self._rng.integers(0, 2, size=n).astype(float)
             energy = float(model.energies(bits[None, :])[0])
@@ -76,4 +95,3 @@ class TabuSearchSolver:
             samples.append(
                 Sample(tuple(int(b) for b in best_bits), best_energy)
             )
-        return SampleSet(samples)

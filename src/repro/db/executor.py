@@ -17,6 +17,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from .catalog import Catalog
 from .cost import selectivity_from_stats
 from .query import JoinGraph, JoinTree
@@ -117,11 +118,21 @@ class HashJoinExecutor:
                 max_intermediate_rows: int = 5_000_000) -> ExecutionResult:
         """Run the plan; raises if a cross product would explode."""
         sizes: Dict[frozenset, int] = {}
-        rowids = self._execute_node(tree, sizes, max_intermediate_rows)
+        with telemetry.span("db.executor.execute"):
+            rowids = self._execute_node(tree, sizes, max_intermediate_rows)
         count = _result_length(rowids)
         actual_cost = float(sum(
             size for relations, size in sizes.items() if len(relations) > 1
         ))
+        collector = telemetry.get_collector()
+        if collector is not None:
+            collector.count("db.plans_executed")
+            collector.count(
+                "db.joins",
+                sum(1 for relations in sizes if len(relations) > 1),
+            )
+            collector.count("db.intermediate_rows", int(actual_cost))
+            collector.count("db.output_rows", count)
         return ExecutionResult(
             row_count=count,
             intermediate_sizes=sizes,

@@ -2,37 +2,147 @@
 
 Usage::
 
-    python -m repro.experiments            # list experiments
-    python -m repro.experiments E8         # run one at full scale
-    python -m repro.experiments E8 E12     # run several
+    python -m repro.experiments                 # list experiments
+    python -m repro.experiments E8              # run one at full scale
+    python -m repro.experiments E8 E12          # run several
+    python -m repro.experiments E8 --telemetry  # + spans/counters report
+    python -m repro.experiments E8 --telemetry --json-out e8.json
+    python -m repro.experiments E8 --set "sizes=(4,)" --set seed=1
+
+``--set key=value`` forwards keyword overrides to every experiment run
+(values are parsed as Python literals, falling back to strings), which
+is how CI runs experiments at reduced scale. ``--json-out`` writes one
+record per experiment with the result rows, a provenance block
+(experiment id, kwargs, seed, version, git SHA, duration) and the
+metrics snapshot — the same schema as the ``BENCH_*.json`` trajectory
+files written by ``benchmarks/conftest.py``.
 """
 
 from __future__ import annotations
 
+import argparse
+import ast
+import json
+import os
 import sys
 import time
+from typing import Any, Dict, List
 
+from .. import telemetry
 from .harness import available_experiments, format_table, run_experiment
 
 
+def _parse_setting(text: str) -> tuple:
+    """``key=value`` -> (key, literal-parsed value)."""
+    key, separator, raw = text.partition("=")
+    if not separator or not key:
+        raise ValueError(
+            f"--set expects key=value, got {text!r}"
+        )
+    try:
+        value = ast.literal_eval(raw)
+    except (ValueError, SyntaxError):
+        value = raw
+    return key.strip(), value
+
+
+def _json_default(value: Any) -> Any:
+    """Serialize numpy scalars/arrays that leak into result rows."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):
+        return tolist()
+    return repr(value)
+
+
+def _experiment_record(result) -> Dict[str, Any]:
+    record: Dict[str, Any] = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "columns": result.columns,
+        "rows": result.rows,
+        "notes": result.notes,
+    }
+    if result.provenance is not None:
+        record["provenance"] = result.provenance
+    if result.metrics is not None:
+        record["metrics"] = result.metrics
+    return record
+
+
 def main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run DESIGN.md experiments from the registry.",
+    )
+    parser.add_argument("ids", nargs="*", metavar="ID",
+                        help="experiment ids (e.g. E8 A1); none lists all")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="collect spans/counters/provenance and print "
+                             "a report per experiment")
+    parser.add_argument("--json-out", metavar="FILE",
+                        help="write results + provenance + metrics as JSON "
+                             "(implies --telemetry)")
+    parser.add_argument("--set", dest="settings", action="append",
+                        default=[], metavar="KEY=VALUE",
+                        help="keyword override forwarded to every "
+                             "experiment (python literal; repeatable)")
+    args = parser.parse_args(argv)
+
     experiments = available_experiments()
-    if not argv:
+    if not args.ids:
         print("Available experiments:")
         for experiment_id in sorted(experiments,
-                                    key=lambda e: int(e[1:])):
+                                    key=lambda e: (e[0], int(e[1:]))):
             print(f"  {experiment_id:<4} {experiments[experiment_id]}")
         print("\nRun with: python -m repro.experiments <id> [<id> ...]")
         return 0
-    unknown = [e for e in argv if e not in experiments]
+    unknown = [e for e in args.ids if e not in experiments]
     if unknown:
         print(f"unknown experiment id(s): {unknown}", file=sys.stderr)
         return 2
-    for experiment_id in argv:
-        start = time.time()
-        result = run_experiment(experiment_id)
+    try:
+        overrides = dict(_parse_setting(s) for s in args.settings)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    use_telemetry = (args.telemetry or args.json_out is not None
+                     or telemetry.is_enabled())
+    records: List[Dict[str, Any]] = []
+    for experiment_id in args.ids:
+        # One fresh collector per experiment so counters, spans and the
+        # attached metrics snapshot are scoped to that run alone.
+        collector = telemetry.enable() if use_telemetry else None
+        start = time.perf_counter()
+        result = run_experiment(experiment_id, **overrides)
+        elapsed = time.perf_counter() - start
         print(format_table(result))
-        print(f"[{time.time() - start:.1f}s]\n")
+        if collector is not None:
+            span_path = f"experiment.{experiment_id}"
+            span = collector.snapshot()["spans"].get(span_path, {})
+            print(f"[{span.get('total_seconds', elapsed):.1f}s]")
+            print(telemetry.render_report(collector))
+            print()
+            records.append(_experiment_record(result))
+            telemetry.disable()
+        else:
+            print(f"[{elapsed:.1f}s]\n")
+    if args.json_out is not None:
+        document = {
+            "schema": "repro-telemetry/v1",
+            "experiments": records,
+        }
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True,
+                      default=_json_default)
+            handle.write("\n")
+        print(f"wrote {os.path.abspath(args.json_out)}")
     return 0
 
 

@@ -11,19 +11,30 @@ ad-hoc exploration all share one code path:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from .. import telemetry
 
 
 @dataclass
 class ExperimentResult:
-    """One experiment's output table."""
+    """One experiment's output table.
+
+    When telemetry is enabled, :func:`run_experiment` also attaches a
+    run-provenance record and the metrics collected during the run
+    (counter deltas, span timings, gauges, series); both stay ``None``
+    otherwise.
+    """
 
     experiment_id: str
     title: str
     columns: List[str]
     rows: List[Dict[str, Any]]
     notes: str = ""
+    provenance: Optional[Dict[str, Any]] = None
+    metrics: Optional[Dict[str, Any]] = None
 
     def column(self, name: str) -> List[Any]:
         """Extract one column across all rows."""
@@ -65,7 +76,20 @@ def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
             f"unknown experiment {experiment_id!r}; available: "
             f"{sorted(_REGISTRY)}"
         )
-    return _REGISTRY[experiment_id](**kwargs)
+    collector = telemetry.get_collector()
+    if collector is None:
+        return _REGISTRY[experiment_id](**kwargs)
+    counters_before = collector.counters_snapshot()
+    start = time.perf_counter()
+    with collector.span(f"experiment.{experiment_id}"):
+        result = _REGISTRY[experiment_id](**kwargs)
+    duration = time.perf_counter() - start
+    result.provenance = telemetry.collect_provenance(
+        experiment_id, kwargs, duration_seconds=duration,
+        title=_TITLES[experiment_id],
+    ).to_dict()
+    result.metrics = collector.snapshot(counters_since=counters_before)
+    return result
 
 
 def format_table(result: ExperimentResult,

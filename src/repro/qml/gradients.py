@@ -20,6 +20,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..quantum.circuit import (
     Circuit,
     Instruction,
@@ -68,11 +69,13 @@ def parameter_shift_gradient(circuit: Circuit, observable,
         )
     binding = dict(zip(params, values))
     bound = circuit.bind(binding)
+    telemetry.count("qml.gradient_evaluations")
     gradient = np.zeros(len(params))
-    for k, param in enumerate(params):
-        gradient[k] = _single_parameter_gradient(
-            circuit, bound, observable, param, binding, sim
-        )
+    with telemetry.span("qml.parameter_shift"):
+        for k, param in enumerate(params):
+            gradient[k] = _single_parameter_gradient(
+                circuit, bound, observable, param, binding, sim
+            )
     return gradient
 
 

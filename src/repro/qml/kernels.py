@@ -19,6 +19,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..baselines.svm import SVM
 from ..quantum.statevector import marginal_probabilities
 from .encoding import Encoding, IQPEncoding
@@ -52,14 +53,17 @@ class FidelityQuantumKernel:
     def __call__(self, X: np.ndarray,
                  Z: Optional[np.ndarray] = None) -> np.ndarray:
         """Gram matrix between rows of X and rows of Z (default X)."""
-        states_x = self.encoded_states(X)
-        states_z = states_x if Z is None else self.encoded_states(Z)
-        overlaps = states_x @ states_z.conj().T
-        exact = np.abs(overlaps) ** 2
-        if self.shots is None:
-            return exact
-        symmetric = Z is None
-        return self._sampled_gram(exact, symmetric)
+        with telemetry.span("qml.kernel.gram"):
+            states_x = self.encoded_states(X)
+            states_z = states_x if Z is None else self.encoded_states(Z)
+            overlaps = states_x @ states_z.conj().T
+            exact = np.abs(overlaps) ** 2
+            telemetry.count("qml.kernel_entries", exact.size)
+            if self.shots is None:
+                return exact
+            telemetry.count("quantum.shots", self.shots * exact.size)
+            symmetric = Z is None
+            return self._sampled_gram(exact, symmetric)
 
     def _sampled_gram(self, exact: np.ndarray,
                       symmetric: bool) -> np.ndarray:
@@ -116,10 +120,13 @@ class ProjectedQuantumKernel:
 
     def __call__(self, X: np.ndarray,
                  Z: Optional[np.ndarray] = None) -> np.ndarray:
-        feats_x = self.features(X)
-        feats_z = feats_x if Z is None else self.features(Z)
-        sq = ((feats_x[:, None, :] - feats_z[None, :, :]) ** 2).sum(axis=2)
-        return np.exp(-self.gamma * sq)
+        with telemetry.span("qml.kernel.projected_gram"):
+            feats_x = self.features(X)
+            feats_z = feats_x if Z is None else self.features(Z)
+            sq = ((feats_x[:, None, :]
+                   - feats_z[None, :, :]) ** 2).sum(axis=2)
+            telemetry.count("qml.kernel_entries", sq.size)
+            return np.exp(-self.gamma * sq)
 
 
 def kernel_target_alignment(gram: np.ndarray, y: np.ndarray) -> float:

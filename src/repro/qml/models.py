@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from .. import telemetry
 from ..quantum.circuit import Circuit, Parameter
 from ..quantum.operators import PauliSum, single_z
 from ..quantum.measurement import expectation_with_shots
@@ -81,6 +82,7 @@ class _VariationalModel:
 
     def _raw_output(self, x: Sequence[float],
                     weights: np.ndarray) -> float:
+        telemetry.count("qml.circuit_evaluations")
         circuit = self._full_circuit(x).bind(
             dict(zip(self._weight_params, weights))
         )
@@ -134,13 +136,15 @@ class _VariationalModel:
         def resample(iteration: int, weights: np.ndarray,
                      value: float) -> None:
             self.loss_history_.append(value)
+            telemetry.record("qml.loss", value)
             rows_holder["rows"] = batch_rows()
 
         self.loss_history_ = []
-        result = self.optimizer.minimize(
-            loss, weights0, gradient=gradient, max_iter=self.epochs,
-            callback=resample,
-        )
+        with telemetry.span("qml.fit"):
+            result = self.optimizer.minimize(
+                loss, weights0, gradient=gradient, max_iter=self.epochs,
+                callback=resample,
+            )
         state["weights"] = result.x
         self.weights_ = result.x
 

@@ -15,6 +15,7 @@ from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from .circuit import Circuit
 from .gates import gate_matrix
 
@@ -81,8 +82,23 @@ class StatevectorSimulator:
                 raise ValueError(
                     f"initial state must have length {2 ** n}"
                 )
+        collector = telemetry.get_collector()
+        if collector is None:  # disabled: plain loop, zero accounting
+            for inst in circuit.instructions:
+                state = apply_matrix(state, inst.matrix(), inst.qubits, n)
+            return state
+        with collector.span("quantum.run"):
+            for inst in circuit.instructions:
+                state = apply_matrix(state, inst.matrix(), inst.qubits, n)
+        collector.count("quantum.circuit_evaluations")
+        collector.count("quantum.gate_applications",
+                        len(circuit.instructions))
+        tally: Dict[str, int] = {}
         for inst in circuit.instructions:
-            state = apply_matrix(state, inst.matrix(), inst.qubits, n)
+            tally[inst.name] = tally.get(inst.name, 0) + 1
+        for name, occurrences in tally.items():
+            collector.count(f"quantum.gate.{name}", occurrences)
+        collector.gauge("quantum.statevector_bytes", int(state.nbytes))
         return state
 
     def probabilities(self, circuit: Circuit) -> np.ndarray:
@@ -94,6 +110,7 @@ class StatevectorSimulator:
         """Sample measurement outcomes; keys are bitstrings, qubit 0 first."""
         if shots < 1:
             raise ValueError("shots must be positive")
+        telemetry.count("quantum.shots", shots)
         probs = self.probabilities(circuit)
         n = circuit.num_qubits
         outcomes = self._rng.choice(len(probs), size=shots, p=_renorm(probs))

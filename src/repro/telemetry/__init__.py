@@ -1,0 +1,138 @@
+"""repro.telemetry — spans, counters, and run provenance.
+
+Zero-dependency instrumentation for the whole stack. The costs the
+tutorial reasons about — gate applications, circuit and gradient
+evaluations, annealing sweeps, accepted/rejected moves, shots — are
+collected into one in-process :class:`Collector` together with
+hierarchical span timings and a run-provenance record, and export to
+dict / JSON / JSONL / text report.
+
+Telemetry is **off by default and cheap when off**: the module-level
+helpers and every instrumented hot path guard on a single attribute
+check (``get_collector() is None``) and fall through to no-ops, so the
+disabled overhead is one function call per *operation* (circuit run,
+anneal, Gram matrix), never per gate or per spin flip.
+
+Enable it one of three ways::
+
+    from repro import telemetry
+    collector = telemetry.enable()          # 1. programmatically
+    # REPRO_TELEMETRY=1 python ...          # 2. environment variable
+    # python -m repro.experiments E8 --telemetry   # 3. CLI flag
+
+    sim.run(circuit)                        # instrumented code runs
+    print(telemetry.render_report(collector))
+    collector.snapshot()                    # dict; .to_json(), .to_jsonl()
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from .collector import Collector, SpanStats
+from .provenance import RunProvenance, collect_provenance, git_sha
+from .report import render_report
+
+__all__ = [
+    "Collector",
+    "RunProvenance",
+    "SpanStats",
+    "collect_provenance",
+    "count",
+    "disable",
+    "enable",
+    "enable_from_env",
+    "gauge",
+    "get_collector",
+    "git_sha",
+    "is_enabled",
+    "record",
+    "render_report",
+    "span",
+]
+
+ENV_VAR = "REPRO_TELEMETRY"
+
+_collector: Optional[Collector] = None
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager returned while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+def enable(collector: Optional[Collector] = None) -> Collector:
+    """Install (and return) the global collector; metrics flow after this."""
+    global _collector
+    _collector = collector if collector is not None else Collector()
+    return _collector
+
+
+def disable() -> None:
+    """Remove the global collector; instrumented code reverts to no-ops."""
+    global _collector
+    _collector = None
+
+
+def is_enabled() -> bool:
+    return _collector is not None
+
+
+def get_collector() -> Optional[Collector]:
+    """The active collector, or None when telemetry is disabled.
+
+    Hot paths fetch this once per operation and branch on it, so the
+    disabled cost is a single call + identity check.
+    """
+    return _collector
+
+
+def enable_from_env(env_var: str = ENV_VAR) -> Optional[Collector]:
+    """Enable telemetry when the environment variable opts in."""
+    if os.environ.get(env_var, "").strip().lower() in {"1", "true",
+                                                       "yes", "on"}:
+        return enable()
+    return None
+
+
+# -- module-level conveniences (each guards on the one attribute) -------
+def span(name: str):
+    """Span context manager; a shared no-op when telemetry is disabled."""
+    collector = _collector
+    if collector is None:
+        return _NOOP_SPAN
+    return collector.span(name)
+
+
+def count(name: str, value: float = 1) -> None:
+    collector = _collector
+    if collector is not None:
+        collector.count(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    collector = _collector
+    if collector is not None:
+        collector.gauge(name, value)
+
+
+def record(name: str, value: float) -> None:
+    collector = _collector
+    if collector is not None:
+        collector.record(name, value)
+
+
+# Honour REPRO_TELEMETRY=1 at import so library users (not just the
+# CLI) can turn on collection without touching code.
+enable_from_env()

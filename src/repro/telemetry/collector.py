@@ -1,0 +1,231 @@
+"""In-process metrics collection: spans, counters, gauges, series.
+
+The :class:`Collector` is a thread-safe registry of four metric kinds:
+
+* **spans** — context-manager timers keyed by a ``parent/child`` path.
+  Nesting is tracked per thread, so a span opened inside another span
+  aggregates under the combined path (``experiment.E8/annealing.sa.solve``).
+  Per-path statistics (count, total, min, max) are aggregated in place,
+  which bounds memory no matter how many times a span fires.
+* **counters** — monotonically increasing totals (gate applications,
+  annealing sweeps, circuit evaluations, ...).
+* **gauges** — last-written values (statevector bytes, problem size).
+* **series** — bounded append-only value lists (best-energy
+  trajectories, loss curves).
+
+Everything exports to a plain dict (:meth:`Collector.snapshot`), JSON,
+and JSONL; :mod:`repro.telemetry.report` renders the text report.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional
+
+#: Per-series cap; trajectories past this length drop new points and
+#: bump the ``truncated`` count so exports stay bounded.
+MAX_SERIES_POINTS = 10_000
+
+
+@dataclass
+class SpanStats:
+    """Aggregated timing statistics for one span path."""
+
+    count: int = 0
+    total_seconds: float = 0.0
+    min_seconds: float = math.inf
+    max_seconds: float = 0.0
+
+    def observe(self, duration: float) -> None:
+        self.count += 1
+        self.total_seconds += duration
+        if duration < self.min_seconds:
+            self.min_seconds = duration
+        if duration > self.max_seconds:
+            self.max_seconds = duration
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total_seconds": self.total_seconds,
+            "mean_seconds": self.mean_seconds,
+            "min_seconds": self.min_seconds if self.count else 0.0,
+            "max_seconds": self.max_seconds,
+        }
+
+
+class _SpanHandle:
+    """Context manager for one span activation.
+
+    Entering pushes the span's full path onto the calling thread's
+    stack (establishing parentage for spans opened inside), exiting
+    records the elapsed ``time.perf_counter`` duration.
+    """
+
+    __slots__ = ("_collector", "name", "path", "_start")
+
+    def __init__(self, collector: "Collector", name: str):
+        self._collector = collector
+        self.name = name
+        self.path = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_SpanHandle":
+        stack = self._collector._span_stack()
+        parent = stack[-1] if stack else ""
+        self.path = f"{parent}/{self.name}" if parent else self.name
+        stack.append(self.path)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._start
+        stack = self._collector._span_stack()
+        if stack and stack[-1] == self.path:
+            stack.pop()
+        self._collector._observe_span(self.path, duration)
+        return False
+
+
+class Collector:
+    """Thread-safe in-process metrics registry."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._spans: Dict[str, SpanStats] = {}
+        self._series: Dict[str, List[float]] = {}
+        self._series_truncated: Dict[str, int] = {}
+        self.created_at = time.time()
+
+    # -- span machinery -------------------------------------------------
+    def _span_stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _observe_span(self, path: str, duration: float) -> None:
+        with self._lock:
+            stats = self._spans.get(path)
+            if stats is None:
+                stats = self._spans[path] = SpanStats()
+            stats.observe(duration)
+
+    def span(self, name: str) -> _SpanHandle:
+        """Timer context manager; nests under the current thread's span."""
+        return _SpanHandle(self, name)
+
+    def current_span_path(self) -> Optional[str]:
+        """Path of the innermost open span on this thread, if any."""
+        stack = self._span_stack()
+        return stack[-1] if stack else None
+
+    # -- scalar metrics --------------------------------------------------
+    def count(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to a named counter (creates it at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a named gauge to its latest value."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def record(self, name: str, value: float) -> None:
+        """Append one point to a named series (bounded)."""
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                series = self._series[name] = []
+            if len(series) < MAX_SERIES_POINTS:
+                series.append(float(value))
+            else:
+                self._series_truncated[name] = (
+                    self._series_truncated.get(name, 0) + 1
+                )
+
+    # -- export ----------------------------------------------------------
+    def counters_snapshot(self) -> Dict[str, float]:
+        """Copy of the counter totals (for later delta computation)."""
+        with self._lock:
+            return dict(self._counters)
+
+    def snapshot(self, counters_since: Optional[Mapping[str, float]] = None
+                 ) -> Dict[str, Any]:
+        """Plain-dict view of everything collected so far.
+
+        ``counters_since`` (a prior :meth:`counters_snapshot`) turns the
+        counters section into deltas, so callers can scope totals to one
+        experiment while the collector keeps running.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            spans = {path: stats.to_dict()
+                     for path, stats in self._spans.items()}
+            series = {
+                name: {
+                    "values": list(values),
+                    "truncated": self._series_truncated.get(name, 0),
+                }
+                for name, values in self._series.items()
+            }
+        if counters_since is not None:
+            counters = {
+                name: total - counters_since.get(name, 0)
+                for name, total in counters.items()
+                if total != counters_since.get(name, 0)
+            }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "spans": spans,
+            "series": series,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_jsonl(self) -> str:
+        """The snapshot as JSON lines, one metric per line."""
+        snap = self.snapshot()
+        lines = []
+        for name, value in sorted(snap["counters"].items()):
+            lines.append(json.dumps(
+                {"type": "counter", "name": name, "value": value}
+            ))
+        for name, value in sorted(snap["gauges"].items()):
+            lines.append(json.dumps(
+                {"type": "gauge", "name": name, "value": value}
+            ))
+        for path, stats in sorted(snap["spans"].items()):
+            lines.append(json.dumps(
+                {"type": "span", "path": path, **stats}
+            ))
+        for name, series in sorted(snap["series"].items()):
+            lines.append(json.dumps(
+                {"type": "series", "name": name, **series}
+            ))
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Drop every metric; open span nesting is left untouched."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._spans.clear()
+            self._series.clear()
+            self._series_truncated.clear()

@@ -1,0 +1,120 @@
+"""Run-provenance records: who ran what, where, with which inputs.
+
+A provenance record pins down everything needed to reproduce (or
+distrust) one experiment run: the experiment id, the exact kwargs, the
+seed, the package version, the git commit if the source tree is a
+checkout, the platform, and the measured duration. The experiment
+harness attaches one to every :class:`ExperimentResult` when telemetry
+is enabled, and the CLI writes it into ``--json-out`` files.
+"""
+
+from __future__ import annotations
+
+import datetime
+import functools
+import os
+import platform
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+@dataclass
+class RunProvenance:
+    """Reproducibility metadata for one run."""
+
+    experiment_id: str
+    kwargs: Dict[str, Any]
+    seed: Optional[int]
+    version: str
+    git_sha: Optional[str]
+    platform: str
+    python: str
+    started_at: str
+    duration_seconds: float
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        record = {
+            "experiment_id": self.experiment_id,
+            "kwargs": self.kwargs,
+            "seed": self.seed,
+            "version": self.version,
+            "git_sha": self.git_sha,
+            "platform": self.platform,
+            "python": self.python,
+            "started_at": self.started_at,
+            "duration_seconds": self.duration_seconds,
+        }
+        record.update(self.extra)
+        return record
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion to JSON-serializable builtins."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    # numpy scalars and anything else: item() if available, else repr.
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return _jsonable(item())
+        except Exception:
+            pass
+    return repr(value)
+
+
+@functools.lru_cache(maxsize=1)
+def git_sha() -> Optional[str]:
+    """Short commit hash of the source checkout, or None outside git."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=here, capture_output=True, text=True, timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def collect_provenance(experiment_id: str,
+                       kwargs: Optional[Dict[str, Any]] = None,
+                       duration_seconds: float = 0.0,
+                       started_at: Optional[str] = None,
+                       **extra: Any) -> RunProvenance:
+    """Assemble a :class:`RunProvenance` for one run.
+
+    ``seed`` is lifted out of ``kwargs`` when present, matching the
+    repo-wide convention that every stochastic runner takes ``seed=``.
+    """
+    from repro import __version__
+
+    kwargs = dict(kwargs or {})
+    seed = kwargs.get("seed")
+    if seed is not None and not isinstance(seed, int):
+        seed = _jsonable(seed)
+    if started_at is None:
+        started_at = (
+            datetime.datetime.now(datetime.timezone.utc)
+            .isoformat(timespec="seconds")
+        )
+    return RunProvenance(
+        experiment_id=experiment_id,
+        kwargs={k: _jsonable(v) for k, v in kwargs.items()},
+        seed=seed,
+        version=__version__,
+        git_sha=git_sha(),
+        platform=platform.platform(),
+        python=sys.version.split()[0],
+        started_at=started_at,
+        duration_seconds=float(duration_seconds),
+        extra={k: _jsonable(v) for k, v in extra.items()},
+    )

@@ -1,0 +1,95 @@
+"""Text rendering of a metrics snapshot.
+
+``render_report`` turns a :meth:`Collector.snapshot` dict (or a live
+collector) into the aligned text block the experiments CLI prints after
+each ``--telemetry`` run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Union
+
+from .collector import Collector
+
+
+def _format_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+def _format_number(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4g}"
+    return f"{int(value):,}"
+
+
+def _aligned(rows: List[List[str]], indent: str = "  ") -> List[str]:
+    if not rows:
+        return []
+    widths = [max(len(row[i]) for row in rows)
+              for i in range(len(rows[0]))]
+    return [
+        indent + "  ".join(cell.ljust(widths[i])
+                           for i, cell in enumerate(row)).rstrip()
+        for row in rows
+    ]
+
+
+def render_report(metrics: Union[Collector, Mapping[str, Any]]) -> str:
+    """Aligned, human-readable view of spans, counters, gauges, series."""
+    if isinstance(metrics, Collector):
+        metrics = metrics.snapshot()
+    lines: List[str] = ["telemetry report"]
+
+    spans: Dict[str, Dict[str, float]] = metrics.get("spans", {})
+    if spans:
+        lines.append("spans (path  count  total  mean):")
+        rows = [
+            [path,
+             _format_number(stats["count"]),
+             _format_seconds(stats["total_seconds"]),
+             _format_seconds(stats["mean_seconds"])]
+            for path, stats in sorted(
+                spans.items(),
+                key=lambda item: -item[1]["total_seconds"],
+            )
+        ]
+        lines.extend(_aligned(rows))
+
+    counters: Dict[str, float] = metrics.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        rows = [[name, _format_number(value)]
+                for name, value in sorted(counters.items())]
+        lines.extend(_aligned(rows))
+
+    gauges: Dict[str, float] = metrics.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        rows = [[name, _format_number(value)]
+                for name, value in sorted(gauges.items())]
+        lines.extend(_aligned(rows))
+
+    series: Dict[str, Dict[str, Any]] = metrics.get("series", {})
+    if series:
+        lines.append("series (name  points  first  last  best):")
+        rows = []
+        for name, entry in sorted(series.items()):
+            values = entry.get("values", [])
+            if not values:
+                continue
+            rows.append([
+                name,
+                _format_number(len(values) + entry.get("truncated", 0)),
+                f"{values[0]:.4g}",
+                f"{values[-1]:.4g}",
+                f"{min(values):.4g}",
+            ])
+        lines.extend(_aligned(rows))
+
+    if len(lines) == 1:
+        lines.append("  (no metrics collected)")
+    return "\n".join(lines)

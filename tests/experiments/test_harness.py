@@ -28,6 +28,29 @@ def test_run_unknown_experiment():
         run_experiment("E99")
 
 
+def test_run_unknown_experiment_message_lists_available():
+    with pytest.raises(KeyError) as excinfo:
+        run_experiment("nope")
+    message = str(excinfo.value)
+    assert "unknown experiment 'nope'" in message
+    assert "available" in message
+
+
+def test_register_duplicate_id_raises():
+    from repro.experiments.harness import _REGISTRY, _TITLES, register
+
+    def runner():
+        raise AssertionError("runner must never execute")
+
+    register("ZZ_DUP", "duplicate-registration probe")(runner)
+    try:
+        with pytest.raises(ValueError, match="registered twice"):
+            register("ZZ_DUP", "duplicate-registration probe")(runner)
+    finally:
+        _REGISTRY.pop("ZZ_DUP", None)
+        _TITLES.pop("ZZ_DUP", None)
+
+
 def test_result_column_extraction():
     result = ExperimentResult(
         "EX", "demo", ["a", "b"],

@@ -1,0 +1,365 @@
+"""Tests for repro.telemetry: spans, counters, provenance, CLI wiring."""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.quantum import Circuit, StatevectorSimulator
+from repro.quantum.statevector import apply_matrix
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    """Every test starts and ends with telemetry disabled."""
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+def _representative_circuit(num_qubits=5, layers=4) -> Circuit:
+    qc = Circuit(num_qubits)
+    for layer in range(layers):
+        for q in range(num_qubits):
+            qc.ry(0.3 * (layer + 1), q)
+        for q in range(num_qubits - 1):
+            qc.cx(q, q + 1)
+    return qc
+
+
+# -- enable/disable ----------------------------------------------------
+def test_disabled_by_default_and_noop():
+    assert telemetry.get_collector() is None
+    assert not telemetry.is_enabled()
+    # Module helpers must be safe no-ops while disabled.
+    telemetry.count("x")
+    telemetry.gauge("x", 1.0)
+    telemetry.record("x", 1.0)
+    with telemetry.span("x"):
+        pass
+    # The shared no-op span is reused, never a fresh allocation per call.
+    assert telemetry.span("a") is telemetry.span("b")
+
+
+def test_enable_disable_cycle():
+    collector = telemetry.enable()
+    assert telemetry.is_enabled()
+    assert telemetry.get_collector() is collector
+    telemetry.count("c", 2)
+    assert collector.snapshot()["counters"]["c"] == 2
+    telemetry.disable()
+    assert telemetry.get_collector() is None
+    telemetry.count("c", 5)  # dropped
+    assert collector.snapshot()["counters"]["c"] == 2
+
+
+def test_enable_from_env(monkeypatch):
+    monkeypatch.delenv(telemetry.ENV_VAR, raising=False)
+    assert telemetry.enable_from_env() is None
+    assert not telemetry.is_enabled()
+    monkeypatch.setenv(telemetry.ENV_VAR, "1")
+    collector = telemetry.enable_from_env()
+    assert collector is not None
+    assert telemetry.get_collector() is collector
+
+
+# -- counters / gauges / series ---------------------------------------
+def test_counter_totals():
+    collector = telemetry.enable()
+    collector.count("hits")
+    collector.count("hits", 4)
+    collector.count("other", 2.5)
+    counters = collector.snapshot()["counters"]
+    assert counters["hits"] == 5
+    assert counters["other"] == 2.5
+
+
+def test_counters_are_thread_safe():
+    collector = telemetry.enable()
+
+    def work():
+        for _ in range(1000):
+            collector.count("parallel")
+
+    threads = [threading.Thread(target=work) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert collector.snapshot()["counters"]["parallel"] == 8000
+
+
+def test_gauge_last_write_wins():
+    collector = telemetry.enable()
+    collector.gauge("bytes", 10)
+    collector.gauge("bytes", 99)
+    assert collector.snapshot()["gauges"]["bytes"] == 99
+
+
+def test_series_bounded():
+    collector = telemetry.enable()
+    for value in range(telemetry.collector.MAX_SERIES_POINTS + 7):
+        collector.record("trajectory", value)
+    entry = collector.snapshot()["series"]["trajectory"]
+    assert len(entry["values"]) == telemetry.collector.MAX_SERIES_POINTS
+    assert entry["truncated"] == 7
+
+
+# -- spans -------------------------------------------------------------
+def test_span_nesting_builds_paths():
+    collector = telemetry.enable()
+    with collector.span("outer"):
+        assert collector.current_span_path() == "outer"
+        with collector.span("inner"):
+            assert collector.current_span_path() == "outer/inner"
+        with collector.span("inner"):
+            pass
+    spans = collector.snapshot()["spans"]
+    assert spans["outer"]["count"] == 1
+    assert spans["outer/inner"]["count"] == 2
+    assert spans["outer"]["total_seconds"] >= 0.0
+    assert (spans["outer/inner"]["min_seconds"]
+            <= spans["outer/inner"]["max_seconds"])
+
+
+def test_span_records_duration():
+    collector = telemetry.enable()
+    with collector.span("sleepy"):
+        time.sleep(0.01)
+    stats = collector.snapshot()["spans"]["sleepy"]
+    assert stats["total_seconds"] >= 0.009
+
+
+def test_span_survives_exception():
+    collector = telemetry.enable()
+    with pytest.raises(RuntimeError):
+        with collector.span("boom"):
+            raise RuntimeError("x")
+    assert collector.snapshot()["spans"]["boom"]["count"] == 1
+    assert collector.current_span_path() is None
+
+
+# -- export ------------------------------------------------------------
+def test_json_roundtrip():
+    collector = telemetry.enable()
+    collector.count("a", 3)
+    collector.gauge("g", 1.5)
+    collector.record("s", 2.0)
+    with collector.span("t"):
+        pass
+    restored = json.loads(collector.to_json())
+    assert restored == collector.snapshot()
+    # JSONL: every line is standalone JSON with a type tag.
+    lines = [json.loads(line) for line in collector.to_jsonl().splitlines()]
+    assert {entry["type"] for entry in lines} == {
+        "counter", "gauge", "span", "series"
+    }
+
+
+def test_counters_snapshot_delta():
+    collector = telemetry.enable()
+    collector.count("x", 10)
+    before = collector.counters_snapshot()
+    collector.count("x", 5)
+    collector.count("y", 1)
+    delta = collector.snapshot(counters_since=before)["counters"]
+    assert delta == {"x": 5, "y": 1}
+
+
+def test_reset_clears_metrics():
+    collector = telemetry.enable()
+    collector.count("x")
+    collector.reset()
+    snap = collector.snapshot()
+    assert snap["counters"] == {} and snap["spans"] == {}
+
+
+def test_render_report_mentions_metrics():
+    collector = telemetry.enable()
+    collector.count("quantum.gate_applications", 12)
+    with collector.span("quantum.run"):
+        pass
+    text = telemetry.render_report(collector)
+    assert "quantum.gate_applications" in text
+    assert "quantum.run" in text
+
+
+# -- instrumentation of the hot layers ---------------------------------
+def test_statevector_counts_gates_when_enabled():
+    collector = telemetry.enable()
+    sim = StatevectorSimulator(seed=0)
+    qc = _representative_circuit(num_qubits=3, layers=2)
+    sim.run(qc)
+    sim.sample_counts(qc, shots=64)
+    counters = collector.snapshot()["counters"]
+    assert counters["quantum.gate_applications"] == 2 * len(qc.instructions)
+    assert counters["quantum.circuit_evaluations"] == 2
+    assert counters["quantum.shots"] == 64
+    assert counters["quantum.gate.cx"] > 0
+    assert collector.snapshot()["gauges"]["quantum.statevector_bytes"] == (
+        2 ** 3 * 16
+    )
+
+
+def test_statevector_identical_results_enabled_vs_disabled():
+    qc = _representative_circuit(num_qubits=4, layers=3)
+    sim = StatevectorSimulator(seed=0)
+    disabled_state = sim.run(qc)
+    telemetry.enable()
+    enabled_state = sim.run(qc)
+    np.testing.assert_allclose(disabled_state, enabled_state)
+
+
+def test_annealer_counts_sweeps_and_trajectory():
+    from repro.annealing import IsingModel, SimulatedAnnealingSolver
+
+    collector = telemetry.enable()
+    model = IsingModel(2, h={0: 0.5, 1: -0.5}, j={(0, 1): 1.0})
+    solver = SimulatedAnnealingSolver(num_sweeps=30, num_reads=4, seed=0)
+    solver.solve(model)
+    snap = collector.snapshot()
+    assert snap["counters"]["annealing.sweeps"] == 120
+    assert snap["counters"]["annealing.sa.reads"] == 4
+    moves = (snap["counters"]["annealing.sa.accepted_moves"]
+             + snap["counters"]["annealing.sa.rejected_moves"])
+    assert moves == 120 * model.num_spins
+    assert len(snap["series"]["annealing.sa.best_energy"]["values"]) == 4
+    # Trajectory is monotonically non-increasing (running best).
+    values = snap["series"]["annealing.sa.best_energy"]["values"]
+    assert all(b <= a for a, b in zip(values, values[1:]))
+
+
+def test_gradient_counter():
+    from repro.quantum.operators import PauliSum, single_z
+    from repro.qml.gradients import parameter_shift_gradient
+    from repro.quantum.circuit import Parameter
+
+    collector = telemetry.enable()
+    theta = Parameter("theta")
+    qc = Circuit(1).ry(theta, 0)
+    observable = PauliSum([single_z(0, 1)])
+    parameter_shift_gradient(qc, observable, [0.3])
+    counters = collector.snapshot()["counters"]
+    assert counters["qml.gradient_evaluations"] == 1
+    # Each shift-rule term costs two circuit evaluations.
+    assert counters["quantum.circuit_evaluations"] == 2
+
+
+# -- provenance --------------------------------------------------------
+def test_provenance_fields():
+    record = telemetry.collect_provenance(
+        "E8", {"sizes": (4, 6), "seed": 3}, duration_seconds=1.25
+    ).to_dict()
+    assert record["experiment_id"] == "E8"
+    assert record["kwargs"] == {"sizes": [4, 6], "seed": 3}
+    assert record["seed"] == 3
+    assert record["version"]
+    assert record["duration_seconds"] == 1.25
+    assert record["python"]
+    json.dumps(record)  # fully serializable
+
+
+def test_provenance_sanitizes_exotic_kwargs():
+    record = telemetry.collect_provenance(
+        "EX", {"array": np.arange(3), "scalar": np.float64(1.5)}
+    ).to_dict()
+    json.dumps(record)
+    assert record["kwargs"]["scalar"] == 1.5
+
+
+def test_run_experiment_attaches_provenance_and_metrics():
+    from repro.experiments import run_experiment
+
+    collector = telemetry.enable()
+    result = run_experiment("E14", cluster_sizes=(3,), num_reads=3,
+                            num_sweeps=20, seed=0)
+    assert result.provenance is not None
+    assert result.provenance["experiment_id"] == "E14"
+    assert result.provenance["seed"] == 0
+    assert result.provenance["version"]
+    assert result.provenance["duration_seconds"] > 0
+    assert result.metrics["counters"]["annealing.sweeps"] > 0
+    assert "experiment.E14" in result.metrics["spans"]
+    # Annealer spans nest under the experiment span.
+    assert any(path.startswith("experiment.E14/")
+               for path in result.metrics["spans"])
+    assert collector.snapshot()["counters"]["annealing.sweeps"] > 0
+
+
+def test_run_experiment_without_telemetry_has_no_records():
+    from repro.experiments import run_experiment
+
+    result = run_experiment("E14", cluster_sizes=(3,), num_reads=2,
+                            num_sweeps=10, seed=0)
+    assert result.provenance is None
+    assert result.metrics is None
+
+
+# -- CLI ---------------------------------------------------------------
+def test_cli_json_out(tmp_path, capsys):
+    from repro.experiments.__main__ import main as cli_main
+
+    out_file = tmp_path / "metrics.json"
+    code = cli_main([
+        "E14", "--telemetry", "--json-out", str(out_file),
+        "--set", "cluster_sizes=(3,)", "--set", "num_reads=2",
+        "--set", "num_sweeps=10", "--set", "seed=0",
+    ])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "telemetry report" in printed
+    document = json.loads(out_file.read_text())
+    assert document["schema"] == "repro-telemetry/v1"
+    (record,) = document["experiments"]
+    assert record["provenance"]["experiment_id"] == "E14"
+    assert record["provenance"]["seed"] == 0
+    assert record["metrics"]["counters"]["annealing.sweeps"] > 0
+    assert not telemetry.is_enabled()  # CLI cleans up after itself
+
+
+def test_cli_rejects_bad_set(capsys):
+    from repro.experiments.__main__ import main as cli_main
+
+    assert cli_main(["E14", "--set", "nokey"]) == 2
+
+
+# -- overhead guard ----------------------------------------------------
+def test_disabled_overhead_is_small():
+    """With telemetry disabled the instrumented simulator must stay
+    close to a raw uninstrumented apply loop.
+
+    Locally the gap is well under 5% (the disabled path costs one
+    ``get_collector()`` call per run); the assertion bound is loose
+    (50%) because shared CI machines jitter far more than the
+    instrumentation costs.
+    """
+    qc = _representative_circuit(num_qubits=6, layers=6)
+    sim = StatevectorSimulator(seed=0)
+    n = qc.num_qubits
+
+    def raw_run():
+        # Mirrors StatevectorSimulator.run's disabled branch exactly,
+        # minus the telemetry guard itself.
+        state = np.zeros(2 ** n, dtype=complex)
+        state[0] = 1.0
+        for inst in qc.instructions:
+            state = apply_matrix(state, inst.matrix(), inst.qubits, n)
+        return state
+
+    def timed(function, repeats=5):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            function()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    raw_run()          # warm caches
+    sim.run(qc)
+    assert telemetry.get_collector() is None
+    baseline = timed(raw_run)
+    instrumented = timed(lambda: sim.run(qc))
+    assert instrumented <= baseline * 1.5 + 1e-3
