@@ -1,0 +1,245 @@
+"""Batched-vs-loop execution engine benchmark (perf-trajectory gate).
+
+Measures the wall-clock win of the batched execution engine against
+faithful re-implementations of the pre-batching Python loops, on two
+reference workloads:
+
+* **kernel Gram** — a fidelity-kernel Gram matrix (IQP encoding),
+  batched ``Encoding.state_batch`` / ``StatevectorSimulator.run_batch``
+  vs one simulator call per data point;
+* **SA sweeps** — simulated annealing, read-vectorized ``(reads, n)``
+  lock-step sweeps vs the per-read single-spin-flip Python loop.
+
+Timings come from telemetry spans (``perf.<workload>.<impl>``). Run as
+a script to write the committed perf trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_perf_engine.py
+
+which writes ``BENCH_perf.json`` (schema ``repro-bench/v1``) at the
+repo root. Environment knobs: ``REPRO_PERF_SCALE=smoke`` shrinks every
+workload for CI smoke runs, ``REPRO_PERF_JSON`` overrides the output
+path. The same workloads also run as pytest benchmarks
+(``pytest benchmarks/bench_perf_engine.py -s``) at smoke scale.
+"""
+
+import json
+import math
+import os
+import sys
+
+import numpy as np
+
+from repro import telemetry
+from repro.annealing import IsingModel, SimulatedAnnealingSolver
+from repro.annealing.ising import spins_to_bits
+from repro.annealing.simulated_annealing import auto_beta_schedule
+from repro.qml import FidelityQuantumKernel, IQPEncoding
+from repro.quantum import StatevectorSimulator
+
+#: Reference scales from the PR-2 issue: the committed BENCH_perf.json
+#: must show >= 5x on both workloads at these sizes.
+FULL_SCALE = {
+    "kernel": {"num_points": 64, "num_features": 6, "depth": 2},
+    "sa": {"num_spins": 64, "num_reads": 100, "num_sweeps": 500},
+}
+SMOKE_SCALE = {
+    "kernel": {"num_points": 12, "num_features": 4, "depth": 2},
+    "sa": {"num_spins": 24, "num_reads": 10, "num_sweeps": 50},
+}
+
+
+# ----------------------------------------------------------------------
+# Loop references: the pre-batching implementations, kept verbatim so
+# the perf trajectory always compares against the same baseline.
+# ----------------------------------------------------------------------
+def loop_encoded_states(encoding, X):
+    """One simulator call per data point (pre-batching kernel path)."""
+    simulator = StatevectorSimulator()
+    return np.array([simulator.run(encoding.circuit(x)) for x in X])
+
+
+def loop_gram(encoding, X):
+    """Gram matrix over per-point encoded states."""
+    states = loop_encoded_states(encoding, X)
+    return np.abs(states @ states.conj().T) ** 2
+
+
+def loop_sa_solve(ising, num_sweeps, num_reads, seed):
+    """Pre-batching SA: per-read Python loop, one spin flip at a time.
+
+    Returns the list of per-read final energies (ascending reads).
+    """
+    rng = np.random.default_rng(seed)
+    fields = ising.local_fields()
+    couplings = ising.coupling_matrix()
+    n = ising.num_spins
+    betas = auto_beta_schedule(ising, num_sweeps)
+    energies = []
+    for _ in range(num_reads):
+        spins = rng.choice((-1.0, 1.0), size=n)
+        for beta in betas:
+            order = rng.permutation(n)
+            thresholds = rng.random(n)
+            for position, i in enumerate(order):
+                local = fields[i] + couplings[i] @ spins
+                delta = -2.0 * spins[i] * local
+                if delta <= 0 or thresholds[position] < math.exp(
+                        -beta * delta):
+                    spins[i] = -spins[i]
+        energies.append(float(ising.energies(spins[None, :])[0]))
+    return energies
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+def _span_total(collector, path):
+    spans = collector.snapshot()["spans"]
+    return float(spans[path]["total_seconds"])
+
+
+def run_kernel_workload(collector, num_points, num_features, depth,
+                        seed=7):
+    """Fidelity-kernel Gram: batched engine vs per-point loop."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0.0, 1.0, size=(num_points, num_features))
+    encoding = IQPEncoding(num_features, depth=depth)
+    kernel = FidelityQuantumKernel(encoding)
+
+    with collector.span("perf.kernel.loop"):
+        reference = loop_gram(encoding, X)
+    with collector.span("perf.kernel.batched"):
+        batched = kernel(X)
+    with collector.span("perf.kernel.batched_repeat"):
+        repeat = kernel(X)
+
+    loop_seconds = _span_total(collector, "perf.kernel.loop")
+    batched_seconds = _span_total(collector, "perf.kernel.batched")
+    return {
+        "name": "kernel_gram",
+        "params": {
+            "num_points": num_points,
+            "num_features": num_features,
+            "depth": depth,
+            "seed": seed,
+        },
+        "loop_seconds": loop_seconds,
+        "batched_seconds": batched_seconds,
+        "speedup": loop_seconds / batched_seconds,
+        "max_abs_diff": float(np.abs(batched - reference).max()),
+        "deterministic": bool(np.array_equal(batched, repeat)),
+    }
+
+
+def run_sa_workload(collector, num_spins, num_reads, num_sweeps,
+                    seed=11):
+    """SA restarts: read-vectorized sweeps vs the per-read Python loop."""
+    ising = IsingModel.random(num_spins, density=0.5, field_scale=0.3,
+                              seed=seed)
+
+    with collector.span("perf.sa.loop"):
+        loop_energies = loop_sa_solve(ising, num_sweeps, num_reads,
+                                      seed=seed)
+    solver = SimulatedAnnealingSolver(num_sweeps=num_sweeps,
+                                      num_reads=num_reads, seed=seed)
+    with collector.span("perf.sa.batched"):
+        batched = solver.solve(ising)
+    repeat = SimulatedAnnealingSolver(num_sweeps=num_sweeps,
+                                      num_reads=num_reads,
+                                      seed=seed).solve(ising)
+
+    loop_seconds = _span_total(collector, "perf.sa.loop")
+    batched_seconds = _span_total(collector, "perf.sa.batched")
+    return {
+        "name": "sa_sweeps",
+        "params": {
+            "num_spins": num_spins,
+            "num_reads": num_reads,
+            "num_sweeps": num_sweeps,
+            "seed": seed,
+        },
+        "loop_seconds": loop_seconds,
+        "batched_seconds": batched_seconds,
+        "speedup": loop_seconds / batched_seconds,
+        "loop_best_energy": min(loop_energies),
+        "batched_best_energy": batched.best_energy,
+        "deterministic": bool(
+            batched.best_energy == repeat.best_energy
+            and tuple(batched.best.assignment)
+            == tuple(repeat.best.assignment)
+        ),
+    }
+
+
+def run_workloads(scale, collector=None):
+    collector = collector or telemetry.get_collector() or telemetry.Collector()
+    return [
+        run_kernel_workload(collector, **scale["kernel"]),
+        run_sa_workload(collector, **scale["sa"]),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Pytest entry points (smoke scale; correctness over raw speedup)
+# ----------------------------------------------------------------------
+def test_perf_kernel_batched_matches_loop(bench_telemetry):
+    record = run_kernel_workload(bench_telemetry,
+                                 **SMOKE_SCALE["kernel"])
+    print("\nkernel Gram loop {loop_seconds:.4f}s vs batched "
+          "{batched_seconds:.4f}s ({speedup:.1f}x)".format(**record))
+    assert record["max_abs_diff"] < 1e-10
+    assert record["deterministic"]
+    assert record["speedup"] > 1.0
+
+
+def test_perf_sa_batched_is_faster_and_deterministic(bench_telemetry):
+    record = run_sa_workload(bench_telemetry, **SMOKE_SCALE["sa"])
+    print("\nSA loop {loop_seconds:.4f}s vs batched "
+          "{batched_seconds:.4f}s ({speedup:.1f}x)".format(**record))
+    assert record["deterministic"]
+    assert record["speedup"] > 1.0
+    # Both dynamics are valid annealers; at equal budgets their best
+    # energies land in the same range on this easy instance.
+    assert (record["batched_best_energy"]
+            <= record["loop_best_energy"] + 2.0)
+
+
+# ----------------------------------------------------------------------
+# Script entry point: write the committed perf trajectory
+# ----------------------------------------------------------------------
+def main():
+    scale_name = os.environ.get("REPRO_PERF_SCALE", "full")
+    scale = SMOKE_SCALE if scale_name == "smoke" else FULL_SCALE
+    collector = telemetry.enable()
+    runs = run_workloads(scale, collector)
+    telemetry.disable()
+    document = {
+        "schema": "repro-bench/v1",
+        "provenance": telemetry.collect_provenance(
+            "bench_perf_engine").to_dict(),
+        "scale": scale_name,
+        "workloads": runs,
+    }
+    target = os.environ.get("REPRO_PERF_JSON", "")
+    if not target:
+        repo_root = os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)
+        ))
+        target = os.path.join(repo_root, "BENCH_perf.json")
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for record in runs:
+        print("{name}: loop {loop_seconds:.3f}s, batched "
+              "{batched_seconds:.3f}s -> {speedup:.1f}x".format(**record))
+    print(f"wrote {target}")
+    slow = [r for r in runs if r["speedup"] < 5.0]
+    if scale_name == "full" and slow:
+        names = ", ".join(r["name"] for r in slow)
+        print(f"WARNING: speedup below 5x on: {names}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

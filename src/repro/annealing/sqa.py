@@ -99,30 +99,36 @@ class SimulatedQuantumAnnealingSolver:
         samples: List[Sample] = []
         accepted_local = 0
         accepted_global = 0
-        best_energy = math.inf
         with telemetry.span("annealing.sqa.solve"):
-            for _ in range(self.num_reads):
-                replicas = self._rng.choice((-1.0, 1.0), size=(p, n))
-                for gamma in gammas:
-                    j_perp = self._interslice_coupling(gamma)
-                    accepted_local += self._sweep(
-                        replicas, fields, couplings, j_perp
-                    )
-                    accepted_global += self._global_sweep(
-                        replicas, fields, couplings
-                    )
-                slice_energies = ising.energies(replicas)
-                best_slice = int(np.argmin(slice_energies))
-                spins = replicas[best_slice].astype(int)
+            replicas = self._rng.choice((-1.0, 1.0),
+                                        size=(self.num_reads, p, n))
+            # Cached per-slice local fields, shape (reads, P, n),
+            # incrementally updated on accepted flips.
+            local = replicas @ couplings + fields
+            for gamma in gammas:
+                j_perp = self._interslice_coupling(gamma)
+                accepted_local += self._sweep(
+                    replicas, local, j_perp, couplings
+                )
+                accepted_global += self._global_sweep(
+                    replicas, local, couplings
+                )
+            slice_energies = ising.energies(
+                replicas.reshape(self.num_reads * p, n)
+            ).reshape(self.num_reads, p)
+            best_slices = np.argmin(slice_energies, axis=1)
+            read_energies = slice_energies[np.arange(self.num_reads),
+                                           best_slices]
+            for read, best_slice in enumerate(best_slices):
+                spins = replicas[read, best_slice].astype(int)
                 samples.append(
                     Sample(tuple(spins_to_bits(spins)),
-                           float(slice_energies[best_slice]))
+                           float(read_energies[read]))
                 )
-                if slice_energies[best_slice] < best_energy:
-                    best_energy = float(slice_energies[best_slice])
-                if collector is not None:
+            if collector is not None:
+                for best in np.minimum.accumulate(read_energies):
                     collector.record("annealing.sqa.best_energy",
-                                     best_energy)
+                                     float(best))
         if collector is not None:
             sweeps = self.num_sweeps * self.num_reads
             collector.count("annealing.sweeps", sweeps)
@@ -142,49 +148,64 @@ class SimulatedQuantumAnnealingSolver:
         argument = self.beta * max(gamma, 1e-12) / self.num_slices
         return -0.5 / self.beta * math.log(math.tanh(argument))
 
-    def _sweep(self, replicas: np.ndarray, fields: np.ndarray,
-               couplings: np.ndarray, j_perp: float) -> int:
-        """Slice-local Metropolis pass; returns accepted flip count."""
-        p, n = replicas.shape
+    def _sweep(self, replicas: np.ndarray, local: np.ndarray,
+               j_perp: float, couplings: np.ndarray) -> int:
+        """Slice-local Metropolis pass over all reads at once.
+
+        Spins are visited per (slice, position) in a random order
+        shared across reads; each step decides the flip for every read
+        simultaneously from the cached local fields.
+        """
+        reads, p, n = replicas.shape
         beta_slice = self.beta / p
         accepted = 0
         for k in range(p):
             up = (k + 1) % p
             down = (k - 1) % p
             order = self._rng.permutation(n)
-            thresholds = self._rng.random(n)
+            thresholds = self._rng.random((n, reads))
             for position, i in enumerate(order):
-                local = fields[i] + couplings[i] @ replicas[k]
-                delta_problem = -2.0 * replicas[k, i] * local
-                delta_perp = (-2.0 * replicas[k, i] * j_perp
-                              * (replicas[up, i] + replicas[down, i]))
+                spins = replicas[:, k, i]
+                delta_problem = -2.0 * spins * local[:, k, i]
+                delta_perp = (-2.0 * spins * j_perp
+                              * (replicas[:, up, i] + replicas[:, down, i]))
                 # Problem term is weighted 1/P inside the effective
                 # action but sampled at beta, i.e. beta/P overall.
                 exponent = (-beta_slice * delta_problem
                             - self.beta * delta_perp)
-                if exponent >= 0 or thresholds[position] < math.exp(exponent):
-                    replicas[k, i] = -replicas[k, i]
-                    accepted += 1
+                accept = thresholds[position] < np.exp(
+                    np.minimum(exponent, 0.0)
+                )
+                if accept.any():
+                    flipped = replicas[accept, k, i]
+                    replicas[accept, k, i] = -flipped
+                    local[accept, k, :] -= (2.0 * flipped[:, None]
+                                            * couplings[i])
+                    accepted += int(accept.sum())
         return accepted
 
-    def _global_sweep(self, replicas: np.ndarray, fields: np.ndarray,
+    def _global_sweep(self, replicas: np.ndarray, local: np.ndarray,
                       couplings: np.ndarray) -> int:
-        """Flip one spin in *all* slices at once.
+        """Flip one spin in *all* slices at once, across all reads.
 
         These worldline moves leave the interslice coupling invariant
         and are the standard trick that lets PIMC realize tunnelling
         through barriers local single-slice updates cannot cross.
         """
-        p, n = replicas.shape
+        reads, p, n = replicas.shape
         beta_slice = self.beta / p
         order = self._rng.permutation(n)
-        thresholds = self._rng.random(n)
+        thresholds = self._rng.random((n, reads))
         accepted = 0
         for position, i in enumerate(order):
-            local = fields[i] + replicas @ couplings[i]
-            delta = float((-2.0 * replicas[:, i] * local).sum())
-            exponent = -beta_slice * delta
-            if exponent >= 0 or thresholds[position] < math.exp(exponent):
-                replicas[:, i] = -replicas[:, i]
-                accepted += 1
+            delta = (-2.0 * replicas[:, :, i] * local[:, :, i]).sum(axis=1)
+            accept = thresholds[position] < np.exp(
+                np.minimum(-beta_slice * delta, 0.0)
+            )
+            if accept.any():
+                flipped = replicas[accept, :, i]
+                replicas[accept, :, i] = -flipped
+                local[accept] -= (2.0 * flipped[:, :, None]
+                                  * couplings[i])
+                accepted += int(accept.sum())
         return accepted

@@ -44,6 +44,21 @@ class Encoding(ABC):
         """The encoded statevector (default: simulate the circuit)."""
         return StatevectorSimulator().run(self.circuit(x))
 
+    def state_batch(self, X: np.ndarray) -> np.ndarray:
+        """Encoded statevectors for every row of X, ``(batch, 2**n)``.
+
+        The default implementation routes all rows through
+        :meth:`StatevectorSimulator.run_batch`, which vectorizes the
+        whole batch in one pass whenever the encoding emits structurally
+        identical circuits (angle and IQP encodings do). Subclasses with
+        a closed form override this entirely.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[0] == 0:
+            raise ValueError("state_batch needs at least one data point")
+        circuits = [self.circuit(x) for x in X]
+        return StatevectorSimulator().run_batch(circuits)
+
     def _validate(self, x: Sequence[float]) -> np.ndarray:
         vec = np.asarray(x, dtype=float).reshape(-1)
         if vec.size != self.num_features:
@@ -72,6 +87,24 @@ class BasisEncoding(Encoding):
             if bit == 1.0:
                 qc.x(qubit)
         return qc
+
+    def state_batch(self, X: np.ndarray) -> np.ndarray:
+        """Closed form: one-hot rows at each bit pattern's index."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[0] == 0:
+            raise ValueError("state_batch needs at least one data point")
+        if X.shape[1] != self.num_features:
+            raise ValueError(
+                f"{type(self).__name__} expects {self.num_features} "
+                f"features, got {X.shape[1]}"
+            )
+        if not np.isin(X, (0.0, 1.0)).all():
+            raise ValueError("basis encoding requires 0/1 features")
+        weights = 1 << np.arange(self.num_qubits - 1, -1, -1)
+        indices = (X.astype(int) * weights).sum(axis=1)
+        states = np.zeros((X.shape[0], 2 ** self.num_qubits), dtype=complex)
+        states[np.arange(X.shape[0]), indices] = 1.0
+        return states
 
 
 class AngleEncoding(Encoding):
@@ -185,6 +218,23 @@ class AmplitudeEncoding(Encoding):
         if norm == 0:
             raise ValueError("cannot amplitude-encode the zero vector")
         return (padded / norm).astype(complex)
+
+    def state_batch(self, X: np.ndarray) -> np.ndarray:
+        """Closed form: pad and normalize all rows in one pass."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[0] == 0:
+            raise ValueError("state_batch needs at least one data point")
+        if X.shape[1] != self.num_features:
+            raise ValueError(
+                f"{type(self).__name__} expects {self.num_features} "
+                f"features, got {X.shape[1]}"
+            )
+        padded = np.zeros((X.shape[0], 2 ** self.num_qubits))
+        padded[:, : X.shape[1]] = X
+        norms = np.linalg.norm(padded, axis=1, keepdims=True)
+        if (norms == 0).any():
+            raise ValueError("cannot amplitude-encode the zero vector")
+        return (padded / norms).astype(complex)
 
     def circuit(self, x: Sequence[float]) -> Circuit:
         amplitudes = self.state(x).real

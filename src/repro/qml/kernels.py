@@ -21,7 +21,6 @@ import numpy as np
 
 from .. import telemetry
 from ..baselines.svm import SVM
-from ..quantum.statevector import marginal_probabilities
 from .encoding import Encoding, IQPEncoding
 
 
@@ -46,9 +45,14 @@ class FidelityQuantumKernel:
         self._rng = np.random.default_rng(seed)
 
     def encoded_states(self, X: np.ndarray) -> np.ndarray:
-        """Matrix of encoded statevectors, one row per data point."""
+        """Matrix of encoded statevectors, one row per data point.
+
+        All rows are simulated in one batched pass
+        (:meth:`Encoding.state_batch`), so building a Gram matrix costs
+        O(1) simulator calls instead of one per data point.
+        """
         X = np.atleast_2d(np.asarray(X, dtype=float))
-        return np.array([self.encoding.state(x) for x in X])
+        return self.encoding.state_batch(X)
 
     def __call__(self, X: np.ndarray,
                  Z: Optional[np.ndarray] = None) -> np.ndarray:
@@ -67,20 +71,24 @@ class FidelityQuantumKernel:
 
     def _sampled_gram(self, exact: np.ndarray,
                       symmetric: bool) -> np.ndarray:
-        """Binomial shot noise on every inversion-test estimate."""
-        sampled = np.empty_like(exact)
-        rows, columns = exact.shape
-        for i in range(rows):
-            for j in range(columns):
-                if symmetric and j < i:
-                    sampled[i, j] = sampled[j, i]
-                    continue
-                if symmetric and i == j:
-                    sampled[i, j] = 1.0
-                    continue
-                probability = min(1.0, max(0.0, exact[i, j]))
-                hits = self._rng.binomial(self.shots, probability)
-                sampled[i, j] = hits / self.shots
+        """Binomial shot noise on every inversion-test estimate.
+
+        One vectorized ``rng.binomial`` draw covers the whole matrix
+        (upper triangle only when symmetric, mirrored down and with an
+        exact unit diagonal, matching the inversion test on identical
+        states).
+        """
+        probabilities = np.clip(exact, 0.0, 1.0)
+        if not symmetric:
+            hits = self._rng.binomial(self.shots, probabilities)
+            return hits / self.shots
+        rows = exact.shape[0]
+        upper = np.triu_indices(rows, k=1)
+        sampled = np.ones_like(exact)
+        sampled[upper] = (
+            self._rng.binomial(self.shots, probabilities[upper]) / self.shots
+        )
+        sampled[(upper[1], upper[0])] = sampled[upper]
         return sampled
 
     def evaluate(self, x: Sequence[float], z: Sequence[float]) -> float:
@@ -106,17 +114,20 @@ class ProjectedQuantumKernel:
         self.gamma = float(gamma)
 
     def features(self, X: np.ndarray) -> np.ndarray:
-        """Projected features: per-qubit P(1) for each data point."""
+        """Projected features: per-qubit P(1) for each data point.
+
+        Encodes the whole batch in one simulator pass, then reads every
+        single-qubit marginal off the probability tensor directly.
+        """
         X = np.atleast_2d(np.asarray(X, dtype=float))
         n = self.encoding.num_qubits
-        rows = []
-        for x in X:
-            state = self.encoding.state(x)
-            rows.append([
-                float(marginal_probabilities(state, [q])[1])
-                for q in range(n)
-            ])
-        return np.array(rows)
+        states = self.encoding.state_batch(X)
+        probs = (np.abs(states) ** 2).reshape((X.shape[0],) + (2,) * n)
+        feats = np.empty((X.shape[0], n))
+        for q in range(n):
+            axes = tuple(a for a in range(1, n + 1) if a != q + 1)
+            feats[:, q] = probs.sum(axis=axes)[:, 1]
+        return feats
 
     def __call__(self, X: np.ndarray,
                  Z: Optional[np.ndarray] = None) -> np.ndarray:

@@ -92,6 +92,27 @@ class _VariationalModel:
             circuit, self._observable, self.shots, rng=self._rng
         )
 
+    def _batch_raw_outputs(self, rows: np.ndarray,
+                           weights: np.ndarray) -> np.ndarray:
+        """Exact outputs for many rows in one batched simulator pass.
+
+        Falls back to the per-sample shot-based estimator when the
+        model is configured with a finite shot budget.
+        """
+        if self.shots is not None:
+            return np.array(
+                [self._raw_output(x, weights) for x in rows]
+            )
+        binding = dict(zip(self._weight_params, weights))
+        circuits = [self._full_circuit(x).bind(binding) for x in rows]
+        telemetry.count("qml.circuit_evaluations", len(circuits))
+        states = self._sim.run_batch(circuits)
+        num_qubits = self.encoding.num_qubits
+        return np.array([
+            self._observable.expectation(state, num_qubits)
+            for state in states
+        ])
+
     def _raw_gradient(self, x: Sequence[float],
                       weights: np.ndarray) -> np.ndarray:
         circuit = self._full_circuit(x)
@@ -118,9 +139,7 @@ class _VariationalModel:
 
         def loss(weights: np.ndarray) -> float:
             rows = rows_holder["rows"]
-            outputs = np.array(
-                [self._raw_output(X[i], weights) for i in rows]
-            )
+            outputs = self._batch_raw_outputs(X[rows], weights)
             return float(((outputs - targets[rows]) ** 2).mean())
 
         def gradient(weights: np.ndarray) -> np.ndarray:
@@ -156,9 +175,7 @@ class _VariationalModel:
         """Model outputs ``<Z_0>`` in [-1, 1] for each row of X."""
         self._check_fitted()
         X = np.atleast_2d(np.asarray(X, dtype=float))
-        return np.array(
-            [self._raw_output(x, self.weights_) for x in X]
-        )
+        return self._batch_raw_outputs(X, self.weights_)
 
 
 class VariationalClassifier(_VariationalModel):

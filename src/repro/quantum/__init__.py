@@ -60,7 +60,9 @@ from .operators import PauliString, PauliSum, ising_hamiltonian, single_z, zz
 from .random_circuits import random_layered_circuit, random_statevector
 from .statevector import (
     StatevectorSimulator,
+    apply_diagonal_batch,
     apply_matrix,
+    apply_matrix_batch,
     basis_state,
     fidelity,
     marginal_probabilities,
@@ -128,7 +130,9 @@ __all__ = [
     "random_layered_circuit",
     "random_statevector",
     "StatevectorSimulator",
+    "apply_diagonal_batch",
     "apply_matrix",
+    "apply_matrix_batch",
     "basis_state",
     "fidelity",
     "marginal_probabilities",

@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import cmath
 import math
-from typing import Callable, Dict, Sequence
+from functools import lru_cache
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -223,9 +224,35 @@ GATE_NUM_PARAMS.update({
 #: Gates whose single parameter obeys the exact two-term shift rule.
 SHIFT_RULE_GATES = frozenset({"rx", "ry", "rz", "rxx", "ryy", "rzz"})
 
+#: Gates whose matrix is diagonal in the computational basis. The
+#: batched simulator applies these as elementwise phase multiplications
+#: instead of tensor contractions.
+DIAGONAL_GATES = frozenset(
+    {"i", "z", "s", "sdg", "t", "tdg", "cz", "rz", "p", "cp", "crz", "rzz"}
+)
+
+
+@lru_cache(maxsize=4096)
+def _cached_gate_matrix(key: str, params: Tuple[float, ...]) -> Matrix:
+    """Memoized gate resolution; returns a read-only array.
+
+    Keyed by ``(name, params)`` so repeated evaluations of the same
+    bound circuit (gradient shifts, kernel rows, batched runs) reuse
+    one matrix object instead of rebuilding it per call.
+    """
+    if key in FIXED_GATES:
+        matrix = FIXED_GATES[key]
+    else:
+        matrix = PARAMETRIC_GATES[key](*params)
+    matrix.setflags(write=False)
+    return matrix
+
 
 def gate_matrix(name: str, params: Sequence[float] = ()) -> Matrix:
     """Resolve a gate name plus parameter values to its unitary matrix.
+
+    The result is cached (LRU, keyed by name and parameter values) and
+    returned read-only; copy before mutating.
 
     Raises
     ------
@@ -242,9 +269,107 @@ def gate_matrix(name: str, params: Sequence[float] = ()) -> Matrix:
         raise ValueError(
             f"gate {name!r} takes {expected} parameter(s), got {len(params)}"
         )
-    if key in FIXED_GATES:
-        return FIXED_GATES[key]
-    return PARAMETRIC_GATES[key](*params)
+    return _cached_gate_matrix(key, tuple(float(p) for p in params))
+
+
+def gate_diagonal(name: str, params: Sequence[float] = ()) -> Optional[Matrix]:
+    """Diagonal of a gate's matrix, or ``None`` for non-diagonal gates."""
+    key = name.lower()
+    if key not in DIAGONAL_GATES:
+        return None
+    return np.ascontiguousarray(np.diagonal(gate_matrix(key, params)))
+
+
+def _batch_rz_diagonal(theta: np.ndarray) -> np.ndarray:
+    phase = np.exp(-0.5j * theta)
+    return np.stack([phase, phase.conj()], axis=1)
+
+
+def _batch_p_diagonal(lam: np.ndarray) -> np.ndarray:
+    ones = np.ones_like(lam, dtype=complex)
+    return np.stack([ones, np.exp(1j * lam)], axis=1)
+
+
+def _batch_cp_diagonal(lam: np.ndarray) -> np.ndarray:
+    ones = np.ones_like(lam, dtype=complex)
+    return np.stack([ones, ones, ones, np.exp(1j * lam)], axis=1)
+
+
+def _batch_crz_diagonal(theta: np.ndarray) -> np.ndarray:
+    ones = np.ones_like(theta, dtype=complex)
+    phase = np.exp(-0.5j * theta)
+    return np.stack([ones, ones, phase, phase.conj()], axis=1)
+
+
+def _batch_rzz_diagonal(theta: np.ndarray) -> np.ndarray:
+    phase = np.exp(-0.5j * theta)
+    return np.stack([phase, phase.conj(), phase.conj(), phase], axis=1)
+
+
+_BATCH_DIAGONALS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "rz": _batch_rz_diagonal,
+    "p": _batch_p_diagonal,
+    "cp": _batch_cp_diagonal,
+    "crz": _batch_crz_diagonal,
+    "rzz": _batch_rzz_diagonal,
+}
+
+
+def _batch_rx_matrix(theta: np.ndarray) -> np.ndarray:
+    c, s = np.cos(theta / 2.0), np.sin(theta / 2.0)
+    out = np.empty((theta.size, 2, 2), dtype=complex)
+    out[:, 0, 0] = c
+    out[:, 0, 1] = -1j * s
+    out[:, 1, 0] = -1j * s
+    out[:, 1, 1] = c
+    return out
+
+
+def _batch_ry_matrix(theta: np.ndarray) -> np.ndarray:
+    c, s = np.cos(theta / 2.0), np.sin(theta / 2.0)
+    out = np.empty((theta.size, 2, 2), dtype=complex)
+    out[:, 0, 0] = c
+    out[:, 0, 1] = -s
+    out[:, 1, 0] = s
+    out[:, 1, 1] = c
+    return out
+
+
+_BATCH_MATRICES: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "rx": _batch_rx_matrix,
+    "ry": _batch_ry_matrix,
+}
+
+
+def batch_gate_diagonal(name: str,
+                        params: np.ndarray) -> Optional[np.ndarray]:
+    """Stacked diagonals ``(batch, 2**k)`` for a one-parameter diagonal
+    gate evaluated at many parameter values, or ``None`` if the gate is
+    not diagonal. ``params`` has shape ``(batch,)`` or ``(batch, 1)``.
+    """
+    key = name.lower()
+    builder = _BATCH_DIAGONALS.get(key)
+    if builder is not None:
+        return builder(np.asarray(params, dtype=float).reshape(-1))
+    if key in DIAGONAL_GATES:  # fixed diagonal gate: broadcast one copy
+        rows = np.asarray(params).shape[0]
+        return np.broadcast_to(gate_diagonal(key), (rows, 2 ** GATE_ARITY[key]))
+    return None
+
+
+def batch_gate_matrix(name: str, params: np.ndarray) -> np.ndarray:
+    """Stacked unitaries ``(batch, 2**k, 2**k)`` for one gate at many
+    parameter values. Vectorized for the common rotation gates; other
+    gates fall back to stacking cached per-value matrices.
+    """
+    key = name.lower()
+    params = np.atleast_2d(np.asarray(params, dtype=float))
+    builder = _BATCH_MATRICES.get(key)
+    if builder is not None:
+        return builder(params[:, 0])
+    return np.stack([
+        _cached_gate_matrix(key, tuple(row)) for row in params
+    ])
 
 
 def is_unitary(matrix: Matrix, atol: float = 1e-10) -> bool:

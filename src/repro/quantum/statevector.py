@@ -17,7 +17,13 @@ import numpy as np
 
 from .. import telemetry
 from .circuit import Circuit
-from .gates import gate_matrix
+from .gates import (
+    GATE_NUM_PARAMS,
+    batch_gate_diagonal,
+    batch_gate_matrix,
+    gate_diagonal,
+    gate_matrix,
+)
 
 
 def zero_state(num_qubits: int) -> np.ndarray:
@@ -55,6 +61,74 @@ def apply_matrix(state: np.ndarray, matrix: np.ndarray,
     psi = np.tensordot(mat, psi, axes=(tuple(range(k, 2 * k)), tuple(qubits)))
     psi = np.moveaxis(psi, range(k), qubits)
     return np.ascontiguousarray(psi).reshape(-1)
+
+
+def apply_matrix_batch(states: np.ndarray, matrix: np.ndarray,
+                       qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+    """Apply a gate to a *batch* of statevectors in one contraction.
+
+    ``states`` has shape ``(batch, 2**num_qubits)``. ``matrix`` is
+    either one shared ``(2**k, 2**k)`` unitary or a stack of
+    per-element unitaries ``(batch, 2**k, 2**k)``. Returns a new
+    ``(batch, 2**num_qubits)`` array; the input is not modified.
+    """
+    states = np.asarray(states, dtype=complex)
+    if states.ndim != 2:
+        raise ValueError("states must be a (batch, 2**n) matrix")
+    batch = states.shape[0]
+    k = len(qubits)
+    mat = np.asarray(matrix, dtype=complex)
+    psi = states.reshape((batch,) + (2,) * num_qubits)
+    # Move the target-qubit axes to the back, flatten everything else,
+    # and hit the whole batch with one (batched) matmul.
+    axes = tuple(q + 1 for q in qubits)
+    back = tuple(range(num_qubits + 1 - k, num_qubits + 1))
+    psi = np.moveaxis(psi, axes, back)
+    shuffled_shape = psi.shape
+    psi = np.ascontiguousarray(psi).reshape(batch, -1, 2 ** k)
+    if mat.ndim == 2:
+        psi = psi @ mat.T
+    elif mat.ndim == 3:
+        if mat.shape[0] != batch:
+            raise ValueError("per-element matrix stack must match batch size")
+        psi = np.matmul(psi, np.swapaxes(mat, -1, -2))
+    else:
+        raise ValueError("matrix must be 2-D (shared) or 3-D (per-element)")
+    psi = psi.reshape(shuffled_shape)
+    psi = np.moveaxis(psi, back, axes)
+    return np.ascontiguousarray(psi).reshape(batch, -1)
+
+
+def apply_diagonal_batch(states: np.ndarray, diagonal: np.ndarray,
+                         qubits: Sequence[int],
+                         num_qubits: int) -> np.ndarray:
+    """Apply a diagonal gate to a batch of statevectors elementwise.
+
+    ``diagonal`` is the gate's matrix diagonal: one shared ``(2**k,)``
+    vector or a per-element ``(batch, 2**k)`` stack. This is the fast
+    path for rz/p/cp/crz/rzz-style phase gates (IQP feature maps, QAOA
+    cost layers): a broadcast multiply instead of a contraction.
+    """
+    states = np.asarray(states, dtype=complex)
+    if states.ndim != 2:
+        raise ValueError("states must be a (batch, 2**n) matrix")
+    batch = states.shape[0]
+    k = len(qubits)
+    diag = np.asarray(diagonal, dtype=complex)
+    if diag.ndim == 1:
+        diag = diag.reshape((1,) + (2,) * k)
+    elif diag.ndim == 2:
+        if diag.shape[0] != batch:
+            raise ValueError("per-element diagonal must match batch size")
+        diag = diag.reshape((batch,) + (2,) * k)
+    else:
+        raise ValueError("diagonal must be 1-D (shared) or 2-D (per-element)")
+    # Pad trailing singleton axes then move the gate axes onto the
+    # target qubit axes so the multiply broadcasts across the rest.
+    diag = diag.reshape(diag.shape + (1,) * (num_qubits - k))
+    diag = np.moveaxis(diag, range(1, k + 1), [q + 1 for q in qubits])
+    psi = states.reshape((batch,) + (2,) * num_qubits)
+    return (psi * diag).reshape(batch, -1)
 
 
 class StatevectorSimulator:
@@ -101,6 +175,63 @@ class StatevectorSimulator:
         collector.gauge("quantum.statevector_bytes", int(state.nbytes))
         return state
 
+    def run_batch(self, circuits: Sequence[Circuit],
+                  initial_states: Optional[np.ndarray] = None) -> np.ndarray:
+        """Execute many bound circuits at once; returns ``(batch, 2**n)``.
+
+        All circuits must act on the same number of qubits. When the
+        circuits are *structurally identical* — the same gate names on
+        the same qubits in the same order, only parameter values
+        differing (one encoding template bound to many data points, one
+        ansatz at many shift values) — every layer is applied to the
+        whole batch in a single vectorized operation, with a broadcast
+        phase multiply for diagonal gates. Heterogeneous batches fall
+        back to per-circuit :meth:`run` and stay exactly equivalent.
+        """
+        circuits = list(circuits)
+        if not circuits:
+            raise ValueError("run_batch needs at least one circuit")
+        n = circuits[0].num_qubits
+        if any(c.num_qubits != n for c in circuits):
+            raise ValueError("all circuits must have the same qubit count")
+        batch = len(circuits)
+        if initial_states is None:
+            states = np.zeros((batch, 2 ** n), dtype=complex)
+            states[:, 0] = 1.0
+        else:
+            states = np.asarray(initial_states, dtype=complex).copy()
+            if states.shape != (batch, 2 ** n):
+                raise ValueError(
+                    f"initial states must have shape {(batch, 2 ** n)}"
+                )
+        if not _structurally_identical(circuits):
+            return np.stack([
+                self.run(c, initial_state=states[i])
+                for i, c in enumerate(circuits)
+            ])
+        template = circuits[0].instructions
+        collector = telemetry.get_collector()
+        if collector is None:  # disabled: plain loop, zero accounting
+            for position in range(len(template)):
+                states = _apply_instruction_batch(
+                    states, circuits, position, n
+                )
+            return states
+        with collector.span("quantum.run_batch"):
+            for position in range(len(template)):
+                states = _apply_instruction_batch(
+                    states, circuits, position, n
+                )
+        collector.count("quantum.circuit_evaluations", batch)
+        collector.count("quantum.gate_applications", batch * len(template))
+        tally: Dict[str, int] = {}
+        for inst in template:
+            tally[inst.name] = tally.get(inst.name, 0) + 1
+        for name, occurrences in tally.items():
+            collector.count(f"quantum.gate.{name}", occurrences * batch)
+        collector.gauge("quantum.statevector_bytes", int(states.nbytes))
+        return states
+
     def probabilities(self, circuit: Circuit) -> np.ndarray:
         """Measurement probabilities over all ``2**n`` basis states."""
         state = self.run(circuit)
@@ -114,11 +245,11 @@ class StatevectorSimulator:
         probs = self.probabilities(circuit)
         n = circuit.num_qubits
         outcomes = self._rng.choice(len(probs), size=shots, p=_renorm(probs))
-        counts: Dict[str, int] = {}
-        for outcome in outcomes:
-            key = format(outcome, f"0{n}b")
-            counts[key] = counts.get(key, 0) + 1
-        return counts
+        tallies = np.bincount(outcomes, minlength=len(probs))
+        return {
+            format(int(index), f"0{n}b"): int(tallies[index])
+            for index in np.nonzero(tallies)[0]
+        }
 
     def expectation(self, circuit: Circuit, observable) -> float:
         """Exact expectation value ``<psi|O|psi>`` of a Pauli observable.
@@ -137,6 +268,53 @@ class StatevectorSimulator:
                 f"got {type(observable).__name__}"
             )
         return observable.expectation(state, circuit.num_qubits)
+
+
+def _structurally_identical(circuits: Sequence[Circuit]) -> bool:
+    """True when all circuits share gate names/qubits in order."""
+    template = circuits[0].instructions
+    for circuit in circuits[1:]:
+        if len(circuit.instructions) != len(template):
+            return False
+        for inst, ref in zip(circuit.instructions, template):
+            if inst.name != ref.name or inst.qubits != ref.qubits:
+                return False
+    return True
+
+
+def _apply_instruction_batch(states: np.ndarray,
+                             circuits: Sequence[Circuit],
+                             position: int, num_qubits: int) -> np.ndarray:
+    """Apply instruction ``position`` of every circuit to the batch."""
+    reference = circuits[0].instructions[position]
+    name, qubits = reference.name, reference.qubits
+    if GATE_NUM_PARAMS[name] == 0:
+        diag = gate_diagonal(name)
+        if diag is not None:
+            return apply_diagonal_batch(states, diag, qubits, num_qubits)
+        return apply_matrix_batch(states, gate_matrix(name), qubits,
+                                  num_qubits)
+    try:
+        values = np.array(
+            [[float(p) for p in c.instructions[position].params]
+             for c in circuits],
+            dtype=float,
+        )
+    except TypeError:
+        raise ValueError(
+            f"instruction {name} has unbound parameters; bind first"
+        ) from None
+    if np.all(values == values[0]):  # one shared matrix for the batch
+        diag = gate_diagonal(name, values[0])
+        if diag is not None:
+            return apply_diagonal_batch(states, diag, qubits, num_qubits)
+        return apply_matrix_batch(states, gate_matrix(name, values[0]),
+                                  qubits, num_qubits)
+    diag = batch_gate_diagonal(name, values)
+    if diag is not None:
+        return apply_diagonal_batch(states, diag, qubits, num_qubits)
+    return apply_matrix_batch(states, batch_gate_matrix(name, values),
+                              qubits, num_qubits)
 
 
 def _renorm(probs: np.ndarray) -> np.ndarray:
@@ -162,8 +340,14 @@ def marginal_probabilities(state: np.ndarray,
     if 2 ** n != state.size:
         raise ValueError("state length must be a power of two")
     probs = (np.abs(state) ** 2).reshape((2,) * n)
-    keep = list(qubits)
-    drop = tuple(i for i in range(n) if i not in keep)
+    keep = [int(q) for q in qubits]
+    for q in keep:
+        if not 0 <= q < n:
+            raise ValueError(f"qubit {q} out of range for {n}-qubit state")
+    keep_set = set(keep)
+    if len(keep_set) != len(keep):
+        raise ValueError(f"duplicate qubits in {tuple(qubits)}")
+    drop = tuple(i for i in range(n) if i not in keep_set)
     marg = probs.sum(axis=drop) if drop else probs
     # ``sum`` keeps remaining axes in ascending qubit order; permute to
     # the caller's requested order.

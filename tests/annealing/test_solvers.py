@@ -228,3 +228,59 @@ def test_property_heuristics_never_beat_exact(seed):
                             seed=seed).solve(q)
     assert sa.best_energy >= floor - 1e-9
     assert tabu.best_energy >= floor - 1e-9
+
+
+# ----------------------------------------------------------------------
+# Read-vectorized sweeps (PR 2)
+# ----------------------------------------------------------------------
+def test_vectorized_sa_reaches_optimum_with_telemetry(frustrated_qubo):
+    """Lock-step reads still find the ground state, and the sweep and
+    accept/reject counters stay populated."""
+    from repro import telemetry
+
+    exact = solve_qubo_exact(frustrated_qubo)
+    collector = telemetry.enable()
+    try:
+        solver = SimulatedAnnealingSolver(num_sweeps=200, num_reads=10,
+                                          seed=0)
+        result = solver.solve(frustrated_qubo)
+        snapshot = collector.snapshot()
+    finally:
+        telemetry.disable()
+    assert result.best_energy == pytest.approx(exact.energy)
+    counters = snapshot["counters"]
+    assert counters["annealing.sa.sweeps"] == 200 * 10
+    assert counters["annealing.sa.reads"] == 10
+    assert counters["annealing.sa.accepted_moves"] > 0
+    assert (counters["annealing.sa.accepted_moves"]
+            + counters["annealing.sa.rejected_moves"]
+            == 200 * 10 * frustrated_qubo.num_variables)
+    assert len(snapshot["series"]["annealing.sa.best_energy"]["values"]) == 10
+    assert "annealing.sa.solve" in snapshot["spans"]
+
+
+def test_vectorized_sa_returns_one_sample_per_read(frustrated_qubo):
+    result = SimulatedAnnealingSolver(num_sweeps=60, num_reads=7,
+                                      seed=1).solve(frustrated_qubo)
+    assert sum(s.num_occurrences for s in result) == 7
+
+
+def test_vectorized_sqa_reaches_optimum_with_telemetry(frustrated_qubo):
+    from repro import telemetry
+
+    exact = solve_qubo_exact(frustrated_qubo)
+    collector = telemetry.enable()
+    try:
+        solver = SimulatedQuantumAnnealingSolver(
+            num_sweeps=200, num_reads=8, num_slices=10, seed=4
+        )
+        result = solver.solve(frustrated_qubo)
+        snapshot = collector.snapshot()
+    finally:
+        telemetry.disable()
+    assert result.best_energy <= exact.energy + 0.5
+    counters = snapshot["counters"]
+    assert counters["annealing.sqa.sweeps"] == 200 * 8
+    assert counters["annealing.sqa.accepted_local_moves"] > 0
+    assert counters["annealing.sqa.energy_evaluations"] == 8 * 10
+    assert len(snapshot["series"]["annealing.sqa.best_energy"]["values"]) == 8

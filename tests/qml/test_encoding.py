@@ -197,3 +197,36 @@ def test_property_encodings_produce_normalized_states(features):
     ):
         state = enc.state(features)
         assert np.linalg.norm(state) == pytest.approx(1.0, abs=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Batched state preparation (PR 2)
+# ----------------------------------------------------------------------
+def test_state_batch_matches_per_point_for_circuit_encodings():
+    rng = np.random.default_rng(6)
+    X = rng.uniform(-1.0, 1.0, size=(6, 3))
+    for encoding in (AngleEncoding(3), IQPEncoding(3, depth=2),
+                     IQPEncoding(3, full_entanglement=True)):
+        batched = encoding.state_batch(X)
+        assert batched.shape == (6, 2 ** encoding.num_qubits)
+        for row, state in zip(X, batched):
+            assert np.abs(state - encoding.state(row)).max() < 1e-10
+
+
+def test_state_batch_matches_per_point_for_closed_forms():
+    basis_X = np.array([[0, 1], [1, 1], [0, 0]])
+    batched = BasisEncoding(2).state_batch(basis_X)
+    for row, state in zip(basis_X, batched):
+        assert np.allclose(state, BasisEncoding(2).state(row))
+
+    rng = np.random.default_rng(7)
+    amp_X = rng.normal(size=(5, 4))
+    batched = AmplitudeEncoding(4).state_batch(amp_X)
+    for row, state in zip(amp_X, batched):
+        assert np.allclose(state, AmplitudeEncoding(4).state(row))
+
+
+def test_amplitude_state_batch_rejects_zero_rows():
+    X = np.array([[1.0, 0.0], [0.0, 0.0]])
+    with pytest.raises(ValueError):
+        AmplitudeEncoding(2).state_batch(X)

@@ -186,3 +186,54 @@ def test_shot_based_kernel_converges_to_exact(small_data):
     sampled = FidelityQuantumKernel(IQPEncoding(2), shots=8192,
                                     seed=3)(small_data)
     assert np.abs(sampled - exact).max() < 0.05
+
+
+# ----------------------------------------------------------------------
+# Vectorized sampled Gram (PR 2)
+# ----------------------------------------------------------------------
+def test_sampled_gram_symmetric_with_unit_diagonal(small_data):
+    kernel = FidelityQuantumKernel(IQPEncoding(2), shots=256, seed=5)
+    gram = kernel(small_data)
+    assert np.allclose(np.diag(gram), 1.0)
+    assert np.array_equal(gram, gram.T)
+    # Shot counts are multiples of 1/shots.
+    assert np.allclose(gram * 256, np.round(gram * 256))
+
+
+def test_sampled_gram_deterministic_under_seed(small_data):
+    first = FidelityQuantumKernel(IQPEncoding(2), shots=128,
+                                  seed=9)(small_data)
+    second = FidelityQuantumKernel(IQPEncoding(2), shots=128,
+                                   seed=9)(small_data)
+    assert np.array_equal(first, second)
+
+
+def test_sampled_gram_asymmetric_block(small_data):
+    kernel = FidelityQuantumKernel(IQPEncoding(2), shots=512, seed=2)
+    exact = FidelityQuantumKernel(IQPEncoding(2))
+    rows, cols = small_data[:3], small_data[3:]
+    sampled = kernel(rows, cols)
+    reference = exact(rows, cols)
+    assert sampled.shape == reference.shape == (3, 5)
+    assert np.abs(sampled - reference).max() < 0.2
+
+
+def test_sampled_gram_converges_to_exact(small_data):
+    exact = FidelityQuantumKernel(IQPEncoding(2))(small_data)
+    sampled = FidelityQuantumKernel(IQPEncoding(2), shots=20_000,
+                                    seed=3)(small_data)
+    assert np.abs(sampled - exact).max() < 0.05
+
+
+def test_projected_kernel_batched_features_match_per_point(small_data):
+    kernel = ProjectedQuantumKernel(IQPEncoding(2, depth=2))
+    batched = kernel.features(small_data)
+    encoding = IQPEncoding(2, depth=2)
+    from repro.quantum import StatevectorSimulator, marginal_probabilities
+
+    sim = StatevectorSimulator()
+    for row, feature in zip(small_data, batched):
+        state = sim.run(encoding.circuit(row))
+        expected = [marginal_probabilities(state, [q])[1]
+                    for q in range(2)]
+        assert np.allclose(feature, expected, atol=1e-12)

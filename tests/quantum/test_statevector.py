@@ -191,3 +191,39 @@ def test_property_probabilities_sum_to_one(seed):
     probs = StatevectorSimulator().probabilities(qc)
     assert probs.sum() == pytest.approx(1.0, abs=1e-9)
     assert (probs >= -1e-12).all()
+
+
+def test_marginal_probabilities_out_of_order_regression():
+    """Out-of-order and repeated qubit arguments (PR-2 regression)."""
+    qc = Circuit(3).h(0).cx(0, 1).x(2)
+    state = SIM.run(qc)
+    forward = marginal_probabilities(state, [0, 2])
+    swapped = marginal_probabilities(state, [2, 0])
+    # Swapping the requested order permutes the same distribution.
+    assert forward.sum() == pytest.approx(1.0)
+    assert sorted(forward) == pytest.approx(sorted(swapped))
+    # |q0 q2> vs |q2 q0>: entry (a, b) maps to entry (b, a).
+    assert forward.reshape(2, 2).T == pytest.approx(swapped.reshape(2, 2))
+
+
+def test_marginal_probabilities_rejects_duplicates():
+    state = SIM.run(Circuit(2).h(0))
+    with pytest.raises(ValueError):
+        marginal_probabilities(state, [0, 0])
+
+
+def test_marginal_probabilities_rejects_out_of_range():
+    state = SIM.run(Circuit(2).h(0))
+    with pytest.raises(ValueError):
+        marginal_probabilities(state, [2])
+
+
+def test_sample_counts_totals_and_keys():
+    qc = Circuit(3).h(0).cx(0, 1)
+    counts = SIM.sample_counts(qc, shots=256)
+    assert sum(counts.values()) == 256
+    assert all(len(key) == 3 and set(key) <= {"0", "1"} for key in counts)
+    assert all(isinstance(value, int) and value > 0
+               for value in counts.values())
+    # Bell pair on qubits 0-1: only 00x and 11x outcomes appear.
+    assert set(counts) <= {"000", "110"}
