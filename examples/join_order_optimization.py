@@ -21,7 +21,6 @@ from repro.db import (
     greedy_goo,
     random_join_graph,
     solve_join_order_annealing,
-    tree_cost,
 )
 
 

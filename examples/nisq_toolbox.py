@@ -14,7 +14,6 @@ Run with::
     python examples/nisq_toolbox.py
 """
 
-import numpy as np
 
 from repro.quantum import (
     Circuit,

@@ -21,7 +21,6 @@ from repro.db import (
     make_star_schema,
     solve_join_order_annealing,
     solve_join_order_rl,
-    tree_cost,
     validate_cost_model,
 )
 

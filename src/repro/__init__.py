@@ -11,6 +11,10 @@ Opportunities for Database Research":
   diagnostics.
 * :mod:`repro.annealing` — QUBO/Ising modelling, simulated (quantum)
   annealing, tabu, exact solvers, QAOA.
+* :mod:`repro.compile` — the problem-compilation IR
+  (:class:`~repro.compile.CompiledProblem`, constraint primitives,
+  analytic penalty weights) and the string-addressable solver
+  registry behind ``repro.compile.solve``.
 * :mod:`repro.db` — relational substrate and the QUBO formulations of
   join ordering, multiple-query optimization, index selection and
   transaction scheduling, plus learned cardinality estimation.
@@ -31,6 +35,7 @@ __version__ = "1.1.0"
 from . import (
     annealing,
     baselines,
+    compile,
     datasets,
     db,
     experiments,
@@ -42,6 +47,7 @@ from . import (
 __all__ = [
     "annealing",
     "baselines",
+    "compile",
     "datasets",
     "db",
     "experiments",

@@ -7,11 +7,11 @@ compute optimality gaps.
 
 from __future__ import annotations
 
-from typing import Tuple, Union
+from typing import Tuple
 
 import numpy as np
 
-from .ising import IsingModel, bits_to_spins
+from .ising import IsingModel
 from .qubo import QUBO
 from .results import Sample, SampleSet
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 from scipy import optimize as scipy_optimize
@@ -20,7 +20,7 @@ from scipy import optimize as scipy_optimize
 from .. import telemetry
 from ..quantum.circuit import Circuit
 from ..quantum.statevector import StatevectorSimulator
-from .ising import IsingModel, spins_to_bits
+from .ising import IsingModel
 from .qubo import QUBO
 from .results import Sample, SampleSet
 
@@ -90,6 +90,9 @@ class QAOASolver:
     shots:
         Number of solution samples drawn from the final distribution.
     """
+
+    #: Registry name in :mod:`repro.compile.dispatch`.
+    solver_name = "qaoa"
 
     def __init__(self, p: int = 1, optimizer: str = "cobyla",
                  restarts: int = 3, shots: int = 256, maxiter: int = 200,

@@ -13,8 +13,7 @@ All solvers minimize.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 

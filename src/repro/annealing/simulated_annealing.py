@@ -48,6 +48,9 @@ class SimulatedAnnealingSolver:
         as penalty-heavy QUBOs.
     """
 
+    #: Registry name in :mod:`repro.compile.dispatch`.
+    solver_name = "sa"
+
     def __init__(self, num_sweeps: int = 200, num_reads: int = 10,
                  beta_schedule: Optional[Sequence[float]] = None,
                  seed: Optional[int] = None):

@@ -51,6 +51,9 @@ class SimulatedQuantumAnnealingSolver:
         ramp 3.0 -> 0.01.
     """
 
+    #: Registry name in :mod:`repro.compile.dispatch`.
+    solver_name = "sqa"
+
     def __init__(self, num_sweeps: int = 200, num_reads: int = 10,
                  num_slices: int = 20, beta: float = 10.0,
                  gamma_schedule: Optional[Sequence[float]] = None,

@@ -30,6 +30,9 @@ class TabuSearchSolver:
         Flip moves per restart.
     """
 
+    #: Registry name in :mod:`repro.compile.dispatch`.
+    solver_name = "tabu"
+
     def __init__(self, tenure: Optional[int] = None, num_restarts: int = 5,
                  max_iterations: int = 500, seed: Optional[int] = None):
         if num_restarts < 1:

@@ -39,6 +39,9 @@ class ParallelTemperingSolver:
         the automatic one.
     """
 
+    #: Registry name in :mod:`repro.compile.dispatch`.
+    solver_name = "pt"
+
     def __init__(self, num_replicas: int = 8, num_sweeps: int = 200,
                  num_reads: int = 5,
                  betas: Optional[Sequence[float]] = None,

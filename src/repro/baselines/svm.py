@@ -8,7 +8,7 @@ in :mod:`repro.qml.kernels` uses.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Union
+from typing import Optional, Union
 
 import numpy as np
 

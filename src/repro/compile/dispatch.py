@@ -1,0 +1,335 @@
+"""String-addressable solver registry and the ``solve`` front door.
+
+Every annealing-style backend in :mod:`repro.annealing` registers here
+under a short name (``"sa"``, ``"sqa"``, ``"tabu"``, ``"qaoa"``,
+``"exact"``, ``"pt"``), so swapping solvers is a config/CLI knob
+rather than a code change::
+
+    from repro.compile import SolverConfig, solve
+    result = solve(problem, solver="sqa",
+                   config=SolverConfig(num_sweeps=400, num_reads=20,
+                                       seed=7))
+
+``solve`` validates the config, threads the seed into the backend,
+wraps the run in a telemetry span, decodes every read through the
+problem's hooks and returns a uniform :class:`SolveResult` (best
+decoded solution, feasibility flag, per-read energy trajectory,
+provenance).
+
+The uniform knobs map onto each backend's closest notion:
+
+========  =====================  =====================
+solver    ``num_sweeps``         ``num_reads``
+========  =====================  =====================
+sa        Metropolis sweeps      restarts
+sqa       PIMC sweeps            restarts
+pt        sweeps per replica     restarts
+tabu      ``max_iterations``     ``num_restarts``
+qaoa      optimizer ``maxiter``  ``restarts``
+exact     ignored                ignored
+========  =====================  =====================
+
+Backend-specific knobs (``num_slices``, ``tenure``, ``p``, ...) ride
+in ``SolverConfig.options`` and are forwarded to the constructor.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from .. import telemetry
+from ..annealing.exact import solve_ising_exact, solve_qubo_exact
+from ..annealing.ising import IsingModel, spins_to_bits
+from ..annealing.qaoa import QAOASolver
+from ..annealing.qubo import QUBO
+from ..annealing.results import Sample, SampleSet
+from ..annealing.simulated_annealing import SimulatedAnnealingSolver
+from ..annealing.sqa import SimulatedQuantumAnnealingSolver
+from ..annealing.tabu import TabuSearchSolver
+from ..annealing.tempering import ParallelTemperingSolver
+from .ir import CompiledProblem, Model
+
+
+@dataclass
+class SolverConfig:
+    """Uniform solver configuration threaded through the registry.
+
+    ``None`` fields fall back to the backend's own constructor
+    defaults; ``options`` carries backend-specific keyword arguments
+    verbatim.
+    """
+
+    num_sweeps: Optional[int] = None
+    num_reads: Optional[int] = None
+    seed: Optional[int] = None
+    options: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_sweeps is not None and self.num_sweeps < 1:
+            raise ValueError("num_sweeps must be positive")
+        if self.num_reads is not None and self.num_reads < 1:
+            raise ValueError("num_reads must be positive")
+        if self.seed is not None and not isinstance(self.seed, (int,
+                                                                np.integer)):
+            raise ValueError("seed must be an integer")
+        if not isinstance(self.options, dict):
+            raise ValueError("options must be a dict")
+        reserved = {"num_sweeps", "num_reads", "seed"}
+        clashes = reserved & set(self.options)
+        if clashes:
+            raise ValueError(
+                f"options may not override uniform knobs: {sorted(clashes)}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "num_sweeps": self.num_sweeps,
+            "num_reads": self.num_reads,
+            "seed": None if self.seed is None else int(self.seed),
+            "options": dict(self.options),
+        }
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """One registry entry: a name, a description and a run adapter."""
+
+    name: str
+    description: str
+    run: Callable[[Model, SolverConfig], SampleSet]
+
+
+_REGISTRY: Dict[str, SolverSpec] = {}
+
+
+def register_solver(name: str, description: str,
+                    run: Callable[[Model, SolverConfig], SampleSet]
+                    ) -> None:
+    """Register a solver adapter under a string name."""
+    if name in _REGISTRY:
+        raise ValueError(f"solver {name!r} registered twice")
+    _REGISTRY[name] = SolverSpec(name=name, description=description,
+                                 run=run)
+
+
+def available_solvers() -> Dict[str, str]:
+    """Mapping of registered solver name -> description."""
+    return {name: spec.description for name, spec in
+            sorted(_REGISTRY.items())}
+
+
+def _unknown_solver_error(name: str) -> ValueError:
+    names = ", ".join(sorted(_REGISTRY))
+    return ValueError(
+        f"unknown solver {name!r}; registered solvers: {names}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Backend adapters
+# ----------------------------------------------------------------------
+def _config_kwargs(config: SolverConfig,
+                   sweeps_key: Optional[str] = "num_sweeps",
+                   reads_key: Optional[str] = "num_reads"
+                   ) -> Dict[str, Any]:
+    kwargs: Dict[str, Any] = dict(config.options)
+    if sweeps_key is not None and config.num_sweeps is not None:
+        kwargs[sweeps_key] = config.num_sweeps
+    if reads_key is not None and config.num_reads is not None:
+        kwargs[reads_key] = config.num_reads
+    return kwargs
+
+
+def _seed_int(config: SolverConfig) -> Optional[int]:
+    return None if config.seed is None else int(config.seed)
+
+
+def _run_sa(model: Model, config: SolverConfig) -> SampleSet:
+    solver = SimulatedAnnealingSolver(seed=_seed_int(config),
+                                      **_config_kwargs(config))
+    return solver.solve(model)
+
+
+def _run_sqa(model: Model, config: SolverConfig) -> SampleSet:
+    solver = SimulatedQuantumAnnealingSolver(seed=_seed_int(config),
+                                             **_config_kwargs(config))
+    return solver.solve(model)
+
+
+def _run_pt(model: Model, config: SolverConfig) -> SampleSet:
+    solver = ParallelTemperingSolver(seed=_seed_int(config),
+                                     **_config_kwargs(config))
+    return solver.solve(model)
+
+
+def _run_tabu(model: Model, config: SolverConfig) -> SampleSet:
+    kwargs = _config_kwargs(config, sweeps_key="max_iterations",
+                            reads_key="num_restarts")
+    solver = TabuSearchSolver(seed=_seed_int(config), **kwargs)
+    if isinstance(model, IsingModel):
+        model = model.to_qubo()
+    return solver.solve(model)
+
+
+def _run_qaoa(model: Model, config: SolverConfig) -> SampleSet:
+    kwargs = _config_kwargs(config, sweeps_key="maxiter",
+                            reads_key="restarts")
+    solver = QAOASolver(seed=_seed_int(config), **kwargs)
+    return solver.solve(model).samples
+
+
+def _run_exact(model: Model, config: SolverConfig) -> SampleSet:
+    if isinstance(model, QUBO):
+        return SampleSet([solve_qubo_exact(model)])
+    spins, energy = solve_ising_exact(model)
+    bits = tuple(int(b) for b in spins_to_bits(spins))
+    return SampleSet([Sample(bits, energy)])
+
+
+register_solver("sa", "simulated (thermal) annealing", _run_sa)
+register_solver("sqa", "simulated quantum annealing (path-integral "
+                       "Monte Carlo)", _run_sqa)
+register_solver("tabu", "tabu search over single-bit flips", _run_tabu)
+register_solver("qaoa", "QAOA on the statevector simulator", _run_qaoa)
+register_solver("exact", "exhaustive enumeration (ground truth)",
+                _run_exact)
+register_solver("pt", "parallel tempering (replica exchange)", _run_pt)
+
+
+# ----------------------------------------------------------------------
+# The front door
+# ----------------------------------------------------------------------
+@dataclass
+class SolveResult:
+    """Uniform result of ``solve``: one best decoded solution plus the
+    evidence behind it.
+
+    ``solutions`` aligns 1:1 with ``samples`` (distinct reads, sorted
+    by energy ascending); ``energies`` is the per-read energy
+    trajectory expanded by occurrence counts, so its minimum is the
+    best energy the backend reached.
+    """
+
+    problem: str
+    solver: str
+    solution: Any
+    feasible: bool
+    energy: float
+    energies: np.ndarray
+    samples: SampleSet
+    solutions: List[Any]
+    config: SolverConfig
+    provenance: Dict[str, Any]
+
+    def __repr__(self) -> str:
+        return (
+            f"SolveResult(problem={self.problem!r}, "
+            f"solver={self.solver!r}, feasible={self.feasible}, "
+            f"energy={self.energy:g}, reads={len(self.samples)})"
+        )
+
+
+def make_solver(name: str, config: Optional[SolverConfig] = None
+                ) -> Callable[[Model], SampleSet]:
+    """Bind a registered solver and a config into ``model -> SampleSet``.
+
+    Handy when code wants registry dispatch but manages decoding
+    itself (the experiment runners use this for their baseline arms).
+    """
+    if name not in _REGISTRY:
+        raise _unknown_solver_error(name)
+    spec = _REGISTRY[name]
+    bound_config = config if config is not None else SolverConfig()
+
+    def run(model: Model) -> SampleSet:
+        return spec.run(model, bound_config)
+
+    return run
+
+
+def solve(problem: CompiledProblem,
+          solver: Union[str, Any] = "sa",
+          config: Optional[SolverConfig] = None,
+          repair: bool = False) -> SolveResult:
+    """Solve a compiled problem with a registered (or ad-hoc) solver.
+
+    ``solver`` is a registry name, or any object with a
+    ``solve(model)`` method (an escape hatch for pre-configured solver
+    instances; ``config`` is ignored for those). ``repair=True``
+    additionally applies the problem's optional ``repair`` hook to the
+    best decoded solution before the feasibility check.
+    """
+    config = config if config is not None else SolverConfig()
+    if isinstance(solver, str):
+        if solver not in _REGISTRY:
+            raise _unknown_solver_error(solver)
+        spec = _REGISTRY[solver]
+        solver_name = solver
+        run = spec.run
+    elif hasattr(solver, "solve"):
+        # Solver classes carry their registry name (``solver_name``)
+        # so telemetry counters stay consistent between string dispatch
+        # and pre-configured instances.
+        solver_name = getattr(type(solver), "solver_name",
+                              type(solver).__name__)
+
+        def run(model: Model, _config: SolverConfig) -> SampleSet:
+            raw = solver.solve(model)
+            # QAOA-style results carry their reads in ``.samples``.
+            samples = (raw if isinstance(raw, SampleSet)
+                       else getattr(raw, "samples", raw))
+            if not isinstance(samples, SampleSet):
+                raise TypeError(
+                    f"solver {solver_name} returned "
+                    f"{type(raw).__name__}, expected a SampleSet"
+                )
+            return samples
+    else:
+        raise _unknown_solver_error(str(solver))
+
+    start = time.perf_counter()
+    with telemetry.span(f"compile.solve.{problem.name}"):
+        samples = run(problem.model, config)
+        solutions = [problem.decode(sample.assignment)
+                     for sample in samples]
+    duration = time.perf_counter() - start
+    telemetry.count("compile.solve.runs")
+    telemetry.count(f"compile.solve.{solver_name}.runs")
+    telemetry.count("compile.solve.reads", len(samples))
+
+    best = solutions[0]
+    best_score = problem.score(best)
+    for candidate in solutions[1:]:
+        score = problem.score(candidate)
+        if score < best_score:
+            best, best_score = candidate, score
+    if repair and problem.repair is not None:
+        best = problem.repair(best)
+        telemetry.count("compile.repair.applied")
+
+    from .. import __version__
+
+    return SolveResult(
+        problem=problem.name,
+        solver=solver_name,
+        solution=best,
+        feasible=bool(problem.feasible(best)),
+        energy=float(samples.best_energy),
+        energies=samples.energies(),
+        samples=samples,
+        solutions=solutions,
+        config=config,
+        provenance={
+            "problem": problem.name,
+            "solver": solver_name,
+            "config": config.to_dict(),
+            "seed": None if config.seed is None else int(config.seed),
+            "num_variables": problem.num_variables,
+            "version": __version__,
+            "duration_seconds": duration,
+        },
+    )

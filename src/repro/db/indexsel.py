@@ -15,15 +15,22 @@ Experiment E10.
 
 from __future__ import annotations
 
-import itertools
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..annealing.qubo import QUBO
-from ..annealing.simulated_annealing import SimulatedAnnealingSolver
+from ..compile import (
+    CompiledProblem,
+    ProblemBuilder,
+    SolverConfig,
+    analytic_penalty_weight,
+    binary_slack_coefficients,
+    check_bits,
+    validate_penalty_scale,
+)
+from ..compile import solve as dispatch_solve
 
 
 @dataclass
@@ -113,57 +120,58 @@ class IndexSelectionQUBO:
 
     def __init__(self, problem: IndexSelectionProblem,
                  penalty_scale: float = 1.0):
-        if penalty_scale <= 0:
-            raise ValueError("penalty_scale must be positive")
         self.problem = problem
-        self.penalty_scale = penalty_scale
+        self.penalty_scale = validate_penalty_scale(penalty_scale)
         self.num_index_vars = problem.num_candidates
         self.num_slack_vars = max(1, problem.budget.bit_length())
         self.num_variables = self.num_index_vars + self.num_slack_vars
-        self._qubo: Optional[QUBO] = None
+        self._compiled: Optional[CompiledProblem] = None
 
     def slack_coefficients(self) -> List[int]:
         """Binary expansion weights covering exactly [0, budget]."""
-        weights: List[int] = []
-        remaining = self.problem.budget
-        power = 1
-        while len(weights) < self.num_slack_vars - 1:
-            weights.append(power)
-            remaining -= power
-            power *= 2
-        weights.append(max(1, remaining))
-        return weights
+        return binary_slack_coefficients(self.problem.budget)
 
     def penalty_weight(self) -> float:
         """Exceeds the largest possible benefit swing of one index."""
         best = max(self.problem.benefits)
-        return self.penalty_scale * (best + 1.0)
+        return analytic_penalty_weight(best, self.penalty_scale)
+
+    def compile(self) -> CompiledProblem:
+        """Lower the formulation to the shared IR (cached)."""
+        if self._compiled is not None:
+            return self._compiled
+        problem = self.problem
+        builder = ProblemBuilder("index_selection",
+                                 penalty_scale=self.penalty_scale)
+        for i in range(self.num_index_vars):
+            builder.add_variable("index", i)
+        for i, benefit in enumerate(problem.benefits):
+            builder.add_linear(i, -benefit)
+        for (i, j), value in problem.overlaps.items():
+            builder.add_quadratic(i, j, value)
+
+        # Penalty A * (sum_i s_i x_i + sum_k w_k z_k - budget)^2, the
+        # inequality turned into an equality via binary slack.
+        weight = self.penalty_weight()
+        builder.linear_leq(
+            list(enumerate(problem.sizes)), problem.budget, weight
+        )
+
+        def score(selection: List[int]) -> float:
+            return -problem.total_benefit(selection)
+
+        self._compiled = builder.finish(
+            decode=self.decode,
+            score=score,
+            feasible=problem.is_feasible,
+            metadata={"penalty_weight": weight,
+                      "budget": problem.budget,
+                      "num_slack_vars": self.num_slack_vars},
+        )
+        return self._compiled
 
     def build(self) -> QUBO:
-        if self._qubo is not None:
-            return self._qubo
-        problem = self.problem
-        qubo = QUBO(self.num_variables)
-        for i, benefit in enumerate(problem.benefits):
-            qubo.add_linear(i, -benefit)
-        for (i, j), value in problem.overlaps.items():
-            qubo.add_quadratic(i, j, value)
-
-        # Penalty A * (sum_i s_i x_i + sum_k w_k z_k - budget)^2.
-        weight = self.penalty_weight()
-        slack = self.slack_coefficients()
-        coefficients = list(problem.sizes) + slack
-        budget = problem.budget
-        for a in range(self.num_variables):
-            ca = coefficients[a]
-            qubo.add_linear(a, weight * (ca * ca - 2.0 * budget * ca))
-            for b in range(a + 1, self.num_variables):
-                qubo.add_quadratic(
-                    a, b, weight * 2.0 * ca * coefficients[b]
-                )
-        qubo.add_offset(weight * budget * budget)
-        self._qubo = qubo
-        return qubo
+        return self.compile().model
 
     def decode(self, bits: Sequence[int]) -> List[int]:
         """Bits -> selected index list with two repair passes.
@@ -173,11 +181,7 @@ class IndexSelectionQUBO:
         greedily by marginal benefit (the annealer often leaves slack
         capacity because the slack bits froze early).
         """
-        bits = np.asarray(bits).reshape(-1)
-        if bits.size != self.num_variables:
-            raise ValueError(
-                f"expected {self.num_variables} bits, got {bits.size}"
-            )
+        bits = check_bits(bits, self.num_variables)
         selection = [i for i in range(self.num_index_vars) if bits[i] == 1]
         while selection and not self.problem.is_feasible(selection):
             worst = min(
@@ -253,23 +257,29 @@ def solve_index_selection_greedy(problem: IndexSelectionProblem
     return selection, problem.total_benefit(selection)
 
 
+#: Default dispatch configuration of
+#: :func:`solve_index_selection_annealing`.
+DEFAULT_SOLVER_CONFIG = SolverConfig(num_sweeps=800, num_reads=40, seed=0)
+
+
 def solve_index_selection_annealing(problem: IndexSelectionProblem,
                                     solver=None,
-                                    penalty_scale: float = 1.0
+                                    penalty_scale: float = 1.0,
+                                    config: Optional[SolverConfig] = None
                                     ) -> Tuple[List[int], float]:
-    """Compile to QUBO, anneal, decode the best feasible read."""
-    compiler = IndexSelectionQUBO(problem, penalty_scale=penalty_scale)
-    qubo = compiler.build()
+    """Compile to QUBO, dispatch a solver, decode the best read.
+
+    ``solver`` is a registry name or solver instance; ``None`` means
+    simulated annealing. Registry names with no explicit ``config``
+    run at the deterministic :data:`DEFAULT_SOLVER_CONFIG`.
+    """
+    compiled = IndexSelectionQUBO(
+        problem, penalty_scale=penalty_scale
+    ).compile()
     if solver is None:
-        solver = SimulatedAnnealingSolver(num_sweeps=800, num_reads=40,
-                                          seed=0)
-    samples = solver.solve(qubo)
-    best_selection: List[int] = []
-    best_benefit = -math.inf
-    for sample in samples:
-        selection = compiler.decode(sample.assignment)
-        benefit = problem.total_benefit(selection)
-        if benefit > best_benefit:
-            best_benefit = benefit
-            best_selection = selection
-    return best_selection, max(best_benefit, 0.0)
+        solver = "sa"
+    if isinstance(solver, str) and config is None:
+        config = DEFAULT_SOLVER_CONFIG
+    result = dispatch_solve(compiled, solver=solver, config=config)
+    benefit = problem.total_benefit(result.solution)
+    return result.solution, max(benefit, 0.0)

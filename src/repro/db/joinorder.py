@@ -24,10 +24,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..annealing.qubo import QUBO
-from ..annealing.results import SampleSet
-from ..annealing.simulated_annealing import SimulatedAnnealingSolver
+from ..compile import (
+    CompiledProblem,
+    ProblemBuilder,
+    SolverConfig,
+    analytic_penalty_weight,
+    check_bits,
+    validate_penalty_scale,
+)
+from ..compile import solve as dispatch_solve
 from .cost import left_deep_cost, log_cost_proxy, tree_cost
-from .query import JoinGraph, JoinTree, left_deep_tree
+from .query import JoinGraph, JoinTree
 
 
 # ----------------------------------------------------------------------
@@ -205,13 +212,11 @@ class JoinOrderQUBO:
     """
 
     def __init__(self, graph: JoinGraph, penalty_scale: float = 1.0):
-        if penalty_scale <= 0:
-            raise ValueError("penalty_scale must be positive")
         self.graph = graph
-        self.penalty_scale = penalty_scale
+        self.penalty_scale = validate_penalty_scale(penalty_scale)
         self.num_relations = graph.num_relations
         self.num_variables = self.num_relations ** 2
-        self._qubo: Optional[QUBO] = None
+        self._compiled: Optional[CompiledProblem] = None
 
     # -- variable numbering --------------------------------------------
     def variable(self, relation: int, position: int) -> int:
@@ -222,12 +227,16 @@ class JoinOrderQUBO:
         return relation * n + position
 
     # -- build ----------------------------------------------------------
-    def build(self) -> QUBO:
-        """Construct (and cache) the QUBO."""
-        if self._qubo is not None:
-            return self._qubo
+    def compile(self) -> CompiledProblem:
+        """Lower the formulation to the shared IR (cached)."""
+        if self._compiled is not None:
+            return self._compiled
         n = self.num_relations
-        qubo = QUBO(self.num_variables)
+        builder = ProblemBuilder("join_order",
+                                 penalty_scale=self.penalty_scale)
+        for r in range(n):
+            for p in range(n):
+                builder.add_variable("x", r, p)
 
         log_card = [math.log(c) for c in self.graph.cardinalities]
         # Linear part: x[r, p'] contributes log(card_r) to every prefix
@@ -236,7 +245,7 @@ class JoinOrderQUBO:
             for p_prime in range(n):
                 count = n - max(p_prime, 1)
                 if count > 0:
-                    qubo.add_linear(
+                    builder.add_linear(
                         self.variable(r, p_prime), log_card[r] * count
                     )
         # Quadratic part: x[a, p1] * x[b, p2] contributes log(sel_ab)
@@ -247,22 +256,34 @@ class JoinOrderQUBO:
                 for p2 in range(n):
                     count = n - max(p1, p2, 1)
                     if count > 0:
-                        qubo.add_quadratic(
+                        builder.add_quadratic(
                             self.variable(a, p1), self.variable(b, p2),
                             log_sel * count,
                         )
 
         weight = self.penalty_weight()
         for p in range(n):
-            qubo.add_penalty_exactly_one(
+            builder.exactly_one(
                 [self.variable(r, p) for r in range(n)], weight
             )
         for r in range(n):
-            qubo.add_penalty_exactly_one(
+            builder.exactly_one(
                 [self.variable(r, p) for p in range(n)], weight
             )
-        self._qubo = qubo
-        return qubo
+        self._compiled = builder.finish(
+            decode=self.decode,
+            score=lambda decoded: decoded.cost,
+            feasible=lambda decoded: (
+                sorted(decoded.order) == list(range(n))
+            ),
+            metadata={"penalty_weight": weight,
+                      "num_relations": n},
+        )
+        return self._compiled
+
+    def build(self) -> QUBO:
+        """Construct (and cache) the QUBO."""
+        return self.compile().model
 
     def penalty_weight(self) -> float:
         """Analytic one-hot penalty: exceeds the objective's range.
@@ -274,7 +295,8 @@ class JoinOrderQUBO:
         span = (sum(abs(math.log(c)) for c in self.graph.cardinalities)
                 + sum(abs(math.log(s))
                       for s in self.graph.selectivities.values()))
-        return self.penalty_scale * ((self.num_relations - 1) * span + 1.0)
+        return analytic_penalty_weight((self.num_relations - 1) * span,
+                                       self.penalty_scale)
 
     # -- decode ----------------------------------------------------------
     def decode(self, bits: Sequence[int]) -> JoinOrderDecoded:
@@ -284,11 +306,7 @@ class JoinOrderQUBO:
         assigned relation when the encoding is valid, otherwise the
         lowest-index unused relation among those set (or unused overall).
         """
-        bits = np.asarray(bits).reshape(-1)
-        if bits.size != self.num_variables:
-            raise ValueError(
-                f"expected {self.num_variables} bits, got {bits.size}"
-            )
+        bits = check_bits(bits, self.num_variables)
         n = self.num_relations
         matrix = bits.reshape(n, n)  # [relation, position]
         valid = (
@@ -321,25 +339,35 @@ class JoinOrderQUBO:
         return bits
 
 
+#: Default dispatch configuration of :func:`solve_join_order_annealing`.
+DEFAULT_SOLVER_CONFIG = SolverConfig(num_sweeps=300, num_reads=20, seed=0)
+
+
 def solve_join_order_annealing(graph: JoinGraph, solver=None,
                                penalty_scale: float = 1.0,
-                               polish: bool = True) -> JoinOrderDecoded:
-    """End-to-end: build the QUBO, anneal, decode the best read.
+                               polish: bool = True,
+                               config: Optional[SolverConfig] = None
+                               ) -> JoinOrderDecoded:
+    """End-to-end: compile the QUBO, dispatch a solver, decode the best
+    read.
 
-    ``polish`` runs a classical pairwise-swap hill climb on the decoded
-    order — the standard hybrid refinement step: single-bit-flip
-    annealers move between permutations only through 4-bit flips, so a
-    cheap 2-opt pass recovers the last few percent (and occasionally a
-    stuck read) at negligible cost.
+    ``solver`` is a registry name (``"sa"``, ``"sqa"``, ...) or a
+    pre-configured solver instance; ``None`` means simulated
+    annealing. Registry names with no explicit ``config`` run at the
+    deterministic :data:`DEFAULT_SOLVER_CONFIG`. ``polish`` runs a
+    classical pairwise-swap hill climb on the decoded order — the standard
+    hybrid refinement step: single-bit-flip annealers move between
+    permutations only through 4-bit flips, so a cheap 2-opt pass
+    recovers the last few percent (and occasionally a stuck read) at
+    negligible cost.
     """
-    formulation = JoinOrderQUBO(graph, penalty_scale=penalty_scale)
-    qubo = formulation.build()
+    problem = JoinOrderQUBO(graph, penalty_scale=penalty_scale).compile()
     if solver is None:
-        solver = SimulatedAnnealingSolver(num_sweeps=300, num_reads=20,
-                                          seed=0)
-    samples: SampleSet = solver.solve(qubo)
-    decoded = [formulation.decode(s.assignment) for s in samples]
-    best = min(decoded, key=lambda d: d.cost)
+        solver = "sa"
+    if isinstance(solver, str) and config is None:
+        config = DEFAULT_SOLVER_CONFIG
+    result = dispatch_solve(problem, solver=solver, config=config)
+    best: JoinOrderDecoded = result.solution
     if polish:
         order = two_opt_polish(graph, best.order)
         best = JoinOrderDecoded(

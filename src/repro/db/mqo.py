@@ -21,7 +21,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..annealing.qubo import QUBO
-from ..annealing.simulated_annealing import SimulatedAnnealingSolver
+from ..compile import (
+    CompiledProblem,
+    ProblemBuilder,
+    SolverConfig,
+    analytic_penalty_weight,
+    check_bits,
+    validate_penalty_scale,
+)
+from ..compile import solve as dispatch_solve
 
 
 @dataclass
@@ -122,17 +130,15 @@ class MQOQUBO:
     """QUBO compiler for an :class:`MQOProblem`."""
 
     def __init__(self, problem: MQOProblem, penalty_scale: float = 1.0):
-        if penalty_scale <= 0:
-            raise ValueError("penalty_scale must be positive")
         self.problem = problem
-        self.penalty_scale = penalty_scale
+        self.penalty_scale = validate_penalty_scale(penalty_scale)
         self._offsets: List[int] = []
         offset = 0
         for costs in problem.plan_costs:
             self._offsets.append(offset)
             offset += len(costs)
         self.num_variables = offset
-        self._qubo: Optional[QUBO] = None
+        self._compiled: Optional[CompiledProblem] = None
 
     def variable(self, query: int, plan: int) -> int:
         """Flat index of plan ``plan`` of query ``query``."""
@@ -154,35 +160,55 @@ class MQOQUBO:
             per_plan_savings[plan_a] = per_plan_savings.get(plan_a, 0.0) + value
             per_plan_savings[plan_b] = per_plan_savings.get(plan_b, 0.0) + value
         max_plan_savings = max(per_plan_savings.values(), default=0.0)
-        return self.penalty_scale * (max(max_cost, max_plan_savings) + 1.0)
+        return analytic_penalty_weight(max(max_cost, max_plan_savings),
+                                       self.penalty_scale)
 
-    def build(self) -> QUBO:
-        if self._qubo is not None:
-            return self._qubo
-        qubo = QUBO(self.num_variables)
-        for q, costs in enumerate(self.problem.plan_costs):
+    def compile(self) -> CompiledProblem:
+        """Lower the formulation to the shared IR (cached)."""
+        if self._compiled is not None:
+            return self._compiled
+        problem = self.problem
+        builder = ProblemBuilder("mqo", penalty_scale=self.penalty_scale)
+        for q, costs in enumerate(problem.plan_costs):
+            for k in range(len(costs)):
+                builder.add_variable("x", q, k)
+        for q, costs in enumerate(problem.plan_costs):
             for k, cost in enumerate(costs):
-                qubo.add_linear(self.variable(q, k), cost)
-        for (plan_a, plan_b), value in self.problem.savings.items():
-            qubo.add_quadratic(
+                builder.add_linear(self.variable(q, k), cost)
+        for (plan_a, plan_b), value in problem.savings.items():
+            builder.add_quadratic(
                 self.variable(*plan_a), self.variable(*plan_b), -value
             )
         weight = self.penalty_weight()
-        for q, costs in enumerate(self.problem.plan_costs):
-            qubo.add_penalty_exactly_one(
+        for q, costs in enumerate(problem.plan_costs):
+            builder.exactly_one(
                 [self.variable(q, k) for k in range(len(costs))], weight
             )
-        self._qubo = qubo
-        return qubo
+
+        def feasible(selection: Sequence[int]) -> bool:
+            if len(selection) != problem.num_queries:
+                return False
+            return all(
+                0 <= k < len(problem.plan_costs[q])
+                for q, k in enumerate(selection)
+            )
+
+        self._compiled = builder.finish(
+            decode=self.decode,
+            score=problem.total_cost,
+            feasible=feasible,
+            metadata={"penalty_weight": weight,
+                      "num_queries": problem.num_queries},
+        )
+        return self._compiled
+
+    def build(self) -> QUBO:
+        return self.compile().model
 
     def decode(self, bits: Sequence[int]) -> List[int]:
         """Bits -> one plan index per query, repairing invalid rows by
         picking the cheapest set (or overall cheapest) plan."""
-        bits = np.asarray(bits).reshape(-1)
-        if bits.size != self.num_variables:
-            raise ValueError(
-                f"expected {self.num_variables} bits, got {bits.size}"
-            )
+        bits = check_bits(bits, self.num_variables)
         selection: List[int] = []
         for q, costs in enumerate(self.problem.plan_costs):
             chosen = [k for k in range(len(costs))
@@ -230,22 +256,24 @@ def solve_mqo_greedy(problem: MQOProblem) -> Tuple[List[int], float]:
     return selection, cost
 
 
+#: Default dispatch configuration of :func:`solve_mqo_annealing`.
+DEFAULT_SOLVER_CONFIG = SolverConfig(num_sweeps=500, num_reads=30, seed=0)
+
+
 def solve_mqo_annealing(problem: MQOProblem, solver=None,
-                        penalty_scale: float = 1.0
+                        penalty_scale: float = 1.0,
+                        config: Optional[SolverConfig] = None
                         ) -> Tuple[List[int], float]:
-    """Compile to QUBO, anneal, decode the best read."""
-    compiler = MQOQUBO(problem, penalty_scale=penalty_scale)
-    qubo = compiler.build()
+    """Compile to QUBO, dispatch a solver, decode the best read.
+
+    ``solver`` is a registry name or solver instance; ``None`` means
+    simulated annealing. Registry names with no explicit ``config``
+    run at the deterministic :data:`DEFAULT_SOLVER_CONFIG`.
+    """
+    compiled = MQOQUBO(problem, penalty_scale=penalty_scale).compile()
     if solver is None:
-        solver = SimulatedAnnealingSolver(num_sweeps=500, num_reads=30,
-                                          seed=0)
-    samples = solver.solve(qubo)
-    best_selection: Optional[List[int]] = None
-    best_cost = math.inf
-    for sample in samples:
-        selection = compiler.decode(sample.assignment)
-        cost = problem.total_cost(selection)
-        if cost < best_cost:
-            best_cost = cost
-            best_selection = selection
-    return best_selection, best_cost
+        solver = "sa"
+    if isinstance(solver, str) and config is None:
+        config = DEFAULT_SOLVER_CONFIG
+    result = dispatch_solve(compiled, solver=solver, config=config)
+    return result.solution, problem.total_cost(result.solution)

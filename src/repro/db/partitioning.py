@@ -12,7 +12,6 @@ Kernighan–Lin (networkx) and exact enumeration.
 
 from __future__ import annotations
 
-import itertools
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -21,7 +20,13 @@ import networkx as nx
 import numpy as np
 
 from ..annealing.ising import IsingModel
-from ..annealing.simulated_annealing import SimulatedAnnealingSolver
+from ..compile import (
+    CompiledProblem,
+    ProblemBuilder,
+    SolverConfig,
+    validate_penalty_scale,
+)
+from ..compile import solve as dispatch_solve
 
 
 @dataclass
@@ -118,8 +123,10 @@ class PartitioningIsing:
     """
 
     def __init__(self, problem: PartitioningProblem,
-                 balance_weight: Optional[float] = None):
+                 balance_weight: Optional[float] = None,
+                 penalty_scale: float = 1.0):
         self.problem = problem
+        self.penalty_scale = validate_penalty_scale(penalty_scale)
         if balance_weight is None:
             # Scale so a one-fragment imbalance costs about as much as
             # a typical co-access edge.
@@ -130,21 +137,47 @@ class PartitioningIsing:
             balance_weight = 0.5 * mean_edge / max(mean_size_sq, 1e-12)
         if balance_weight < 0:
             raise ValueError("balance_weight must be non-negative")
-        self.balance_weight = float(balance_weight)
+        self.balance_weight = float(balance_weight) * self.penalty_scale
+        self._compiled: Optional[CompiledProblem] = None
 
-    def build(self) -> IsingModel:
+    def compile(self) -> CompiledProblem:
+        """Lower the formulation to the shared IR (cached)."""
+        if self._compiled is not None:
+            return self._compiled
         problem = self.problem
-        j: Dict[Tuple[int, int], float] = {}
+        builder = ProblemBuilder("partitioning",
+                                 penalty_scale=self.penalty_scale,
+                                 mode="ising")
+        for i in range(problem.num_fragments):
+            builder.add_variable("shard", i)
         for (a, b), w in problem.weights.items():
-            j[(a, b)] = j.get((a, b), 0.0) - w / 2.0
+            builder.add_coupling(a, b, -w / 2.0)
         if self.balance_weight:
             for a in range(problem.num_fragments):
                 for b in range(a + 1, problem.num_fragments):
-                    j[(a, b)] = j.get((a, b), 0.0) + (
+                    builder.add_coupling(a, b, (
                         2.0 * self.balance_weight
                         * problem.sizes[a] * problem.sizes[b]
-                    )
-        return IsingModel(problem.num_fragments, j=j)
+                    ))
+
+        def score(assignment: Sequence[int]) -> float:
+            return _score(problem, assignment, self.balance_weight)
+
+        def feasible(assignment: Sequence[int]) -> bool:
+            return (len(assignment) == problem.num_fragments
+                    and all(a in (0, 1) for a in assignment))
+
+        self._compiled = builder.finish(
+            decode=self.decode,
+            score=score,
+            feasible=feasible,
+            metadata={"balance_weight": self.balance_weight,
+                      "num_fragments": problem.num_fragments},
+        )
+        return self._compiled
+
+    def build(self) -> IsingModel:
+        return self.compile().model
 
     def decode(self, bits: Sequence[int]) -> List[int]:
         """Solver bits (0/1) are directly shard ids; fix the gauge so
@@ -193,25 +226,30 @@ def partition_kernighan_lin(problem: PartitioningProblem,
     return assignment
 
 
+#: Default dispatch configuration of :func:`partition_annealing`.
+DEFAULT_SOLVER_CONFIG = SolverConfig(num_sweeps=500, num_reads=25, seed=0)
+
+
 def partition_annealing(problem: PartitioningProblem, solver=None,
-                        balance_weight: Optional[float] = None
+                        balance_weight: Optional[float] = None,
+                        penalty_scale: float = 1.0,
+                        config: Optional[SolverConfig] = None
                         ) -> List[int]:
-    """Compile to Ising, anneal, decode the best read."""
-    compiler = PartitioningIsing(problem, balance_weight=balance_weight)
-    model = compiler.build()
+    """Compile to Ising, dispatch a solver, decode the best read.
+
+    ``solver`` is a registry name or solver instance; ``None`` means
+    simulated annealing. Registry names with no explicit ``config``
+    run at the deterministic :data:`DEFAULT_SOLVER_CONFIG`.
+    """
+    compiled = PartitioningIsing(
+        problem, balance_weight=balance_weight,
+        penalty_scale=penalty_scale
+    ).compile()
     if solver is None:
-        solver = SimulatedAnnealingSolver(num_sweeps=500, num_reads=25,
-                                          seed=0)
-    samples = solver.solve(model)
-    best_assignment: Optional[List[int]] = None
-    best_score = math.inf
-    for sample in samples:
-        assignment = compiler.decode(sample.assignment)
-        score = _score(problem, assignment, compiler.balance_weight)
-        if score < best_score:
-            best_score = score
-            best_assignment = assignment
-    return best_assignment
+        solver = "sa"
+    if isinstance(solver, str) and config is None:
+        config = DEFAULT_SOLVER_CONFIG
+    return dispatch_solve(compiled, solver=solver, config=config).solution
 
 
 def _score(problem: PartitioningProblem, assignment: Sequence[int],

@@ -9,9 +9,8 @@ C_out model in :mod:`repro.db.cost`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-import numpy as np
 
 
 class JoinGraph:

@@ -11,14 +11,21 @@ penalty for conflicting co-residents. Minimizing the number of slots
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..annealing.qubo import QUBO
-from ..annealing.simulated_annealing import SimulatedAnnealingSolver
+from ..compile import (
+    CompiledProblem,
+    ProblemBuilder,
+    SolverConfig,
+    analytic_penalty_weight,
+    check_bits,
+    validate_penalty_scale,
+)
+from ..compile import solve as dispatch_solve
 
 
 @dataclass
@@ -113,16 +120,14 @@ class TransactionSchedulingQUBO:
                  slot_bias: float = 0.01):
         if num_slots < 1:
             raise ValueError("num_slots must be positive")
-        if penalty_scale <= 0:
-            raise ValueError("penalty_scale must be positive")
         self.problem = problem
         self.num_slots = num_slots
-        self.penalty_scale = penalty_scale
+        self.penalty_scale = validate_penalty_scale(penalty_scale)
         # A tiny preference for earlier slots breaks degeneracy and
         # packs transactions left, shrinking the realized makespan.
         self.slot_bias = slot_bias
         self.num_variables = problem.num_transactions * num_slots
-        self._qubo: Optional[QUBO] = None
+        self._compiled: Optional[CompiledProblem] = None
 
     def variable(self, transaction: int, slot: int) -> int:
         if not 0 <= transaction < self.problem.num_transactions:
@@ -136,40 +141,82 @@ class TransactionSchedulingQUBO:
         validity always dominates."""
         max_bias = (self.slot_bias * (self.num_slots - 1)
                     * self.problem.num_transactions)
-        return self.penalty_scale * (max_bias + 1.0)
+        return analytic_penalty_weight(max_bias, self.penalty_scale)
 
-    def build(self) -> QUBO:
-        if self._qubo is not None:
-            return self._qubo
-        qubo = QUBO(self.num_variables)
+    def compile(self) -> CompiledProblem:
+        """Lower the formulation to the shared IR (cached)."""
+        if self._compiled is not None:
+            return self._compiled
+        problem = self.problem
+        builder = ProblemBuilder("transaction_scheduling",
+                                 penalty_scale=self.penalty_scale)
+        for t in range(problem.num_transactions):
+            for s in range(self.num_slots):
+                builder.add_variable("x", t, s)
         weight = self.penalty_weight()
-        for t in range(self.problem.num_transactions):
-            qubo.add_penalty_exactly_one(
+        for t in range(problem.num_transactions):
+            builder.exactly_one(
                 [self.variable(t, s) for s in range(self.num_slots)],
                 weight,
             )
-        for (a, b) in sorted(self.problem.conflicts):
+        for (a, b) in sorted(problem.conflicts):
             for s in range(self.num_slots):
-                qubo.add_quadratic(
+                builder.forbid_together(
                     self.variable(a, s), self.variable(b, s), weight
                 )
         if self.slot_bias:
-            for t in range(self.problem.num_transactions):
+            for t in range(problem.num_transactions):
                 for s in range(self.num_slots):
-                    qubo.add_linear(
+                    builder.add_linear(
                         self.variable(t, s), self.slot_bias * s
                     )
-        self._qubo = qubo
-        return qubo
+
+        def score(schedule: List[int]) -> Tuple[int, int]:
+            return (problem.num_conflict_violations(schedule),
+                    problem.makespan(schedule))
+
+        self._compiled = builder.finish(
+            decode=self.decode,
+            score=score,
+            feasible=problem.is_valid,
+            repair=self.repair,
+            metadata={"penalty_weight": weight,
+                      "num_slots": self.num_slots,
+                      "num_transactions": problem.num_transactions},
+        )
+        return self._compiled
+
+    def build(self) -> QUBO:
+        return self.compile().model
+
+    def repair(self, schedule: Sequence[int]) -> List[int]:
+        """Re-slot conflicting transactions greedily, in index order.
+
+        Each transaction keeps its slot unless it conflicts with an
+        earlier (already repaired) one, in which case it moves to the
+        first conflict-free slot. With ``num_slots >=`` the chromatic
+        number this always yields a valid schedule.
+        """
+        repaired: List[int] = []
+        for t in range(self.problem.num_transactions):
+            blocked = {
+                repaired[other]
+                for (a, b) in self.problem.conflicts
+                for other in ((a,) if b == t else (b,) if a == t else ())
+                if other < t
+            }
+            slot = schedule[t]
+            if slot in blocked or not 0 <= slot < self.num_slots:
+                free = [s for s in range(self.num_slots)
+                        if s not in blocked]
+                slot = free[0] if free else schedule[t]
+            repaired.append(slot)
+        return repaired
 
     def decode(self, bits: Sequence[int]) -> List[int]:
         """Bits -> slot per transaction; invalid rows take the
         first conflict-free slot (or slot 0)."""
-        bits = np.asarray(bits).reshape(-1)
-        if bits.size != self.num_variables:
-            raise ValueError(
-                f"expected {self.num_variables} bits, got {bits.size}"
-            )
+        bits = check_bits(bits, self.num_variables)
         schedule: List[int] = []
         for t in range(self.problem.num_transactions):
             assigned = [s for s in range(self.num_slots)
@@ -229,43 +276,51 @@ def schedule_fcfs(problem: TransactionSchedulingProblem) -> List[int]:
     return schedule
 
 
+#: Default dispatch configuration of :func:`solve_scheduling_annealing`.
+DEFAULT_SOLVER_CONFIG = SolverConfig(num_sweeps=300, num_reads=20, seed=0)
+
+
 def solve_scheduling_annealing(problem: TransactionSchedulingProblem,
                                num_slots: int, solver=None,
-                               penalty_scale: float = 1.0) -> List[int]:
-    """Anneal the fixed-slot colouring QUBO; decode the best read."""
-    compiler = TransactionSchedulingQUBO(
+                               penalty_scale: float = 1.0,
+                               config: Optional[SolverConfig] = None
+                               ) -> List[int]:
+    """Compile the fixed-slot colouring QUBO, dispatch, decode.
+
+    ``solver`` is a registry name or solver instance; ``None`` means
+    simulated annealing. Registry names with no explicit ``config``
+    run at the deterministic :data:`DEFAULT_SOLVER_CONFIG`.
+    """
+    compiled = TransactionSchedulingQUBO(
         problem, num_slots, penalty_scale=penalty_scale
-    )
-    qubo = compiler.build()
+    ).compile()
     if solver is None:
-        solver = SimulatedAnnealingSolver(num_sweeps=300, num_reads=20,
-                                          seed=0)
-    samples = solver.solve(qubo)
-    best_schedule: Optional[List[int]] = None
-    best_key = (math.inf, math.inf)
-    for sample in samples:
-        schedule = compiler.decode(sample.assignment)
-        key = (problem.num_conflict_violations(schedule),
-               problem.makespan(schedule))
-        if key < best_key:
-            best_key = key
-            best_schedule = schedule
-    return best_schedule
+        solver = "sa"
+    if isinstance(solver, str) and config is None:
+        config = DEFAULT_SOLVER_CONFIG
+    return dispatch_solve(compiled, solver=solver, config=config).solution
 
 
 def minimum_slots_annealing(problem: TransactionSchedulingProblem,
                             solver_factory=None,
-                            max_slots: Optional[int] = None) -> List[int]:
+                            max_slots: Optional[int] = None,
+                            solver=None,
+                            config: Optional[SolverConfig] = None
+                            ) -> List[int]:
     """Smallest slot count with a conflict-free annealed schedule.
 
     Linear scan upward from 1 (slot counts are small); falls back to
     the greedy schedule if annealing never finds a valid colouring.
+    ``solver_factory(k)`` (one solver instance per slot count) takes
+    precedence; otherwise ``solver``/``config`` are dispatched through
+    the registry for every slot count.
     """
     greedy = schedule_greedy_first_fit(problem)
     ceiling = max_slots or problem.makespan(greedy)
     for k in range(1, ceiling + 1):
-        solver = solver_factory(k) if solver_factory else None
-        schedule = solve_scheduling_annealing(problem, k, solver=solver)
+        arm = solver_factory(k) if solver_factory else solver
+        schedule = solve_scheduling_annealing(problem, k, solver=arm,
+                                              config=config)
         if problem.is_valid(schedule):
             return schedule
     return greedy

@@ -8,7 +8,13 @@ Usage::
     python -m repro.experiments E8 --telemetry  # + spans/counters report
     python -m repro.experiments E8 --telemetry --json-out e8.json
     python -m repro.experiments E8 --set "sizes=(4,)" --set seed=1
+    python -m repro.experiments E8 --solver sqa  # swap the backend
 
+``--solver name`` forwards a solver-registry name (``sa``, ``sqa``,
+``tabu``, ``qaoa``, ``exact``, ``pt``) to every selected experiment
+with a ``solver`` knob — the annealing arm of E8/E9/E10/E11/E15/E19
+and the A1/A2 ablations — leaving solver-specific experiments (E12,
+E14, A3) untouched.
 ``--set key=value`` forwards keyword overrides to every experiment run
 (values are parsed as Python literals, falling back to strings), which
 is how CI runs experiments at reduced scale. ``--json-out`` writes one
@@ -29,7 +35,12 @@ import time
 from typing import Any, Dict, List
 
 from .. import telemetry
-from .harness import available_experiments, format_table, run_experiment
+from .harness import (
+    available_experiments,
+    experiment_accepts,
+    format_table,
+    run_experiment,
+)
 
 
 def _parse_setting(text: str) -> tuple:
@@ -92,7 +103,21 @@ def main(argv) -> int:
                         default=[], metavar="KEY=VALUE",
                         help="keyword override forwarded to every "
                              "experiment (python literal; repeatable)")
+    parser.add_argument("--solver", metavar="NAME",
+                        help="solver registry name (e.g. sa, sqa, tabu) "
+                             "forwarded to every experiment that takes a "
+                             "solver knob; see repro.compile."
+                             "available_solvers()")
     args = parser.parse_args(argv)
+
+    if args.solver is not None:
+        from ..compile import available_solvers
+
+        if args.solver not in available_solvers():
+            names = ", ".join(available_solvers())
+            print(f"unknown solver {args.solver!r}; registered solvers: "
+                  f"{names}", file=sys.stderr)
+            return 2
 
     experiments = available_experiments()
     if not args.ids:
@@ -119,8 +144,12 @@ def main(argv) -> int:
         # One fresh collector per experiment so counters, spans and the
         # attached metrics snapshot are scoped to that run alone.
         collector = telemetry.enable() if use_telemetry else None
+        kwargs = dict(overrides)
+        if (args.solver is not None
+                and experiment_accepts(experiment_id, "solver")):
+            kwargs["solver"] = args.solver
         start = time.perf_counter()
-        result = run_experiment(experiment_id, **overrides)
+        result = run_experiment(experiment_id, **kwargs)
         elapsed = time.perf_counter() - start
         print(format_table(result))
         if collector is not None:

@@ -12,10 +12,11 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from ..annealing import (
-    SimulatedAnnealingSolver,
     SimulatedQuantumAnnealingSolver,
     solve_ising_exact,
 )
+from ..compile import SolverConfig
+from ..compile import solve as dispatch_solve
 from ..db.cost import left_deep_cost
 from ..db.joinorder import JoinOrderQUBO, exhaustive_left_deep, two_opt_polish
 from ..db.workloads import random_join_graph
@@ -26,7 +27,8 @@ from .harness import ExperimentResult, geometric_mean, register
 def penalty_weight_ablation(scales: Sequence[float] = (0.01, 0.05, 0.25,
                                                        1.0, 4.0, 16.0),
                             num_relations: int = 5, instances: int = 4,
-                            seed: int = 0) -> ExperimentResult:
+                            seed: int = 0,
+                            solver: str = "sa") -> ExperimentResult:
     """Sweep the penalty multiplier around the analytic weight.
 
     Reports the fraction of annealer reads whose one-hot constraints
@@ -46,19 +48,20 @@ def penalty_weight_ablation(scales: Sequence[float] = (0.01, 0.05, 0.25,
         valid_fractions: List[float] = []
         ratios: List[float] = []
         for graph, optimum in zip(graphs, optima):
-            formulation = JoinOrderQUBO(graph, penalty_scale=scale)
-            qubo = formulation.build()
-            solver = SimulatedAnnealingSolver(
-                num_sweeps=300, num_reads=20,
-                seed=int(rng.integers(2 ** 31)),
+            compiled = JoinOrderQUBO(graph, penalty_scale=scale).compile()
+            result = dispatch_solve(
+                compiled,
+                solver=solver,
+                config=SolverConfig(
+                    num_sweeps=300, num_reads=20,
+                    seed=int(rng.integers(2 ** 31)),
+                ),
             )
-            samples = solver.solve(qubo)
-            decoded = [formulation.decode(s.assignment) for s in samples]
             valid_fractions.append(
-                sum(d.valid for d in decoded) / len(decoded)
+                sum(d.valid for d in result.solutions)
+                / len(result.solutions)
             )
-            best = min(decoded, key=lambda d: d.cost)
-            ratios.append(best.cost / optimum)
+            ratios.append(result.solution.cost / optimum)
         rows.append({
             "penalty_scale": scale,
             "valid_read_fraction": float(np.mean(valid_fractions)),
@@ -79,7 +82,8 @@ def penalty_weight_ablation(scales: Sequence[float] = (0.01, 0.05, 0.25,
 @register("A2", "Join-order decode-path ablation")
 def decode_path_ablation(num_relations: int = 7, instances: int = 5,
                          topologies: Sequence[str] = ("star", "cycle"),
-                         seed: int = 0) -> ExperimentResult:
+                         seed: int = 0,
+                         solver: str = "sa") -> ExperimentResult:
     """Decode alone vs decode + 2-opt polish vs 2-opt from random.
 
     Quantifies how much of the hybrid pipeline's quality comes from
@@ -100,16 +104,15 @@ def decode_path_ablation(num_relations: int = 7, instances: int = 5,
             graph = random_join_graph(num_relations, topology,
                                       seed=int(rng.integers(2 ** 31)))
             _, optimum = exhaustive_left_deep(graph)
-            formulation = JoinOrderQUBO(graph)
-            qubo = formulation.build()
-            solver = SimulatedAnnealingSolver(
-                num_sweeps=300, num_reads=20,
-                seed=int(rng.integers(2 ** 31)),
-            )
-            samples = solver.solve(qubo)
-            decoded = [formulation.decode(s.assignment)
-                       for s in samples]
-            best = min(decoded, key=lambda d: d.cost)
+            compiled = JoinOrderQUBO(graph).compile()
+            best = dispatch_solve(
+                compiled,
+                solver=solver,
+                config=SolverConfig(
+                    num_sweeps=300, num_reads=20,
+                    seed=int(rng.integers(2 ** 31)),
+                ),
+            ).solution
             accumulator["repair_only"].append(best.cost / optimum)
             polished = two_opt_polish(graph, best.order)
             accumulator["repair_plus_polish"].append(

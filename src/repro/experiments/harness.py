@@ -11,9 +11,10 @@ ad-hoc exploration all share one code path:
 
 from __future__ import annotations
 
+import inspect
 import time
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from .. import telemetry
 
@@ -63,6 +64,23 @@ def register(experiment_id: str, title: str):
 def available_experiments() -> Dict[str, str]:
     """Mapping of experiment id -> title."""
     return dict(_TITLES)
+
+
+def experiment_accepts(experiment_id: str, parameter: str) -> bool:
+    """Whether a registered runner takes ``parameter`` as a keyword.
+
+    Lets the CLI forward cross-cutting knobs (``--solver``) only to the
+    experiments they apply to.
+    """
+    from . import ablations, foundations, learning, optimization  # noqa: F401
+
+    if experiment_id not in _REGISTRY:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{sorted(_REGISTRY)}"
+        )
+    signature = inspect.signature(_REGISTRY[experiment_id])
+    return parameter in signature.parameters
 
 
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:

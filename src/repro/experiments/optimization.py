@@ -4,7 +4,6 @@ selection), E11 (transaction scheduling), E12 (QAOA depth), E14
 
 from __future__ import annotations
 
-import math
 import time
 from typing import Dict, List, Optional, Sequence
 
@@ -18,6 +17,7 @@ from ..annealing import (
     SimulatedQuantumAnnealingSolver,
     solve_ising_exact,
 )
+from ..compile import SolverConfig
 from ..db.indexsel import (
     IndexSelectionProblem,
     solve_index_selection_annealing,
@@ -50,10 +50,12 @@ def join_order(topologies: Sequence[str] = ("chain", "star", "cycle",
                                             "clique"),
                sizes: Sequence[int] = (4, 6, 8),
                instances_per_cell: int = 3,
-               seed: int = 0) -> ExperimentResult:
+               seed: int = 0,
+               solver: str = "sa") -> ExperimentResult:
     """Cost ratio to the bushy-DP optimum, per topology and size, plus
     optimizer wall-clock. The claim: annealing tracks the optimum where
-    DP's runtime explodes, and beats greedy on adversarial shapes."""
+    DP's runtime explodes, and beats greedy on adversarial shapes.
+    ``solver`` picks the annealing arm's backend by registry name."""
     rng = np.random.default_rng(seed)
     rows = []
     for topology in topologies:
@@ -74,7 +76,8 @@ def join_order(topologies: Sequence[str] = ("chain", "star", "cycle",
                 start = time.perf_counter()
                 decoded = solve_join_order_annealing(
                     graph,
-                    solver=SimulatedAnnealingSolver(
+                    solver=solver,
+                    config=SolverConfig(
                         num_sweeps=400, num_reads=20,
                         seed=int(rng.integers(2 ** 31)),
                     ),
@@ -104,7 +107,7 @@ def join_order(topologies: Sequence[str] = ("chain", "star", "cycle",
 @register("E9", "Multiple-query optimization: annealing vs exact vs greedy")
 def mqo(query_counts: Sequence[int] = (3, 5, 7, 9),
         plans_per_query: int = 3, instances_per_cell: int = 3,
-        seed: int = 0) -> ExperimentResult:
+        seed: int = 0, solver: str = "sa") -> ExperimentResult:
     """Trummer-Koch MQO: cost ratio to the exhaustive optimum and the
     point where exhaustive enumeration stops being viable."""
     rng = np.random.default_rng(seed)
@@ -122,7 +125,7 @@ def mqo(query_counts: Sequence[int] = (3, 5, 7, 9),
             _, exact_cost = solve_mqo_exhaustive(problem)
             exhaustive_times.append(time.perf_counter() - start)
             _, greedy_cost = solve_mqo_greedy(problem)
-            _, annealed_cost = solve_mqo_annealing(problem)
+            _, annealed_cost = solve_mqo_annealing(problem, solver=solver)
             greedy_ratios.append(greedy_cost / exact_cost)
             annealed_ratios.append(annealed_cost / exact_cost)
         rows.append({
@@ -145,7 +148,7 @@ def mqo(query_counts: Sequence[int] = (3, 5, 7, 9),
 @register("E10", "Index selection under a storage budget")
 def index_selection(candidate_counts: Sequence[int] = (10, 14, 18),
                     instances_per_cell: int = 3,
-                    seed: int = 0) -> ExperimentResult:
+                    seed: int = 0, solver: str = "sa") -> ExperimentResult:
     """Benefit recovered (fraction of the exact optimum) by greedy and
     QUBO+SA, with interacting (overlapping) indexes."""
     rng = np.random.default_rng(seed)
@@ -159,7 +162,9 @@ def index_selection(candidate_counts: Sequence[int] = (10, 14, 18),
             )
             _, exact_benefit = solve_index_selection_exact(problem)
             _, greedy_benefit = solve_index_selection_greedy(problem)
-            _, annealed_benefit = solve_index_selection_annealing(problem)
+            _, annealed_benefit = solve_index_selection_annealing(
+                problem, solver=solver
+            )
             if exact_benefit > 0:
                 greedy_fractions.append(greedy_benefit / exact_benefit)
                 annealed_fractions.append(annealed_benefit / exact_benefit)
@@ -182,7 +187,8 @@ def index_selection(candidate_counts: Sequence[int] = (10, 14, 18),
 @register("E11", "Transaction scheduling: annealed colouring vs baselines")
 def transaction_scheduling(transaction_counts: Sequence[int] = (8, 12, 16),
                            conflict_levels: Sequence[int] = (10, 20),
-                           seed: int = 0) -> ExperimentResult:
+                           seed: int = 0,
+                           solver: str = "sa") -> ExperimentResult:
     """Makespan (conflict-free batches) of FCFS, greedy colouring and
     the annealed QUBO colouring, at two conflict densities (controlled
     through the object-pool size)."""
@@ -196,7 +202,7 @@ def transaction_scheduling(transaction_counts: Sequence[int] = (8, 12, 16),
             )
             fcfs = schedule_fcfs(problem)
             greedy = schedule_greedy_first_fit(problem)
-            annealed = minimum_slots_annealing(problem)
+            annealed = minimum_slots_annealing(problem, solver=solver)
             rows.append({
                 "transactions": num_transactions,
                 "objects": num_objects,
@@ -346,7 +352,7 @@ def sa_vs_sqa(cluster_sizes: Sequence[int] = (3, 4, 5, 6, 7),
 def rl_join_order(topologies: Sequence[str] = ("chain", "star", "cycle"),
                   num_relations: int = 6, instances_per_cell: int = 3,
                   episodes: int = 1500,
-                  seed: int = 0) -> ExperimentResult:
+                  seed: int = 0, solver: str = "sa") -> ExperimentResult:
     """Tabular Q-learning against greedy, annealed-QUBO and the exact
     left-deep optimum — the tutorial's 'new techniques' comparison of
     optimizer families on one playing field."""
@@ -372,7 +378,8 @@ def rl_join_order(topologies: Sequence[str] = ("chain", "star", "cycle"),
             _, greedy_cost = greedy_goo(graph)
             decoded = solve_join_order_annealing(
                 graph,
-                solver=SimulatedAnnealingSolver(
+                solver=solver,
+                config=SolverConfig(
                     num_sweeps=400, num_reads=20,
                     seed=int(rng.integers(2 ** 31)),
                 ),
@@ -400,7 +407,8 @@ def rl_join_order(topologies: Sequence[str] = ("chain", "star", "cycle"),
                  "Kernighan-Lin")
 def data_partitioning(fragment_counts: Sequence[int] = (8, 12, 16),
                       instances_per_cell: int = 3,
-                      seed: int = 0) -> ExperimentResult:
+                      seed: int = 0,
+                      solver: str = "sa") -> ExperimentResult:
     """Cut weight and shard imbalance of the annealed Ising partition
     vs Kernighan-Lin bisection, against the exact balanced optimum.
 
@@ -408,7 +416,6 @@ def data_partitioning(fragment_counts: Sequence[int] = (8, 12, 16),
     *sizes* — on heterogeneous fragments that difference is the story.
     """
     from ..db.partitioning import (
-        PartitioningIsing,
         PartitioningProblem,
         partition_annealing,
         partition_exact,
@@ -435,7 +442,7 @@ def data_partitioning(fragment_counts: Sequence[int] = (8, 12, 16),
                 exact_imbalances.append(
                     problem.imbalance(exact_assignment) / total_size
                 )
-            annealed = partition_annealing(problem)
+            annealed = partition_annealing(problem, solver=solver)
             kl = partition_kernighan_lin(
                 problem, seed=int(rng.integers(2 ** 31))
             )

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -315,7 +315,6 @@ def _multiplex_angles(alphas: np.ndarray) -> np.ndarray:
     """Solve ``M theta = alpha`` for the Gray-code multiplexer, where
     ``M[b, i] = (-1)^{b . gray(i)}``; M is orthogonal up to 2**k."""
     size = alphas.size
-    k = int(round(math.log2(size)))
     m = np.empty((size, size))
     for b in range(size):
         for i in range(size):

@@ -14,7 +14,6 @@ geometry of their encoded quantum states:
 
 from __future__ import annotations
 
-import math
 from typing import Optional, Sequence
 
 import numpy as np

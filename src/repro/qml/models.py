@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence, Union
 import numpy as np
 
 from .. import telemetry
-from ..quantum.circuit import Circuit, Parameter
+from ..quantum.circuit import Circuit
 from ..quantum.operators import PauliSum, single_z
 from ..quantum.measurement import expectation_with_shots
 from ..quantum.statevector import StatevectorSimulator

@@ -15,7 +15,6 @@ from typing import List, Optional, Union
 
 import numpy as np
 
-from ..quantum.circuit import Circuit, Parameter
 from ..quantum.operators import PauliSum, PauliString
 from ..quantum.statevector import StatevectorSimulator
 from .ansatz import build_ansatz

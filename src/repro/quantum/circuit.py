@@ -9,9 +9,8 @@ data points and trainable weights into it repeatedly.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple, Union
 
 import numpy as np
 

@@ -11,12 +11,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+from typing import Callable, Dict, Iterable, Optional, Sequence
 
 import numpy as np
 
-from .statevector import StatevectorSimulator, apply_matrix, zero_state
-from .circuit import Circuit
 
 
 def phase_oracle_matrix(num_qubits: int,

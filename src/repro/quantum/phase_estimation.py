@@ -18,7 +18,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from .qft import inverse_qft_circuit
-from .statevector import StatevectorSimulator, apply_matrix
+from .statevector import apply_matrix
 
 
 @dataclass
@@ -88,7 +88,6 @@ def phase_estimation(unitary: np.ndarray, eigenstate: np.ndarray,
 
     # Inverse QFT on the counting register.
     iqft = inverse_qft_circuit(num_bits)
-    sim = StatevectorSimulator()
     for inst in iqft.instructions:
         state = apply_matrix(state, inst.matrix(), inst.qubits,
                              total_qubits)

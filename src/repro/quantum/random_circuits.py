@@ -7,7 +7,7 @@ circuit samples to probe invariants.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

@@ -11,7 +11,7 @@ rather than the naive ``O(4**n)`` matrix product.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 

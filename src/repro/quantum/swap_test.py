@@ -9,8 +9,7 @@ doubling the register width.
 
 from __future__ import annotations
 
-import math
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -15,9 +15,8 @@ nature — intended for the <= 3-qubit verification regime.
 from __future__ import annotations
 
 import itertools
-import math
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 

@@ -11,7 +11,7 @@ simulators.
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import List
 
 from .circuit import Circuit, Instruction
 

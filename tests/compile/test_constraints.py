@@ -1,0 +1,180 @@
+"""Unit tests for the constraint primitives and the problem builder."""
+
+import numpy as np
+import pytest
+
+from repro.annealing import QUBO
+from repro.compile import (
+    ProblemBuilder,
+    analytic_penalty_weight,
+    binary_slack_coefficients,
+    validate_penalty_scale,
+)
+from repro.db import (
+    IndexSelectionProblem,
+    IndexSelectionQUBO,
+    JoinOrderQUBO,
+    MQOProblem,
+    MQOQUBO,
+    TransactionSchedulingProblem,
+    TransactionSchedulingQUBO,
+    random_join_graph,
+)
+from repro.db.partitioning import PartitioningIsing, PartitioningProblem
+
+
+def test_validate_penalty_scale_accepts_positive():
+    assert validate_penalty_scale(0.25) == 0.25
+    assert validate_penalty_scale(2) == 2.0
+
+
+@pytest.mark.parametrize("bad", [0, 0.0, -1, -0.5])
+def test_validate_penalty_scale_rejects_non_positive(bad):
+    with pytest.raises(ValueError, match="penalty_scale must be positive"):
+        validate_penalty_scale(bad)
+
+
+@pytest.mark.parametrize("bad", [0, -1, -0.5])
+def test_every_formulation_rejects_non_positive_scale(bad):
+    """Regression for the satellite: the centralized check fires from
+    all five formulations, not just the one that first had it."""
+    graph = random_join_graph(3, "chain", seed=0)
+    mqo = MQOProblem.random(2, 2, seed=0)
+    indexsel = IndexSelectionProblem.random(3, seed=0)
+    txsched = TransactionSchedulingProblem.random(3, seed=0)
+    partitioning = PartitioningProblem.random(3, seed=0)
+    with pytest.raises(ValueError, match="penalty_scale must be positive"):
+        JoinOrderQUBO(graph, penalty_scale=bad)
+    with pytest.raises(ValueError, match="penalty_scale must be positive"):
+        MQOQUBO(mqo, penalty_scale=bad)
+    with pytest.raises(ValueError, match="penalty_scale must be positive"):
+        IndexSelectionQUBO(indexsel, penalty_scale=bad)
+    with pytest.raises(ValueError, match="penalty_scale must be positive"):
+        TransactionSchedulingQUBO(txsched, 2, penalty_scale=bad)
+    with pytest.raises(ValueError, match="penalty_scale must be positive"):
+        PartitioningIsing(partitioning, penalty_scale=bad)
+
+
+def test_analytic_penalty_weight_rule():
+    assert analytic_penalty_weight(0.0) == 1.0
+    assert analytic_penalty_weight(9.0) == 10.0
+    assert analytic_penalty_weight(9.0, penalty_scale=0.5) == 5.0
+    with pytest.raises(ValueError):
+        analytic_penalty_weight(-1.0)
+
+
+@pytest.mark.parametrize("bound", [1, 2, 3, 7, 10, 100])
+def test_binary_slack_coefficients_cover_exact_range(bound):
+    weights = binary_slack_coefficients(bound)
+    reachable = {0}
+    for w in weights:
+        reachable |= {r + w for r in reachable}
+    assert max(reachable) == bound
+    assert reachable <= set(range(bound + 1))
+    with pytest.raises(ValueError):
+        binary_slack_coefficients(0)
+
+
+def test_builder_exactly_one_matches_direct_penalty():
+    builder = ProblemBuilder("toy")
+    indices = [builder.add_variable("x", i) for i in range(3)]
+    builder.exactly_one(indices, 5.0)
+    compiled = builder.finish(
+        decode=lambda bits: bits,
+        score=lambda bits: 0.0,
+        feasible=lambda bits: True,
+    )
+    direct = QUBO(3)
+    direct.add_penalty_exactly_one(indices, 5.0)
+    for bits in np.ndindex(2, 2, 2):
+        assignment = np.array(bits)
+        assert compiled.model.energy(assignment) == pytest.approx(
+            direct.energy(assignment)
+        )
+
+
+def test_builder_implication_and_forbid_together_penalties():
+    builder = ProblemBuilder("toy")
+    u = builder.add_variable("u")
+    v = builder.add_variable("v")
+    builder.implication(u, v, 2.0)
+    builder.forbid_together(u, v, 3.0)
+    model = builder.finish(
+        decode=lambda bits: bits,
+        score=lambda bits: 0.0,
+        feasible=lambda bits: True,
+    ).model
+    # u=1, v=0 violates the implication only.
+    assert model.energy(np.array([1, 0])) == pytest.approx(2.0)
+    # u=v=1 satisfies the implication but violates forbid_together.
+    assert model.energy(np.array([1, 1])) == pytest.approx(3.0)
+    assert model.energy(np.array([0, 0])) == pytest.approx(0.0)
+    assert model.energy(np.array([0, 1])) == pytest.approx(0.0)
+
+
+def test_builder_linear_leq_penalizes_only_overweight_sets():
+    builder = ProblemBuilder("toy")
+    items = [builder.add_variable("item", i) for i in range(2)]
+    slack = builder.linear_leq(
+        [(items[0], 2.0), (items[1], 3.0)], bound=3, weight=10.0
+    )
+    compiled = builder.finish(
+        decode=lambda bits: bits,
+        score=lambda bits: 0.0,
+        feasible=lambda bits: True,
+    )
+    model = compiled.model
+    n = compiled.num_variables
+    assert len(slack) == model.num_variables - 2
+
+    def min_energy(fixed_bits):
+        best = None
+        for mask in range(2 ** len(slack)):
+            bits = list(fixed_bits)
+            bits += [(mask >> k) & 1 for k in range(len(slack))]
+            energy = model.energy(np.array(bits))
+            best = energy if best is None else min(best, energy)
+        return best
+
+    assert n == 2 + len(slack)
+    assert min_energy([0, 0]) == pytest.approx(0.0)
+    assert min_energy([1, 0]) == pytest.approx(0.0)
+    assert min_energy([0, 1]) == pytest.approx(0.0)
+    # 2 + 3 = 5 > 3: no slack setting can cancel the penalty.
+    assert min_energy([1, 1]) > 1.0
+
+
+def test_builder_mode_guards():
+    qubo_builder = ProblemBuilder("q", mode="qubo")
+    qubo_builder.add_variable("x")
+    with pytest.raises(ValueError, match="mode='ising'"):
+        qubo_builder.add_field(0, 1.0)
+    ising_builder = ProblemBuilder("i", mode="ising")
+    ising_builder.add_variable("s")
+    with pytest.raises(ValueError, match="mode='qubo'"):
+        ising_builder.add_linear(0, 1.0)
+    with pytest.raises(ValueError):
+        ProblemBuilder("bad", mode="mixed")
+
+
+def test_builder_ising_mode_accumulates_couplings():
+    builder = ProblemBuilder("i", mode="ising")
+    for i in range(3):
+        builder.add_variable("s", i)
+    builder.add_coupling(0, 1, -1.0)
+    builder.add_coupling(1, 0, -0.5)
+    builder.add_field(2, 0.25)
+    model = builder.finish(
+        decode=lambda bits: bits,
+        score=lambda bits: 0.0,
+        feasible=lambda bits: True,
+    ).model
+    assert model.j[(0, 1)] == pytest.approx(-1.5)
+    assert model.h[2] == pytest.approx(0.25)
+
+
+def test_builder_requires_variables():
+    builder = ProblemBuilder("empty")
+    with pytest.raises(ValueError, match="no variables"):
+        builder.finish(decode=lambda b: b, score=lambda s: 0.0,
+                       feasible=lambda s: True)

@@ -1,0 +1,69 @@
+"""Hypothesis property test across problems and solvers (satellite).
+
+For randomized instances of all five database formulations, ``solve``
+with ``repair=True`` must return a feasible assignment under every
+registered solver — the cross-problem contract of the compile layer.
+Scale is deliberately tiny so the exact and QAOA backends stay cheap.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compile import SolverConfig, available_solvers, solve
+from repro.db import (
+    IndexSelectionProblem,
+    IndexSelectionQUBO,
+    JoinOrderQUBO,
+    MQOProblem,
+    MQOQUBO,
+    TransactionSchedulingProblem,
+    TransactionSchedulingQUBO,
+    random_join_graph,
+)
+from repro.db.partitioning import PartitioningIsing, PartitioningProblem
+
+
+def _smoke_problems(seed):
+    """One tiny instance of each formulation, keyed by family name."""
+    txsched = TransactionSchedulingProblem.random(
+        3, num_objects=4, seed=seed
+    )
+    return {
+        "join_order": JoinOrderQUBO(
+            random_join_graph(3, "chain", seed=seed)
+        ).compile(),
+        "mqo": MQOQUBO(MQOProblem.random(2, 2, seed=seed)).compile(),
+        "index_selection": IndexSelectionQUBO(
+            IndexSelectionProblem.random(2, seed=seed)
+        ).compile(),
+        # num_slots = num_transactions guarantees a repairable colouring.
+        "transaction_scheduling": TransactionSchedulingQUBO(
+            txsched, txsched.num_transactions
+        ).compile(),
+        "partitioning": PartitioningIsing(
+            PartitioningProblem.random(3, seed=seed)
+        ).compile(),
+    }
+
+
+def _smoke_config(solver, seed):
+    if solver == "qaoa":
+        return SolverConfig(num_sweeps=8, num_reads=1, seed=seed,
+                            options={"shots": 32})
+    return SolverConfig(num_sweeps=25, num_reads=2, seed=seed)
+
+
+@pytest.mark.parametrize("solver", sorted(available_solvers()))
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_solve_with_repair_is_feasible_for_all_problems(solver, seed):
+    for name, problem in _smoke_problems(seed).items():
+        result = solve(problem, solver=solver,
+                       config=_smoke_config(solver, seed), repair=True)
+        assert result.feasible, (
+            f"{solver} on {name} (seed={seed}) returned an infeasible "
+            f"solution: {result.solution!r}"
+        )
+        assert result.problem == name
+        assert result.solver == solver

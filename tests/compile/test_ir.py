@@ -1,0 +1,69 @@
+"""Unit tests for the CompiledProblem IR and variable registry."""
+
+import numpy as np
+import pytest
+
+from repro.compile import ProblemBuilder, VariableRegistry, check_bits
+
+
+def test_registry_assigns_sequential_indices():
+    registry = VariableRegistry()
+    assert registry.add("x", 0, 0) == 0
+    assert registry.add("x", 0, 1) == 1
+    assert registry.add("slack", 0) == 2
+    assert len(registry) == 3
+    assert registry.index("x", 0, 1) == 1
+    assert registry.name(2) == ("slack", 0)
+    assert ("x", 0, 0) in registry
+
+
+def test_registry_rejects_duplicates_and_unknowns():
+    registry = VariableRegistry()
+    registry.add("x", 0)
+    with pytest.raises(ValueError):
+        registry.add("x", 0)
+    with pytest.raises(KeyError):
+        registry.index("y", 1)
+    with pytest.raises(IndexError):
+        registry.name(5)
+
+
+def test_registry_group_filters_by_prefix():
+    registry = VariableRegistry()
+    for q in range(2):
+        for k in range(3):
+            registry.add("x", q, k)
+    registry.add("slack", 0)
+    assert registry.group("x", 1) == [3, 4, 5]
+    assert registry.group("slack") == [6]
+    assert registry.group("x") == list(range(6))
+
+
+def test_check_bits_validates_width():
+    bits = check_bits([1, 0, 1], 3)
+    assert isinstance(bits, np.ndarray)
+    assert bits.tolist() == [1, 0, 1]
+    with pytest.raises(ValueError, match="expected 4 bits, got 3"):
+        check_bits([1, 0, 1], 4)
+
+
+def test_compiled_problem_carries_hooks_and_metadata():
+    builder = ProblemBuilder("toy", penalty_scale=2.0)
+    a = builder.add_variable("x", 0)
+    b = builder.add_variable("x", 1)
+    builder.add_linear(a, 1.0).add_linear(b, -1.0)
+    builder.exactly_one([a, b], 3.0)
+    problem = builder.finish(
+        decode=lambda bits: int(bits[1]),
+        score=lambda choice: choice,
+        feasible=lambda choice: choice in (0, 1),
+        metadata={"extra": 7},
+    )
+    assert problem.name == "toy"
+    assert problem.num_variables == 2
+    assert problem.metadata["penalty_scale"] == 2.0
+    assert problem.metadata["constraints"] == {"exactly_one": 1}
+    assert problem.metadata["extra"] == 7
+    assert problem.decode(np.array([0, 1])) == 1
+    assert problem.feasible(1)
+    assert problem.repair is None

@@ -11,7 +11,6 @@ from repro.db import (
     PhysicalQuery,
     Table,
     dp_optimal,
-    greedy_goo,
     left_deep_tree,
     make_star_schema,
     validate_cost_model,

@@ -1,6 +1,5 @@
 """Tests for the Q-learning join optimizer."""
 
-import numpy as np
 import pytest
 
 from repro.db import (

@@ -1,6 +1,5 @@
 """Unit tests for the circuit IR: builders, parameters, transformations."""
 
-import math
 
 import numpy as np
 import pytest
