@@ -43,6 +43,11 @@ from repro.compile import solve as dispatch_solve
 from repro.db import JoinOrderQUBO, random_join_graph
 from repro.qml import FidelityQuantumKernel, IQPEncoding
 from repro.quantum import StatevectorSimulator
+from repro.telemetry.bench_schema import (
+    BENCH_SCHEMA,
+    MAX_DISPATCH_OVERHEAD,
+    validate_document,
+)
 
 #: Reference scales from the PR-2 issue: the committed BENCH_perf.json
 #: must show >= 5x on both workloads at these sizes.
@@ -59,9 +64,8 @@ SMOKE_SCALE = {
                 "repeats": 3},
 }
 
-#: PR-3 gate: ``solve(problem, solver=...)`` may cost at most this much
-#: over constructing and running the same seeded backend by hand.
-MAX_DISPATCH_OVERHEAD = 0.05
+# The PR-3 dispatch-overhead ceiling (and the schema tag) now live in
+# repro.telemetry.bench_schema, shared with bench-compare and CI.
 
 
 # ----------------------------------------------------------------------
@@ -315,12 +319,15 @@ def main():
     runs = run_workloads(scale, collector)
     telemetry.disable()
     document = {
-        "schema": "repro-bench/v1",
+        "schema": BENCH_SCHEMA,
         "provenance": telemetry.collect_provenance(
             "bench_perf_engine").to_dict(),
         "scale": scale_name,
         "workloads": runs,
     }
+    # Fail fast on malformed output rather than committing it: CI and
+    # bench-compare both consume this file through the same validator.
+    validate_document(document)
     target = os.environ.get("REPRO_PERF_JSON", "")
     if not target:
         repo_root = os.path.dirname(os.path.dirname(

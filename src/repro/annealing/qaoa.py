@@ -20,6 +20,7 @@ from scipy import optimize as scipy_optimize
 from .. import telemetry
 from ..quantum.circuit import Circuit
 from ..quantum.statevector import StatevectorSimulator
+from ..telemetry.progress import ProgressTrace
 from .ising import IsingModel
 from .qubo import QUBO
 from .results import Sample, SampleSet
@@ -89,6 +90,10 @@ class QAOASolver:
         Random-restart count for the angle optimization.
     shots:
         Number of solution samples drawn from the final distribution.
+    progress:
+        Optional :class:`~repro.telemetry.progress.ProgressTrace`
+        receiving one convergence row per objective evaluation
+        (running best expectation, current expectation).
     """
 
     #: Registry name in :mod:`repro.compile.dispatch`.
@@ -96,7 +101,8 @@ class QAOASolver:
 
     def __init__(self, p: int = 1, optimizer: str = "cobyla",
                  restarts: int = 3, shots: int = 256, maxiter: int = 200,
-                 seed: Optional[int] = None):
+                 seed: Optional[int] = None,
+                 progress: Optional[ProgressTrace] = None):
         if p < 1:
             raise ValueError("p must be >= 1")
         if optimizer not in ("cobyla", "nelder-mead"):
@@ -108,6 +114,7 @@ class QAOASolver:
         self.restarts = restarts
         self.shots = shots
         self.maxiter = maxiter
+        self.progress = progress
         self._rng = np.random.default_rng(seed)
 
     def solve(self, model: Model) -> QAOAResult:
@@ -115,14 +122,24 @@ class QAOASolver:
         energies = basis_energies(ising)
         sim = StatevectorSimulator(seed=int(self._rng.integers(2 ** 31)))
         nfev = 0
+        progress = self.progress
+        running_best = math.inf
 
         def expectation(angles: np.ndarray) -> float:
-            nonlocal nfev
+            nonlocal nfev, running_best
             nfev += 1
             gammas, betas = angles[: self.p], angles[self.p:]
             state = sim.run(qaoa_circuit(ising, gammas, betas))
             probabilities = np.abs(state) ** 2
-            return float(probabilities @ energies)
+            value = float(probabilities @ energies)
+            if progress is not None:
+                running_best = min(running_best, value)
+                progress.record(
+                    iteration=nfev - 1,
+                    best_energy=running_best,
+                    current_energy=value,
+                )
+            return value
 
         collector = telemetry.get_collector()
         best_angles: Optional[np.ndarray] = None

@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence, Union
 import numpy as np
 
 from .. import telemetry
+from ..telemetry.progress import ProgressTrace
 from .ising import IsingModel, spins_to_bits
 from .qubo import QUBO
 from .results import Sample, SampleSet
@@ -46,6 +47,12 @@ class SimulatedAnnealingSolver:
         annealing samplers. A fixed mis-scaled schedule silently
         freezes (or never cools) models with large coefficients such
         as penalty-heavy QUBOs.
+    progress:
+        Optional :class:`~repro.telemetry.progress.ProgressTrace`
+        receiving one uniform convergence row per sweep (running best
+        energy, per-sweep acceptance rate, beta). Incremental energy
+        tracking is only maintained while a trace is attached, so the
+        hot path is untouched otherwise.
     """
 
     #: Registry name in :mod:`repro.compile.dispatch`.
@@ -53,7 +60,8 @@ class SimulatedAnnealingSolver:
 
     def __init__(self, num_sweeps: int = 200, num_reads: int = 10,
                  beta_schedule: Optional[Sequence[float]] = None,
-                 seed: Optional[int] = None):
+                 seed: Optional[int] = None,
+                 progress: Optional[ProgressTrace] = None):
         if num_sweeps < 1:
             raise ValueError("num_sweeps must be positive")
         if num_reads < 1:
@@ -61,6 +69,7 @@ class SimulatedAnnealingSolver:
         self.num_sweeps = num_sweeps
         self.num_reads = num_reads
         self.beta_schedule = beta_schedule
+        self.progress = progress
         self._rng = np.random.default_rng(seed)
 
     def solve(self, model: Model) -> SampleSet:
@@ -78,6 +87,7 @@ class SimulatedAnnealingSolver:
             raise ValueError("beta_schedule length must equal num_sweeps")
 
         collector = telemetry.get_collector()
+        progress = self.progress
         accepted_total = 0
         with telemetry.span("annealing.sa.solve"):
             spins = self._rng.choice((-1.0, 1.0),
@@ -85,8 +95,26 @@ class SimulatedAnnealingSolver:
             # Cached local fields: local[r, i] = h_i + sum_j J_ij s_rj,
             # updated incrementally as flips are accepted.
             local = spins @ couplings + fields
-            for beta in betas:
-                accepted_total += self._sweep(spins, local, couplings, beta)
+            # Per-read energies, tracked incrementally from accepted
+            # flip deltas, feed the convergence trace only.
+            running = ising.energies(spins) if progress is not None else None
+            best_running = (float(running.min())
+                            if running is not None else math.inf)
+            moves_per_sweep = self.num_reads * n
+            for sweep_index, beta in enumerate(betas):
+                accepted = self._sweep(spins, local, couplings, beta,
+                                       energies=running)
+                accepted_total += accepted
+                if progress is not None:
+                    current = float(running.min())
+                    best_running = min(best_running, current)
+                    progress.record(
+                        iteration=sweep_index,
+                        best_energy=best_running,
+                        current_energy=current,
+                        acceptance_rate=accepted / moves_per_sweep,
+                        schedule_value=beta,
+                    )
             energies = ising.energies(spins)
             samples = [
                 Sample(tuple(spins_to_bits(row.astype(int))), float(energy))
@@ -110,13 +138,15 @@ class SimulatedAnnealingSolver:
         return SampleSet(samples)
 
     def _sweep(self, spins: np.ndarray, local: np.ndarray,
-               couplings: np.ndarray, beta: float) -> int:
+               couplings: np.ndarray, beta: float,
+               energies: Optional[np.ndarray] = None) -> int:
         """One Metropolis pass over all reads; returns accepted flips.
 
         Visits spins in one random order shared by every read; at each
         position all reads decide their flip simultaneously from the
         cached local fields, which are then updated for the accepted
-        rows only.
+        rows only. When ``energies`` is given, accepted flip deltas
+        are accumulated into it (per read) for convergence tracing.
         """
         reads, n = spins.shape
         order = self._rng.permutation(n)
@@ -135,6 +165,8 @@ class SimulatedAnnealingSolver:
                 flipped = spins[accept, i]
                 spins[accept, i] = -flipped
                 local[accept] -= 2.0 * flipped[:, None] * couplings[i]
+                if energies is not None:
+                    energies[accept] += delta[accept]
                 accepted += int(accept.sum())
         return accepted
 

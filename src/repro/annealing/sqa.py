@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence, Union
 import numpy as np
 
 from .. import telemetry
+from ..telemetry.progress import ProgressTrace
 from .ising import IsingModel, spins_to_bits
 from .qubo import QUBO
 from .results import Sample, SampleSet
@@ -49,6 +50,11 @@ class SimulatedQuantumAnnealingSolver:
     gamma_schedule:
         Transverse field per sweep, decreasing; defaults to a linear
         ramp 3.0 -> 0.01.
+    progress:
+        Optional :class:`~repro.telemetry.progress.ProgressTrace`
+        receiving one convergence row per sweep (best slice energy so
+        far, local-move acceptance rate, gamma). Incremental slice
+        energies are only tracked while a trace is attached.
     """
 
     #: Registry name in :mod:`repro.compile.dispatch`.
@@ -57,7 +63,8 @@ class SimulatedQuantumAnnealingSolver:
     def __init__(self, num_sweeps: int = 200, num_reads: int = 10,
                  num_slices: int = 20, beta: float = 10.0,
                  gamma_schedule: Optional[Sequence[float]] = None,
-                 seed: Optional[int] = None):
+                 seed: Optional[int] = None,
+                 progress: Optional[ProgressTrace] = None):
         if num_sweeps < 1:
             raise ValueError("num_sweeps must be positive")
         if num_reads < 1:
@@ -71,6 +78,7 @@ class SimulatedQuantumAnnealingSolver:
         self.num_slices = num_slices
         self.beta = beta
         self.gamma_schedule = gamma_schedule
+        self.progress = progress
         self._rng = np.random.default_rng(seed)
 
     def solve(self, model: Model) -> SampleSet:
@@ -99,6 +107,7 @@ class SimulatedQuantumAnnealingSolver:
             raise ValueError("gamma_schedule length must equal num_sweeps")
 
         collector = telemetry.get_collector()
+        progress = self.progress
         samples: List[Sample] = []
         accepted_local = 0
         accepted_global = 0
@@ -108,14 +117,36 @@ class SimulatedQuantumAnnealingSolver:
             # Cached per-slice local fields, shape (reads, P, n),
             # incrementally updated on accepted flips.
             local = replicas @ couplings + fields
-            for gamma in gammas:
+            # Per-slice energies (in the normalized model), tracked
+            # incrementally from accepted deltas for the convergence
+            # trace only; rows report original-model units via `scale`.
+            if progress is not None:
+                running = _slice_energies(replicas, fields, couplings)
+                best_running = float(running.min())
+                unit = scale if scale > 0 else 1.0
+                offset = float(getattr(ising, "offset", 0.0))
+                moves_per_sweep = self.num_reads * p * n
+            else:
+                running = None
+            for sweep_index, gamma in enumerate(gammas):
                 j_perp = self._interslice_coupling(gamma)
-                accepted_local += self._sweep(
-                    replicas, local, j_perp, couplings
+                accepted = self._sweep(
+                    replicas, local, j_perp, couplings, energies=running
                 )
+                accepted_local += accepted
                 accepted_global += self._global_sweep(
-                    replicas, local, couplings
+                    replicas, local, couplings, energies=running
                 )
+                if progress is not None:
+                    current = float(running.min())
+                    best_running = min(best_running, current)
+                    progress.record(
+                        iteration=sweep_index,
+                        best_energy=best_running * unit + offset,
+                        current_energy=current * unit + offset,
+                        acceptance_rate=accepted / moves_per_sweep,
+                        schedule_value=gamma,
+                    )
             slice_energies = ising.energies(
                 replicas.reshape(self.num_reads * p, n)
             ).reshape(self.num_reads, p)
@@ -152,12 +183,15 @@ class SimulatedQuantumAnnealingSolver:
         return -0.5 / self.beta * math.log(math.tanh(argument))
 
     def _sweep(self, replicas: np.ndarray, local: np.ndarray,
-               j_perp: float, couplings: np.ndarray) -> int:
+               j_perp: float, couplings: np.ndarray,
+               energies: Optional[np.ndarray] = None) -> int:
         """Slice-local Metropolis pass over all reads at once.
 
         Spins are visited per (slice, position) in a random order
         shared across reads; each step decides the flip for every read
-        simultaneously from the cached local fields.
+        simultaneously from the cached local fields. When ``energies``
+        (shape ``(reads, P)``) is given, accepted problem-energy
+        deltas are accumulated into it for convergence tracing.
         """
         reads, p, n = replicas.shape
         beta_slice = self.beta / p
@@ -184,11 +218,14 @@ class SimulatedQuantumAnnealingSolver:
                     replicas[accept, k, i] = -flipped
                     local[accept, k, :] -= (2.0 * flipped[:, None]
                                             * couplings[i])
+                    if energies is not None:
+                        energies[accept, k] += delta_problem[accept]
                     accepted += int(accept.sum())
         return accepted
 
     def _global_sweep(self, replicas: np.ndarray, local: np.ndarray,
-                      couplings: np.ndarray) -> int:
+                      couplings: np.ndarray,
+                      energies: Optional[np.ndarray] = None) -> int:
         """Flip one spin in *all* slices at once, across all reads.
 
         These worldline moves leave the interslice coupling invariant
@@ -201,7 +238,8 @@ class SimulatedQuantumAnnealingSolver:
         thresholds = self._rng.random((n, reads))
         accepted = 0
         for position, i in enumerate(order):
-            delta = (-2.0 * replicas[:, :, i] * local[:, :, i]).sum(axis=1)
+            per_slice = -2.0 * replicas[:, :, i] * local[:, :, i]
+            delta = per_slice.sum(axis=1)
             accept = thresholds[position] < np.exp(
                 np.minimum(-beta_slice * delta, 0.0)
             )
@@ -210,5 +248,20 @@ class SimulatedQuantumAnnealingSolver:
                 replicas[accept, :, i] = -flipped
                 local[accept] -= (2.0 * flipped[:, :, None]
                                   * couplings[i])
+                if energies is not None:
+                    energies[accept] += per_slice[accept]
                 accepted += int(accept.sum())
         return accepted
+
+
+def _slice_energies(replicas: np.ndarray, fields: np.ndarray,
+                    couplings: np.ndarray) -> np.ndarray:
+    """Problem energy of every slice, shape ``(reads, P)``.
+
+    Evaluated against the (possibly normalized) ``fields`` /
+    ``couplings`` actually used by the sweeps, so incremental deltas
+    accumulated on top stay consistent.
+    """
+    interaction = np.einsum("rpi,ij,rpj->rp", replicas, couplings,
+                            replicas) / 2.0
+    return interaction + replicas @ fields

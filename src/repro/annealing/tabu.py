@@ -13,6 +13,7 @@ from typing import List, Optional
 import numpy as np
 
 from .. import telemetry
+from ..telemetry.progress import ProgressTrace
 from .qubo import QUBO
 from .results import Sample, SampleSet
 
@@ -28,13 +29,18 @@ class TabuSearchSolver:
         Independent random restarts.
     max_iterations:
         Flip moves per restart.
+    progress:
+        Optional :class:`~repro.telemetry.progress.ProgressTrace`
+        receiving one convergence row per flip move (global best,
+        current energy, tenure as the schedule value).
     """
 
     #: Registry name in :mod:`repro.compile.dispatch`.
     solver_name = "tabu"
 
     def __init__(self, tenure: Optional[int] = None, num_restarts: int = 5,
-                 max_iterations: int = 500, seed: Optional[int] = None):
+                 max_iterations: int = 500, seed: Optional[int] = None,
+                 progress: Optional[ProgressTrace] = None):
         if num_restarts < 1:
             raise ValueError("num_restarts must be positive")
         if max_iterations < 1:
@@ -42,6 +48,7 @@ class TabuSearchSolver:
         self.tenure = tenure
         self.num_restarts = num_restarts
         self.max_iterations = max_iterations
+        self.progress = progress
         self._rng = np.random.default_rng(seed)
 
     def solve(self, model: QUBO) -> SampleSet:
@@ -69,6 +76,9 @@ class TabuSearchSolver:
     def _solve_restarts(self, model: QUBO, n: int, tenure: int,
                         q_sym: np.ndarray, diagonal: np.ndarray,
                         samples: List[Sample]) -> None:
+        progress = self.progress
+        global_best = np.inf
+        global_iteration = 0
         for _ in range(self.num_restarts):
             bits = self._rng.integers(0, 2, size=n).astype(float)
             energy = float(model.energies(bits[None, :])[0])
@@ -95,6 +105,17 @@ class TabuSearchSolver:
                 if energy < best_energy - 1e-12:
                     best_energy = energy
                     best_bits = bits.copy()
+                if progress is not None:
+                    global_best = min(global_best, best_energy)
+                    progress.record(
+                        iteration=global_iteration,
+                        best_energy=global_best,
+                        current_energy=energy,
+                        # Tabu always takes the best allowed move.
+                        acceptance_rate=1.0,
+                        schedule_value=float(tenure),
+                    )
+                    global_iteration += 1
             samples.append(
                 Sample(tuple(int(b) for b in best_bits), best_energy)
             )

@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..telemetry.progress import ProgressTrace
 from .ising import IsingModel, spins_to_bits
 from .qubo import QUBO
 from .results import Sample, SampleSet
@@ -37,6 +38,11 @@ class ParallelTemperingSolver:
     betas:
         Explicit inverse-temperature ladder (ascending), overriding
         the automatic one.
+    progress:
+        Optional :class:`~repro.telemetry.progress.ProgressTrace`
+        receiving one convergence row per sweep (running best energy,
+        per-sweep swap acceptance, coldest-replica energy as the
+        current value, coldest beta as the schedule value).
     """
 
     #: Registry name in :mod:`repro.compile.dispatch`.
@@ -45,7 +51,8 @@ class ParallelTemperingSolver:
     def __init__(self, num_replicas: int = 8, num_sweeps: int = 200,
                  num_reads: int = 5,
                  betas: Optional[Sequence[float]] = None,
-                 seed: Optional[int] = None):
+                 seed: Optional[int] = None,
+                 progress: Optional[ProgressTrace] = None):
         if num_replicas < 2:
             raise ValueError("num_replicas must be >= 2")
         if num_sweeps < 1:
@@ -62,6 +69,7 @@ class ParallelTemperingSolver:
         self.num_sweeps = num_sweeps
         self.num_reads = num_reads
         self.betas = betas
+        self.progress = progress
         self._rng = np.random.default_rng(seed)
         self.last_swap_acceptance: Optional[float] = None
 
@@ -79,6 +87,10 @@ class ParallelTemperingSolver:
                                  self.num_replicas)
 
         samples: List[Sample] = []
+        progress = self.progress
+        global_best = math.inf
+        global_iteration = 0
+        cold_beta = float(betas[-1])
         swap_attempts = 0
         swap_accepts = 0
         for _ in range(self.num_reads):
@@ -93,18 +105,33 @@ class ParallelTemperingSolver:
                         replicas[r], fields, couplings, betas[r]
                     )
                 # Swap neighbouring temperatures (alternating parity).
+                sweep_attempts = 0
+                sweep_accepts = 0
                 for r in range(sweep % 2, self.num_replicas - 1, 2):
-                    swap_attempts += 1
+                    sweep_attempts += 1
                     delta = ((betas[r + 1] - betas[r])
                              * (energies[r + 1] - energies[r]))
                     if delta >= 0 or self._rng.random() < math.exp(delta):
                         replicas[[r, r + 1]] = replicas[[r + 1, r]]
                         energies[[r, r + 1]] = energies[[r + 1, r]]
-                        swap_accepts += 1
+                        sweep_accepts += 1
+                swap_attempts += sweep_attempts
+                swap_accepts += sweep_accepts
                 coldest = int(np.argmin(energies))
                 if energies[coldest] < best_energy:
                     best_energy = float(energies[coldest])
                     best_spins = replicas[coldest].copy()
+                if progress is not None:
+                    global_best = min(global_best, best_energy)
+                    progress.record(
+                        iteration=global_iteration,
+                        best_energy=global_best,
+                        current_energy=float(energies[coldest]),
+                        acceptance_rate=(sweep_accepts / sweep_attempts
+                                         if sweep_attempts else None),
+                        schedule_value=cold_beta,
+                    )
+                    global_iteration += 1
             samples.append(Sample(
                 tuple(spins_to_bits(best_spins.astype(int))),
                 best_energy,

@@ -42,6 +42,7 @@ from typing import Any, Callable, Dict, List, Optional, Union
 import numpy as np
 
 from .. import telemetry
+from ..telemetry.progress import ProgressTrace
 from ..annealing.exact import solve_ising_exact, solve_qubo_exact
 from ..annealing.ising import IsingModel, spins_to_bits
 from ..annealing.qaoa import QAOASolver
@@ -61,11 +62,18 @@ class SolverConfig:
     ``None`` fields fall back to the backend's own constructor
     defaults; ``options`` carries backend-specific keyword arguments
     verbatim.
+
+    ``convergence`` controls the per-iteration convergence trace
+    attached to :attr:`SolveResult.convergence`: ``True`` always
+    records it, ``False`` never does, and the default ``None`` enables
+    it automatically while event tracing
+    (:func:`repro.telemetry.enable_tracing`) is active.
     """
 
     num_sweeps: Optional[int] = None
     num_reads: Optional[int] = None
     seed: Optional[int] = None
+    convergence: Optional[bool] = None
     options: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -76,6 +84,9 @@ class SolverConfig:
         if self.seed is not None and not isinstance(self.seed, (int,
                                                                 np.integer)):
             raise ValueError("seed must be an integer")
+        if self.convergence is not None and not isinstance(
+                self.convergence, bool):
+            raise ValueError("convergence must be True, False or None")
         if not isinstance(self.options, dict):
             raise ValueError("options must be a dict")
         reserved = {"num_sweeps", "num_reads", "seed"}
@@ -90,8 +101,22 @@ class SolverConfig:
             "num_sweeps": self.num_sweeps,
             "num_reads": self.num_reads,
             "seed": None if self.seed is None else int(self.seed),
+            "convergence": self.convergence,
             "options": dict(self.options),
         }
+
+    def convergence_active(self) -> bool:
+        """Resolve the tri-state flag against the live tracer."""
+        if self.convergence is None:
+            return telemetry.get_tracer() is not None
+        return self.convergence
+
+
+#: Adapter signature: ``run(model, config, progress)`` where
+#: ``progress`` is an optional :class:`ProgressTrace` the backend
+#: should feed one uniform convergence row per iteration.
+RunAdapter = Callable[[Model, SolverConfig, Optional[ProgressTrace]],
+                      SampleSet]
 
 
 @dataclass(frozen=True)
@@ -100,15 +125,14 @@ class SolverSpec:
 
     name: str
     description: str
-    run: Callable[[Model, SolverConfig], SampleSet]
+    run: RunAdapter
 
 
 _REGISTRY: Dict[str, SolverSpec] = {}
 
 
 def register_solver(name: str, description: str,
-                    run: Callable[[Model, SolverConfig], SampleSet]
-                    ) -> None:
+                    run: RunAdapter) -> None:
     """Register a solver adapter under a string name."""
     if name in _REGISTRY:
         raise ValueError(f"solver {name!r} registered twice")
@@ -148,46 +172,65 @@ def _seed_int(config: SolverConfig) -> Optional[int]:
     return None if config.seed is None else int(config.seed)
 
 
-def _run_sa(model: Model, config: SolverConfig) -> SampleSet:
+def _run_sa(model: Model, config: SolverConfig,
+            progress: Optional[ProgressTrace] = None) -> SampleSet:
     solver = SimulatedAnnealingSolver(seed=_seed_int(config),
+                                      progress=progress,
                                       **_config_kwargs(config))
     return solver.solve(model)
 
 
-def _run_sqa(model: Model, config: SolverConfig) -> SampleSet:
+def _run_sqa(model: Model, config: SolverConfig,
+             progress: Optional[ProgressTrace] = None) -> SampleSet:
     solver = SimulatedQuantumAnnealingSolver(seed=_seed_int(config),
+                                             progress=progress,
                                              **_config_kwargs(config))
     return solver.solve(model)
 
 
-def _run_pt(model: Model, config: SolverConfig) -> SampleSet:
+def _run_pt(model: Model, config: SolverConfig,
+            progress: Optional[ProgressTrace] = None) -> SampleSet:
     solver = ParallelTemperingSolver(seed=_seed_int(config),
+                                     progress=progress,
                                      **_config_kwargs(config))
     return solver.solve(model)
 
 
-def _run_tabu(model: Model, config: SolverConfig) -> SampleSet:
+def _run_tabu(model: Model, config: SolverConfig,
+              progress: Optional[ProgressTrace] = None) -> SampleSet:
     kwargs = _config_kwargs(config, sweeps_key="max_iterations",
                             reads_key="num_restarts")
-    solver = TabuSearchSolver(seed=_seed_int(config), **kwargs)
+    solver = TabuSearchSolver(seed=_seed_int(config), progress=progress,
+                              **kwargs)
     if isinstance(model, IsingModel):
         model = model.to_qubo()
     return solver.solve(model)
 
 
-def _run_qaoa(model: Model, config: SolverConfig) -> SampleSet:
+def _run_qaoa(model: Model, config: SolverConfig,
+              progress: Optional[ProgressTrace] = None) -> SampleSet:
     kwargs = _config_kwargs(config, sweeps_key="maxiter",
                             reads_key="restarts")
-    solver = QAOASolver(seed=_seed_int(config), **kwargs)
+    solver = QAOASolver(seed=_seed_int(config), progress=progress,
+                        **kwargs)
     return solver.solve(model).samples
 
 
-def _run_exact(model: Model, config: SolverConfig) -> SampleSet:
+def _run_exact(model: Model, config: SolverConfig,
+               progress: Optional[ProgressTrace] = None) -> SampleSet:
     if isinstance(model, QUBO):
-        return SampleSet([solve_qubo_exact(model)])
-    spins, energy = solve_ising_exact(model)
-    bits = tuple(int(b) for b in spins_to_bits(spins))
-    return SampleSet([Sample(bits, energy)])
+        samples = SampleSet([solve_qubo_exact(model)])
+    else:
+        spins, energy = solve_ising_exact(model)
+        bits = tuple(int(b) for b in spins_to_bits(spins))
+        samples = SampleSet([Sample(bits, energy)])
+    if progress is not None:
+        # Enumeration has no iterations; one terminal row keeps the
+        # convergence schema uniform across every registered solver.
+        progress.record(iteration=0,
+                        best_energy=samples.best_energy,
+                        current_energy=samples.best_energy)
+    return samples
 
 
 register_solver("sa", "simulated (thermal) annealing", _run_sa)
@@ -212,6 +255,12 @@ class SolveResult:
     by energy ascending); ``energies`` is the per-read energy
     trajectory expanded by occurrence counts, so its minimum is the
     best energy the backend reached.
+
+    ``convergence`` — populated when the config's convergence flag
+    resolves active — is a list of uniform per-iteration dicts
+    (``iteration``, ``best_energy``, ``current_energy``,
+    ``acceptance_rate``, ``schedule_value``) every registered backend
+    emits through the shared :class:`ProgressTrace` hook.
     """
 
     problem: str
@@ -224,6 +273,7 @@ class SolveResult:
     solutions: List[Any]
     config: SolverConfig
     provenance: Dict[str, Any]
+    convergence: Optional[List[Dict[str, Any]]] = None
 
     def __repr__(self) -> str:
         return (
@@ -246,7 +296,7 @@ def make_solver(name: str, config: Optional[SolverConfig] = None
     bound_config = config if config is not None else SolverConfig()
 
     def run(model: Model) -> SampleSet:
-        return spec.run(model, bound_config)
+        return spec.run(model, bound_config, None)
 
     return run
 
@@ -277,8 +327,20 @@ def solve(problem: CompiledProblem,
         solver_name = getattr(type(solver), "solver_name",
                               type(solver).__name__)
 
-        def run(model: Model, _config: SolverConfig) -> SampleSet:
-            raw = solver.solve(model)
+        def run(model: Model, _config: SolverConfig,
+                progress: Optional[ProgressTrace] = None) -> SampleSet:
+            # Escape hatch for pre-configured instances: attach the
+            # trace through the solver's own ``progress`` slot when it
+            # has one and the caller left it empty, restoring after.
+            attach = (progress is not None
+                      and getattr(solver, "progress", False) is None)
+            if attach:
+                solver.progress = progress
+            try:
+                raw = solver.solve(model)
+            finally:
+                if attach:
+                    solver.progress = None
             # QAOA-style results carry their reads in ``.samples``.
             samples = (raw if isinstance(raw, SampleSet)
                        else getattr(raw, "samples", raw))
@@ -291,9 +353,11 @@ def solve(problem: CompiledProblem,
     else:
         raise _unknown_solver_error(str(solver))
 
+    progress = (ProgressTrace(label=solver_name)
+                if config.convergence_active() else None)
     start = time.perf_counter()
     with telemetry.span(f"compile.solve.{problem.name}"):
-        samples = run(problem.model, config)
+        samples = run(problem.model, config, progress)
         solutions = [problem.decode(sample.assignment)
                      for sample in samples]
     duration = time.perf_counter() - start
@@ -331,5 +395,8 @@ def solve(problem: CompiledProblem,
             "num_variables": problem.num_variables,
             "version": __version__,
             "duration_seconds": duration,
+            "convergence_rows": len(progress) if progress is not None
+            else 0,
         },
+        convergence=progress.rows() if progress is not None else None,
     )

@@ -9,6 +9,8 @@ Usage::
     python -m repro.experiments E8 --telemetry --json-out e8.json
     python -m repro.experiments E8 --set "sizes=(4,)" --set seed=1
     python -m repro.experiments E8 --solver sqa  # swap the backend
+    python -m repro.experiments E8 --trace out.json  # event timeline
+    python -m repro.experiments bench-compare base.json cand.json
 
 ``--solver name`` forwards a solver-registry name (``sa``, ``sqa``,
 ``tabu``, ``qaoa``, ``exact``, ``pt``) to every selected experiment
@@ -22,6 +24,17 @@ record per experiment with the result rows, a provenance block
 (experiment id, kwargs, seed, version, git SHA, duration) and the
 metrics snapshot — the same schema as the ``BENCH_*.json`` trajectory
 files written by ``benchmarks/conftest.py``.
+
+``--trace FILE`` additionally records an event-level timeline (spans,
+per-gate events, solver convergence rows, memory samples) and writes
+it as Chrome ``trace_event`` JSON — open the file in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``. It implies
+``--telemetry`` so span mirroring has spans to mirror.
+
+``bench-compare`` is a subcommand, not a flag: it diffs two
+``repro-bench/v1`` documents and exits nonzero when the candidate
+regressed beyond tolerance (see
+:mod:`repro.telemetry.bench_compare`).
 """
 
 from __future__ import annotations
@@ -87,6 +100,11 @@ def _experiment_record(result) -> Dict[str, Any]:
 
 
 def main(argv) -> int:
+    argv = list(argv)
+    if argv and argv[0] == "bench-compare":
+        from ..telemetry import bench_compare
+
+        return bench_compare.main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Run DESIGN.md experiments from the registry.",
@@ -108,6 +126,10 @@ def main(argv) -> int:
                              "forwarded to every experiment that takes a "
                              "solver knob; see repro.compile."
                              "available_solvers()")
+    parser.add_argument("--trace", metavar="FILE",
+                        help="record an event timeline and write Chrome "
+                             "trace_event JSON (open in Perfetto); "
+                             "implies --telemetry")
     args = parser.parse_args(argv)
 
     if args.solver is not None:
@@ -138,7 +160,11 @@ def main(argv) -> int:
         return 2
 
     use_telemetry = (args.telemetry or args.json_out is not None
-                     or telemetry.is_enabled())
+                     or args.trace is not None or telemetry.is_enabled())
+    tracer = (telemetry.enable_tracing() if args.trace is not None
+              else None)
+    trace_path = (os.path.abspath(args.trace)
+                  if args.trace is not None else None)
     records: List[Dict[str, Any]] = []
     for experiment_id in args.ids:
         # One fresh collector per experiment so counters, spans and the
@@ -151,17 +177,31 @@ def main(argv) -> int:
         start = time.perf_counter()
         result = run_experiment(experiment_id, **kwargs)
         elapsed = time.perf_counter() - start
+        if result.provenance is not None and trace_path is not None:
+            result.provenance["trace_path"] = trace_path
         print(format_table(result))
         if collector is not None:
             span_path = f"experiment.{experiment_id}"
             span = collector.snapshot()["spans"].get(span_path, {})
             print(f"[{span.get('total_seconds', elapsed):.1f}s]")
-            print(telemetry.render_report(collector))
+            print(telemetry.render_report(
+                collector, provenance=result.provenance
+            ))
             print()
             records.append(_experiment_record(result))
             telemetry.disable()
         else:
             print(f"[{elapsed:.1f}s]\n")
+    if tracer is not None:
+        tracer.write_chrome_trace(trace_path, metadata={
+            "schema": "repro-trace/v1",
+            "experiments": list(args.ids),
+            "event_count": tracer.event_count,
+        })
+        print(f"wrote trace {trace_path} "
+              f"({tracer.event_count} events, "
+              f"{tracer.dropped_events} dropped)")
+        telemetry.disable_tracing()
     if args.json_out is not None:
         document = {
             "schema": "repro-telemetry/v1",

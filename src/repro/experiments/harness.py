@@ -95,18 +95,37 @@ def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
             f"{sorted(_REGISTRY)}"
         )
     collector = telemetry.get_collector()
-    if collector is None:
+    tracer = telemetry.get_tracer()
+    if collector is None and tracer is None:
         return _REGISTRY[experiment_id](**kwargs)
-    counters_before = collector.counters_snapshot()
+    counters_before = (collector.counters_snapshot()
+                       if collector is not None else None)
     start = time.perf_counter()
-    with collector.span(f"experiment.{experiment_id}"):
+    # telemetry.span aggregates on the collector (mirroring onto the
+    # tracer's timeline) or, tracer-only, emits a bare begin/end pair.
+    with telemetry.span(f"experiment.{experiment_id}"):
         result = _REGISTRY[experiment_id](**kwargs)
     duration = time.perf_counter() - start
-    result.provenance = telemetry.collect_provenance(
-        experiment_id, kwargs, duration_seconds=duration,
-        title=_TITLES[experiment_id],
-    ).to_dict()
-    result.metrics = collector.snapshot(counters_since=counters_before)
+    if tracer is not None:
+        for index, row in enumerate(result.rows):
+            tracer.instant(
+                f"experiment.{experiment_id}.row",
+                category="experiment",
+                args={"index": index,
+                      **{key: value for key, value in row.items()
+                         if isinstance(value, (bool, int, float, str))}},
+            )
+    if collector is not None:
+        provenance = telemetry.collect_provenance(
+            experiment_id, kwargs, duration_seconds=duration,
+            title=_TITLES[experiment_id],
+        ).to_dict()
+        if tracer is not None:
+            provenance["trace_events"] = tracer.event_count
+        result.provenance = provenance
+        result.metrics = collector.snapshot(
+            counters_since=counters_before
+        )
     return result
 
 

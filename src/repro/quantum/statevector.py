@@ -157,13 +157,30 @@ class StatevectorSimulator:
                     f"initial state must have length {2 ** n}"
                 )
         collector = telemetry.get_collector()
-        if collector is None:  # disabled: plain loop, zero accounting
+        tracer = telemetry.get_tracer()
+        if collector is None and tracer is None:
+            # disabled: plain loop, zero accounting
             for inst in circuit.instructions:
                 state = apply_matrix(state, inst.matrix(), inst.qubits, n)
             return state
-        with collector.span("quantum.run"):
-            for inst in circuit.instructions:
-                state = apply_matrix(state, inst.matrix(), inst.qubits, n)
+        span = (collector.span("quantum.run") if collector is not None
+                else tracer.span("quantum.run"))
+        with span:
+            if tracer is not None:  # per-gate timeline events
+                for inst in circuit.instructions:
+                    start = tracer.timestamp_us()
+                    state = apply_matrix(state, inst.matrix(),
+                                         inst.qubits, n)
+                    tracer.complete(
+                        f"gate.{inst.name}", start, category="gate",
+                        args={"qubits": list(inst.qubits)},
+                    )
+            else:
+                for inst in circuit.instructions:
+                    state = apply_matrix(state, inst.matrix(),
+                                         inst.qubits, n)
+        if collector is None:
+            return state
         collector.count("quantum.circuit_evaluations")
         collector.count("quantum.gate_applications",
                         len(circuit.instructions))
@@ -211,17 +228,38 @@ class StatevectorSimulator:
             ])
         template = circuits[0].instructions
         collector = telemetry.get_collector()
-        if collector is None:  # disabled: plain loop, zero accounting
+        tracer = telemetry.get_tracer()
+        if collector is None and tracer is None:
+            # disabled: plain loop, zero accounting
             for position in range(len(template)):
                 states = _apply_instruction_batch(
                     states, circuits, position, n
                 )
             return states
-        with collector.span("quantum.run_batch"):
-            for position in range(len(template)):
-                states = _apply_instruction_batch(
-                    states, circuits, position, n
-                )
+        span = (collector.span("quantum.run_batch")
+                if collector is not None
+                else tracer.span("quantum.run_batch"))
+        with span:
+            if tracer is not None:  # one event per template position
+                for position in range(len(template)):
+                    inst = template[position]
+                    start = tracer.timestamp_us()
+                    states = _apply_instruction_batch(
+                        states, circuits, position, n
+                    )
+                    tracer.complete(
+                        f"gate_batch.{inst.name}", start,
+                        category="gate_batch",
+                        args={"qubits": list(inst.qubits),
+                              "batch": batch},
+                    )
+            else:
+                for position in range(len(template)):
+                    states = _apply_instruction_batch(
+                        states, circuits, position, n
+                    )
+        if collector is None:
+            return states
         collector.count("quantum.circuit_evaluations", batch)
         collector.count("quantum.gate_applications", batch * len(template))
         tally: Dict[str, int] = {}

@@ -31,25 +31,41 @@ import os
 from typing import Optional
 
 from .collector import Collector, SpanStats
+from .progress import ProgressTrace
 from .provenance import RunProvenance, collect_provenance, git_sha
 from .report import render_report
+from .trace import (
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    is_tracing,
+)
+from . import trace as _trace
 
 __all__ = [
     "Collector",
+    "ProgressTrace",
     "RunProvenance",
     "SpanStats",
+    "Tracer",
     "collect_provenance",
     "count",
     "disable",
+    "disable_tracing",
     "enable",
     "enable_from_env",
+    "enable_tracing",
     "gauge",
     "get_collector",
+    "get_tracer",
     "git_sha",
     "is_enabled",
+    "is_tracing",
     "record",
     "render_report",
     "span",
+    "trace_instant",
 ]
 
 ENV_VAR = "REPRO_TELEMETRY"
@@ -108,11 +124,27 @@ def enable_from_env(env_var: str = ENV_VAR) -> Optional[Collector]:
 
 # -- module-level conveniences (each guards on the one attribute) -------
 def span(name: str):
-    """Span context manager; a shared no-op when telemetry is disabled."""
+    """Span context manager; a shared no-op when telemetry is disabled.
+
+    With a collector enabled, the span aggregates there (and mirrors
+    onto the event tracer's timeline when one is active). With only a
+    tracer enabled, the span becomes a bare begin/end event pair.
+    """
     collector = _collector
-    if collector is None:
-        return _NOOP_SPAN
-    return collector.span(name)
+    if collector is not None:
+        return collector.span(name)
+    tracer = _trace.get_tracer()
+    if tracer is not None:
+        return tracer.span(name)
+    return _NOOP_SPAN
+
+
+def trace_instant(name: str, category: str = "event",
+                  args=None) -> None:
+    """Instant timeline event; a no-op when tracing is disabled."""
+    tracer = _trace.get_tracer()
+    if tracer is not None:
+        tracer.instant(name, category=category, args=args)
 
 
 def count(name: str, value: float = 1) -> None:

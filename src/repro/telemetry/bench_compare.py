@@ -1,0 +1,237 @@
+"""Benchmark-regression watchdog: diff two ``repro-bench/v1`` files.
+
+The perf trajectory (``BENCH_perf.json``) records how fast the engine
+is *supposed* to be; this module fails loudly when a candidate run
+quietly erodes it. Workloads are matched by name and compared
+metric-by-metric:
+
+* when the parameter blocks match exactly, absolute ``*_seconds``
+  timings are compared (lower is better; a regression is a candidate
+  time above ``baseline * (1 + tolerance)``);
+* ratio metrics are always compared, because they survive machine and
+  scale changes: ``speedup`` regresses when the candidate falls below
+  ``baseline * (1 - tolerance)``, ``overhead_fraction`` regresses when
+  the candidate exceeds ``baseline + tolerance`` (absolute slack — the
+  baseline sits near zero by design);
+* a baseline workload missing from the candidate is always a
+  regression; extra candidate workloads are reported informationally.
+
+When the parameter blocks differ (e.g. gating a CI smoke run against
+the committed full-scale baseline) the absolute timings are
+incomparable, so only the ratio metrics are enforced.
+
+Library use::
+
+    from repro.telemetry.bench_compare import compare_documents
+    report = compare_documents(baseline_doc, candidate_doc,
+                               tolerance=0.1)
+    report.regressions, report.render()
+
+CLI (exit 0 clean, 1 on regressions, 2 on unreadable/invalid input)::
+
+    python -m repro.experiments bench-compare BENCH_perf.json cand.json
+    python -m repro.telemetry.bench_compare baseline.json cand.json \
+        --tolerance 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .bench_schema import (
+    BenchSchemaError,
+    load_document,
+    workloads_by_name,
+)
+
+#: Default relative tolerance before a slowdown counts as a regression.
+DEFAULT_TOLERANCE = 0.10
+
+STATUS_OK = "ok"
+STATUS_REGRESSION = "REGRESSION"
+STATUS_INFO = "info"
+
+
+@dataclass
+class MetricComparison:
+    """One (workload, metric) comparison row."""
+
+    workload: str
+    metric: str
+    baseline: Optional[float]
+    candidate: Optional[float]
+    status: str
+    detail: str = ""
+
+    @property
+    def is_regression(self) -> bool:
+        return self.status == STATUS_REGRESSION
+
+
+@dataclass
+class CompareReport:
+    """All comparison rows plus the tolerance they were judged at."""
+
+    tolerance: float
+    rows: List[MetricComparison] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricComparison]:
+        return [row for row in self.rows if row.is_regression]
+
+    def render(self) -> str:
+        """Aligned, human-readable comparison table."""
+        header = ["workload", "metric", "baseline", "candidate",
+                  "delta", "status"]
+        body: List[List[str]] = []
+        for row in self.rows:
+            baseline = ("-" if row.baseline is None
+                        else f"{row.baseline:.4g}")
+            candidate = ("-" if row.candidate is None
+                         else f"{row.candidate:.4g}")
+            if row.baseline not in (None, 0) and row.candidate is not None:
+                delta = f"{row.candidate / row.baseline - 1.0:+.1%}"
+            else:
+                delta = "-"
+            status = row.status
+            if row.detail:
+                status = f"{status} ({row.detail})"
+            body.append([row.workload, row.metric, baseline, candidate,
+                         delta, status])
+        widths = [max(len(header[i]), *(len(r[i]) for r in body))
+                  if body else len(header[i])
+                  for i in range(len(header))]
+        lines = [
+            "  ".join(header[i].ljust(widths[i])
+                      for i in range(len(header))),
+            "  ".join("-" * w for w in widths),
+        ]
+        for rendered in body:
+            lines.append("  ".join(rendered[i].ljust(widths[i])
+                                   for i in range(len(header))).rstrip())
+        verdict = (f"{len(self.regressions)} regression(s) beyond "
+                   f"tolerance {self.tolerance:.0%}"
+                   if self.regressions
+                   else f"no regressions beyond tolerance "
+                        f"{self.tolerance:.0%}")
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def _numeric(workload: Dict[str, Any], key: str) -> Optional[float]:
+    value = workload.get(key)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def _compare_workload(name: str, baseline: Dict[str, Any],
+                      candidate: Dict[str, Any], tolerance: float,
+                      rows: List[MetricComparison]) -> None:
+    params_match = baseline.get("params") == candidate.get("params")
+    if not params_match:
+        rows.append(MetricComparison(
+            name, "params", None, None, STATUS_INFO,
+            "differ; comparing ratio metrics only",
+        ))
+    if params_match:
+        seconds_keys = sorted(
+            key for key in baseline
+            if key.endswith("_seconds")
+            and _numeric(baseline, key) is not None
+            and _numeric(candidate, key) is not None
+        )
+        for key in seconds_keys:
+            base = _numeric(baseline, key)
+            cand = _numeric(candidate, key)
+            slow = cand > base * (1.0 + tolerance)
+            rows.append(MetricComparison(
+                name, key, base, cand,
+                STATUS_REGRESSION if slow else STATUS_OK,
+                f"slower than {1.0 + tolerance:.2f}x baseline"
+                if slow else "",
+            ))
+    speedup_base = _numeric(baseline, "speedup")
+    speedup_cand = _numeric(candidate, "speedup")
+    if speedup_base is not None and speedup_cand is not None:
+        slow = speedup_cand < speedup_base * (1.0 - tolerance)
+        rows.append(MetricComparison(
+            name, "speedup", speedup_base, speedup_cand,
+            STATUS_REGRESSION if slow else STATUS_OK,
+            f"below {1.0 - tolerance:.2f}x baseline" if slow else "",
+        ))
+    overhead_base = _numeric(baseline, "overhead_fraction")
+    overhead_cand = _numeric(candidate, "overhead_fraction")
+    if overhead_base is not None and overhead_cand is not None:
+        heavy = overhead_cand > overhead_base + tolerance
+        rows.append(MetricComparison(
+            name, "overhead_fraction", overhead_base, overhead_cand,
+            STATUS_REGRESSION if heavy else STATUS_OK,
+            f"exceeds baseline + {tolerance:.0%}" if heavy else "",
+        ))
+
+
+def compare_documents(baseline: Dict[str, Any],
+                      candidate: Dict[str, Any],
+                      tolerance: float = DEFAULT_TOLERANCE
+                      ) -> CompareReport:
+    """Compare two validated perf documents; see the module docstring."""
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    baseline_index = workloads_by_name(baseline)
+    candidate_index = workloads_by_name(candidate)
+    if not baseline_index:
+        raise BenchSchemaError(["baseline document has no workloads"])
+    report = CompareReport(tolerance=tolerance)
+    for name in baseline_index:
+        if name not in candidate_index:
+            report.rows.append(MetricComparison(
+                name, "(workload)", None, None, STATUS_REGRESSION,
+                "missing from candidate",
+            ))
+            continue
+        _compare_workload(name, baseline_index[name],
+                          candidate_index[name], tolerance, report.rows)
+    for name in candidate_index:
+        if name not in baseline_index:
+            report.rows.append(MetricComparison(
+                name, "(workload)", None, None, STATUS_INFO,
+                "new workload, not in baseline",
+            ))
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments bench-compare",
+        description="Fail when a candidate repro-bench/v1 run regresses "
+                    "beyond tolerance versus a baseline.",
+    )
+    parser.add_argument("baseline", help="baseline trajectory JSON "
+                                         "(e.g. the committed "
+                                         "BENCH_perf.json)")
+    parser.add_argument("candidate", help="candidate trajectory JSON")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE, metavar="FRAC",
+                        help="allowed slowdown fraction before failing "
+                             "(default %(default)s)")
+    args = parser.parse_args(argv)
+    try:
+        baseline = load_document(args.baseline)
+        candidate = load_document(args.candidate)
+        report = compare_documents(baseline, candidate,
+                                   tolerance=args.tolerance)
+    except (BenchSchemaError, ValueError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    print(f"baseline:  {args.baseline}")
+    print(f"candidate: {args.candidate}")
+    print(report.render())
+    return 1 if report.regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

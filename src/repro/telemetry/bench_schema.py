@@ -1,0 +1,234 @@
+"""The one validator for ``repro-bench/v1`` documents.
+
+Both trajectory files the repo commits or uploads from CI share this
+schema: ``BENCH_perf.json`` (``workloads``: named, parameterised
+timing records from ``benchmarks/bench_perf_engine.py``) and
+``BENCH_telemetry.json`` (``runs``: per-benchmark metric snapshots
+from ``benchmarks/conftest.py``). The structural checks used to be
+duplicated between the benchmark script and inline Python in the CI
+workflow; they live here once now, shared by the benchmarks,
+:mod:`repro.telemetry.bench_compare` and CI.
+
+Run as a script to validate a file (exit 0 valid / 1 invalid)::
+
+    python -m repro.telemetry.bench_schema BENCH_perf.json
+    python -m repro.telemetry.bench_schema BENCH_perf.json --gates
+
+``--gates`` additionally enforces the perf-engine correctness gates
+(deterministic workloads, batched-matches-loop, bounded dispatch
+overhead) that CI applies to every smoke run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from typing import Any, Dict, List
+
+#: The schema tag every trajectory document must carry.
+BENCH_SCHEMA = "repro-bench/v1"
+
+#: Dispatch-overhead ceiling enforced by ``--gates`` (the PR-3 gate).
+MAX_DISPATCH_OVERHEAD = 0.05
+
+#: Numerical-equivalence ceiling for batched-vs-loop workloads.
+MAX_BATCHED_ABS_DIFF = 1e-10
+
+
+class BenchSchemaError(ValueError):
+    """A document does not conform to ``repro-bench/v1``."""
+
+    def __init__(self, problems: List[str]):
+        self.problems = list(problems)
+        super().__init__(
+            "invalid repro-bench/v1 document:\n  "
+            + "\n  ".join(self.problems)
+        )
+
+
+def _is_finite_number(value: Any) -> bool:
+    return (isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and math.isfinite(value))
+
+
+def _check_workload(workload: Any, index: int, problems: List[str]
+                    ) -> None:
+    prefix = f"workloads[{index}]"
+    if not isinstance(workload, dict):
+        problems.append(f"{prefix} is not an object")
+        return
+    name = workload.get("name")
+    if not isinstance(name, str) or not name:
+        problems.append(f"{prefix} missing non-empty string 'name'")
+    if not isinstance(workload.get("params"), dict):
+        problems.append(f"{prefix} missing object 'params'")
+    timings = [key for key, value in workload.items()
+               if key.endswith("_seconds")]
+    if not timings:
+        problems.append(f"{prefix} has no '*_seconds' timing field")
+    for key, value in workload.items():
+        if key.endswith("_seconds") and not _is_finite_number(value):
+            problems.append(
+                f"{prefix}.{key} is not a finite number: {value!r}"
+            )
+    for key in ("speedup", "overhead_fraction"):
+        if key in workload and not _is_finite_number(workload[key]):
+            problems.append(
+                f"{prefix}.{key} is not a finite number: "
+                f"{workload[key]!r}"
+            )
+
+
+def validate_document(document: Any) -> None:
+    """Raise :class:`BenchSchemaError` listing every structural problem.
+
+    Accepts both trajectory shapes: perf documents (``workloads``) and
+    telemetry documents (``runs``).
+    """
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        raise BenchSchemaError(["document is not a JSON object"])
+    schema = document.get("schema")
+    if schema != BENCH_SCHEMA:
+        problems.append(
+            f"schema tag is {schema!r}, expected {BENCH_SCHEMA!r}"
+        )
+    if not isinstance(document.get("provenance"), dict):
+        problems.append("missing object 'provenance'")
+    has_workloads = "workloads" in document
+    has_runs = "runs" in document
+    if not has_workloads and not has_runs:
+        problems.append("document has neither 'workloads' nor 'runs'")
+    if has_workloads:
+        workloads = document["workloads"]
+        if not isinstance(workloads, list) or not workloads:
+            problems.append("'workloads' is not a non-empty list")
+        else:
+            for index, workload in enumerate(workloads):
+                _check_workload(workload, index, problems)
+    if has_runs:
+        runs = document["runs"]
+        if not isinstance(runs, list):
+            problems.append("'runs' is not a list")
+        else:
+            for index, run in enumerate(runs):
+                if not isinstance(run, dict) or "test" not in run:
+                    problems.append(
+                        f"runs[{index}] is not an object with 'test'"
+                    )
+    if problems:
+        raise BenchSchemaError(problems)
+
+
+def load_document(path: str) -> Dict[str, Any]:
+    """Load and validate a trajectory file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise BenchSchemaError([f"cannot load {path}: {error}"]) from error
+    validate_document(document)
+    return document
+
+
+def workloads_by_name(document: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """Index a perf document's workloads by name.
+
+    Duplicate names are a schema error — matching by name would be
+    ambiguous downstream in :mod:`bench_compare`.
+    """
+    index: Dict[str, Dict[str, Any]] = {}
+    duplicates = []
+    for workload in document.get("workloads", []):
+        name = workload["name"]
+        if name in index:
+            duplicates.append(name)
+        index[name] = workload
+    if duplicates:
+        raise BenchSchemaError(
+            [f"duplicate workload name {name!r}" for name in duplicates]
+        )
+    return index
+
+
+def check_perf_gates(document: Dict[str, Any],
+                     max_dispatch_overhead: float = MAX_DISPATCH_OVERHEAD
+                     ) -> List[str]:
+    """Correctness gates for perf-engine documents; returns failures.
+
+    These are the semantic checks CI applies to every smoke run:
+    batched results must match the loop reference, every workload must
+    be deterministic under its seed, and dispatch overhead must stay
+    under the PR-3 ceiling.
+    """
+    failures: List[str] = []
+    for workload in document.get("workloads", []):
+        name = workload.get("name", "?")
+        if "max_abs_diff" in workload:
+            diff = workload["max_abs_diff"]
+            if not (_is_finite_number(diff)
+                    and diff < MAX_BATCHED_ABS_DIFF):
+                failures.append(
+                    f"{name}: max_abs_diff {diff!r} exceeds "
+                    f"{MAX_BATCHED_ABS_DIFF}"
+                )
+        if "deterministic" in workload and workload["deterministic"] is not True:
+            failures.append(f"{name}: not deterministic under its seed")
+        if "matches_direct" in workload and workload["matches_direct"] is not True:
+            failures.append(f"{name}: dispatch result diverged from "
+                            "the direct solver call")
+        if "overhead_fraction" in workload:
+            overhead = workload["overhead_fraction"]
+            if not (_is_finite_number(overhead)
+                    and overhead < max_dispatch_overhead):
+                failures.append(
+                    f"{name}: dispatch overhead {overhead!r} >= "
+                    f"{max_dispatch_overhead:.0%} ceiling"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.bench_schema",
+        description="Validate a repro-bench/v1 trajectory file.",
+    )
+    parser.add_argument("path", help="trajectory JSON file")
+    parser.add_argument("--gates", action="store_true",
+                        help="also enforce the perf correctness gates "
+                             "(determinism, batched==loop, dispatch "
+                             "overhead ceiling)")
+    parser.add_argument("--max-dispatch-overhead", type=float,
+                        default=MAX_DISPATCH_OVERHEAD, metavar="FRAC",
+                        help="overhead ceiling for --gates "
+                             "(default %(default)s)")
+    args = parser.parse_args(argv)
+    try:
+        document = load_document(args.path)
+    except BenchSchemaError as error:
+        print(error, file=sys.stderr)
+        return 1
+    summary = []
+    if "workloads" in document:
+        summary.append(f"{len(document['workloads'])} workload(s)")
+    if "runs" in document:
+        summary.append(f"{len(document['runs'])} run(s)")
+    print(f"{args.path}: valid {BENCH_SCHEMA} "
+          f"({', '.join(summary)})")
+    if args.gates:
+        failures = check_perf_gates(
+            document, max_dispatch_overhead=args.max_dispatch_overhead
+        )
+        if failures:
+            for failure in failures:
+                print(f"GATE FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("perf gates OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

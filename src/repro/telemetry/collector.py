@@ -26,6 +26,8 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional
 
+from . import trace as _trace
+
 #: Per-series cap; trajectories past this length drop new points and
 #: bump the ``truncated`` count so exports stay bounded.
 MAX_SERIES_POINTS = 10_000
@@ -67,22 +69,31 @@ class _SpanHandle:
 
     Entering pushes the span's full path onto the calling thread's
     stack (establishing parentage for spans opened inside), exiting
-    records the elapsed ``time.perf_counter`` duration.
+    records the elapsed ``time.perf_counter`` duration. When the event
+    tracer is active the activation is mirrored as a begin/end event
+    pair, so every collector span lands on the timeline for free.
     """
 
-    __slots__ = ("_collector", "name", "path", "_start")
+    __slots__ = ("_collector", "name", "path", "_start", "_tracer")
 
     def __init__(self, collector: "Collector", name: str):
         self._collector = collector
         self.name = name
         self.path = name
         self._start = 0.0
+        self._tracer = None
 
     def __enter__(self) -> "_SpanHandle":
         stack = self._collector._span_stack()
         parent = stack[-1] if stack else ""
         self.path = f"{parent}/{self.name}" if parent else self.name
         stack.append(self.path)
+        # Pin the tracer for the span's lifetime so a disable between
+        # enter and exit cannot produce an unmatched begin event.
+        self._tracer = _trace.get_tracer()
+        if self._tracer is not None:
+            self._tracer.begin(self.name, category="span",
+                               args={"path": self.path})
         self._start = time.perf_counter()
         return self
 
@@ -91,6 +102,9 @@ class _SpanHandle:
         stack = self._collector._span_stack()
         if stack and stack[-1] == self.path:
             stack.pop()
+        if self._tracer is not None:
+            self._tracer.end(self.name, category="span")
+            self._tracer = None
         self._collector._observe_span(self.path, duration)
         return False
 

@@ -7,7 +7,7 @@ each ``--telemetry`` run.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Union
+from typing import Any, Dict, List, Mapping, Optional, Union
 
 from .collector import Collector
 
@@ -38,47 +38,56 @@ def _aligned(rows: List[List[str]], indent: str = "  ") -> List[str]:
     ]
 
 
-def render_report(metrics: Union[Collector, Mapping[str, Any]]) -> str:
-    """Aligned, human-readable view of spans, counters, gauges, series."""
-    if isinstance(metrics, Collector):
+def render_report(metrics: Union[Collector, Mapping[str, Any], None],
+                  provenance: Optional[Mapping[str, Any]] = None) -> str:
+    """Aligned, human-readable view of spans, counters, gauges, series.
+
+    Tolerates the degenerate inputs that show up in practice: ``None``
+    or an empty snapshot renders a valid "(no metrics collected)"
+    report, and ``provenance`` — when provided — is rendered as its own
+    section, skipping ``None``-valued and missing fields rather than
+    printing them.
+    """
+    if metrics is None:
+        metrics = {}
+    elif isinstance(metrics, Collector):
         metrics = metrics.snapshot()
     lines: List[str] = ["telemetry report"]
 
-    spans: Dict[str, Dict[str, float]] = metrics.get("spans", {})
+    spans: Dict[str, Dict[str, float]] = metrics.get("spans") or {}
     if spans:
-        lines.append("spans (path  count  total  mean):")
         rows = [
             [path,
-             _format_number(stats["count"]),
-             _format_seconds(stats["total_seconds"]),
-             _format_seconds(stats["mean_seconds"])]
+             _format_number(stats.get("count", 0)),
+             _format_seconds(stats.get("total_seconds", 0.0)),
+             _format_seconds(stats.get("mean_seconds", 0.0))]
             for path, stats in sorted(
                 spans.items(),
-                key=lambda item: -item[1]["total_seconds"],
+                key=lambda item: -item[1].get("total_seconds", 0.0),
             )
         ]
+        lines.append("spans (path  count  total  mean):")
         lines.extend(_aligned(rows))
 
-    counters: Dict[str, float] = metrics.get("counters", {})
+    counters: Dict[str, float] = metrics.get("counters") or {}
     if counters:
         lines.append("counters:")
         rows = [[name, _format_number(value)]
                 for name, value in sorted(counters.items())]
         lines.extend(_aligned(rows))
 
-    gauges: Dict[str, float] = metrics.get("gauges", {})
+    gauges: Dict[str, float] = metrics.get("gauges") or {}
     if gauges:
         lines.append("gauges:")
         rows = [[name, _format_number(value)]
                 for name, value in sorted(gauges.items())]
         lines.extend(_aligned(rows))
 
-    series: Dict[str, Dict[str, Any]] = metrics.get("series", {})
+    series: Dict[str, Dict[str, Any]] = metrics.get("series") or {}
     if series:
-        lines.append("series (name  points  first  last  best):")
         rows = []
         for name, entry in sorted(series.items()):
-            values = entry.get("values", [])
+            values = entry.get("values") or []
             if not values:
                 continue
             rows.append([
@@ -88,8 +97,27 @@ def render_report(metrics: Union[Collector, Mapping[str, Any]]) -> str:
                 f"{values[-1]:.4g}",
                 f"{min(values):.4g}",
             ])
-        lines.extend(_aligned(rows))
+        # Only emit the section header when at least one series has
+        # points; an all-empty series dict previously left a dangling
+        # header at the bottom of the report.
+        if rows:
+            lines.append("series (name  points  first  last  best):")
+            lines.extend(_aligned(rows))
 
     if len(lines) == 1:
         lines.append("  (no metrics collected)")
+
+    if provenance:
+        rows = [[str(key), _format_provenance_value(value)]
+                for key, value in sorted(provenance.items())
+                if value is not None]
+        if rows:
+            lines.append("provenance:")
+            lines.extend(_aligned(rows))
     return "\n".join(lines)
+
+
+def _format_provenance_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

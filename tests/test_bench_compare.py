@@ -1,0 +1,234 @@
+"""Tests for the repro-bench/v1 validator and bench-compare watchdog."""
+
+import copy
+import json
+
+import pytest
+
+from repro.experiments.__main__ import main as experiments_main
+from repro.telemetry.bench_compare import (
+    compare_documents,
+    main as compare_main,
+)
+from repro.telemetry.bench_schema import (
+    BENCH_SCHEMA,
+    BenchSchemaError,
+    check_perf_gates,
+    load_document,
+    main as schema_main,
+    validate_document,
+    workloads_by_name,
+)
+
+
+def _document():
+    return {
+        "schema": BENCH_SCHEMA,
+        "provenance": {"benchmark": "test"},
+        "workloads": [
+            {
+                "name": "kernel_gram",
+                "params": {"num_points": 64, "seed": 7},
+                "loop_seconds": 0.10,
+                "batched_seconds": 0.01,
+                "speedup": 10.0,
+                "max_abs_diff": 1e-14,
+                "deterministic": True,
+            },
+            {
+                "name": "compile_dispatch",
+                "params": {"num_relations": 7, "seed": 13},
+                "direct_seconds": 0.20,
+                "dispatch_seconds": 0.205,
+                "overhead_fraction": 0.025,
+                "matches_direct": True,
+                "deterministic": True,
+            },
+        ],
+    }
+
+
+# -- schema validation -------------------------------------------------
+def test_validate_accepts_wellformed_document():
+    validate_document(_document())  # must not raise
+
+
+def test_validate_rejects_bad_documents():
+    with pytest.raises(BenchSchemaError):
+        validate_document([])
+    wrong_tag = _document()
+    wrong_tag["schema"] = "repro-bench/v2"
+    with pytest.raises(BenchSchemaError, match="schema tag"):
+        validate_document(wrong_tag)
+    no_provenance = _document()
+    del no_provenance["provenance"]
+    with pytest.raises(BenchSchemaError, match="provenance"):
+        validate_document(no_provenance)
+    empty = _document()
+    empty["workloads"] = []
+    with pytest.raises(BenchSchemaError, match="non-empty"):
+        validate_document(empty)
+    bad_timing = _document()
+    bad_timing["workloads"][0]["loop_seconds"] = float("nan")
+    with pytest.raises(BenchSchemaError, match="finite"):
+        validate_document(bad_timing)
+    no_timing = _document()
+    no_timing["workloads"][0] = {"name": "x", "params": {}}
+    with pytest.raises(BenchSchemaError, match="_seconds"):
+        validate_document(no_timing)
+
+
+def test_validate_accepts_runs_shape():
+    validate_document({
+        "schema": BENCH_SCHEMA,
+        "provenance": {},
+        "runs": [{"test": "bench_e8", "metrics": {}}],
+    })
+
+
+def test_workloads_by_name_rejects_duplicates():
+    document = _document()
+    document["workloads"].append(dict(document["workloads"][0]))
+    with pytest.raises(BenchSchemaError, match="duplicate"):
+        workloads_by_name(document)
+
+
+def test_check_perf_gates():
+    assert check_perf_gates(_document()) == []
+    broken = _document()
+    broken["workloads"][0]["deterministic"] = False
+    broken["workloads"][0]["max_abs_diff"] = 1e-3
+    broken["workloads"][1]["overhead_fraction"] = 0.2
+    failures = check_perf_gates(broken)
+    assert len(failures) == 3
+    assert check_perf_gates(broken, max_dispatch_overhead=0.5) != failures
+
+
+def test_load_document_reports_unreadable(tmp_path):
+    with pytest.raises(BenchSchemaError, match="cannot load"):
+        load_document(str(tmp_path / "missing.json"))
+    garbled = tmp_path / "bad.json"
+    garbled.write_text("{not json")
+    with pytest.raises(BenchSchemaError, match="cannot load"):
+        load_document(str(garbled))
+
+
+def test_schema_cli(tmp_path, capsys):
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(_document()))
+    assert schema_main([str(path), "--gates"]) == 0
+    out = capsys.readouterr().out
+    assert "valid repro-bench/v1" in out
+    assert "perf gates OK" in out
+    broken = _document()
+    broken["workloads"][1]["overhead_fraction"] = 0.9
+    path.write_text(json.dumps(broken))
+    assert schema_main([str(path)]) == 0         # structurally fine
+    assert schema_main([str(path), "--gates"]) == 1
+
+
+# -- compare policy ----------------------------------------------------
+def test_identical_documents_have_no_regressions():
+    report = compare_documents(_document(), _document(), tolerance=0.1)
+    assert report.regressions == []
+    assert "no regressions" in report.render()
+
+
+def test_injected_slowdown_is_flagged():
+    candidate = copy.deepcopy(_document())
+    workload = candidate["workloads"][0]
+    workload["batched_seconds"] *= 1.2          # 20% slowdown
+    workload["speedup"] /= 1.2
+    report = compare_documents(_document(), candidate, tolerance=0.1)
+    regressed = {(r.workload, r.metric) for r in report.regressions}
+    assert ("kernel_gram", "batched_seconds") in regressed
+    assert ("kernel_gram", "speedup") in regressed
+    # within-tolerance slowdowns pass
+    mild = copy.deepcopy(_document())
+    mild["workloads"][0]["batched_seconds"] *= 1.05
+    assert not compare_documents(_document(), mild,
+                                 tolerance=0.1).regressions
+
+
+def test_overhead_fraction_uses_absolute_slack():
+    candidate = copy.deepcopy(_document())
+    candidate["workloads"][1]["overhead_fraction"] = 0.08
+    assert not compare_documents(_document(), candidate,
+                                 tolerance=0.1).regressions
+    candidate["workloads"][1]["overhead_fraction"] = 0.2
+    report = compare_documents(_document(), candidate, tolerance=0.1)
+    assert [r.metric for r in report.regressions] == [
+        "overhead_fraction"
+    ]
+
+
+def test_params_mismatch_compares_ratios_only():
+    candidate = copy.deepcopy(_document())
+    candidate["workloads"][0]["params"]["num_points"] = 12
+    candidate["workloads"][0]["batched_seconds"] = 5.0  # much slower
+    candidate["workloads"][0]["speedup"] = 9.5          # within 10%
+    report = compare_documents(_document(), candidate, tolerance=0.1)
+    assert not report.regressions   # seconds were not compared
+    metrics = {(r.workload, r.metric, r.status) for r in report.rows}
+    assert ("kernel_gram", "params", "info") in metrics
+    candidate["workloads"][0]["speedup"] = 2.0          # ratio collapse
+    report = compare_documents(_document(), candidate, tolerance=0.1)
+    assert [r.metric for r in report.regressions] == ["speedup"]
+
+
+def test_missing_workload_is_a_regression():
+    candidate = copy.deepcopy(_document())
+    del candidate["workloads"][1]
+    report = compare_documents(_document(), candidate, tolerance=0.1)
+    assert any(r.workload == "compile_dispatch" and r.is_regression
+               for r in report.rows)
+    # extra candidate workloads are informational, not failures
+    extra = copy.deepcopy(_document())
+    extra["workloads"].append({
+        "name": "new_thing", "params": {}, "run_seconds": 1.0,
+    })
+    assert not compare_documents(_document(), extra,
+                                 tolerance=0.1).regressions
+
+
+def test_empty_baseline_rejected():
+    baseline = {"schema": BENCH_SCHEMA, "provenance": {}, "runs": []}
+    with pytest.raises(BenchSchemaError, match="no workloads"):
+        compare_documents(baseline, _document())
+
+
+def test_negative_tolerance_rejected():
+    with pytest.raises(ValueError, match="non-negative"):
+        compare_documents(_document(), _document(), tolerance=-0.1)
+
+
+# -- CLI ---------------------------------------------------------------
+def _write(tmp_path, name, document):
+    path = tmp_path / name
+    path.write_text(json.dumps(document))
+    return str(path)
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    baseline = _write(tmp_path, "base.json", _document())
+    slow = copy.deepcopy(_document())
+    slow["workloads"][0]["batched_seconds"] *= 1.2
+    candidate = _write(tmp_path, "cand.json", slow)
+
+    assert compare_main([baseline, baseline]) == 0
+    assert compare_main([baseline, candidate, "--tolerance", "0.1"]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+    assert compare_main([baseline, candidate, "--tolerance", "0.5"]) == 0
+    assert compare_main([baseline, str(tmp_path / "nope.json")]) == 2
+
+
+def test_cli_via_experiments_subcommand(tmp_path, capsys):
+    baseline = _write(tmp_path, "base.json", _document())
+    slow = copy.deepcopy(_document())
+    slow["workloads"][1]["dispatch_seconds"] *= 1.5
+    candidate = _write(tmp_path, "cand.json", slow)
+    assert experiments_main(["bench-compare", baseline, baseline]) == 0
+    assert experiments_main(["bench-compare", baseline, candidate]) == 1
+    out = capsys.readouterr().out
+    assert "dispatch_seconds" in out

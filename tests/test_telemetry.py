@@ -14,10 +14,12 @@ from repro.quantum.statevector import apply_matrix
 
 @pytest.fixture(autouse=True)
 def _clean_telemetry():
-    """Every test starts and ends with telemetry disabled."""
+    """Every test starts and ends with telemetry (and tracing) disabled."""
     telemetry.disable()
+    telemetry.disable_tracing()
     yield
     telemetry.disable()
+    telemetry.disable_tracing()
 
 
 def _representative_circuit(num_qubits=5, layers=4) -> Circuit:
@@ -185,6 +187,42 @@ def test_render_report_mentions_metrics():
     text = telemetry.render_report(collector)
     assert "quantum.gate_applications" in text
     assert "quantum.run" in text
+
+
+def test_render_report_degenerate_inputs():
+    # None and {} must render a valid placeholder report, not crash.
+    for metrics in (None, {}):
+        text = telemetry.render_report(metrics)
+        assert text.startswith("telemetry report")
+        assert "(no metrics collected)" in text
+    # A live-but-empty collector behaves the same.
+    collector = telemetry.enable()
+    assert "(no metrics collected)" in telemetry.render_report(collector)
+
+
+def test_render_report_skips_none_provenance_values():
+    text = telemetry.render_report({}, provenance={
+        "experiment_id": "E8",
+        "seed": None,
+        "duration_seconds": 0.25,
+    })
+    assert "experiment_id" in text and "E8" in text
+    assert "duration_seconds" in text
+    assert "seed" not in text
+    # All-None provenance adds no section at all.
+    text = telemetry.render_report({}, provenance={"seed": None})
+    assert "provenance" not in text
+
+
+def test_render_report_no_dangling_series_header():
+    # Series that exist but hold no points must not leave a bare
+    # "series (...)" header at the bottom of the report.
+    text = telemetry.render_report({
+        "series": {"annealing.sa.best_energy": {"values": [],
+                                                "truncated": 0}},
+    })
+    assert "series" not in text
+    assert "(no metrics collected)" in text
 
 
 # -- instrumentation of the hot layers ---------------------------------
