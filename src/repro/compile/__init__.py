@@ -36,9 +36,13 @@ from .dispatch import (
     SolveResult,
     SolverConfig,
     SolverSpec,
+    assemble_result,
     available_solvers,
+    decode_samples,
     make_solver,
     register_solver,
+    run_registry_backend,
+    select_best_solution,
     solve,
 )
 from .ir import CompiledProblem, VariableRegistry, check_bits
@@ -51,9 +55,13 @@ __all__ = [
     "SolveResult",
     "SolverConfig",
     "SolverSpec",
+    "assemble_result",
     "available_solvers",
+    "decode_samples",
     "make_solver",
     "register_solver",
+    "run_registry_backend",
+    "select_best_solution",
     "solve",
     "CompiledProblem",
     "VariableRegistry",

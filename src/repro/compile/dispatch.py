@@ -35,8 +35,9 @@ in ``SolverConfig.options`` and are forwarded to the constructor.
 
 from __future__ import annotations
 
+import pickle
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Union
 
 import numpy as np
@@ -110,6 +111,50 @@ class SolverConfig:
         if self.convergence is None:
             return telemetry.get_tracer() is not None
         return self.convergence
+
+    def resolve_convergence(self) -> "SolverConfig":
+        """A copy with the convergence tri-state pinned to a bool.
+
+        The ``None`` ("auto-on while tracing") state is resolved
+        against *this* process's tracer. Cross-process dispatch must
+        call this before shipping the config to a worker — the worker
+        has its own (empty) tracer state, so an unresolved ``None``
+        would silently flip the semantics there.
+        """
+        if self.convergence is not None:
+            return self
+        return replace(self, convergence=self.convergence_active())
+
+    def require_picklable(self) -> "SolverConfig":
+        """Validate the config round-trips through pickle; return it.
+
+        Cross-process dispatch pickles the config into the worker. A
+        callable or pre-configured solver instance smuggled into
+        ``options`` would otherwise crash deep inside the worker with
+        an opaque pickling traceback; this surfaces the offending keys
+        as a clear :class:`ValueError` *before* the job is enqueued.
+        """
+        try:
+            restored = pickle.loads(pickle.dumps(self))
+        except Exception as error:
+            bad_keys = []
+            for key, value in self.options.items():
+                try:
+                    pickle.dumps(value)
+                except Exception:
+                    bad_keys.append(key)
+            detail = (f" (unpicklable options: {sorted(bad_keys)})"
+                      if bad_keys else "")
+            raise ValueError(
+                "SolverConfig does not survive pickling for "
+                f"cross-process dispatch{detail}: {error}"
+            ) from error
+        if restored.to_dict() != self.to_dict():
+            raise ValueError(
+                "SolverConfig does not round-trip through pickle: "
+                f"{restored.to_dict()} != {self.to_dict()}"
+            )
+        return self
 
 
 #: Adapter signature: ``run(model, config, progress)`` where
@@ -283,6 +328,98 @@ class SolveResult:
         )
 
 
+def run_registry_backend(model: Model, solver_name: str,
+                         config: SolverConfig,
+                         progress: Optional[ProgressTrace] = None
+                         ) -> SampleSet:
+    """Run one registered backend adapter on a bare binary model.
+
+    This is the slice of :func:`solve` that the solve service executes
+    inside a worker process: it needs only picklable inputs (the model
+    and the config), no :class:`CompiledProblem` hooks.
+    """
+    if solver_name not in _REGISTRY:
+        raise _unknown_solver_error(solver_name)
+    return _REGISTRY[solver_name].run(model, config, progress)
+
+
+def decode_samples(problem: CompiledProblem,
+                   samples: SampleSet) -> List[Any]:
+    """Decode every read through the problem's ``decode`` hook."""
+    return [problem.decode(sample.assignment) for sample in samples]
+
+
+def select_best_solution(problem: CompiledProblem,
+                         solutions: List[Any],
+                         repair: bool = False) -> Any:
+    """Pick the strictly-best scored solution, optionally repaired.
+
+    Ties keep the earliest (lowest-energy) read — the same strict
+    ``<`` rule :func:`solve` has always used, factored out so the
+    service's parent-side assembly is bit-for-bit identical.
+    """
+    best = solutions[0]
+    best_score = problem.score(best)
+    for candidate in solutions[1:]:
+        score = problem.score(candidate)
+        if score < best_score:
+            best, best_score = candidate, score
+    if repair and problem.repair is not None:
+        best = problem.repair(best)
+        telemetry.count("compile.repair.applied")
+    return best
+
+
+def assemble_result(problem: CompiledProblem, solver_name: str,
+                    config: SolverConfig, samples: SampleSet,
+                    solutions: List[Any], duration: float,
+                    convergence: Optional[List[Dict[str, Any]]] = None,
+                    repair: bool = False,
+                    provenance_extra: Optional[Dict[str, Any]] = None
+                    ) -> SolveResult:
+    """Assemble the uniform :class:`SolveResult` from solver output.
+
+    Shared by :func:`solve` (in-process) and the solve service (which
+    runs the backend in a worker and assembles here in the parent, so
+    both paths produce bit-for-bit identical results).
+    """
+    telemetry.count("compile.solve.runs")
+    telemetry.count(f"compile.solve.{solver_name}.runs")
+    telemetry.count("compile.solve.reads", len(samples))
+
+    best = select_best_solution(problem, solutions, repair=repair)
+
+    from .. import __version__
+
+    provenance: Dict[str, Any] = {
+        "problem": problem.name,
+        "solver": solver_name,
+        "config": config.to_dict(),
+        "seed": None if config.seed is None else int(config.seed),
+        "num_variables": problem.num_variables,
+        "version": __version__,
+        "duration_seconds": duration,
+        "convergence_rows": (len(convergence) if convergence is not None
+                             else 0),
+    }
+    if provenance_extra:
+        provenance.update(provenance_extra)
+
+    return SolveResult(
+        problem=problem.name,
+        solver=solver_name,
+        solution=best,
+        feasible=bool(problem.feasible(best)),
+        energy=float(samples.best_energy),
+        energies=samples.energies(),
+        samples=samples,
+        solutions=solutions,
+        config=config,
+        provenance=provenance,
+        convergence=convergence,
+    )
+
+
 def make_solver(name: str, config: Optional[SolverConfig] = None
                 ) -> Callable[[Model], SampleSet]:
     """Bind a registered solver and a config into ``model -> SampleSet``.
@@ -358,45 +495,10 @@ def solve(problem: CompiledProblem,
     start = time.perf_counter()
     with telemetry.span(f"compile.solve.{problem.name}"):
         samples = run(problem.model, config, progress)
-        solutions = [problem.decode(sample.assignment)
-                     for sample in samples]
+        solutions = decode_samples(problem, samples)
     duration = time.perf_counter() - start
-    telemetry.count("compile.solve.runs")
-    telemetry.count(f"compile.solve.{solver_name}.runs")
-    telemetry.count("compile.solve.reads", len(samples))
-
-    best = solutions[0]
-    best_score = problem.score(best)
-    for candidate in solutions[1:]:
-        score = problem.score(candidate)
-        if score < best_score:
-            best, best_score = candidate, score
-    if repair and problem.repair is not None:
-        best = problem.repair(best)
-        telemetry.count("compile.repair.applied")
-
-    from .. import __version__
-
-    return SolveResult(
-        problem=problem.name,
-        solver=solver_name,
-        solution=best,
-        feasible=bool(problem.feasible(best)),
-        energy=float(samples.best_energy),
-        energies=samples.energies(),
-        samples=samples,
-        solutions=solutions,
-        config=config,
-        provenance={
-            "problem": problem.name,
-            "solver": solver_name,
-            "config": config.to_dict(),
-            "seed": None if config.seed is None else int(config.seed),
-            "num_variables": problem.num_variables,
-            "version": __version__,
-            "duration_seconds": duration,
-            "convergence_rows": len(progress) if progress is not None
-            else 0,
-        },
+    return assemble_result(
+        problem, solver_name, config, samples, solutions, duration,
         convergence=progress.rows() if progress is not None else None,
+        repair=repair,
     )

@@ -16,6 +16,8 @@ knowing which database problem produced it.
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -162,6 +164,57 @@ class CompiledProblem:
         if isinstance(self.model, QUBO):
             return self.model.num_variables
         return self.model.num_spins
+
+    def content_key(self) -> str:
+        """Deterministic, process-stable content hash of the problem.
+
+        The key covers everything that determines what a solver
+        computes: the problem-family name, the model kind, the variable
+        count, the offset and every nonzero term (linear and quadratic
+        / field and coupling) in canonical index order with exact IEEE
+        float bytes. It deliberately excludes the domain hooks and
+        metadata — two compilations of the same instance hash equal
+        even though their closures are distinct objects.
+
+        Unlike ``hash()`` or ``repr()`` of arrays, the digest is stable
+        across processes and interpreter runs (no ``PYTHONHASHSEED``
+        dependence, no ``id()`` leakage), which is what lets the solve
+        service's result cache and request coalescer key on it.
+        """
+        digest = hashlib.sha256()
+
+        def put_float(value: float) -> None:
+            # Normalize -0.0 to 0.0: both evaluate identically in every
+            # energy function, so they must hash identically too.
+            value = float(value)
+            if value == 0.0:
+                value = 0.0
+            digest.update(struct.pack("<d", value))
+
+        digest.update(self.name.encode("utf-8"))
+        digest.update(b"\x00")
+        model = self.model
+        digest.update(type(model).__name__.encode("ascii"))
+        digest.update(struct.pack("<q", self.num_variables))
+        put_float(model.offset)
+        if isinstance(model, QUBO):
+            terms = {**{(u, u): c for u, c in model.linear.items()},
+                     **model.quadratic}
+            for (u, v), coefficient in sorted(terms.items()):
+                if coefficient != 0.0:
+                    digest.update(struct.pack("<qq", u, v))
+                    put_float(coefficient)
+        else:
+            for spin, value in sorted(model.h.items()):
+                if value != 0.0:
+                    digest.update(struct.pack("<q", spin))
+                    put_float(value)
+            digest.update(b"\x01")
+            for (a, b), value in sorted(model.j.items()):
+                if value != 0.0:
+                    digest.update(struct.pack("<qq", a, b))
+                    put_float(value)
+        return digest.hexdigest()
 
     def energy(self, bits: Sequence[int]) -> float:
         """Model energy of a binary assignment (Ising takes bits too)."""

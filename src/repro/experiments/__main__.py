@@ -105,6 +105,10 @@ def main(argv) -> int:
         from ..telemetry import bench_compare
 
         return bench_compare.main(argv[1:])
+    if argv and argv[0] == "serve-bench":
+        from ..service import bench as serve_bench
+
+        return serve_bench.main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Run DESIGN.md experiments from the registry.",
@@ -126,6 +130,11 @@ def main(argv) -> int:
                              "forwarded to every experiment that takes a "
                              "solver knob; see repro.compile."
                              "available_solvers()")
+    parser.add_argument("--workers", type=int, metavar="N",
+                        help="run batchable solver arms through the "
+                             "solve service with N concurrent workers "
+                             "(experiments with a 'workers' knob: E8, "
+                             "A1); results are identical, only faster")
     parser.add_argument("--trace", metavar="FILE",
                         help="record an event timeline and write Chrome "
                              "trace_event JSON (open in Perfetto); "
@@ -174,6 +183,9 @@ def main(argv) -> int:
         if (args.solver is not None
                 and experiment_accepts(experiment_id, "solver")):
             kwargs["solver"] = args.solver
+        if (args.workers is not None
+                and experiment_accepts(experiment_id, "workers")):
+            kwargs["workers"] = args.workers
         start = time.perf_counter()
         result = run_experiment(experiment_id, **kwargs)
         elapsed = time.perf_counter() - start

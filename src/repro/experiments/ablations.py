@@ -20,7 +20,7 @@ from ..compile import solve as dispatch_solve
 from ..db.cost import left_deep_cost
 from ..db.joinorder import JoinOrderQUBO, exhaustive_left_deep, two_opt_polish
 from ..db.workloads import random_join_graph
-from .harness import ExperimentResult, geometric_mean, register
+from .harness import ExperimentResult, geometric_mean, register, solve_jobs
 
 
 @register("A1", "Penalty-weight ablation for the join-order QUBO")
@@ -28,13 +28,16 @@ def penalty_weight_ablation(scales: Sequence[float] = (0.01, 0.05, 0.25,
                                                        1.0, 4.0, 16.0),
                             num_relations: int = 5, instances: int = 4,
                             seed: int = 0,
-                            solver: str = "sa") -> ExperimentResult:
+                            solver: str = "sa",
+                            workers: int = 0) -> ExperimentResult:
     """Sweep the penalty multiplier around the analytic weight.
 
     Reports the fraction of annealer reads whose one-hot constraints
     hold without repair, and the decoded cost ratio to the optimal
     left-deep plan. Too small -> invalid encodings; too large ->
-    penalty barriers freeze the annealer.
+    penalty barriers freeze the annealer. ``workers > 0`` runs each
+    scale's per-graph solves concurrently through the solve service
+    (same seeds, identical rows).
     """
     rng = np.random.default_rng(seed)
     graphs = [
@@ -47,16 +50,18 @@ def penalty_weight_ablation(scales: Sequence[float] = (0.01, 0.05, 0.25,
     for scale in scales:
         valid_fractions: List[float] = []
         ratios: List[float] = []
-        for graph, optimum in zip(graphs, optima):
-            compiled = JoinOrderQUBO(graph, penalty_scale=scale).compile()
-            result = dispatch_solve(
-                compiled,
-                solver=solver,
-                config=SolverConfig(
-                    num_sweeps=300, num_reads=20,
-                    seed=int(rng.integers(2 ** 31)),
-                ),
-            )
+        configs = [
+            SolverConfig(num_sweeps=300, num_reads=20,
+                         seed=int(rng.integers(2 ** 31)))
+            for _ in graphs
+        ]
+        results = solve_jobs(
+            [(JoinOrderQUBO(graph, penalty_scale=scale).compile(),
+              solver, config)
+             for graph, config in zip(graphs, configs)],
+            workers=workers,
+        )
+        for result, optimum in zip(results, optima):
             valid_fractions.append(
                 sum(d.valid for d in result.solutions)
                 / len(result.solutions)

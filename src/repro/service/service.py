@@ -1,0 +1,569 @@
+"""The concurrent solve service: queue -> worker pool -> cache.
+
+:class:`SolveService` turns the blocking :func:`repro.compile.solve`
+call into a managed execution subsystem:
+
+* **submit/handle** — :meth:`SolveService.submit` validates the job
+  *before* enqueue (registry name, picklable config, resolved
+  convergence tri-state), puts it on a bounded priority queue and
+  returns a :class:`JobHandle` with status, result waiting and
+  cancellation.
+* **worker pool** — N dispatcher threads execute jobs either inline
+  (``mode="thread"``) or in reaped worker processes
+  (``mode="process"``, the default) with hard per-job deadlines.
+* **result cache + coalescing** — seeded jobs are content-addressed
+  (problem terms + solver + config + seed); repeat submissions hit the
+  LRU cache and *identical in-flight* submissions coalesce onto the
+  same job instead of re-executing.
+* **telemetry** — worker collectors/tracers are merged back into the
+  parent's, so one report/timeline covers the whole fleet; every
+  result's provenance carries a ``service`` block (job id, worker pid,
+  queue wait, cache disposition).
+
+Results are bit-for-bit identical to sequential ``solve`` calls under
+fixed seeds: workers run only the registered backend on the bare
+model, and decoding/best-pick run parent-side through the exact same
+code path (:func:`repro.compile.assemble_result`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from .. import telemetry
+from ..compile.dispatch import (
+    SolveResult,
+    SolverConfig,
+    assemble_result,
+    available_solvers,
+    decode_samples,
+)
+from ..compile.ir import CompiledProblem
+from .cache import ResultCache, cache_key
+from .queue import Job, JobQueue, JobStatus, QueueFullError
+from .workers import (
+    WorkerCancelled,
+    WorkerCrashed,
+    WorkerTimeout,
+    execute_in_process,
+    execute_inline,
+)
+
+__all__ = [
+    "JobCancelledError",
+    "JobHandle",
+    "JobTimeoutError",
+    "QueueFullError",
+    "ServiceError",
+    "SolveService",
+]
+
+
+class ServiceError(RuntimeError):
+    """Base class for solve-service failures."""
+
+
+class JobTimeoutError(ServiceError):
+    """The job blew its deadline and was reaped."""
+
+
+class JobCancelledError(ServiceError):
+    """The job was cancelled before it produced a result."""
+
+
+#: Accepted shapes for one ``solve_many`` entry.
+JobSpec = Union[CompiledProblem, tuple, Dict[str, Any]]
+
+
+class JobHandle:
+    """Caller-facing view of one submitted job (a future, in effect)."""
+
+    def __init__(self, job: Job, service: "SolveService"):
+        self._job = job
+        self._service = service
+
+    @property
+    def job_id(self) -> int:
+        return self._job.job_id
+
+    @property
+    def solver(self) -> str:
+        return self._job.solver
+
+    @property
+    def status(self) -> JobStatus:
+        with self._job.lock:
+            return self._job.status
+
+    def done(self) -> bool:
+        return self.status.is_terminal()
+
+    def cancel(self) -> bool:
+        """Cancel the job; returns whether the cancellation won.
+
+        Queued jobs are withdrawn immediately. A job already running
+        on a worker *process* is reaped mid-flight; with thread
+        workers a running job cannot be interrupted and ``cancel``
+        returns ``False`` once execution finished first.
+        """
+        return self._service._cancel_job(self._job)
+
+    def result(self, timeout: Optional[float] = None) -> SolveResult:
+        """Wait for and return the result.
+
+        Raises :class:`JobTimeoutError` / :class:`JobCancelledError` /
+        the worker's failure for unsuccessful jobs, and
+        :class:`TimeoutError` when ``timeout`` elapses first.
+        """
+        if not self._job.event.wait(timeout):
+            raise TimeoutError(
+                f"job {self.job_id} not finished within {timeout!r}s "
+                f"(status {self.status.value})"
+            )
+        with self._job.lock:
+            status, result, error = (self._job.status, self._job.result,
+                                     self._job.error)
+        if status is JobStatus.DONE:
+            return result
+        if error is not None:
+            raise error
+        raise ServiceError(
+            f"job {self.job_id} ended {status.value} without a result"
+        )
+
+    def exception(self, timeout: Optional[float] = None
+                  ) -> Optional[BaseException]:
+        """The job's failure, or ``None`` when it succeeded."""
+        if not self._job.event.wait(timeout):
+            raise TimeoutError(
+                f"job {self.job_id} not finished within {timeout!r}s"
+            )
+        with self._job.lock:
+            return self._job.error
+
+    def add_done_callback(self, callback) -> None:
+        """Run ``callback(handle)`` once the job is terminal."""
+        self._job.add_callback(lambda _job: callback(self))
+
+    def __repr__(self) -> str:
+        return (f"JobHandle(job_id={self.job_id}, "
+                f"solver={self.solver!r}, status={self.status.value})")
+
+
+class SolveService:
+    """Concurrent solve service over the ``repro.compile`` registry.
+
+    Parameters
+    ----------
+    max_workers:
+        Dispatcher/worker slots; at most this many jobs execute
+        concurrently.
+    mode:
+        ``"process"`` (default) runs each job in a freshly forked,
+        deadline-reapable worker process; ``"thread"`` runs jobs
+        inline on dispatcher threads (lower latency, soft deadlines —
+        best for many small jobs).
+    queue_capacity:
+        Bound on queued-but-not-running jobs; submissions beyond it
+        raise :class:`QueueFullError` (or block with ``block=True``).
+    cache_entries:
+        LRU capacity of the result cache; ``0`` disables caching (and
+        with it request coalescing).
+    default_deadline:
+        Per-job wall-clock budget in seconds applied when ``submit``
+        gets no explicit ``deadline``; ``None`` means unbounded.
+    start_method:
+        ``multiprocessing`` start method for process workers (``None``
+        = platform default, ``fork`` on Linux).
+    """
+
+    def __init__(self, max_workers: int = 2, mode: str = "process",
+                 queue_capacity: int = 128, cache_entries: int = 256,
+                 default_deadline: Optional[float] = None,
+                 start_method: Optional[str] = None):
+        if max_workers < 1:
+            raise ValueError("max_workers must be positive")
+        if mode not in ("process", "thread"):
+            raise ValueError(
+                f"mode must be 'process' or 'thread', got {mode!r}"
+            )
+        if cache_entries < 0:
+            raise ValueError("cache_entries must be >= 0")
+        self.max_workers = max_workers
+        self.mode = mode
+        self.default_deadline = default_deadline
+        self._context = (multiprocessing.get_context(start_method)
+                         if mode == "process" else None)
+        self._queue = JobQueue(queue_capacity)
+        self._cache = (ResultCache(cache_entries)
+                       if cache_entries else None)
+        self._inflight: Dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._shutdown = False
+        self._stats = {status: 0 for status in JobStatus}
+        self._coalesced = 0
+        self._cache_hits_served = 0
+        self._dispatchers = [
+            threading.Thread(target=self._dispatch_loop,
+                             name=f"repro-solve-worker-{index}",
+                             daemon=True)
+            for index in range(max_workers)
+        ]
+        for thread in self._dispatchers:
+            thread.start()
+
+    # -- submission ------------------------------------------------------
+    def submit(self, problem: CompiledProblem, solver: str = "sa",
+               config: Optional[SolverConfig] = None, *,
+               priority: int = 0, deadline: Optional[float] = None,
+               repair: bool = False, block: bool = False,
+               timeout: Optional[float] = None) -> JobHandle:
+        """Enqueue one solve; returns a :class:`JobHandle` immediately.
+
+        Validation happens *here*, not in the worker: unknown solver
+        names, pre-configured solver instances (the in-process escape
+        hatch of :func:`repro.compile.solve` — unpicklable and
+        unsupported across workers) and unpicklable configs all raise
+        :class:`ValueError` before the job is enqueued. Higher
+        ``priority`` dequeues first; ``deadline`` seconds of wall
+        clock are enforced by reaping (process mode). ``block=True``
+        waits for queue capacity instead of raising
+        :class:`QueueFullError`.
+        """
+        if self._shutdown:
+            raise ServiceError("service is shut down")
+        if not isinstance(problem, CompiledProblem):
+            raise TypeError(
+                f"submit expects a CompiledProblem, got "
+                f"{type(problem).__name__}"
+            )
+        if not isinstance(solver, str):
+            raise ValueError(
+                "the solve service dispatches registry solver names "
+                f"only, got {type(solver).__name__}; the "
+                "pre-configured solver-instance escape hatch of "
+                "repro.compile.solve is in-process only — register "
+                "the solver under a name or call solve() directly"
+            )
+        if solver not in available_solvers():
+            names = ", ".join(available_solvers())
+            raise ValueError(
+                f"unknown solver {solver!r}; registered solvers: {names}"
+            )
+        config = (config if config is not None
+                  else SolverConfig()).resolve_convergence()
+        if self.mode == "process":
+            config.require_picklable()
+        if deadline is None:
+            deadline = self.default_deadline
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be positive seconds")
+
+        key = (cache_key(problem, solver, config, repair=repair)
+               if self._cache is not None else None)
+        with self._lock:
+            if key is not None:
+                cached = self._cache.peek(key)
+                if cached is not None:
+                    return self._cache_hit_handle(problem, solver,
+                                                  config, key, cached)
+                inflight = self._inflight.get(key)
+                if inflight is not None:
+                    inflight.coalesced += 1
+                    self._coalesced += 1
+                    telemetry.count("service.jobs.coalesced")
+                    return JobHandle(inflight, self)
+            if self._cache is not None:
+                self._cache.note_miss(key)
+            self._next_id += 1
+            job = Job(
+                job_id=self._next_id, problem=problem, solver=solver,
+                config=config, repair=repair, priority=priority,
+                deadline=deadline, cache_key=key,
+            )
+            if key is not None:
+                self._inflight[key] = job
+        try:
+            self._queue.put(job, block=block, timeout=timeout)
+        except BaseException:
+            with self._lock:
+                if key is not None and self._inflight.get(key) is job:
+                    del self._inflight[key]
+            raise
+        telemetry.count("service.jobs.submitted")
+        return JobHandle(job, self)
+
+    def _cache_hit_handle(self, problem: CompiledProblem, solver: str,
+                          config: SolverConfig, key: str,
+                          cached: SolveResult) -> JobHandle:
+        """An already-resolved handle serving a cached result."""
+        import dataclasses
+
+        self._cache.note_hit(key)
+        self._cache_hits_served += 1
+        result = dataclasses.replace(
+            cached,
+            provenance={**cached.provenance,
+                        "service": {**cached.provenance.get("service", {}),
+                                    "cache": "hit"}},
+        )
+        self._next_id += 1
+        job = Job(job_id=self._next_id, problem=problem, solver=solver,
+                  config=config, cache_key=key)
+        job.status = JobStatus.DONE
+        job.result = result
+        job.finished_at = time.perf_counter()
+        job.event.set()
+        return JobHandle(job, self)
+
+    # -- convenience frontends -------------------------------------------
+    def solve(self, problem: CompiledProblem, solver: str = "sa",
+              config: Optional[SolverConfig] = None,
+              **submit_kwargs: Any) -> SolveResult:
+        """Submit one job and block for its result."""
+        submit_kwargs.setdefault("block", True)
+        return self.submit(problem, solver, config,
+                           **submit_kwargs).result()
+
+    def solve_many(self, jobs: Iterable[JobSpec], *,
+                   solver: str = "sa",
+                   config: Optional[SolverConfig] = None,
+                   priority: int = 0,
+                   deadline: Optional[float] = None,
+                   repair: bool = False,
+                   return_exceptions: bool = False
+                   ) -> List[Union[SolveResult, BaseException]]:
+        """Batch API: submit every job, wait for all, keep input order.
+
+        Each entry is a :class:`CompiledProblem`, a ``(problem[,
+        solver[, config]])`` tuple, or a dict of :meth:`submit` keyword
+        arguments. The keyword-level ``solver``/``config``/... act as
+        defaults for entries that do not override them. Independent
+        entries execute concurrently across the worker pool — this is
+        how the experiment harness parallelizes independent rows.
+        ``return_exceptions=True`` returns failures in-place instead
+        of raising the first one.
+        """
+        handles: List[JobHandle] = []
+        for spec in jobs:
+            kwargs: Dict[str, Any] = {
+                "solver": solver, "config": config,
+                "priority": priority, "deadline": deadline,
+                "repair": repair,
+            }
+            if isinstance(spec, CompiledProblem):
+                kwargs["problem"] = spec
+            elif isinstance(spec, tuple):
+                if not 1 <= len(spec) <= 3:
+                    raise ValueError(
+                        "tuple job specs are (problem[, solver[, "
+                        f"config]]), got length {len(spec)}"
+                    )
+                kwargs["problem"] = spec[0]
+                if len(spec) > 1:
+                    kwargs["solver"] = spec[1]
+                if len(spec) > 2:
+                    kwargs["config"] = spec[2]
+            elif isinstance(spec, dict):
+                unknown = set(spec) - {"problem", "solver", "config",
+                                       "priority", "deadline", "repair"}
+                if unknown:
+                    raise ValueError(
+                        f"unknown job-spec keys: {sorted(unknown)}"
+                    )
+                kwargs.update(spec)
+            else:
+                raise TypeError(
+                    "job specs are CompiledProblem, tuple or dict; "
+                    f"got {type(spec).__name__}"
+                )
+            problem = kwargs.pop("problem")
+            handles.append(
+                self.submit(problem, block=True, **kwargs)
+            )
+        results: List[Union[SolveResult, BaseException]] = []
+        for handle in handles:
+            try:
+                results.append(handle.result())
+            except BaseException as error:
+                if not return_exceptions:
+                    raise
+                results.append(error)
+        return results
+
+    def solve_portfolio(self, problem: CompiledProblem,
+                        solvers: Sequence[str] = ("sa", "tabu", "pt"),
+                        **race_kwargs: Any) -> SolveResult:
+        """Race several solvers; first feasible wins, losers cancel.
+
+        See :func:`repro.service.portfolio.race`.
+        """
+        from .portfolio import race
+
+        return race(self, problem, solvers=solvers, **race_kwargs)
+
+    # -- cancellation ----------------------------------------------------
+    def _cancel_job(self, job: Job) -> bool:
+        won = job.resolve(
+            JobStatus.CANCELLED,
+            error=JobCancelledError(f"job {job.job_id} cancelled"),
+        )
+        if not won:
+            return False
+        with job.lock:
+            dequeued = job.dequeued
+            process = job.process
+        if not dequeued:
+            self._queue.release(job)
+        elif process is not None:
+            # Reap the live worker; the dispatcher observes the death,
+            # sees the terminal status and moves on.
+            try:
+                process.terminate()
+            except (OSError, ValueError):
+                pass
+        with self._lock:
+            key = job.cache_key
+            if key is not None and self._inflight.get(key) is job:
+                del self._inflight[key]
+            self._stats[JobStatus.CANCELLED] += 1
+        telemetry.count("service.jobs.cancelled")
+        return True
+
+    # -- dispatcher loop -------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            with job.lock:
+                if job.status.is_terminal():
+                    continue
+                job.status = JobStatus.RUNNING
+            telemetry.count("service.jobs.started")
+            self._execute(job)
+
+    def _execute(self, job: Job) -> None:
+        queue_seconds = job.started_at - job.submitted_at
+        status = JobStatus.FAILED
+        result: Optional[SolveResult] = None
+        error: Optional[BaseException] = None
+        try:
+            with telemetry.span(f"service.execute.{job.problem.name}"):
+                if self.mode == "process":
+                    outcome = execute_in_process(
+                        job, job.problem.model, job.solver, job.config,
+                        self._context, deadline=job.deadline,
+                    )
+                    self._merge_outcome(outcome)
+                else:
+                    outcome = execute_inline(
+                        job, job.problem.model, job.solver, job.config,
+                        deadline=job.deadline,
+                    )
+                solutions = decode_samples(job.problem, outcome.samples)
+                result = assemble_result(
+                    job.problem, job.solver, job.config,
+                    outcome.samples, solutions, outcome.duration,
+                    convergence=outcome.convergence, repair=job.repair,
+                    provenance_extra={"service": {
+                        "job_id": job.job_id,
+                        "mode": self.mode,
+                        "worker_pid": outcome.pid,
+                        "queue_seconds": queue_seconds,
+                        "deadline": job.deadline,
+                        "coalesced": job.coalesced,
+                        "cache": ("miss" if job.cache_key is not None
+                                  else "off"),
+                    }},
+                )
+            status = JobStatus.DONE
+        except WorkerTimeout as exc:
+            status = JobStatus.TIMEOUT
+            error = JobTimeoutError(str(exc))
+        except WorkerCancelled:
+            status = JobStatus.CANCELLED
+            error = JobCancelledError(f"job {job.job_id} cancelled")
+        except WorkerCrashed as exc:
+            error = ServiceError(str(exc))
+        except BaseException as exc:  # decode/score hooks can raise too
+            error = exc
+        if status is JobStatus.DONE and self._cache is not None:
+            self._cache.put(job.cache_key, result)
+        resolved = job.resolve(status, result=result, error=error)
+        with self._lock:
+            key = job.cache_key
+            if key is not None and self._inflight.get(key) is job:
+                del self._inflight[key]
+            if resolved:
+                self._stats[status] += 1
+        if resolved:
+            telemetry.count(f"service.jobs.{status.value}")
+            if status is JobStatus.DONE:
+                telemetry.record("service.queue_seconds", queue_seconds)
+
+    def _merge_outcome(self, outcome) -> None:
+        """Fold a worker's telemetry/trace payloads into the parent."""
+        collector = telemetry.get_collector()
+        if (collector is not None
+                and outcome.telemetry_snapshot is not None):
+            collector.merge_snapshot(outcome.telemetry_snapshot)
+            telemetry.count("service.telemetry.merges")
+        tracer = telemetry.get_tracer()
+        if tracer is not None and outcome.trace_events:
+            tracer.merge_events(outcome.trace_events,
+                                epoch_ns=outcome.trace_epoch_ns)
+
+    # -- introspection / lifecycle ---------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Point-in-time service statistics (counts, queue, cache)."""
+        with self._lock:
+            jobs = {status.value: count
+                    for status, count in self._stats.items()
+                    if status.is_terminal()}
+            jobs["submitted"] = self._next_id
+            jobs["coalesced"] = self._coalesced
+            jobs["cache_hits_served"] = self._cache_hits_served
+            inflight = len(self._inflight)
+        return {
+            "mode": self.mode,
+            "max_workers": self.max_workers,
+            "jobs": jobs,
+            "inflight_keys": inflight,
+            "queue": self._queue.snapshot(),
+            "cache": (self._cache.snapshot()
+                      if self._cache is not None else None),
+        }
+
+    def shutdown(self, wait: bool = True,
+                 cancel_pending: bool = False) -> None:
+        """Stop accepting jobs; optionally wait for the pool to drain.
+
+        ``cancel_pending=True`` additionally cancels every job still
+        queued (running jobs finish or are reaped by their deadlines).
+        """
+        self._shutdown = True
+        if cancel_pending:
+            with self._lock:
+                pending = list(self._inflight.values())
+            for job in pending:
+                self._cancel_job(job)
+        self._queue.close()
+        if wait:
+            for thread in self._dispatchers:
+                thread.join()
+
+    def __enter__(self) -> "SolveService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.shutdown(wait=True)
+        return False
+
+    def __repr__(self) -> str:
+        return (f"SolveService(max_workers={self.max_workers}, "
+                f"mode={self.mode!r}, queue={len(self._queue)})")

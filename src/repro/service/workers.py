@@ -1,0 +1,262 @@
+"""Worker execution: run one solve in-process or in a reaped subprocess.
+
+The service's dispatcher threads call :func:`execute` with a *bare
+model* plus a registry solver name and a resolved
+:class:`~repro.compile.SolverConfig` — never a
+:class:`~repro.compile.CompiledProblem`, whose decode/score closures
+do not pickle. Decoding happens parent-side, which is also what makes
+service results bit-for-bit identical to sequential
+:func:`repro.compile.solve` calls.
+
+Two modes:
+
+* ``thread`` — the backend runs inline on the dispatcher thread.
+  Telemetry flows into the process-global collector/tracer as usual.
+  Deadlines are *soft*: Python threads cannot be preempted, so an
+  overdue job is detected after the fact and its result discarded.
+* ``process`` — the job runs in a fresh worker process (one per job;
+  with the default ``fork`` start method a worker costs milliseconds).
+  Deadlines are *hard*: a worker that blows its deadline is terminated
+  (``SIGTERM``, then ``SIGKILL``) and reaped, so a wedged solver can
+  never hang the service. The child runs with its own collector /
+  tracer mirroring the parent's enablement and ships the snapshot back
+  in the result payload; the parent merges it (see
+  :meth:`Collector.merge_snapshot` / :meth:`Tracer.merge_events`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from .. import telemetry
+from ..compile.dispatch import SolverConfig, run_registry_backend
+from ..telemetry.collector import Collector
+from ..telemetry.progress import ProgressTrace
+from ..telemetry.trace import Tracer
+
+#: Seconds granted for a terminated worker to exit before escalating
+#: from SIGTERM to SIGKILL.
+REAP_GRACE_SECONDS = 1.0
+
+
+class WorkerTimeout(Exception):
+    """The job blew its deadline; the worker (if any) was reaped."""
+
+
+class WorkerCancelled(Exception):
+    """The job was cancelled while running; the worker was reaped."""
+
+
+class WorkerCrashed(Exception):
+    """The worker process died or raised; carries the child traceback."""
+
+
+@dataclass
+class WorkerOutcome:
+    """Everything a worker ships back from one backend run."""
+
+    samples: Any
+    convergence: Optional[List[Dict[str, Any]]]
+    duration: float
+    pid: int
+    telemetry_snapshot: Optional[Dict[str, Any]] = None
+    trace_events: Optional[List[Dict[str, Any]]] = None
+    trace_epoch_ns: Optional[int] = None
+
+
+def run_backend_payload(model: Any, solver: str, config: SolverConfig,
+                        capture_telemetry: bool = False,
+                        capture_trace: bool = False) -> WorkerOutcome:
+    """Run one registry backend and package the outcome.
+
+    When capture flags are set a *fresh* collector/tracer is installed
+    globally first — in a worker process that global state is private
+    to the child, so this cleanly scopes capture to the one job.
+    """
+    collector: Optional[Collector] = None
+    tracer: Optional[Tracer] = None
+    if capture_telemetry:
+        collector = telemetry.enable(Collector())
+    if capture_trace:
+        tracer = telemetry.enable_tracing(Tracer())
+    progress = (ProgressTrace(label=solver)
+                if config.convergence_active() else None)
+    start = time.perf_counter()
+    with telemetry.span(f"service.worker.{solver}"):
+        samples = run_registry_backend(model, solver, config, progress)
+    duration = time.perf_counter() - start
+    return WorkerOutcome(
+        samples=samples,
+        convergence=progress.rows() if progress is not None else None,
+        duration=duration,
+        pid=os.getpid(),
+        telemetry_snapshot=(collector.snapshot()
+                            if collector is not None else None),
+        trace_events=tracer.events() if tracer is not None else None,
+        trace_epoch_ns=tracer.epoch_ns if tracer is not None else None,
+    )
+
+
+def _child_main(connection, model: Any, solver: str,
+                config: SolverConfig, capture_telemetry: bool,
+                capture_trace: bool) -> None:
+    """Worker-process entry point: run, ship the outcome, exit."""
+    try:
+        outcome = run_backend_payload(
+            model, solver, config,
+            capture_telemetry=capture_telemetry,
+            capture_trace=capture_trace,
+        )
+        connection.send(("ok", outcome))
+    except BaseException:
+        try:
+            connection.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        connection.close()
+
+
+class ProcessReaped(Exception):
+    """Internal: the parent killed the worker (deadline or cancel)."""
+
+
+def execute_in_process(job, model: Any, solver: str,
+                       config: SolverConfig,
+                       context: multiprocessing.context.BaseContext,
+                       deadline: Optional[float] = None
+                       ) -> WorkerOutcome:
+    """Run the backend in a dedicated worker process, reaped on deadline.
+
+    ``job`` is the service's :class:`~repro.service.queue.Job`; its
+    ``process`` slot is published while the worker lives so a
+    concurrent ``cancel()`` can terminate it. Raises
+    :class:`WorkerTimeout` when the deadline expires,
+    :class:`WorkerCancelled` when the job was cancelled mid-flight and
+    :class:`WorkerCrashed` on any worker-side failure.
+    """
+    capture_telemetry = telemetry.get_collector() is not None
+    capture_trace = telemetry.get_tracer() is not None
+    parent_conn, child_conn = context.Pipe(duplex=False)
+    process = context.Process(
+        target=_child_main,
+        args=(child_conn, model, solver, config, capture_telemetry,
+              capture_trace),
+        daemon=True,
+    )
+    process.start()
+    worker_pid = process.pid
+    child_conn.close()
+    with job.lock:
+        job.process = process
+        already_terminal = job.status.is_terminal()
+    if already_terminal:  # cancel() landed between dequeue and start
+        _reap(process)
+        parent_conn.close()
+        raise WorkerCancelled(f"job {job.job_id} cancelled")
+    try:
+        expires = (None if deadline is None
+                   else time.perf_counter() + deadline)
+        while True:
+            remaining = (None if expires is None
+                         else expires - time.perf_counter())
+            if remaining is not None and remaining <= 0:
+                _reap(process)
+                raise WorkerTimeout(
+                    f"job {job.job_id} ({solver}) exceeded its "
+                    f"{deadline:g}s deadline; worker "
+                    f"pid={worker_pid} reaped"
+                )
+            if parent_conn.poll(min(remaining, 0.05)
+                                if remaining is not None else 0.05):
+                break
+            if not process.is_alive() and not parent_conn.poll():
+                with job.lock:
+                    cancelled = job.status.is_terminal()
+                if cancelled:
+                    raise WorkerCancelled(
+                        f"job {job.job_id} cancelled; worker reaped"
+                    )
+                raise WorkerCrashed(
+                    f"worker pid={worker_pid} for job {job.job_id} "
+                    f"died with exit code {process.exitcode} before "
+                    "reporting a result"
+                )
+        try:
+            status, payload = parent_conn.recv()
+        except (EOFError, OSError) as error:
+            raise WorkerCrashed(
+                f"worker pid={worker_pid} for job {job.job_id} closed "
+                f"the result pipe: {error}"
+            ) from error
+        if status != "ok":
+            raise WorkerCrashed(
+                f"job {job.job_id} ({solver}) failed in worker "
+                f"pid={worker_pid}:\n{payload}"
+            )
+        return payload
+    finally:
+        with job.lock:
+            job.process = None
+        parent_conn.close()
+        _reap(process)
+
+
+def execute_inline(job, model: Any, solver: str, config: SolverConfig,
+                   deadline: Optional[float] = None) -> WorkerOutcome:
+    """Run the backend on the calling (dispatcher) thread.
+
+    Telemetry/tracing flow into the process-global state directly, so
+    the outcome carries no snapshot to merge. The deadline is soft:
+    checked after the run, raising :class:`WorkerTimeout` and
+    discarding the (already computed) result for uniform semantics.
+    """
+    progress = (ProgressTrace(label=solver)
+                if config.convergence_active() else None)
+    start = time.perf_counter()
+    with telemetry.span(f"service.worker.{solver}"):
+        samples = run_registry_backend(model, solver, config, progress)
+    duration = time.perf_counter() - start
+    if deadline is not None and duration > deadline:
+        raise WorkerTimeout(
+            f"job {job.job_id} ({solver}) exceeded its {deadline:g}s "
+            f"deadline (ran {duration:.3f}s); thread workers enforce "
+            "deadlines post-hoc — use mode='process' for hard reaping"
+        )
+    return WorkerOutcome(
+        samples=samples,
+        convergence=progress.rows() if progress is not None else None,
+        duration=duration,
+        pid=os.getpid(),
+    )
+
+
+def _reap(process) -> None:
+    """Terminate and join a worker process, escalating to SIGKILL.
+
+    Idempotent: a second call on an already-closed Process object is a
+    no-op (``is_alive`` raises ValueError once closed).
+    """
+    try:
+        alive = process.is_alive()
+    except ValueError:
+        return
+    if alive:
+        process.terminate()
+        process.join(REAP_GRACE_SECONDS)
+        if process.is_alive():
+            process.kill()
+            process.join(REAP_GRACE_SECONDS)
+    else:
+        process.join(REAP_GRACE_SECONDS)
+    # Release the Process object's pipe/sentinel file descriptors.
+    if hasattr(process, "close"):
+        try:
+            process.close()
+        except ValueError:
+            pass

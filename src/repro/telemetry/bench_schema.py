@@ -188,6 +188,20 @@ def check_perf_gates(document: Dict[str, Any],
                     f"{name}: dispatch overhead {overhead!r} >= "
                     f"{max_dispatch_overhead:.0%} ceiling"
                 )
+        if "gate_min_speedup" in workload:
+            # Self-describing speedup floor: a workload that embeds
+            # this field (e.g. service_throughput, which only does so
+            # when enough CPUs exist for parallelism to be physical)
+            # must meet it.
+            floor = workload["gate_min_speedup"]
+            speedup = workload.get("speedup")
+            if not (_is_finite_number(floor)
+                    and _is_finite_number(speedup)
+                    and speedup >= floor):
+                failures.append(
+                    f"{name}: speedup {speedup!r} below its declared "
+                    f"gate_min_speedup {floor!r}"
+                )
     return failures
 
 

@@ -170,6 +170,50 @@ class Collector:
                     self._series_truncated.get(name, 0) + 1
                 )
 
+    # -- cross-process merge ---------------------------------------------
+    def merge_snapshot(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a child collector's :meth:`snapshot` into this one.
+
+        The solve service runs jobs in worker processes, each with a
+        fresh collector; the parent merges the shipped-back snapshots
+        so one report covers the whole fleet. Counters and span stats
+        add, series append (still bounded), gauges last-write-wins.
+        """
+        counters = snapshot.get("counters", {})
+        gauges = snapshot.get("gauges", {})
+        spans = snapshot.get("spans", {})
+        series = snapshot.get("series", {})
+        with self._lock:
+            for name, value in counters.items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            for name, value in gauges.items():
+                self._gauges[name] = value
+            for path, stats in spans.items():
+                mine = self._spans.get(path)
+                if mine is None:
+                    mine = self._spans[path] = SpanStats()
+                mine.count += int(stats.get("count", 0))
+                mine.total_seconds += float(stats.get("total_seconds", 0.0))
+                if stats.get("count"):
+                    mine.min_seconds = min(mine.min_seconds,
+                                           float(stats["min_seconds"]))
+                    mine.max_seconds = max(mine.max_seconds,
+                                           float(stats["max_seconds"]))
+            for name, payload in series.items():
+                mine = self._series.get(name)
+                if mine is None:
+                    mine = self._series[name] = []
+                truncated = int(payload.get("truncated", 0))
+                for value in payload.get("values", []):
+                    if len(mine) < MAX_SERIES_POINTS:
+                        mine.append(float(value))
+                    else:
+                        truncated += 1
+                if truncated:
+                    self._series_truncated[name] = (
+                        self._series_truncated.get(name, 0) + truncated
+                    )
+
     # -- export ----------------------------------------------------------
     def counters_snapshot(self) -> Dict[str, float]:
         """Copy of the counter totals (for later delta computation)."""

@@ -126,6 +126,17 @@ class Tracer:
         """Microseconds since this tracer was created (monotonic)."""
         return (time.perf_counter_ns() - self._epoch_ns) / 1_000.0
 
+    @property
+    def epoch_ns(self) -> int:
+        """The ``perf_counter_ns`` instant timestamps are relative to.
+
+        ``perf_counter`` is system-wide monotonic on the platforms this
+        library targets, so a child process's events can be shifted
+        onto the parent's timeline by the difference of the two epochs
+        (see :meth:`merge_events`).
+        """
+        return self._epoch_ns
+
     # -- event emission --------------------------------------------------
     def _append(self, event: Dict[str, Any]) -> None:
         with self._lock:
@@ -206,6 +217,28 @@ class Tracer:
         if values:
             self._emit("C", "memory", "memory", values, ts=now)
 
+    # -- cross-process merge ---------------------------------------------
+    def merge_events(self, events: List[Dict[str, Any]],
+                     epoch_ns: Optional[int] = None) -> None:
+        """Inject another tracer's events into this ring buffer.
+
+        ``events`` is a list of raw event dicts (a worker tracer's
+        :meth:`events` snapshot, shipped across the process boundary);
+        ``epoch_ns`` is that tracer's :attr:`epoch_ns`. Timestamps are
+        shifted by the epoch difference so child events land at their
+        true position on this tracer's timeline. Events keep their
+        original ``pid``/``tid``, so Perfetto renders each worker as
+        its own process track.
+        """
+        offset_us = (0.0 if epoch_ns is None
+                     else (epoch_ns - self._epoch_ns) / 1_000.0)
+        with self._lock:
+            for event in events:
+                shifted = dict(event)
+                shifted["ts"] = float(shifted.get("ts", 0.0)) + offset_us
+                self._events.append(shifted)
+                self._appended += 1
+
     # -- introspection / export ------------------------------------------
     @property
     def event_count(self) -> int:
@@ -237,15 +270,19 @@ class Tracer:
         ``metadata`` (e.g. a provenance record) rides along in the
         top-level ``metadata`` object.
         """
+        buffered = self.events()
+        pids = {self._pid} | {event.get("pid", self._pid)
+                              for event in buffered}
         events: List[Dict[str, Any]] = [{
             "name": "process_name",
             "ph": "M",
-            "pid": self._pid,
+            "pid": pid,
             "tid": 0,
             "ts": 0,
-            "args": {"name": "repro"},
-        }]
-        events.extend(self.events())
+            "args": {"name": ("repro" if pid == self._pid
+                              else f"repro worker {pid}")},
+        } for pid in sorted(pids)]
+        events.extend(buffered)
         document: Dict[str, Any] = {
             "traceEvents": events,
             "displayTimeUnit": "ms",

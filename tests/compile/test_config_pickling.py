@@ -1,0 +1,55 @@
+"""Tests for SolverConfig's cross-process guarantees: the pickling
+guard that fails fast before enqueue, and the convergence tri-state
+that must be pinned parent-side before shipping to a worker."""
+
+import pickle
+
+import pytest
+
+from repro.compile import SolverConfig
+from repro.telemetry import disable_tracing, enable_tracing
+
+
+def test_require_picklable_returns_self_for_plain_configs():
+    config = SolverConfig(num_sweeps=100, num_reads=5, seed=3,
+                          options={"beta_schedule": [0.1, 0.2]})
+    assert config.require_picklable() is config
+
+
+def test_require_picklable_names_the_offending_option_keys():
+    config = SolverConfig(options={"hook": lambda: 0, "fine": 1.0})
+    with pytest.raises(ValueError) as excinfo:
+        config.require_picklable()
+    message = str(excinfo.value)
+    assert "unpicklable options" in message
+    assert "'hook'" in message
+    assert "'fine'" not in message
+
+
+def test_config_pickle_round_trip_preserves_semantics():
+    config = SolverConfig(num_sweeps=77, num_reads=3, seed=12,
+                          convergence=True, options={"restarts": 2})
+    restored = pickle.loads(pickle.dumps(config))
+    assert restored.to_dict() == config.to_dict()
+    assert restored.convergence_active() == config.convergence_active()
+
+
+def test_resolve_convergence_keeps_explicit_settings():
+    on = SolverConfig(convergence=True)
+    off = SolverConfig(convergence=False)
+    assert on.resolve_convergence() is on
+    assert off.resolve_convergence() is off
+
+
+def test_resolve_convergence_pins_auto_against_the_live_tracer():
+    auto = SolverConfig(convergence=None)
+    disable_tracing()
+    try:
+        assert auto.resolve_convergence().convergence is False
+        enable_tracing()
+        pinned = auto.resolve_convergence()
+        assert pinned.convergence is True
+        assert pinned is not auto  # a copy; the original stays tri-state
+        assert auto.convergence is None
+    finally:
+        disable_tracing()

@@ -1,0 +1,118 @@
+"""Regression tests for CompiledProblem.content_key — the digest the
+solve service's result cache and request coalescer key on.
+
+The contract: two compilations of the same instance hash equal (even
+though their hook closures differ), the digest only sees canonical
+term order and normalized float bytes, and it is stable across
+interpreter runs regardless of ``PYTHONHASHSEED``.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.compile import CompiledProblem, ProblemBuilder, VariableRegistry
+from repro.annealing import IsingModel, QUBO
+from repro.db import JoinOrderQUBO, random_join_graph
+
+
+def _registry(count):
+    registry = VariableRegistry()
+    for index in range(count):
+        registry.add("x", index)
+    return registry
+
+
+def _wrap(model, name="toy"):
+    return CompiledProblem(
+        name=name,
+        model=model,
+        variables=_registry(model.num_variables
+                            if isinstance(model, QUBO)
+                            else model.num_spins),
+        decode=lambda bits: bits,
+        score=lambda solution: 0.0,
+        feasible=lambda solution: True,
+    )
+
+
+def test_recompilation_hashes_equal_despite_distinct_hooks():
+    graph = random_join_graph(5, "chain", seed=3)
+    first = JoinOrderQUBO(graph).compile()
+    second = JoinOrderQUBO(graph).compile()
+    assert first.decode is not second.decode  # distinct closures...
+    assert first.content_key() == second.content_key()  # ...same key
+
+
+def test_term_insertion_order_is_canonicalized():
+    forward = QUBO(3).add_linear(0, 1.5).add_quadratic(0, 2, -2.0) \
+                     .add_quadratic(1, 2, 0.5)
+    backward = QUBO(3).add_quadratic(2, 1, 0.5).add_quadratic(2, 0, -2.0) \
+                      .add_linear(0, 1.5)
+    assert _wrap(forward).content_key() == _wrap(backward).content_key()
+
+
+def test_negative_zero_hashes_like_zero():
+    plain = QUBO(2, offset=0.0).add_linear(0, 1.0)
+    signed = QUBO(2, offset=-0.0).add_linear(0, 1.0)
+    assert _wrap(plain).content_key() == _wrap(signed).content_key()
+
+
+def test_explicit_zero_terms_hash_like_absent_terms():
+    without = QUBO(2).add_linear(0, 1.0)
+    with_zero = QUBO(2).add_linear(0, 1.0).add_quadratic(0, 1, 0.0)
+    assert _wrap(without).content_key() == _wrap(with_zero).content_key()
+
+
+def test_key_varies_with_every_semantic_input():
+    base = _wrap(QUBO(2).add_linear(0, 1.0))
+    renamed = _wrap(QUBO(2).add_linear(0, 1.0), name="other")
+    coefficient = _wrap(QUBO(2).add_linear(0, 1.5))
+    offset = _wrap(QUBO(2, offset=3.0).add_linear(0, 1.0))
+    wider = _wrap(QUBO(3).add_linear(0, 1.0))
+    keys = {problem.content_key()
+            for problem in (base, renamed, coefficient, offset, wider)}
+    assert len(keys) == 5
+
+
+def test_model_kind_distinguishes_qubo_from_ising():
+    qubo = _wrap(QUBO(2).add_linear(0, 1.0))
+    ising = _wrap(IsingModel(2, h={0: 1.0}))
+    assert qubo.content_key() != ising.content_key()
+
+
+def test_metadata_is_excluded_from_the_key():
+    builder = ProblemBuilder("toy")
+    a = builder.add_variable("x", 0)
+    builder.add_linear(a, 1.0)
+    plain = builder.finish(decode=lambda bits: bits,
+                           score=lambda s: 0.0,
+                           feasible=lambda s: True)
+    annotated = builder.finish(decode=lambda bits: bits,
+                               score=lambda s: 0.0,
+                               feasible=lambda s: True,
+                               metadata={"note": "ignored"})
+    assert plain.content_key() == annotated.content_key()
+
+
+def test_key_is_stable_across_processes_and_hash_seeds():
+    script = (
+        "from repro.db import JoinOrderQUBO, random_join_graph;"
+        "graph = random_join_graph(5, 'star', seed=11);"
+        "print(JoinOrderQUBO(graph).compile().content_key())"
+    )
+
+    src = str(Path(__file__).resolve().parents[2] / "src")
+
+    def run(hash_seed):
+        env = {**os.environ, "PYTHONPATH": src,
+               "PYTHONHASHSEED": hash_seed}
+        return subprocess.run(
+            [sys.executable, "-c", script], env=env,
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+
+    first, second = run("0"), run("4242")
+    assert first == second
+    assert len(first) == 64  # sha256 hexdigest

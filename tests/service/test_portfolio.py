@@ -1,0 +1,90 @@
+"""Tests for portfolio racing: winner selection, cancellation,
+provenance, determinism under seeds."""
+
+import pytest
+
+from repro.compile import SolverConfig
+from repro.compile import solve as dispatch_solve
+from repro.db import JoinOrderQUBO, random_join_graph
+from repro.service import PortfolioError, SolveService
+from repro.service.portfolio import race
+
+
+def problem(seed=0, relations=4):
+    graph = random_join_graph(relations, "chain", seed=seed)
+    return JoinOrderQUBO(graph).compile()
+
+
+CONFIG = SolverConfig(num_sweeps=80, num_reads=4, seed=5,
+                      convergence=False)
+
+
+def test_first_feasible_entrant_wins_and_losers_cancel():
+    # One worker serializes the race in submission order, so the first
+    # feasible entrant (sa) deterministically wins and the queued
+    # losers are withdrawn without running.
+    with SolveService(max_workers=1, cache_entries=0) as service:
+        winner = race(service, problem(), solvers=("sa", "tabu", "pt"),
+                      config=CONFIG)
+    assert winner.feasible
+    record = winner.provenance["portfolio"]
+    assert record["entrants"] == ["sa", "tabu", "pt"]
+    assert record["winner"] == "sa"
+    assert record["winner_feasible"] is True
+    assert record["cancelled"] == 2
+    statuses = set(record["statuses"].values())
+    assert statuses == {"done", "cancelled"}
+
+
+def test_portfolio_winner_is_deterministic_under_seed():
+    def run_once():
+        with SolveService(max_workers=1, cache_entries=0) as service:
+            return race(service, problem(), solvers=("sa", "tabu"),
+                        config=CONFIG)
+
+    first, second = run_once(), run_once()
+    assert first.provenance["portfolio"]["winner"] \
+        == second.provenance["portfolio"]["winner"]
+    assert first.solution == second.solution
+    assert first.energy == second.energy
+    # ...and the winner's result equals a plain sequential solve.
+    direct = dispatch_solve(problem(), "sa", config=CONFIG)
+    assert first.solution == direct.solution
+    assert first.energy == direct.energy
+
+
+def test_all_entrants_timing_out_raises_portfolio_error():
+    slow = SolverConfig(num_sweeps=2_000_000, num_reads=50, seed=1,
+                        convergence=False)
+    with SolveService(max_workers=2, cache_entries=0) as service:
+        with pytest.raises(PortfolioError, match="no portfolio entrant"):
+            race(service, problem(relations=7), solvers=("sa", "tabu"),
+                 config=slow, budget=0.4)
+
+
+def test_solve_portfolio_method_delegates():
+    with SolveService(max_workers=1) as service:
+        winner = service.solve_portfolio(problem(),
+                                         solvers=("sa", "tabu"),
+                                         config=CONFIG)
+    assert winner.feasible
+    assert winner.provenance["portfolio"]["entrants"] == ["sa", "tabu"]
+
+
+def test_entrant_validation():
+    with SolveService(max_workers=1, mode="thread") as service:
+        with pytest.raises(ValueError, match="at least one"):
+            race(service, problem(), solvers=())
+        with pytest.raises(ValueError, match="entrants"):
+            race(service, problem(), solvers=[1.5])
+
+
+def test_per_entrant_configs():
+    entrants = [("sa", SolverConfig(num_sweeps=60, num_reads=2, seed=3,
+                                    convergence=False)),
+                ("tabu", SolverConfig(num_sweeps=60, num_reads=2,
+                                      seed=4, convergence=False))]
+    with SolveService(max_workers=1, cache_entries=0) as service:
+        winner = race(service, problem(), solvers=entrants)
+    assert winner.feasible
+    assert winner.provenance["portfolio"]["winner"] == "sa"

@@ -1,0 +1,113 @@
+"""Unit tests for the bounded priority JobQueue and Job lifecycle."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service.queue import Job, JobQueue, JobStatus, QueueFullError
+
+
+def make_job(job_id=1, priority=0):
+    return Job(job_id=job_id, problem=None, solver="sa", config=None,
+               priority=priority)
+
+
+def test_priority_order_then_fifo_within_class():
+    queue = JobQueue(capacity=8)
+    first_low = make_job(1, priority=0)
+    high = make_job(2, priority=5)
+    second_low = make_job(3, priority=0)
+    for job in (first_low, high, second_low):
+        queue.put(job)
+    assert queue.get().job_id == 2
+    assert queue.get().job_id == 1
+    assert queue.get().job_id == 3
+
+
+def test_capacity_raises_queue_full():
+    queue = JobQueue(capacity=2)
+    queue.put(make_job(1))
+    queue.put(make_job(2))
+    with pytest.raises(QueueFullError):
+        queue.put(make_job(3))
+
+
+def test_blocking_put_waits_for_capacity():
+    queue = JobQueue(capacity=1)
+    queue.put(make_job(1))
+
+    def drain():
+        time.sleep(0.05)
+        queue.get()
+
+    thread = threading.Thread(target=drain)
+    thread.start()
+    queue.put(make_job(2), block=True, timeout=5.0)
+    thread.join()
+    assert queue.get().job_id == 2
+
+
+def test_blocking_put_times_out():
+    queue = JobQueue(capacity=1)
+    queue.put(make_job(1))
+    with pytest.raises(QueueFullError):
+        queue.put(make_job(2), block=True, timeout=0.05)
+
+
+def test_cancelled_job_is_discarded_and_frees_capacity():
+    queue = JobQueue(capacity=2)
+    victim = make_job(1)
+    survivor = make_job(2)
+    queue.put(victim)
+    queue.put(survivor)
+    assert victim.resolve(JobStatus.CANCELLED)
+    queue.release(victim)
+    # Slot freed immediately, before the heap entry is discarded.
+    queue.put(make_job(3))
+    assert queue.get().job_id == 2
+    assert queue.get().job_id == 3
+
+
+def test_get_marks_dequeued_and_sets_started_at():
+    queue = JobQueue(capacity=2)
+    job = make_job(1)
+    assert not job.dequeued
+    queue.put(job)
+    taken = queue.get()
+    assert taken is job
+    assert job.dequeued
+    assert job.started_at is not None
+
+
+def test_get_times_out_and_close_wakes_getters():
+    queue = JobQueue(capacity=2)
+    assert queue.get(timeout=0.05) is None
+    queue.put(make_job(1))
+    queue.close()
+    # Closed queues still drain what they hold, then report None.
+    assert queue.get().job_id == 1
+    assert queue.get() is None
+    with pytest.raises(RuntimeError):
+        queue.put(make_job(2))
+
+
+def test_resolve_is_exactly_once_and_fires_callbacks():
+    job = make_job(1)
+    seen = []
+    job.add_callback(lambda j: seen.append(j.status))
+    assert job.resolve(JobStatus.DONE, result="r")
+    assert not job.resolve(JobStatus.CANCELLED)
+    assert job.status is JobStatus.DONE
+    assert job.result == "r"
+    assert seen == [JobStatus.DONE]
+    # Late callbacks run immediately on terminal jobs.
+    job.add_callback(lambda j: seen.append("late"))
+    assert seen == [JobStatus.DONE, "late"]
+
+
+def test_snapshot_reports_live_and_capacity():
+    queue = JobQueue(capacity=3)
+    queue.put(make_job(1))
+    snapshot = queue.snapshot()
+    assert snapshot == {"live": 1, "capacity": 3, "closed": False}
