@@ -16,11 +16,13 @@ O(n) instead of O(num_reads * n).
 from __future__ import annotations
 
 import math
+import time
 from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from .. import telemetry
+from ..telemetry import metrics as _metrics
 from ..telemetry.progress import ProgressTrace
 from .ising import IsingModel, spins_to_bits
 from .qubo import QUBO
@@ -87,8 +89,11 @@ class SimulatedAnnealingSolver:
             raise ValueError("beta_schedule length must equal num_sweeps")
 
         collector = telemetry.get_collector()
+        registry = _metrics.get_registry()
         progress = self.progress
         accepted_total = 0
+        solve_start = (time.perf_counter()
+                       if registry is not None else 0.0)
         with telemetry.span("annealing.sa.solve"):
             spins = self._rng.choice((-1.0, 1.0),
                                      size=(self.num_reads, n))
@@ -135,6 +140,28 @@ class SimulatedAnnealingSolver:
             collector.count("annealing.sa.energy_evaluations",
                             self.num_reads)
             collector.gauge("annealing.problem_size", n)
+        if registry is not None:
+            sweeps = self.num_sweeps * self.num_reads
+            elapsed = time.perf_counter() - solve_start
+            registry.counter(
+                "solver_sweeps_total",
+                "annealing sweeps executed (reads x schedule steps)",
+                ("solver",)).labels(solver=self.solver_name).inc(sweeps)
+            moves = registry.counter(
+                "solver_moves_total",
+                "Metropolis move proposals by outcome",
+                ("solver", "outcome"))
+            moves.labels(solver=self.solver_name,
+                         outcome="accepted").inc(accepted_total)
+            moves.labels(solver=self.solver_name,
+                         outcome="rejected").inc(
+                             sweeps * n - accepted_total)
+            if elapsed > 0:
+                registry.gauge(
+                    "solver_sweep_rate",
+                    "sweeps per second of the most recent solve",
+                    ("solver",)).labels(
+                        solver=self.solver_name).set(sweeps / elapsed)
         return SampleSet(samples)
 
     def _sweep(self, spins: np.ndarray, local: np.ndarray,

@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence, Union
 import numpy as np
 
 from .. import telemetry
+from ..telemetry import metrics as _metrics
 from ..telemetry.progress import ProgressTrace
 from .ising import IsingModel, spins_to_bits
 from .qubo import QUBO
@@ -107,6 +108,7 @@ class SimulatedQuantumAnnealingSolver:
             raise ValueError("gamma_schedule length must equal num_sweeps")
 
         collector = telemetry.get_collector()
+        registry = _metrics.get_registry()
         progress = self.progress
         samples: List[Sample] = []
         accepted_local = 0
@@ -176,6 +178,21 @@ class SimulatedQuantumAnnealingSolver:
                             self.num_reads * p)
             collector.gauge("annealing.problem_size", n)
             collector.gauge("annealing.sqa.num_slices", p)
+        if registry is not None:
+            sweeps = self.num_sweeps * self.num_reads
+            registry.counter(
+                "solver_sweeps_total",
+                "annealing sweeps executed (reads x schedule steps)",
+                ("solver",)).labels(solver=self.solver_name).inc(sweeps)
+            moves = registry.counter(
+                "solver_moves_total",
+                "Metropolis move proposals by outcome",
+                ("solver", "outcome"))
+            moves.labels(solver=self.solver_name,
+                         outcome="accepted").inc(accepted_local)
+            moves.labels(solver=self.solver_name,
+                         outcome="rejected").inc(
+                             sweeps * p * n - accepted_local)
         return SampleSet(samples)
 
     def _interslice_coupling(self, gamma: float) -> float:

@@ -43,6 +43,7 @@ from typing import Any, Callable, Dict, List, Optional, Union
 import numpy as np
 
 from .. import telemetry
+from ..telemetry import metrics as _metrics
 from ..telemetry.progress import ProgressTrace
 from ..annealing.exact import solve_ising_exact, solve_qubo_exact
 from ..annealing.ising import IsingModel, spins_to_bits
@@ -340,7 +341,14 @@ def run_registry_backend(model: Model, solver_name: str,
     """
     if solver_name not in _REGISTRY:
         raise _unknown_solver_error(solver_name)
-    return _REGISTRY[solver_name].run(model, config, progress)
+    registry = _metrics.get_registry()
+    if registry is None:
+        return _REGISTRY[solver_name].run(model, config, progress)
+    with registry.histogram(
+            "solver_solve_seconds",
+            "backend execution wall clock per registered solver",
+            ("solver",)).labels(solver=solver_name).time():
+        return _REGISTRY[solver_name].run(model, config, progress)
 
 
 def decode_samples(problem: CompiledProblem,
@@ -497,6 +505,14 @@ def solve(problem: CompiledProblem,
         samples = run(problem.model, config, progress)
         solutions = decode_samples(problem, samples)
     duration = time.perf_counter() - start
+    registry = _metrics.get_registry()
+    if registry is not None:
+        registry.histogram(
+            "solver_solve_seconds",
+            "backend execution wall clock per registered solver",
+            ("solver",)).labels(solver=solver_name).observe(duration)
+    if progress is not None:
+        progress.note_truncation()
     return assemble_result(
         problem, solver_name, config, samples, solutions, duration,
         convergence=progress.rows() if progress is not None else None,

@@ -11,6 +11,7 @@ Usage::
     python -m repro.experiments E8 --solver sqa  # swap the backend
     python -m repro.experiments E8 --trace out.json  # event timeline
     python -m repro.experiments bench-compare base.json cand.json
+    python -m repro.experiments metrics-report metrics.json
 
 ``--solver name`` forwards a solver-registry name (``sa``, ``sqa``,
 ``tabu``, ``qaoa``, ``exact``, ``pt``) to every selected experiment
@@ -34,7 +35,10 @@ it as Chrome ``trace_event`` JSON — open the file in Perfetto
 ``bench-compare`` is a subcommand, not a flag: it diffs two
 ``repro-bench/v1`` documents and exits nonzero when the candidate
 regressed beyond tolerance (see
-:mod:`repro.telemetry.bench_compare`).
+:mod:`repro.telemetry.bench_compare`). ``metrics-report`` renders a
+``repro-metrics/v1`` snapshot (or sampler JSONL) as a text dashboard
+with latency quantiles and an SLO health section (see
+:mod:`repro.telemetry.metrics_report`).
 """
 
 from __future__ import annotations
@@ -109,6 +113,10 @@ def main(argv) -> int:
         from ..service import bench as serve_bench
 
         return serve_bench.main(argv[1:])
+    if argv and argv[0] == "metrics-report":
+        from ..telemetry import metrics_report
+
+        return metrics_report.main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Run DESIGN.md experiments from the registry.",

@@ -10,12 +10,15 @@ rather than the naive ``O(4**n)`` matrix product.
 
 from __future__ import annotations
 
+import contextlib
 import math
+import time
 from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from .. import telemetry
+from ..telemetry import metrics as _metrics
 from .circuit import Circuit
 from .gates import (
     GATE_NUM_PARAMS,
@@ -131,6 +134,23 @@ def apply_diagonal_batch(states: np.ndarray, diagonal: np.ndarray,
     return (psi * diag).reshape(batch, -1)
 
 
+def _record_run_metrics(registry, mode: str, gates: int,
+                        elapsed: float, state_bytes: int) -> None:
+    """Per-run live metrics: gate throughput counters, run-time
+    histogram and the peak statevector footprint gauge."""
+    registry.counter(
+        "quantum_gate_applications_total",
+        "gate applications executed by the statevector simulator",
+        ("mode",)).labels(mode=mode).inc(gates)
+    registry.histogram(
+        "quantum_run_seconds",
+        "statevector simulator run wall clock",
+        ("mode",)).labels(mode=mode).observe(elapsed)
+    registry.gauge(
+        "quantum_statevector_peak_bytes",
+        "largest statevector allocation observed").set_max(state_bytes)
+
+
 class StatevectorSimulator:
     """Exact simulator producing statevectors, probabilities and samples.
 
@@ -158,13 +178,19 @@ class StatevectorSimulator:
                 )
         collector = telemetry.get_collector()
         tracer = telemetry.get_tracer()
-        if collector is None and tracer is None:
+        registry = _metrics.get_registry()
+        if collector is None and tracer is None and registry is None:
             # disabled: plain loop, zero accounting
             for inst in circuit.instructions:
                 state = apply_matrix(state, inst.matrix(), inst.qubits, n)
             return state
-        span = (collector.span("quantum.run") if collector is not None
-                else tracer.span("quantum.run"))
+        run_start = time.perf_counter() if registry is not None else 0.0
+        if collector is not None:
+            span = collector.span("quantum.run")
+        elif tracer is not None:
+            span = tracer.span("quantum.run")
+        else:
+            span = contextlib.nullcontext()
         with span:
             if tracer is not None:  # per-gate timeline events
                 for inst in circuit.instructions:
@@ -179,6 +205,11 @@ class StatevectorSimulator:
                 for inst in circuit.instructions:
                     state = apply_matrix(state, inst.matrix(),
                                          inst.qubits, n)
+        if registry is not None:
+            _record_run_metrics(registry, "single",
+                                len(circuit.instructions),
+                                time.perf_counter() - run_start,
+                                int(state.nbytes))
         if collector is None:
             return state
         collector.count("quantum.circuit_evaluations")
@@ -229,16 +260,21 @@ class StatevectorSimulator:
         template = circuits[0].instructions
         collector = telemetry.get_collector()
         tracer = telemetry.get_tracer()
-        if collector is None and tracer is None:
+        registry = _metrics.get_registry()
+        if collector is None and tracer is None and registry is None:
             # disabled: plain loop, zero accounting
             for position in range(len(template)):
                 states = _apply_instruction_batch(
                     states, circuits, position, n
                 )
             return states
-        span = (collector.span("quantum.run_batch")
-                if collector is not None
-                else tracer.span("quantum.run_batch"))
+        run_start = time.perf_counter() if registry is not None else 0.0
+        if collector is not None:
+            span = collector.span("quantum.run_batch")
+        elif tracer is not None:
+            span = tracer.span("quantum.run_batch")
+        else:
+            span = contextlib.nullcontext()
         with span:
             if tracer is not None:  # one event per template position
                 for position in range(len(template)):
@@ -258,6 +294,11 @@ class StatevectorSimulator:
                     states = _apply_instruction_batch(
                         states, circuits, position, n
                     )
+        if registry is not None:
+            _record_run_metrics(registry, "batch",
+                                batch * len(template),
+                                time.perf_counter() - run_start,
+                                int(states.nbytes))
         if collector is None:
             return states
         collector.count("quantum.circuit_evaluations", batch)

@@ -22,6 +22,15 @@ job and not just a demo.
 ``--trace FILE`` records the run as Chrome ``trace_event`` JSON with
 the worker processes' timelines merged onto the parent's — open it in
 Perfetto to see jobs fan out across worker pids.
+
+``--metrics`` enables the live-metrics registry for the service run
+(queue-wait/exec-time histograms, cache and job counters, worker
+utilization) and prints a short summary; ``--metrics-out`` writes the
+Prometheus text exposition, ``--metrics-json`` the
+``repro-metrics/v1`` snapshot (the input of ``metrics-report``),
+``--metrics-jsonl`` streams periodic sampler snapshots during the run,
+and ``--slo`` evaluates the default health ruleset — a ``fail``
+status fails the benchmark like any other check.
 """
 
 from __future__ import annotations
@@ -36,6 +45,9 @@ from typing import Any, Dict, List
 import numpy as np
 
 from .. import telemetry
+from ..telemetry import health as _health
+from ..telemetry import metrics as _metrics
+from ..telemetry.sampler import MetricsSampler
 from ..compile import SolverConfig, solve
 from ..db.joinorder import JoinOrderQUBO
 from ..db.workloads import TOPOLOGIES, random_join_graph
@@ -119,12 +131,43 @@ def main(argv) -> int:
                              "timeline (implies --telemetry)")
     parser.add_argument("--json-out", metavar="FILE",
                         help="write the benchmark record as JSON")
+    parser.add_argument("--metrics", action="store_true",
+                        help="enable the live-metrics registry and "
+                             "print a summary")
+    parser.add_argument("--metrics-out", metavar="FILE",
+                        help="write the Prometheus text exposition "
+                             "(implies --metrics)")
+    parser.add_argument("--metrics-json", metavar="FILE",
+                        help="write the repro-metrics/v1 JSON snapshot "
+                             "(implies --metrics)")
+    parser.add_argument("--metrics-jsonl", metavar="FILE",
+                        help="stream periodic sampler snapshots to a "
+                             "JSONL file during the run (implies "
+                             "--metrics)")
+    parser.add_argument("--metrics-interval", type=float, default=0.2,
+                        metavar="SECONDS",
+                        help="sampler interval for --metrics-jsonl "
+                             "(default %(default)s)")
+    parser.add_argument("--slo", action="store_true",
+                        help="evaluate the default SLO ruleset against "
+                             "the run's metrics; a fail status fails "
+                             "the benchmark (implies --metrics)")
     args = parser.parse_args(argv)
 
     use_telemetry = args.telemetry or args.trace is not None
     collector = telemetry.enable() if use_telemetry else None
     tracer = (telemetry.enable_tracing()
               if args.trace is not None else None)
+    use_metrics = (args.metrics or args.slo
+                   or args.metrics_out is not None
+                   or args.metrics_json is not None
+                   or args.metrics_jsonl is not None)
+    registry = _metrics.enable_metrics() if use_metrics else None
+    sampler = None
+    if args.metrics_jsonl is not None:
+        sampler = MetricsSampler(args.metrics_jsonl,
+                                 interval=args.metrics_interval,
+                                 registry=registry).start()
 
     jobs = build_jobs(args.jobs, args.relations, args.sweeps,
                       args.reads, args.seed)
@@ -221,6 +264,50 @@ def main(argv) -> int:
     if collector is not None:
         telemetry.disable()
 
+    metrics_snapshot = None
+    if registry is not None:
+        if sampler is not None:
+            samples = sampler.stop()
+            print(f"wrote {samples} sampler snapshot(s) to "
+                  f"{os.path.abspath(args.metrics_jsonl)}")
+        metrics_snapshot = registry.snapshot()
+        lookup = _health._SnapshotLookup(metrics_snapshot)
+        try:
+            queue_p95 = lookup.hist_quantile(
+                "service_queue_wait_seconds", 0.95, {})
+            exec_p95 = lookup.hist_quantile(
+                "service_execute_seconds", 0.95,
+                {"solver": args.solver})
+            print(f"metrics: queue wait p95 {queue_p95 * 1e3:.2f}ms, "
+                  f"execute p95 {exec_p95 * 1e3:.1f}ms "
+                  f"({args.solver})")
+        except Exception:
+            pass
+        if args.metrics_out is not None:
+            text = registry.to_prometheus()
+            problems = _metrics.validate_prometheus_text(text)
+            if problems:
+                for problem in problems:
+                    print(f"metrics INVALID: {problem}",
+                          file=sys.stderr)
+                failures += 1
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote {os.path.abspath(args.metrics_out)}")
+        if args.metrics_json is not None:
+            with open(args.metrics_json, "w",
+                      encoding="utf-8") as handle:
+                handle.write(registry.to_json())
+                handle.write("\n")
+            print(f"wrote {os.path.abspath(args.metrics_json)}")
+        if args.slo:
+            report = _health.evaluate_rules(_health.DEFAULT_SLO_RULES,
+                                            metrics_snapshot)
+            print(report.render())
+            if report.status == "fail":
+                failures += 1
+        _metrics.disable_metrics()
+
     if args.json_out is not None:
         document = {
             "schema": "repro-serve-bench/v1",
@@ -236,6 +323,7 @@ def main(argv) -> int:
             "cache": cache,
             "service_stats": stats,
             "portfolio": portfolio_record,
+            "metrics": metrics_snapshot,
         }
         with open(args.json_out, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2, sort_keys=True,

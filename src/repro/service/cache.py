@@ -24,8 +24,26 @@ from collections import OrderedDict
 from typing import Any, Dict, Optional
 
 from .. import telemetry
+from ..telemetry import metrics as _metrics
 from ..compile.dispatch import SolverConfig
 from ..compile.ir import CompiledProblem
+
+
+def _count_event(event: str, value: int = 1) -> None:
+    """Mirror one cache event onto both telemetry layers.
+
+    The collector keeps its historical flat counters
+    (``service.cache.<event>s``); the live-metrics registry gets the
+    labeled form (``service_cache_events_total{event=...}``) the SLO
+    rules and Prometheus exports consume.
+    """
+    telemetry.count(f"service.cache.{event}s", value)
+    registry = _metrics.get_registry()
+    if registry is not None:
+        registry.counter(
+            "service_cache_events_total",
+            "result-cache lookup outcomes",
+            ("event",)).labels(event=event).inc(value)
 
 
 def cache_key(problem: CompiledProblem, solver: str,
@@ -73,7 +91,7 @@ class ResultCache:
         if key is None:
             with self._lock:
                 self.skips += 1
-            telemetry.count("service.cache.skips")
+            _count_event("skip")
             return None
         with self._lock:
             entry = self._entries.get(key)
@@ -83,9 +101,9 @@ class ResultCache:
                 self._entries.move_to_end(key)
                 self.hits += 1
         if entry is None:
-            telemetry.count("service.cache.misses")
+            _count_event("miss")
         else:
-            telemetry.count("service.cache.hits")
+            _count_event("hit")
         return entry
 
     def peek(self, key: Optional[str]) -> Optional[Any]:
@@ -107,18 +125,18 @@ class ResultCache:
             if key in self._entries:
                 self._entries.move_to_end(key)
             self.hits += 1
-        telemetry.count("service.cache.hits")
+        _count_event("hit")
 
     def note_miss(self, key: Optional[str]) -> None:
         """Count a miss — or a skip, for uncacheable ``None`` keys."""
         if key is None:
             with self._lock:
                 self.skips += 1
-            telemetry.count("service.cache.skips")
+            _count_event("skip")
             return
         with self._lock:
             self.misses += 1
-        telemetry.count("service.cache.misses")
+        _count_event("miss")
 
     def put(self, key: Optional[str], result: Any) -> None:
         """Insert a result, evicting the least recently used past cap."""
@@ -133,7 +151,7 @@ class ResultCache:
                 evicted += 1
             self.evictions += evicted
         if evicted:
-            telemetry.count("service.cache.evictions", evicted)
+            _count_event("eviction", evicted)
 
     def clear(self) -> None:
         with self._lock:

@@ -34,6 +34,7 @@ import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from .. import telemetry
+from ..telemetry import metrics as _metrics
 from ..compile.dispatch import (
     SolveResult,
     SolverConfig,
@@ -60,6 +61,21 @@ __all__ = [
     "ServiceError",
     "SolveService",
 ]
+
+
+def _jobs_total(registry: "_metrics.MetricsRegistry"):
+    """The shared job-lifecycle counter (labeled by status)."""
+    return registry.counter(
+        "service_jobs_total",
+        "job lifecycle events by status (submitted, coalesced, "
+        "cache_hit, done, failed, timeout, cancelled)",
+        ("status",),
+    )
+
+
+def _queue_depth(registry: "_metrics.MetricsRegistry"):
+    return registry.gauge("service_queue_depth",
+                          "jobs queued but not yet dispatched")
 
 
 class ServiceError(RuntimeError):
@@ -276,6 +292,14 @@ class SolveService:
                     inflight.coalesced += 1
                     self._coalesced += 1
                     telemetry.count("service.jobs.coalesced")
+                    registry = _metrics.get_registry()
+                    if registry is not None:
+                        _jobs_total(registry).labels(
+                            status="coalesced").inc()
+                        registry.counter(
+                            "service_cache_events_total",
+                            "result-cache lookup outcomes",
+                            ("event",)).labels(event="coalesce").inc()
                     return JobHandle(inflight, self)
             if self._cache is not None:
                 self._cache.note_miss(key)
@@ -295,6 +319,10 @@ class SolveService:
                     del self._inflight[key]
             raise
         telemetry.count("service.jobs.submitted")
+        registry = _metrics.get_registry()
+        if registry is not None:
+            _jobs_total(registry).labels(status="submitted").inc()
+            _queue_depth(registry).set(len(self._queue))
         return JobHandle(job, self)
 
     def _cache_hit_handle(self, problem: CompiledProblem, solver: str,
@@ -305,6 +333,9 @@ class SolveService:
 
         self._cache.note_hit(key)
         self._cache_hits_served += 1
+        registry = _metrics.get_registry()
+        if registry is not None:
+            _jobs_total(registry).labels(status="cache_hit").inc()
         result = dataclasses.replace(
             cached,
             provenance={**cached.provenance,
@@ -432,10 +463,14 @@ class SolveService:
                 del self._inflight[key]
             self._stats[JobStatus.CANCELLED] += 1
         telemetry.count("service.jobs.cancelled")
+        registry = _metrics.get_registry()
+        if registry is not None:
+            _jobs_total(registry).labels(status="cancelled").inc()
         return True
 
     # -- dispatcher loop -------------------------------------------------
     def _dispatch_loop(self) -> None:
+        idle_since = time.perf_counter()
         while True:
             job = self._queue.get()
             if job is None:
@@ -445,13 +480,42 @@ class SolveService:
                     continue
                 job.status = JobStatus.RUNNING
             telemetry.count("service.jobs.started")
-            self._execute(job)
+            registry = _metrics.get_registry()
+            busy_since = time.perf_counter()
+            if registry is not None:
+                registry.counter(
+                    "service_worker_idle_seconds_total",
+                    "dispatcher time spent waiting for work"
+                ).inc(busy_since - idle_since)
+                registry.gauge(
+                    "service_workers_busy",
+                    "dispatchers currently executing a job").inc()
+                _queue_depth(registry).set(len(self._queue))
+            try:
+                self._execute(job)
+            finally:
+                idle_since = time.perf_counter()
+                if registry is not None:
+                    registry.counter(
+                        "service_worker_busy_seconds_total",
+                        "dispatcher time spent executing jobs"
+                    ).inc(idle_since - busy_since)
+                    registry.gauge(
+                        "service_workers_busy",
+                        "dispatchers currently executing a job").dec()
 
     def _execute(self, job: Job) -> None:
         queue_seconds = job.started_at - job.submitted_at
         status = JobStatus.FAILED
         result: Optional[SolveResult] = None
         error: Optional[BaseException] = None
+        registry = _metrics.get_registry()
+        if registry is not None:
+            registry.histogram(
+                "service_queue_wait_seconds",
+                "wall clock from submit to dispatch"
+            ).observe(queue_seconds)
+        execute_start = time.perf_counter()
         try:
             with telemetry.span(f"service.execute.{job.problem.name}"):
                 if self.mode == "process":
@@ -492,6 +556,12 @@ class SolveService:
             error = ServiceError(str(exc))
         except BaseException as exc:  # decode/score hooks can raise too
             error = exc
+        if registry is not None:
+            registry.histogram(
+                "service_execute_seconds",
+                "wall clock from dispatch to resolution, per solver",
+                ("solver",)).labels(solver=job.solver).observe(
+                    time.perf_counter() - execute_start)
         if status is JobStatus.DONE and self._cache is not None:
             self._cache.put(job.cache_key, result)
         resolved = job.resolve(status, result=result, error=error)
@@ -503,11 +573,14 @@ class SolveService:
                 self._stats[status] += 1
         if resolved:
             telemetry.count(f"service.jobs.{status.value}")
+            if registry is not None:
+                _jobs_total(registry).labels(status=status.value).inc()
             if status is JobStatus.DONE:
                 telemetry.record("service.queue_seconds", queue_seconds)
 
     def _merge_outcome(self, outcome) -> None:
-        """Fold a worker's telemetry/trace payloads into the parent."""
+        """Fold a worker's telemetry/trace/metrics payloads into the
+        parent."""
         collector = telemetry.get_collector()
         if (collector is not None
                 and outcome.telemetry_snapshot is not None):
@@ -517,6 +590,15 @@ class SolveService:
         if tracer is not None and outcome.trace_events:
             tracer.merge_events(outcome.trace_events,
                                 epoch_ns=outcome.trace_epoch_ns)
+        registry = _metrics.get_registry()
+        if (registry is not None
+                and getattr(outcome, "metrics_snapshot", None)
+                is not None):
+            registry.merge_snapshot(outcome.metrics_snapshot)
+            registry.counter(
+                "service_metrics_merges_total",
+                "worker metrics snapshots folded into the parent"
+            ).inc()
 
     # -- introspection / lifecycle ---------------------------------------
     def stats(self) -> Dict[str, Any]:

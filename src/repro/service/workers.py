@@ -35,7 +35,9 @@ from typing import Any, Dict, List, Optional
 
 from .. import telemetry
 from ..compile.dispatch import SolverConfig, run_registry_backend
+from ..telemetry import metrics as _metrics
 from ..telemetry.collector import Collector
+from ..telemetry.metrics import MetricsRegistry
 from ..telemetry.progress import ProgressTrace
 from ..telemetry.trace import Tracer
 
@@ -67,29 +69,37 @@ class WorkerOutcome:
     telemetry_snapshot: Optional[Dict[str, Any]] = None
     trace_events: Optional[List[Dict[str, Any]]] = None
     trace_epoch_ns: Optional[int] = None
+    metrics_snapshot: Optional[Dict[str, Any]] = None
 
 
 def run_backend_payload(model: Any, solver: str, config: SolverConfig,
                         capture_telemetry: bool = False,
-                        capture_trace: bool = False) -> WorkerOutcome:
+                        capture_trace: bool = False,
+                        capture_metrics: bool = False) -> WorkerOutcome:
     """Run one registry backend and package the outcome.
 
-    When capture flags are set a *fresh* collector/tracer is installed
-    globally first — in a worker process that global state is private
-    to the child, so this cleanly scopes capture to the one job.
+    When capture flags are set a *fresh* collector/tracer/metrics
+    registry is installed globally first — in a worker process that
+    global state is private to the child, so this cleanly scopes
+    capture to the one job.
     """
     collector: Optional[Collector] = None
     tracer: Optional[Tracer] = None
+    registry: Optional[MetricsRegistry] = None
     if capture_telemetry:
         collector = telemetry.enable(Collector())
     if capture_trace:
         tracer = telemetry.enable_tracing(Tracer())
+    if capture_metrics:
+        registry = _metrics.enable_metrics(MetricsRegistry())
     progress = (ProgressTrace(label=solver)
                 if config.convergence_active() else None)
     start = time.perf_counter()
     with telemetry.span(f"service.worker.{solver}"):
         samples = run_registry_backend(model, solver, config, progress)
     duration = time.perf_counter() - start
+    if progress is not None:
+        progress.note_truncation()
     return WorkerOutcome(
         samples=samples,
         convergence=progress.rows() if progress is not None else None,
@@ -99,18 +109,21 @@ def run_backend_payload(model: Any, solver: str, config: SolverConfig,
                             if collector is not None else None),
         trace_events=tracer.events() if tracer is not None else None,
         trace_epoch_ns=tracer.epoch_ns if tracer is not None else None,
+        metrics_snapshot=(registry.snapshot()
+                          if registry is not None else None),
     )
 
 
 def _child_main(connection, model: Any, solver: str,
                 config: SolverConfig, capture_telemetry: bool,
-                capture_trace: bool) -> None:
+                capture_trace: bool, capture_metrics: bool) -> None:
     """Worker-process entry point: run, ship the outcome, exit."""
     try:
         outcome = run_backend_payload(
             model, solver, config,
             capture_telemetry=capture_telemetry,
             capture_trace=capture_trace,
+            capture_metrics=capture_metrics,
         )
         connection.send(("ok", outcome))
     except BaseException:
@@ -142,11 +155,12 @@ def execute_in_process(job, model: Any, solver: str,
     """
     capture_telemetry = telemetry.get_collector() is not None
     capture_trace = telemetry.get_tracer() is not None
+    capture_metrics = _metrics.get_registry() is not None
     parent_conn, child_conn = context.Pipe(duplex=False)
     process = context.Process(
         target=_child_main,
         args=(child_conn, model, solver, config, capture_telemetry,
-              capture_trace),
+              capture_trace, capture_metrics),
         daemon=True,
     )
     process.start()
@@ -222,6 +236,8 @@ def execute_inline(job, model: Any, solver: str, config: SolverConfig,
     with telemetry.span(f"service.worker.{solver}"):
         samples = run_registry_backend(model, solver, config, progress)
     duration = time.perf_counter() - start
+    if progress is not None:
+        progress.note_truncation()
     if deadline is not None and duration > deadline:
         raise WorkerTimeout(
             f"job {job.job_id} ({solver}) exceeded its {deadline:g}s "

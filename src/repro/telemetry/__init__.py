@@ -23,6 +23,14 @@ Enable it one of three ways::
     sim.run(circuit)                        # instrumented code runs
     print(telemetry.render_report(collector))
     collector.snapshot()                    # dict; .to_json(), .to_jsonl()
+
+Alongside the collector there is a *live metrics* layer
+(:mod:`repro.telemetry.metrics`): labeled counters/gauges/histograms
+with Prometheus-format export, SLO health evaluation
+(:mod:`repro.telemetry.health`) and a background JSONL sampler
+(:mod:`repro.telemetry.sampler`). It follows the same guard pattern
+(``get_registry() is None`` when off) and is enabled separately via
+``enable_metrics()`` or ``REPRO_METRICS=1``.
 """
 
 from __future__ import annotations
@@ -31,9 +39,28 @@ import os
 from typing import Optional
 
 from .collector import Collector, SpanStats
+from .health import (
+    DEFAULT_SLO_RULES,
+    HealthReport,
+    SLORule,
+    evaluate_rules,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    is_metrics_enabled,
+    validate_prometheus_text,
+)
 from .progress import ProgressTrace
 from .provenance import RunProvenance, collect_provenance, git_sha
 from .report import render_report
+from .sampler import MetricsSampler
 from .trace import (
     Tracer,
     disable_tracing,
@@ -45,22 +72,36 @@ from . import trace as _trace
 
 __all__ = [
     "Collector",
+    "Counter",
+    "DEFAULT_SLO_RULES",
+    "Gauge",
+    "HealthReport",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSampler",
     "ProgressTrace",
     "RunProvenance",
+    "SLORule",
     "SpanStats",
+    "Timer",
     "Tracer",
     "collect_provenance",
     "count",
     "disable",
+    "disable_metrics",
     "disable_tracing",
     "enable",
     "enable_from_env",
+    "enable_metrics",
     "enable_tracing",
+    "evaluate_rules",
     "gauge",
     "get_collector",
+    "get_registry",
     "get_tracer",
     "git_sha",
     "is_enabled",
+    "is_metrics_enabled",
     "is_tracing",
     "record",
     "render_report",

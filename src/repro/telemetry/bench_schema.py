@@ -154,6 +154,32 @@ def workloads_by_name(document: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
     return index
 
 
+def effective_speedup_floor(workload: Dict[str, Any]) -> float:
+    """Resolve a workload's speedup gate to one number.
+
+    ``gate_min_speedup`` is the nominal floor; the optional
+    ``gate_speedup_tolerance`` (a fraction in [0, 1)) relaxes it to
+    ``floor * (1 - tolerance)`` so recorders can declare the honest
+    target (1.0x on a single CPU, 1.5x with real parallelism) while
+    absorbing scheduler jitter — on a one-core runner the service
+    measurably lands a few percent *under* parity, and a bare floor
+    would flake forever. Raises :class:`BenchSchemaError` when either
+    field is malformed.
+    """
+    floor = workload.get("gate_min_speedup")
+    if not _is_finite_number(floor):
+        raise BenchSchemaError(
+            [f"gate_min_speedup is not a finite number: {floor!r}"]
+        )
+    tolerance = workload.get("gate_speedup_tolerance", 0.0)
+    if not (_is_finite_number(tolerance) and 0.0 <= tolerance < 1.0):
+        raise BenchSchemaError(
+            ["gate_speedup_tolerance must be a number in [0, 1): "
+             f"{tolerance!r}"]
+        )
+    return floor * (1.0 - tolerance)
+
+
 def check_perf_gates(document: Dict[str, Any],
                      max_dispatch_overhead: float = MAX_DISPATCH_OVERHEAD
                      ) -> List[str]:
@@ -162,7 +188,12 @@ def check_perf_gates(document: Dict[str, Any],
     These are the semantic checks CI applies to every smoke run:
     batched results must match the loop reference, every workload must
     be deterministic under its seed, and dispatch overhead must stay
-    under the PR-3 ceiling.
+    under the PR-3 ceiling. Workloads may also embed their own gates:
+    ``gate_min_speedup`` (+ optional ``gate_speedup_tolerance``, see
+    :func:`effective_speedup_floor`) and ``gate_max_overhead``, a
+    per-workload ceiling on ``overhead_fraction`` that replaces the
+    global dispatch ceiling for that workload (the metrics-overhead
+    workload uses it: its budget is 2%, not the dispatch layer's 5%).
     """
     failures: List[str] = []
     for workload in document.get("workloads", []):
@@ -182,25 +213,40 @@ def check_perf_gates(document: Dict[str, Any],
                             "the direct solver call")
         if "overhead_fraction" in workload:
             overhead = workload["overhead_fraction"]
-            if not (_is_finite_number(overhead)
-                    and overhead < max_dispatch_overhead):
+            if "gate_max_overhead" in workload:
+                ceiling = workload["gate_max_overhead"]
+                if not _is_finite_number(ceiling):
+                    failures.append(
+                        f"{name}: gate_max_overhead is not a finite "
+                        f"number: {ceiling!r}"
+                    )
+                elif not (_is_finite_number(overhead)
+                          and overhead < ceiling):
+                    failures.append(
+                        f"{name}: overhead {overhead!r} >= its "
+                        f"declared gate_max_overhead {ceiling:.0%}"
+                    )
+            elif not (_is_finite_number(overhead)
+                      and overhead < max_dispatch_overhead):
                 failures.append(
                     f"{name}: dispatch overhead {overhead!r} >= "
                     f"{max_dispatch_overhead:.0%} ceiling"
                 )
         if "gate_min_speedup" in workload:
             # Self-describing speedup floor: a workload that embeds
-            # this field (e.g. service_throughput, which only does so
-            # when enough CPUs exist for parallelism to be physical)
-            # must meet it.
-            floor = workload["gate_min_speedup"]
+            # this field must meet it (after tolerance).
+            try:
+                floor = effective_speedup_floor(workload)
+            except BenchSchemaError as error:
+                failures.extend(f"{name}: {p}" for p in error.problems)
+                continue
             speedup = workload.get("speedup")
-            if not (_is_finite_number(floor)
-                    and _is_finite_number(speedup)
-                    and speedup >= floor):
+            if not (_is_finite_number(speedup) and speedup >= floor):
                 failures.append(
                     f"{name}: speedup {speedup!r} below its declared "
-                    f"gate_min_speedup {floor!r}"
+                    f"gate_min_speedup "
+                    f"{workload['gate_min_speedup']!r} "
+                    f"(effective floor {floor:.3g} after tolerance)"
                 )
     return failures
 

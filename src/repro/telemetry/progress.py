@@ -92,6 +92,22 @@ class ProgressTrace:
         """Copies of the recorded rows, in iteration order."""
         return [dict(row) for row in self._rows]
 
+    def note_truncation(self) -> int:
+        """Mirror the dropped-row count onto the telemetry counters.
+
+        Truncation used to be recorded only on the trace object itself,
+        where nothing downstream looked at it; callers that consume a
+        finished trace (dispatch, the service workers) call this so the
+        loss shows up as ``progress.truncated_rows`` in the collector —
+        and therefore in ``render_report`` — instead of vanishing.
+        Returns the number of rows dropped (0 when nothing was lost).
+        """
+        if self.truncated:
+            from . import count  # deferred: this module loads first
+
+            count("progress.truncated_rows", self.truncated)
+        return self.truncated
+
     def __len__(self) -> int:
         return len(self._rows)
 

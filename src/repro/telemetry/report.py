@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Mapping, Optional, Union
 
 from .collector import Collector
+from . import trace as _trace
 
 
 def _format_seconds(value: float) -> str:
@@ -39,7 +40,9 @@ def _aligned(rows: List[List[str]], indent: str = "  ") -> List[str]:
 
 
 def render_report(metrics: Union[Collector, Mapping[str, Any], None],
-                  provenance: Optional[Mapping[str, Any]] = None) -> str:
+                  provenance: Optional[Mapping[str, Any]] = None,
+                  tracer: Union["_trace.Tracer", None, str] = "global"
+                  ) -> str:
     """Aligned, human-readable view of spans, counters, gauges, series.
 
     Tolerates the degenerate inputs that show up in practice: ``None``
@@ -47,11 +50,20 @@ def render_report(metrics: Union[Collector, Mapping[str, Any], None],
     report, and ``provenance`` — when provided — is rendered as its own
     section, skipping ``None``-valued and missing fields rather than
     printing them.
+
+    Loss is reported, not swallowed: series rows carry a ``dropped``
+    column (values truncated past the per-series cap), and when event
+    tracing is active a ``trace:`` line reports the ring buffer's
+    buffered/dropped event counts. ``tracer`` defaults to the global
+    tracer; pass ``None`` to suppress the line or an explicit
+    :class:`Tracer` to report on that instance.
     """
     if metrics is None:
         metrics = {}
     elif isinstance(metrics, Collector):
         metrics = metrics.snapshot()
+    if tracer == "global":
+        tracer = _trace.get_tracer()
     lines: List[str] = ["telemetry report"]
 
     spans: Dict[str, Dict[str, float]] = metrics.get("spans") or {}
@@ -96,13 +108,23 @@ def render_report(metrics: Union[Collector, Mapping[str, Any], None],
                 f"{values[0]:.4g}",
                 f"{values[-1]:.4g}",
                 f"{min(values):.4g}",
+                _format_number(entry.get("truncated", 0)),
             ])
         # Only emit the section header when at least one series has
         # points; an all-empty series dict previously left a dangling
         # header at the bottom of the report.
         if rows:
-            lines.append("series (name  points  first  last  best):")
+            lines.append(
+                "series (name  points  first  last  best  dropped):")
             lines.extend(_aligned(rows))
+
+    if tracer is not None and not isinstance(tracer, str):
+        # Ring-buffer accounting: a truncated trace silently biases
+        # any analysis done on it, so the report says when it happened.
+        lines.append(
+            f"trace: {_format_number(tracer.event_count)} events "
+            f"buffered, {_format_number(tracer.dropped_events)} dropped"
+        )
 
     if len(lines) == 1:
         lines.append("  (no metrics collected)")

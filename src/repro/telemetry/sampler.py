@@ -1,0 +1,113 @@
+"""Background metrics sampler: periodic JSONL snapshots.
+
+Long runs (``serve-bench``, soak tests) want metrics *over time*, not
+just a final total. :class:`MetricsSampler` runs a daemon thread that
+appends one JSON line per interval to a file::
+
+    registry = metrics.enable_metrics()
+    with MetricsSampler("metrics_samples.jsonl", interval=0.5):
+        ... workload ...
+
+Each line is ``{"sample": k, "unix_time": ..., "elapsed_seconds": ...,
+"metrics": <repro-metrics/v1 snapshot>}``; snapshots omit raw
+reservoirs to keep lines small (quantiles are still present, and the
+bucket counts allow interpolated quantiles downstream — see
+:func:`repro.telemetry.health._bucket_quantile`). ``stop()`` always
+appends one final snapshot so even runs shorter than one interval
+produce a usable line. ``python -m repro.experiments metrics-report``
+accepts the JSONL directly (it reads the last line by default).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Optional
+
+from .metrics import MetricsRegistry, get_registry
+
+
+class MetricsSampler:
+    """Appends periodic registry snapshots to a JSONL file."""
+
+    def __init__(self, path: str, interval: float = 1.0,
+                 registry: Optional[MetricsRegistry] = None,
+                 include_reservoir: bool = False):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.path = path
+        self.interval = float(interval)
+        self.include_reservoir = include_reservoir
+        self._registry = registry
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._samples = 0
+        self._start_time = 0.0
+
+    @property
+    def samples_written(self) -> int:
+        with self._lock:
+            return self._samples
+
+    def _write_sample(self) -> None:
+        registry = self._registry
+        if registry is None:
+            return
+        with self._lock:
+            self._samples += 1
+            sample = self._samples
+        line = json.dumps({
+            "sample": sample,
+            "unix_time": time.time(),
+            "elapsed_seconds": time.monotonic() - self._start_time,
+            "metrics": registry.snapshot(
+                include_reservoir=self.include_reservoir),
+        }, sort_keys=True)
+        # Open per sample (append mode): one syscall-ish write per
+        # interval, and a crash mid-run still leaves complete lines.
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._write_sample()
+
+    def start(self) -> "MetricsSampler":
+        if self._thread is not None:
+            raise RuntimeError("sampler already started")
+        if self._registry is None:
+            self._registry = get_registry()
+        if self._registry is None:
+            raise RuntimeError(
+                "no metrics registry active: call "
+                "metrics.enable_metrics() first or pass registry="
+            )
+        self._start_time = time.monotonic()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-metrics-sampler", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, final_sample: bool = True) -> int:
+        """Stop the thread; by default append one last snapshot.
+
+        Returns the total number of samples written.
+        """
+        thread = self._thread
+        if thread is not None:
+            self._stop.set()
+            thread.join(timeout=5.0)
+            self._thread = None
+        if final_sample:
+            self._write_sample()
+        return self.samples_written
+
+    def __enter__(self) -> "MetricsSampler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False

@@ -214,6 +214,46 @@ def test_render_report_skips_none_provenance_values():
     assert "provenance" not in text
 
 
+def test_render_report_shows_series_truncation_column():
+    # The series table must surface how many convergence rows each
+    # series dropped, not silently render the kept points as if they
+    # were everything.
+    text = telemetry.render_report({
+        "series": {"annealing.sa.best_energy": {
+            "values": [5.0, 4.0, 3.0],
+            "truncated": 17,
+        }},
+    })
+    assert "dropped" in text
+    line = next(row for row in text.splitlines()
+                if "annealing.sa.best_energy" in row)
+    assert line.rstrip().endswith("17")
+    # Series without truncation report zero in the same column.
+    text = telemetry.render_report({
+        "series": {"s": {"values": [1.0], "truncated": 0}},
+    })
+    line = next(row for row in text.splitlines() if row.startswith("  s"))
+    assert line.rstrip().endswith("0")
+
+
+def test_render_report_includes_tracer_drop_line():
+    from repro.telemetry.trace import Tracer
+
+    collector = telemetry.enable()
+    collector.count("c", 1)
+    tracer = telemetry.enable_tracing(Tracer(max_events=2))
+    for index in range(5):
+        tracer.instant(f"event.{index}")
+    text = telemetry.render_report(collector)
+    assert "trace: 2 events buffered, 3 dropped" in text
+    # Explicitly passing tracer=None suppresses the line even while a
+    # global tracer is active.
+    assert "trace:" not in telemetry.render_report(collector,
+                                                   tracer=None)
+    telemetry.disable_tracing()
+    assert "trace:" not in telemetry.render_report(collector)
+
+
 def test_render_report_no_dangling_series_header():
     # Series that exist but hold no points must not leave a bare
     # "series (...)" header at the bottom of the report.
