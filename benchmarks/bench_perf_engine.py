@@ -73,7 +73,7 @@ FULL_SCALE = {
                 "repeats": 5},
     "service": {"num_jobs": 8, "num_relations": 7, "num_sweeps": 600,
                 "num_reads": 30, "workers": 2,
-                "gate_speedup_tolerance": 0.15},
+                "gate_speedup_tolerance": 0.10},
     "metrics": {"num_spins": 48, "num_reads": 60, "num_sweeps": 300,
                 "num_points": 160, "num_features": 8, "depth": 2,
                 "repeats": 15, "gate_max_overhead": 0.02},
@@ -307,20 +307,27 @@ def run_compile_workload(collector, num_relations, num_sweeps,
 
 def run_service_workload(collector, num_jobs, num_relations,
                          num_sweeps, num_reads, workers, seed=17,
-                         gate_speedup_tolerance=0.15):
-    """Solve-service throughput: concurrent batch vs sequential loop.
+                         gate_speedup_tolerance=0.10):
+    """Solve-service throughput: warm worker pool vs sequential loop.
 
-    The batch is ``num_jobs`` *independent* seeded join-order SA
-    solves — the service's bread-and-butter shape. Correctness is
-    bit-for-bit: the concurrent results must equal the sequential
-    dispatch results sample-for-sample (``matches_direct``), and a
-    second service run must reproduce them (``deterministic``). The
-    speedup gate is CPU-aware: with >= 2 CPUs the workload declares
-    the real-parallelism floor (1.5x); on a single core — where
-    parallel speedup is physically impossible — it declares parity
-    (1.0x) instead. Both come with the declared
+    The main batch is ``num_jobs`` *independent* seeded join-order SA
+    solves — the service's bread-and-butter shape, executed on the
+    persistent warm pool (models via shared memory, workers spawned
+    once). Correctness is bit-for-bit: the concurrent results must
+    equal the sequential dispatch results sample-for-sample
+    (``matches_direct``), and a second service run must reproduce them
+    (``deterministic``). The speedup gate is CPU-aware: with >= 2 CPUs
+    the workload declares the real-parallelism floor (1.5x); on a
+    single core — where parallel speedup is physically impossible — it
+    declares parity (1.0x) instead. Both come with the declared
     ``gate_speedup_tolerance`` so scheduler jitter cannot flake the
     gate (see ``bench_schema.effective_speedup_floor``).
+
+    A second measurement covers **cross-job batch folding**: the same
+    number of jobs on *one shared model* (distinct seeds), which the
+    pool folds into a few worker round trips. Its timings and parity
+    land in the ``batch_*`` keys; the pool/shm counters of the main
+    run land in ``pool``.
     """
     from repro.service import SolveService
     from repro.service.bench import build_jobs, results_match
@@ -335,14 +342,37 @@ def run_service_workload(collector, num_jobs, num_relations,
     with SolveService(max_workers=workers) as service:
         with collector.span("perf.service.concurrent"):
             concurrent = service.solve_many(specs)
+        pool_stats = service.stats()["pool"]
+        shm_stats = service.stats()["shm"]
     # A fresh service (empty cache, new workers) must reproduce the
     # batch exactly.
     with SolveService(max_workers=workers) as service:
         repeat = service.solve_many(specs)
 
+    # Cross-job batching: same model, distinct seeds. Sequential
+    # baseline first, then the service folds them into few dispatches.
+    fold_problem = jobs[0][0]
+    fold_configs = [SolverConfig(num_sweeps=num_sweeps,
+                                 num_reads=num_reads,
+                                 seed=seed * 3000 + index)
+                    for index in range(num_jobs)]
+    with collector.span("perf.service.batch_sequential"):
+        fold_base = [dispatch_solve(fold_problem, "sa", config=c)
+                     for c in fold_configs]
+    with SolveService(max_workers=workers) as service:
+        with collector.span("perf.service.batch_concurrent"):
+            handles = [service.submit(fold_problem, "sa", c)
+                       for c in fold_configs]
+            fold_results = [handle.result() for handle in handles]
+        fold_pool = service.stats()["pool"]
+
     sequential_seconds = _span_total(collector,
                                      "perf.service.sequential")
     service_seconds = _span_total(collector, "perf.service.concurrent")
+    batch_sequential = _span_total(collector,
+                                   "perf.service.batch_sequential")
+    batch_service = _span_total(collector,
+                                "perf.service.batch_concurrent")
     cpus = os.cpu_count() or 1
     record = {
         "name": "service_throughput",
@@ -366,12 +396,36 @@ def run_service_workload(collector, num_jobs, num_relations,
             results_match(first, second)
             for first, second in zip(concurrent, repeat)
         ),
+        "pool": {
+            "respawns": pool_stats["respawns"],
+            "dispatches_warm": pool_stats["dispatches_warm"],
+            "dispatches_cold": pool_stats["dispatches_cold"],
+            "jobs_run": pool_stats["jobs_run"],
+            "shm_bytes": shm_stats["bytes_shared"],
+            "shm_segments_created": shm_stats["segments_created"],
+        },
+        "batch_sequential_seconds": batch_sequential,
+        "batch_service_seconds": batch_service,
+        "batch_speedup": batch_sequential / batch_service,
+        "batch_max_size": max(
+            r.provenance["service"]["batched"] for r in fold_results),
+        "batch_dispatches": (fold_pool["dispatches_warm"]
+                             + fold_pool["dispatches_cold"]),
+        "batch_matches_direct": all(
+            results_match(direct, folded)
+            for direct, folded in zip(fold_base, fold_results)
+        ),
     }
     if cpus >= 2 and workers >= 2:
         record["gate_min_speedup"] = SERVICE_MIN_SPEEDUP
+        record["gate_speedup_tolerance"] = gate_speedup_tolerance
     else:
+        # Single-core parity runs pay the full process round-trip
+        # overhead with zero parallelism to hide it; give the parity
+        # floor a wider jitter band than the real-speedup floor.
         record["gate_min_speedup"] = SERVICE_MIN_SPEEDUP_SINGLE_CPU
-    record["gate_speedup_tolerance"] = gate_speedup_tolerance
+        record["gate_speedup_tolerance"] = max(
+            gate_speedup_tolerance, 0.20)
     return record
 
 
@@ -640,6 +694,11 @@ def test_perf_service_matches_sequential_bit_for_bit(bench_telemetry):
           .format(**record))
     assert record["matches_direct"]
     assert record["deterministic"]
+    # Same-model jobs must fold into fewer dispatches than jobs and
+    # stay bit-for-bit against per-seed sequential solves.
+    assert record["batch_matches_direct"]
+    assert record["batch_dispatches"] < record["params"]["num_jobs"]
+    assert record["pool"]["respawns"] == 0
     # The workload declares its own CPU-aware floor (1.5x with real
     # CPUs, parity on a single core) plus a tolerance for scheduler
     # jitter; enforce exactly what the record declares.

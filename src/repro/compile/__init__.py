@@ -26,6 +26,7 @@ Typical use::
     result.solution.order, result.feasible
 """
 
+from .buffers import pack_model, packed_nbytes, unpack_model, write_packed
 from .constraints import (
     ProblemBuilder,
     analytic_penalty_weight,
@@ -66,4 +67,8 @@ __all__ = [
     "CompiledProblem",
     "VariableRegistry",
     "check_bits",
+    "pack_model",
+    "packed_nbytes",
+    "unpack_model",
+    "write_packed",
 ]

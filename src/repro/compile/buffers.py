@@ -1,0 +1,194 @@
+"""Stable flat-buffer layout for binary models (QUBO / Ising).
+
+The solve service's warm worker pool ships models to long-lived worker
+processes through ``multiprocessing.shared_memory`` instead of pickling
+them into every job. That needs a *stable, self-describing* byte layout
+for the two model kinds the solver registry consumes:
+
+* :func:`pack_model` — lower a :class:`~repro.annealing.qubo.QUBO` or
+  :class:`~repro.annealing.ising.IsingModel` to a small metadata dict
+  plus a list of contiguous numpy arrays (int64 index arrays, float64
+  coefficient arrays).
+* :func:`write_packed` — copy those arrays into a writable buffer (a
+  shared-memory segment) at the offsets recorded in the metadata.
+* :func:`unpack_model` — reconstruct an equivalent model from a
+  read-only buffer, **bit for bit**: term values round-trip as exact
+  IEEE doubles and — crucially — *dict insertion order is preserved*.
+
+Why insertion order matters: several code paths (``IsingModel.to_qubo``,
+``IsingModel.energy``) accumulate floats by iterating the ``h`` / ``j``
+/ coefficient dicts in insertion order. Floating-point addition is not
+associative, so re-ordering terms could shift results by an ulp and
+break the service's bit-for-bit parity guarantee against sequential
+``solve()``. The packed layout therefore stores terms in the model's
+own dict order, not sorted order (sorting is what
+:meth:`CompiledProblem.content_key` does — a hash does not care about
+accumulation order, an energy sum does).
+
+Layout (all little-endian, offsets in the metadata dict):
+
+=========  =======================================================
+kind       arrays (in buffer order)
+=========  =======================================================
+``qubo``   ``terms_idx`` int64 ``(num_terms, 2)`` — (u, v) with
+           ``u == v`` marking linear terms; ``terms_val`` float64
+           ``(num_terms,)``
+``ising``  ``h_idx`` int64 ``(num_h,)``; ``h_val`` float64
+           ``(num_h,)``; ``j_idx`` int64 ``(num_j, 2)``;
+           ``j_val`` float64 ``(num_j,)``
+=========  =======================================================
+
+The metadata dict is tiny (plain ints/floats/strings) and travels over
+the worker pipe; only the term arrays live in shared memory.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from ..annealing.ising import IsingModel
+from ..annealing.qubo import QUBO
+
+__all__ = [
+    "pack_model",
+    "packed_nbytes",
+    "unpack_model",
+    "write_packed",
+]
+
+#: Version tag embedded in every metadata dict so a future layout
+#: change cannot be silently misread by an older worker.
+BUFFER_LAYOUT_VERSION = 1
+
+
+def _plan_arrays(arrays: List[Tuple[str, np.ndarray]]
+                 ) -> Tuple[Dict[str, Any], int]:
+    """Assign buffer offsets to named arrays; returns (plan, nbytes)."""
+    plan: Dict[str, Any] = {}
+    offset = 0
+    for name, array in arrays:
+        array = np.ascontiguousarray(array)
+        plan[name] = {
+            "offset": offset,
+            "shape": list(array.shape),
+            "dtype": str(array.dtype),
+        }
+        offset += array.nbytes
+    return plan, offset
+
+
+def pack_model(model: Any) -> Tuple[Dict[str, Any],
+                                    List[np.ndarray]]:
+    """Lower a model to ``(metadata, arrays)`` in dict insertion order.
+
+    The returned arrays align 1:1 with the ``arrays`` plan inside the
+    metadata; hand both to :func:`write_packed` to fill a buffer.
+    """
+    if isinstance(model, QUBO):
+        items = list(model._coefficients.items())
+        idx = np.array([key for key, _ in items],
+                       dtype=np.int64).reshape(len(items), 2)
+        val = np.array([value for _, value in items], dtype=np.float64)
+        named = [("terms_idx", idx), ("terms_val", val)]
+        meta: Dict[str, Any] = {
+            "kind": "qubo",
+            "num_variables": int(model.num_variables),
+        }
+    elif isinstance(model, IsingModel):
+        h_items = list(model.h.items())
+        j_items = list(model.j.items())
+        named = [
+            ("h_idx", np.array([key for key, _ in h_items],
+                               dtype=np.int64)),
+            ("h_val", np.array([value for _, value in h_items],
+                               dtype=np.float64)),
+            ("j_idx", np.array([key for key, _ in j_items],
+                               dtype=np.int64).reshape(len(j_items), 2)),
+            ("j_val", np.array([value for _, value in j_items],
+                               dtype=np.float64)),
+        ]
+        meta = {
+            "kind": "ising",
+            "num_spins": int(model.num_spins),
+        }
+    else:
+        raise TypeError(
+            f"pack_model supports QUBO and IsingModel, got "
+            f"{type(model).__name__}"
+        )
+    plan, nbytes = _plan_arrays(named)
+    meta["layout_version"] = BUFFER_LAYOUT_VERSION
+    meta["offset_constant"] = float(model.offset)
+    meta["arrays"] = plan
+    meta["nbytes"] = nbytes
+    return meta, [array for _, array in named]
+
+
+def packed_nbytes(meta: Dict[str, Any]) -> int:
+    """Total buffer size the packed arrays need (may be zero)."""
+    return int(meta["nbytes"])
+
+
+def write_packed(meta: Dict[str, Any], arrays: List[np.ndarray],
+                 buffer: memoryview) -> None:
+    """Copy packed arrays into ``buffer`` at their planned offsets."""
+    plan = meta["arrays"]
+    for (name, spec), array in zip(plan.items(), arrays):
+        array = np.ascontiguousarray(array)
+        view = np.ndarray(array.shape, dtype=array.dtype,
+                          buffer=buffer, offset=spec["offset"])
+        view[...] = array
+
+
+def _read_array(meta: Dict[str, Any], name: str,
+                buffer: memoryview) -> np.ndarray:
+    spec = meta["arrays"][name]
+    return np.ndarray(tuple(spec["shape"]), dtype=spec["dtype"],
+                      buffer=buffer, offset=spec["offset"])
+
+
+def unpack_model(meta: Dict[str, Any], buffer: memoryview) -> Any:
+    """Reconstruct the model from a packed buffer, bit for bit.
+
+    The reconstructed model's term dicts repeat the original's
+    insertion order and exact float values, so every accumulation,
+    conversion (``to_qubo``) and dense-array build downstream produces
+    byte-identical numerics. The returned model owns its data (term
+    values are copied out of the buffer), so the caller may close the
+    underlying shared-memory segment immediately.
+    """
+    version = meta.get("layout_version")
+    if version != BUFFER_LAYOUT_VERSION:
+        raise ValueError(
+            f"unsupported model buffer layout {version!r} "
+            f"(this build reads version {BUFFER_LAYOUT_VERSION})"
+        )
+    kind = meta["kind"]
+    if kind == "qubo":
+        model = QUBO(meta["num_variables"],
+                     offset=meta["offset_constant"])
+        idx = _read_array(meta, "terms_idx", buffer)
+        val = _read_array(meta, "terms_val", buffer)
+        # Rebuild the coefficient store directly: the constructor path
+        # (add_linear/add_quadratic) would re-accumulate and re-order.
+        model._coefficients = {
+            (int(u), int(v)): float(c)
+            for (u, v), c in zip(idx, val)
+        }
+        return model
+    if kind == "ising":
+        model = IsingModel(meta["num_spins"],
+                           offset=meta["offset_constant"])
+        h_idx = _read_array(meta, "h_idx", buffer)
+        h_val = _read_array(meta, "h_val", buffer)
+        j_idx = _read_array(meta, "j_idx", buffer)
+        j_val = _read_array(meta, "j_val", buffer)
+        # Assign dicts directly: __init__ drops accumulated zeros and
+        # would not reproduce an arbitrary stored dict faithfully.
+        model.h = {int(i): float(v) for i, v in zip(h_idx, h_val)}
+        model.j = {(int(a), int(b)): float(v)
+                   for (a, b), v in zip(j_idx, j_val)}
+        return model
+    raise ValueError(f"unknown packed model kind {kind!r}")

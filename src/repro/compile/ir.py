@@ -158,6 +158,12 @@ class CompiledProblem:
     feasible: Callable[[Any], bool]
     repair: Optional[Callable[[Any], Any]] = None
     metadata: Dict[str, Any] = field(default_factory=dict)
+    #: Lazily memoized :meth:`content_key` digest. The solve service
+    #: hashes every submission (cache key, coalescing, warm-pool model
+    #: store, cross-job batch folding); recomputing a sha256 over the
+    #: full term set per lookup would dominate small problems.
+    _content_key_cache: Optional[str] = field(default=None, repr=False,
+                                              compare=False)
 
     @property
     def num_variables(self) -> int:
@@ -180,7 +186,14 @@ class CompiledProblem:
         across processes and interpreter runs (no ``PYTHONHASHSEED``
         dependence, no ``id()`` leakage), which is what lets the solve
         service's result cache and request coalescer key on it.
+
+        The digest is memoized on first call: compiled problems are
+        treated as immutable by every consumer (mutating ``model``
+        after ``compile()`` voids all guarantees anyway), and the
+        service hashes each submission several times.
         """
+        if self._content_key_cache is not None:
+            return self._content_key_cache
         digest = hashlib.sha256()
 
         def put_float(value: float) -> None:
@@ -214,7 +227,8 @@ class CompiledProblem:
                 if value != 0.0:
                     digest.update(struct.pack("<qq", a, b))
                     put_float(value)
-        return digest.hexdigest()
+        self._content_key_cache = digest.hexdigest()
+        return self._content_key_cache
 
     def energy(self, bits: Sequence[int]) -> float:
         """Model energy of a binary assignment (Ising takes bits too)."""

@@ -6,10 +6,12 @@ into a managed subsystem — the shape a database optimizer actually
 consumes solvers in, where many candidate subproblems are in flight
 at once under latency budgets:
 
-* :class:`SolveService` — bounded priority job queue feeding a pool of
-  worker processes (hard deadline reaping) or threads, with
-  :class:`JobHandle` futures, cancellation and batch
-  :meth:`~SolveService.solve_many`.
+* :class:`SolveService` — bounded priority job queue feeding a
+  *persistent warm worker pool* (solver registry imported once per
+  worker, models shipped via shared memory, hard deadline reaping
+  with respawn) or threads, with :class:`JobHandle` futures,
+  cancellation, cross-job batching of same-model submissions and
+  batch :meth:`~SolveService.solve_many`.
 * :class:`ResultCache` — content-addressed LRU over
   :meth:`CompiledProblem.content_key` + solver + config + seed, with
   in-flight request coalescing.
@@ -37,6 +39,7 @@ and verifies service results are bit-for-bit identical to sequential
 """
 
 from .cache import ResultCache, cache_key
+from .pool import SharedModelStore, WarmWorkerPool
 from .portfolio import PortfolioError, race
 from .queue import Job, JobQueue, JobStatus, QueueFullError
 from .service import (
@@ -63,7 +66,9 @@ __all__ = [
     "QueueFullError",
     "ResultCache",
     "ServiceError",
+    "SharedModelStore",
     "SolveService",
+    "WarmWorkerPool",
     "WorkerCancelled",
     "WorkerCrashed",
     "WorkerTimeout",

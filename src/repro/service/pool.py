@@ -1,0 +1,711 @@
+"""Persistent warm worker pool with shared-memory model dispatch.
+
+PR-5's process mode forked **one worker per job**: every dispatch paid
+a process spawn, an import-warm-up and a full pickle of the model in
+and the result out — which is why the committed ``service_throughput``
+benchmark ran *slower* than sequential (0.91x with 2 workers). This
+module replaces that with long-lived workers:
+
+* :class:`WarmWorkerPool` — spawns ``size`` worker processes once per
+  :class:`~repro.service.SolveService`. Each worker holds the solver
+  registry imported and warm, and loops on a duplex pipe pulling task
+  batches until drained.
+* :class:`SharedModelStore` — parent-side registry of
+  ``multiprocessing.shared_memory`` segments, one per distinct model
+  (keyed by :meth:`CompiledProblem.content_key`). The packed term
+  arrays (:mod:`repro.compile.buffers`) are written into the segment
+  once; workers attach, rebuild the model, cache it by content key and
+  close the segment — so N jobs on the same model pay for **zero**
+  model transfers after the first, and even the first is a flat numpy
+  copy rather than a pickle.
+* **Cross-job batching** — one task message carries *several* jobs
+  (same model, same registry solver, independent configs/seeds); the
+  worker answers them in one round trip. Each job still runs its own
+  seeded backend call, so results stay bit-for-bit identical to
+  sequential ``solve()``.
+* **Reap + respawn** — the SIGTERM→SIGKILL deadline/cancel semantics
+  of PR-5 survive: a worker that blows a deadline, is cancelled
+  mid-flight or crashes is killed and **replaced**, so the pool never
+  shrinks and a wedged solver can never hang the service
+  (``service_worker_respawns_total`` counts replacements).
+* **Drain-time telemetry merge** — warm workers accumulate their
+  collector/tracer/metrics state across *all* their jobs and ship one
+  cumulative snapshot when the pool drains at shutdown. Merging
+  cumulative snapshots per job (the PR-5 scheme, correct for
+  one-job-per-process workers) would double-count a warm worker's
+  totals; drain-time merging folds each worker exactly once.
+
+Compact results: a worker returns best-state bits as a ``uint8``
+matrix plus ``float64`` energies and ``int64`` occurrence counts —
+the parent rebuilds the :class:`SampleSet` exactly (assignments,
+energies and read counts round-trip unchanged), then decodes through
+the original problem hooks as ever.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import traceback
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import telemetry
+from ..annealing.results import Sample, SampleSet
+from ..compile.buffers import (
+    pack_model,
+    packed_nbytes,
+    unpack_model,
+    write_packed,
+)
+from ..compile.dispatch import SolverConfig, run_registry_backend
+from ..telemetry import metrics as _metrics
+from ..telemetry.collector import Collector
+from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.progress import ProgressTrace
+from ..telemetry.trace import Tracer
+from .workers import (
+    WorkerCancelled,
+    WorkerCrashed,
+    WorkerTimeout,
+    _reap,
+)
+
+try:  # pragma: no cover - exercised implicitly on every import
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - platform without shm support
+    _shared_memory = None
+
+__all__ = [
+    "ModelRef",
+    "SharedModelStore",
+    "WarmWorkerPool",
+]
+
+#: Seconds a drained worker gets to ship its final snapshot and exit
+#: before the pool gives up and kills it.
+DRAIN_TIMEOUT_SECONDS = 10.0
+
+#: Worker-side LRU capacity of reconstructed models.
+WORKER_MODEL_CACHE = 64
+
+
+def _respawns_counter(registry: "_metrics.MetricsRegistry"):
+    return registry.counter(
+        "service_worker_respawns_total",
+        "warm workers killed (deadline, cancel, crash) and replaced",
+    )
+
+
+def _pool_dispatch_counter(registry: "_metrics.MetricsRegistry"):
+    return registry.counter(
+        "service_pool_dispatch_total",
+        "warm-pool task dispatches by model residency (warm = model "
+        "already cached in the worker, cold = shipped this dispatch)",
+        ("kind",),
+    )
+
+
+# ----------------------------------------------------------------------
+# Shared-memory model store (parent side)
+# ----------------------------------------------------------------------
+@dataclass
+class ModelRef:
+    """Everything a worker needs to materialize one model.
+
+    ``transport`` is ``"shm"`` (attach ``segment`` and unpack ``meta``)
+    or ``"inline"`` (the pickled ``model`` rides along in the pipe —
+    the fallback when shared memory is unavailable).
+    """
+
+    content_key: str
+    transport: str
+    meta: Optional[Dict[str, Any]] = None
+    segment: Optional[str] = None
+    nbytes: int = 0
+    model: Any = None
+
+    def wire_form(self) -> Dict[str, Any]:
+        """The picklable payload actually sent over the worker pipe."""
+        return {
+            "content_key": self.content_key,
+            "transport": self.transport,
+            "meta": self.meta,
+            "segment": self.segment,
+            "model": self.model,
+        }
+
+
+@dataclass
+class _Segment:
+    shm: Any
+    ref: ModelRef
+    inflight: int = 0
+
+
+class SharedModelStore:
+    """Content-addressed shared-memory segments for compiled models.
+
+    ``publish`` creates (or reuses) the segment for a problem's model
+    and pins it while a dispatch referencing it is in flight;
+    ``release`` unpins. Eviction past ``capacity`` only touches
+    unpinned segments, and ``close`` unlinks everything — the solve
+    service calls it when the last dispatcher exits so no ``/dev/shm``
+    entry outlives the service.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._segments: "OrderedDict[str, _Segment]" = OrderedDict()
+        self._closed = False
+        self.bytes_shared = 0
+        self.segments_created = 0
+
+    def publish(self, problem) -> ModelRef:
+        """Segment reference for a problem's model, created on demand."""
+        key = problem.content_key()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("model store is closed")
+            entry = self._segments.get(key)
+            if entry is not None:
+                entry.inflight += 1
+                self._segments.move_to_end(key)
+                return entry.ref
+            ref = self._create(key, problem.model)
+            entry = _Segment(shm=getattr(ref, "_shm", None), ref=ref)
+            if ref.transport == "shm":
+                entry.shm = ref._shm  # type: ignore[attr-defined]
+                del ref._shm  # type: ignore[attr-defined]
+            entry.inflight = 1
+            self._segments[key] = entry
+            self._evict_unpinned()
+            return ref
+
+    def _create(self, key: str, model: Any) -> ModelRef:
+        meta, arrays = pack_model(model)
+        nbytes = packed_nbytes(meta)
+        if _shared_memory is not None:
+            try:
+                # SharedMemory rejects size 0 (a term-free model).
+                shm = _shared_memory.SharedMemory(
+                    create=True, size=max(nbytes, 1))
+            except (OSError, ValueError):
+                shm = None
+        else:  # pragma: no cover - platform without shm support
+            shm = None
+        if shm is None:
+            # Inline fallback: the model pickles through the pipe once
+            # per worker (the worker-side cache still amortizes it).
+            return ModelRef(content_key=key, transport="inline",
+                            model=model)
+        write_packed(meta, arrays, shm.buf)
+        self.bytes_shared += nbytes
+        self.segments_created += 1
+        registry = _metrics.get_registry()
+        if registry is not None:
+            registry.counter(
+                "service_shm_bytes_total",
+                "model bytes written into shared-memory segments",
+            ).inc(nbytes)
+            registry.gauge(
+                "service_shm_segments",
+                "live shared-memory model segments",
+            ).set(len(self._segments) + 1)
+        ref = ModelRef(content_key=key, transport="shm", meta=meta,
+                       segment=shm.name, nbytes=nbytes)
+        ref._shm = shm  # type: ignore[attr-defined]
+        return ref
+
+    def release(self, ref: ModelRef) -> None:
+        """Unpin a segment once its dispatch round trip finished."""
+        with self._lock:
+            entry = self._segments.get(ref.content_key)
+            if entry is not None and entry.inflight > 0:
+                entry.inflight -= 1
+
+    def _evict_unpinned(self) -> None:
+        # Caller holds the lock.
+        while len(self._segments) > self.capacity:
+            victim = next(
+                (key for key, entry in self._segments.items()
+                 if entry.inflight == 0), None)
+            if victim is None:
+                return
+            self._unlink(self._segments.pop(victim))
+
+    @staticmethod
+    def _unlink(entry: _Segment) -> None:
+        if entry.shm is None:
+            return
+        try:
+            entry.shm.close()
+            entry.shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover
+            pass
+
+    def segment_names(self) -> List[str]:
+        """Names of live segments (test hook for leak checks)."""
+        with self._lock:
+            return [entry.ref.segment
+                    for entry in self._segments.values()
+                    if entry.ref.segment is not None]
+
+    def close(self) -> None:
+        """Unlink every segment; the store rejects further publishes."""
+        with self._lock:
+            self._closed = True
+            entries = list(self._segments.values())
+            self._segments.clear()
+        for entry in entries:
+            self._unlink(entry)
+        registry = _metrics.get_registry()
+        if registry is not None:
+            registry.gauge(
+                "service_shm_segments",
+                "live shared-memory model segments").set(0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "segments": len(self._segments),
+                "capacity": self.capacity,
+                "bytes_shared": self.bytes_shared,
+                "segments_created": self.segments_created,
+            }
+
+
+# ----------------------------------------------------------------------
+# Worker-process side
+# ----------------------------------------------------------------------
+def _attach_segment(name: str):
+    """Attach an existing segment without double-tracking it.
+
+    The creating (parent) process owns the unlink. Python 3.13 grew
+    ``track=False`` for exactly this. On older versions the attach
+    re-registers the name, but forked workers share the parent's
+    resource tracker and registration is set-idempotent there, so the
+    parent's single unregister-on-unlink still balances it; an explicit
+    worker-side unregister would instead strip the parent's entry and
+    make that unlink complain.
+    """
+    try:
+        return _shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pre-3.13: no track parameter
+        return _shared_memory.SharedMemory(name=name)
+
+
+def _materialize_model(wire_ref: Dict[str, Any],
+                       cache: "OrderedDict[str, Any]"
+                       ) -> Tuple[Any, bool]:
+    """Model for a wire reference; returns ``(model, was_cached)``."""
+    key = wire_ref["content_key"]
+    model = cache.get(key)
+    if model is not None:
+        cache.move_to_end(key)
+        return model, True
+    if wire_ref["transport"] == "shm":
+        shm = _attach_segment(wire_ref["segment"])
+        try:
+            model = unpack_model(wire_ref["meta"], shm.buf)
+        finally:
+            shm.close()
+    else:
+        model = wire_ref["model"]
+    cache[key] = model
+    while len(cache) > WORKER_MODEL_CACHE:
+        cache.popitem(last=False)
+    return model, False
+
+
+def _compact_samples(samples: SampleSet) -> Dict[str, Any]:
+    """Lower a SampleSet to flat arrays for the result pipe."""
+    rows = samples.samples
+    bits = np.array([row.assignment for row in rows], dtype=np.uint8)
+    return {
+        "bits": bits,
+        "energies": np.array([row.energy for row in rows],
+                             dtype=np.float64),
+        "occurrences": np.array([row.num_occurrences for row in rows],
+                                dtype=np.int64),
+    }
+
+
+def expand_samples(compact: Dict[str, Any]) -> SampleSet:
+    """Rebuild the worker's SampleSet exactly from its compact form."""
+    return SampleSet([
+        Sample(tuple(int(bit) for bit in bits), float(energy),
+               int(occurrences))
+        for bits, energy, occurrences in zip(
+            compact["bits"], compact["energies"],
+            compact["occurrences"])
+    ])
+
+
+def _run_member(model: Any, solver: str,
+                config: SolverConfig) -> Dict[str, Any]:
+    """One job inside the warm worker: solve, compact, never raise."""
+    try:
+        progress = (ProgressTrace(label=solver)
+                    if config.convergence_active() else None)
+        start = time.perf_counter()
+        with telemetry.span(f"service.worker.{solver}"):
+            samples = run_registry_backend(model, solver, config,
+                                           progress)
+        duration = time.perf_counter() - start
+        if progress is not None:
+            progress.note_truncation()
+        return {
+            "ok": True,
+            "samples": _compact_samples(samples),
+            "convergence": (progress.rows() if progress is not None
+                            else None),
+            "duration": duration,
+        }
+    except BaseException:
+        return {"ok": False, "traceback": traceback.format_exc()}
+
+
+def _capture_payload(collector, tracer, registry) -> Dict[str, Any]:
+    return {
+        "pid": os.getpid(),
+        "telemetry_snapshot": (collector.snapshot()
+                               if collector is not None else None),
+        "trace_events": tracer.events() if tracer is not None else None,
+        "trace_epoch_ns": (tracer.epoch_ns
+                           if tracer is not None else None),
+        "metrics_snapshot": (registry.snapshot()
+                             if registry is not None else None),
+    }
+
+
+def _warm_worker_main(connection, index: int,
+                      capture: Dict[str, bool]) -> None:
+    """Worker-process entry: loop on tasks until drained.
+
+    With the default ``fork`` start method the child inherits the
+    parent's live collector/tracer/registry objects; the first thing a
+    warm worker does is replace them with private instances so its
+    accounting never aliases the parent's (the parent folds the
+    worker's cumulative snapshot in exactly once, at drain).
+    """
+    telemetry.disable()
+    telemetry.disable_tracing()
+    _metrics.disable_metrics()
+    collector: Optional[Collector] = None
+    tracer: Optional[Tracer] = None
+    registry: Optional[MetricsRegistry] = None
+
+    def ensure_capture(flags: Dict[str, bool]) -> None:
+        nonlocal collector, tracer, registry
+        if flags.get("telemetry") and collector is None:
+            collector = telemetry.enable(Collector())
+        if flags.get("trace") and tracer is None:
+            tracer = telemetry.enable_tracing(Tracer())
+            tracer.instant("service.pool.worker_boot",
+                           args={"index": index})
+        if flags.get("metrics") and registry is None:
+            registry = _metrics.enable_metrics(MetricsRegistry())
+
+    ensure_capture(capture)
+    models: "OrderedDict[str, Any]" = OrderedDict()
+    try:
+        while True:
+            try:
+                message = connection.recv()
+            except (EOFError, OSError):
+                return
+            kind = message[0]
+            if kind == "drain":
+                connection.send(
+                    ("drained",
+                     _capture_payload(collector, tracer, registry)))
+                return
+            _, task_id, flags, wire_ref, members = message
+            ensure_capture(flags)
+            try:
+                model, was_cached = _materialize_model(wire_ref, models)
+            except BaseException:
+                failure = {"ok": False,
+                           "traceback": traceback.format_exc()}
+                connection.send(("ok", task_id, os.getpid(), False,
+                                 [failure for _ in members]))
+                continue
+            results = [_run_member(model, solver, config)
+                       for _job_id, solver, config in members]
+            connection.send(("ok", task_id, os.getpid(), was_cached,
+                             results))
+    finally:
+        try:
+            connection.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+# ----------------------------------------------------------------------
+# Parent side: the pool
+# ----------------------------------------------------------------------
+@dataclass
+class _WarmWorker:
+    index: int
+    process: Any
+    connection: Any
+    task_counter: int = 0
+    jobs_run: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+@dataclass
+class BatchOutcome:
+    """Parent-side view of one warm-worker round trip."""
+
+    pid: int
+    model_was_cached: bool
+    results: List[Dict[str, Any]]
+
+
+class WarmWorkerPool:
+    """Fixed-size pool of persistent worker processes.
+
+    One dispatcher thread drives one worker slot (the service spawns
+    exactly ``size`` dispatchers), so slot access needs no leasing
+    protocol; ``execute`` is safe to call concurrently on *different*
+    indices. Any abnormal end of a round trip (deadline reap, cancel
+    reap, crash) kills the slot's process and respawns a fresh one —
+    the pool's size is an invariant, not a high-water mark.
+    """
+
+    def __init__(self, size: int, context):
+        if size < 1:
+            raise ValueError("pool size must be positive")
+        self._context = context
+        self._lock = threading.Lock()
+        self.respawns = 0
+        self.dispatches_warm = 0
+        self.dispatches_cold = 0
+        registry = _metrics.get_registry()
+        if registry is not None:
+            # Create the counter eagerly so a healthy run exports an
+            # explicit zero rather than a missing series.
+            _respawns_counter(registry).inc(0)
+        # Start the parent's shm resource tracker *before* forking so
+        # every worker inherits its fd: attach-side registrations then
+        # land in the shared tracker (set-idempotent with the parent's
+        # own entry) instead of a worker-private tracker that would try
+        # to re-unlink segments on worker exit.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - platform-specific
+            pass
+        self._workers: List[_WarmWorker] = [
+            self._spawn(index) for index in range(size)
+        ]
+
+    # -- lifecycle -------------------------------------------------------
+    def _capture_flags(self) -> Dict[str, bool]:
+        return {
+            "telemetry": telemetry.get_collector() is not None,
+            "trace": telemetry.get_tracer() is not None,
+            "metrics": _metrics.get_registry() is not None,
+        }
+
+    def _spawn(self, index: int) -> _WarmWorker:
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_warm_worker_main,
+            args=(child_conn, index, self._capture_flags()),
+            daemon=True,
+            name=f"repro-warm-worker-{index}",
+        )
+        process.start()
+        child_conn.close()
+        return _WarmWorker(index=index, process=process,
+                           connection=parent_conn)
+
+    def _respawn(self, worker: _WarmWorker) -> None:
+        _reap(worker.process)
+        try:
+            worker.connection.close()
+        except OSError:  # pragma: no cover
+            pass
+        fresh = self._spawn(worker.index)
+        with self._lock:
+            self._workers[worker.index] = fresh
+            self.respawns += 1
+        telemetry.count("service.pool.respawns")
+        registry = _metrics.get_registry()
+        if registry is not None:
+            _respawns_counter(registry).inc()
+
+    def worker(self, index: int) -> _WarmWorker:
+        with self._lock:
+            return self._workers[index]
+
+    def pids(self) -> List[Optional[int]]:
+        with self._lock:
+            return [worker.process.pid for worker in self._workers]
+
+    # -- execution -------------------------------------------------------
+    def execute(self, index: int, leader, members: List[Tuple[int, str,
+                                                              Any]],
+                ref: ModelRef,
+                deadline: Optional[float] = None,
+                publish_process: bool = True) -> BatchOutcome:
+        """Run one task batch on slot ``index``; reap+respawn on harm.
+
+        ``leader`` is the service's :class:`~repro.service.queue.Job`
+        driving the batch — its ``process`` slot is published (for
+        singleton batches) so a concurrent ``cancel()`` can reap the
+        worker, and its terminal status disambiguates a cancel-kill
+        from a genuine crash. Raises :class:`WorkerTimeout`,
+        :class:`WorkerCancelled` or :class:`WorkerCrashed` exactly like
+        the PR-5 per-job executor did.
+        """
+        worker = self.worker(index)
+        with leader.lock:
+            if publish_process and leader.status.is_terminal():
+                # cancel() landed between dequeue and dispatch; the
+                # worker never saw the task, so it stays warm. (For
+                # folded batches the task is sent regardless — the
+                # other members still need their results, and the
+                # cancelled leader's is simply dropped on resolve.)
+                raise WorkerCancelled(
+                    f"job {leader.job_id} cancelled")
+            if publish_process:
+                leader.process = worker.process
+        worker.task_counter += 1
+        task_id = worker.task_counter
+        wire_members = [(job_id, solver, config)
+                        for job_id, solver, config in members]
+        try:
+            worker.connection.send(
+                ("run", task_id, self._capture_flags(),
+                 ref.wire_form(), wire_members))
+            reply = self._await_reply(worker, leader, task_id, deadline)
+        except (WorkerTimeout, WorkerCancelled, WorkerCrashed):
+            self._respawn(worker)
+            raise
+        except (BrokenPipeError, OSError) as error:
+            self._respawn(worker)
+            raise WorkerCrashed(
+                f"warm worker pid={worker.process.pid} pipe failed: "
+                f"{error}"
+            ) from error
+        finally:
+            if publish_process:
+                with leader.lock:
+                    leader.process = None
+        _status, _task, pid, was_cached, results = reply
+        worker.jobs_run += len(members)
+        with self._lock:
+            if was_cached:
+                self.dispatches_warm += 1
+            else:
+                self.dispatches_cold += 1
+        registry = _metrics.get_registry()
+        if registry is not None:
+            _pool_dispatch_counter(registry).labels(
+                kind="warm" if was_cached else "cold").inc()
+        return BatchOutcome(pid=pid, model_was_cached=was_cached,
+                            results=results)
+
+    def _await_reply(self, worker: _WarmWorker, leader, task_id: int,
+                     deadline: Optional[float]):
+        connection = worker.connection
+        process = worker.process
+        expires = (None if deadline is None
+                   else time.perf_counter() + deadline)
+        while True:
+            remaining = (None if expires is None
+                         else expires - time.perf_counter())
+            if remaining is not None and remaining <= 0:
+                raise WorkerTimeout(
+                    f"job {leader.job_id} ({leader.solver}) exceeded "
+                    f"its {deadline:g}s deadline; warm worker "
+                    f"pid={process.pid} reaped"
+                )
+            if connection.poll(min(remaining, 0.05)
+                               if remaining is not None else 0.05):
+                break
+            if not process.is_alive() and not connection.poll():
+                with leader.lock:
+                    cancelled = leader.status.is_terminal()
+                if cancelled:
+                    raise WorkerCancelled(
+                        f"job {leader.job_id} cancelled; warm worker "
+                        "reaped"
+                    )
+                raise WorkerCrashed(
+                    f"warm worker pid={process.pid} died with exit "
+                    f"code {process.exitcode} while running job "
+                    f"{leader.job_id}"
+                )
+        try:
+            reply = connection.recv()
+        except (EOFError, OSError) as error:
+            with leader.lock:
+                cancelled = leader.status.is_terminal()
+            if cancelled:
+                raise WorkerCancelled(
+                    f"job {leader.job_id} cancelled; warm worker "
+                    "reaped"
+                ) from error
+            raise WorkerCrashed(
+                f"warm worker pid={process.pid} closed the result "
+                f"pipe mid-task: {error}"
+            ) from error
+        if reply[0] != "ok" or reply[1] != task_id:
+            raise WorkerCrashed(
+                f"warm worker pid={process.pid} answered out of "
+                f"protocol ({reply[0]!r}, task {reply[1]!r} != "
+                f"{task_id})"
+            )
+        return reply
+
+    # -- drain -----------------------------------------------------------
+    def drain(self, index: int) -> Optional[Dict[str, Any]]:
+        """Gracefully stop slot ``index``; returns its final snapshot.
+
+        Returns ``None`` when the worker died before shipping its
+        payload (its telemetry dies with it — a reaped worker cannot
+        flush).
+        """
+        worker = self.worker(index)
+        payload = None
+        try:
+            worker.connection.send(("drain",))
+            if worker.connection.poll(DRAIN_TIMEOUT_SECONDS):
+                reply = worker.connection.recv()
+                if reply[0] == "drained":
+                    payload = reply[1]
+        except (BrokenPipeError, EOFError, OSError):
+            payload = None
+        worker.process.join(DRAIN_TIMEOUT_SECONDS)
+        _reap(worker.process)
+        try:
+            worker.connection.close()
+        except OSError:  # pragma: no cover
+            pass
+        return payload
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "size": len(self._workers),
+                "pids": [worker.process.pid
+                         for worker in self._workers],
+                "respawns": self.respawns,
+                "dispatches_warm": self.dispatches_warm,
+                "dispatches_cold": self.dispatches_cold,
+                "jobs_run": sum(worker.jobs_run
+                                for worker in self._workers),
+            }

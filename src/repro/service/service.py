@@ -8,17 +8,23 @@ call into a managed execution subsystem:
   convergence tri-state), puts it on a bounded priority queue and
   returns a :class:`JobHandle` with status, result waiting and
   cancellation.
-* **worker pool** — N dispatcher threads execute jobs either inline
-  (``mode="thread"``) or in reaped worker processes
-  (``mode="process"``, the default) with hard per-job deadlines.
+* **warm worker pool** — N dispatcher threads execute jobs either
+  inline (``mode="thread"``) or on *persistent* worker processes
+  (``mode="process"``, the default): each dispatcher owns one
+  long-lived worker with the solver registry imported and warm, models
+  travel via shared memory (:mod:`repro.service.pool`), and hard
+  per-job deadlines still reap (and then respawn) a stuck worker.
+* **cross-job batching** — deadline-free jobs on the *same model and
+  solver* as a job being dispatched fold into its worker round trip,
+  so N same-model jobs with different seeds/configs cost one dispatch.
 * **result cache + coalescing** — seeded jobs are content-addressed
   (problem terms + solver + config + seed); repeat submissions hit the
   LRU cache and *identical in-flight* submissions coalesce onto the
   same job instead of re-executing.
-* **telemetry** — worker collectors/tracers are merged back into the
-  parent's, so one report/timeline covers the whole fleet; every
-  result's provenance carries a ``service`` block (job id, worker pid,
-  queue wait, cache disposition).
+* **telemetry** — each warm worker's collector/tracer/metrics
+  accumulate across its whole life and merge into the parent's once,
+  at pool drain; every result's provenance carries a ``service`` block
+  (job id, worker pid, queue wait, cache and dispatch disposition).
 
 Results are bit-for-bit identical to sequential ``solve`` calls under
 fixed seeds: workers run only the registered backend on the bare
@@ -44,12 +50,12 @@ from ..compile.dispatch import (
 )
 from ..compile.ir import CompiledProblem
 from .cache import ResultCache, cache_key
+from .pool import SharedModelStore, WarmWorkerPool, expand_samples
 from .queue import Job, JobQueue, JobStatus, QueueFullError
 from .workers import (
     WorkerCancelled,
     WorkerCrashed,
     WorkerTimeout,
-    execute_in_process,
     execute_inline,
 )
 
@@ -178,10 +184,11 @@ class SolveService:
         Dispatcher/worker slots; at most this many jobs execute
         concurrently.
     mode:
-        ``"process"`` (default) runs each job in a freshly forked,
-        deadline-reapable worker process; ``"thread"`` runs jobs
-        inline on dispatcher threads (lower latency, soft deadlines —
-        best for many small jobs).
+        ``"process"`` (default) runs jobs on persistent warm worker
+        processes — one per dispatcher, spawned once, fed through
+        shared memory, reaped *and respawned* on deadline/cancel;
+        ``"thread"`` runs jobs inline on dispatcher threads (lower
+        latency, soft deadlines — best for many small jobs).
     queue_capacity:
         Bound on queued-but-not-running jobs; submissions beyond it
         raise :class:`QueueFullError` (or block with ``block=True``).
@@ -194,12 +201,18 @@ class SolveService:
     start_method:
         ``multiprocessing`` start method for process workers (``None``
         = platform default, ``fork`` on Linux).
+    batch_limit:
+        Most jobs one warm-worker round trip may carry (process mode).
+        When a dispatcher takes a deadline-free job, up to
+        ``batch_limit - 1`` queued jobs on the same model and solver
+        fold into its dispatch. ``1`` disables cross-job batching.
     """
 
     def __init__(self, max_workers: int = 2, mode: str = "process",
                  queue_capacity: int = 128, cache_entries: int = 256,
                  default_deadline: Optional[float] = None,
-                 start_method: Optional[str] = None):
+                 start_method: Optional[str] = None,
+                 batch_limit: int = 8):
         if max_workers < 1:
             raise ValueError("max_workers must be positive")
         if mode not in ("process", "thread"):
@@ -208,9 +221,12 @@ class SolveService:
             )
         if cache_entries < 0:
             raise ValueError("cache_entries must be >= 0")
+        if batch_limit < 1:
+            raise ValueError("batch_limit must be positive")
         self.max_workers = max_workers
         self.mode = mode
         self.default_deadline = default_deadline
+        self.batch_limit = batch_limit
         self._context = (multiprocessing.get_context(start_method)
                          if mode == "process" else None)
         self._queue = JobQueue(queue_capacity)
@@ -223,8 +239,14 @@ class SolveService:
         self._stats = {status: 0 for status in JobStatus}
         self._coalesced = 0
         self._cache_hits_served = 0
+        self._pool = (WarmWorkerPool(max_workers, self._context)
+                      if mode == "process" else None)
+        self._store = (SharedModelStore()
+                       if mode == "process" else None)
+        self._active_dispatchers = max_workers
         self._dispatchers = [
             threading.Thread(target=self._dispatch_loop,
+                             args=(index,),
                              name=f"repro-solve-worker-{index}",
                              daemon=True)
             for index in range(max_workers)
@@ -279,7 +301,14 @@ class SolveService:
         if deadline is not None and deadline <= 0:
             raise ValueError("deadline must be positive seconds")
 
-        key = (cache_key(problem, solver, config, repair=repair)
+        # Computed once per submission: the cache key, the coalescing
+        # map, the shared-memory model store and batch folding all key
+        # on it (and content_key memoizes on the problem anyway).
+        problem_key = (problem.content_key()
+                       if (self._cache is not None
+                           or self.mode == "process") else None)
+        key = (cache_key(problem, solver, config, repair=repair,
+                         problem_key=problem_key)
                if self._cache is not None else None)
         with self._lock:
             if key is not None:
@@ -308,6 +337,7 @@ class SolveService:
                 job_id=self._next_id, problem=problem, solver=solver,
                 config=config, repair=repair, priority=priority,
                 deadline=deadline, cache_key=key,
+                model_key=problem_key,
             )
             if key is not None:
                 self._inflight[key] = job
@@ -469,42 +499,206 @@ class SolveService:
         return True
 
     # -- dispatcher loop -------------------------------------------------
-    def _dispatch_loop(self) -> None:
+    def _dispatch_loop(self, index: int) -> None:
         idle_since = time.perf_counter()
-        while True:
-            job = self._queue.get()
-            if job is None:
-                return
-            with job.lock:
-                if job.status.is_terminal():
-                    continue
-                job.status = JobStatus.RUNNING
-            telemetry.count("service.jobs.started")
-            registry = _metrics.get_registry()
-            busy_since = time.perf_counter()
-            if registry is not None:
-                registry.counter(
-                    "service_worker_idle_seconds_total",
-                    "dispatcher time spent waiting for work"
-                ).inc(busy_since - idle_since)
-                registry.gauge(
-                    "service_workers_busy",
-                    "dispatchers currently executing a job").inc()
-                _queue_depth(registry).set(len(self._queue))
-            try:
-                self._execute(job)
-            finally:
-                idle_since = time.perf_counter()
+        try:
+            while True:
+                job = self._queue.get()
+                if job is None:
+                    return
+                with job.lock:
+                    if job.status.is_terminal():
+                        continue
+                    job.status = JobStatus.RUNNING
+                telemetry.count("service.jobs.started")
+                registry = _metrics.get_registry()
+                busy_since = time.perf_counter()
                 if registry is not None:
                     registry.counter(
-                        "service_worker_busy_seconds_total",
-                        "dispatcher time spent executing jobs"
-                    ).inc(idle_since - busy_since)
+                        "service_worker_idle_seconds_total",
+                        "dispatcher time spent waiting for work"
+                    ).inc(busy_since - idle_since)
                     registry.gauge(
                         "service_workers_busy",
-                        "dispatchers currently executing a job").dec()
+                        "dispatchers currently executing a job").inc()
+                    _queue_depth(registry).set(len(self._queue))
+                try:
+                    self._execute(job, index)
+                finally:
+                    idle_since = time.perf_counter()
+                    if registry is not None:
+                        registry.counter(
+                            "service_worker_busy_seconds_total",
+                            "dispatcher time spent executing jobs"
+                        ).inc(idle_since - busy_since)
+                        registry.gauge(
+                            "service_workers_busy",
+                            "dispatchers currently executing a job"
+                        ).dec()
+        finally:
+            self._retire_dispatcher(index)
 
-    def _execute(self, job: Job) -> None:
+    def _retire_dispatcher(self, index: int) -> None:
+        """Drain this dispatcher's warm worker; last one out closes
+        the shared-memory store (covers ``shutdown(wait=False)``)."""
+        if self._pool is not None:
+            payload = self._pool.drain(index)
+            if payload is not None:
+                self._merge_drain_payload(payload)
+        with self._lock:
+            self._active_dispatchers -= 1
+            last = self._active_dispatchers == 0
+        if last and self._store is not None:
+            self._store.close()
+
+    def _execute(self, job: Job, index: int) -> None:
+        if self.mode == "process":
+            self._execute_batch(job, index)
+        else:
+            self._execute_inline(job)
+
+    def _fold_batch(self, job: Job, registry) -> List[Job]:
+        """The jobs riding this dispatch: the leader plus any queued
+        deadline-free jobs on the same model and solver."""
+        members = [job]
+        if (job.deadline is not None or job.model_key is None
+                or self.batch_limit < 2):
+            return members
+        for member in self._queue.take_matching(
+                job.model_key, job.solver, self.batch_limit - 1):
+            with member.lock:
+                if member.status.is_terminal():
+                    continue  # cancelled after take; nothing owed
+                member.status = JobStatus.RUNNING
+            telemetry.count("service.jobs.started")
+            members.append(member)
+        folds = len(members) - 1
+        if folds:
+            telemetry.count("service.jobs.batch_folds", folds)
+            if registry is not None:
+                registry.counter(
+                    "service_batch_folds_total",
+                    "queued jobs folded into an in-flight dispatch "
+                    "on the same model and solver"
+                ).inc(folds)
+                _queue_depth(registry).set(len(self._queue))
+        return members
+
+    def _execute_batch(self, job: Job, index: int) -> None:
+        """Run a job (plus foldable queued jobs) on the warm worker."""
+        registry = _metrics.get_registry()
+        members = self._fold_batch(job, registry)
+        queue_seconds = {member.job_id:
+                         member.started_at - member.submitted_at
+                         for member in members}
+        if registry is not None:
+            wait_hist = registry.histogram(
+                "service_queue_wait_seconds",
+                "wall clock from submit to dispatch")
+            for member in members:
+                wait_hist.observe(queue_seconds[member.job_id])
+        execute_start = time.perf_counter()
+        outcome = None
+        status = JobStatus.FAILED
+        message: Optional[str] = None
+        raised: Optional[BaseException] = None
+        ref = None
+        try:
+            with telemetry.span(f"service.execute.{job.problem.name}"):
+                ref = self._store.publish(job.problem)
+                outcome = self._pool.execute(
+                    index, job,
+                    [(member.job_id, member.solver, member.config)
+                     for member in members],
+                    ref, deadline=job.deadline,
+                    publish_process=(len(members) == 1),
+                )
+        except WorkerTimeout as exc:
+            status = JobStatus.TIMEOUT
+            message = str(exc)
+        except WorkerCancelled:
+            status = JobStatus.CANCELLED
+        except WorkerCrashed as exc:
+            message = str(exc)
+        except BaseException as exc:  # shm store / protocol failures
+            raised = exc
+        finally:
+            if ref is not None:
+                self._store.release(ref)
+        elapsed = time.perf_counter() - execute_start
+        if registry is not None:
+            execute_hist = registry.histogram(
+                "service_execute_seconds",
+                "wall clock from dispatch to resolution, per solver",
+                ("solver",))
+            for member in members:
+                execute_hist.labels(solver=member.solver).observe(
+                    elapsed)
+        if outcome is None:
+            # The whole round trip failed; every member shares its
+            # fate (folded members are deadline-free, so a TIMEOUT /
+            # CANCELLED here is always a singleton batch).
+            for member in members:
+                if status is JobStatus.TIMEOUT:
+                    error: Optional[BaseException] = JobTimeoutError(
+                        message)
+                elif status is JobStatus.CANCELLED:
+                    error = JobCancelledError(
+                        f"job {member.job_id} cancelled")
+                elif raised is not None:
+                    error = raised
+                else:
+                    error = ServiceError(message or "worker failed")
+                self._finish(member, status, None, error,
+                             queue_seconds[member.job_id], registry)
+            return
+        for member, payload in zip(members, outcome.results):
+            self._finish_member(member, payload, outcome,
+                                len(members),
+                                queue_seconds[member.job_id], registry)
+
+    def _finish_member(self, member: Job, payload: Dict[str, Any],
+                       outcome, batch_size: int,
+                       queue_seconds: float, registry) -> None:
+        """Decode one compact worker result parent-side and resolve."""
+        if not payload["ok"]:
+            error = ServiceError(
+                f"worker (pid={outcome.pid}) failed job "
+                f"{member.job_id}:\n{payload['traceback']}"
+            )
+            self._finish(member, JobStatus.FAILED, None, error,
+                         queue_seconds, registry)
+            return
+        try:
+            samples = expand_samples(payload["samples"])
+            solutions = decode_samples(member.problem, samples)
+            result = assemble_result(
+                member.problem, member.solver, member.config,
+                samples, solutions, payload["duration"],
+                convergence=payload["convergence"],
+                repair=member.repair,
+                provenance_extra={"service": {
+                    "job_id": member.job_id,
+                    "mode": self.mode,
+                    "worker_pid": outcome.pid,
+                    "queue_seconds": queue_seconds,
+                    "deadline": member.deadline,
+                    "coalesced": member.coalesced,
+                    "cache": ("miss" if member.cache_key is not None
+                              else "off"),
+                    "dispatch": ("warm" if outcome.model_was_cached
+                                 else "cold"),
+                    "batched": batch_size,
+                }},
+            )
+        except BaseException as exc:  # decode/score hooks can raise
+            self._finish(member, JobStatus.FAILED, None, exc,
+                         queue_seconds, registry)
+            return
+        self._finish(member, JobStatus.DONE, result, None,
+                     queue_seconds, registry)
+
+    def _execute_inline(self, job: Job) -> None:
         queue_seconds = job.started_at - job.submitted_at
         status = JobStatus.FAILED
         result: Optional[SolveResult] = None
@@ -518,17 +712,10 @@ class SolveService:
         execute_start = time.perf_counter()
         try:
             with telemetry.span(f"service.execute.{job.problem.name}"):
-                if self.mode == "process":
-                    outcome = execute_in_process(
-                        job, job.problem.model, job.solver, job.config,
-                        self._context, deadline=job.deadline,
-                    )
-                    self._merge_outcome(outcome)
-                else:
-                    outcome = execute_inline(
-                        job, job.problem.model, job.solver, job.config,
-                        deadline=job.deadline,
-                    )
+                outcome = execute_inline(
+                    job, job.problem.model, job.solver, job.config,
+                    deadline=job.deadline,
+                )
                 solutions = decode_samples(job.problem, outcome.samples)
                 result = assemble_result(
                     job.problem, job.solver, job.config,
@@ -543,6 +730,8 @@ class SolveService:
                         "coalesced": job.coalesced,
                         "cache": ("miss" if job.cache_key is not None
                                   else "off"),
+                        "dispatch": "inline",
+                        "batched": 1,
                     }},
                 )
             status = JobStatus.DONE
@@ -562,6 +751,14 @@ class SolveService:
                 "wall clock from dispatch to resolution, per solver",
                 ("solver",)).labels(solver=job.solver).observe(
                     time.perf_counter() - execute_start)
+        self._finish(job, status, result, error, queue_seconds,
+                     registry)
+
+    def _finish(self, job: Job, status: JobStatus,
+                result: Optional[SolveResult],
+                error: Optional[BaseException],
+                queue_seconds: float, registry) -> None:
+        """Resolve one job: cache, inflight cleanup, stats, counters."""
         if status is JobStatus.DONE and self._cache is not None:
             self._cache.put(job.cache_key, result)
         resolved = job.resolve(status, result=result, error=error)
@@ -578,23 +775,30 @@ class SolveService:
             if status is JobStatus.DONE:
                 telemetry.record("service.queue_seconds", queue_seconds)
 
-    def _merge_outcome(self, outcome) -> None:
-        """Fold a worker's telemetry/trace/metrics payloads into the
-        parent."""
+    def _merge_drain_payload(self, payload: Dict[str, Any]) -> None:
+        """Fold one drained worker's cumulative telemetry/trace/metrics
+        into the parent.
+
+        Warm workers accumulate across every job they ran, so each
+        worker merges exactly once — at pool drain. (Per-job merging of
+        cumulative snapshots would double-count; that is why PR-5's
+        per-job merge went away with fork-per-job workers.) A worker
+        killed by a deadline or cancel reap never drains — its
+        telemetry dies with it.
+        """
         collector = telemetry.get_collector()
         if (collector is not None
-                and outcome.telemetry_snapshot is not None):
-            collector.merge_snapshot(outcome.telemetry_snapshot)
+                and payload.get("telemetry_snapshot") is not None):
+            collector.merge_snapshot(payload["telemetry_snapshot"])
             telemetry.count("service.telemetry.merges")
         tracer = telemetry.get_tracer()
-        if tracer is not None and outcome.trace_events:
-            tracer.merge_events(outcome.trace_events,
-                                epoch_ns=outcome.trace_epoch_ns)
+        if tracer is not None and payload.get("trace_events"):
+            tracer.merge_events(payload["trace_events"],
+                                epoch_ns=payload.get("trace_epoch_ns"))
         registry = _metrics.get_registry()
         if (registry is not None
-                and getattr(outcome, "metrics_snapshot", None)
-                is not None):
-            registry.merge_snapshot(outcome.metrics_snapshot)
+                and payload.get("metrics_snapshot") is not None):
+            registry.merge_snapshot(payload["metrics_snapshot"])
             registry.counter(
                 "service_metrics_merges_total",
                 "worker metrics snapshots folded into the parent"
@@ -619,6 +823,10 @@ class SolveService:
             "queue": self._queue.snapshot(),
             "cache": (self._cache.snapshot()
                       if self._cache is not None else None),
+            "pool": (self._pool.snapshot()
+                     if self._pool is not None else None),
+            "shm": (self._store.snapshot()
+                    if self._store is not None else None),
         }
 
     def shutdown(self, wait: bool = True,

@@ -1,35 +1,29 @@
-"""Worker execution: run one solve in-process or in a reaped subprocess.
+"""Inline worker execution plus the shared reaping primitives.
 
-The service's dispatcher threads call :func:`execute` with a *bare
-model* plus a registry solver name and a resolved
+The service's dispatcher threads execute with a *bare model* plus a
+registry solver name and a resolved
 :class:`~repro.compile.SolverConfig` — never a
 :class:`~repro.compile.CompiledProblem`, whose decode/score closures
 do not pickle. Decoding happens parent-side, which is also what makes
 service results bit-for-bit identical to sequential
 :func:`repro.compile.solve` calls.
 
-Two modes:
-
-* ``thread`` — the backend runs inline on the dispatcher thread.
-  Telemetry flows into the process-global collector/tracer as usual.
-  Deadlines are *soft*: Python threads cannot be preempted, so an
-  overdue job is detected after the fact and its result discarded.
-* ``process`` — the job runs in a fresh worker process (one per job;
-  with the default ``fork`` start method a worker costs milliseconds).
-  Deadlines are *hard*: a worker that blows its deadline is terminated
-  (``SIGTERM``, then ``SIGKILL``) and reaped, so a wedged solver can
-  never hang the service. The child runs with its own collector /
-  tracer mirroring the parent's enablement and ships the snapshot back
-  in the result payload; the parent merges it (see
-  :meth:`Collector.merge_snapshot` / :meth:`Tracer.merge_events`).
+This module holds the pieces both execution modes share — the
+:class:`WorkerTimeout` / :class:`WorkerCancelled` /
+:class:`WorkerCrashed` exception vocabulary, the SIGTERM→SIGKILL
+:func:`_reap` escalation, :func:`run_backend_payload` and the
+``thread``-mode :func:`execute_inline` path (soft deadlines: a Python
+thread cannot be preempted, so an overdue job is detected after the
+fact and its result discarded). ``process`` mode — persistent warm
+workers with shared-memory model dispatch and hard deadline reaping —
+lives in :mod:`repro.service.pool`; PR-5's fork-per-job
+``execute_in_process`` was retired when the warm pool replaced it.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
-import traceback
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
@@ -112,113 +106,6 @@ def run_backend_payload(model: Any, solver: str, config: SolverConfig,
         metrics_snapshot=(registry.snapshot()
                           if registry is not None else None),
     )
-
-
-def _child_main(connection, model: Any, solver: str,
-                config: SolverConfig, capture_telemetry: bool,
-                capture_trace: bool, capture_metrics: bool) -> None:
-    """Worker-process entry point: run, ship the outcome, exit."""
-    try:
-        outcome = run_backend_payload(
-            model, solver, config,
-            capture_telemetry=capture_telemetry,
-            capture_trace=capture_trace,
-            capture_metrics=capture_metrics,
-        )
-        connection.send(("ok", outcome))
-    except BaseException:
-        try:
-            connection.send(("error", traceback.format_exc()))
-        except Exception:
-            pass
-    finally:
-        connection.close()
-
-
-class ProcessReaped(Exception):
-    """Internal: the parent killed the worker (deadline or cancel)."""
-
-
-def execute_in_process(job, model: Any, solver: str,
-                       config: SolverConfig,
-                       context: multiprocessing.context.BaseContext,
-                       deadline: Optional[float] = None
-                       ) -> WorkerOutcome:
-    """Run the backend in a dedicated worker process, reaped on deadline.
-
-    ``job`` is the service's :class:`~repro.service.queue.Job`; its
-    ``process`` slot is published while the worker lives so a
-    concurrent ``cancel()`` can terminate it. Raises
-    :class:`WorkerTimeout` when the deadline expires,
-    :class:`WorkerCancelled` when the job was cancelled mid-flight and
-    :class:`WorkerCrashed` on any worker-side failure.
-    """
-    capture_telemetry = telemetry.get_collector() is not None
-    capture_trace = telemetry.get_tracer() is not None
-    capture_metrics = _metrics.get_registry() is not None
-    parent_conn, child_conn = context.Pipe(duplex=False)
-    process = context.Process(
-        target=_child_main,
-        args=(child_conn, model, solver, config, capture_telemetry,
-              capture_trace, capture_metrics),
-        daemon=True,
-    )
-    process.start()
-    worker_pid = process.pid
-    child_conn.close()
-    with job.lock:
-        job.process = process
-        already_terminal = job.status.is_terminal()
-    if already_terminal:  # cancel() landed between dequeue and start
-        _reap(process)
-        parent_conn.close()
-        raise WorkerCancelled(f"job {job.job_id} cancelled")
-    try:
-        expires = (None if deadline is None
-                   else time.perf_counter() + deadline)
-        while True:
-            remaining = (None if expires is None
-                         else expires - time.perf_counter())
-            if remaining is not None and remaining <= 0:
-                _reap(process)
-                raise WorkerTimeout(
-                    f"job {job.job_id} ({solver}) exceeded its "
-                    f"{deadline:g}s deadline; worker "
-                    f"pid={worker_pid} reaped"
-                )
-            if parent_conn.poll(min(remaining, 0.05)
-                                if remaining is not None else 0.05):
-                break
-            if not process.is_alive() and not parent_conn.poll():
-                with job.lock:
-                    cancelled = job.status.is_terminal()
-                if cancelled:
-                    raise WorkerCancelled(
-                        f"job {job.job_id} cancelled; worker reaped"
-                    )
-                raise WorkerCrashed(
-                    f"worker pid={worker_pid} for job {job.job_id} "
-                    f"died with exit code {process.exitcode} before "
-                    "reporting a result"
-                )
-        try:
-            status, payload = parent_conn.recv()
-        except (EOFError, OSError) as error:
-            raise WorkerCrashed(
-                f"worker pid={worker_pid} for job {job.job_id} closed "
-                f"the result pipe: {error}"
-            ) from error
-        if status != "ok":
-            raise WorkerCrashed(
-                f"job {job.job_id} ({solver}) failed in worker "
-                f"pid={worker_pid}:\n{payload}"
-            )
-        return payload
-    finally:
-        with job.lock:
-            job.process = None
-        parent_conn.close()
-        _reap(process)
 
 
 def execute_inline(job, model: Any, solver: str, config: SolverConfig,

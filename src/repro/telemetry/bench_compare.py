@@ -176,15 +176,30 @@ def _compare_workload(name: str, baseline: Dict[str, Any],
 
 def compare_documents(baseline: Dict[str, Any],
                       candidate: Dict[str, Any],
-                      tolerance: float = DEFAULT_TOLERANCE
-                      ) -> CompareReport:
-    """Compare two validated perf documents; see the module docstring."""
+                      tolerance: float = DEFAULT_TOLERANCE,
+                      only: Optional[str] = None) -> CompareReport:
+    """Compare two validated perf documents; see the module docstring.
+
+    ``only`` restricts the comparison to a single workload by name —
+    the CI service-throughput watchdog uses this to judge the warm-pool
+    workload at a tighter tolerance than the catch-all sweep.
+    """
     if tolerance < 0:
         raise ValueError("tolerance must be non-negative")
     baseline_index = workloads_by_name(baseline)
     candidate_index = workloads_by_name(candidate)
     if not baseline_index:
         raise BenchSchemaError(["baseline document has no workloads"])
+    if only is not None:
+        if only not in baseline_index:
+            raise BenchSchemaError(
+                [f"baseline has no workload named {only!r}"])
+        baseline_index = {only: baseline_index[only]}
+        candidate_index = {
+            name: workload
+            for name, workload in candidate_index.items()
+            if name == only
+        }
     report = CompareReport(tolerance=tolerance)
     for name in baseline_index:
         if name not in candidate_index:
@@ -218,12 +233,16 @@ def main(argv=None) -> int:
                         default=DEFAULT_TOLERANCE, metavar="FRAC",
                         help="allowed slowdown fraction before failing "
                              "(default %(default)s)")
+    parser.add_argument("--workload", metavar="NAME", default=None,
+                        help="compare only this workload (error if the "
+                             "baseline does not record it)")
     args = parser.parse_args(argv)
     try:
         baseline = load_document(args.baseline)
         candidate = load_document(args.candidate)
         report = compare_documents(baseline, candidate,
-                                   tolerance=args.tolerance)
+                                   tolerance=args.tolerance,
+                                   only=args.workload)
     except (BenchSchemaError, ValueError) as error:
         print(error, file=sys.stderr)
         return 2

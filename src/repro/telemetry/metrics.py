@@ -23,6 +23,17 @@ formats: the Prometheus text exposition format
 (:meth:`MetricsRegistry.to_json`) consumed by ``python -m
 repro.experiments metrics-report``.
 
+The warm-pool service layer (PR 7) contributes its own instrument
+family on top of the original job/queue/cache set:
+``service_worker_respawns_total`` (reap-and-replace events; exported
+as an explicit 0 on healthy runs), ``service_batch_folds_total``
+(cross-job folds of same-model submissions),
+``service_pool_dispatch_total{kind="warm"|"cold"}`` (worker model
+cache hits vs shm attaches), ``service_shm_bytes_total`` and
+``service_shm_segments`` (shared-memory transport volume and live
+segments). Worker registries merge at pool *drain*, so
+``service_metrics_merges_total`` counts drained workers, not jobs.
+
 Like the collector and the tracer, metrics are **off by default and
 cheap when off**: instrumented hot paths fetch :func:`get_registry`
 once per *operation* (a solve, a batch run, a service dispatch) and

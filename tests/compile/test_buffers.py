@@ -1,0 +1,95 @@
+"""The packed model buffer layout: exact round trips, insertion
+order, version gating."""
+
+import numpy as np
+import pytest
+
+from repro.annealing.ising import IsingModel
+from repro.annealing.qubo import QUBO
+from repro.compile.buffers import (
+    BUFFER_LAYOUT_VERSION,
+    pack_model,
+    packed_nbytes,
+    unpack_model,
+    write_packed,
+)
+from repro.db import JoinOrderQUBO, random_join_graph
+
+
+def roundtrip(model):
+    meta, arrays = pack_model(model)
+    buffer = bytearray(max(packed_nbytes(meta), 1))
+    write_packed(meta, arrays, memoryview(buffer))
+    return unpack_model(meta, memoryview(buffer))
+
+
+def test_qubo_roundtrip_is_exact():
+    model = QUBO(4, offset=1.25)
+    model.add_linear(2, -0.75)
+    model.add_linear(0, 3.5)
+    model.add_quadratic(1, 3, 0.1)
+    model.add_quadratic(0, 2, -2.25)
+    clone = roundtrip(model)
+    assert clone.num_variables == model.num_variables
+    assert clone.offset == model.offset
+    assert clone._coefficients == model._coefficients
+    # Insertion order — not just dict equality — must survive, because
+    # downstream float accumulation iterates in that order.
+    assert (list(clone._coefficients.items())
+            == list(model._coefficients.items()))
+
+
+def test_ising_roundtrip_is_exact():
+    model = IsingModel(3, offset=-0.5)
+    model.h = {2: 0.25, 0: -1.0}
+    model.j = {(0, 2): 0.125, (1, 2): -0.375}
+    clone = roundtrip(model)
+    assert clone.num_spins == model.num_spins
+    assert clone.offset == model.offset
+    assert list(clone.h.items()) == list(model.h.items())
+    assert list(clone.j.items()) == list(model.j.items())
+
+
+def test_roundtrip_preserves_energies_bit_for_bit():
+    problem = JoinOrderQUBO(
+        random_join_graph(5, "star", seed=3)).compile()
+    model = problem.model
+    clone = roundtrip(model)
+    rng = np.random.default_rng(11)
+    bits = rng.integers(0, 2, size=(16, model.num_variables))
+    for row in bits:
+        assert clone.energy(row) == model.energy(row)
+
+
+def test_empty_model_roundtrip():
+    clone = roundtrip(QUBO(3, offset=2.0))
+    assert clone.num_variables == 3
+    assert clone.offset == 2.0
+    assert clone._coefficients == {}
+    ising = roundtrip(IsingModel(2))
+    assert ising.h == {} and ising.j == {}
+
+
+def test_unpack_rejects_foreign_layout_version():
+    meta, arrays = pack_model(QUBO(2))
+    buffer = bytearray(max(packed_nbytes(meta), 1))
+    write_packed(meta, arrays, memoryview(buffer))
+    meta["layout_version"] = BUFFER_LAYOUT_VERSION + 1
+    with pytest.raises(ValueError, match="layout"):
+        unpack_model(meta, memoryview(buffer))
+
+
+def test_pack_rejects_unknown_model_type():
+    with pytest.raises(TypeError, match="pack_model supports"):
+        pack_model(object())
+
+
+def test_unpacked_model_owns_its_data():
+    model = QUBO(2)
+    model.add_linear(0, 1.5)
+    meta, arrays = pack_model(model)
+    buffer = bytearray(packed_nbytes(meta))
+    write_packed(meta, arrays, memoryview(buffer))
+    clone = unpack_model(meta, memoryview(buffer))
+    buffer[:] = b"\x00" * len(buffer)  # segment closed / reused
+    assert clone._coefficients == {(0, 0): 1.5}

@@ -191,6 +191,20 @@ def test_missing_workload_is_a_regression():
                                  tolerance=0.1).regressions
 
 
+def test_only_filter_restricts_comparison():
+    candidate = copy.deepcopy(_document())
+    candidate["workloads"][0]["batched_seconds"] *= 2.0  # regression
+    report = compare_documents(_document(), candidate, tolerance=0.1,
+                               only="compile_dispatch")
+    assert not report.regressions   # kernel_gram was filtered out
+    assert {r.workload for r in report.rows} == {"compile_dispatch"}
+    report = compare_documents(_document(), candidate, tolerance=0.1,
+                               only="kernel_gram")
+    assert report.regressions
+    with pytest.raises(BenchSchemaError, match="no workload named"):
+        compare_documents(_document(), candidate, only="nope")
+
+
 def test_empty_baseline_rejected():
     baseline = {"schema": BENCH_SCHEMA, "provenance": {}, "runs": []}
     with pytest.raises(BenchSchemaError, match="no workloads"):
@@ -221,6 +235,10 @@ def test_cli_exit_codes(tmp_path, capsys):
     assert "REGRESSION" in out
     assert compare_main([baseline, candidate, "--tolerance", "0.5"]) == 0
     assert compare_main([baseline, str(tmp_path / "nope.json")]) == 2
+    assert compare_main([baseline, candidate, "--tolerance", "0.1",
+                         "--workload", "compile_dispatch"]) == 0
+    assert compare_main([baseline, candidate,
+                         "--workload", "missing"]) == 2
 
 
 def test_cli_via_experiments_subcommand(tmp_path, capsys):

@@ -443,12 +443,17 @@ def test_service_metrics_cover_jobs_and_merge_worker_registries(mode):
     assert execute["labels"] == {"solver": "sa"}
     assert execute["count"] == 3
     # Solver-level metrics are recorded inside the worker; in process
-    # mode they only reach the parent via the snapshot merge.
+    # mode they only reach the parent via the snapshot merge. Warm
+    # workers accumulate across all their jobs and merge exactly once
+    # each, at pool drain — so the cumulative totals are intact while
+    # the merge count is bounded by the pool size, not the job count.
     sweeps = snap["counters"]["solver_sweeps_total"]["series"][0]
     assert sweeps["value"] == 3 * 40 * 2  # jobs * sweeps * reads
     if mode == "process":
         merges = snap["counters"]["service_metrics_merges_total"]
-        assert merges["series"][0]["value"] == 3
+        assert 1 <= merges["series"][0]["value"] <= 2  # <= pool size
+        respawns = snap["counters"]["service_worker_respawns_total"]
+        assert respawns["series"][0]["value"] == 0
 
 
 def test_cache_events_counter_tracks_hits_and_misses():
