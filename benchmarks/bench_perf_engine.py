@@ -19,7 +19,14 @@ reference workloads:
   with the instrumentation stripped. This pins the cheap-when-off
   guarantee of ``repro.telemetry.metrics``: fetching ``get_registry()``
   and branching on ``None`` must stay inside the workload's embedded
-  ``gate_max_overhead`` budget (2% at full scale).
+  ``gate_max_overhead`` budget (2% at full scale);
+* **pipeline throughput** — a generated JOB-style join-order workload
+  (``repro.db.workloads``) pushed through the staged
+  ``repro.pipeline.OptimizationPipeline`` vs the direct
+  compile-then-dispatch loop over the same graphs and configs. The
+  gate is overhead: the pre-check / stage-report / plan-assembly
+  machinery must cost < 5% over the raw formulation+solve path at
+  full scale, with bit-for-bit identical decoded orders.
 
 Timings come from telemetry spans (``perf.<workload>.<impl>``). Run as
 a script to write the committed perf trajectory::
@@ -77,6 +84,10 @@ FULL_SCALE = {
     "metrics": {"num_spins": 48, "num_reads": 60, "num_sweeps": 300,
                 "num_points": 160, "num_features": 8, "depth": 2,
                 "repeats": 15, "gate_max_overhead": 0.02},
+    "pipeline": {"topologies": ("chain", "star", "cycle", "clique"),
+                 "size": 6, "instances_per_cell": 12,
+                 "num_sweeps": 200, "num_reads": 10, "repeats": 3,
+                 "gate_max_overhead": 0.05},
 }
 SMOKE_SCALE = {
     "kernel": {"num_points": 12, "num_features": 4, "depth": 2},
@@ -89,6 +100,10 @@ SMOKE_SCALE = {
     "metrics": {"num_spins": 16, "num_reads": 10, "num_sweeps": 60,
                 "num_points": 16, "num_features": 5, "depth": 2,
                 "repeats": 3, "gate_max_overhead": 0.5},
+    "pipeline": {"topologies": ("chain", "star"), "size": 5,
+                 "instances_per_cell": 4, "num_sweeps": 100,
+                 "num_reads": 5, "repeats": 2,
+                 "gate_max_overhead": 0.5},
 }
 
 #: Speedup floor the service workload must clear when real
@@ -639,6 +654,97 @@ def run_metrics_overhead_workload(collector, num_spins, num_reads,
     }
 
 
+def run_pipeline_workload(collector, topologies, size,
+                          instances_per_cell, num_sweeps, num_reads,
+                          repeats, gate_max_overhead, seed=23):
+    """Staged pipeline vs direct compile+dispatch on a generated
+    join-order workload.
+
+    Both arms run the identical compiled problems at the identical
+    seeded configs; the pipeline arm additionally pays pre-check,
+    stage reporting and plan assembly per query. ``matches_direct``
+    asserts the decoded orders and costs agree bit for bit (the
+    polish is off so the pipeline does not improve on the raw
+    decode), and the embedded ``gate_max_overhead`` caps the
+    machinery's cost relative to the raw formulation+solve loop.
+    """
+    from repro.db.workloads import generate_join_workload
+    from repro.pipeline import JoinOrderFormulation, OptimizationPipeline
+
+    workload = generate_join_workload(
+        topologies=topologies, sizes=(size,),
+        instances_per_cell=instances_per_cell, seed=seed,
+    )
+    graphs = workload.graphs()
+    configs = [SolverConfig(num_sweeps=num_sweeps, num_reads=num_reads,
+                            seed=instance.seed % (2 ** 31))
+               for instance in workload.instances]
+    pipeline = OptimizationPipeline(
+        JoinOrderFormulation(polish=False), solve="sa"
+    )
+
+    def run_direct():
+        return [dispatch_solve(JoinOrderQUBO(graph).compile(),
+                               solver="sa", config=config)
+                for graph, config in zip(graphs, configs)]
+
+    def run_pipe():
+        return pipeline.optimize_workload(graphs, configs=configs)
+
+    # Warm both paths once, keep the warm outputs for the parity and
+    # determinism checks, then time min-of-repeats.
+    direct_warm = run_direct()
+    pipeline_warm = run_pipe()
+    pipeline_repeat = run_pipe()
+
+    direct_times = []
+    with collector.span("perf.pipeline.direct"):
+        for _ in range(repeats):
+            started = time.perf_counter()
+            run_direct()
+            direct_times.append(time.perf_counter() - started)
+    pipeline_times = []
+    with collector.span("perf.pipeline.dispatch"):
+        for _ in range(repeats):
+            started = time.perf_counter()
+            run_pipe()
+            pipeline_times.append(time.perf_counter() - started)
+
+    direct_seconds = min(direct_times)
+    pipeline_seconds = min(pipeline_times)
+    return {
+        "name": "pipeline_throughput",
+        "params": {
+            "topologies": list(topologies),
+            "size": size,
+            "instances_per_cell": instances_per_cell,
+            "num_queries": len(workload),
+            "num_sweeps": num_sweeps,
+            "num_reads": num_reads,
+            "repeats": repeats,
+            "workload_key": workload.workload_key,
+            "seed": seed,
+            "cpu_count": os.cpu_count() or 1,
+        },
+        "direct_seconds": direct_seconds,
+        "pipeline_seconds": pipeline_seconds,
+        "per_query_seconds": pipeline_seconds / len(workload),
+        "overhead_fraction": pipeline_seconds / direct_seconds - 1.0,
+        "matches_direct": all(
+            plan.status == "ok"
+            and plan.solution.order == result.solution.order
+            and plan.solution.cost == result.solution.cost
+            for plan, result in zip(pipeline_warm, direct_warm)
+        ),
+        "deterministic": all(
+            first.solution.order == second.solution.order
+            and first.solution.cost == second.solution.cost
+            for first, second in zip(pipeline_warm, pipeline_repeat)
+        ),
+        "gate_max_overhead": gate_max_overhead,
+    }
+
+
 def run_workloads(scale, collector=None):
     collector = collector or telemetry.get_collector() or telemetry.Collector()
     return [
@@ -647,6 +753,7 @@ def run_workloads(scale, collector=None):
         run_compile_workload(collector, **scale["compile"]),
         run_service_workload(collector, **scale["service"]),
         run_metrics_overhead_workload(collector, **scale["metrics"]),
+        run_pipeline_workload(collector, **scale["pipeline"]),
     ]
 
 
@@ -705,6 +812,17 @@ def test_perf_service_matches_sequential_bit_for_bit(bench_telemetry):
     assert record["speedup"] >= effective_speedup_floor(record)
 
 
+def test_perf_pipeline_dispatch_overhead_is_small(bench_telemetry):
+    record = run_pipeline_workload(bench_telemetry,
+                                   **SMOKE_SCALE["pipeline"])
+    print("\npipeline {pipeline_seconds:.4f}s vs direct "
+          "{direct_seconds:.4f}s ({overhead_fraction:+.2%} overhead, "
+          "gate < {gate_max_overhead:.0%})".format(**record))
+    assert record["matches_direct"]
+    assert record["deterministic"]
+    assert record["overhead_fraction"] < record["gate_max_overhead"]
+
+
 def test_perf_metrics_guard_is_cheap_when_off(bench_telemetry):
     record = run_metrics_overhead_workload(bench_telemetry,
                                            **SMOKE_SCALE["metrics"])
@@ -761,6 +879,11 @@ def main():
                   "{dispatch_overhead:+.2%} (worst "
                   "{overhead_fraction:+.2%}, gate < "
                   "{gate_max_overhead:.0%})".format(**record))
+        elif record["name"] == "pipeline_throughput":
+            print("{name}: direct {direct_seconds:.3f}s, pipeline "
+                  "{pipeline_seconds:.3f}s -> {overhead_fraction:+.2%} "
+                  "overhead (gate < {gate_max_overhead:.0%})"
+                  .format(**record))
         else:
             print("{name}: direct {direct_seconds:.3f}s, dispatch "
                   "{dispatch_seconds:.3f}s -> {overhead_fraction:+.2%} "

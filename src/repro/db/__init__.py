@@ -84,7 +84,15 @@ from .txsched import (
     schedule_greedy_first_fit,
     solve_scheduling_annealing,
 )
-from .workloads import TOPOLOGIES, random_join_graph, topology_edges
+from .workloads import (
+    TOPOLOGIES,
+    JoinWorkload,
+    WorkloadInstance,
+    generate_join_workload,
+    instance_identity,
+    random_join_graph,
+    topology_edges,
+)
 
 __all__ = [
     "CardinalityDataset",
@@ -152,6 +160,10 @@ __all__ = [
     "schedule_greedy_first_fit",
     "solve_scheduling_annealing",
     "TOPOLOGIES",
+    "JoinWorkload",
+    "WorkloadInstance",
+    "generate_join_workload",
+    "instance_identity",
     "random_join_graph",
     "topology_edges",
 ]

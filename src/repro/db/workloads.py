@@ -4,17 +4,34 @@ The join-ordering literature (and its quantum offshoots) evaluates on
 chain, star, cycle and clique query shapes with log-uniform base
 cardinalities and random selectivities; these generators reproduce
 that setup with seeds.
+
+:func:`generate_join_workload` scales the single-graph generator into
+a JOB-style benchmark suite: a parameterized grid of (topology, size)
+cells with several instances each, hundreds of queries at full scale.
+Every instance's RNG seed is derived by hashing its *identity*
+(workload seed + cell + index) with SHA-256, so the suite is
+bit-identical across runs, platforms and generation order — and each
+instance is independently regenerable from its coordinates alone. The
+suite carries a stable ``workload_key`` (content hash of the
+generation parameters) used by benchmarks, caches and ``bench-compare``
+to tell "same workload, different solver" from "different workload".
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .query import JoinGraph
 
 TOPOLOGIES = ("chain", "star", "cycle", "clique")
+
+#: Hex digits kept from SHA-256 digests for workload/instance keys.
+_KEY_LENGTH = 12
 
 
 def random_join_graph(num_relations: int, topology: str = "chain",
@@ -46,6 +63,161 @@ def random_join_graph(num_relations: int, topology: str = "chain",
             np.log(min_selectivity), np.log(max_selectivity)
         )))
     return JoinGraph(list(cardinalities), selectivities)
+
+
+@dataclass(frozen=True)
+class WorkloadInstance:
+    """One generated query: the join graph plus its stable identity."""
+
+    graph: JoinGraph
+    topology: str
+    num_relations: int
+    index: int
+    seed: int
+    instance_key: str
+
+
+@dataclass
+class JoinWorkload:
+    """A generated suite of join-ordering queries.
+
+    ``workload_key`` content-addresses the full generation parameters
+    (including any ``limit``); ``base_key`` addresses the parameters
+    *without* the limit, so a truncated workload is a stable prefix of
+    the unlimited one and instances keep their keys either way.
+    """
+
+    params: Dict[str, Any]
+    workload_key: str
+    base_key: str
+    instances: List[WorkloadInstance] = field(default_factory=list)
+
+    def graphs(self) -> List[JoinGraph]:
+        return [instance.graph for instance in self.instances]
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def __iter__(self) -> Iterator[WorkloadInstance]:
+        return iter(self.instances)
+
+    def __getitem__(self, index: int) -> WorkloadInstance:
+        return self.instances[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"JoinWorkload(key={self.workload_key!r}, "
+            f"queries={len(self.instances)})"
+        )
+
+
+def _content_key(payload: Dict[str, Any]) -> str:
+    canonical = json.dumps(payload, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:_KEY_LENGTH]
+
+
+def instance_identity(base_key: str, topology: str,
+                      num_relations: int, index: int
+                      ) -> Tuple[int, str]:
+    """Derived (rng seed, instance key) of one workload coordinate.
+
+    SHA-256 of the coordinate string — not ``rng.integers`` draws — so
+    instance seeds do not depend on generation order, numpy version,
+    or which other cells the workload contains.
+    """
+    descriptor = f"{base_key}|{topology}|n={num_relations}|i={index}"
+    digest = hashlib.sha256(descriptor.encode())
+    seed = int.from_bytes(digest.digest()[:4], "big")
+    return seed, digest.hexdigest()[:_KEY_LENGTH]
+
+
+def generate_join_workload(topologies: Sequence[str] = TOPOLOGIES,
+                           sizes: Sequence[int] = (4, 5, 6),
+                           instances_per_cell: int = 10, *,
+                           seed: int = 0,
+                           min_cardinality: float = 10.0,
+                           max_cardinality: float = 100_000.0,
+                           min_selectivity: float = 1e-4,
+                           max_selectivity: float = 0.5,
+                           limit: Optional[int] = None
+                           ) -> JoinWorkload:
+    """Generate a deterministic JOB-style join-ordering suite.
+
+    The grid is ``topologies × sizes × instances_per_cell`` in that
+    nesting order; ``limit`` truncates to the first N queries (handy
+    for fixed-size CI smoke suites). Regenerating with the same
+    parameters reproduces every graph bit-for-bit.
+    """
+    topologies = tuple(topologies)
+    sizes = tuple(int(n) for n in sizes)
+    for topology in topologies:
+        if topology not in TOPOLOGIES:
+            raise ValueError(
+                f"topology must be one of {TOPOLOGIES}, "
+                f"got {topology!r}"
+            )
+    if not topologies or not sizes:
+        raise ValueError("need at least one topology and one size")
+    if any(n < 2 for n in sizes):
+        raise ValueError("sizes must be >= 2 relations")
+    if instances_per_cell < 1:
+        raise ValueError("instances_per_cell must be positive")
+    if limit is not None and limit < 1:
+        raise ValueError("limit must be positive when given")
+
+    base_params: Dict[str, Any] = {
+        "generator": "join_workload/v1",
+        "topologies": list(topologies),
+        "sizes": list(sizes),
+        "instances_per_cell": int(instances_per_cell),
+        "seed": int(seed),
+        "min_cardinality": float(min_cardinality),
+        "max_cardinality": float(max_cardinality),
+        "min_selectivity": float(min_selectivity),
+        "max_selectivity": float(max_selectivity),
+    }
+    base_key = _content_key(base_params)
+    params = dict(base_params, limit=limit)
+    workload_key = _content_key(params)
+
+    instances: List[WorkloadInstance] = []
+    done = False
+    for topology in topologies:
+        for num_relations in sizes:
+            for index in range(instances_per_cell):
+                if limit is not None and len(instances) >= limit:
+                    done = True
+                    break
+                instance_seed, instance_key = instance_identity(
+                    base_key, topology, num_relations, index
+                )
+                graph = random_join_graph(
+                    num_relations, topology,
+                    min_cardinality=min_cardinality,
+                    max_cardinality=max_cardinality,
+                    min_selectivity=min_selectivity,
+                    max_selectivity=max_selectivity,
+                    seed=instance_seed,
+                )
+                instances.append(WorkloadInstance(
+                    graph=graph,
+                    topology=topology,
+                    num_relations=num_relations,
+                    index=index,
+                    seed=instance_seed,
+                    instance_key=instance_key,
+                ))
+            if done:
+                break
+        if done:
+            break
+    return JoinWorkload(
+        params=params,
+        workload_key=workload_key,
+        base_key=base_key,
+        instances=instances,
+    )
 
 
 def topology_edges(num_relations: int, topology: str) -> list:

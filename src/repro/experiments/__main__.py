@@ -117,6 +117,10 @@ def main(argv) -> int:
         from ..telemetry import metrics_report
 
         return metrics_report.main(argv[1:])
+    if argv and argv[0] == "pipeline-bench":
+        from ..pipeline import bench as pipeline_bench
+
+        return pipeline_bench.main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Run DESIGN.md experiments from the registry.",

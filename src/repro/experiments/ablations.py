@@ -16,11 +16,14 @@ from ..annealing import (
     solve_ising_exact,
 )
 from ..compile import SolverConfig
-from ..compile import solve as dispatch_solve
-from ..db.cost import left_deep_cost
-from ..db.joinorder import JoinOrderQUBO, exhaustive_left_deep, two_opt_polish
+from ..db.joinorder import exhaustive_left_deep
 from ..db.workloads import random_join_graph
-from .harness import ExperimentResult, geometric_mean, register, solve_jobs
+from .harness import (
+    ExperimentResult,
+    geometric_mean,
+    register,
+    run_pipeline,
+)
 
 
 @register("A1", "Penalty-weight ablation for the join-order QUBO")
@@ -37,8 +40,14 @@ def penalty_weight_ablation(scales: Sequence[float] = (0.01, 0.05, 0.25,
     left-deep plan. Too small -> invalid encodings; too large ->
     penalty barriers freeze the annealer. ``workers > 0`` runs each
     scale's per-graph solves concurrently through the solve service
-    (same seeds, identical rows).
+    (same seeds, identical rows). Each scale is a
+    ``JoinOrderFormulation(penalty_scale=...)`` pipeline with the
+    polish disabled, so the decoded cost is the annealer's alone; the
+    per-read validity fractions come off the plan's retained
+    :class:`~repro.compile.SolveResult`.
     """
+    from ..pipeline import JoinOrderFormulation
+
     rng = np.random.default_rng(seed)
     graphs = [
         random_join_graph(num_relations, "star",
@@ -55,18 +64,20 @@ def penalty_weight_ablation(scales: Sequence[float] = (0.01, 0.05, 0.25,
                          seed=int(rng.integers(2 ** 31)))
             for _ in graphs
         ]
-        results = solve_jobs(
-            [(JoinOrderQUBO(graph, penalty_scale=scale).compile(),
-              solver, config)
-             for graph, config in zip(graphs, configs)],
+        plans = run_pipeline(
+            graphs,
+            JoinOrderFormulation(penalty_scale=scale, polish=False),
+            solve=solver,
+            configs=configs,
             workers=workers,
         )
-        for result, optimum in zip(results, optima):
+        for plan, optimum in zip(plans, optima):
+            result = plan.result
             valid_fractions.append(
                 sum(d.valid for d in result.solutions)
                 / len(result.solutions)
             )
-            ratios.append(result.solution.cost / optimum)
+            ratios.append(plan.cost / optimum)
         rows.append({
             "penalty_scale": scale,
             "valid_read_fraction": float(np.mean(valid_fractions)),
@@ -97,7 +108,17 @@ def decode_path_ablation(num_relations: int = 7, instances: int = 5,
     annealer's decoded order is already near-optimal, while on cycle
     graphs the permutation QUBO is hard for single-flip annealing and
     the classical polish carries most of the final quality.
+
+    One polishing pipeline run yields both arms: the raw decode is the
+    retained solve result's best read, the polished order is the
+    assembled plan.
     """
+    from ..db.cost import left_deep_cost
+    from ..db.joinorder import two_opt_polish
+    from ..pipeline import JoinOrderFormulation, OptimizationPipeline
+
+    pipeline = OptimizationPipeline(JoinOrderFormulation(polish=True),
+                                    solve=solver)
     rng = np.random.default_rng(seed)
     rows = []
     for topology in topologies:
@@ -109,19 +130,17 @@ def decode_path_ablation(num_relations: int = 7, instances: int = 5,
             graph = random_join_graph(num_relations, topology,
                                       seed=int(rng.integers(2 ** 31)))
             _, optimum = exhaustive_left_deep(graph)
-            compiled = JoinOrderQUBO(graph).compile()
-            best = dispatch_solve(
-                compiled,
-                solver=solver,
+            plan = pipeline.optimize(
+                graph,
                 config=SolverConfig(
                     num_sweeps=300, num_reads=20,
                     seed=int(rng.integers(2 ** 31)),
                 ),
-            ).solution
+            )
+            best = plan.result.solution
             accumulator["repair_only"].append(best.cost / optimum)
-            polished = two_opt_polish(graph, best.order)
             accumulator["repair_plus_polish"].append(
-                left_deep_cost(graph, polished) / optimum
+                plan.cost / optimum
             )
             random_order = list(rng.permutation(num_relations))
             accumulator["polish_of_random"].append(

@@ -207,6 +207,42 @@ def solve_jobs(jobs: Sequence[Any], solver: Any = "sa",
     return results
 
 
+def run_pipeline(instances: Sequence[Any], formulation: Any,
+                 solve: Any = "sa", configs: Any = None,
+                 workers: int = 0, mode: str = "process",
+                 provenance: Optional[Dict[str, Any]] = None,
+                 **service_kwargs) -> List[Any]:
+    """Run a batch of instances through an optimization pipeline.
+
+    The pipeline-era sibling of :func:`solve_jobs`: ``formulation`` is
+    a registered name or :class:`~repro.pipeline.FormulationStrategy`,
+    ``solve`` a solver name / ``"classical"`` /
+    :class:`~repro.pipeline.SolveStrategy`, ``configs`` an optional
+    per-instance config list. ``workers=0`` runs in-process (the
+    reference path); ``workers > 0`` attaches a temporary
+    :class:`~repro.service.SolveService` warm pool — plans are
+    bit-for-bit identical under seeded configs, just concurrent.
+    Returns :class:`~repro.pipeline.AnnotatedPlan` records in input
+    order.
+    """
+    from ..pipeline import OptimizationPipeline
+
+    items = list(instances)
+    if workers:
+        from ..service import SolveService
+
+        with SolveService(max_workers=workers, mode=mode,
+                          **service_kwargs) as service:
+            pipeline = OptimizationPipeline(formulation, solve=solve,
+                                            service=service)
+            return pipeline.optimize_workload(
+                items, configs=configs, provenance=provenance
+            )
+    pipeline = OptimizationPipeline(formulation, solve=solve)
+    return pipeline.optimize_workload(items, configs=configs,
+                                      provenance=provenance)
+
+
 def geometric_mean(values: Sequence[float]) -> float:
     """Geometric mean, the standard aggregate for cost ratios."""
     import math

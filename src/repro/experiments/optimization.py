@@ -20,7 +20,6 @@ from ..annealing import (
 from ..compile import SolverConfig
 from ..db.indexsel import (
     IndexSelectionProblem,
-    solve_index_selection_annealing,
     solve_index_selection_exact,
     solve_index_selection_greedy,
 )
@@ -31,18 +30,21 @@ from ..db.joinorder import (
 )
 from ..db.mqo import (
     MQOProblem,
-    solve_mqo_annealing,
     solve_mqo_exhaustive,
     solve_mqo_greedy,
 )
 from ..db.txsched import (
     TransactionSchedulingProblem,
-    minimum_slots_annealing,
     schedule_fcfs,
     schedule_greedy_first_fit,
 )
 from ..db.workloads import random_join_graph
-from .harness import ExperimentResult, geometric_mean, register, solve_jobs
+from .harness import (
+    ExperimentResult,
+    geometric_mean,
+    register,
+    run_pipeline,
+)
 
 
 @register("E8", "Join ordering: QUBO+SA vs exact DP vs greedy GOO")
@@ -59,9 +61,11 @@ def join_order(topologies: Sequence[str] = ("chain", "star", "cycle",
     ``solver`` picks the annealing arm's backend by registry name;
     ``workers > 0`` runs each cell's independent annealing solves
     through the solve service concurrently (same seeds, identical
-    results — cost ratios do not change)."""
-    from ..db.cost import left_deep_cost
-    from ..db.joinorder import JoinOrderQUBO, two_opt_polish
+    results — cost ratios do not change). The annealing arm runs
+    through the staged optimization pipeline (compile → dispatch →
+    2-opt polish in plan assembly), which is bit-for-bit the old
+    direct compile+solve+polish path."""
+    from ..pipeline import JoinOrderFormulation
 
     rng = np.random.default_rng(seed)
     rows = []
@@ -87,16 +91,15 @@ def join_order(topologies: Sequence[str] = ("chain", "star", "cycle",
                 greedy_ratios.append(greedy_cost / dp_cost)
                 batch.append((graph, config, dp_cost))
             start = time.perf_counter()
-            results = solve_jobs(
-                [(JoinOrderQUBO(graph).compile(), solver, config)
-                 for graph, config, _ in batch],
+            plans = run_pipeline(
+                [graph for graph, _, _ in batch],
+                JoinOrderFormulation(polish=True),
+                solve=solver,
+                configs=[config for _, config, _ in batch],
                 workers=workers,
             )
-            for (graph, _, dp_cost), result in zip(batch, results):
-                order = two_opt_polish(graph, result.solution.order)
-                annealed_ratios.append(
-                    left_deep_cost(graph, order) / dp_cost
-                )
+            for (graph, _, dp_cost), plan in zip(batch, plans):
+                annealed_ratios.append(plan.cost / dp_cost)
             annealing_seconds = ((time.perf_counter() - start)
                                  / max(len(batch), 1))
             rows.append({
@@ -126,7 +129,13 @@ def mqo(query_counts: Sequence[int] = (3, 5, 7, 9),
         plans_per_query: int = 3, instances_per_cell: int = 3,
         seed: int = 0, solver: str = "sa") -> ExperimentResult:
     """Trummer-Koch MQO: cost ratio to the exhaustive optimum and the
-    point where exhaustive enumeration stops being viable."""
+    point where exhaustive enumeration stops being viable. The
+    annealing arm runs through the staged optimization pipeline at the
+    module's deterministic default config (identical solutions to the
+    direct ``solve_mqo_annealing`` call)."""
+    from ..pipeline import OptimizationPipeline
+
+    pipeline = OptimizationPipeline("mqo", solve=solver)
     rng = np.random.default_rng(seed)
     rows = []
     for num_queries in query_counts:
@@ -142,7 +151,7 @@ def mqo(query_counts: Sequence[int] = (3, 5, 7, 9),
             _, exact_cost = solve_mqo_exhaustive(problem)
             exhaustive_times.append(time.perf_counter() - start)
             _, greedy_cost = solve_mqo_greedy(problem)
-            _, annealed_cost = solve_mqo_annealing(problem, solver=solver)
+            annealed_cost = pipeline.optimize(problem).cost
             greedy_ratios.append(greedy_cost / exact_cost)
             annealed_ratios.append(annealed_cost / exact_cost)
         rows.append({
@@ -167,7 +176,13 @@ def index_selection(candidate_counts: Sequence[int] = (10, 14, 18),
                     instances_per_cell: int = 3,
                     seed: int = 0, solver: str = "sa") -> ExperimentResult:
     """Benefit recovered (fraction of the exact optimum) by greedy and
-    QUBO+SA, with interacting (overlapping) indexes."""
+    QUBO+SA, with interacting (overlapping) indexes. The annealing arm
+    runs through the staged optimization pipeline; the plan's
+    ``benefit`` estimate equals the direct
+    ``solve_index_selection_annealing`` return bit-for-bit."""
+    from ..pipeline import OptimizationPipeline
+
+    pipeline = OptimizationPipeline("indexsel", solve=solver)
     rng = np.random.default_rng(seed)
     rows = []
     for count in candidate_counts:
@@ -179,9 +194,9 @@ def index_selection(candidate_counts: Sequence[int] = (10, 14, 18),
             )
             _, exact_benefit = solve_index_selection_exact(problem)
             _, greedy_benefit = solve_index_selection_greedy(problem)
-            _, annealed_benefit = solve_index_selection_annealing(
-                problem, solver=solver
-            )
+            annealed_benefit = pipeline.optimize(
+                problem
+            ).estimates["benefit"]
             if exact_benefit > 0:
                 greedy_fractions.append(greedy_benefit / exact_benefit)
                 annealed_fractions.append(annealed_benefit / exact_benefit)
@@ -208,7 +223,15 @@ def transaction_scheduling(transaction_counts: Sequence[int] = (8, 12, 16),
                            solver: str = "sa") -> ExperimentResult:
     """Makespan (conflict-free batches) of FCFS, greedy colouring and
     the annealed QUBO colouring, at two conflict densities (controlled
-    through the object-pool size)."""
+    through the object-pool size).
+
+    The annealing arm reproduces
+    :func:`repro.db.txsched.minimum_slots_annealing` through the
+    pipeline: linear scan upward from one slot, one fixed-slot
+    ``txsched`` pipeline per count, greedy fallback when no colouring
+    is valid — identical schedules at the module's default config."""
+    from ..pipeline import OptimizationPipeline, TransactionSchedulingFormulation
+
     rng = np.random.default_rng(seed)
     rows = []
     for num_transactions in transaction_counts:
@@ -219,7 +242,15 @@ def transaction_scheduling(transaction_counts: Sequence[int] = (8, 12, 16),
             )
             fcfs = schedule_fcfs(problem)
             greedy = schedule_greedy_first_fit(problem)
-            annealed = minimum_slots_annealing(problem, solver=solver)
+            annealed = greedy
+            for k in range(1, problem.makespan(greedy) + 1):
+                plan = OptimizationPipeline(
+                    TransactionSchedulingFormulation(num_slots=k),
+                    solve=solver,
+                ).optimize(problem)
+                if plan.feasible:
+                    annealed = plan.solution
+                    break
             rows.append({
                 "transactions": num_transactions,
                 "objects": num_objects,
@@ -431,14 +462,18 @@ def data_partitioning(fragment_counts: Sequence[int] = (8, 12, 16),
 
     KL balances fragment *counts*; the Ising objective balances
     *sizes* — on heterogeneous fragments that difference is the story.
+    The annealed arm runs through the staged optimization pipeline
+    (identical assignments to the direct ``partition_annealing`` call
+    under the module's default config).
     """
     from ..db.partitioning import (
         PartitioningProblem,
-        partition_annealing,
         partition_exact,
         partition_kernighan_lin,
     )
+    from ..pipeline import OptimizationPipeline
 
+    pipeline = OptimizationPipeline("partitioning", solve=solver)
     rng = np.random.default_rng(seed)
     rows = []
     for count in fragment_counts:
@@ -459,7 +494,7 @@ def data_partitioning(fragment_counts: Sequence[int] = (8, 12, 16),
                 exact_imbalances.append(
                     problem.imbalance(exact_assignment) / total_size
                 )
-            annealed = partition_annealing(problem, solver=solver)
+            annealed = pipeline.optimize(problem).solution
             kl = partition_kernighan_lin(
                 problem, seed=int(rng.integers(2 ** 31))
             )

@@ -1,0 +1,73 @@
+"""Staged query-optimization pipeline over ``repro.db`` + ``repro.compile``.
+
+PostBOUND-style structure: a query/workload instance flows through
+pre-check → formulation → solve strategy → plan assembly and comes out
+as an :class:`AnnotatedPlan` with cost estimates, stage provenance and
+convergence references. All five database formulations are registered
+:class:`FormulationStrategy` implementations; solver choice (any
+registry solver, the service warm pool, or a classical baseline) is
+declarative data, so mixed quantum/classical configurations are plain
+strings — and A/B-able via ``bench-compare`` on the generated
+JOB-style workloads from :mod:`repro.db.workloads`.
+
+    from repro.pipeline import OptimizationPipeline
+    plan = OptimizationPipeline("joinorder", solve="sa").optimize(graph)
+"""
+
+from .formulations import (
+    IndexSelectionFormulation,
+    JoinOrderFormulation,
+    MQOFormulation,
+    PartitioningFormulation,
+    TransactionSchedulingFormulation,
+    available_formulations,
+    get_formulation,
+    register_formulation,
+)
+from .pipeline import OptimizationPipeline
+from .plan import (
+    PLAN_SCHEMA,
+    PLAN_STATUSES,
+    STATUS_INFEASIBLE,
+    STATUS_OK,
+    STATUS_REJECTED,
+    AnnotatedPlan,
+    StageReport,
+    validate_plan_document,
+)
+from .stages import (
+    CLASSICAL,
+    FormulationStrategy,
+    PlanAssembly,
+    PreCheck,
+    PreCheckResult,
+    SolveStrategy,
+    as_solve_strategy,
+)
+
+__all__ = [
+    "IndexSelectionFormulation",
+    "JoinOrderFormulation",
+    "MQOFormulation",
+    "PartitioningFormulation",
+    "TransactionSchedulingFormulation",
+    "available_formulations",
+    "get_formulation",
+    "register_formulation",
+    "OptimizationPipeline",
+    "PLAN_SCHEMA",
+    "PLAN_STATUSES",
+    "STATUS_INFEASIBLE",
+    "STATUS_OK",
+    "STATUS_REJECTED",
+    "AnnotatedPlan",
+    "StageReport",
+    "validate_plan_document",
+    "CLASSICAL",
+    "FormulationStrategy",
+    "PlanAssembly",
+    "PreCheck",
+    "PreCheckResult",
+    "SolveStrategy",
+    "as_solve_strategy",
+]

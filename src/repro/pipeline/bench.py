@@ -1,0 +1,329 @@
+"""``pipeline-bench``: run generated workloads through the pipeline.
+
+The benchmark/CI driver for :class:`~repro.pipeline.OptimizationPipeline`:
+generate a deterministic JOB-style join-ordering workload
+(:func:`repro.db.workloads.generate_join_workload`), run it through one
+or more solver arms, validate every emitted ``AnnotatedPlan``, and
+write two artifacts:
+
+* ``--json-out`` — the full plan suite (``repro-pipeline/v1``): one
+  serialized plan per query per arm, plus per-arm summaries;
+* ``--bench-out`` — a ``repro-bench/v1`` document whose workload
+  record keys timings by the *workload*, not the solver (the solver is
+  a top-level field, kept out of ``params``), so two runs over the
+  same ``workload_key`` with different solvers A/B directly in
+  ``bench-compare``::
+
+      python -m repro.experiments pipeline-bench --solvers sa \\
+          --bench-out bench_sa.json
+      python -m repro.experiments pipeline-bench --solvers classical \\
+          --bench-out bench_classical.json
+      python -m repro.experiments bench-compare bench_sa.json \\
+          bench_classical.json --tolerance 0.5
+
+Exits nonzero if any plan fails validation, is rejected, infeasible,
+or (with ``--workers``) service routing diverges from the declared
+workload size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import platform
+import sys
+from dataclasses import replace
+from time import perf_counter
+from typing import Any, Dict, List, Optional
+
+from ..db.workloads import JoinWorkload, generate_join_workload
+from ..telemetry.bench_schema import BENCH_SCHEMA
+from .formulations import JoinOrderFormulation
+from .pipeline import OptimizationPipeline
+from .plan import AnnotatedPlan, validate_plan_document
+from .stages import CLASSICAL, SolveStrategy
+
+#: Suite-level schema tag for ``--json-out`` documents.
+SUITE_SCHEMA = "repro-pipeline/v1"
+
+
+def _csv(text: str) -> List[str]:
+    return [token.strip() for token in text.split(",") if token.strip()]
+
+
+def _mean_cost(costs: List[float]) -> Optional[float]:
+    if not costs:
+        return None
+    if all(cost > 0 for cost in costs):
+        return math.exp(sum(math.log(cost) for cost in costs)
+                        / len(costs))
+    return sum(costs) / len(costs)
+
+
+def run_arm(workload: JoinWorkload, solver: str, *,
+            polish: bool = False,
+            sweeps: Optional[int] = None,
+            reads: Optional[int] = None,
+            workers: int = 0) -> Dict[str, Any]:
+    """Run one solver arm over the workload; returns the arm record."""
+    formulation = JoinOrderFormulation(polish=polish)
+    strategy = SolveStrategy(solver=solver)
+    if solver != CLASSICAL and (sweeps is not None
+                                or reads is not None):
+        config = formulation.default_config()
+        if sweeps is not None:
+            config = replace(config, num_sweeps=sweeps)
+        if reads is not None:
+            config = replace(config, num_reads=reads)
+        strategy = strategy.with_config(config)
+
+    provenance = {"workload_key": workload.workload_key}
+    started = perf_counter()
+    if workers > 0 and solver != CLASSICAL:
+        from ..service import SolveService
+
+        with SolveService(max_workers=workers, mode="process") as service:
+            pipeline = OptimizationPipeline(
+                formulation, solve=strategy, service=service
+            )
+            plans = pipeline.optimize_workload(
+                workload.graphs(), provenance=provenance
+            )
+    else:
+        pipeline = OptimizationPipeline(formulation, solve=strategy)
+        plans = pipeline.optimize_workload(
+            workload.graphs(), provenance=provenance
+        )
+    seconds = perf_counter() - started
+
+    # Post-annotate each plan with its instance identity so a plan is
+    # traceable to its generator coordinates without the workload file.
+    for plan, instance in zip(plans, workload.instances):
+        plan.provenance["instance"] = {
+            "instance_key": instance.instance_key,
+            "topology": instance.topology,
+            "num_relations": instance.num_relations,
+            "seed": instance.seed,
+        }
+
+    costs = [plan.cost for plan in plans if plan.cost is not None]
+    summary = {
+        "queries": len(plans),
+        "ok": sum(1 for plan in plans if plan.status == "ok"),
+        "rejected": sum(1 for plan in plans
+                        if plan.status == "rejected"),
+        "infeasible": sum(1 for plan in plans
+                          if plan.status == "infeasible"),
+        "feasible": sum(1 for plan in plans if plan.feasible),
+        "mean_cost": _mean_cost(costs),
+        "total_seconds": seconds,
+        "per_query_seconds": (seconds / len(plans) if plans
+                              else seconds),
+    }
+    return {
+        "solver": solver,
+        "workers": workers,
+        "pipeline": pipeline.describe(),
+        "summary": summary,
+        "plans": plans,
+    }
+
+
+def arm_problems(arm: Dict[str, Any]) -> List[str]:
+    """Validation failures of one arm's emitted plans."""
+    problems: List[str] = []
+    for index, plan in enumerate(arm["plans"]):
+        assert isinstance(plan, AnnotatedPlan)
+        document = plan.to_dict()
+        for problem in validate_plan_document(document):
+            problems.append(
+                f"{arm['solver']}[{index}]: {problem}"
+            )
+        if plan.status != "ok":
+            problems.append(
+                f"{arm['solver']}[{index}]: status {plan.status!r} "
+                f"({plan.provenance.get('stages', [])[-1:]})"
+            )
+        elif not plan.feasible:
+            problems.append(
+                f"{arm['solver']}[{index}]: infeasible solution"
+            )
+    return problems
+
+
+def write_suite(path: str, workload: JoinWorkload,
+                arms: List[Dict[str, Any]]) -> None:
+    document = {
+        "schema": SUITE_SCHEMA,
+        "workload": {
+            "workload_key": workload.workload_key,
+            "base_key": workload.base_key,
+            "params": workload.params,
+            "num_queries": len(workload),
+        },
+        "arms": [
+            {
+                "solver": arm["solver"],
+                "workers": arm["workers"],
+                "pipeline": arm["pipeline"],
+                "summary": arm["summary"],
+                "plans": [plan.to_dict() for plan in arm["plans"]],
+            }
+            for arm in arms
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def write_bench(path: str, workload: JoinWorkload,
+                arms: List[Dict[str, Any]]) -> None:
+    """``repro-bench/v1`` document for ``bench-compare`` A/B runs.
+
+    One record per arm. With a single arm the record is named
+    ``pipeline`` and its ``params`` identify only the *workload* — so
+    two single-arm runs with different solvers compare seconds
+    head-to-head. Multi-arm runs qualify the name with the solver to
+    keep workload names unique.
+    """
+    records = []
+    for arm in arms:
+        name = ("pipeline" if len(arms) == 1
+                else f"pipeline_{arm['solver']}")
+        summary = arm["summary"]
+        records.append({
+            "name": name,
+            "solver": arm["solver"],
+            "params": {
+                "workload_key": workload.workload_key,
+                "num_queries": len(workload),
+                "workers": arm["workers"],
+                **workload.params,
+            },
+            "total_seconds": summary["total_seconds"],
+            "per_query_seconds": summary["per_query_seconds"],
+            "mean_cost": summary["mean_cost"],
+            "ok_fraction": (summary["ok"] / summary["queries"]
+                            if summary["queries"] else 0.0),
+        })
+    document = {
+        "schema": BENCH_SCHEMA,
+        "provenance": {
+            "source": "pipeline-bench",
+            "workload_key": workload.workload_key,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "workloads": records,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments pipeline-bench",
+        description="Run a generated join-order workload through the "
+                    "optimization pipeline.",
+    )
+    parser.add_argument("--topologies", default="chain,star",
+                        metavar="LIST",
+                        help="comma list of topologies "
+                             "(default %(default)s)")
+    parser.add_argument("--sizes", default="4,5", metavar="LIST",
+                        help="comma list of relation counts "
+                             "(default %(default)s)")
+    parser.add_argument("--instances-per-cell", type=int, default=5,
+                        metavar="N",
+                        help="queries per (topology, size) cell "
+                             "(default %(default)s)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload seed (default %(default)s)")
+    parser.add_argument("--limit", type=int, default=None, metavar="N",
+                        help="truncate the workload to N queries")
+    parser.add_argument("--solvers", default="sa", metavar="LIST",
+                        help="comma list of solver arms; registry "
+                             "names plus 'classical' "
+                             "(default %(default)s)")
+    parser.add_argument("--sweeps", type=int, default=None,
+                        help="override num_sweeps for solver arms")
+    parser.add_argument("--reads", type=int, default=None,
+                        help="override num_reads for solver arms")
+    parser.add_argument("--polish", action="store_true",
+                        help="apply the classical 2-opt polish during "
+                             "plan assembly")
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="route solves through a SolveService warm "
+                             "pool with N workers (0 = in-process)")
+    parser.add_argument("--json-out", metavar="FILE",
+                        help="write the full plan suite "
+                             "(repro-pipeline/v1)")
+    parser.add_argument("--bench-out", metavar="FILE",
+                        help="write a repro-bench/v1 record for "
+                             "bench-compare A/B")
+    args = parser.parse_args(argv)
+
+    try:
+        workload = generate_join_workload(
+            topologies=_csv(args.topologies),
+            sizes=[int(n) for n in _csv(args.sizes)],
+            instances_per_cell=args.instances_per_cell,
+            seed=args.seed,
+            limit=args.limit,
+        )
+    except ValueError as error:
+        print(f"workload generation failed: {error}", file=sys.stderr)
+        return 2
+    print(f"workload {workload.workload_key}: {len(workload)} queries "
+          f"({workload.params['topologies']} x "
+          f"{workload.params['sizes']} x "
+          f"{workload.params['instances_per_cell']}"
+          f"{', limit ' + str(args.limit) if args.limit else ''})")
+
+    solvers = _csv(args.solvers)
+    if not solvers:
+        print("need at least one solver arm", file=sys.stderr)
+        return 2
+    arms = []
+    for solver in solvers:
+        try:
+            arm = run_arm(
+                workload, solver, polish=args.polish,
+                sweeps=args.sweeps, reads=args.reads,
+                workers=args.workers,
+            )
+        except ValueError as error:
+            print(f"arm {solver!r} failed: {error}", file=sys.stderr)
+            return 2
+        summary = arm["summary"]
+        mean_cost = summary["mean_cost"]
+        print(f"  arm {solver:<10} {summary['ok']}/{summary['queries']}"
+              f" ok  {summary['total_seconds']:.2f}s"
+              f"  mean cost {mean_cost:.4g}" if mean_cost is not None
+              else f"  arm {solver:<10} no costs")
+        arms.append(arm)
+
+    problems: List[str] = []
+    for arm in arms:
+        problems.extend(arm_problems(arm))
+    if args.json_out:
+        write_suite(args.json_out, workload, arms)
+        print(f"wrote {os.path.abspath(args.json_out)}")
+    if args.bench_out:
+        write_bench(args.bench_out, workload, arms)
+        print(f"wrote {os.path.abspath(args.bench_out)}")
+    if problems:
+        for problem in problems:
+            print(f"PLAN INVALID: {problem}", file=sys.stderr)
+        return 1
+    total = sum(len(arm["plans"]) for arm in arms)
+    print(f"pipeline-bench OK: {total} plans across {len(arms)} arm(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

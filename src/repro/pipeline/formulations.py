@@ -1,0 +1,430 @@
+"""The five database formulations as registered pipeline strategies.
+
+Each strategy wraps the corresponding :mod:`repro.db` compiler class
+and its module-level deterministic ``DEFAULT_SOLVER_CONFIG`` — the
+pipeline therefore dispatches the exact compiled problem + config the
+free functions (``solve_join_order_annealing`` & co.) use, making
+seeded pipeline solutions bit-for-bit identical to direct ones.
+
+The registry is string-addressable like the solver registry: look up
+with :func:`get_formulation`, enumerate with
+:func:`available_formulations`; unknown names raise with the list of
+registered alternatives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Type
+
+from ..compile import CompiledProblem, SolverConfig
+from ..db.indexsel import (
+    IndexSelectionProblem,
+    IndexSelectionQUBO,
+    solve_index_selection_greedy,
+)
+from ..db.indexsel import DEFAULT_SOLVER_CONFIG as INDEXSEL_CONFIG
+from ..db.joinorder import (
+    JoinOrderDecoded,
+    JoinOrderQUBO,
+    two_opt_polish,
+)
+from ..db.joinorder import DEFAULT_SOLVER_CONFIG as JOINORDER_CONFIG
+from ..db.mqo import MQOProblem, MQOQUBO, solve_mqo_greedy
+from ..db.mqo import DEFAULT_SOLVER_CONFIG as MQO_CONFIG
+from ..db.partitioning import (
+    PartitioningIsing,
+    PartitioningProblem,
+    partition_kernighan_lin,
+)
+from ..db.partitioning import DEFAULT_SOLVER_CONFIG as PARTITIONING_CONFIG
+from ..db.txsched import (
+    TransactionSchedulingProblem,
+    TransactionSchedulingQUBO,
+    schedule_greedy_first_fit,
+)
+from ..db.txsched import DEFAULT_SOLVER_CONFIG as TXSCHED_CONFIG
+from ..db.cost import left_deep_cost, log_cost_proxy
+from ..db.query import JoinGraph, left_deep_tree
+from .stages import FormulationStrategy, PreCheck
+
+_FORMULATIONS: Dict[str, Type[FormulationStrategy]] = {}
+
+
+def register_formulation(cls: Type[FormulationStrategy]
+                         ) -> Type[FormulationStrategy]:
+    """Class decorator adding a strategy to the registry by its name."""
+    if not cls.name or cls.name == "abstract":
+        raise ValueError("strategy classes must set a concrete name")
+    if cls.name in _FORMULATIONS:
+        raise ValueError(f"formulation {cls.name!r} already registered")
+    _FORMULATIONS[cls.name] = cls
+    return cls
+
+
+def available_formulations() -> Dict[str, str]:
+    """Registered formulation names mapped to their descriptions."""
+    return {name: _FORMULATIONS[name].description
+            for name in sorted(_FORMULATIONS)}
+
+
+def get_formulation(name: str, **kwargs: Any) -> FormulationStrategy:
+    """Instantiate a registered strategy; unknown names list the
+    registered alternatives."""
+    try:
+        cls = _FORMULATIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown formulation {name!r}; registered: "
+            f"{', '.join(sorted(_FORMULATIONS))}"
+        ) from None
+    return cls(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Join ordering
+# ----------------------------------------------------------------------
+@register_formulation
+class JoinOrderFormulation(FormulationStrategy):
+    """Left-deep join ordering over a :class:`JoinGraph` (E8).
+
+    ``polish`` applies the classical 2-opt refinement to the decoded
+    order inside plan assembly — the same hybrid step
+    ``solve_join_order_annealing(polish=True)`` performs.
+    """
+
+    name = "joinorder"
+    description = "left-deep join ordering (one-hot position QUBO)"
+
+    def __init__(self, penalty_scale: float = 1.0, polish: bool = True,
+                 max_variables: Optional[int] = None):
+        self.penalty_scale = penalty_scale
+        self.polish = polish
+        self.max_variables = max_variables
+
+    def instance_type(self) -> type:
+        return JoinGraph
+
+    def num_variables(self, graph: JoinGraph) -> int:
+        return graph.num_relations ** 2
+
+    def compile(self, graph: JoinGraph) -> CompiledProblem:
+        return JoinOrderQUBO(
+            graph, penalty_scale=self.penalty_scale
+        ).compile()
+
+    def default_config(self) -> SolverConfig:
+        return JOINORDER_CONFIG
+
+    def classical_baseline(self, graph: JoinGraph) -> JoinOrderDecoded:
+        order = two_opt_polish(graph, list(range(graph.num_relations)))
+        return JoinOrderDecoded(
+            order=order,
+            cost=left_deep_cost(graph, order),
+            log_proxy=log_cost_proxy(graph, order),
+            valid=True,
+        )
+
+    def feasible(self, graph: JoinGraph,
+                 decoded: JoinOrderDecoded) -> bool:
+        return sorted(decoded.order) == list(range(graph.num_relations))
+
+    def finalize(self, graph: JoinGraph,
+                 decoded: JoinOrderDecoded) -> JoinOrderDecoded:
+        if not self.polish:
+            return decoded
+        order = two_opt_polish(graph, decoded.order)
+        return JoinOrderDecoded(
+            order=order,
+            cost=left_deep_cost(graph, order),
+            log_proxy=log_cost_proxy(graph, order),
+            valid=decoded.valid,
+        )
+
+    def annotate(self, graph: JoinGraph,
+                 decoded: JoinOrderDecoded) -> Dict[str, Any]:
+        return {
+            "cost": decoded.cost,
+            "log_cost_proxy": decoded.log_proxy,
+            "encoding_valid": bool(decoded.valid),
+            "num_relations": graph.num_relations,
+        }
+
+    def render(self, graph: JoinGraph,
+               decoded: JoinOrderDecoded) -> str:
+        return left_deep_tree(decoded.order).display(graph.names)
+
+    def describe(self) -> Dict[str, Any]:
+        out = super().describe()
+        out["penalty_scale"] = self.penalty_scale
+        out["polish"] = self.polish
+        return out
+
+
+# ----------------------------------------------------------------------
+# Multiple-query optimization
+# ----------------------------------------------------------------------
+@register_formulation
+class MQOFormulation(FormulationStrategy):
+    """One plan per query with cross-query sharing savings (E9)."""
+
+    name = "mqo"
+    description = "multiple-query optimization (plan-choice QUBO)"
+
+    def __init__(self, penalty_scale: float = 1.0,
+                 max_variables: Optional[int] = None):
+        self.penalty_scale = penalty_scale
+        self.max_variables = max_variables
+
+    def instance_type(self) -> type:
+        return MQOProblem
+
+    def num_variables(self, problem: MQOProblem) -> int:
+        return problem.num_plans
+
+    def compile(self, problem: MQOProblem) -> CompiledProblem:
+        return MQOQUBO(
+            problem, penalty_scale=self.penalty_scale
+        ).compile()
+
+    def default_config(self) -> SolverConfig:
+        return MQO_CONFIG
+
+    def classical_baseline(self, problem: MQOProblem) -> List[int]:
+        return solve_mqo_greedy(problem)[0]
+
+    def feasible(self, problem: MQOProblem,
+                 selection: List[int]) -> bool:
+        return (len(selection) == problem.num_queries and all(
+            0 <= k < len(problem.plan_costs[q])
+            for q, k in enumerate(selection)
+        ))
+
+    def annotate(self, problem: MQOProblem,
+                 selection: List[int]) -> Dict[str, Any]:
+        return {
+            "cost": problem.total_cost(selection),
+            "num_queries": problem.num_queries,
+            "num_plans": problem.num_plans,
+        }
+
+    def render(self, problem: MQOProblem,
+               selection: List[int]) -> str:
+        return " ".join(f"Q{q}:P{k}" for q, k in enumerate(selection))
+
+
+# ----------------------------------------------------------------------
+# Index selection
+# ----------------------------------------------------------------------
+@register_formulation
+class IndexSelectionFormulation(FormulationStrategy):
+    """Budgeted index selection with overlap-adjusted benefits (E10).
+
+    The plan's ``cost`` is the *negated* net benefit so the
+    lower-is-better convention holds pipeline-wide; the raw benefit is
+    also in the estimates.
+    """
+
+    name = "indexsel"
+    description = "index selection under a storage budget (slack QUBO)"
+
+    def __init__(self, penalty_scale: float = 1.0,
+                 max_variables: Optional[int] = None):
+        self.penalty_scale = penalty_scale
+        self.max_variables = max_variables
+
+    def instance_type(self) -> type:
+        return IndexSelectionProblem
+
+    def num_variables(self, problem: IndexSelectionProblem) -> int:
+        return (problem.num_candidates
+                + max(1, problem.budget.bit_length()))
+
+    def compile(self, problem: IndexSelectionProblem) -> CompiledProblem:
+        return IndexSelectionQUBO(
+            problem, penalty_scale=self.penalty_scale
+        ).compile()
+
+    def default_config(self) -> SolverConfig:
+        return INDEXSEL_CONFIG
+
+    def classical_baseline(self,
+                           problem: IndexSelectionProblem) -> List[int]:
+        return solve_index_selection_greedy(problem)[0]
+
+    def feasible(self, problem: IndexSelectionProblem,
+                 selection: List[int]) -> bool:
+        return problem.is_feasible(selection)
+
+    def annotate(self, problem: IndexSelectionProblem,
+                 selection: List[int]) -> Dict[str, Any]:
+        benefit = max(problem.total_benefit(selection), 0.0)
+        return {
+            "cost": -benefit,
+            "benefit": benefit,
+            "total_size": problem.total_size(selection),
+            "budget": problem.budget,
+        }
+
+    def render(self, problem: IndexSelectionProblem,
+               selection: List[int]) -> str:
+        chosen = ", ".join(f"I{i}" for i in sorted(selection)) or "none"
+        return (f"{{{chosen}}} "
+                f"({problem.total_size(selection)}/{problem.budget})")
+
+    def pre_check(self) -> PreCheck:
+        def check_budget(problem: Any) -> Optional[str]:
+            if not isinstance(problem, IndexSelectionProblem):
+                return None  # the type check reports this one
+            smallest = min(problem.sizes)
+            if smallest > problem.budget:
+                return (
+                    f"no candidate index fits the budget (smallest "
+                    f"size {smallest} > budget {problem.budget}) — "
+                    f"raise the budget or prune candidates"
+                )
+            return None
+
+        return super().pre_check().add(
+            f"{self.name}.budget_feasible", check_budget
+        )
+
+
+# ----------------------------------------------------------------------
+# Transaction scheduling
+# ----------------------------------------------------------------------
+@register_formulation
+class TransactionSchedulingFormulation(FormulationStrategy):
+    """Conflict-free slot assignment (graph colouring, E11).
+
+    ``num_slots=None`` sizes the colouring per instance at the greedy
+    first-fit makespan — the same ceiling
+    :func:`repro.db.txsched.minimum_slots_annealing` scans up to, and
+    always sufficient for a valid schedule.
+    """
+
+    name = "txsched"
+    description = "transaction scheduling (conflict-colouring QUBO)"
+
+    def __init__(self, num_slots: Optional[int] = None,
+                 penalty_scale: float = 1.0,
+                 max_variables: Optional[int] = None):
+        if num_slots is not None and num_slots < 1:
+            raise ValueError("num_slots must be positive")
+        self.num_slots = num_slots
+        self.penalty_scale = penalty_scale
+        self.max_variables = max_variables
+
+    def instance_type(self) -> type:
+        return TransactionSchedulingProblem
+
+    def slots_for(self, problem: TransactionSchedulingProblem) -> int:
+        if self.num_slots is not None:
+            return self.num_slots
+        return problem.makespan(schedule_greedy_first_fit(problem))
+
+    def num_variables(self,
+                      problem: TransactionSchedulingProblem) -> int:
+        return problem.num_transactions * self.slots_for(problem)
+
+    def compile(self, problem: TransactionSchedulingProblem
+                ) -> CompiledProblem:
+        return TransactionSchedulingQUBO(
+            problem, self.slots_for(problem),
+            penalty_scale=self.penalty_scale,
+        ).compile()
+
+    def default_config(self) -> SolverConfig:
+        return TXSCHED_CONFIG
+
+    def classical_baseline(self, problem: TransactionSchedulingProblem
+                           ) -> List[int]:
+        return schedule_greedy_first_fit(problem)
+
+    def feasible(self, problem: TransactionSchedulingProblem,
+                 schedule: List[int]) -> bool:
+        return problem.is_valid(schedule)
+
+    def annotate(self, problem: TransactionSchedulingProblem,
+                 schedule: List[int]) -> Dict[str, Any]:
+        return {
+            "cost": float(problem.makespan(schedule)),
+            "makespan": problem.makespan(schedule),
+            "conflict_violations":
+                problem.num_conflict_violations(schedule),
+            "num_transactions": problem.num_transactions,
+        }
+
+    def render(self, problem: TransactionSchedulingProblem,
+               schedule: List[int]) -> str:
+        slots: Dict[int, List[int]] = {}
+        for t, slot in enumerate(schedule):
+            slots.setdefault(slot, []).append(t)
+        return " | ".join(
+            f"s{slot}:" + ",".join(f"t{t}" for t in slots[slot])
+            for slot in sorted(slots)
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        out = super().describe()
+        out["num_slots"] = self.num_slots
+        return out
+
+
+# ----------------------------------------------------------------------
+# Partitioning
+# ----------------------------------------------------------------------
+@register_formulation
+class PartitioningFormulation(FormulationStrategy):
+    """Balanced two-way sharding as min-cut Ising (E19)."""
+
+    name = "partitioning"
+    description = "balanced min-cut data partitioning (native Ising)"
+
+    def __init__(self, balance_weight: Optional[float] = None,
+                 penalty_scale: float = 1.0,
+                 max_variables: Optional[int] = None):
+        self.balance_weight = balance_weight
+        self.penalty_scale = penalty_scale
+        self.max_variables = max_variables
+
+    def instance_type(self) -> type:
+        return PartitioningProblem
+
+    def num_variables(self, problem: PartitioningProblem) -> int:
+        return problem.num_fragments
+
+    def compile(self, problem: PartitioningProblem) -> CompiledProblem:
+        return PartitioningIsing(
+            problem, balance_weight=self.balance_weight,
+            penalty_scale=self.penalty_scale,
+        ).compile()
+
+    def default_config(self) -> SolverConfig:
+        return PARTITIONING_CONFIG
+
+    def classical_baseline(self,
+                           problem: PartitioningProblem) -> List[int]:
+        return partition_kernighan_lin(problem, seed=0)
+
+    def feasible(self, problem: PartitioningProblem,
+                 assignment: List[int]) -> bool:
+        return (len(assignment) == problem.num_fragments
+                and all(a in (0, 1) for a in assignment))
+
+    def annotate(self, problem: PartitioningProblem,
+                 assignment: List[int]) -> Dict[str, Any]:
+        return {
+            "cost": problem.cut_weight(assignment),
+            "cut_weight": problem.cut_weight(assignment),
+            "imbalance": problem.imbalance(assignment),
+            "num_fragments": problem.num_fragments,
+        }
+
+    def render(self, problem: PartitioningProblem,
+               assignment: List[int]) -> str:
+        shard0 = [i for i, a in enumerate(assignment) if a == 0]
+        shard1 = [i for i, a in enumerate(assignment) if a == 1]
+        return (
+            "shard0:{" + ",".join(f"f{i}" for i in shard0) + "} "
+            "shard1:{" + ",".join(f"f{i}" for i in shard1) + "}"
+        )

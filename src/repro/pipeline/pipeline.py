@@ -1,0 +1,367 @@
+"""The staged optimization pipeline driver.
+
+An :class:`OptimizationPipeline` wires the four stages of
+:mod:`repro.pipeline.stages` into one callable unit:
+
+    pipeline = OptimizationPipeline("joinorder", solve="sa")
+    plan = pipeline.optimize(graph)          # -> AnnotatedPlan
+
+Failure semantics (regression-tested, see ``tests/pipeline``):
+
+* A pre-check rejection produces a ``rejected`` plan whose provenance
+  lists every failing predicate — it never raises.
+* A formulation (or solver) that raises produces an ``infeasible``
+  plan carrying the exception type/message in the stage report —
+  one broken instance cannot take down a workload run.
+* Unknown formulation or solver names raise ``ValueError`` at
+  *construction* listing the registered alternatives.
+
+When a :class:`~repro.service.SolveService` is attached, workload runs
+compile every instance first and submit all solve jobs before
+gathering, so PR 7's warm pool and same-model batch folding apply
+across the whole batch. Service execution is bit-for-bit identical to
+direct dispatch, preserving pipeline/direct parity.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..compile import CompiledProblem, SolverConfig, available_solvers
+from ..compile import solve as dispatch_solve
+from .formulations import get_formulation
+from .plan import (
+    STATUS_INFEASIBLE,
+    STATUS_REJECTED,
+    AnnotatedPlan,
+    StageReport,
+)
+from .stages import (
+    CLASSICAL,
+    STAGE_ASSEMBLY,
+    STAGE_FORMULATION,
+    STAGE_PRE_CHECK,
+    STAGE_SOLVE,
+    FormulationStrategy,
+    PlanAssembly,
+    PreCheck,
+    as_solve_strategy,
+)
+
+
+class OptimizationPipeline:
+    """Pre-check → formulation → solve strategy → plan assembly.
+
+    Parameters
+    ----------
+    formulation:
+        A registered formulation name (``"joinorder"``, ``"mqo"``,
+        ``"indexsel"``, ``"txsched"``, ``"partitioning"``) or a
+        :class:`FormulationStrategy` instance.
+    solve:
+        A registry solver name, ``"classical"`` for the formulation's
+        baseline, or a :class:`SolveStrategy` for full control
+        (explicit config, repair hook).
+    pre_check:
+        Extra predicates merged *after* the formulation's own.
+    assembly:
+        Alternative :class:`PlanAssembly` (annotation/rendering hook).
+    service:
+        Optional :class:`~repro.service.SolveService`; solves route
+        through its warm worker pool instead of in-process dispatch.
+    """
+
+    def __init__(self, formulation: Any, solve: Any = "sa", *,
+                 pre_check: Optional[PreCheck] = None,
+                 assembly: Optional[PlanAssembly] = None,
+                 service: Any = None):
+        if isinstance(formulation, str):
+            formulation = get_formulation(formulation)
+        if not isinstance(formulation, FormulationStrategy):
+            raise TypeError(
+                "formulation must be a registered name or a "
+                f"FormulationStrategy, got {type(formulation).__name__}"
+            )
+        self.formulation = formulation
+        self.solve_strategy = as_solve_strategy(solve)
+        if not self.solve_strategy.is_classical:
+            registered = available_solvers()
+            if self.solve_strategy.solver not in registered:
+                raise ValueError(
+                    f"unknown solver {self.solve_strategy.solver!r}; "
+                    f"registered: {', '.join(sorted(registered))}, "
+                    f"plus {CLASSICAL!r} for the classical baseline"
+                )
+        self.pre_check = formulation.pre_check().merge(pre_check)
+        self.assembly = assembly if assembly is not None else PlanAssembly()
+        self.service = service
+
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, Any]:
+        """Configuration summary (also embedded in plan provenance)."""
+        return {
+            "formulation": self.formulation.describe(),
+            "solve": self.solve_strategy.describe(),
+            "pre_check": [name for name, _ in self.pre_check.checks],
+            "service": (None if self.service is None
+                        else repr(self.service)),
+        }
+
+    # ------------------------------------------------------------------
+    def optimize(self, instance: Any, *,
+                 config: Optional[SolverConfig] = None,
+                 provenance: Optional[Dict[str, Any]] = None
+                 ) -> AnnotatedPlan:
+        """Run one instance through all four stages.
+
+        ``config`` overrides the solve strategy's config for this call
+        only (``None`` keeps the strategy's, falling back to the
+        formulation's deterministic default). ``provenance`` is merged
+        into the plan's provenance (workload/instance keys).
+        """
+        stages, problem, failure = self._pre_and_compile(
+            instance, provenance
+        )
+        if failure is not None:
+            return failure
+        return self._solve_and_assemble(
+            instance, problem, stages, config, provenance
+        )
+
+    def optimize_workload(self, instances: Sequence[Any], *,
+                          configs: Optional[Sequence[
+                              Optional[SolverConfig]]] = None,
+                          provenance: Optional[Dict[str, Any]] = None
+                          ) -> List[AnnotatedPlan]:
+        """Run a batch of instances; order is preserved.
+
+        Without a service this is a sequential loop over
+        :meth:`optimize`. With one, all instances are pre-checked and
+        compiled first, then every solve job is submitted before any
+        result is gathered — the warm pool runs them concurrently and
+        folds same-model jobs into single dispatches.
+        """
+        items = list(instances)
+        if configs is None:
+            configs = [None] * len(items)
+        configs = list(configs)
+        if len(configs) != len(items):
+            raise ValueError(
+                f"configs length {len(configs)} != "
+                f"instances length {len(items)}"
+            )
+
+        def item_provenance(index: int) -> Dict[str, Any]:
+            merged = dict(provenance or {})
+            merged["workload_index"] = index
+            return merged
+
+        if self.service is None or self.solve_strategy.is_classical:
+            return [
+                self.optimize(instance, config=config,
+                              provenance=item_provenance(index))
+                for index, (instance, config)
+                in enumerate(zip(items, configs))
+            ]
+
+        # Two-phase service path: compile everything, submit
+        # everything, then gather — maximizing warm-pool concurrency
+        # and cross-job batch folding.
+        plans: List[Optional[AnnotatedPlan]] = [None] * len(items)
+        pending: List[Tuple[int, Any, CompiledProblem,
+                            List[StageReport],
+                            Optional[SolverConfig]]] = []
+        for index, (instance, config) in enumerate(zip(items, configs)):
+            stages, problem, failure = self._pre_and_compile(
+                instance, item_provenance(index)
+            )
+            if failure is not None:
+                plans[index] = failure
+            else:
+                pending.append((index, instance, problem, stages,
+                                config))
+
+        handles = []
+        for index, instance, problem, stages, config in pending:
+            started = perf_counter()
+            resolved = self.solve_strategy.resolve_config(
+                self.formulation, config
+            )
+            handles.append((started, self.service.submit(
+                problem, self.solve_strategy.solver, resolved,
+                repair=self.solve_strategy.repair, block=True,
+            )))
+
+        for (index, instance, problem, stages, config), \
+                (started, handle) in zip(pending, handles):
+            try:
+                result = handle.result()
+            except Exception as exc:  # noqa: BLE001 — becomes the plan
+                stages.append(self._error_report(
+                    STAGE_SOLVE, exc, perf_counter() - started,
+                    solver=self.solve_strategy.solver,
+                ))
+                plans[index] = self.assembly.failure(
+                    self.formulation, self.solve_strategy,
+                    STATUS_INFEASIBLE, stages,
+                    item_provenance(index),
+                )
+                continue
+            stages.append(StageReport(
+                STAGE_SOLVE, "ok", perf_counter() - started, {
+                    "solver": self.solve_strategy.solver,
+                    "via_service": True,
+                    "energy": result.energy,
+                },
+            ))
+            plans[index] = self._assemble(
+                instance, result.solution, result.feasible, result,
+                stages, item_provenance(index),
+            )
+        return plans
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _pre_and_compile(self, instance: Any,
+                         provenance: Optional[Dict[str, Any]]
+                         ) -> Tuple[List[StageReport],
+                                    Optional[CompiledProblem],
+                                    Optional[AnnotatedPlan]]:
+        """Stages 1-2; returns (reports, problem, failure plan)."""
+        stages: List[StageReport] = []
+        started = perf_counter()
+        check = self.pre_check.run(instance)
+        stages.append(StageReport(
+            STAGE_PRE_CHECK,
+            "ok" if check.passed else "rejected",
+            perf_counter() - started,
+            {"checked": check.checked, "failures": check.failures},
+        ))
+        if not check.passed:
+            return stages, None, self.assembly.failure(
+                self.formulation, self.solve_strategy, STATUS_REJECTED,
+                stages, provenance,
+            )
+
+        if self.solve_strategy.is_classical:
+            stages.append(StageReport(
+                STAGE_FORMULATION, "skipped", 0.0,
+                {"reason": "classical baseline needs no compiled "
+                           "problem"},
+            ))
+            return stages, None, None
+
+        started = perf_counter()
+        try:
+            problem = self.formulation.compile(instance)
+        except Exception as exc:  # noqa: BLE001 — becomes the plan
+            stages.append(self._error_report(
+                STAGE_FORMULATION, exc, perf_counter() - started,
+            ))
+            return stages, None, self.assembly.failure(
+                self.formulation, self.solve_strategy,
+                STATUS_INFEASIBLE, stages, provenance,
+            )
+        stages.append(StageReport(
+            STAGE_FORMULATION, "ok", perf_counter() - started, {
+                "problem": problem.name,
+                "num_variables": problem.num_variables,
+            },
+        ))
+        return stages, problem, None
+
+    def _solve_and_assemble(self, instance: Any,
+                            problem: Optional[CompiledProblem],
+                            stages: List[StageReport],
+                            config: Optional[SolverConfig],
+                            provenance: Optional[Dict[str, Any]]
+                            ) -> AnnotatedPlan:
+        """Stages 3-4 for the in-process (non-workload-service) path."""
+        started = perf_counter()
+        try:
+            if self.solve_strategy.is_classical:
+                solution = self.formulation.classical_baseline(instance)
+                feasible = self.formulation.feasible(instance, solution)
+                result = None
+                detail: Dict[str, Any] = {"solver": CLASSICAL}
+            else:
+                resolved = self.solve_strategy.resolve_config(
+                    self.formulation, config
+                )
+                if self.service is not None:
+                    result = self.service.submit(
+                        problem, self.solve_strategy.solver, resolved,
+                        repair=self.solve_strategy.repair, block=True,
+                    ).result()
+                else:
+                    result = dispatch_solve(
+                        problem, solver=self.solve_strategy.solver,
+                        config=resolved,
+                        repair=self.solve_strategy.repair,
+                    )
+                solution = result.solution
+                feasible = result.feasible
+                detail = {
+                    "solver": self.solve_strategy.solver,
+                    "via_service": self.service is not None,
+                    "energy": result.energy,
+                }
+        except Exception as exc:  # noqa: BLE001 — becomes the plan
+            stages.append(self._error_report(
+                STAGE_SOLVE, exc, perf_counter() - started,
+                solver=self.solve_strategy.solver,
+            ))
+            return self.assembly.failure(
+                self.formulation, self.solve_strategy,
+                STATUS_INFEASIBLE, stages, provenance,
+            )
+        stages.append(StageReport(
+            STAGE_SOLVE, "ok", perf_counter() - started, detail
+        ))
+        return self._assemble(instance, solution, feasible, result,
+                              stages, provenance)
+
+    def _assemble(self, instance: Any, solution: Any, feasible: bool,
+                  result: Any, stages: List[StageReport],
+                  provenance: Optional[Dict[str, Any]]
+                  ) -> AnnotatedPlan:
+        started = perf_counter()
+        try:
+            plan = self.assembly.assemble(
+                self.formulation, instance, self.solve_strategy,
+                solution, feasible, stages, result=result,
+                extra_provenance=provenance,
+            )
+        except Exception as exc:  # noqa: BLE001 — becomes the plan
+            stages.append(self._error_report(
+                STAGE_ASSEMBLY, exc, perf_counter() - started,
+            ))
+            return self.assembly.failure(
+                self.formulation, self.solve_strategy,
+                STATUS_INFEASIBLE, stages, provenance,
+            )
+        # The assembly stage's own report is appended post hoc — the
+        # plan's provenance already rendered the earlier reports.
+        report = StageReport(
+            STAGE_ASSEMBLY, "ok", perf_counter() - started,
+            {"status": plan.status},
+        )
+        plan.provenance["stages"].append(report.to_dict())
+        return plan
+
+    @staticmethod
+    def _error_report(stage: str, exc: BaseException, seconds: float,
+                      **extra: Any) -> StageReport:
+        detail = {"error_type": type(exc).__name__, "error": str(exc)}
+        detail.update(extra)
+        return StageReport(stage, "error", seconds, detail)
+
+    def __repr__(self) -> str:
+        return (
+            f"OptimizationPipeline(formulation="
+            f"{self.formulation.name!r}, "
+            f"solver={self.solve_strategy.solver!r}, "
+            f"service={'attached' if self.service else 'none'})"
+        )

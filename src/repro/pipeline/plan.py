@@ -1,0 +1,207 @@
+"""The pipeline's output artifact: an annotated, provenance-carrying plan.
+
+Every pipeline run — whatever the formulation, solver or outcome —
+produces one :class:`AnnotatedPlan`. A plan that made it through every
+stage carries the decoded domain solution, cost estimates from
+:mod:`repro.db.cost`-backed annotators, and the solve provenance
+(solver, config, seed, convergence reference). A plan that *didn't*
+carries the stage that stopped it: a pre-check rejection lists the
+failing predicates, a formulation failure records the exception
+instead of propagating it.
+
+The plan is JSON-first: :meth:`AnnotatedPlan.to_dict` produces a pure
+JSON document (numpy scalars unwrapped, dataclasses expanded, the
+unpicklable :class:`~repro.compile.SolveResult` dropped) so workload
+runs can be archived, diffed and validated in CI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Every stage passed; ``solution`` is a decoded, feasible plan.
+STATUS_OK = "ok"
+#: The pre-check stage rejected the instance; no solve was attempted.
+STATUS_REJECTED = "rejected"
+#: The formulation (or feasibility) failed; the plan is unusable.
+STATUS_INFEASIBLE = "infeasible"
+
+PLAN_STATUSES = (STATUS_OK, STATUS_REJECTED, STATUS_INFEASIBLE)
+
+#: Schema tag for serialized plan documents.
+PLAN_SCHEMA = "repro-pipeline/v1"
+
+
+def json_safe(value: Any) -> Any:
+    """Recursively convert a value into plain JSON types.
+
+    Dataclasses expand to dicts, numpy scalars unwrap through
+    ``item()``, arrays through ``tolist()``, tuples/sets become lists,
+    and anything else unrecognized falls back to ``repr``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: json_safe(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(key): json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [json_safe(item) for item in value]
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return json_safe(item())
+        except (TypeError, ValueError):
+            pass
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):
+        return json_safe(tolist())
+    return repr(value)
+
+
+@dataclass
+class StageReport:
+    """Provenance of one pipeline stage: what ran, for how long, how it
+    went. ``detail`` is stage-specific (pre-check predicate lists,
+    formulation metadata, solver identity, assembly annotations)."""
+
+    stage: str
+    status: str
+    seconds: float = 0.0
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "status": self.status,
+            "seconds": float(self.seconds),
+            "detail": json_safe(self.detail),
+        }
+
+
+@dataclass
+class AnnotatedPlan:
+    """One pipeline run's outcome, annotated with costs and provenance.
+
+    Attributes
+    ----------
+    formulation / solver:
+        The formulation-strategy name and the solver that produced the
+        solution (``"classical"`` for baseline arms, ``None`` when no
+        solve stage ran).
+    status:
+        ``"ok"``, ``"rejected"`` (pre-check) or ``"infeasible"``
+        (formulation raised, or the decoded solution violated the
+        problem's hard constraints).
+    solution:
+        The decoded domain solution (join order, plan selection, index
+        set, schedule, shard assignment) — ``None`` unless ``ok``.
+    cost:
+        The formulation's primary scalar cost (lower is better;
+        join-order C_out, MQO total cost, negated index benefit, ...).
+    estimates:
+        All cost estimates the assembly stage computed, keyed by
+        metric name (always includes ``"cost"`` when ``ok``).
+    plan:
+        Optional human-readable rendering (e.g. the join-tree string).
+    provenance:
+        Stage reports plus solver provenance plus workload/instance
+        identification — everything needed to reproduce the run.
+    convergence:
+        The uniform per-iteration convergence rows when the solve
+        config recorded them (see :class:`repro.telemetry.progress`).
+    result:
+        The full in-process :class:`~repro.compile.SolveResult`
+        (samples, all decoded reads). Excluded from serialization.
+    """
+
+    formulation: str
+    solver: Optional[str]
+    status: str
+    solution: Any = None
+    feasible: bool = False
+    cost: Optional[float] = None
+    estimates: Dict[str, Any] = field(default_factory=dict)
+    plan: Optional[str] = None
+    provenance: Dict[str, Any] = field(default_factory=dict)
+    convergence: Optional[List[Dict[str, Any]]] = None
+    result: Any = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.status not in PLAN_STATUSES:
+            raise ValueError(
+                f"status must be one of {PLAN_STATUSES}, "
+                f"got {self.status!r}"
+            )
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe document (drops the in-process ``result``)."""
+        return {
+            "schema": PLAN_SCHEMA,
+            "formulation": self.formulation,
+            "solver": self.solver,
+            "status": self.status,
+            "solution": json_safe(self.solution),
+            "feasible": bool(self.feasible),
+            "cost": None if self.cost is None else float(self.cost),
+            "estimates": json_safe(self.estimates),
+            "plan": self.plan,
+            "provenance": json_safe(self.provenance),
+            "convergence_rows": (len(self.convergence)
+                                 if self.convergence is not None else 0),
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def __repr__(self) -> str:
+        cost = "None" if self.cost is None else f"{self.cost:g}"
+        return (
+            f"AnnotatedPlan(formulation={self.formulation!r}, "
+            f"solver={self.solver!r}, status={self.status!r}, "
+            f"feasible={self.feasible}, cost={cost})"
+        )
+
+
+def validate_plan_document(document: Any) -> List[str]:
+    """Structural check of a serialized plan; returns problem strings.
+
+    Used by the pipeline-bench CLI and the CI smoke step to validate
+    emitted ``AnnotatedPlan`` JSON without re-importing the producer.
+    """
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return ["plan document is not an object"]
+    if document.get("schema") != PLAN_SCHEMA:
+        problems.append(
+            f"schema tag is {document.get('schema')!r}, "
+            f"expected {PLAN_SCHEMA!r}"
+        )
+    for key in ("formulation", "status"):
+        if not isinstance(document.get(key), str):
+            problems.append(f"missing string field {key!r}")
+    if document.get("status") not in PLAN_STATUSES:
+        problems.append(
+            f"status {document.get('status')!r} not in {PLAN_STATUSES}"
+        )
+    if not isinstance(document.get("provenance"), dict):
+        problems.append("missing object 'provenance'")
+    else:
+        stages = document["provenance"].get("stages")
+        if not isinstance(stages, list) or not stages:
+            problems.append("provenance.stages is not a non-empty list")
+    if document.get("status") == STATUS_OK:
+        if not isinstance(document.get("estimates"), dict):
+            problems.append("ok plan missing object 'estimates'")
+        cost = document.get("cost")
+        if not isinstance(cost, (int, float)) or isinstance(cost, bool):
+            problems.append(f"ok plan has non-numeric cost: {cost!r}")
+    return problems

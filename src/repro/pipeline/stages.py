@@ -1,0 +1,382 @@
+"""The four pluggable pipeline stages.
+
+PostBOUND-style staged optimization: a query/workload instance flows
+through
+
+1. :class:`PreCheck` — named predicates that decide whether a
+   formulation supports the instance, each returning an *actionable*
+   failure reason instead of a bare boolean;
+2. :class:`FormulationStrategy` — the per-problem compiler (join
+   ordering, MQO, index selection, transaction scheduling,
+   partitioning) lowered to a :class:`~repro.compile.CompiledProblem`;
+3. :class:`SolveStrategy` — a declarative choice of *how* to solve:
+   any registry solver name, routed through a
+   :class:`~repro.service.SolveService` warm pool when one is
+   attached, or the formulation's classical baseline (the literal
+   string ``"classical"``) — so mixed quantum/classical pipelines are
+   plain data;
+4. :class:`PlanAssembly` — decodes the solve output into an
+   :class:`~repro.pipeline.plan.AnnotatedPlan` with cost estimates,
+   a human-readable rendering, stage provenance and the convergence
+   trace reference.
+
+The stages are deliberately thin protocols: the concrete formulation
+strategies live in :mod:`repro.pipeline.formulations`, the driver in
+:mod:`repro.pipeline.pipeline`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field, replace
+from typing import (
+    Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple,
+)
+
+from ..compile import CompiledProblem, SolveResult, SolverConfig
+from .plan import (
+    STATUS_INFEASIBLE,
+    STATUS_OK,
+    AnnotatedPlan,
+    StageReport,
+    json_safe,
+)
+
+#: Stage names as they appear in provenance, in pipeline order.
+STAGE_PRE_CHECK = "pre_check"
+STAGE_FORMULATION = "formulation"
+STAGE_SOLVE = "solve"
+STAGE_ASSEMBLY = "assembly"
+
+#: Sentinel solver name selecting the formulation's classical baseline.
+CLASSICAL = "classical"
+
+#: A pre-check predicate: ``func(instance)`` returns ``None`` when the
+#: check passes, or a human-actionable failure reason string.
+Predicate = Callable[[Any], Optional[str]]
+
+
+# ----------------------------------------------------------------------
+# Stage 1: pre-check
+# ----------------------------------------------------------------------
+@dataclass
+class PreCheckResult:
+    """Outcome of running every predicate against one instance."""
+
+    passed: bool
+    failures: List[Dict[str, str]] = field(default_factory=list)
+    checked: List[str] = field(default_factory=list)
+
+    @property
+    def reasons(self) -> List[str]:
+        return [failure["reason"] for failure in self.failures]
+
+    @property
+    def failed_checks(self) -> List[str]:
+        return [failure["check"] for failure in self.failures]
+
+
+class PreCheck:
+    """An ordered set of named support predicates.
+
+    Each check is ``(name, predicate)``; a predicate returns ``None``
+    on success or a failure-reason string. Predicates that *raise* are
+    reported as failures (with the exception text) rather than
+    propagating — a broken check must never take the pipeline down.
+    All predicates run even after a failure, so a rejection lists
+    every violated requirement at once.
+    """
+
+    def __init__(self, checks: Iterable[Tuple[str, Predicate]] = ()):
+        self.checks: List[Tuple[str, Predicate]] = list(checks)
+        names = [name for name, _ in self.checks]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate check names: {names}")
+
+    def add(self, name: str, predicate: Predicate) -> "PreCheck":
+        """Append a named predicate (chainable)."""
+        if any(existing == name for existing, _ in self.checks):
+            raise ValueError(f"duplicate check name: {name!r}")
+        self.checks.append((name, predicate))
+        return self
+
+    def merge(self, other: Optional["PreCheck"]) -> "PreCheck":
+        """A new PreCheck running this stage's checks then ``other``'s."""
+        if other is None:
+            return PreCheck(self.checks)
+        return PreCheck(self.checks + other.checks)
+
+    def run(self, instance: Any) -> PreCheckResult:
+        failures: List[Dict[str, str]] = []
+        checked: List[str] = []
+        for name, predicate in self.checks:
+            checked.append(name)
+            try:
+                reason = predicate(instance)
+            except Exception as exc:  # noqa: BLE001 — reported, not raised
+                reason = (f"check raised {type(exc).__name__}: {exc}")
+            if reason is not None:
+                failures.append({"check": name, "reason": str(reason)})
+        return PreCheckResult(
+            passed=not failures, failures=failures, checked=checked
+        )
+
+    def __len__(self) -> int:
+        return len(self.checks)
+
+    def __repr__(self) -> str:
+        return f"PreCheck({[name for name, _ in self.checks]})"
+
+
+# ----------------------------------------------------------------------
+# Stage 2: formulation
+# ----------------------------------------------------------------------
+class FormulationStrategy(abc.ABC):
+    """One database problem's route onto the shared compile/solve IR.
+
+    Concrete strategies wrap the existing :mod:`repro.db` compilers
+    (``JoinOrderQUBO``, ``MQOQUBO``, ...) so the pipeline dispatches
+    the *identical* :class:`~repro.compile.CompiledProblem` and default
+    :class:`~repro.compile.SolverConfig` the module-level ``solve_*``
+    functions use — seeded solutions through the pipeline are
+    bit-for-bit the direct ones.
+    """
+
+    #: Registry key (subclasses override).
+    name: str = "abstract"
+    #: One-line human description.
+    description: str = ""
+
+    #: Upper bound on compiled variables accepted by the pre-check;
+    #: ``None`` disables the bound.
+    max_variables: Optional[int] = None
+
+    # -- required per-problem hooks ------------------------------------
+    @abc.abstractmethod
+    def instance_type(self) -> type:
+        """The domain type instances must be (pre-check predicate)."""
+
+    @abc.abstractmethod
+    def num_variables(self, instance: Any) -> int:
+        """Compiled variable count *without* compiling (pre-check)."""
+
+    @abc.abstractmethod
+    def compile(self, instance: Any) -> CompiledProblem:
+        """Lower the instance to the shared IR."""
+
+    @abc.abstractmethod
+    def default_config(self) -> SolverConfig:
+        """The module's deterministic default solver config."""
+
+    @abc.abstractmethod
+    def classical_baseline(self, instance: Any) -> Any:
+        """Deterministic classical solution (the ``"classical"`` arm)."""
+
+    @abc.abstractmethod
+    def feasible(self, instance: Any, solution: Any) -> bool:
+        """Whether a solution satisfies the instance's hard constraints."""
+
+    @abc.abstractmethod
+    def annotate(self, instance: Any, solution: Any) -> Dict[str, Any]:
+        """Cost estimates for the assembled plan.
+
+        Must include ``"cost"`` — the formulation's primary
+        lower-is-better scalar (:mod:`repro.db.cost` C_out for join
+        ordering, total plan cost for MQO, *negated* benefit for index
+        selection, makespan for scheduling, cut weight for
+        partitioning).
+        """
+
+    # -- optional hooks -------------------------------------------------
+    def finalize(self, instance: Any, solution: Any) -> Any:
+        """Post-solve refinement hook (e.g. 2-opt polish); identity by
+        default. Runs inside plan assembly, before annotation."""
+        return solution
+
+    def render(self, instance: Any, solution: Any) -> Optional[str]:
+        """Optional human-readable plan string."""
+        return None
+
+    def pre_check(self) -> PreCheck:
+        """The formulation's support predicates.
+
+        Base implementation: instance-type check plus the optional
+        ``max_variables`` bound. Subclasses extend via
+        ``super().pre_check().add(...)``.
+        """
+        expected = self.instance_type()
+
+        def check_type(instance: Any) -> Optional[str]:
+            if not isinstance(instance, expected):
+                return (
+                    f"{self.name} expects a {expected.__name__}, "
+                    f"got {type(instance).__name__}"
+                )
+            return None
+
+        def check_size(instance: Any) -> Optional[str]:
+            if self.max_variables is None:
+                return None
+            needed = self.num_variables(instance)
+            if needed > self.max_variables:
+                return (
+                    f"instance compiles to {needed} variables, over "
+                    f"this strategy's max_variables={self.max_variables}"
+                    f" — shrink the instance or raise the bound"
+                )
+            return None
+
+        return PreCheck([
+            (f"{self.name}.instance_type", check_type),
+            (f"{self.name}.max_variables", check_size),
+        ])
+
+    def describe(self) -> Dict[str, Any]:
+        """Provenance record of this strategy's identity and knobs."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "max_variables": self.max_variables,
+        }
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+# ----------------------------------------------------------------------
+# Stage 3: solve strategy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SolveStrategy:
+    """Declarative choice of how a compiled problem gets solved.
+
+    ``solver`` is a registry name (``"sa"``, ``"exact"``, ...) or
+    :data:`CLASSICAL` for the formulation's classical baseline.
+    ``config=None`` means the formulation's deterministic default —
+    exactly what the module-level ``solve_*`` functions use, keeping
+    pipeline runs bit-for-bit comparable to direct ones.
+    """
+
+    solver: str = "sa"
+    config: Optional[SolverConfig] = None
+    repair: bool = False
+
+    @property
+    def is_classical(self) -> bool:
+        return self.solver == CLASSICAL
+
+    def resolve_config(self,
+                       formulation: FormulationStrategy,
+                       override: Optional[SolverConfig] = None
+                       ) -> Optional[SolverConfig]:
+        """Per-call override > strategy config > formulation default."""
+        if self.is_classical:
+            return None
+        if override is not None:
+            return override
+        if self.config is not None:
+            return self.config
+        return formulation.default_config()
+
+    def with_config(self, config: Optional[SolverConfig]
+                    ) -> "SolveStrategy":
+        return replace(self, config=config)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "solver": self.solver,
+            "config": (None if self.config is None
+                       else json_safe(self.config)),
+            "repair": self.repair,
+        }
+
+
+def as_solve_strategy(solve: Any) -> SolveStrategy:
+    """Coerce ``str`` / ``SolveStrategy`` / ``None`` to a strategy."""
+    if solve is None:
+        return SolveStrategy()
+    if isinstance(solve, SolveStrategy):
+        return solve
+    if isinstance(solve, str):
+        return SolveStrategy(solver=solve)
+    raise TypeError(
+        "solve must be a solver name string or a SolveStrategy, "
+        f"got {type(solve).__name__}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Stage 4: plan assembly
+# ----------------------------------------------------------------------
+class PlanAssembly:
+    """Turns a solve outcome into an :class:`AnnotatedPlan`.
+
+    Runs the formulation's ``finalize`` hook (polish), computes cost
+    estimates and the rendering, derives the plan status from
+    feasibility, and threads stage reports + solver provenance +
+    caller-supplied identification (workload/instance keys) into the
+    plan's ``provenance``.
+    """
+
+    def assemble(self,
+                 formulation: FormulationStrategy,
+                 instance: Any,
+                 solve: SolveStrategy,
+                 solution: Any,
+                 feasible: bool,
+                 stages: Sequence[StageReport],
+                 result: Optional[SolveResult] = None,
+                 extra_provenance: Optional[Dict[str, Any]] = None
+                 ) -> AnnotatedPlan:
+        solution = formulation.finalize(instance, solution)
+        estimates = formulation.annotate(instance, solution)
+        if "cost" not in estimates:
+            raise ValueError(
+                f"{formulation.name}.annotate() must include 'cost'"
+            )
+        rendering = formulation.render(instance, solution)
+        status = STATUS_OK if feasible else STATUS_INFEASIBLE
+        provenance: Dict[str, Any] = {
+            "formulation": formulation.describe(),
+            "solve": solve.describe(),
+            "stages": [report.to_dict() for report in stages],
+        }
+        if result is not None:
+            provenance["solver"] = json_safe(result.provenance)
+        if extra_provenance:
+            provenance.update(json_safe(extra_provenance))
+        return AnnotatedPlan(
+            formulation=formulation.name,
+            solver=solve.solver,
+            status=status,
+            solution=solution,
+            feasible=bool(feasible),
+            cost=float(estimates["cost"]),
+            estimates=estimates,
+            plan=rendering,
+            provenance=provenance,
+            convergence=(None if result is None else result.convergence),
+            result=result,
+        )
+
+    def failure(self,
+                formulation: FormulationStrategy,
+                solve: SolveStrategy,
+                status: str,
+                stages: Sequence[StageReport],
+                extra_provenance: Optional[Dict[str, Any]] = None
+                ) -> AnnotatedPlan:
+        """A rejected/infeasible plan whose provenance says why."""
+        provenance: Dict[str, Any] = {
+            "formulation": formulation.describe(),
+            "solve": solve.describe(),
+            "stages": [report.to_dict() for report in stages],
+        }
+        if extra_provenance:
+            provenance.update(json_safe(extra_provenance))
+        return AnnotatedPlan(
+            formulation=formulation.name,
+            solver=None,
+            status=status,
+            provenance=provenance,
+        )

@@ -1,0 +1,128 @@
+"""Failure-path tests: rejection reasons, raising stages, unknown names.
+
+The pipeline's contract under failure: nothing propagates out of
+``optimize`` — a failing pre-check yields a ``rejected`` plan naming
+every violated predicate, a raising formulation/solver yields an
+``infeasible`` plan carrying the error in stage provenance, and
+unknown strategy names raise immediately at construction listing the
+registered alternatives.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.db.indexsel import IndexSelectionProblem
+from repro.db.mqo import MQOProblem
+from repro.db.workloads import random_join_graph
+from repro.pipeline import (
+    JoinOrderFormulation,
+    OptimizationPipeline,
+    PreCheck,
+    validate_plan_document,
+)
+
+
+def test_wrong_instance_type_is_rejected_with_named_predicate():
+    plan = OptimizationPipeline("joinorder").optimize(
+        MQOProblem.random(3, 2, seed=0)
+    )
+    assert plan.status == "rejected"
+    assert plan.solution is None and plan.cost is None
+    report = plan.provenance["stages"][0]
+    assert report["stage"] == "pre_check"
+    assert report["status"] == "rejected"
+    failures = report["detail"]["failures"]
+    assert [f["check"] for f in failures] == ["joinorder.instance_type"]
+    assert "expects a JoinGraph" in failures[0]["reason"]
+    # A rejected plan is still a valid serializable document.
+    assert validate_plan_document(plan.to_dict()) == []
+
+
+def test_budget_infeasible_rejection_is_actionable():
+    problem = IndexSelectionProblem.random(5, seed=0)
+    assert min(problem.sizes) > 1
+    starved = dataclasses.replace(problem,
+                                  budget=min(problem.sizes) - 1)
+    plan = OptimizationPipeline("indexsel").optimize(starved)
+    assert plan.status == "rejected"
+    failures = plan.provenance["stages"][0]["detail"]["failures"]
+    assert [f["check"] for f in failures] == ["indexsel.budget_feasible"]
+    assert "raise the budget" in failures[0]["reason"]
+
+
+def test_max_variables_cap_rejects_large_instances():
+    graph = random_join_graph(6, "chain", seed=0)
+    plan = OptimizationPipeline(
+        JoinOrderFormulation(max_variables=10)
+    ).optimize(graph)
+    assert plan.status == "rejected"
+    failures = plan.provenance["stages"][0]["detail"]["failures"]
+    assert [f["check"] for f in failures] == ["joinorder.max_variables"]
+
+
+def test_rejection_lists_every_failing_predicate():
+    """All predicates run even after the first failure."""
+    always = PreCheck().add(
+        "custom.always_fails", lambda instance: "nope"
+    )
+    plan = OptimizationPipeline(
+        JoinOrderFormulation(max_variables=10), pre_check=always
+    ).optimize(random_join_graph(6, "chain", seed=0))
+    assert plan.status == "rejected"
+    failures = plan.provenance["stages"][0]["detail"]["failures"]
+    assert {f["check"] for f in failures} == {
+        "joinorder.max_variables", "custom.always_fails",
+    }
+
+
+def test_raising_formulation_marks_plan_infeasible_with_provenance():
+    class BrokenFormulation(JoinOrderFormulation):
+        name = "broken"
+
+        def compile(self, graph):
+            raise RuntimeError("compiler exploded")
+
+    plan = OptimizationPipeline(BrokenFormulation()).optimize(
+        random_join_graph(4, "chain", seed=0)
+    )
+    assert plan.status == "infeasible"
+    report = plan.provenance["stages"][-1]
+    assert report["stage"] == "formulation"
+    assert report["status"] == "error"
+    assert report["detail"]["error_type"] == "RuntimeError"
+    assert "compiler exploded" in report["detail"]["error"]
+    assert validate_plan_document(plan.to_dict()) == []
+
+
+def test_raising_predicate_becomes_a_failure_not_an_exception():
+    def bad_predicate(instance):
+        raise ValueError("predicate bug")
+
+    plan = OptimizationPipeline(
+        "joinorder",
+        pre_check=PreCheck().add("custom.buggy", bad_predicate),
+    ).optimize(random_join_graph(4, "chain", seed=0))
+    assert plan.status == "rejected"
+    failures = plan.provenance["stages"][0]["detail"]["failures"]
+    assert failures[0]["check"] == "custom.buggy"
+    assert "check raised ValueError" in failures[0]["reason"]
+
+
+def test_unknown_formulation_name_lists_alternatives():
+    with pytest.raises(ValueError) as excinfo:
+        OptimizationPipeline("nonesuch")
+    message = str(excinfo.value)
+    assert "unknown formulation 'nonesuch'" in message
+    for name in ("indexsel", "joinorder", "mqo", "partitioning",
+                 "txsched"):
+        assert name in message
+
+
+def test_unknown_solver_name_lists_alternatives():
+    with pytest.raises(ValueError) as excinfo:
+        OptimizationPipeline("joinorder", solve="nonesuch")
+    message = str(excinfo.value)
+    assert "unknown solver 'nonesuch'" in message
+    assert "sa" in message
+    assert "classical" in message

@@ -1,0 +1,170 @@
+"""Pipeline parity and plan-assembly tests.
+
+The load-bearing guarantee: every formulation routed through
+``OptimizationPipeline`` produces bit-for-bit the same seeded solution
+as the direct ``solve_*`` free function it refactors, because the
+strategy dispatches the identical compiled problem at the identical
+module default config.
+"""
+
+import json
+
+import pytest
+
+from repro.db.indexsel import (
+    IndexSelectionProblem,
+    solve_index_selection_annealing,
+)
+from repro.db.joinorder import solve_join_order_annealing
+from repro.db.mqo import MQOProblem, solve_mqo_annealing
+from repro.db.partitioning import PartitioningProblem, partition_annealing
+from repro.db.txsched import (
+    TransactionSchedulingProblem,
+    minimum_slots_annealing,
+    schedule_greedy_first_fit,
+    solve_scheduling_annealing,
+)
+from repro.db.workloads import generate_join_workload, random_join_graph
+from repro.pipeline import (
+    OptimizationPipeline,
+    TransactionSchedulingFormulation,
+    available_formulations,
+    validate_plan_document,
+)
+
+
+def test_registry_lists_all_five_formulations():
+    assert sorted(available_formulations()) == [
+        "indexsel", "joinorder", "mqo", "partitioning", "txsched",
+    ]
+
+
+def test_joinorder_parity_with_direct_solve():
+    for seed in (0, 7, 21):
+        graph = random_join_graph(5, "star", seed=seed)
+        direct = solve_join_order_annealing(graph, polish=True)
+        plan = OptimizationPipeline("joinorder").optimize(graph)
+        assert plan.status == "ok"
+        assert plan.solution.order == direct.order
+        assert plan.cost == direct.cost
+
+
+def test_mqo_parity_with_direct_solve():
+    problem = MQOProblem.random(4, 3, seed=11)
+    selection, cost = solve_mqo_annealing(problem)
+    plan = OptimizationPipeline("mqo").optimize(problem)
+    assert list(plan.solution) == list(selection)
+    assert plan.cost == cost
+
+
+def test_indexsel_parity_with_direct_solve():
+    problem = IndexSelectionProblem.random(8, seed=3)
+    selection, benefit = solve_index_selection_annealing(problem)
+    plan = OptimizationPipeline("indexsel").optimize(problem)
+    assert sorted(plan.solution) == sorted(selection)
+    assert plan.estimates["benefit"] == benefit
+    # Lower-is-better convention: cost is the negated benefit.
+    assert plan.cost == -benefit
+
+
+def test_txsched_fixed_slot_parity_with_direct_solve():
+    problem = TransactionSchedulingProblem.random(
+        8, num_objects=12, seed=5
+    )
+    for num_slots in (2, 3, 4):
+        direct = solve_scheduling_annealing(problem, num_slots)
+        plan = OptimizationPipeline(
+            TransactionSchedulingFormulation(num_slots=num_slots)
+        ).optimize(problem)
+        assert list(plan.solution) == list(direct)
+
+
+def test_txsched_minimum_slots_scan_parity():
+    """The E11 scan (per-k pipelines, greedy fallback) reproduces
+    ``minimum_slots_annealing`` exactly."""
+    problem = TransactionSchedulingProblem.random(
+        8, num_objects=12, seed=5
+    )
+    direct = minimum_slots_annealing(problem)
+    greedy = schedule_greedy_first_fit(problem)
+    annealed = greedy
+    for k in range(1, problem.makespan(greedy) + 1):
+        plan = OptimizationPipeline(
+            TransactionSchedulingFormulation(num_slots=k)
+        ).optimize(problem)
+        if plan.feasible:
+            annealed = plan.solution
+            break
+    assert list(annealed) == list(direct)
+
+
+def test_partitioning_parity_with_direct_solve():
+    problem = PartitioningProblem.random(10, seed=9)
+    direct = partition_annealing(problem)
+    plan = OptimizationPipeline("partitioning").optimize(problem)
+    assert list(plan.solution) == list(direct)
+
+
+@pytest.mark.parametrize("name,instance", [
+    ("joinorder", random_join_graph(4, "chain", seed=1)),
+    ("mqo", MQOProblem.random(3, 2, seed=1)),
+    ("indexsel", IndexSelectionProblem.random(6, seed=1)),
+    ("txsched",
+     TransactionSchedulingProblem.random(6, num_objects=8, seed=1)),
+    ("partitioning", PartitioningProblem.random(8, seed=1)),
+])
+def test_classical_arm_assembles_ok_plan(name, instance):
+    plan = OptimizationPipeline(name, solve="classical").optimize(
+        instance
+    )
+    assert plan.status == "ok"
+    assert plan.solver == "classical"
+    assert plan.feasible
+    assert "cost" in plan.estimates
+    # The formulation stage is skipped — no QUBO is compiled.
+    stages = {report["stage"]: report
+              for report in plan.provenance["stages"]}
+    assert stages["formulation"]["status"] == "skipped"
+    assert validate_plan_document(plan.to_dict()) == []
+
+
+def test_plan_document_round_trips_through_json():
+    graph = random_join_graph(4, "star", seed=2)
+    plan = OptimizationPipeline("joinorder").optimize(graph)
+    document = json.loads(plan.to_json())
+    assert validate_plan_document(document) == []
+    assert document["schema"] == "repro-pipeline/v1"
+    assert document["formulation"] == "joinorder"
+    assert document["status"] == "ok"
+    stage_names = [report["stage"]
+                   for report in document["provenance"]["stages"]]
+    assert stage_names == ["pre_check", "formulation", "solve",
+                           "assembly"]
+    assert document["convergence_rows"] >= 0
+
+
+def test_optimize_workload_matches_per_instance_optimize():
+    workload = generate_join_workload(
+        topologies=("chain", "star"), sizes=(4,),
+        instances_per_cell=2, seed=0,
+    )
+    pipeline = OptimizationPipeline("joinorder")
+    batch = pipeline.optimize_workload(workload.graphs())
+    singles = [pipeline.optimize(graph) for graph in workload.graphs()]
+    assert len(batch) == len(workload)
+    for got, want in zip(batch, singles):
+        assert got.solution.order == want.solution.order
+        assert got.cost == want.cost
+
+
+def test_workload_provenance_tags_each_plan():
+    workload = generate_join_workload(
+        topologies=("chain",), sizes=(4,), instances_per_cell=2, seed=0,
+    )
+    plans = OptimizationPipeline("joinorder").optimize_workload(
+        workload.graphs(),
+        provenance={"workload_key": workload.workload_key},
+    )
+    for index, plan in enumerate(plans):
+        assert plan.provenance["workload_key"] == workload.workload_key
+        assert plan.provenance["workload_index"] == index

@@ -1,0 +1,56 @@
+"""``pipeline_service_parity``: warm-pool routing is bit-for-bit.
+
+Routing a pipeline workload through a :class:`SolveService` warm pool
+(PR 7's shared-memory dispatch + cross-job batch folding) must return
+exactly the plans the in-process path produces — same orders, same
+costs — with the routing visible in stage provenance.
+"""
+
+from repro.db.workloads import generate_join_workload
+from repro.experiments.harness import run_pipeline
+from repro.pipeline import JoinOrderFormulation, OptimizationPipeline
+from repro.service import SolveService
+
+
+def _solve_report(plan):
+    return next(report for report in plan.provenance["stages"]
+                if report["stage"] == "solve")
+
+
+def test_pipeline_service_parity_workers_0_vs_2():
+    workload = generate_join_workload(
+        topologies=("chain", "star"), sizes=(4, 5),
+        instances_per_cell=2, seed=0,
+    )
+    formulation = JoinOrderFormulation(polish=False)
+    direct = run_pipeline(workload.graphs(), formulation, workers=0)
+    pooled = run_pipeline(workload.graphs(), formulation, workers=2)
+    assert len(direct) == len(pooled) == len(workload)
+    for in_process, via_pool in zip(direct, pooled):
+        assert in_process.status == via_pool.status == "ok"
+        assert in_process.solution.order == via_pool.solution.order
+        assert in_process.cost == via_pool.cost
+        assert not _solve_report(in_process)["detail"].get(
+            "via_service", False
+        )
+        assert _solve_report(via_pool)["detail"]["via_service"] is True
+
+
+def test_pipeline_reuses_caller_provided_service():
+    workload = generate_join_workload(
+        topologies=("chain",), sizes=(4,), instances_per_cell=3, seed=1,
+    )
+    reference = OptimizationPipeline(
+        "joinorder", solve="sa"
+    ).optimize_workload(workload.graphs())
+    with SolveService(max_workers=2, mode="process") as service:
+        pipeline = OptimizationPipeline("joinorder", solve="sa",
+                                        service=service)
+        plans = pipeline.optimize_workload(workload.graphs())
+        stats = service.stats()
+    assert stats["pool"]["jobs_run"] >= len(workload)
+    for got, want in zip(plans, reference):
+        assert got.solution.order == want.solution.order
+        assert got.cost == want.cost
+        # The solver-side provenance records the service routing.
+        assert got.provenance["solver"]["service"]["mode"] == "process"
