@@ -19,7 +19,16 @@ reference workloads:
   with the instrumentation stripped. This pins the cheap-when-off
   guarantee of ``repro.telemetry.metrics``: fetching ``get_registry()``
   and branching on ``None`` must stay inside the workload's embedded
-  ``gate_max_overhead`` budget (2% at full scale);
+  ``gate_max_overhead`` budget (2% at full scale). The same record
+  covers the whole observability stack's disabled branches — the
+  ``repro.compile.solve`` front door (telemetry span + profiler +
+  metrics guards) vs a guard-free replica (``frontdoor_overhead``);
+* **obs overhead** — the service-throughput batch with the
+  trace-context and flight-recorder layers *enabled* vs the identical
+  batch with them off: minting contexts, tagging jobs, ring-buffer
+  recording and drain attribution must stay under the embedded
+  ``gate_max_overhead`` (5% at full scale) with bit-for-bit identical
+  results;
 * **pipeline throughput** — a generated JOB-style join-order workload
   (``repro.db.workloads``) pushed through the staged
   ``repro.pipeline.OptimizationPipeline`` vs the direct
@@ -63,7 +72,10 @@ from repro.quantum.statevector import (
     _apply_instruction_batch,
     _structurally_identical,
 )
+from repro.telemetry import context as _tracectx
+from repro.telemetry import flight as _flight
 from repro.telemetry import metrics as _metrics
+from repro.telemetry import profiler as _profiler
 from repro.telemetry.bench_schema import (
     BENCH_SCHEMA,
     MAX_DISPATCH_OVERHEAD,
@@ -88,6 +100,9 @@ FULL_SCALE = {
                  "size": 6, "instances_per_cell": 12,
                  "num_sweeps": 200, "num_reads": 10, "repeats": 3,
                  "gate_max_overhead": 0.05},
+    "obs": {"num_jobs": 8, "num_relations": 7, "num_sweeps": 600,
+            "num_reads": 30, "workers": 2, "repeats": 3,
+            "gate_max_overhead": 0.05},
 }
 SMOKE_SCALE = {
     "kernel": {"num_points": 12, "num_features": 4, "depth": 2},
@@ -104,6 +119,9 @@ SMOKE_SCALE = {
                  "instances_per_cell": 4, "num_sweeps": 100,
                  "num_reads": 5, "repeats": 2,
                  "gate_max_overhead": 0.5},
+    "obs": {"num_jobs": 4, "num_relations": 6, "num_sweeps": 300,
+            "num_reads": 10, "workers": 2, "repeats": 2,
+            "gate_max_overhead": 0.5},
 }
 
 #: Speedup floor the service workload must clear when real
@@ -487,6 +505,23 @@ def bare_run_batch(circuits, num_qubits):
     return states
 
 
+def bare_frontdoor_solve(problem, config):
+    """``repro.compile.solve`` minus every observability guard.
+
+    Same registry backend, same decode, same result assembly — with
+    the telemetry span, profiler ``maybe_capture``, metrics-registry
+    histogram and convergence plumbing stripped. This is the baseline
+    the front door's fully-disabled cost is measured against.
+    """
+    spec = compile_dispatch._REGISTRY["sa"]
+    start = time.perf_counter()
+    samples = spec.run(problem.model, config, None)
+    solutions = compile_dispatch.decode_samples(problem, samples)
+    duration = time.perf_counter() - start
+    return compile_dispatch.assemble_result(
+        problem, "sa", config, samples, solutions, duration)
+
+
 def _min_paired_times(bare_fn, shipped_fn, repeats):
     """Interleaved timings; returns (bare_min, shipped_min, overhead).
 
@@ -545,12 +580,13 @@ def run_metrics_overhead_workload(collector, num_spins, num_reads,
                                   seed=19):
     """Cheap-when-off gate for the live-metrics instrumentation.
 
-    Three instrumented hot paths — SA ``solve`` (read-vectorized
-    sweeps), ``run_batch`` (template batching) and
-    ``run_registry_backend`` (the service workers' dispatch slice) —
-    are timed with *all* accounting disabled and compared against bare
-    replicas of the identical numerical work with the instrumentation
-    stripped. ``overhead_fraction`` is the worst of the three and the
+    Four instrumented hot paths — SA ``solve`` (read-vectorized
+    sweeps), ``run_batch`` (template batching),
+    ``run_registry_backend`` (the service workers' dispatch slice) and
+    the ``repro.compile.solve`` front door (telemetry span + profiler
+    + metrics guards around the same backend) — are timed with *all*
+    accounting disabled and compared against bare replicas of the
+    identical numerical work with the instrumentation stripped. ``overhead_fraction`` is the worst of the three and the
     record embeds ``gate_max_overhead`` so ``bench_schema --gates``
     enforces the budget (2% at full scale). Every global collector /
     tracer / metrics registry is parked for the duration so the timed
@@ -559,6 +595,15 @@ def run_metrics_overhead_workload(collector, num_spins, num_reads,
     saved_collector = telemetry.get_collector()
     saved_tracer = telemetry.get_tracer()
     saved_registry = _metrics.get_registry()
+    # Park the trace-context / flight / profiler globals too: the
+    # front-door pair below times the fully-disabled branch of every
+    # observability layer, not just metrics.
+    saved_context = _tracectx._state
+    saved_flight = _flight._recorder
+    saved_profiler = _profiler._config
+    _tracectx._state = None
+    _flight._recorder = None
+    _profiler._config = None
     if saved_collector is not None:
         telemetry.disable()
     if saved_tracer is not None:
@@ -589,6 +634,10 @@ def run_metrics_overhead_workload(collector, num_spins, num_reads,
             ising, config, None)
         shipped_dispatch = compile_dispatch.run_registry_backend(
             ising, "sa", config)
+        compiled = JoinOrderQUBO(random_join_graph(
+            6, "chain", seed=seed)).compile()
+        bare_front = bare_frontdoor_solve(compiled, config)
+        shipped_front = dispatch_solve(compiled, "sa", config=config)
         deterministic = bool(
             np.array_equal(bare_samples.energies(),
                            shipped_samples.energies())
@@ -597,6 +646,10 @@ def run_metrics_overhead_workload(collector, num_spins, num_reads,
             and np.array_equal(bare_states, shipped_states)
             and np.array_equal(bare_dispatch.energies(),
                                shipped_dispatch.energies())
+            and bare_front.solution == shipped_front.solution
+            and bare_front.energy == shipped_front.energy
+            and np.array_equal(bare_front.energies,
+                               shipped_front.energies)
         )
 
         sa_bare, sa_shipped, sa_over = _min_paired_times(
@@ -615,7 +668,14 @@ def run_metrics_overhead_workload(collector, num_spins, num_reads,
             lambda: compile_dispatch.run_registry_backend(
                 ising, "sa", config),
             repeats)
+        front_bare, front_shipped, front_over = _min_paired_times(
+            lambda: bare_frontdoor_solve(compiled, config),
+            lambda: dispatch_solve(compiled, "sa", config=config),
+            repeats)
     finally:
+        _tracectx._state = saved_context
+        _flight._recorder = saved_flight
+        _profiler._config = saved_profiler
         if saved_collector is not None:
             telemetry.enable(saved_collector)
         if saved_tracer is not None:
@@ -627,6 +687,7 @@ def run_metrics_overhead_workload(collector, num_spins, num_reads,
         "sa_overhead": sa_over,
         "batch_overhead": batch_over,
         "dispatch_overhead": dispatch_over,
+        "frontdoor_overhead": front_over,
     }
     return {
         "name": "metrics_overhead",
@@ -647,10 +708,91 @@ def run_metrics_overhead_workload(collector, num_spins, num_reads,
         "batch_shipped_seconds": batch_shipped,
         "dispatch_bare_seconds": dispatch_bare,
         "dispatch_shipped_seconds": dispatch_shipped,
+        "frontdoor_bare_seconds": front_bare,
+        "frontdoor_shipped_seconds": front_shipped,
         **overheads,
         "overhead_fraction": max(overheads.values()),
         "gate_max_overhead": gate_max_overhead,
         "deterministic": deterministic,
+    }
+
+
+def run_obs_overhead_workload(collector, num_jobs, num_relations,
+                              num_sweeps, num_reads, workers, repeats,
+                              gate_max_overhead, seed=29):
+    """Enabled-cost gate for the trace-context + flight-recorder stack.
+
+    The service-throughput batch (independent seeded join-order jobs
+    on the warm pool) runs once with the correlated-observability
+    layers *off* and once with trace contexts and the in-memory flight
+    recorder *on* — the configuration ``serve-bench --context
+    --flight`` ships. The enabled side pays context minting per job,
+    trace-id plumbing over the pipe protocol, ring-buffer recording
+    and drain attribution; the record's ``overhead_fraction`` caps
+    that cost at the embedded ``gate_max_overhead`` (5% at full
+    scale). ``matches_direct`` asserts the observed batch reproduces
+    the plain batch bit for bit — observability never touches the
+    answer — and ``traced_jobs`` counts the distinct trace ids minted
+    (one per job).
+    """
+    from repro.service import SolveService
+    from repro.service.bench import build_jobs, results_match
+
+    jobs = build_jobs(num_jobs, num_relations, num_sweeps, num_reads,
+                      seed)
+    specs = [(problem, "sa", config) for problem, config in jobs]
+
+    def run_plain():
+        with SolveService(max_workers=workers) as service:
+            return service.solve_many(specs)
+
+    def run_observed():
+        _tracectx.enable_context()
+        _flight.enable_flight()
+        try:
+            with SolveService(max_workers=workers) as service:
+                return service.solve_many(specs)
+        finally:
+            _flight.disable_flight()
+            _tracectx.disable_context()
+
+    # Correctness first: the observed batch must reproduce the plain
+    # batch bit for bit, and a second observed run must reproduce the
+    # first (fresh service, fresh contexts — same answers).
+    plain_warm = run_plain()
+    observed_warm = run_observed()
+    observed_repeat = run_observed()
+    trace_ids = {result.provenance["service"]["trace_id"]
+                 for result in observed_warm}
+
+    plain_min, observed_min, overhead = _min_paired_times(
+        run_plain, run_observed, repeats)
+
+    return {
+        "name": "obs_overhead",
+        "params": {
+            "num_jobs": num_jobs,
+            "num_relations": num_relations,
+            "num_sweeps": num_sweeps,
+            "num_reads": num_reads,
+            "workers": workers,
+            "repeats": repeats,
+            "seed": seed,
+            "cpu_count": os.cpu_count() or 1,
+        },
+        "plain_seconds": plain_min,
+        "observed_seconds": observed_min,
+        "overhead_fraction": overhead,
+        "matches_direct": all(
+            results_match(plain, observed)
+            for plain, observed in zip(plain_warm, observed_warm)
+        ),
+        "deterministic": all(
+            results_match(first, second)
+            for first, second in zip(observed_warm, observed_repeat)
+        ),
+        "traced_jobs": len(trace_ids),
+        "gate_max_overhead": gate_max_overhead,
     }
 
 
@@ -754,6 +896,7 @@ def run_workloads(scale, collector=None):
         run_service_workload(collector, **scale["service"]),
         run_metrics_overhead_workload(collector, **scale["metrics"]),
         run_pipeline_workload(collector, **scale["pipeline"]),
+        run_obs_overhead_workload(collector, **scale["obs"]),
     ]
 
 
@@ -827,9 +970,22 @@ def test_perf_metrics_guard_is_cheap_when_off(bench_telemetry):
     record = run_metrics_overhead_workload(bench_telemetry,
                                            **SMOKE_SCALE["metrics"])
     print("\nmetrics-off overhead: sa {sa_overhead:+.2%}, batch "
-          "{batch_overhead:+.2%}, dispatch {dispatch_overhead:+.2%} "
+          "{batch_overhead:+.2%}, dispatch {dispatch_overhead:+.2%}, "
+          "frontdoor {frontdoor_overhead:+.2%} "
           "(gate < {gate_max_overhead:.0%})".format(**record))
     assert record["deterministic"]
+    assert record["overhead_fraction"] < record["gate_max_overhead"]
+
+
+def test_perf_obs_stack_is_cheap_when_on(bench_telemetry):
+    record = run_obs_overhead_workload(bench_telemetry,
+                                       **SMOKE_SCALE["obs"])
+    print("\nobs-on overhead: plain {plain_seconds:.4f}s vs observed "
+          "{observed_seconds:.4f}s ({overhead_fraction:+.2%}, gate < "
+          "{gate_max_overhead:.0%})".format(**record))
+    assert record["matches_direct"]
+    assert record["deterministic"]
+    assert record["traced_jobs"] == record["params"]["num_jobs"]
     assert record["overhead_fraction"] < record["gate_max_overhead"]
 
 
@@ -876,9 +1032,15 @@ def main():
         elif record["name"] == "metrics_overhead":
             print("{name}: sa {sa_overhead:+.2%}, batch "
                   "{batch_overhead:+.2%}, dispatch "
-                  "{dispatch_overhead:+.2%} (worst "
+                  "{dispatch_overhead:+.2%}, frontdoor "
+                  "{frontdoor_overhead:+.2%} (worst "
                   "{overhead_fraction:+.2%}, gate < "
                   "{gate_max_overhead:.0%})".format(**record))
+        elif record["name"] == "obs_overhead":
+            print("{name}: plain {plain_seconds:.3f}s, observed "
+                  "{observed_seconds:.3f}s -> {overhead_fraction:+.2%} "
+                  "overhead (gate < {gate_max_overhead:.0%})"
+                  .format(**record))
         elif record["name"] == "pipeline_throughput":
             print("{name}: direct {direct_seconds:.3f}s, pipeline "
                   "{pipeline_seconds:.3f}s -> {overhead_fraction:+.2%} "

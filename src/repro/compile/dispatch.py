@@ -44,6 +44,7 @@ import numpy as np
 
 from .. import telemetry
 from ..telemetry import metrics as _metrics
+from ..telemetry import profiler as _profiler
 from ..telemetry.progress import ProgressTrace
 from ..annealing.exact import solve_ising_exact, solve_qubo_exact
 from ..annealing.ising import IsingModel, spins_to_bits
@@ -449,7 +450,8 @@ def make_solver(name: str, config: Optional[SolverConfig] = None
 def solve(problem: CompiledProblem,
           solver: Union[str, Any] = "sa",
           config: Optional[SolverConfig] = None,
-          repair: bool = False) -> SolveResult:
+          repair: bool = False,
+          profile: Optional[bool] = None) -> SolveResult:
     """Solve a compiled problem with a registered (or ad-hoc) solver.
 
     ``solver`` is a registry name, or any object with a
@@ -457,6 +459,15 @@ def solve(problem: CompiledProblem,
     instances; ``config`` is ignored for those). ``repair=True``
     additionally applies the problem's optional ``repair`` hook to the
     best decoded solution before the feasibility check.
+
+    ``profile`` controls the sampling wall-clock profiler
+    (:mod:`repro.telemetry.profiler`): ``True`` captures this call,
+    ``False`` never does, and the default ``None`` defers to
+    :func:`~repro.telemetry.enable_profiling` /``REPRO_PROFILE=1``.
+    The aggregated stack summary lands in
+    ``result.provenance["profile"]`` and mirrors onto the event trace.
+    The sampler only *reads* frames from a helper thread — it never
+    interrupts the backend, so results are bit-for-bit unchanged.
     """
     config = config if config is not None else SolverConfig()
     if isinstance(solver, str):
@@ -500,9 +511,14 @@ def solve(problem: CompiledProblem,
 
     progress = (ProgressTrace(label=solver_name)
                 if config.convergence_active() else None)
+    capture = _profiler.maybe_capture(profile)
     start = time.perf_counter()
     with telemetry.span(f"compile.solve.{problem.name}"):
-        samples = run(problem.model, config, progress)
+        if capture is not None:
+            with capture:
+                samples = run(problem.model, config, progress)
+        else:
+            samples = run(problem.model, config, progress)
         solutions = decode_samples(problem, samples)
     duration = time.perf_counter() - start
     registry = _metrics.get_registry()
@@ -513,8 +529,14 @@ def solve(problem: CompiledProblem,
             ("solver",)).labels(solver=solver_name).observe(duration)
     if progress is not None:
         progress.note_truncation()
+    provenance_extra = None
+    if capture is not None:
+        summary = capture.summary()
+        provenance_extra = {"profile": summary}
+        _profiler.mirror_to_trace(summary, f"profile.{solver_name}")
     return assemble_result(
         problem, solver_name, config, samples, solutions, duration,
         convergence=progress.rows() if progress is not None else None,
         repair=repair,
+        provenance_extra=provenance_extra,
     )

@@ -12,6 +12,7 @@ Usage::
     python -m repro.experiments E8 --trace out.json  # event timeline
     python -m repro.experiments bench-compare base.json cand.json
     python -m repro.experiments metrics-report metrics.json
+    python -m repro.experiments obs-report trace.json --list
 
 ``--solver name`` forwards a solver-registry name (``sa``, ``sqa``,
 ``tabu``, ``qaoa``, ``exact``, ``pt``) to every selected experiment
@@ -38,7 +39,9 @@ regressed beyond tolerance (see
 :mod:`repro.telemetry.bench_compare`). ``metrics-report`` renders a
 ``repro-metrics/v1`` snapshot (or sampler JSONL) as a text dashboard
 with latency quantiles and an SLO health section (see
-:mod:`repro.telemetry.metrics_report`).
+:mod:`repro.telemetry.metrics_report`). ``obs-report`` joins a Chrome
+trace, a metrics snapshot and flight capsules by ``trace_id`` into
+per-job timelines (see :mod:`repro.telemetry.obs_report`).
 """
 
 from __future__ import annotations
@@ -117,6 +120,10 @@ def main(argv) -> int:
         from ..telemetry import metrics_report
 
         return metrics_report.main(argv[1:])
+    if argv and argv[0] == "obs-report":
+        from ..telemetry import obs_report
+
+        return obs_report.main(argv[1:])
     if argv and argv[0] == "pipeline-bench":
         from ..pipeline import bench as pipeline_bench
 

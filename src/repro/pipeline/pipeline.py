@@ -25,11 +25,15 @@ direct dispatch, preserving pipeline/direct parity.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..compile import CompiledProblem, SolverConfig, available_solvers
 from ..compile import solve as dispatch_solve
+from ..telemetry import context as _context
+from ..telemetry import metrics as _metrics
+from ..telemetry import trace as _trace
 from .formulations import get_formulation
 from .plan import (
     STATUS_INFEASIBLE,
@@ -119,15 +123,24 @@ class OptimizationPipeline:
         only (``None`` keeps the strategy's, falling back to the
         formulation's deterministic default). ``provenance`` is merged
         into the plan's provenance (workload/instance keys).
+
+        With the trace-context layer enabled (``REPRO_CONTEXT=1``),
+        each call mints a pipeline-entry context: stage trace events,
+        service job events, and worker-side spans all carry the same
+        ``trace_id``, which is also recorded in the plan's provenance.
         """
-        stages, problem, failure = self._pre_and_compile(
-            instance, provenance
-        )
-        if failure is not None:
-            return failure
-        return self._solve_and_assemble(
-            instance, problem, stages, config, provenance
-        )
+        context = self._mint_context()
+        with self._scoped(context):
+            stages, problem, failure = self._pre_and_compile(
+                instance, provenance
+            )
+            plan = failure if failure is not None else \
+                self._solve_and_assemble(
+                    instance, problem, stages, config, provenance
+                )
+        if context is not None:
+            plan.provenance["trace_id"] = context.trace_id
+        return plan
 
     def optimize_workload(self, instances: Sequence[Any], *,
                           configs: Optional[Sequence[
@@ -172,10 +185,16 @@ class OptimizationPipeline:
         pending: List[Tuple[int, Any, CompiledProblem,
                             List[StageReport],
                             Optional[SolverConfig]]] = []
+        # One trace context per instance: the compile, submit, and
+        # gather phases of an instance all run under the same trace_id
+        # even though the loops are batched.
+        contexts = {index: self._mint_context()
+                    for index in range(len(items))}
         for index, (instance, config) in enumerate(zip(items, configs)):
-            stages, problem, failure = self._pre_and_compile(
-                instance, item_provenance(index)
-            )
+            with self._scoped(contexts[index]):
+                stages, problem, failure = self._pre_and_compile(
+                    instance, item_provenance(index)
+                )
             if failure is not None:
                 plans[index] = failure
             else:
@@ -188,42 +207,92 @@ class OptimizationPipeline:
             resolved = self.solve_strategy.resolve_config(
                 self.formulation, config
             )
-            handles.append((started, self.service.submit(
-                problem, self.solve_strategy.solver, resolved,
-                repair=self.solve_strategy.repair, block=True,
-            )))
+            with self._scoped(contexts[index]):
+                handles.append((started, self.service.submit(
+                    problem, self.solve_strategy.solver, resolved,
+                    repair=self.solve_strategy.repair, block=True,
+                )))
 
         for (index, instance, problem, stages, config), \
                 (started, handle) in zip(pending, handles):
-            try:
-                result = handle.result()
-            except Exception as exc:  # noqa: BLE001 — becomes the plan
-                stages.append(self._error_report(
-                    STAGE_SOLVE, exc, perf_counter() - started,
-                    solver=self.solve_strategy.solver,
+            with self._scoped(contexts[index]):
+                try:
+                    result = handle.result()
+                except Exception as exc:  # noqa: BLE001 — the plan
+                    self._push(stages, self._error_report(
+                        STAGE_SOLVE, exc, perf_counter() - started,
+                        solver=self.solve_strategy.solver,
+                    ))
+                    plans[index] = self.assembly.failure(
+                        self.formulation, self.solve_strategy,
+                        STATUS_INFEASIBLE, stages,
+                        item_provenance(index),
+                    )
+                    continue
+                self._push(stages, StageReport(
+                    STAGE_SOLVE, "ok", perf_counter() - started, {
+                        "solver": self.solve_strategy.solver,
+                        "via_service": True,
+                        "energy": result.energy,
+                    },
                 ))
-                plans[index] = self.assembly.failure(
-                    self.formulation, self.solve_strategy,
-                    STATUS_INFEASIBLE, stages,
-                    item_provenance(index),
+                plans[index] = self._assemble(
+                    instance, result.solution, result.feasible, result,
+                    stages, item_provenance(index),
                 )
-                continue
-            stages.append(StageReport(
-                STAGE_SOLVE, "ok", perf_counter() - started, {
-                    "solver": self.solve_strategy.solver,
-                    "via_service": True,
-                    "energy": result.energy,
-                },
-            ))
-            plans[index] = self._assemble(
-                instance, result.solution, result.feasible, result,
-                stages, item_provenance(index),
-            )
+        for index, plan in enumerate(plans):
+            if contexts[index] is not None and plan is not None:
+                plan.provenance["trace_id"] = \
+                    contexts[index].trace_id
         return plans
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _push(self, stages: List[StageReport],
+              report: StageReport) -> None:
+        """Append a stage report, mirroring it into metrics/trace."""
+        stages.append(report)
+        self._note_stage(report)
+
+    def _note_stage(self, report: StageReport) -> None:
+        """Observe one stage into ``pipeline_stage_seconds`` and the
+        event trace. Both layers are off by default; the disabled cost
+        is two attribute reads."""
+        registry = _metrics.get_registry()
+        if registry is not None:
+            registry.histogram(
+                "pipeline_stage_seconds",
+                "wall clock per pipeline stage, by formulation",
+                ("stage", "formulation"),
+            ).labels(stage=report.stage,
+                     formulation=self.formulation.name,
+                     ).observe(report.seconds)
+        tracer = _trace.get_tracer()
+        if tracer is not None:
+            tracer.complete(
+                f"pipeline.{report.stage}",
+                tracer.timestamp_us() - report.seconds * 1e6,
+                category="stage",
+                args={"status": report.status,
+                      "formulation": self.formulation.name},
+            )
+
+    def _mint_context(self):
+        """A fresh pipeline-entry context, or ``None`` when off."""
+        state = _context.get_context_state()
+        if state is None:
+            return None
+        return state.mint(stage="pipeline")
+
+    @staticmethod
+    def _scoped(context):
+        """Activate ``context`` for a ``with`` block (no-op when off)."""
+        state = _context.get_context_state()
+        if state is None or context is None:
+            return nullcontext()
+        return state.activate(context)
+
     def _pre_and_compile(self, instance: Any,
                          provenance: Optional[Dict[str, Any]]
                          ) -> Tuple[List[StageReport],
@@ -233,7 +302,7 @@ class OptimizationPipeline:
         stages: List[StageReport] = []
         started = perf_counter()
         check = self.pre_check.run(instance)
-        stages.append(StageReport(
+        self._push(stages, StageReport(
             STAGE_PRE_CHECK,
             "ok" if check.passed else "rejected",
             perf_counter() - started,
@@ -246,7 +315,7 @@ class OptimizationPipeline:
             )
 
         if self.solve_strategy.is_classical:
-            stages.append(StageReport(
+            self._push(stages, StageReport(
                 STAGE_FORMULATION, "skipped", 0.0,
                 {"reason": "classical baseline needs no compiled "
                            "problem"},
@@ -257,14 +326,14 @@ class OptimizationPipeline:
         try:
             problem = self.formulation.compile(instance)
         except Exception as exc:  # noqa: BLE001 — becomes the plan
-            stages.append(self._error_report(
+            self._push(stages, self._error_report(
                 STAGE_FORMULATION, exc, perf_counter() - started,
             ))
             return stages, None, self.assembly.failure(
                 self.formulation, self.solve_strategy,
                 STATUS_INFEASIBLE, stages, provenance,
             )
-        stages.append(StageReport(
+        self._push(stages, StageReport(
             STAGE_FORMULATION, "ok", perf_counter() - started, {
                 "problem": problem.name,
                 "num_variables": problem.num_variables,
@@ -309,7 +378,7 @@ class OptimizationPipeline:
                     "energy": result.energy,
                 }
         except Exception as exc:  # noqa: BLE001 — becomes the plan
-            stages.append(self._error_report(
+            self._push(stages, self._error_report(
                 STAGE_SOLVE, exc, perf_counter() - started,
                 solver=self.solve_strategy.solver,
             ))
@@ -317,7 +386,7 @@ class OptimizationPipeline:
                 self.formulation, self.solve_strategy,
                 STATUS_INFEASIBLE, stages, provenance,
             )
-        stages.append(StageReport(
+        self._push(stages, StageReport(
             STAGE_SOLVE, "ok", perf_counter() - started, detail
         ))
         return self._assemble(instance, solution, feasible, result,
@@ -335,7 +404,7 @@ class OptimizationPipeline:
                 extra_provenance=provenance,
             )
         except Exception as exc:  # noqa: BLE001 — becomes the plan
-            stages.append(self._error_report(
+            self._push(stages, self._error_report(
                 STAGE_ASSEMBLY, exc, perf_counter() - started,
             ))
             return self.assembly.failure(
@@ -349,6 +418,7 @@ class OptimizationPipeline:
             {"status": plan.status},
         )
         plan.provenance["stages"].append(report.to_dict())
+        self._note_stage(report)
         return plan
 
     @staticmethod

@@ -45,13 +45,16 @@ from typing import Any, Dict, List
 import numpy as np
 
 from .. import telemetry
+from ..telemetry import context as _tracectx
+from ..telemetry import flight as _flight
 from ..telemetry import health as _health
 from ..telemetry import metrics as _metrics
+from ..telemetry import profiler as _profiler
 from ..telemetry.sampler import MetricsSampler
 from ..compile import SolverConfig, solve
 from ..db.joinorder import JoinOrderQUBO
 from ..db.workloads import TOPOLOGIES, random_join_graph
-from .service import SolveService
+from .service import JobTimeoutError, SolveService
 
 __all__ = ["build_jobs", "main", "results_match"]
 
@@ -152,6 +155,25 @@ def main(argv) -> int:
                         help="evaluate the default SLO ruleset against "
                              "the run's metrics; a fail status fails "
                              "the benchmark (implies --metrics)")
+    parser.add_argument("--context", action="store_true",
+                        help="enable trace-context propagation: every "
+                             "job gets a trace_id correlating queue, "
+                             "dispatch, worker and trace events "
+                             "(obs-report joins on it)")
+    parser.add_argument("--flight", metavar="DIR",
+                        help="enable the flight recorder, dumping "
+                             "repro-flight/v1 capsules for failed/"
+                             "timed-out jobs into DIR (implies "
+                             "--context)")
+    parser.add_argument("--force-timeout", action="store_true",
+                        help="additionally submit one oversized job "
+                             "with a tiny deadline so it is reaped — "
+                             "exercises the TIMEOUT path and, with "
+                             "--flight, asserts a capsule was dumped")
+    parser.add_argument("--profile", action="store_true",
+                        help="enable the sampling wall-clock profiler "
+                             "for every solve (summaries land in "
+                             "result provenance and the trace)")
     args = parser.parse_args(argv)
 
     use_telemetry = args.telemetry or args.trace is not None
@@ -168,6 +190,12 @@ def main(argv) -> int:
         sampler = MetricsSampler(args.metrics_jsonl,
                                  interval=args.metrics_interval,
                                  registry=registry).start()
+    use_context = args.context or args.flight is not None
+    context_state = _tracectx.enable_context() if use_context else None
+    recorder = (_flight.enable_flight(dump_dir=args.flight)
+                if args.flight is not None else None)
+    if args.profile:
+        _profiler.enable_profiling()
 
     jobs = build_jobs(args.jobs, args.relations, args.sweeps,
                       args.reads, args.seed)
@@ -263,6 +291,57 @@ def main(argv) -> int:
                   f"largest batch {max_batch}, "
                   f"bit-for-bit={fold_ok}")
 
+        # Forced-failure path: an oversized job with a tiny deadline
+        # must be reaped as TIMEOUT and (with --flight) leave a
+        # correlated capsule behind — the failure-observability smoke.
+        timeout_record = None
+        if args.force_timeout:
+            if args.mode != "process":
+                print("force-timeout: skipped (deadline reaping needs "
+                      "process mode)")
+            else:
+                heavy_problem, _ = jobs[0]
+                heavy_config = SolverConfig(num_sweeps=200_000,
+                                            num_reads=8,
+                                            seed=args.seed + 999)
+                handle = service.submit(heavy_problem, args.solver,
+                                        heavy_config, deadline=0.1)
+                timed_out = False
+                try:
+                    handle.result(timeout=120)
+                except JobTimeoutError:
+                    timed_out = True
+                except Exception as error:
+                    print(f"force-timeout: unexpected {error!r}",
+                          file=sys.stderr)
+                capsule_path = None
+                if recorder is not None:
+                    for capsule in recorder.capsules:
+                        if capsule.get("job_id") != handle.job_id:
+                            continue
+                        capsule_path = capsule.get("path")
+                        problems = _flight.validate_flight_document(
+                            capsule)
+                        for problem in problems:
+                            print(f"flight capsule INVALID: {problem}",
+                                  file=sys.stderr)
+                            failures += 1
+                if not timed_out:
+                    failures += 1
+                if recorder is not None and capsule_path is None:
+                    failures += 1
+                timeout_record = {
+                    "job_id": handle.job_id,
+                    "trace_id": handle.trace_id,
+                    "timed_out": timed_out,
+                    "capsule": capsule_path,
+                }
+                print(f"force-timeout: job {handle.job_id} "
+                      f"trace {handle.trace_id or '-'} "
+                      f"timed_out={timed_out}"
+                      + (f", capsule {capsule_path}"
+                         if capsule_path else ""))
+
         portfolio_record = None
         if args.portfolio:
             problem, config = jobs[0]
@@ -352,6 +431,27 @@ def main(argv) -> int:
                 failures += 1
         _metrics.disable_metrics()
 
+    obs_record = None
+    if use_context:
+        obs_record = {
+            "contexts_minted": context_state.minted,
+            "flight_dir": (os.path.abspath(args.flight)
+                           if args.flight is not None else None),
+            "flight_capsules": (len(recorder.capsules)
+                                if recorder is not None else 0),
+            "forced_timeout": timeout_record,
+        }
+        print(f"context: {context_state.minted} context(s) minted"
+              + (f", {len(recorder.capsules)} flight capsule(s) in "
+                 f"{os.path.abspath(args.flight)}"
+                 if recorder is not None else ""))
+    if args.profile:
+        _profiler.disable_profiling()
+    if recorder is not None:
+        _flight.disable_flight()
+    if context_state is not None:
+        _tracectx.disable_context()
+
     if args.json_out is not None:
         document = {
             "schema": "repro-serve-bench/v1",
@@ -369,6 +469,7 @@ def main(argv) -> int:
             "batch_folding": fold_record,
             "portfolio": portfolio_record,
             "metrics": metrics_snapshot,
+            "obs": obs_record,
         }
         with open(args.json_out, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2, sort_keys=True,

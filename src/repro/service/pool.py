@@ -48,7 +48,7 @@ import os
 import threading
 import time
 import traceback
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -63,7 +63,9 @@ from ..compile.buffers import (
     write_packed,
 )
 from ..compile.dispatch import SolverConfig, run_registry_backend
+from ..telemetry import context as _tracectx
 from ..telemetry import metrics as _metrics
+from ..telemetry import profiler as _profiler
 from ..telemetry.collector import Collector
 from ..telemetry.metrics import MetricsRegistry
 from ..telemetry.progress import ProgressTrace
@@ -92,6 +94,9 @@ DRAIN_TIMEOUT_SECONDS = 10.0
 
 #: Worker-side LRU capacity of reconstructed models.
 WORKER_MODEL_CACHE = 64
+
+#: Most recent per-job attribution entries a worker ships at drain.
+WORKER_ATTRIBUTION_LOG = 1024
 
 
 def _respawns_counter(registry: "_metrics.MetricsRegistry"):
@@ -349,31 +354,51 @@ def expand_samples(compact: Dict[str, Any]) -> SampleSet:
     ])
 
 
-def _run_member(model: Any, solver: str,
-                config: SolverConfig) -> Dict[str, Any]:
-    """One job inside the warm worker: solve, compact, never raise."""
+def _run_member(model: Any, solver: str, config: SolverConfig,
+                job_id: Optional[int] = None,
+                trace_id: Optional[str] = None) -> Dict[str, Any]:
+    """One job inside the warm worker: solve, compact, never raise.
+
+    When the parent shipped a trace id for the member (context layer
+    enabled), the whole solve runs under an activated worker-side
+    context, so every span/instant/convergence row the worker records
+    carries the parent's ``trace_id``/``job_id`` through drain-merge.
+    """
     try:
         progress = (ProgressTrace(label=solver)
                     if config.convergence_active() else None)
+        capture = _profiler.maybe_capture(None)
         start = time.perf_counter()
-        with telemetry.span(f"service.worker.{solver}"):
-            samples = run_registry_backend(model, solver, config,
-                                           progress)
+        with _tracectx.activate(trace_id, job_id=job_id,
+                                stage="worker"):
+            with telemetry.span(f"service.worker.{solver}"):
+                if capture is not None:
+                    with capture:
+                        samples = run_registry_backend(
+                            model, solver, config, progress)
+                else:
+                    samples = run_registry_backend(model, solver,
+                                                   config, progress)
         duration = time.perf_counter() - start
         if progress is not None:
             progress.note_truncation()
-        return {
+        result = {
             "ok": True,
             "samples": _compact_samples(samples),
             "convergence": (progress.rows() if progress is not None
                             else None),
             "duration": duration,
         }
+        if capture is not None:
+            result["profile"] = capture.summary()
+        return result
     except BaseException:
         return {"ok": False, "traceback": traceback.format_exc()}
 
 
-def _capture_payload(collector, tracer, registry) -> Dict[str, Any]:
+def _capture_payload(collector, tracer, registry,
+                     jobs: Optional[List[Dict[str, Any]]] = None
+                     ) -> Dict[str, Any]:
     return {
         "pid": os.getpid(),
         "telemetry_snapshot": (collector.snapshot()
@@ -383,6 +408,10 @@ def _capture_payload(collector, tracer, registry) -> Dict[str, Any]:
                            if tracer is not None else None),
         "metrics_snapshot": (registry.snapshot()
                              if registry is not None else None),
+        # Per-job attribution: which (job_id, trace_id, solver) each
+        # merged snapshot covers — without it, drain-merged worker
+        # telemetry cannot be tied back to the jobs that produced it.
+        "jobs": list(jobs) if jobs else [],
     }
 
 
@@ -399,6 +428,8 @@ def _warm_worker_main(connection, index: int,
     telemetry.disable()
     telemetry.disable_tracing()
     _metrics.disable_metrics()
+    _tracectx.disable_context()
+    _profiler.disable_profiling()
     collector: Optional[Collector] = None
     tracer: Optional[Tracer] = None
     registry: Optional[MetricsRegistry] = None
@@ -413,9 +444,14 @@ def _warm_worker_main(connection, index: int,
                            args={"index": index})
         if flags.get("metrics") and registry is None:
             registry = _metrics.enable_metrics(MetricsRegistry())
+        if flags.get("context") and not _tracectx.is_context_enabled():
+            _tracectx.enable_context()
+        if flags.get("profile") and not _profiler.is_profiling_enabled():
+            _profiler.enable_profiling()
 
     ensure_capture(capture)
     models: "OrderedDict[str, Any]" = OrderedDict()
+    jobs_log: deque = deque(maxlen=WORKER_ATTRIBUTION_LOG)
     try:
         while True:
             try:
@@ -426,7 +462,8 @@ def _warm_worker_main(connection, index: int,
             if kind == "drain":
                 connection.send(
                     ("drained",
-                     _capture_payload(collector, tracer, registry)))
+                     _capture_payload(collector, tracer, registry,
+                                      jobs=list(jobs_log))))
                 return
             _, task_id, flags, wire_ref, members = message
             ensure_capture(flags)
@@ -438,8 +475,20 @@ def _warm_worker_main(connection, index: int,
                 connection.send(("ok", task_id, os.getpid(), False,
                                  [failure for _ in members]))
                 continue
-            results = [_run_member(model, solver, config)
-                       for _job_id, solver, config in members]
+            results = []
+            for member in members:
+                job_id, solver, config = member[0], member[1], member[2]
+                trace_id = member[3] if len(member) > 3 else None
+                result = _run_member(model, solver, config,
+                                     job_id=job_id, trace_id=trace_id)
+                jobs_log.append({
+                    "job_id": job_id,
+                    "trace_id": trace_id,
+                    "solver": solver,
+                    "ok": result["ok"],
+                    "duration": result.get("duration"),
+                })
+                results.append(result)
             connection.send(("ok", task_id, os.getpid(), was_cached,
                              results))
     finally:
@@ -516,6 +565,8 @@ class WarmWorkerPool:
             "telemetry": telemetry.get_collector() is not None,
             "trace": telemetry.get_tracer() is not None,
             "metrics": _metrics.get_registry() is not None,
+            "context": _tracectx.get_context_state() is not None,
+            "profile": _profiler.get_profiler_config() is not None,
         }
 
     def _spawn(self, index: int) -> _WarmWorker:
@@ -555,8 +606,8 @@ class WarmWorkerPool:
             return [worker.process.pid for worker in self._workers]
 
     # -- execution -------------------------------------------------------
-    def execute(self, index: int, leader, members: List[Tuple[int, str,
-                                                              Any]],
+    def execute(self, index: int, leader,
+                members: List[Tuple[Any, ...]],
                 ref: ModelRef,
                 deadline: Optional[float] = None,
                 publish_process: bool = True) -> BatchOutcome:
@@ -569,6 +620,10 @@ class WarmWorkerPool:
         from a genuine crash. Raises :class:`WorkerTimeout`,
         :class:`WorkerCancelled` or :class:`WorkerCrashed` exactly like
         the PR-5 per-job executor did.
+
+        Each member is ``(job_id, solver, config)`` with an optional
+        fourth ``trace_id`` element; the id rides the pipe so the
+        worker can attribute its telemetry to the parent's trace.
         """
         worker = self.worker(index)
         with leader.lock:
@@ -584,8 +639,7 @@ class WarmWorkerPool:
                 leader.process = worker.process
         worker.task_counter += 1
         task_id = worker.task_counter
-        wire_members = [(job_id, solver, config)
-                        for job_id, solver, config in members]
+        wire_members = [tuple(member) for member in members]
         try:
             worker.connection.send(
                 ("run", task_id, self._capture_flags(),
@@ -697,11 +751,24 @@ class WarmWorkerPool:
             pass
         return payload
 
+    @staticmethod
+    def _pid(process) -> Optional[int]:
+        """``process.pid``, or ``None`` once the handle is closed.
+
+        ``stats()`` is documented as readable after shutdown (the drain
+        log only fills in then), so the snapshot must not trip over
+        closed :class:`multiprocessing.Process` objects.
+        """
+        try:
+            return process.pid
+        except ValueError:
+            return None
+
     def snapshot(self) -> Dict[str, Any]:
         with self._lock:
             return {
                 "size": len(self._workers),
-                "pids": [worker.process.pid
+                "pids": [self._pid(worker.process)
                          for worker in self._workers],
                 "respawns": self.respawns,
                 "dispatches_warm": self.dispatches_warm,

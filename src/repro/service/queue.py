@@ -66,6 +66,10 @@ class Job:
     #: shared-memory store both key on it, so it is computed once at
     #: submit and carried on the job.
     model_key: Optional[str] = None
+    #: Trace-context id correlating this job's events across layers
+    #: (queue, dispatch, worker, cache); ``None`` when the context
+    #: layer is disabled at submit time.
+    trace_id: Optional[str] = None
     submitted_at: float = field(default_factory=time.perf_counter)
     #: Set (under ``lock``) by ``JobQueue.get`` when a dispatcher takes
     #: the job; tells ``cancel`` whether a queue slot is still held.

@@ -40,6 +40,8 @@ import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from .. import telemetry
+from ..telemetry import context as _context
+from ..telemetry import flight as _flight
 from ..telemetry import metrics as _metrics
 from ..compile.dispatch import (
     SolveResult,
@@ -114,6 +116,11 @@ class JobHandle:
     @property
     def solver(self) -> str:
         return self._job.solver
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        """The job's trace-context id (``None`` when the layer is off)."""
+        return self._job.trace_id
 
     @property
     def status(self) -> JobStatus:
@@ -239,6 +246,9 @@ class SolveService:
         self._stats = {status: 0 for status in JobStatus}
         self._coalesced = 0
         self._cache_hits_served = 0
+        #: Per-worker attribution shipped at pool drain: which
+        #: (job_id, trace_id, solver) each merged snapshot covered.
+        self._drain_log: List[Dict[str, Any]] = []
         self._pool = (WarmWorkerPool(max_workers, self._context)
                       if mode == "process" else None)
         self._store = (SharedModelStore()
@@ -301,6 +311,16 @@ class SolveService:
         if deadline is not None and deadline <= 0:
             raise ValueError("deadline must be positive seconds")
 
+        # Trace context: inherit the caller's trace (pipeline entry)
+        # or start a fresh one per submission — minted outside the
+        # service lock, and RNG-neutral (uuid4 reads os.urandom).
+        trace_id: Optional[str] = None
+        context_state = _context.get_context_state()
+        if context_state is not None:
+            parent = context_state.current()
+            trace_id = (parent.trace_id if parent is not None
+                        else context_state.new_trace_id())
+
         # Computed once per submission: the cache key, the coalescing
         # map, the shared-memory model store and batch folding all key
         # on it (and content_key memoizes on the problem anyway).
@@ -315,7 +335,8 @@ class SolveService:
                 cached = self._cache.peek(key)
                 if cached is not None:
                     return self._cache_hit_handle(problem, solver,
-                                                  config, key, cached)
+                                                  config, key, cached,
+                                                  trace_id=trace_id)
                 inflight = self._inflight.get(key)
                 if inflight is not None:
                     inflight.coalesced += 1
@@ -329,6 +350,18 @@ class SolveService:
                             "service_cache_events_total",
                             "result-cache lookup outcomes",
                             ("event",)).labels(event="coalesce").inc()
+                    tracer = telemetry.get_tracer()
+                    if tracer is not None:
+                        tracer.instant(
+                            "service.job.coalesced", category="service",
+                            args={"trace_id": trace_id,
+                                  "leader_job_id": inflight.job_id,
+                                  "leader_trace_id": inflight.trace_id,
+                                  "solver": solver})
+                    _flight.flight_event(
+                        "job", "coalesced",
+                        trace_id=trace_id or inflight.trace_id,
+                        job_id=inflight.job_id, solver=solver)
                     return JobHandle(inflight, self)
             if self._cache is not None:
                 self._cache.note_miss(key)
@@ -337,7 +370,7 @@ class SolveService:
                 job_id=self._next_id, problem=problem, solver=solver,
                 config=config, repair=repair, priority=priority,
                 deadline=deadline, cache_key=key,
-                model_key=problem_key,
+                model_key=problem_key, trace_id=trace_id,
             )
             if key is not None:
                 self._inflight[key] = job
@@ -353,11 +386,23 @@ class SolveService:
         if registry is not None:
             _jobs_total(registry).labels(status="submitted").inc()
             _queue_depth(registry).set(len(self._queue))
+        tracer = telemetry.get_tracer()
+        if tracer is not None:
+            tracer.instant("service.job.submitted", category="service",
+                           args={"trace_id": trace_id,
+                                 "job_id": job.job_id,
+                                 "solver": solver,
+                                 "priority": priority,
+                                 "deadline": deadline})
+        _flight.flight_event("job", "submitted", trace_id=trace_id,
+                             job_id=job.job_id, solver=solver,
+                             deadline=deadline)
         return JobHandle(job, self)
 
     def _cache_hit_handle(self, problem: CompiledProblem, solver: str,
                           config: SolverConfig, key: str,
-                          cached: SolveResult) -> JobHandle:
+                          cached: SolveResult,
+                          trace_id: Optional[str] = None) -> JobHandle:
         """An already-resolved handle serving a cached result."""
         import dataclasses
 
@@ -366,19 +411,29 @@ class SolveService:
         registry = _metrics.get_registry()
         if registry is not None:
             _jobs_total(registry).labels(status="cache_hit").inc()
+        service_block = {**cached.provenance.get("service", {}),
+                         "cache": "hit"}
+        if trace_id is not None:
+            service_block["trace_id"] = trace_id
         result = dataclasses.replace(
             cached,
-            provenance={**cached.provenance,
-                        "service": {**cached.provenance.get("service", {}),
-                                    "cache": "hit"}},
+            provenance={**cached.provenance, "service": service_block},
         )
         self._next_id += 1
         job = Job(job_id=self._next_id, problem=problem, solver=solver,
-                  config=config, cache_key=key)
+                  config=config, cache_key=key, trace_id=trace_id)
         job.status = JobStatus.DONE
         job.result = result
         job.finished_at = time.perf_counter()
         job.event.set()
+        tracer = telemetry.get_tracer()
+        if tracer is not None:
+            tracer.instant("service.job.cache_hit", category="service",
+                           args={"trace_id": trace_id,
+                                 "job_id": job.job_id,
+                                 "solver": solver})
+        _flight.flight_event("job", "cache_hit", trace_id=trace_id,
+                             job_id=job.job_id, solver=solver)
         return JobHandle(job, self)
 
     # -- convenience frontends -------------------------------------------
@@ -603,16 +658,23 @@ class SolveService:
         message: Optional[str] = None
         raised: Optional[BaseException] = None
         ref = None
+        _flight.flight_event("job", "dispatching",
+                             trace_id=job.trace_id, job_id=job.job_id,
+                             solver=job.solver, batched=len(members))
         try:
-            with telemetry.span(f"service.execute.{job.problem.name}"):
-                ref = self._store.publish(job.problem)
-                outcome = self._pool.execute(
-                    index, job,
-                    [(member.job_id, member.solver, member.config)
-                     for member in members],
-                    ref, deadline=job.deadline,
-                    publish_process=(len(members) == 1),
-                )
+            with _context.activate(job.trace_id, job_id=job.job_id,
+                                   stage="dispatch"):
+                with telemetry.span(
+                        f"service.execute.{job.problem.name}"):
+                    ref = self._store.publish(job.problem)
+                    outcome = self._pool.execute(
+                        index, job,
+                        [(member.job_id, member.solver, member.config,
+                          member.trace_id)
+                         for member in members],
+                        ref, deadline=job.deadline,
+                        publish_process=(len(members) == 1),
+                    )
         except WorkerTimeout as exc:
             status = JobStatus.TIMEOUT
             message = str(exc)
@@ -634,6 +696,19 @@ class SolveService:
             for member in members:
                 execute_hist.labels(solver=member.solver).observe(
                     elapsed)
+        tracer = telemetry.get_tracer()
+        if outcome is not None and tracer is not None:
+            kind = "warm" if outcome.model_was_cached else "cold"
+            for member in members:
+                tracer.instant(
+                    "service.job.dispatch", category="service",
+                    args={"trace_id": member.trace_id,
+                          "job_id": member.job_id,
+                          "solver": member.solver,
+                          "dispatch": kind,
+                          "worker_pid": outcome.pid,
+                          "queue_seconds": queue_seconds[member.job_id],
+                          "batched": len(members)})
         if outcome is None:
             # The whole round trip failed; every member shares its
             # fate (folded members are deadline-free, so a TIMEOUT /
@@ -672,24 +747,30 @@ class SolveService:
         try:
             samples = expand_samples(payload["samples"])
             solutions = decode_samples(member.problem, samples)
+            service_block: Dict[str, Any] = {
+                "job_id": member.job_id,
+                "mode": self.mode,
+                "worker_pid": outcome.pid,
+                "queue_seconds": queue_seconds,
+                "deadline": member.deadline,
+                "coalesced": member.coalesced,
+                "cache": ("miss" if member.cache_key is not None
+                          else "off"),
+                "dispatch": ("warm" if outcome.model_was_cached
+                             else "cold"),
+                "batched": batch_size,
+            }
+            if member.trace_id is not None:
+                service_block["trace_id"] = member.trace_id
+            provenance_extra: Dict[str, Any] = {"service": service_block}
+            if payload.get("profile") is not None:
+                provenance_extra["profile"] = payload["profile"]
             result = assemble_result(
                 member.problem, member.solver, member.config,
                 samples, solutions, payload["duration"],
                 convergence=payload["convergence"],
                 repair=member.repair,
-                provenance_extra={"service": {
-                    "job_id": member.job_id,
-                    "mode": self.mode,
-                    "worker_pid": outcome.pid,
-                    "queue_seconds": queue_seconds,
-                    "deadline": member.deadline,
-                    "coalesced": member.coalesced,
-                    "cache": ("miss" if member.cache_key is not None
-                              else "off"),
-                    "dispatch": ("warm" if outcome.model_was_cached
-                                 else "cold"),
-                    "batched": batch_size,
-                }},
+                provenance_extra=provenance_extra,
             )
         except BaseException as exc:  # decode/score hooks can raise
             self._finish(member, JobStatus.FAILED, None, exc,
@@ -711,17 +792,17 @@ class SolveService:
             ).observe(queue_seconds)
         execute_start = time.perf_counter()
         try:
-            with telemetry.span(f"service.execute.{job.problem.name}"):
-                outcome = execute_inline(
-                    job, job.problem.model, job.solver, job.config,
-                    deadline=job.deadline,
-                )
-                solutions = decode_samples(job.problem, outcome.samples)
-                result = assemble_result(
-                    job.problem, job.solver, job.config,
-                    outcome.samples, solutions, outcome.duration,
-                    convergence=outcome.convergence, repair=job.repair,
-                    provenance_extra={"service": {
+            with _context.activate(job.trace_id, job_id=job.job_id,
+                                   stage="dispatch"):
+                with telemetry.span(
+                        f"service.execute.{job.problem.name}"):
+                    outcome = execute_inline(
+                        job, job.problem.model, job.solver, job.config,
+                        deadline=job.deadline,
+                    )
+                    solutions = decode_samples(job.problem,
+                                               outcome.samples)
+                    service_block: Dict[str, Any] = {
                         "job_id": job.job_id,
                         "mode": self.mode,
                         "worker_pid": outcome.pid,
@@ -732,8 +813,27 @@ class SolveService:
                                   else "off"),
                         "dispatch": "inline",
                         "batched": 1,
-                    }},
-                )
+                    }
+                    if job.trace_id is not None:
+                        service_block["trace_id"] = job.trace_id
+                    result = assemble_result(
+                        job.problem, job.solver, job.config,
+                        outcome.samples, solutions, outcome.duration,
+                        convergence=outcome.convergence,
+                        repair=job.repair,
+                        provenance_extra={"service": service_block},
+                    )
+            tracer = telemetry.get_tracer()
+            if tracer is not None:
+                tracer.instant(
+                    "service.job.dispatch", category="service",
+                    args={"trace_id": job.trace_id,
+                          "job_id": job.job_id,
+                          "solver": job.solver,
+                          "dispatch": "inline",
+                          "worker_pid": outcome.pid,
+                          "queue_seconds": queue_seconds,
+                          "batched": 1})
             status = JobStatus.DONE
         except WorkerTimeout as exc:
             status = JobStatus.TIMEOUT
@@ -761,6 +861,32 @@ class SolveService:
         """Resolve one job: cache, inflight cleanup, stats, counters."""
         if status is JobStatus.DONE and self._cache is not None:
             self._cache.put(job.cache_key, result)
+        # Flight recording happens *before* resolve publishes the
+        # result: a caller woken by ``handle.result()`` must already
+        # find the failure capsule on disk (CI and tests rely on it).
+        recorder = _flight.get_flight_recorder()
+        if recorder is not None:
+            with job.lock:
+                if job.status.is_terminal():
+                    recorder = None  # another resolver won the race
+        if recorder is not None:
+            recorder.record(
+                "job", status.value, trace_id=job.trace_id,
+                job_id=job.job_id, solver=job.solver,
+                error=str(error) if error is not None else None)
+            if status in (JobStatus.FAILED, JobStatus.TIMEOUT):
+                # The black box: a failed or reaped job dumps its
+                # correlated recent history as a flight capsule.
+                recorder.dump(
+                    f"job_{status.value}",
+                    trace_id=job.trace_id, job_id=job.job_id,
+                    detail={
+                        "solver": job.solver,
+                        "deadline": job.deadline,
+                        "queue_seconds": queue_seconds,
+                        "error": (str(error) if error is not None
+                                  else None),
+                    })
         resolved = job.resolve(status, result=result, error=error)
         with self._lock:
             key = job.cache_key
@@ -774,6 +900,15 @@ class SolveService:
                 _jobs_total(registry).labels(status=status.value).inc()
             if status is JobStatus.DONE:
                 telemetry.record("service.queue_seconds", queue_seconds)
+            tracer = telemetry.get_tracer()
+            if tracer is not None:
+                tracer.instant(
+                    "service.job.finish", category="service",
+                    args={"trace_id": job.trace_id,
+                          "job_id": job.job_id,
+                          "solver": job.solver,
+                          "status": status.value,
+                          "queue_seconds": queue_seconds})
 
     def _merge_drain_payload(self, payload: Dict[str, Any]) -> None:
         """Fold one drained worker's cumulative telemetry/trace/metrics
@@ -785,7 +920,17 @@ class SolveService:
         per-job merge went away with fork-per-job workers.) A worker
         killed by a deadline or cancel reap never drains — its
         telemetry dies with it.
+
+        The payload's ``jobs`` attribution log (which job/trace each
+        merged snapshot covers) is kept on the service and mirrored as
+        a ``service.pool.drain_merge`` trace instant, so drain-merged
+        worker telemetry stays attributable after the fold.
         """
+        jobs = payload.get("jobs") or []
+        if jobs:
+            with self._lock:
+                self._drain_log.append({"pid": payload.get("pid"),
+                                        "jobs": list(jobs)})
         collector = telemetry.get_collector()
         if (collector is not None
                 and payload.get("telemetry_snapshot") is not None):
@@ -795,6 +940,13 @@ class SolveService:
         if tracer is not None and payload.get("trace_events"):
             tracer.merge_events(payload["trace_events"],
                                 epoch_ns=payload.get("trace_epoch_ns"))
+        if tracer is not None and jobs:
+            tracer.instant(
+                "service.pool.drain_merge", category="service",
+                args={"pid": payload.get("pid"),
+                      "jobs": [{"job_id": entry.get("job_id"),
+                                "trace_id": entry.get("trace_id")}
+                               for entry in jobs]})
         registry = _metrics.get_registry()
         if (registry is not None
                 and payload.get("metrics_snapshot") is not None):
@@ -815,7 +967,9 @@ class SolveService:
             jobs["coalesced"] = self._coalesced
             jobs["cache_hits_served"] = self._cache_hits_served
             inflight = len(self._inflight)
+            drains = [dict(entry) for entry in self._drain_log]
         return {
+            "drains": drains,
             "mode": self.mode,
             "max_workers": self.max_workers,
             "jobs": jobs,

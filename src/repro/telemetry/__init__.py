@@ -39,6 +39,25 @@ import os
 from typing import Optional
 
 from .collector import Collector, SpanStats
+from .context import (
+    ContextState,
+    TraceContext,
+    current_context,
+    disable_context,
+    enable_context,
+    get_context_state,
+    is_context_enabled,
+)
+from .flight import (
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    disable_flight,
+    enable_flight,
+    flight_event,
+    get_flight_recorder,
+    is_flight_enabled,
+    validate_flight_document,
+)
 from .health import (
     DEFAULT_SLO_RULES,
     HealthReport,
@@ -57,6 +76,14 @@ from .metrics import (
     is_metrics_enabled,
     validate_prometheus_text,
 )
+from .profiler import (
+    ProfileCapture,
+    ProfilerConfig,
+    disable_profiling,
+    enable_profiling,
+    get_profiler_config,
+    is_profiling_enabled,
+)
 from .progress import ProgressTrace
 from .provenance import RunProvenance, collect_provenance, git_sha
 from .report import render_report
@@ -72,41 +99,62 @@ from . import trace as _trace
 
 __all__ = [
     "Collector",
+    "ContextState",
     "Counter",
     "DEFAULT_SLO_RULES",
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
     "Gauge",
     "HealthReport",
     "Histogram",
     "MetricsRegistry",
     "MetricsSampler",
+    "ProfileCapture",
+    "ProfilerConfig",
     "ProgressTrace",
     "RunProvenance",
     "SLORule",
     "SpanStats",
     "Timer",
+    "TraceContext",
     "Tracer",
     "collect_provenance",
     "count",
+    "current_context",
     "disable",
+    "disable_context",
+    "disable_flight",
     "disable_metrics",
+    "disable_profiling",
     "disable_tracing",
     "enable",
+    "enable_context",
+    "enable_flight",
     "enable_from_env",
     "enable_metrics",
+    "enable_profiling",
     "enable_tracing",
     "evaluate_rules",
+    "flight_event",
     "gauge",
     "get_collector",
+    "get_context_state",
+    "get_flight_recorder",
+    "get_profiler_config",
     "get_registry",
     "get_tracer",
     "git_sha",
+    "is_context_enabled",
     "is_enabled",
+    "is_flight_enabled",
     "is_metrics_enabled",
+    "is_profiling_enabled",
     "is_tracing",
     "record",
     "render_report",
     "span",
     "trace_instant",
+    "validate_flight_document",
 ]
 
 ENV_VAR = "REPRO_TELEMETRY"

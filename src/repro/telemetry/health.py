@@ -48,6 +48,7 @@ from typing import (
     Tuple,
 )
 
+from . import flight as _flight
 from .metrics import quantile as _reservoir_quantile
 
 _STATUS_ORDER = {"ok": 0, "warn": 1, "fail": 2}
@@ -480,11 +481,19 @@ def evaluate_rule(rule: SLORule, snapshot: Mapping[str, Any],
 def evaluate_rules(rules: Iterable[SLORule],
                    snapshot: Mapping[str, Any],
                    on_missing: str = "warn") -> HealthReport:
-    """Evaluate a ruleset into a :class:`HealthReport`."""
+    """Evaluate a ruleset into a :class:`HealthReport`.
+
+    When the flight recorder is enabled and the report fails, a
+    ``repro-flight/v1`` capsule is dumped for the breach (see
+    :meth:`repro.telemetry.flight.FlightRecorder.on_slo_breach`).
+    """
     report = HealthReport()
     for rule in rules:
         report.results.append(evaluate_rule(rule, snapshot,
                                             on_missing=on_missing))
+    recorder = _flight.get_flight_recorder()
+    if recorder is not None and report.status == "fail":
+        recorder.on_slo_breach(report)
     return report
 
 

@@ -46,6 +46,8 @@ except ImportError:  # pragma: no cover - linux container always has it
 
 import tracemalloc
 
+from . import context as _context
+
 #: Default ring-buffer capacity; oldest events drop past this point so
 #: memory stays bounded no matter how long the traced run is.
 MAX_TRACE_EVENTS = 200_000
@@ -147,6 +149,12 @@ class Tracer:
               args: Optional[Dict[str, Any]] = None,
               ts: Optional[float] = None,
               extra: Optional[Dict[str, Any]] = None) -> None:
+        context = _context.current_context()
+        if context is not None:
+            annotated = dict(args) if args else {}
+            for key, value in context.annotation().items():
+                annotated.setdefault(key, value)
+            args = annotated
         event: Dict[str, Any] = {
             "name": name,
             "cat": category,
