@@ -35,7 +35,16 @@ reference workloads:
   compile-then-dispatch loop over the same graphs and configs. The
   gate is overhead: the pre-check / stage-report / plan-assembly
   machinery must cost < 5% over the raw formulation+solve path at
-  full scale, with bit-for-bit identical decoded orders.
+  full scale, with bit-for-bit identical decoded orders;
+* **server throughput** — the HTTP front end (``repro.server``) under
+  concurrent stdlib clients: a mixed cache-miss/cache-hit soak with
+  request-latency quantiles and SSE stream-row lag, a backpressure
+  phase against a tiny job queue (the 429 + ``Retry-After`` path must
+  shed load without hanging while every accepted job completes), and
+  a service-level cache-hit throughput pairing of the sharded result
+  cache against the single-lock baseline (declared parity gate:
+  ``gate_min_speedup`` 1.0 with tolerance). Results coming back over
+  HTTP must match a direct in-process solve bit for bit.
 
 Timings come from telemetry spans (``perf.<workload>.<impl>``). Run as
 a script to write the committed perf trajectory::
@@ -103,6 +112,9 @@ FULL_SCALE = {
     "obs": {"num_jobs": 8, "num_relations": 7, "num_sweeps": 600,
             "num_reads": 30, "workers": 2, "repeats": 3,
             "gate_max_overhead": 0.05},
+    "server": {"num_jobs": 8, "num_clients": 4, "num_sweeps": 300,
+               "num_reads": 10, "queue_capacity": 2,
+               "cache_rounds": 40, "gate_speedup_tolerance": 0.20},
 }
 SMOKE_SCALE = {
     "kernel": {"num_points": 12, "num_features": 4, "depth": 2},
@@ -122,6 +134,9 @@ SMOKE_SCALE = {
     "obs": {"num_jobs": 4, "num_relations": 6, "num_sweeps": 300,
             "num_reads": 10, "workers": 2, "repeats": 2,
             "gate_max_overhead": 0.5},
+    "server": {"num_jobs": 4, "num_clients": 2, "num_sweeps": 150,
+               "num_reads": 5, "queue_capacity": 2,
+               "cache_rounds": 10, "gate_speedup_tolerance": 0.5},
 }
 
 #: Speedup floor the service workload must clear when real
@@ -887,6 +902,272 @@ def run_pipeline_workload(collector, topologies, size,
     }
 
 
+def _server_problem_body(index, num_sweeps, num_reads, seed, **extra):
+    """A small QUBO submission body, distinct per ``index``.
+
+    Distinct coefficients *and* seeds: identical bodies are idempotent
+    (same server job) and identical solves coalesce inside the
+    service, either of which would silently collapse the load the
+    soak and backpressure phases mean to generate.
+    """
+    n = 4
+    body = {
+        "problem": {
+            "kind": "qubo",
+            "num_variables": n,
+            "linear": {str(i): -1.0 - 0.1 * index for i in range(n)},
+            "quadratic": [[i, i + 1, 2.0 + 0.05 * index]
+                          for i in range(n - 1)],
+        },
+        "solver": "sa",
+        "config": {"num_sweeps": num_sweeps, "num_reads": num_reads,
+                   "seed": seed * 100 + index, "convergence": True},
+    }
+    body.update(extra)
+    return body
+
+
+def _strip_provenance(document):
+    return {key: value for key, value in document.items()
+            if key != "provenance"}
+
+
+def _cache_hit_seconds(shards, num_clients, cache_rounds, repeats=3):
+    """Wall clock for ``num_clients`` threads hammering the service's
+    cache-hit path, min over ``repeats``; the sharded-vs-single pairing
+    both sides of the ``speedup`` gate run through."""
+    import threading
+
+    from repro.service import SolveService
+
+    problems = [JoinOrderQUBO(random_join_graph(4, "chain",
+                                                seed=index)).compile()
+                for index in range(8)]
+    config = SolverConfig(num_sweeps=100, num_reads=2, seed=3,
+                          convergence=False)
+    times = []
+    with SolveService(max_workers=1, mode="thread",
+                      cache_shards=shards,
+                      cache_entries=256) as service:
+        for problem in problems:
+            service.solve(problem, "sa", config)  # prime the cache
+        for _ in range(repeats):
+            barrier = threading.Barrier(num_clients + 1)
+
+            def hammer():
+                barrier.wait()
+                for _ in range(cache_rounds):
+                    for problem in problems:
+                        service.solve(problem, "sa", config)
+
+            threads = [threading.Thread(target=hammer)
+                       for _ in range(num_clients)]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            started = time.perf_counter()
+            for thread in threads:
+                thread.join()
+            times.append(time.perf_counter() - started)
+        hits = service.stats()["cache"]["hits"]
+    expected = repeats * num_clients * cache_rounds * len(problems)
+    if hits < expected:
+        raise AssertionError(
+            f"cache-hit pairing missed the cache: {hits} < {expected}")
+    return min(times)
+
+
+def run_server_workload(collector, num_jobs, num_clients, num_sweeps,
+                        num_reads, queue_capacity, cache_rounds,
+                        gate_speedup_tolerance, seed=31):
+    """HTTP front-end soak, backpressure and sharded-cache pairing.
+
+    **Soak** — ``num_clients`` stdlib clients drive a thread-mode
+    server (HTTP-layer cost, not process-pool cost) through a mixed
+    phase: each submits its share of ``num_jobs`` distinct problems
+    (cache misses), polls results, then resubmits them under a tag
+    (new server jobs that hit the result cache). Every request is
+    timed client-side; the record carries p50/p95 request latency and
+    aggregate request throughput. One extra job is then streamed live
+    over SSE, with per-row lag = client receive time − row journal
+    timestamp. ``matches_direct`` asserts the HTTP result document
+    equals a direct in-process ``solve()`` bit for bit (config
+    resolved the way the service stores it); ``deterministic`` asserts
+    the cache-hit resubmission returns the identical document.
+
+    **Backpressure** — a second server with a ``queue_capacity``-deep
+    job queue takes a burst of distinct submissions: the record must
+    show non-zero ``rejected_429`` (each with a usable ``Retry-After``)
+    while every accepted job still completes.
+
+    **Cache pairing** — the service-level cache-hit path with the
+    sharded result cache vs the single-lock baseline under the same
+    client threads; the declared gate is parity (``gate_min_speedup``
+    1.0) with a tolerance absorbing the one-extra-indirection cost the
+    GIL cannot hide on a single-CPU box.
+    """
+    import threading
+
+    from repro.server import build_problem, result_document
+    from repro.server.testing import Client, ServerThread
+    from repro.telemetry.metrics import quantile
+
+    latencies = []
+    latency_lock = threading.Lock()
+    documents = {}
+
+    def timed(client, method, path, body=None):
+        started = time.perf_counter()
+        result = client.request(method, path, body)
+        with latency_lock:
+            latencies.append(time.perf_counter() - started)
+        return result
+
+    def soak_worker(thread, client_index, errors):
+        try:
+            with Client(*thread.address,
+                        tenant=f"soak-{client_index}") as client:
+                mine = range(client_index, num_jobs, num_clients)
+                for index in mine:  # miss phase
+                    body = _server_problem_body(index, num_sweeps,
+                                                num_reads, seed)
+                    status, _, accepted = timed(client, "POST",
+                                                "/v1/jobs", body)
+                    assert status == 201, f"submit -> {status}"
+                    status, document = client.wait_result(
+                        accepted["job_id"])
+                    assert status == 200, f"result -> {status}"
+                    documents[index] = document["result"]
+                    status, _, _ = timed(
+                        client, "GET",
+                        f"/v1/jobs/{accepted['job_id']}")
+                    assert status == 200, f"status -> {status}"
+                for index in mine:  # hit phase: new jobs, cached solve
+                    body = _server_problem_body(
+                        index, num_sweeps, num_reads, seed,
+                        tag=f"hit-{client_index}")
+                    status, _, accepted = timed(client, "POST",
+                                                "/v1/jobs", body)
+                    assert status == 201, f"resubmit -> {status}"
+                    status, document = client.wait_result(
+                        accepted["job_id"])
+                    assert status == 200, f"hit result -> {status}"
+                    assert (_strip_provenance(document["result"])
+                            == _strip_provenance(documents[index]))
+        except BaseException as error:  # noqa: BLE001 — rethrown below
+            errors.append(error)
+
+    with ServerThread(workers=0, quota_rate=10_000.0,
+                      quota_burst=10_000.0, max_inflight=256,
+                      queue_capacity=max(64, num_jobs * 4)) as thread:
+        errors = []
+        workers = [threading.Thread(target=soak_worker,
+                                    args=(thread, index, errors))
+                   for index in range(num_clients)]
+        with collector.span("perf.server.soak"):
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+        if errors:
+            raise errors[0]
+
+        # Parity against the direct in-process path, on job 0.
+        body = _server_problem_body(0, num_sweeps, num_reads, seed)
+        problem = build_problem(body["problem"])
+        config = SolverConfig(**body["config"]).resolve_convergence()
+        direct = result_document(dispatch_solve(problem, "sa", config))
+        matches_direct = (_strip_provenance(documents[0])
+                          == _strip_provenance(direct))
+        # Determinism: a tagged resubmission (new job, cached solve)
+        # returns the identical document.
+        with Client(*thread.address) as client:
+            status, _, accepted = client.submit(
+                dict(body, tag="verify"))
+            assert status == 201
+            _, document = client.wait_result(accepted["job_id"])
+            deterministic = (_strip_provenance(document["result"])
+                             == _strip_provenance(documents[0]))
+
+            # Live SSE stream on a fresh, slower job: row lag is the
+            # client receive time minus the row's journal timestamp.
+            stream_body = _server_problem_body(
+                num_jobs + 1000, num_sweeps * 4, num_reads, seed)
+            _, _, accepted = client.submit(stream_body)
+            lags = [received - data["ts"]
+                    for event, data, received
+                    in client.stream(accepted["job_id"])
+                    if event == "convergence"]
+
+    soak_seconds = _span_total(collector, "perf.server.soak")
+    sorted_latencies = sorted(latencies)
+
+    # Backpressure burst against a tiny queue: must shed with 429s
+    # that carry Retry-After, never hang, and finish what it accepted.
+    rejected_429 = 0
+    retry_after_ok = True
+    accepted_jobs = []
+    with ServerThread(workers=0, quota_rate=10_000.0,
+                      quota_burst=10_000.0, max_inflight=256,
+                      queue_capacity=queue_capacity) as thread:
+        with Client(*thread.address) as client:
+            for index in range(num_jobs + 4):
+                body = _server_problem_body(500 + index,
+                                            num_sweeps * 4, num_reads,
+                                            seed)
+                status, headers, document = client.submit(body)
+                if status == 429:
+                    rejected_429 += 1
+                    retry_after_ok = (
+                        retry_after_ok
+                        and int(headers.get("retry-after", 0)) >= 1
+                        and document.get("reason") == "queue")
+                else:
+                    assert status == 201, f"burst submit -> {status}"
+                    accepted_jobs.append(document["job_id"])
+            accepted_all_completed = True
+            for job_id in accepted_jobs:
+                status, _ = client.wait_result(job_id)
+                accepted_all_completed = (accepted_all_completed
+                                          and status == 200)
+
+    single_seconds = _cache_hit_seconds(1, num_clients, cache_rounds)
+    sharded_seconds = _cache_hit_seconds(8, num_clients, cache_rounds)
+
+    return {
+        "name": "server_throughput",
+        "params": {
+            "num_jobs": num_jobs,
+            "num_clients": num_clients,
+            "num_sweeps": num_sweeps,
+            "num_reads": num_reads,
+            "queue_capacity": queue_capacity,
+            "cache_rounds": cache_rounds,
+            "workers": 0,
+            "seed": seed,
+            "cpu_count": os.cpu_count() or 1,
+        },
+        "soak_seconds": soak_seconds,
+        "requests_total": len(latencies),
+        "requests_per_second": len(latencies) / soak_seconds,
+        "request_p50_seconds": quantile(sorted_latencies, 0.50),
+        "request_p95_seconds": quantile(sorted_latencies, 0.95),
+        "stream_rows": len(lags),
+        "stream_lag_p95_seconds": (quantile(sorted(lags), 0.95)
+                                   if lags else 0.0),
+        "rejected_429": rejected_429,
+        "retry_after_ok": retry_after_ok,
+        "accepted_all_completed": accepted_all_completed,
+        "single_cache_seconds": single_seconds,
+        "sharded_cache_seconds": sharded_seconds,
+        "speedup": single_seconds / sharded_seconds,
+        "matches_direct": matches_direct,
+        "deterministic": deterministic,
+        "gate_min_speedup": 1.0,
+        "gate_speedup_tolerance": gate_speedup_tolerance,
+    }
+
+
 def run_workloads(scale, collector=None):
     collector = collector or telemetry.get_collector() or telemetry.Collector()
     return [
@@ -897,6 +1178,7 @@ def run_workloads(scale, collector=None):
         run_metrics_overhead_workload(collector, **scale["metrics"]),
         run_pipeline_workload(collector, **scale["pipeline"]),
         run_obs_overhead_workload(collector, **scale["obs"]),
+        run_server_workload(collector, **scale["server"]),
     ]
 
 
@@ -977,6 +1259,25 @@ def test_perf_metrics_guard_is_cheap_when_off(bench_telemetry):
     assert record["overhead_fraction"] < record["gate_max_overhead"]
 
 
+def test_perf_server_soak_backpressure_and_cache(bench_telemetry):
+    record = run_server_workload(bench_telemetry,
+                                 **SMOKE_SCALE["server"])
+    print("\nserver soak {requests_total} req in {soak_seconds:.3f}s "
+          "(p50 {request_p50_seconds:.4f}s, p95 "
+          "{request_p95_seconds:.4f}s), {stream_rows} stream rows, "
+          "{rejected_429} rejected, cache pairing {speedup:.2f}x"
+          .format(**record))
+    assert record["matches_direct"]
+    assert record["deterministic"]
+    # The burst against a 2-deep queue must shed load with usable
+    # Retry-After while every accepted job still completes.
+    assert record["rejected_429"] > 0
+    assert record["retry_after_ok"]
+    assert record["accepted_all_completed"]
+    assert record["stream_rows"] > 0
+    assert record["speedup"] >= effective_speedup_floor(record)
+
+
 def test_perf_obs_stack_is_cheap_when_on(bench_telemetry):
     record = run_obs_overhead_workload(bench_telemetry,
                                        **SMOKE_SCALE["obs"])
@@ -1045,6 +1346,11 @@ def main():
             print("{name}: direct {direct_seconds:.3f}s, pipeline "
                   "{pipeline_seconds:.3f}s -> {overhead_fraction:+.2%} "
                   "overhead (gate < {gate_max_overhead:.0%})"
+                  .format(**record))
+        elif record["name"] == "server_throughput":
+            print("{name}: {requests_total} req in {soak_seconds:.3f}s "
+                  "(p95 {request_p95_seconds:.4f}s), {rejected_429} "
+                  "shed, cache pairing {speedup:.2f}x"
                   .format(**record))
         else:
             print("{name}: direct {direct_seconds:.3f}s, dispatch "

@@ -13,6 +13,7 @@ Usage::
     python -m repro.experiments bench-compare base.json cand.json
     python -m repro.experiments metrics-report metrics.json
     python -m repro.experiments obs-report trace.json --list
+    python -m repro.experiments serve --workers 2 --port 8351
 
 ``--solver name`` forwards a solver-registry name (``sa``, ``sqa``,
 ``tabu``, ``qaoa``, ``exact``, ``pt``) to every selected experiment
@@ -128,6 +129,10 @@ def main(argv) -> int:
         from ..pipeline import bench as pipeline_bench
 
         return pipeline_bench.main(argv[1:])
+    if argv and argv[0] == "serve":
+        from ..server import cli as server_cli
+
+        return server_cli.main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Run DESIGN.md experiments from the registry.",

@@ -1,0 +1,232 @@
+"""Minimal asyncio HTTP/1.1 plumbing for :mod:`repro.server`.
+
+Hand-rolled on ``asyncio.start_server`` — the repo is stdlib-only by
+charter, and the server needs exactly three things no framework is
+worth importing for: request parsing with hard header/body caps,
+keep-alive JSON responses with explicit ``Content-Length``, and
+chunk-free server-sent-event streaming on a ``Connection: close``
+response.
+
+Requests flow ``read_request`` → :class:`Request`; responses flow
+through :func:`send_json` / :func:`send_text` / :func:`start_sse` +
+:func:`sse_event`. Handlers raise :class:`HttpError` for anything the
+client did wrong; the connection loop turns it into a JSON error body.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: Reason phrases for every status the server emits.
+REASON_PHRASES = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Cap on the request line + headers block; past it the request is
+#: rejected with 413 instead of buffering unboundedly.
+MAX_HEADER_BYTES = 32 * 1024
+#: Cap on a request body (submissions are QUBO term lists; 8 MiB is
+#: orders of magnitude above any real workload spec).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_ALLOWED_METHODS = {"GET", "POST", "HEAD", "DELETE", "PUT", "OPTIONS"}
+
+
+class HttpError(Exception):
+    """A client- or server-caused failure with an HTTP status.
+
+    Raised by parsers and route handlers; the connection loop renders
+    it as a JSON error document. ``headers`` lets backpressure paths
+    attach ``Retry-After``.
+    """
+
+    def __init__(self, status: int, message: str,
+                 headers: Optional[Mapping[str, str]] = None,
+                 body_extra: Optional[Dict[str, Any]] = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = dict(headers or {})
+        self.body_extra = dict(body_extra or {})
+
+    def body(self) -> Dict[str, Any]:
+        document = {"error": self.message, "status": self.status}
+        document.update(self.body_extra)
+        return document
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes = b""
+    #: Filled by the dispatcher: the route template the path matched
+    #: (e.g. ``/v1/jobs/{id}``) — the low-cardinality metrics label.
+    route: str = field(default="", compare=False)
+
+    def json(self) -> Any:
+        """The request body parsed as JSON (400 on anything else)."""
+        if not self.body:
+            raise HttpError(400, "request body must be a JSON object")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from None
+
+    @property
+    def tenant(self) -> str:
+        """Quota identity: the ``X-Tenant`` header, else ``"default"``."""
+        return self.headers.get("x-tenant", "default").strip() or "default"
+
+    def wants_keep_alive(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        return "close" not in connection
+
+
+async def read_request(reader) -> Optional[Request]:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`HttpError` for malformed or oversized requests and
+    lets transport exceptions (reset, incomplete read mid-body)
+    propagate to the connection loop.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "truncated HTTP request") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, "request headers too large") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, "request headers too large")
+
+    try:
+        text = head.decode("iso-8859-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 total
+        raise HttpError(400, "undecodable request head") from None
+    request_line, _, header_block = text.partition("\r\n")
+    parts = request_line.split()
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line: {request_line!r}")
+    method, target, version = parts
+    if method not in _ALLOWED_METHODS:
+        raise HttpError(501, f"method {method!r} not implemented")
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol {version!r}")
+
+    headers: Dict[str, str] = {}
+    for line in header_block.split("\r\n"):
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    split = urlsplit(target)
+    path = unquote(split.path)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise HttpError(
+                400, f"bad Content-Length: {length_header!r}") from None
+        if length < 0:
+            raise HttpError(400, "negative Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, "request body too large")
+        if length:
+            body = await reader.readexactly(length)
+    elif headers.get("transfer-encoding"):
+        raise HttpError(501, "chunked request bodies not supported")
+
+    return Request(method=method, target=target, path=path,
+                   query=query, headers=headers, body=body)
+
+
+def render_response(status: int, body: bytes, *,
+                    content_type: str = "application/json",
+                    headers: Optional[Mapping[str, str]] = None,
+                    keep_alive: bool = True) -> bytes:
+    reason = REASON_PHRASES.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("iso-8859-1") + body
+
+
+async def send_json(writer, status: int, payload: Any, *,
+                    headers: Optional[Mapping[str, str]] = None,
+                    keep_alive: bool = True) -> None:
+    body = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+    writer.write(render_response(status, body, headers=headers,
+                                 keep_alive=keep_alive))
+    await writer.drain()
+
+
+async def send_text(writer, status: int, text: str, *,
+                    content_type: str = "text/plain; charset=utf-8",
+                    headers: Optional[Mapping[str, str]] = None,
+                    keep_alive: bool = True) -> None:
+    writer.write(render_response(status, text.encode("utf-8"),
+                                 content_type=content_type,
+                                 headers=headers, keep_alive=keep_alive))
+    await writer.drain()
+
+
+async def start_sse(writer) -> None:
+    """Open a server-sent-events response.
+
+    No ``Content-Length`` — the stream ends when the connection
+    closes, so the response pins ``Connection: close``.
+    """
+    head = (
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: text/event-stream\r\n"
+        "Cache-Control: no-cache\r\n"
+        "Connection: close\r\n"
+        "X-Accel-Buffering: no\r\n"
+        "\r\n"
+    )
+    writer.write(head.encode("iso-8859-1"))
+    await writer.drain()
+
+
+def sse_event(event: str, data: Any) -> bytes:
+    """One ``repro-stream/v1`` SSE frame (single-line JSON data)."""
+    payload = json.dumps(data, sort_keys=True)
+    return f"event: {event}\ndata: {payload}\n\n".encode("utf-8")

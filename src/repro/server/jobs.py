@@ -1,0 +1,267 @@
+"""Server-side job records: journals, registry, and the sync→async
+bridge.
+
+A :class:`ServerJob` is the HTTP view of one submission. Its
+:class:`JobJournal` is the append-only event log the SSE stream route
+replays and then tails: lifecycle instants (``submitted``,
+``cache_hit``, ``finished``), one ``convergence`` event per
+:class:`~repro.telemetry.progress.ProgressTrace` row, the ``result``
+document and a terminal ``done`` marker.
+
+The bridge: solve completion fires :meth:`JobHandle.add_done_callback`
+on a *dispatcher thread*. The callback appends to the journal under a
+plain ``threading.Lock`` and then wakes event-loop readers via
+``loop.call_soon_threadsafe`` — the asyncio side never takes a lock
+that a solver thread holds while blocking, and the event loop never
+blocks on a solve.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, AsyncIterator, Dict, List, Optional, Tuple
+
+#: Schema tag carried by the SSE ``hello`` event and the docs.
+STREAM_SCHEMA = "repro-stream/v1"
+
+#: Server-job lifecycle states (the service's richer JobStatus maps
+#: onto these at the boundary).
+JOB_STATES = ("queued", "running", "done", "failed", "timeout",
+              "cancelled")
+_TERMINAL = frozenset(("done", "failed", "timeout", "cancelled"))
+
+
+class JobJournal:
+    """Append-only, thread-safe event log with async tailing.
+
+    Writers may be any thread (dispatcher callbacks, pipeline executor
+    threads, the event loop itself); readers are event-loop coroutines.
+    One shared ``asyncio.Event`` wakes all tails; each tail keeps its
+    own replay cursor, so a client connecting after completion replays
+    the full history and ends immediately.
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop):
+        self._loop = loop
+        self._lock = threading.Lock()
+        self._events: List[Tuple[str, Dict[str, Any]]] = []
+        self._terminal = False
+        self._wakeup = asyncio.Event()
+
+    def append(self, event: str, data: Dict[str, Any], *,
+               terminal: bool = False) -> None:
+        """Record one event (any thread); wakes event-loop tails."""
+        record = dict(data)
+        record.setdefault("ts", time.time())
+        with self._lock:
+            if self._terminal:
+                return
+            self._events.append((event, record))
+            if terminal:
+                self._terminal = True
+        try:
+            self._loop.call_soon_threadsafe(self._wakeup.set)
+        except RuntimeError:
+            # Loop already closed (server shutdown raced a late
+            # callback); nobody is left to wake.
+            pass
+
+    def snapshot(self) -> Tuple[List[Tuple[str, Dict[str, Any]]], bool]:
+        with self._lock:
+            return list(self._events), self._terminal
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._terminal
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    async def tail(self) -> AsyncIterator[Tuple[str, Dict[str, Any]]]:
+        """Replay all events, then yield new ones until terminal."""
+        index = 0
+        while True:
+            with self._lock:
+                chunk = self._events[index:]
+                terminal = self._terminal
+            for item in chunk:
+                yield item
+            index += len(chunk)
+            if terminal:
+                return
+            self._wakeup.clear()
+            with self._lock:
+                # An append may have landed (and set the already-run
+                # wakeup) between the snapshot above and the clear —
+                # re-check before sleeping so the event is never lost.
+                if len(self._events) > index or self._terminal:
+                    continue
+            await self._wakeup.wait()
+
+
+class ServerJob:
+    """One submission's server-side state (thread-safe)."""
+
+    def __init__(self, public_id: str, *, kind: str, tenant: str,
+                 solver: str, journal: JobJournal,
+                 loop: asyncio.AbstractEventLoop,
+                 tag: Optional[Any] = None):
+        self.public_id = public_id
+        self.kind = kind
+        self.tenant = tenant
+        self.solver = solver
+        self.tag = tag
+        self.journal = journal
+        self.created_at = time.time()
+        self.trace_id: Optional[str] = None
+        self.service_job_id: Optional[int] = None
+        self._loop = loop
+        self._lock = threading.Lock()
+        self._status = "queued"
+        self._result: Optional[Dict[str, Any]] = None
+        self._error: Optional[Dict[str, Any]] = None
+        self.finished_at: Optional[float] = None
+        #: Event-loop-side completion signal (set threadsafe from the
+        #: finishing thread); ``GET .../result?wait=N`` awaits it.
+        self.completed = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    @property
+    def status(self) -> str:
+        with self._lock:
+            return self._status
+
+    @property
+    def done(self) -> bool:
+        return self.status in _TERMINAL
+
+    @property
+    def result(self) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            return self._result
+
+    @property
+    def error(self) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            return self._error
+
+    def mark_running(self) -> None:
+        with self._lock:
+            if self._status == "queued":
+                self._status = "running"
+
+    def finish(self, status: str, *,
+               result: Optional[Dict[str, Any]] = None,
+               error: Optional[Dict[str, Any]] = None) -> bool:
+        """Terminal transition, exactly once (any thread)."""
+        if status not in _TERMINAL:
+            raise ValueError(f"not a terminal status: {status!r}")
+        with self._lock:
+            if self._status in _TERMINAL:
+                return False
+            self._status = status
+            self._result = result
+            self._error = error
+            self.finished_at = time.time()
+        try:
+            self._loop.call_soon_threadsafe(self.completed.set)
+        except RuntimeError:
+            pass
+        return True
+
+    def describe(self) -> Dict[str, Any]:
+        """The ``GET /v1/jobs/{id}`` status document."""
+        with self._lock:
+            status = self._status
+            error = self._error
+        document: Dict[str, Any] = {
+            "job_id": self.public_id,
+            "kind": self.kind,
+            "status": status,
+            "tenant": self.tenant,
+            "solver": self.solver,
+            "trace_id": self.trace_id,
+            "service_job_id": self.service_job_id,
+            "created_unix": self.created_at,
+            "finished_unix": self.finished_at,
+            "events": len(self.journal),
+            "links": {
+                "self": f"/v1/jobs/{self.public_id}",
+                "result": f"/v1/jobs/{self.public_id}/result",
+                "stream": f"/v1/jobs/{self.public_id}/stream",
+            },
+        }
+        if self.tag is not None:
+            document["tag"] = self.tag
+        if error is not None:
+            document["error"] = error
+        return document
+
+
+class JobRegistry:
+    """Bounded public-id → :class:`ServerJob` map.
+
+    Insertion-ordered; once past ``max_jobs`` the oldest *terminal*
+    jobs are evicted (live jobs are never dropped — their handles and
+    streams are still wired to them, so the bound can be temporarily
+    exceeded under extreme inflight counts).
+    """
+
+    def __init__(self, max_jobs: int = 4096):
+        if max_jobs < 1:
+            raise ValueError("max_jobs must be positive")
+        self.max_jobs = max_jobs
+        self._lock = threading.Lock()
+        self._jobs: "OrderedDict[str, ServerJob]" = OrderedDict()
+        self.evicted = 0
+
+    def add(self, job: ServerJob) -> None:
+        with self._lock:
+            self._jobs[job.public_id] = job
+            if len(self._jobs) > self.max_jobs:
+                for public_id, candidate in list(self._jobs.items()):
+                    if len(self._jobs) <= self.max_jobs:
+                        break
+                    if candidate.done:
+                        del self._jobs[public_id]
+                        self.evicted += 1
+
+    def get(self, public_id: str) -> Optional[ServerJob]:
+        with self._lock:
+            return self._jobs.get(public_id)
+
+    def remove(self, public_id: str) -> None:
+        with self._lock:
+            self._jobs.pop(public_id, None)
+
+    def live(self) -> List[ServerJob]:
+        with self._lock:
+            jobs = list(self._jobs.values())
+        return [job for job in jobs if not job.done]
+
+    def jobs(self) -> List[ServerJob]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            jobs = list(self._jobs.values())
+            evicted = self.evicted
+        by_status: Dict[str, int] = {}
+        for job in jobs:
+            by_status[job.status] = by_status.get(job.status, 0) + 1
+        return {
+            "total": len(jobs),
+            "max_jobs": self.max_jobs,
+            "evicted": evicted,
+            "by_status": by_status,
+        }

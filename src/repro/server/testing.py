@@ -1,0 +1,209 @@
+"""In-process server harness for tests and benchmarks.
+
+:class:`ServerThread` runs a :class:`~repro.server.app.ReproServer` on
+its own event loop in a daemon thread and exposes the bound port plus
+a thread-safe stop. :class:`Client` is a tiny ``http.client`` wrapper
+speaking the server's JSON and SSE dialects — the same stdlib-only
+client the soak benchmark's load generators use.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from .app import ReproServer
+
+
+class ServerThread:
+    """Run a server on a background thread; context-manager friendly.
+
+    ``kwargs`` go straight to :class:`ReproServer`; ``port`` defaults
+    to 0 (ephemeral). Signal handlers are not installed (the loop is
+    not on the main thread) — ``stop()`` triggers the same graceful
+    drain SIGTERM would.
+    """
+
+    def __init__(self, **kwargs: Any):
+        kwargs.setdefault("port", 0)
+        self.server = ReproServer(**kwargs)
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-server",
+                                        daemon=True)
+
+    def _run(self) -> None:
+        import asyncio
+
+        async def serve() -> None:
+            await self.server.start()
+            self._ready.set()
+            await self.server.wait_closed()
+
+        try:
+            asyncio.run(serve())
+        except BaseException as exc:  # noqa: BLE001 — surfaced in start
+            self._error = exc
+            self._ready.set()
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(30.0):
+            raise RuntimeError("server did not start within 30s")
+        if self._error is not None:
+            raise RuntimeError(
+                f"server failed to start: {self._error}"
+            ) from self._error
+        return self
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server.host, self.server.port
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Graceful drain, then join the loop thread."""
+        if not self._thread.is_alive():
+            return
+        self.server.request_drain()
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("server drain did not finish in time")
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+class Client:
+    """Minimal JSON/SSE client over one keep-alive connection."""
+
+    def __init__(self, host: str, port: int, *,
+                 tenant: Optional[str] = None, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _headers(self) -> Dict[str, str]:
+        headers = {"Content-Type": "application/json"}
+        if self.tenant is not None:
+            headers["X-Tenant"] = self.tenant
+        return headers
+
+    def request(self, method: str, path: str,
+                body: Optional[Any] = None
+                ) -> Tuple[int, Dict[str, str], Any]:
+        """One request → (status, headers, parsed JSON or text).
+
+        Retries once on a stale keep-alive connection.
+        """
+        payload = (None if body is None
+                   else json.dumps(body).encode("utf-8"))
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload,
+                             headers=self._headers())
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError,
+                    BrokenPipeError):
+                self.close()
+                if attempt:
+                    raise
+        headers = {name.lower(): value
+                   for name, value in response.getheaders()}
+        content_type = headers.get("content-type", "")
+        if "json" in content_type:
+            document = json.loads(raw.decode("utf-8"))
+        else:
+            document = raw.decode("utf-8", "replace")
+        return response.status, headers, document
+
+    # -- convenience wrappers ------------------------------------------
+    def get(self, path: str) -> Tuple[int, Dict[str, str], Any]:
+        return self.request("GET", path)
+
+    def submit(self, body: Dict[str, Any]
+               ) -> Tuple[int, Dict[str, str], Any]:
+        return self.request("POST", "/v1/jobs", body)
+
+    def wait_result(self, job_id: str, timeout: float = 60.0
+                    ) -> Tuple[int, Any]:
+        """Block (server-side long poll) until the job is terminal."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(f"job {job_id} not done in "
+                                   f"{timeout}s")
+            wait = min(max(remaining, 0.1), 10.0)
+            status, _, document = self.get(
+                f"/v1/jobs/{job_id}/result?wait={wait:.1f}")
+            if status != 202:
+                return status, document
+
+    def stream(self, job_id: str, *, max_seconds: float = 60.0
+               ) -> Iterator[Tuple[str, Dict[str, Any], float]]:
+        """Yield ``(event, data, receive_unix)`` SSE frames until the
+        terminal ``done`` event (on a dedicated connection)."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=max_seconds)
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/stream",
+                         headers=self._headers())
+            response = conn.getresponse()
+            if response.status != 200:
+                raw = response.read().decode("utf-8", "replace")
+                raise RuntimeError(
+                    f"stream failed: {response.status} {raw}")
+            event_name = ""
+            data_line = ""
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                text = line.decode("utf-8").rstrip("\n")
+                if text.startswith("event: "):
+                    event_name = text[len("event: "):]
+                elif text.startswith("data: "):
+                    data_line = text[len("data: "):]
+                elif text == "":
+                    if event_name:
+                        data = json.loads(data_line) if data_line else {}
+                        yield event_name, data, time.time()
+                        if event_name == "done":
+                            return
+                    event_name, data_line = "", ""
+        finally:
+            conn.close()

@@ -38,7 +38,7 @@ and verifies service results are bit-for-bit identical to sequential
 :func:`repro.compile.solve` calls.
 """
 
-from .cache import ResultCache, cache_key
+from .cache import ResultCache, ShardedResultCache, cache_key
 from .pool import SharedModelStore, WarmWorkerPool
 from .portfolio import PortfolioError, race
 from .queue import Job, JobQueue, JobStatus, QueueFullError
@@ -66,6 +66,7 @@ __all__ = [
     "QueueFullError",
     "ResultCache",
     "ServiceError",
+    "ShardedResultCache",
     "SharedModelStore",
     "SolveService",
     "WarmWorkerPool",

@@ -51,7 +51,7 @@ from ..compile.dispatch import (
     decode_samples,
 )
 from ..compile.ir import CompiledProblem
-from .cache import ResultCache, cache_key
+from .cache import ResultCache, ShardedResultCache, cache_key
 from .pool import SharedModelStore, WarmWorkerPool, expand_samples
 from .queue import Job, JobQueue, JobStatus, QueueFullError
 from .workers import (
@@ -202,6 +202,14 @@ class SolveService:
     cache_entries:
         LRU capacity of the result cache; ``0`` disables caching (and
         with it request coalescing).
+    cache_shards:
+        Number of independently locked result-cache shards. ``1``
+        (default) keeps the classic single-lock
+        :class:`~repro.service.cache.ResultCache`; values above one
+        swap in :class:`~repro.service.cache.ShardedResultCache`, which
+        spreads hit-path lookups across per-shard locks — the HTTP
+        front end (:mod:`repro.server`) services many concurrent
+        readers and uses 8.
     default_deadline:
         Per-job wall-clock budget in seconds applied when ``submit``
         gets no explicit ``deadline``; ``None`` means unbounded.
@@ -219,7 +227,7 @@ class SolveService:
                  queue_capacity: int = 128, cache_entries: int = 256,
                  default_deadline: Optional[float] = None,
                  start_method: Optional[str] = None,
-                 batch_limit: int = 8):
+                 batch_limit: int = 8, cache_shards: int = 1):
         if max_workers < 1:
             raise ValueError("max_workers must be positive")
         if mode not in ("process", "thread"):
@@ -228,6 +236,8 @@ class SolveService:
             )
         if cache_entries < 0:
             raise ValueError("cache_entries must be >= 0")
+        if cache_shards < 1:
+            raise ValueError("cache_shards must be positive")
         if batch_limit < 1:
             raise ValueError("batch_limit must be positive")
         self.max_workers = max_workers
@@ -237,8 +247,13 @@ class SolveService:
         self._context = (multiprocessing.get_context(start_method)
                          if mode == "process" else None)
         self._queue = JobQueue(queue_capacity)
-        self._cache = (ResultCache(cache_entries)
-                       if cache_entries else None)
+        if not cache_entries:
+            self._cache = None
+        elif cache_shards > 1:
+            self._cache = ShardedResultCache(cache_entries,
+                                             shards=cache_shards)
+        else:
+            self._cache = ResultCache(cache_entries)
         self._inflight: Dict[str, Job] = {}
         self._lock = threading.Lock()
         self._next_id = 0
@@ -957,6 +972,15 @@ class SolveService:
             ).inc()
 
     # -- introspection / lifecycle ---------------------------------------
+    def queue_snapshot(self) -> Dict[str, Any]:
+        """Live/capacity/closed view of the bounded job queue.
+
+        Cheap enough for per-request use — the HTTP front end's
+        admission controller polls it on every submission to apply
+        queue-depth backpressure *before* enqueueing.
+        """
+        return self._queue.snapshot()
+
     def stats(self) -> Dict[str, Any]:
         """Point-in-time service statistics (counts, queue, cache)."""
         with self._lock:

@@ -18,6 +18,14 @@ flight capsules recorded for that trace. ``--pick first|failed``
 selects a trace automatically (``failed`` prefers one that has a
 capsule or a non-``done`` finish), which is what CI uses.
 
+``--source server`` scopes the report to traces that entered through
+the HTTP front end (:mod:`repro.server`): the server mints one trace
+context per request, so its ``server.request.received`` instant and
+``server.request`` span join to the service-side job events on the
+same ``trace_id``. The timeline then leads with the HTTP leg — route,
+method, status, request wall clock, and the handler wait between the
+request arriving and the solve being submitted.
+
 Exit status: 0 on success, 2 on unreadable input or when the requested
 trace id has no events.
 
@@ -35,8 +43,9 @@ from typing import Any, Dict, List, Mapping, Optional
 
 from .flight import FLIGHT_SCHEMA, validate_flight_document
 
-__all__ = ["build_timeline", "join_artifacts", "load_capsules",
-           "load_trace_events", "main", "render_timeline"]
+__all__ = ["build_timeline", "filter_http_traces", "join_artifacts",
+           "load_capsules", "load_trace_events", "main",
+           "render_timeline"]
 
 
 # ----------------------------------------------------------------------
@@ -158,6 +167,7 @@ def build_timeline(trace_id: str, entry: Mapping[str, Any]
         "convergence_rows": 0,
         "profile": None,
         "status": None,
+        "http": None,
         "events": len(events),
     }
     for event in events:
@@ -168,7 +178,25 @@ def build_timeline(trace_id: str, entry: Mapping[str, Any]
             summary["job_ids"].append(job_id)
         if args.get("solver") and summary["solver"] is None:
             summary["solver"] = args["solver"]
-        if name == "service.job.submitted":
+        if name == "server.request.received":
+            http = summary["http"] or {}
+            http.update({
+                "received_ts": float(event.get("ts", 0.0)),
+                "route": args.get("route"),
+                "method": args.get("method"),
+                "path": args.get("path"),
+            })
+            summary["http"] = http
+        elif name == "server.request" and event.get("ph") == "X":
+            http = summary["http"] or {}
+            http.update({
+                "status": args.get("status"),
+                "seconds": float(event.get("dur", 0.0)) / 1e6,
+            })
+            http.setdefault("route", args.get("route"))
+            http.setdefault("method", args.get("method"))
+            summary["http"] = http
+        elif name == "service.job.submitted":
             summary["submitted_ts"] = float(event.get("ts", 0.0))
         elif name == "service.job.cache_hit":
             summary["dispatch"] = "cache"
@@ -205,6 +233,12 @@ def build_timeline(trace_id: str, entry: Mapping[str, Any]
                 "pid": event.get("pid"),
                 "ts": float(event.get("ts", 0.0)),
             })
+    http = summary["http"]
+    if (http is not None and summary["submitted_ts"] is not None
+            and http.get("received_ts") is not None):
+        # The handler leg: request on the wire -> solve submitted.
+        http["handler_wait_seconds"] = max(
+            summary["submitted_ts"] - http["received_ts"], 0.0) / 1e6
     capsules = entry["capsules"]
     if summary["status"] is None and capsules:
         reasons = {capsule.get("reason") for capsule in capsules}
@@ -227,6 +261,17 @@ def render_timeline(summary: Mapping[str, Any],
                     ) -> str:
     """The human-readable per-job report for one trace."""
     lines = [f"trace {summary['trace_id']}"]
+    http = summary.get("http")
+    if http is not None:
+        line = (f"  http: {http.get('method') or '?'} "
+                f"{http.get('path') or http.get('route') or '?'}"
+                f" -> {http.get('status') or '?'}")
+        if http.get("seconds") is not None:
+            line += f" in {_ms(http['seconds'])}"
+        if http.get("handler_wait_seconds") is not None:
+            line += (f"   handler wait: "
+                     f"{_ms(http['handler_wait_seconds'])}")
+        lines.append(line)
     job_ids = summary["job_ids"]
     lines.append(
         f"  job(s): "
@@ -315,6 +360,16 @@ def render_listing(traces: Mapping[str, Mapping[str, Any]]) -> str:
         for row in rows)
 
 
+def filter_http_traces(traces: Mapping[str, Dict[str, Any]]
+                       ) -> Dict[str, Dict[str, Any]]:
+    """Only traces that entered through the HTTP server."""
+    return {
+        trace_id: entry for trace_id, entry in traces.items()
+        if any(str(event.get("name", "")).startswith("server.request")
+               for event in entry["events"])
+    }
+
+
 def _pick_trace(traces: Mapping[str, Mapping[str, Any]],
                 mode: str) -> Optional[str]:
     if not traces:
@@ -349,6 +404,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         default=[],
                         help="flight capsule file or directory "
                              "(repeatable)")
+    parser.add_argument("--source", choices=("any", "server"),
+                        default="any",
+                        help="'server' keeps only traces with HTTP "
+                             "request events (repro.server) and leads "
+                             "each timeline with the request leg")
     parser.add_argument("--list", action="store_true",
                         help="list every trace id found and exit")
     parser.add_argument("--pick", choices=("first", "failed"),
@@ -382,6 +442,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
 
     traces = join_artifacts(events, capsules)
+    if args.source == "server":
+        traces = filter_http_traces(traces)
+        if not traces:
+            print("obs-report: no traces with HTTP request events "
+                  "(was the server run with --trace and --context?)",
+                  file=sys.stderr)
+            return 2
     if args.list:
         if not traces:
             print("obs-report: no trace-annotated events found "

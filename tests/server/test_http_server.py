@@ -1,0 +1,392 @@
+"""End-to-end HTTP server tests over an in-process ServerThread.
+
+Thread-mode (``workers=0``) keeps these fast; one process-mode test
+(`test_process_mode_parity`) checks the warm-pool path produces the
+same bits. Submission bodies deliberately vary their coefficients —
+identical bodies are idempotent (same job) and identical *solves*
+coalesce inside the service, which would defeat the backpressure
+tests.
+"""
+
+import math
+import time
+
+import pytest
+
+from repro.compile.dispatch import SolverConfig, solve
+from repro.server import build_problem, result_document
+from repro.server.testing import Client, ServerThread
+from repro.telemetry import context as _context
+from repro.telemetry import metrics as _metrics
+
+
+def problem_body(*, bias=-1.0, coupling=2.0, seed=7, num_variables=4,
+                 sweeps=200, reads=3, convergence=True, **extra):
+    """A small, distinct QUBO submission body."""
+    body = {
+        "problem": {
+            "kind": "qubo",
+            "num_variables": num_variables,
+            "linear": {str(i): bias for i in range(num_variables)},
+            "quadratic": [[i, i + 1, coupling]
+                          for i in range(num_variables - 1)],
+        },
+        "solver": "sa",
+        "config": {"num_sweeps": sweeps, "num_reads": reads,
+                   "seed": seed, "convergence": convergence},
+    }
+    body.update(extra)
+    return body
+
+
+def direct_document(body):
+    """Solve the same body in-process; config resolved the way the
+    service stores it (``convergence`` ``None`` -> effective bool)."""
+    problem = build_problem(body["problem"])
+    config = SolverConfig(**body["config"]).resolve_convergence()
+    return result_document(solve(problem, body["solver"], config))
+
+
+def strip_provenance(document):
+    return {key: value for key, value in document.items()
+            if key != "provenance"}
+
+
+@pytest.fixture(scope="module")
+def server():
+    # Trace contexts on, as the serve CLI runs by default — the
+    # status document's trace_id is part of the API contract.
+    _context.enable_context()
+    try:
+        with ServerThread(workers=0, quota_rate=1000.0,
+                          quota_burst=1000.0, max_inflight=64,
+                          queue_capacity=64) as thread:
+            yield thread
+    finally:
+        _context.disable_context()
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    with Client(*server.address) as c:
+        yield c
+
+
+class TestBasics:
+    def test_healthz(self, client):
+        status, _, document = client.get("/healthz")
+        assert status == 200
+        assert document["schema"] == "repro-server/v1"
+        assert document["status"] == "ok"
+        assert document["queue"]["capacity"] == 64
+
+    def test_unknown_route_404(self, client):
+        status, _, document = client.get("/nope")
+        assert status == 404
+        assert document["status"] == 404
+
+    def test_wrong_method_405(self, client):
+        status, _, _ = client.request("DELETE", "/v1/jobs")
+        assert status == 405
+
+    def test_unknown_job_404(self, client):
+        status, _, _ = client.get("/v1/jobs/deadbeef")
+        assert status == 404
+
+    def test_bad_json_400(self, client):
+        status, _, document = client.request("POST", "/v1/jobs",
+                                             "not json")
+        assert status == 400
+        assert "error" in document
+
+    def test_bad_problem_400(self, client):
+        status, _, _ = client.submit({"problem": {"kind": "maxcut"},
+                                      "solver": "sa"})
+        assert status == 400
+        status, _, _ = client.submit(
+            {"problem": {"kind": "qubo", "num_variables": 2},
+             "solver": "sa", "config": {"bogus_knob": 1}})
+        assert status == 400
+
+    def test_metrics_endpoint_validates(self, client):
+        # Metrics are process-global and normally off under pytest:
+        # the endpoint degrades to 503, and with a registry enabled it
+        # serves exposition text that passes the validator.
+        assert client.get("/metrics")[0] == 503
+        _metrics.enable_metrics()
+        try:
+            client.get("/healthz")  # populate request counters
+            status, _, text = client.get("/metrics")
+            assert status == 200
+            assert _metrics.validate_prometheus_text(text) == []
+            assert "server_requests_total" in text
+        finally:
+            _metrics.disable_metrics()
+
+
+class TestJobsApi:
+    def test_submit_result_parity(self, client):
+        body = problem_body(seed=101)
+        status, _, accepted = client.submit(body)
+        assert status == 201
+        assert accepted["idempotent"] is False
+        assert accepted["kind"] == "problem"
+        job_id = accepted["job_id"]
+        status, document = client.wait_result(job_id)
+        assert status == 200
+        assert document["status"] == "done"
+        # Bit-for-bit parity with a direct in-process solve.
+        assert (strip_provenance(document["result"])
+                == strip_provenance(direct_document(body)))
+
+    def test_resubmit_is_idempotent(self, client):
+        body = problem_body(seed=102)
+        _, _, first = client.submit(body)
+        status, _, second = client.submit(body)
+        assert status == 200
+        assert second["idempotent"] is True
+        assert second["job_id"] == first["job_id"]
+
+    def test_tag_forces_new_job_but_hits_cache(self, client):
+        body = problem_body(seed=103)
+        _, _, first = client.submit(body)
+        client.wait_result(first["job_id"])
+        status, _, second = client.submit(dict(body, tag="retry-1"))
+        assert status == 201
+        assert second["job_id"] != first["job_id"]
+        assert second["tag"] == "retry-1"
+        events = list(client.stream(second["job_id"]))
+        names = [data.get("name") for event, data, _ in events
+                 if event == "lifecycle"]
+        assert "cache_hit" in names
+
+    def test_status_document(self, client):
+        body = problem_body(seed=104)
+        _, _, accepted = client.submit(body)
+        job_id = accepted["job_id"]
+        client.wait_result(job_id)
+        status, _, document = client.get(f"/v1/jobs/{job_id}")
+        assert status == 200
+        assert document["status"] == "done"
+        assert document["trace_id"]
+        assert document["links"]["stream"].endswith("/stream")
+
+    def test_listing_contains_job(self, client):
+        _, _, accepted = client.submit(problem_body(seed=105))
+        status, _, document = client.get("/v1/jobs")
+        assert status == 200
+        assert accepted["job_id"] in [job["job_id"]
+                                      for job in document["jobs"]]
+
+    def test_result_202_before_done(self, client):
+        body = problem_body(seed=106, sweeps=2000, reads=10)
+        _, _, accepted = client.submit(body)
+        status, _, document = client.get(
+            f"/v1/jobs/{accepted['job_id']}/result")
+        assert status in (200, 202)  # 202 unless the solve raced us
+        if status == 202:
+            assert document["status"] in ("queued", "running")
+        client.wait_result(accepted["job_id"])
+
+    def test_ising_submission(self, client):
+        body = {
+            "problem": {
+                "kind": "ising",
+                "num_spins": 3,
+                "h": {"0": 0.5, "2": -0.5},
+                "j": [[0, 1, 1.0], [1, 2, -1.0]],
+            },
+            "solver": "sa",
+            "config": {"num_sweeps": 200, "num_reads": 2, "seed": 11},
+        }
+        _, _, accepted = client.submit(body)
+        status, document = client.wait_result(accepted["job_id"])
+        assert status == 200
+        assert document["result"]["feasible"] is True
+
+
+class TestStreaming:
+    def test_sse_replay_order_and_schema(self, client):
+        body = problem_body(seed=110)
+        _, _, accepted = client.submit(body)
+        client.wait_result(accepted["job_id"])
+        events = list(client.stream(accepted["job_id"]))
+        names = [event for event, _, _ in events]
+        assert names[0] == "hello"
+        assert names[-1] == "done"
+        hello = events[0][1]
+        assert hello["schema"] == "repro-stream/v1"
+        assert hello["job_id"] == accepted["job_id"]
+        lifecycle = [data["name"] for event, data, _ in events
+                     if event == "lifecycle"]
+        assert lifecycle[0] == "submitted"
+        assert lifecycle[-1] == "finished"
+        convergence = [data for event, data, _ in events
+                       if event == "convergence"]
+        assert convergence, "convergence=True should stream rows"
+        result = [data for event, data, _ in events if event == "result"]
+        assert len(result) == 1
+        # Ordering: all convergence rows precede the result frame.
+        assert names.index("result") > max(
+            i for i, n in enumerate(names) if n == "convergence")
+
+    def test_sse_tails_a_running_job(self, client):
+        body = problem_body(seed=111, sweeps=2000, reads=10)
+        _, _, accepted = client.submit(body)
+        # Connect immediately: the journal has at most the submitted
+        # event, so everything else arrives through the live tail.
+        events = list(client.stream(accepted["job_id"]))
+        names = [event for event, _, _ in events]
+        assert names[-1] == "done"
+        assert "convergence" in names
+        assert "result" in names
+
+
+class TestWorkloadRoute:
+    def test_workload_submission_returns_plan(self, client):
+        body = {
+            "workload": {"topologies": ["chain"], "sizes": [4],
+                         "instances_per_cell": 1, "seed": 3,
+                         "index": 0},
+            "solver": "sa",
+            "config": {"num_sweeps": 300, "num_reads": 3, "seed": 5},
+        }
+        status, _, accepted = client.submit(body)
+        assert status == 201
+        assert accepted["kind"] == "workload"
+        status, document = client.wait_result(accepted["job_id"])
+        assert status == 200
+        plan = document["result"]
+        assert plan["schema"] == "repro-pipeline/v1"
+        assert plan["status"] == "ok"
+        assert plan["formulation"] == "joinorder"
+
+    def test_workload_bounds_rejected(self, client):
+        base = {"solver": "sa", "config": {"seed": 1}}
+        for spec in ({"sizes": [40]},
+                     {"instances_per_cell": 1000},
+                     {"formulation": "nope"},
+                     {"index": 99}):
+            status, _, _ = client.submit(
+                dict(base, workload=dict({"sizes": [4]}, **spec)))
+            assert status == 400
+
+
+class TestAdmissionOverHttp:
+    def test_quota_429_and_recovery(self):
+        with ServerThread(workers=0, quota_rate=5.0, quota_burst=2.0,
+                          max_inflight=64) as thread:
+            with Client(*thread.address, tenant="quota-t") as c:
+                accepted = [c.submit(problem_body(seed=200 + i))
+                            for i in range(2)]
+                assert all(status == 201
+                           for status, _, _ in accepted)
+                status, headers, document = c.submit(
+                    problem_body(seed=250))
+                assert status == 429
+                assert document["reason"] == "quota"
+                retry = document["retry_after_seconds"]
+                assert 0 < retry <= 1.0 / 5.0 + 1e-6
+                assert headers["retry-after"] == str(
+                    max(1, math.ceil(retry)))
+                # After the refill interval the tenant recovers.
+                time.sleep(retry + 0.1)
+                status, _, _ = c.submit(problem_body(seed=251))
+                assert status == 201
+                for status_code, _, document in accepted:
+                    c.wait_result(document["job_id"])
+
+    def test_queue_backpressure_never_hangs(self):
+        with ServerThread(workers=0, queue_capacity=2,
+                          quota_rate=1000.0, quota_burst=1000.0,
+                          max_inflight=64) as thread:
+            with Client(*thread.address) as c:
+                outcomes = []
+                for i in range(10):
+                    outcomes.append(c.submit(
+                        problem_body(seed=300 + i, coupling=1.5 + i,
+                                     sweeps=800, reads=5)))
+                accepted = [d for s, _, d in outcomes if s == 201]
+                rejected = [(s, h, d) for s, h, d in outcomes
+                            if s == 429]
+                assert rejected, "queue_capacity=2 must shed load"
+                for status_code, headers, document in rejected:
+                    assert document["reason"] == "queue"
+                    assert int(headers["retry-after"]) >= 1
+                # The loop stays responsive while saturated.
+                started = time.perf_counter()
+                status, _, _ = c.get("/healthz")
+                assert status == 200
+                assert time.perf_counter() - started < 1.0
+                # Every accepted job still completes.
+                for document in accepted:
+                    status, result = c.wait_result(document["job_id"])
+                    assert status == 200
+
+    def test_inflight_cap(self):
+        with ServerThread(workers=0, quota_rate=1000.0,
+                          quota_burst=1000.0, max_inflight=1,
+                          queue_capacity=64) as thread:
+            with Client(*thread.address) as c:
+                _, _, first = c.submit(
+                    problem_body(seed=400, sweeps=2000, reads=10))
+                status, _, document = c.submit(problem_body(seed=401))
+                assert status == 429
+                assert document["reason"] == "inflight"
+                # Releasing the slot (job done) re-opens admission.
+                c.wait_result(first["job_id"])
+                status, _, _ = c.submit(problem_body(seed=402))
+                assert status == 201
+
+
+class TestDrain:
+    def test_drain_finishes_inflight_and_rejects_new(self):
+        thread = ServerThread(workers=0, quota_rate=1000.0,
+                              quota_burst=1000.0, max_inflight=8,
+                              queue_capacity=16)
+        thread.start()
+        try:
+            with Client(*thread.address) as c:
+                _, _, accepted = c.submit(
+                    problem_body(seed=500, sweeps=2000, reads=10))
+                thread.server.request_drain()
+                # New submissions are shed while the slow job drains.
+                deadline = time.monotonic() + 5.0
+                saw_503 = False
+                attempt = 0
+                while time.monotonic() < deadline and not saw_503:
+                    attempt += 1
+                    try:
+                        status, headers, document = c.submit(
+                            problem_body(seed=500 + attempt))
+                    except (ConnectionError, RuntimeError, OSError):
+                        break  # listener already closed: drained
+                    if status == 503:
+                        saw_503 = True
+                        assert document["reason"] == "draining"
+                        assert headers["retry-after"] == "30"
+                    elif status == 201:
+                        time.sleep(0.01)  # drain flag not set yet
+                    else:
+                        raise AssertionError(f"unexpected {status}")
+                assert saw_503
+        finally:
+            thread.stop()
+        job = thread.server.jobs.get(accepted["job_id"])
+        assert job is not None
+        assert job.status == "done"
+
+
+class TestProcessMode:
+    def test_process_mode_parity(self):
+        body = problem_body(seed=600, sweeps=500, reads=4)
+        expected = strip_provenance(direct_document(body))
+        with ServerThread(workers=2) as thread:
+            with Client(*thread.address, timeout=120.0) as c:
+                status, _, accepted = c.submit(body)
+                assert status == 201
+                status, document = c.wait_result(accepted["job_id"],
+                                                 timeout=120.0)
+                assert status == 200
+                assert (strip_provenance(document["result"])
+                        == expected)

@@ -1,0 +1,153 @@
+"""Sharded result cache: drop-in semantics plus merged statistics."""
+
+import threading
+
+import pytest
+
+from repro.service import SolveService
+from repro.service.cache import ResultCache, ShardedResultCache
+
+
+def keys(count):
+    """Distinct hex keys shaped like real sha256 cache keys."""
+    import hashlib
+    return [hashlib.sha256(str(i).encode()).hexdigest()
+            for i in range(count)]
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        ShardedResultCache(0)
+    with pytest.raises(ValueError):
+        ShardedResultCache(16, shards=0)
+
+
+def test_shard_count_never_exceeds_capacity():
+    cache = ShardedResultCache(3, shards=8)
+    assert cache.shards == 3
+
+
+def test_get_put_roundtrip_and_len():
+    cache = ShardedResultCache(64, shards=4)
+    for index, key in enumerate(keys(20)):
+        cache.put(key, index)
+    assert len(cache) == 20
+    for index, key in enumerate(keys(20)):
+        assert cache.get(key) == index
+        assert cache.peek(key) == index
+
+
+def test_same_key_always_lands_on_same_shard():
+    # 128 entries per shard: no shard can overflow on 50 keys, so any
+    # missing entry would mean a key migrated between shards.
+    cache = ShardedResultCache(1024, shards=8)
+    for key in keys(50):
+        cache.put(key, "v")
+        cache.put(key, "v2")  # overwrite, not duplicate
+    assert len(cache) == 50
+
+
+def test_none_key_counts_a_skip_and_caches_nothing():
+    cache = ShardedResultCache(16, shards=4)
+    assert cache.get(None) is None
+    cache.put(None, "x")
+    cache.note_miss(None)
+    assert len(cache) == 0
+    assert cache.skips == 2
+
+
+def test_merged_stats_view():
+    cache = ShardedResultCache(64, shards=4)
+    for key in keys(10):
+        cache.put(key, "v")
+    for key in keys(10):
+        assert cache.get(key) == "v"
+    for key in keys(20)[10:]:
+        assert cache.get(key) is None
+    view = cache.stats()
+    assert view["hits"] == 10
+    assert view["misses"] == 10
+    assert view["entries"] == 10
+    assert view["shards"] == 4
+    assert sum(view["shard_entries"]) == view["entries"]
+    assert view["hit_rate"] == pytest.approx(0.5)
+    # Same keys as the single-lock snapshot, so service stats and
+    # dashboards are implementation-agnostic.
+    single_keys = set(ResultCache(4).snapshot())
+    assert single_keys <= set(view)
+
+
+def test_note_hit_note_miss_merge():
+    cache = ShardedResultCache(16, shards=4)
+    key_a, key_b = keys(2)
+    cache.put(key_a, 1)
+    cache.note_hit(key_a)
+    cache.note_miss(key_b)
+    assert cache.hits == 1
+    assert cache.misses == 1
+
+
+def test_eviction_is_shard_local_but_counted_globally():
+    cache = ShardedResultCache(8, shards=4)  # 2 entries per shard
+    for key in keys(40):
+        cache.put(key, "v")
+    assert len(cache) <= 8
+    assert cache.evictions == 40 - len(cache)
+    assert cache.stats()["evictions"] == cache.evictions
+
+
+def test_clear_empties_every_shard():
+    cache = ShardedResultCache(32, shards=4)
+    for key in keys(12):
+        cache.put(key, "v")
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_concurrent_hit_path_is_consistent():
+    cache = ShardedResultCache(256, shards=8)
+    hot = keys(32)
+    for index, key in enumerate(hot):
+        cache.put(key, index)
+    errors = []
+
+    def hammer():
+        try:
+            for _ in range(200):
+                for index, key in enumerate(hot):
+                    if cache.get(key) != index:
+                        raise AssertionError("lost entry under load")
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert cache.hits == 4 * 200 * 32
+
+
+def test_service_accepts_cache_shards_knob():
+    service = SolveService(max_workers=1, mode="thread", cache_shards=4,
+                          cache_entries=32)
+    try:
+        assert isinstance(service._cache, ShardedResultCache)
+        stats = service.stats()
+        assert stats["cache"]["shards"] == 4
+    finally:
+        service.shutdown()
+
+
+def test_service_default_keeps_single_lock_cache():
+    service = SolveService(max_workers=1, mode="thread")
+    try:
+        assert isinstance(service._cache, ResultCache)
+    finally:
+        service.shutdown()
+
+
+def test_service_rejects_bad_shards():
+    with pytest.raises(ValueError):
+        SolveService(max_workers=1, mode="thread", cache_shards=0)
